@@ -1,0 +1,29 @@
+"""Figure 10 (RQ4): the multimodal posterior under NUTS, ADVI and explicit-guide VI."""
+
+from conftest import record
+
+from repro.evaluation.multimodal import multimodal_experiment
+
+
+def test_fig10_multimodal_posteriors(benchmark):
+    result = benchmark.pedantic(
+        multimodal_experiment,
+        kwargs={"num_warmup": 150, "num_samples": 300, "vi_steps": 1500, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    lines = ["mass below theta=10 / above theta=10 (true posterior: 0.5 / 0.5)"]
+    for method in ("stan_nuts", "deepstan_nuts", "stan_advi", "deepstan_vi"):
+        masses = result.mode_masses[method]
+        lines.append(f"{method:>14}: {masses['low_mode']:.2f} / {masses['high_mode']:.2f}")
+    lines.append("[paper: NUTS chains stick to modes with wrong relative mass, ADVI collapses "
+                 "to one mode, DeepStan VI with the explicit guide recovers both]")
+    record("Figure 10 — multimodal example", lines)
+
+    # Shape assertions from the paper's discussion: the explicit two-component
+    # guide recovers both modes, and covers them at least as well as the
+    # mean-field ADVI approximation (which cannot represent two modes and, at
+    # best, smears a single wide Gaussian across them).
+    assert result.found_both_modes("deepstan_vi", low=0.15)
+    vi_balance = min(result.mode_masses["deepstan_vi"].values())
+    advi_balance = min(result.mode_masses["stan_advi"].values())
+    assert vi_balance >= advi_balance - 0.1

@@ -1,0 +1,24 @@
+"""Table 1: prevalence of non-generative Stan features over the corpus."""
+
+from conftest import record
+
+from repro.evaluation.harness import corpus_feature_table
+
+
+def test_table1_feature_prevalence(benchmark):
+    table = benchmark.pedantic(corpus_feature_table, rounds=1, iterations=1)
+    pct = table["percentages"]
+    summary = table["summary"]
+    lines = [
+        f"corpus size: {summary.total} models",
+        f"left expression   : {summary.left_expression:3d} models ({pct['left_expression']:5.1f}%)  [paper: 15%]",
+        f"multiple updates  : {summary.multiple_updates:3d} models ({pct['multiple_updates']:5.1f}%)  [paper: 8%]",
+        f"implicit prior    : {summary.implicit_prior:3d} models ({pct['implicit_prior']:5.1f}%)  [paper: 58%]",
+        f"target += updates : {summary.target_update:3d} models ({pct['target_update']:5.1f}%)",
+        f"truncation        : {summary.truncation:3d} models ({pct['truncation']:5.1f}%)",
+        f"purely generative : {summary.generative:3d} models ({pct['generative']:5.1f}%)",
+    ]
+    record("Table 1 — non-generative feature prevalence", lines)
+    # Shape check: implicit priors dominate, as in the paper.
+    assert pct["implicit_prior"] > pct["left_expression"]
+    assert pct["implicit_prior"] > pct["multiple_updates"]

@@ -1,0 +1,49 @@
+"""Table 4 (Appendix C): mean relative error per model and compilation scheme."""
+
+import numpy as np
+from conftest import record
+
+from repro.evaluation.harness import accuracy_and_speed_row, run_reference
+from repro.posteriordb import get
+
+TABLE4_ENTRIES = [
+    "coin-flips",
+    "eight_schools_centered-eight_schools",
+    "earn_height-earnings",
+    "kidscore_momhsiq-kidiq",
+    "logmesquite_logvas-mesquite",
+    "nes-nes1996",
+    "poisson_counts-synthetic",
+    "seeds_binomial-seeds",
+]
+
+SCALE = 0.25
+
+
+def test_table4_mean_relative_error(benchmark):
+    def run_table():
+        rows = []
+        for name in TABLE4_ENTRIES:
+            entry = get(name)
+            reference, _ = run_reference(entry, scale=SCALE)
+            row = {}
+            for scheme in ("comprehensive", "mixed", "generative"):
+                row[scheme] = accuracy_and_speed_row(entry, reference, backend="numpyro",
+                                                     scheme=scheme, scale=SCALE)
+            rows.append((entry, row))
+        return rows
+
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    lines = [f"{'entry':<40} {'compr.':>10} {'mixed':>10} {'gener.':>10}   (mean relative error; paper threshold 0.3)"]
+    for entry, row in rows:
+        def fmt(cell):
+            return f"{cell.relative_error:.3f}" if cell.status != "error" else "error"
+
+        lines.append(f"{entry.name:<40} {fmt(row['comprehensive']):>10} {fmt(row['mixed']):>10} "
+                     f"{fmt(row['generative']):>10}")
+    record("Table 4 — mean relative error per scheme (NumPyro backend)", lines)
+
+    # Comprehensive and mixed schemes agree with the reference on most rows.
+    for scheme in ("comprehensive", "mixed"):
+        errors = [row[scheme].relative_error for _, row in rows if row[scheme].status != "error"]
+        assert np.nanmedian(errors) < 0.3

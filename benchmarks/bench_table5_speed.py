@@ -1,0 +1,117 @@
+"""Table 5 (Appendix C): mean (std) inference duration per model and backend.
+
+Also covers the §6.1 compile-time comparison (our backends vs the Stan
+reference frontend) and the runtime ablation between the Pyro-style
+(effect-handler) and NumPyro-style (direct potential) execution paths.
+"""
+
+import time
+
+import numpy as np
+from conftest import record
+
+from repro import compile_model
+from repro.evaluation.harness import compile_time_comparison
+from repro.posteriordb import get
+from repro.stanref import StanModel
+
+TABLE5_ENTRIES = [
+    "coin-flips",
+    "eight_schools_centered-eight_schools",
+    "kidscore_momiq-kidiq",
+    "nes-nes2000",
+]
+
+REPEATS = 3
+SCALE = 0.3
+
+
+def _run_times(fn, repeats=REPEATS):
+    times = []
+    for i in range(repeats):
+        start = time.perf_counter()
+        fn(i)
+        times.append(time.perf_counter() - start)
+    return float(np.mean(times)), float(np.std(times))
+
+
+def test_table5_duration_mean_std(benchmark):
+    def run_table():
+        rows = []
+        for name in TABLE5_ENTRIES:
+            entry = get(name)
+            config = entry.config
+            warmup = max(int(config.num_warmup * SCALE), 10)
+            samples = max(int(config.num_samples * SCALE), 10)
+            data = entry.data()
+
+            ref = StanModel(entry.source, name=entry.name)
+            stan_mean, stan_std = _run_times(
+                lambda seed: ref.run_nuts(data, num_warmup=warmup, num_samples=samples,
+                                          seed=seed, max_tree_depth=config.max_tree_depth))
+            backends = {}
+            for backend, scheme in (("numpyro", "comprehensive"), ("numpyro", "mixed"),
+                                    ("pyro", "comprehensive")):
+                compiled = compile_model(entry.source, backend=backend, scheme=scheme,
+                                         name=entry.name)
+                backends[(backend, scheme)] = _run_times(
+                    lambda seed: compiled.run_nuts(data, num_warmup=warmup, num_samples=samples,
+                                                   seed=seed, max_tree_depth=config.max_tree_depth))
+            rows.append((entry.name, (stan_mean, stan_std), backends))
+        return rows
+
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    lines = [f"{'entry':<42} {'Stan':>14} {'NP-compr':>14} {'NP-mixed':>14} {'Pyro-compr':>14}  (seconds, mean(std) over {REPEATS} seeds)"]
+    for name, (stan_mean, stan_std), backends in rows:
+        np_c = backends[("numpyro", "comprehensive")]
+        np_m = backends[("numpyro", "mixed")]
+        py_c = backends[("pyro", "comprehensive")]
+        lines.append(f"{name:<42} {stan_mean:7.2f}({stan_std:4.2f}) {np_c[0]:7.2f}({np_c[1]:4.2f}) "
+                     f"{np_m[0]:7.2f}({np_m[1]:4.2f}) {py_c[0]:7.2f}({py_c[1]:4.2f})")
+    record("Table 5 — duration mean(std) per backend", lines)
+
+    # Shape: comprehensive and mixed runtimes are essentially identical, and
+    # the NumPyro-style runtime is not slower than the Pyro-style one.
+    for _, _, backends in rows:
+        np_c, np_m = backends[("numpyro", "comprehensive")][0], backends[("numpyro", "mixed")][0]
+        assert abs(np_c - np_m) / max(np_c, np_m) < 0.6
+
+
+def test_compile_time_comparison(benchmark):
+    entries = [get(name) for name in TABLE5_ENTRIES]
+    result = benchmark.pedantic(compile_time_comparison, args=(entries,), rounds=1, iterations=1)
+    lines = [
+        f"backend compile time: {result['backend_mean_seconds']*1000:.1f} ms "
+        f"(std {result['backend_std_seconds']*1000:.1f} ms)  [paper: 0.3 s]",
+        f"Stan reference frontend: {result['stan_mean_seconds']*1000:.1f} ms "
+        f"(std {result['stan_std_seconds']*1000:.1f} ms)  [paper: 10.5 s for stanc3+g++]",
+    ]
+    record("Section 6.1 — compilation time", lines)
+    assert result["backend_mean_seconds"] < 5.0
+
+
+def test_ablation_fast_potential_vs_handlers(benchmark):
+    """Design ablation: NumPyro-style direct log-density vs Pyro-style handlers."""
+    entry = get("coin-flips")
+    data = entry.data()
+    compiled_np = compile_model(entry.source, backend="numpyro", scheme="mixed")
+    compiled_py = compile_model(entry.source, backend="pyro", scheme="mixed")
+    pot_fast = compiled_np.potential(data)
+    pot_slow = compiled_py.potential(data)
+    z = np.zeros(pot_fast.dim)
+
+    def time_evals(pot, n=200):
+        start = time.perf_counter()
+        for _ in range(n):
+            pot.potential_and_grad(z)
+        return time.perf_counter() - start
+
+    fast = benchmark.pedantic(lambda: time_evals(pot_fast), rounds=1, iterations=1)
+    slow = time_evals(pot_slow)
+    lines = [
+        f"200 gradient evaluations, NumPyro-style direct accumulation: {fast:.3f} s",
+        f"200 gradient evaluations, Pyro-style effect handlers:        {slow:.3f} s",
+        f"runtime ratio (Pyro / NumPyro): {slow / fast:.2f}x",
+    ]
+    record("Ablation — potential evaluation path (Pyro vs NumPyro runtime)", lines)
+    assert np.isclose(pot_fast.potential(z), pot_slow.potential(z))

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index).  Results are printed to stdout (run pytest with
+``-s`` to see them live) and appended to ``benchmarks/results.txt`` so the
+EXPERIMENTS.md numbers can be refreshed from a single run.
+"""
+
+import os
+from typing import Iterable
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def record(title: str, lines: Iterable[str]) -> None:
+    """Print a result block and append it to benchmarks/results.txt."""
+    block = [f"== {title} =="] + list(lines) + [""]
+    text = "\n".join(block)
+    print("\n" + text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start each benchmark session with a clean results file."""
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _clean_param_store():
+    from repro.ppl import primitives
+
+    primitives.clear_param_store()
+    yield
+    primitives.clear_param_store()

@@ -1,0 +1,36 @@
+"""Figure 8: a variational auto-encoder written in DeepStan.
+
+The ``networks`` block imports the encoder/decoder; the model maps a latent
+code through the decoder to Bernoulli pixel probabilities, and the guide maps
+each image through the encoder to a Gaussian over the latent space.  After
+training with SVI the latent means are clustered with KMeans and scored with
+the pairwise-F1 metric (RQ5).
+"""
+
+from repro.deepstan import DeepStanVAE, HandWrittenVAE, datasets
+
+
+def main() -> None:
+    data = datasets.make_binarized_digits(num_train=80, num_test=80, side=6, num_classes=10, seed=0)
+    print(f"dataset: {len(data.train_images)} training / {len(data.test_images)} test binarised images")
+
+    print("\nTraining the DeepStan VAE...")
+    deep = DeepStanVAE(nz=5, nx=data.num_pixels, hidden=24, seed=0)
+    deep.train(data.flat_train(), epochs=3, learning_rate=0.02)
+    deep_result = deep.evaluate(data.flat_test(), data.test_labels, num_clusters=10)
+    print(f"  pairwise F1 = {deep_result.f1:.2f} "
+          f"(precision {deep_result.precision:.2f}, recall {deep_result.recall:.2f})")
+
+    print("Training the hand-written VAE (same architecture, runtime API)...")
+    hand = HandWrittenVAE(nz=5, nx=data.num_pixels, hidden=24, seed=0)
+    hand.train(data.flat_train(), epochs=3, learning_rate=0.02)
+    hand_result = hand.evaluate(data.flat_test(), data.test_labels, num_clusters=10)
+    print(f"  pairwise F1 = {hand_result.f1:.2f} "
+          f"(precision {hand_result.precision:.2f}, recall {hand_result.recall:.2f})")
+
+    print("\nThe paper's conclusion (RQ5): compiling the DeepStan program does not "
+          "degrade the model relative to the hand-written version.")
+
+
+if __name__ == "__main__":
+    main()

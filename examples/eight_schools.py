@@ -1,0 +1,44 @@
+"""Eight-schools: compare the Stan reference backend with the compiled backends.
+
+This is the workflow of the paper's evaluation (Tables 3-5) on a single,
+classic hierarchical model: run the reference interpreter (the "Stan"
+baseline), run the compiled NumPyro-style backend under two schemes, check the
+30%-of-reference-stddev accuracy criterion, and report the speedup.
+"""
+
+import time
+
+from repro import compile_model
+from repro.infer import diagnostics
+from repro.posteriordb import datagen
+from repro.stanref import StanModel
+from repro.corpus import models as corpus_models
+
+
+def main() -> None:
+    source = corpus_models.get("eight_schools_centered")
+    data = datagen.eight_schools_data()
+
+    print("Running the Stan reference backend (interpreter + NUTS)...")
+    start = time.perf_counter()
+    reference = StanModel(source).run_nuts(data, num_warmup=400, num_samples=400, seed=0)
+    stan_time = time.perf_counter() - start
+    ref_samples = reference.get_samples()
+    print(f"  mu = {ref_samples['mu'].mean():.2f}, tau = {ref_samples['tau'].mean():.2f} "
+          f"({stan_time:.1f} s)")
+
+    for scheme in ("comprehensive", "mixed"):
+        compiled = compile_model(source, backend="numpyro", scheme=scheme)
+        start = time.perf_counter()
+        mcmc = compiled.run_nuts(data, num_warmup=400, num_samples=400, seed=0)
+        elapsed = time.perf_counter() - start
+        samples = mcmc.get_samples()
+        passed, rel_err = diagnostics.accuracy_check(ref_samples, samples)
+        status = "match" if passed else "MISMATCH"
+        print(f"NumPyro backend, {scheme:>13} scheme: mu = {samples['mu'].mean():.2f}, "
+              f"tau = {samples['tau'].mean():.2f}  [{status}, rel. err {rel_err:.3f}] "
+              f"({elapsed:.1f} s, speedup {stan_time / elapsed:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

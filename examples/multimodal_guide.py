@@ -1,0 +1,37 @@
+"""Figure 10: explicit variational guides on a multimodal posterior.
+
+NUTS and mean-field ADVI both fail to represent the two well-separated modes;
+DeepStan's explicit guide (two Gaussian components selected by the latent
+``cluster``) recovers them.  The script prints coarse histograms of theta for
+each method.
+"""
+
+import numpy as np
+
+from repro.evaluation.multimodal import multimodal_experiment
+
+
+def ascii_histogram(draws: np.ndarray, bins: int = 12, lo: float = -5.0, hi: float = 25.0) -> str:
+    counts, edges = np.histogram(np.asarray(draws).reshape(-1), bins=bins, range=(lo, hi))
+    peak = counts.max() or 1
+    lines = []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(40 * count / peak)
+        lines.append(f"  [{left:6.1f}, {right:6.1f}) {bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    result = multimodal_experiment(num_warmup=200, num_samples=400, vi_steps=2500, seed=0)
+    for method, label in (("stan_nuts", "Stan (NUTS)"),
+                          ("deepstan_nuts", "DeepStan (NUTS)"),
+                          ("stan_advi", "Stan (ADVI)"),
+                          ("deepstan_vi", "DeepStan (VI, explicit guide)")):
+        masses = result.mode_masses[method]
+        print(f"\n{label}: mass near 0 = {masses['low_mode']:.2f}, "
+              f"mass near 20 = {masses['high_mode']:.2f}")
+        print(ascii_histogram(result.draws[method]))
+
+
+if __name__ == "__main__":
+    main()

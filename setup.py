@@ -1,0 +1,4 @@
+"""Setuptools shim so the package also installs on environments without PEP 660 support."""
+from setuptools import setup
+
+setup()

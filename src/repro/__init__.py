@@ -1,0 +1,39 @@
+"""Reproduction of "Compiling Stan to Generative Probabilistic Languages and
+Extension to Deep Probabilistic Programming" (Baudart et al., PLDI 2021).
+
+Top-level API:
+
+* :func:`repro.compile_model` / :func:`repro.compile_file` — compile Stan (or
+  DeepStan) source with one of the three compilation schemes (``generative``,
+  ``comprehensive``, ``mixed``) targeting the ``pyro`` or ``numpyro`` runtime.
+* :mod:`repro.stanref` — the Stan-semantics reference backend (interpreter +
+  NUTS) used as the "Stan" baseline of the evaluation.
+* :mod:`repro.infer` — NUTS/HMC, ADVI, SVI and diagnostics.
+* :mod:`repro.deepstan` — explicit guides, neural networks, VAE and Bayesian
+  neural networks (section 5).
+* :mod:`repro.posteriordb` / :mod:`repro.corpus` — the bundled model/data
+  registries standing in for PosteriorDB and ``example-models``.
+"""
+
+from repro.core import (
+    CompiledModel,
+    CompileError,
+    NonGenerativeModelError,
+    UnsupportedFeatureError,
+    analyze_source,
+    compile_file,
+    compile_model,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "compile_model",
+    "compile_file",
+    "analyze_source",
+    "CompiledModel",
+    "CompileError",
+    "NonGenerativeModelError",
+    "UnsupportedFeatureError",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Functional helpers: ``grad`` and ``value_and_grad`` (JAX-style).
+
+These wrap a scalar-valued function of one flat NumPy vector and return its
+gradient computed by reverse-mode AD.  The inference algorithms (HMC, NUTS,
+ADVI) consume log-density functions in exactly this form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def value_and_grad(fn: Callable[[Tensor], Tensor]) -> Callable[[np.ndarray], Tuple[float, np.ndarray]]:
+    """Return a function computing ``(fn(x), dfn/dx)`` for a flat vector ``x``.
+
+    ``fn`` must accept a :class:`Tensor` and return a scalar :class:`Tensor`.
+    """
+
+    def wrapped(x: np.ndarray) -> Tuple[float, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        t = Tensor(x, requires_grad=True)
+        # Boundary evaluations (e.g. a constrained parameter pushed to the
+        # edge of its support during leapfrog) legitimately produce inf/nan
+        # densities which the samplers treat as divergences; silence the
+        # NumPy warnings they would otherwise spam.
+        with np.errstate(all="ignore"):
+            out = fn(t)
+            if not isinstance(out, Tensor):
+                # Constant w.r.t. the input: zero gradient.
+                return float(out), np.zeros_like(x)
+            out.backward()
+        g = t.grad if t.grad is not None else np.zeros_like(x)
+        return float(out.data), np.asarray(g, dtype=float)
+
+    return wrapped
+
+
+def grad(fn: Callable[[Tensor], Tensor]) -> Callable[[np.ndarray], np.ndarray]:
+    """Return a function computing only the gradient of ``fn``."""
+    vg = value_and_grad(fn)
+
+    def wrapped(x: np.ndarray) -> np.ndarray:
+        return vg(x)[1]
+
+    return wrapped
+
+
+def numerical_grad(fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient, used in tests to validate the AD engine."""
+    x = np.asarray(x, dtype=float)
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x.reshape(x.shape))
+        flat[i] = orig - eps
+        lo = fn(x.reshape(x.shape))
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return g

@@ -1,0 +1,191 @@
+"""Minimal neural-network modules (PyTorch ``nn`` substitute).
+
+The DeepStan ``networks`` block (§5.2/5.3 of the paper) imports neural
+networks written with the PyTorch API.  This module provides the small subset
+needed for the paper's deep probabilistic models: ``Linear`` layers,
+activations, ``Sequential`` containers, and a ``Module`` base class exposing
+``named_parameters`` — the same interface that ``pyro.random_module`` relies
+on for lifting network parameters to random variables.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+
+
+class Module:
+    """Base class for neural-network modules.
+
+    Parameters are :class:`Tensor` attributes with ``requires_grad=True``;
+    sub-modules are discovered through instance attributes, mirroring the
+    PyTorch convention.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+
+    def register_parameter(self, name: str, value: Tensor) -> Tensor:
+        value.requires_grad = True
+        value.name = name
+        self._parameters[name] = value
+        return value
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Module) and name not in ("_parameters", "_modules"):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(dotted.name, parameter)`` pairs, PyTorch-style."""
+        for name, param in self._parameters.items():
+            yield (prefix + name if not prefix else f"{prefix}.{name}", param)
+        for mod_name, module in self._modules.items():
+            sub_prefix = mod_name if not prefix else f"{prefix}.{mod_name}"
+            yield from module.named_parameters(sub_prefix)
+
+    def parameters(self) -> List[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, p in self.named_parameters():
+            if name in state:
+                p.data = np.asarray(state[name], dtype=float).reshape(p.data.shape)
+
+    def set_parameter(self, dotted_name: str, value) -> None:
+        """Replace a (possibly nested) parameter value, keeping the graph.
+
+        Used by ``random_module`` to substitute sampled weights for the
+        registered parameters before running the forward pass.
+        """
+        parts = dotted_name.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        leaf = parts[-1]
+        value = as_tensor(value)
+        module._parameters[leaf] = value
+        object.__setattr__(module, leaf, value)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b`` with Glorot-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        weight = Tensor(rng.uniform(-bound, bound, size=(out_features, in_features)))
+        self.weight = self.register_parameter("weight", weight)
+        self.in_features = in_features
+        self.out_features = out_features
+        if bias:
+            self.bias = self.register_parameter("bias", Tensor(np.zeros(out_features)))
+        else:
+            self.bias = None
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        out = ops.matmul(x, ops.transpose(self._parameters["weight"]))
+        if "bias" in self._parameters:
+            out = ops.add(out, self._parameters["bias"])
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x) -> Tensor:
+        return ops.relu(x)
+
+
+class Tanh(Module):
+    def forward(self, x) -> Tensor:
+        return ops.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Softplus(Module):
+    def forward(self, x) -> Tensor:
+        return ops.softplus(x)
+
+
+class Sequential(Module):
+    """Chain of sub-modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+            self._ordered.append(module)
+
+    def forward(self, x) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    Mirrors the two-layer perceptron used by the paper's Bayesian-MLP
+    experiment (``mlp.l1``, ``mlp.l2``), so the DeepStan parameter paths
+    (``mlp.l1.weight`` etc.) resolve naturally.
+    """
+
+    def __init__(self, sizes: List[int], activation: str = "tanh",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.sizes = list(sizes)
+        self.activation = activation
+        for i in range(len(sizes) - 1):
+            layer = Linear(sizes[i], sizes[i + 1], rng=rng)
+            self.add_module(f"l{i + 1}", layer)
+            object.__setattr__(self, f"l{i + 1}", layer)
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "tanh":
+            return ops.tanh(x)
+        if self.activation == "relu":
+            return ops.relu(x)
+        if self.activation == "sigmoid":
+            return ops.sigmoid(x)
+        raise ValueError(f"unknown activation {self.activation!r}")
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        n_layers = len(self.sizes) - 1
+        for i in range(n_layers):
+            x = self._modules[f"l{i + 1}"](x)
+            if i < n_layers - 1:
+                x = self._activate(x)
+        return x

@@ -1,0 +1,466 @@
+"""Differentiable operations on :class:`~repro.autodiff.tensor.Tensor`.
+
+Each function accepts tensors or plain array-likes, computes the forward value
+with NumPy, and (when graph recording is enabled) attaches backward closures
+implementing the vector-Jacobian product for each input.
+
+The operator set is chosen to cover what the Stan standard library, the
+distribution library, the constraint transforms and the neural-network modules
+need; it is intentionally not a full PyTorch clone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import special as sps
+
+from repro.autodiff.tensor import ArrayLike, Tensor, as_tensor, is_grad_enabled
+
+
+def _make(
+    data: np.ndarray,
+    parents: Sequence[Tensor],
+    backward_fns: Sequence,
+) -> Tensor:
+    """Create a result tensor, recording the graph only when enabled."""
+    if not is_grad_enabled():
+        return Tensor(data)
+    return Tensor(data, parents=parents, backward_fns=backward_fns)
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return _make(a.data + b.data, (a, b), (lambda g: g, lambda g: g))
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return _make(a.data - b.data, (a, b), (lambda g: g, lambda g: -g))
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return _make(
+        a.data * b.data,
+        (a, b),
+        (lambda g: g * b.data, lambda g: g * a.data),
+    )
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return _make(
+        a.data / b.data,
+        (a, b),
+        (
+            lambda g: g / b.data,
+            lambda g: -g * a.data / (b.data * b.data),
+        ),
+    )
+
+
+def neg(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    return _make(-a.data, (a,), (lambda g: -g,))
+
+
+def pow_(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data ** b.data
+
+    def grad_a(g):
+        return g * b.data * a.data ** (b.data - 1.0)
+
+    def grad_b(g):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            loga = np.where(a.data > 0, np.log(np.where(a.data > 0, a.data, 1.0)), 0.0)
+        return g * out * loga
+
+    return _make(out, (a, b), (grad_a, grad_b))
+
+
+def square(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    return _make(a.data * a.data, (a,), (lambda g: 2.0 * g * a.data,))
+
+
+def abs_(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    return _make(np.abs(a.data), (a,), (lambda g: g * np.sign(a.data),))
+
+
+# ----------------------------------------------------------------------
+# elementwise transcendental functions
+# ----------------------------------------------------------------------
+def exp(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.exp(a.data)
+    return _make(out, (a,), (lambda g: g * out,))
+
+
+def expm1(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.expm1(a.data)
+    return _make(out, (a,), (lambda g: g * np.exp(a.data),))
+
+
+def log(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.log(a.data)
+    return _make(out, (a,), (lambda g: g / a.data,))
+
+
+def log1p(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.log1p(a.data)
+    return _make(out, (a,), (lambda g: g / (1.0 + a.data),))
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.sqrt(a.data)
+    return _make(out, (a,), (lambda g: g * 0.5 / out,))
+
+
+def sin(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    return _make(np.sin(a.data), (a,), (lambda g: g * np.cos(a.data),))
+
+
+def cos(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    return _make(np.cos(a.data), (a,), (lambda g: -g * np.sin(a.data),))
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.tanh(a.data)
+    return _make(out, (a,), (lambda g: g * (1.0 - out * out),))
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = sps.expit(a.data)
+    return _make(out, (a,), (lambda g: g * out * (1.0 - out),))
+
+
+def softplus(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.logaddexp(0.0, a.data)
+    return _make(out, (a,), (lambda g: g * sps.expit(a.data),))
+
+
+def relu(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    return _make(np.where(mask, a.data, 0.0), (a,), (lambda g: g * mask,))
+
+
+def lgamma(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = sps.gammaln(a.data)
+    return _make(out, (a,), (lambda g: g * sps.digamma(a.data),))
+
+
+def digamma(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = sps.digamma(a.data)
+    return _make(out, (a,), (lambda g: g * sps.polygamma(1, a.data),))
+
+
+def erf(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = sps.erf(a.data)
+    coef = 2.0 / np.sqrt(np.pi)
+    return _make(out, (a,), (lambda g: g * coef * np.exp(-a.data * a.data),))
+
+
+def erfc(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = sps.erfc(a.data)
+    coef = 2.0 / np.sqrt(np.pi)
+    return _make(out, (a,), (lambda g: -g * coef * np.exp(-a.data * a.data),))
+
+
+# ----------------------------------------------------------------------
+# comparisons / selection (gradients flow through the selected values only)
+# ----------------------------------------------------------------------
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    mask = a.data <= b.data
+    return _make(
+        np.minimum(a.data, b.data),
+        (a, b),
+        (lambda g: g * mask, lambda g: g * (~mask)),
+    )
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    mask = a.data >= b.data
+    return _make(
+        np.maximum(a.data, b.data),
+        (a, b),
+        (lambda g: g * mask, lambda g: g * (~mask)),
+    )
+
+
+def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
+    a = as_tensor(a)
+    mask = (a.data >= lo) & (a.data <= hi)
+    return _make(np.clip(a.data, lo, hi), (a,), (lambda g: g * mask,))
+
+
+def where(cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
+    cond_arr = cond.data if isinstance(cond, Tensor) else np.asarray(cond)
+    cond_arr = cond_arr.astype(bool)
+    a, b = as_tensor(a), as_tensor(b)
+    return _make(
+        np.where(cond_arr, a.data, b.data),
+        (a, b),
+        (lambda g: g * cond_arr, lambda g: g * (~cond_arr)),
+    )
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+def sum_(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g):
+        g = np.asarray(g, dtype=float)
+        if axis is None:
+            return np.broadcast_to(g, a.data.shape).copy()
+        if not keepdims:
+            g = np.expand_dims(g, axis)
+        return np.broadcast_to(g, a.data.shape).copy()
+
+    return _make(out, (a,), (backward,))
+
+
+def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else a.data.shape[axis]
+
+    def backward(g):
+        g = np.asarray(g, dtype=float) / count
+        if axis is None:
+            return np.broadcast_to(g, a.data.shape).copy()
+        if not keepdims:
+            g = np.expand_dims(g, axis)
+        return np.broadcast_to(g, a.data.shape).copy()
+
+    return _make(out, (a,), (backward,))
+
+
+def logsumexp(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = sps.logsumexp(a.data, axis=axis, keepdims=keepdims)
+
+    def backward(g):
+        g = np.asarray(g, dtype=float)
+        lse = out
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+            lse = np.expand_dims(lse, axis)
+        return g * np.exp(a.data - lse)
+
+    return _make(np.asarray(out), (a,), (backward,))
+
+
+def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        g = np.asarray(g, dtype=float)
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return out * (g - dot)
+
+    return _make(out, (a,), (backward,))
+
+
+def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    soft = np.exp(out)
+
+    def backward(g):
+        g = np.asarray(g, dtype=float)
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return _make(out, (a,), (backward,))
+
+
+def cumsum(a: ArrayLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    out = np.cumsum(a.data, axis=axis)
+
+    def backward(g):
+        g = np.asarray(g, dtype=float)
+        return np.flip(np.cumsum(np.flip(g, axis=axis), axis=axis), axis=axis)
+
+    return _make(out, (a,), (backward,))
+
+
+# ----------------------------------------------------------------------
+# linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data @ b.data
+
+    def grad_a(g):
+        g = np.asarray(g, dtype=float)
+        if b.data.ndim == 1 and a.data.ndim == 1:
+            return g * b.data
+        if b.data.ndim == 1:
+            return np.outer(g, b.data) if a.data.ndim == 2 else g[..., None] * b.data
+        if a.data.ndim == 1:
+            return g @ b.data.T if g.ndim else b.data @ g
+        return g @ np.swapaxes(b.data, -1, -2)
+
+    def grad_b(g):
+        g = np.asarray(g, dtype=float)
+        if a.data.ndim == 1 and b.data.ndim == 1:
+            return g * a.data
+        if a.data.ndim == 1:
+            return np.outer(a.data, g) if b.data.ndim == 2 else a.data[..., None] * g
+        if b.data.ndim == 1:
+            return np.swapaxes(a.data, -1, -2) @ g
+        return np.swapaxes(a.data, -1, -2) @ g
+
+    return _make(out, (a, b), (grad_a, grad_b))
+
+
+def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Inner product of two vectors."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.dot(a.data, b.data)
+    return _make(out, (a, b), (lambda g: g * b.data, lambda g: g * a.data))
+
+
+def outer(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.outer(a.data, b.data)
+    return _make(
+        out,
+        (a, b),
+        (lambda g: g @ b.data, lambda g: a.data @ g),
+    )
+
+
+def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    a = as_tensor(a)
+    out = np.transpose(a.data, axes)
+
+    def backward(g):
+        g = np.asarray(g, dtype=float)
+        if axes is None:
+            return np.transpose(g)
+        inverse = np.argsort(axes)
+        return np.transpose(g, inverse)
+
+    return _make(out, (a,), (backward,))
+
+
+# ----------------------------------------------------------------------
+# shape manipulation / indexing
+# ----------------------------------------------------------------------
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.reshape(shape)
+    return _make(out, (a,), (lambda g: np.asarray(g).reshape(a.data.shape),))
+
+
+def concatenate(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    arrays = [np.atleast_1d(t.data) for t in tensors]
+    out = np.concatenate(arrays, axis=axis)
+    sizes = [arr.shape[axis] for arr in arrays]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_backward(i):
+        def backward(g):
+            g = np.asarray(g, dtype=float)
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(offsets[i], offsets[i + 1])
+            piece = g[tuple(sl)]
+            return piece.reshape(tensors[i].data.shape)
+
+        return backward
+
+    return _make(out, tensors, [make_backward(i) for i in range(len(tensors))])
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_backward(i):
+        def backward(g):
+            g = np.asarray(g, dtype=float)
+            return np.take(g, i, axis=axis)
+
+        return backward
+
+    return _make(out, tensors, [make_backward(i) for i in range(len(tensors))])
+
+
+def getitem(a: ArrayLike, idx) -> Tensor:
+    a = as_tensor(a)
+    raw_idx = idx.data.astype(int) if isinstance(idx, Tensor) else idx
+    if isinstance(raw_idx, tuple):
+        raw_idx = tuple(
+            i.data.astype(int) if isinstance(i, Tensor) else i for i in raw_idx
+        )
+    out = a.data[raw_idx]
+
+    def backward(g):
+        g = np.asarray(g, dtype=float)
+        full = np.zeros_like(a.data)
+        np.add.at(full, raw_idx, g)
+        return full
+
+    return _make(out, (a,), (backward,))
+
+
+def index_update(a: ArrayLike, idx, value: ArrayLike) -> Tensor:
+    """Functional index assignment: return a copy of ``a`` with ``a[idx] = value``.
+
+    Used by the compiled code for array-cell assignments inside loops, where
+    in-place mutation would corrupt the autodiff graph (mirrors
+    ``jax.ops.index_update`` / the explicit copies mentioned in §4).
+    """
+    a, value = as_tensor(a), as_tensor(value)
+    raw_idx = idx.data.astype(int) if isinstance(idx, Tensor) else idx
+    if isinstance(raw_idx, tuple):
+        raw_idx = tuple(
+            i.data.astype(int) if isinstance(i, Tensor) else i for i in raw_idx
+        )
+    out = a.data.copy()
+    out[raw_idx] = value.data
+
+    def grad_a(g):
+        g = np.asarray(g, dtype=float).copy()
+        g[raw_idx] = 0.0
+        return g
+
+    def grad_value(g):
+        g = np.asarray(g, dtype=float)
+        return g[raw_idx]
+
+    return _make(out, (a, value), (grad_a, grad_value))

@@ -1,0 +1,5 @@
+"""Runtime support packages for the generated Pyro-style and NumPyro-style code."""
+
+from repro.backends import runtime
+
+__all__ = ["runtime"]

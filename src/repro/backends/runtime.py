@@ -1,0 +1,331 @@
+"""Runtime library imported by the code the backends generate.
+
+The generated Python modules start with ``from repro.backends.runtime import *``
+and then use:
+
+* the probabilistic primitives ``sample`` / ``observe`` / ``factor`` /
+  ``param`` (re-exported from :mod:`repro.ppl`),
+* distribution constructors under their Stan names (``normal``, ``beta``,
+  ``bernoulli``, ``improper_uniform``, ...),
+* the standard-library dispatcher ``_call("sum", x)``,
+* indexing helpers implementing Stan's one-based indexing and functional
+  array updates (``_index`` / ``_index_update``), matching the explicit copies
+  the paper's NumPyro backend introduces for in-loop array mutation (§4),
+* ``fori_loop`` — the NumPyro-style loop combinator used when the backend
+  lambda-lifts loop bodies (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.core import stanlib
+from repro.ppl import distributions as _dist
+from repro.ppl.primitives import factor, observe, param, sample
+
+__all__ = [
+    "sample",
+    "observe",
+    "factor",
+    "param",
+    "np",
+    "Tensor",
+    "_call",
+    "_index",
+    "_index_update",
+    "_slice_index",
+    "_zeros",
+    "_irange",
+    "_truthy",
+    "_int",
+    "_mul",
+    "_div",
+    "_elt_mul",
+    "_elt_div",
+    "_pow",
+    "_mod",
+    "_idiv",
+    "_transpose",
+    "_neg",
+    "_not",
+    "_and",
+    "_or",
+    "_array",
+    "_row_vector",
+    "_to_value",
+    "_fresh_site",
+    "_iter",
+    "_call_network",
+    "_positive_param",
+    "fori_loop",
+    "vectorized_range",
+] + sorted(stanlib.KNOWN_DISTRIBUTIONS)
+
+
+# ----------------------------------------------------------------------
+# distribution constructors under their Stan names
+# ----------------------------------------------------------------------
+def _make_ctor(dist_name: str) -> Callable:
+    factory = stanlib.KNOWN_DISTRIBUTIONS[dist_name]
+
+    def ctor(*args, **kwargs):
+        return factory(*args, **kwargs)
+
+    ctor.__name__ = dist_name
+    ctor.__doc__ = f"Stan distribution constructor for ``{dist_name}``."
+    return ctor
+
+
+_GLOBALS = globals()
+for _name in stanlib.KNOWN_DISTRIBUTIONS:
+    _GLOBALS[_name] = _make_ctor(_name)
+
+
+# ----------------------------------------------------------------------
+# standard-library dispatch and user-function support
+# ----------------------------------------------------------------------
+def _call(name: str, *args):
+    """Dispatch a Stan standard-library call by name."""
+    return stanlib.lookup_function(name)(*args)
+
+
+def _to_value(x):
+    """Plain NumPy value of a possibly-Tensor quantity."""
+    return x.data if isinstance(x, Tensor) else x
+
+
+def _int(x) -> int:
+    if isinstance(x, Tensor):
+        return int(x.data)
+    return int(np.asarray(x))
+
+
+def _truthy(x) -> bool:
+    value = _to_value(x)
+    arr = np.asarray(value)
+    if arr.size == 1:
+        return bool(arr)
+    return bool(np.all(arr))
+
+
+# ----------------------------------------------------------------------
+# indexing (Stan is one-based; slices are inclusive on both ends)
+# ----------------------------------------------------------------------
+def _normalize_index(idx):
+    if isinstance(idx, slice):
+        return idx
+    if isinstance(idx, Tensor):
+        arr = idx.data
+        if arr.ndim == 0:
+            return int(arr) - 1
+        return arr.astype(int) - 1
+    arr = np.asarray(idx)
+    if arr.ndim == 0:
+        return int(arr) - 1
+    return arr.astype(int) - 1
+
+
+def _slice_index(lower=None, upper=None):
+    """Build a Python slice from Stan's inclusive one-based bounds."""
+    lo = None if lower is None else _int(lower) - 1
+    hi = None if upper is None else _int(upper)
+    return slice(lo, hi)
+
+
+def _index(base, *indices):
+    """One-based indexing of arrays, vectors, matrices and Tensors."""
+    norm = tuple(_normalize_index(i) for i in indices)
+    if len(norm) == 1:
+        norm = norm[0]
+    if isinstance(base, Tensor):
+        return base[norm]
+    if isinstance(base, (list, tuple)):
+        if isinstance(norm, tuple):
+            out = base
+            for i in norm:
+                out = out[i]
+            return out
+        return base[norm]
+    return np.asarray(base)[norm]
+
+
+def _index_update(base, indices: Tuple, value):
+    """Functional one-based indexed update (returns a new container)."""
+    norm = tuple(_normalize_index(i) for i in indices)
+    if len(norm) == 1:
+        norm = norm[0]
+    if isinstance(base, Tensor) or isinstance(value, Tensor):
+        return ops.index_update(as_tensor(base), norm, as_tensor(value))
+    arr = np.array(base, dtype=float, copy=True)
+    arr[norm] = _to_value(value)
+    return arr
+
+
+def _zeros(*dims):
+    """Zero-initialised container for a local Stan declaration."""
+    if not dims:
+        return 0.0
+    shape = tuple(_int(d) for d in dims)
+    return np.zeros(shape)
+
+
+def _irange(lower, upper):
+    """Stan's inclusive integer range ``lower:upper`` as a Python range."""
+    return range(_int(lower), _int(upper) + 1)
+
+
+# ----------------------------------------------------------------------
+# operators with Stan semantics
+# ----------------------------------------------------------------------
+def _is_matrixlike(x) -> bool:
+    return np.ndim(_to_value(x)) >= 1
+
+
+def _mul(a, b):
+    """Stan ``*``: matrix/vector multiplication when both sides are containers,
+    otherwise scalar scaling."""
+    a_nd = np.ndim(_to_value(a))
+    b_nd = np.ndim(_to_value(b))
+    if a_nd >= 1 and b_nd >= 1 and (a_nd >= 2 or b_nd >= 2):
+        return ops.matmul(as_tensor(a), as_tensor(b)) if isinstance(a, Tensor) or isinstance(b, Tensor) \
+            else _to_value(a) @ _to_value(b)
+    if a_nd == 1 and b_nd == 1:
+        # row_vector * vector (dot product); Stan forbids vector * vector, but
+        # after parsing we cannot distinguish them, so the dot product is the
+        # only consistent reading.
+        return stanlib.stan_dot_product(a, b)
+    return a * b if not isinstance(b, Tensor) or isinstance(a, Tensor) else b * a
+
+
+def _div(a, b):
+    return a / b if isinstance(a, Tensor) or not isinstance(b, Tensor) else as_tensor(a) / b
+
+
+def _elt_mul(a, b):
+    return a * b if isinstance(a, Tensor) or not isinstance(b, Tensor) else b * a
+
+
+def _elt_div(a, b):
+    return _div(a, b)
+
+
+def _pow(a, b):
+    return ops.pow_(as_tensor(a), as_tensor(b)) if isinstance(a, Tensor) or isinstance(b, Tensor) \
+        else np.power(a, b)
+
+
+def _mod(a, b):
+    return _int(a) % _int(b)
+
+
+def _idiv(a, b):
+    return _int(a) // _int(b)
+
+
+def _transpose(a):
+    if isinstance(a, Tensor):
+        return ops.transpose(a) if a.data.ndim >= 2 else a
+    arr = np.asarray(a)
+    return arr.T if arr.ndim >= 2 else arr
+
+
+def _neg(a):
+    return -as_tensor(a) if isinstance(a, Tensor) else -np.asarray(a) if np.ndim(a) else -a
+
+
+def _not(a):
+    return 0.0 if _truthy(a) else 1.0
+
+
+def _and(a, b):
+    return 1.0 if (_truthy(a) and _truthy(b)) else 0.0
+
+
+def _or(a, b):
+    return 1.0 if (_truthy(a) or _truthy(b)) else 0.0
+
+
+def _array(*elements):
+    """Stan brace array literal ``{e1, ..., en}``."""
+    if any(isinstance(e, Tensor) for e in elements):
+        return ops.stack([as_tensor(e) for e in elements])
+    return np.array([_to_value(e) for e in elements], dtype=float)
+
+
+def _row_vector(*elements):
+    """Stan bracket literal ``[e1, ..., en]``."""
+    return _array(*elements)
+
+
+# ----------------------------------------------------------------------
+# NumPyro-style control-flow combinators
+# ----------------------------------------------------------------------
+def _positive_param(name: str, init=None):
+    """A learnable parameter constrained to be positive (guide parameters).
+
+    Stored in log space (the same trick Pyro's constrained param store uses)
+    so unconstrained gradient steps keep the value strictly positive.
+    """
+    shape = np.shape(_to_value(init)) if init is not None else ()
+    log_value = param(name + "__log", np.zeros(shape))
+    return ops.exp(as_tensor(log_value))
+
+
+def _call_network(module, lifted_params: Dict[str, Any], *args):
+    """Invoke a DeepStan network, substituting lifted (sampled) parameters.
+
+    This is the runtime half of the paper's ``pyro.random_module`` treatment
+    (§5.3): when the Stan ``parameters`` block lifts network parameters
+    (``mlp.l1.weight`` ...), the compiled model samples them as ordinary sites
+    and passes the sampled tensors here; the network is copied, the sampled
+    values are installed, and the forward pass runs with them so gradients
+    flow back to the samples.
+    """
+    import copy as _copy
+
+    if not lifted_params:
+        return module(*args)
+    lifted = _copy.deepcopy(module)
+    for path, value in lifted_params.items():
+        lifted.set_parameter(path, value)
+    return lifted(*args)
+
+
+_FRESH_COUNTER = [0]
+
+
+def _fresh_site(prefix: str) -> str:
+    """Fresh site name for anonymous ``factor``/``sample`` sites (loop postfixing, §4)."""
+    _FRESH_COUNTER[0] += 1
+    return f"{prefix}__{_FRESH_COUNTER[0]}"
+
+
+def _iter(seq):
+    """Iterate over the leading dimension of a Stan container (for-each loops)."""
+    value = _to_value(seq)
+    arr = np.asarray(value)
+    if isinstance(seq, Tensor):
+        for i in range(arr.shape[0]):
+            return_value = seq[i]
+            yield return_value
+    else:
+        for element in arr:
+            yield element
+
+
+def fori_loop(lower, upper, body_fn: Callable, init_val):
+    """``fori_loop(lo, hi, f, init)`` — applies ``f(i, acc)`` for ``i`` in
+    ``[lo, hi)`` (exclusive upper bound, mirroring ``jax.lax.fori_loop``)."""
+    acc = init_val
+    for i in range(_int(lower), _int(upper)):
+        acc = body_fn(i, acc)
+    return acc
+
+
+def vectorized_range(lower, upper) -> np.ndarray:
+    """The index vector ``lo..hi`` (inclusive), used by vectorised observations."""
+    return np.arange(_int(lower), _int(upper) + 1)

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: compiling Stan to a generative PPL.
+
+Sub-modules:
+
+* :mod:`repro.core.analysis` — detection of non-generative features (Table 1);
+* :mod:`repro.core.schemes` — the generative (§2.1) and comprehensive (§2.3)
+  compilation schemes producing GProb IR;
+* :mod:`repro.core.mixed` — the mixed scheme (§4): rescheduling + merging;
+* :mod:`repro.core.codegen` — GProb IR to Python for the two backends;
+* :mod:`repro.core.compiler` — the end-to-end driver (:func:`compile_model`);
+* :mod:`repro.core.stanlib` — the Stan standard library ported to the runtime.
+"""
+
+from repro.core.analysis import FeatureReport, analyze, summarize_corpus
+from repro.core.compiler import (
+    BACKENDS,
+    SCHEMES,
+    CompiledModel,
+    analyze_source,
+    compile_file,
+    compile_model,
+)
+from repro.core.schemes import (
+    CompileError,
+    NonGenerativeModelError,
+    UnsupportedFeatureError,
+    compile_comprehensive,
+    compile_generative,
+    compile_guide,
+)
+from repro.core.mixed import compile_mixed
+
+__all__ = [
+    "FeatureReport",
+    "analyze",
+    "summarize_corpus",
+    "CompiledModel",
+    "compile_model",
+    "compile_file",
+    "analyze_source",
+    "SCHEMES",
+    "BACKENDS",
+    "CompileError",
+    "NonGenerativeModelError",
+    "UnsupportedFeatureError",
+    "compile_comprehensive",
+    "compile_generative",
+    "compile_guide",
+    "compile_mixed",
+]

@@ -1,0 +1,180 @@
+"""Static analysis of non-generative Stan features (Table 1 of the paper).
+
+A Stan model defines an unnormalised joint density; three widely-used idioms
+have no direct generative reading (§2.2):
+
+* **left expressions** — the left-hand side of ``~`` is an arbitrary
+  expression (``sum(phi) ~ normal(0, 0.001*N)``);
+* **multiple updates** — the same parameter appears on the left of several
+  ``~`` statements;
+* **implicit priors** — a parameter has no ``~`` statement at all.
+
+``target +=`` statements are likewise non-generative.  The analyser reports
+which features each program uses; the generative translation refuses programs
+that use any of them, while the comprehensive translation handles all of them
+(Table 1's "Compilation" column).  The corpus benchmark
+(``benchmarks/bench_table1_features.py``) reports prevalence over the bundled
+corpus the way the paper reports prevalence over ``example-models``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.frontend import ast
+
+
+@dataclass
+class FeatureReport:
+    """Which non-generative features a program uses."""
+
+    left_expressions: List[ast.TildeStmt] = field(default_factory=list)
+    multiple_update_params: List[str] = field(default_factory=list)
+    implicit_prior_params: List[str] = field(default_factory=list)
+    target_updates: List[ast.TargetPlus] = field(default_factory=list)
+    truncations: List[ast.TildeStmt] = field(default_factory=list)
+    tilde_statements: int = 0
+    parameters: List[str] = field(default_factory=list)
+
+    @property
+    def has_left_expression(self) -> bool:
+        return bool(self.left_expressions)
+
+    @property
+    def has_multiple_updates(self) -> bool:
+        return bool(self.multiple_update_params)
+
+    @property
+    def has_implicit_prior(self) -> bool:
+        return bool(self.implicit_prior_params)
+
+    @property
+    def has_target_update(self) -> bool:
+        return bool(self.target_updates)
+
+    @property
+    def has_truncation(self) -> bool:
+        return bool(self.truncations)
+
+    @property
+    def is_generative(self) -> bool:
+        """Whether the simple generative translation of §2.1 is applicable."""
+        return not (
+            self.has_left_expression
+            or self.has_multiple_updates
+            or self.has_implicit_prior
+            or self.has_target_update
+        )
+
+    def feature_flags(self) -> Dict[str, bool]:
+        return {
+            "left_expression": self.has_left_expression,
+            "multiple_updates": self.has_multiple_updates,
+            "implicit_prior": self.has_implicit_prior,
+            "target_update": self.has_target_update,
+            "truncation": self.has_truncation,
+        }
+
+
+def lhs_base_name(expr: ast.Expr) -> Optional[str]:
+    """Base variable name of an lvalue-like expression, if any."""
+    if isinstance(expr, ast.Variable):
+        return expr.name
+    if isinstance(expr, ast.Indexed):
+        return lhs_base_name(expr.base)
+    return None
+
+
+def is_simple_lhs(expr: ast.Expr) -> bool:
+    """Whether an expression is a variable or an indexed variable.
+
+    Anything else on the left of ``~`` is a *left expression* in the paper's
+    terminology (Table 1, row 1).
+    """
+    if isinstance(expr, ast.Variable):
+        return True
+    if isinstance(expr, ast.Indexed):
+        return is_simple_lhs(expr.base)
+    return False
+
+
+def _model_scope_stmts(program: ast.Program) -> List[ast.Stmt]:
+    """Statements contributing to the density: transformed parameters + model."""
+    return list(program.transformed_parameters.stmts) + list(program.model.stmts)
+
+
+def analyze(program: ast.Program) -> FeatureReport:
+    """Compute the non-generative feature report of a program."""
+    report = FeatureReport()
+    param_names = [decl.name for decl in program.parameters.decls]
+    report.parameters = list(param_names)
+    param_set: Set[str] = set(param_names)
+
+    tilde_lhs_counts: Counter = Counter()
+
+    for stmt in ast.walk_stmts(_model_scope_stmts(program)):
+        if isinstance(stmt, ast.TildeStmt):
+            report.tilde_statements += 1
+            if stmt.has_truncation:
+                report.truncations.append(stmt)
+            if not is_simple_lhs(stmt.lhs):
+                report.left_expressions.append(stmt)
+            else:
+                name = lhs_base_name(stmt.lhs)
+                if name in param_set:
+                    tilde_lhs_counts[name] += 1
+        elif isinstance(stmt, ast.TargetPlus):
+            report.target_updates.append(stmt)
+
+    report.multiple_update_params = sorted(
+        name for name, count in tilde_lhs_counts.items() if count > 1
+    )
+    # Parameters transformed in `transformed parameters` and then given a
+    # prior under the transformed name still count as implicit for the raw
+    # parameter (this matches how the paper's Table 1 counts the feature: no
+    # explicit `~` for the declared parameter).
+    report.implicit_prior_params = sorted(
+        name for name in param_names if tilde_lhs_counts.get(name, 0) == 0
+    )
+    return report
+
+
+@dataclass
+class CorpusFeatureSummary:
+    """Aggregated prevalence over a corpus of programs (Table 1's "%" column)."""
+
+    total: int = 0
+    left_expression: int = 0
+    multiple_updates: int = 0
+    implicit_prior: int = 0
+    target_update: int = 0
+    truncation: int = 0
+    generative: int = 0
+
+    def percentages(self) -> Dict[str, float]:
+        if self.total == 0:
+            return {}
+        return {
+            "left_expression": 100.0 * self.left_expression / self.total,
+            "multiple_updates": 100.0 * self.multiple_updates / self.total,
+            "implicit_prior": 100.0 * self.implicit_prior / self.total,
+            "target_update": 100.0 * self.target_update / self.total,
+            "truncation": 100.0 * self.truncation / self.total,
+            "generative": 100.0 * self.generative / self.total,
+        }
+
+
+def summarize_corpus(reports: List[FeatureReport]) -> CorpusFeatureSummary:
+    """Aggregate feature prevalence over many programs."""
+    summary = CorpusFeatureSummary(total=len(reports))
+    for report in reports:
+        flags = report.feature_flags()
+        summary.left_expression += int(flags["left_expression"])
+        summary.multiple_updates += int(flags["multiple_updates"])
+        summary.implicit_prior += int(flags["implicit_prior"])
+        summary.target_update += int(flags["target_update"])
+        summary.truncation += int(flags["truncation"])
+        summary.generative += int(report.is_generative)
+    return summary

@@ -1,0 +1,523 @@
+"""Code generation: GProb IR (and deterministic Stan blocks) to Python source.
+
+The backends of the paper emit Pyro / NumPyro Python modules; ours emit
+modules targeting :mod:`repro.backends.runtime`.  A generated module contains
+
+* ``transformed_data(data...)`` — pre-processing run once before inference
+  (§3.3: "compiled into a function that takes as argument the data");
+* ``model(data..., transformed data...)`` — the probabilistic model, produced
+  from the GProb IR of the selected compilation scheme;
+* ``guide(...)`` — when the program has a DeepStan ``guide`` block (§5.1);
+* ``generated_quantities(data..., parameters...)`` — post-processing applied
+  to each posterior draw;
+* ``_user_*`` functions for the Stan ``functions`` block.
+
+The two backends share the generator; they differ in how loops are emitted
+(plain Python ``for`` for the Pyro backend; lambda-lifted ``fori_loop`` bodies
+for the NumPyro backend, §4) and in which runtime the driver pairs them with.
+"""
+
+from __future__ import annotations
+
+import keyword
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core import stanlib
+from repro.core.schemes import CompileError
+from repro.frontend import ast
+from repro.gprob import ir
+
+
+RESERVED_NAMES = {
+    "sample", "observe", "factor", "param", "np", "Tensor", "fori_loop",
+    "model", "guide", "transformed_data", "generated_quantities", "range",
+    "print", "sum", "min", "max", "abs", "pow", "data",
+} | set(stanlib.KNOWN_DISTRIBUTIONS)
+
+
+def sanitize(name: str) -> str:
+    """Rename Stan identifiers that collide with Python keywords or the runtime.
+
+    This is the name-handling pass described in §4 (e.g. ``lambda`` is a
+    common Stan parameter name but a Python keyword).  Dotted DeepStan network
+    parameters (``mlp.l1.weight``) become flat identifiers.
+    """
+    flat = name.replace(".", "_")
+    if keyword.iskeyword(flat) or flat in RESERVED_NAMES or flat.startswith("__"):
+        return flat + "__"
+    return flat
+
+
+@dataclass
+class CodegenContext:
+    """Names visible to the generator."""
+
+    backend: str = "pyro"  # or "numpyro"
+    user_functions: Set[str] = field(default_factory=set)
+    networks: Set[str] = field(default_factory=set)
+    # network name -> {relative parameter path -> Stan parameter name}
+    # (the lifted parameters of §5.3, e.g. {"mlp": {"l1.weight": "mlp.l1.weight"}})
+    network_params: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    loop_vars: Set[str] = field(default_factory=set)
+    counter: List[int] = field(default_factory=lambda: [0])
+
+    def fresh(self, prefix: str) -> str:
+        self.counter[0] += 1
+        return f"_{prefix}_{self.counter[0]}"
+
+
+class Emitter:
+    """Indentation-aware line collector."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, line: str, indent: int) -> None:
+        self.lines.append("    " * indent + line)
+
+    def blank(self) -> None:
+        self.lines.append("")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+def gen_expr(expr: ast.Expr, ctx: CodegenContext) -> str:
+    """Python code for a deterministic Stan expression."""
+    if expr is None:
+        return "None"
+    if isinstance(expr, ast.IntLiteral):
+        return repr(int(expr.value))
+    if isinstance(expr, ast.RealLiteral):
+        return repr(float(expr.value))
+    if isinstance(expr, ast.StringLiteral):
+        return repr(expr.value)
+    if isinstance(expr, ast.Variable):
+        if expr.name == "__none__":
+            return "None"
+        return sanitize(expr.name)
+    if isinstance(expr, ast.BinaryOp):
+        left = gen_expr(expr.left, ctx)
+        right = gen_expr(expr.right, ctx)
+        op = expr.op
+        if op == "+":
+            return f"({left} + {right})"
+        if op == "-":
+            return f"({left} - {right})"
+        if op == "*":
+            return f"_mul({left}, {right})"
+        if op == "/":
+            return f"_div({left}, {right})"
+        if op == ".*":
+            return f"_elt_mul({left}, {right})"
+        if op == "./":
+            return f"_elt_div({left}, {right})"
+        if op == "^":
+            return f"_pow({left}, {right})"
+        if op == "%":
+            return f"_mod({left}, {right})"
+        if op == "%/%":
+            return f"_idiv({left}, {right})"
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            return f"(_to_value({left}) {op} _to_value({right}))"
+        if op == "&&":
+            return f"_and({left}, {right})"
+        if op == "||":
+            return f"_or({left}, {right})"
+        raise CompileError(f"unsupported binary operator {op!r}")
+    if isinstance(expr, ast.UnaryOp):
+        operand = gen_expr(expr.operand, ctx)
+        if expr.op == "-":
+            return f"(-({operand}))"
+        if expr.op == "+":
+            return f"({operand})"
+        if expr.op == "!":
+            return f"_not({operand})"
+        raise CompileError(f"unsupported unary operator {expr.op!r}")
+    if isinstance(expr, ast.Conditional):
+        return (f"({gen_expr(expr.then, ctx)} if _truthy({gen_expr(expr.cond, ctx)})"
+                f" else {gen_expr(expr.otherwise, ctx)})")
+    if isinstance(expr, ast.FunctionCall):
+        return gen_call(expr, ctx)
+    if isinstance(expr, ast.Indexed):
+        base = gen_expr(expr.base, ctx)
+        indices = ", ".join(gen_index(i, ctx) for i in expr.indices)
+        return f"_index({base}, {indices})"
+    if isinstance(expr, ast.ArrayLiteral):
+        return "_array(" + ", ".join(gen_expr(e, ctx) for e in expr.elements) + ")"
+    if isinstance(expr, ast.RowVectorLiteral):
+        return "_row_vector(" + ", ".join(gen_expr(e, ctx) for e in expr.elements) + ")"
+    if isinstance(expr, ast.Transpose):
+        return f"_transpose({gen_expr(expr.operand, ctx)})"
+    if isinstance(expr, ast.Range):
+        lo = gen_expr(expr.lower, ctx) if expr.lower else "None"
+        hi = gen_expr(expr.upper, ctx) if expr.upper else "None"
+        return f"vectorized_range({lo}, {hi})"
+    raise CompileError(f"cannot generate code for expression {type(expr).__name__}")
+
+
+def gen_index(index: ast.Index, ctx: CodegenContext) -> str:
+    if index.is_slice:
+        lo = gen_expr(index.lower, ctx) if index.lower is not None else "None"
+        hi = gen_expr(index.upper, ctx) if index.upper is not None else "None"
+        return f"_slice_index({lo}, {hi})"
+    return gen_expr(index.expr, ctx)
+
+
+def gen_call(expr: ast.FunctionCall, ctx: CodegenContext) -> str:
+    args = ", ".join(gen_expr(a, ctx) for a in expr.args)
+    name = expr.name
+    if name in ctx.user_functions:
+        return f"_user_{sanitize(name)}({args})"
+    if name in ctx.networks:
+        lifted = ctx.network_params.get(name, {})
+        pairs = ", ".join(f"{path!r}: {sanitize(param)}" for path, param in lifted.items())
+        return f"_call_network(_NETWORKS[{name!r}], {{{pairs}}}{', ' if args else ''}{args})"
+    return f"_call({name!r}{', ' if args else ''}{args})"
+
+
+def gen_dist(dist: ir.DistCall, ctx: CodegenContext) -> str:
+    """Python code constructing a runtime distribution from a DistCall."""
+    if dist.name not in stanlib.KNOWN_DISTRIBUTIONS:
+        raise CompileError(f"unknown distribution {dist.name!r}")
+    args = [gen_expr(a, ctx) for a in dist.args]
+    if dist.shape:
+        shape_code = "(" + ", ".join(f"_int({gen_expr(s, ctx)})" for s in dist.shape) + ("," if len(dist.shape) == 1 else "") + ")"
+        args.append(f"shape={shape_code}")
+    return f"{dist.name}({', '.join(args)})"
+
+
+# ----------------------------------------------------------------------
+# probabilistic code (GProb IR)
+# ----------------------------------------------------------------------
+class ProbCodegen:
+    """Generate the body of a ``model``/``guide`` function from GProb IR."""
+
+    def __init__(self, ctx: CodegenContext, returned: Sequence[str]):
+        self.ctx = ctx
+        self.returned = list(returned)
+
+    def generate(self, expr: ir.GExpr, emitter: Emitter, indent: int) -> None:
+        self._gen(expr, emitter, indent, toplevel=True)
+
+    # ------------------------------------------------------------------
+    def _gen(self, expr: ir.GExpr, em: Emitter, indent: int, toplevel: bool = False) -> None:
+        ctx = self.ctx
+        if expr is None:
+            em.emit("pass", indent)
+            return
+        if isinstance(expr, ir.Let):
+            self._gen_binding(expr.name, expr.value, em, indent)
+            self._gen(expr.body, em, indent, toplevel)
+            return
+        if isinstance(expr, ir.LetIndexed):
+            name = sanitize(expr.name)
+            idx = ", ".join(gen_index(i, ctx) for i in expr.indices)
+            value_code = self._value_code(expr.name, expr.value)
+            em.emit(f"{name} = _index_update({name}, ({idx},), {value_code})", indent)
+            self._gen(expr.body, em, indent, toplevel)
+            return
+        if isinstance(expr, ir.LetState):
+            self._gen_state(expr, em, indent)
+            self._gen(expr.body, em, indent, toplevel)
+            return
+        if isinstance(expr, ir.Seq):
+            self._gen_effect(expr.first, em, indent)
+            self._gen(expr.second, em, indent, toplevel)
+            return
+        if isinstance(expr, ir.ReturnE):
+            if toplevel:
+                if expr.names:
+                    pairs = ", ".join(f"{name!r}: {sanitize(name)}" for name in expr.names)
+                    em.emit(f"return {{{pairs}}}", indent)
+                elif expr.value is not None:
+                    em.emit(f"return {gen_expr(expr.value, ctx)}", indent)
+                else:
+                    em.emit("return None", indent)
+            else:
+                # Loop/branch bodies end by returning their state implicitly.
+                em.emit("pass", indent)
+            return
+        if isinstance(expr, ir.Unit):
+            em.emit("pass", indent)
+            return
+        # Effects appearing in tail position.
+        self._gen_effect(expr, em, indent)
+
+    # ------------------------------------------------------------------
+    def _value_code(self, target: str, value: ir.GExpr) -> str:
+        ctx = self.ctx
+        if isinstance(value, ir.ReturnE):
+            return gen_expr(value.value, ctx)
+        if isinstance(value, ir.Sample):
+            return f"sample(_fresh_site({target!r}), {gen_dist(value.dist, ctx)})"
+        if isinstance(value, ir.StanE):
+            return gen_expr(value.expr, ctx)
+        raise CompileError(f"unsupported binding value {type(value).__name__}")
+
+    def _gen_binding(self, name: str, value: ir.GExpr, em: Emitter, indent: int) -> None:
+        ctx = self.ctx
+        target = sanitize(name)
+        if isinstance(value, ir.Sample):
+            em.emit(f"{target} = sample({name!r}, {gen_dist(value.dist, ctx)})", indent)
+        elif isinstance(value, ir.ReturnE):
+            em.emit(f"{target} = {gen_expr(value.value, ctx)}", indent)
+        elif isinstance(value, ir.InitVar):
+            dims = ", ".join(gen_expr(d, ctx) for d in value.decl.dims)
+            em.emit(f"{target} = _zeros({dims})", indent)
+        elif isinstance(value, ir.StanE):
+            em.emit(f"{target} = {gen_expr(value.expr, ctx)}", indent)
+        else:
+            raise CompileError(f"unsupported let value {type(value).__name__}")
+
+    def _gen_effect(self, expr: ir.GExpr, em: Emitter, indent: int) -> None:
+        ctx = self.ctx
+        if isinstance(expr, ir.Observe):
+            em.emit(f"observe({gen_dist(expr.dist, ctx)}, {gen_expr(expr.value, ctx)})", indent)
+        elif isinstance(expr, ir.Factor):
+            em.emit(f"factor(_fresh_site('target'), {gen_expr(expr.value, ctx)})", indent)
+        elif isinstance(expr, ir.StanE):
+            em.emit(f"_ = {gen_expr(expr.expr, ctx)}", indent)
+        elif isinstance(expr, ir.Sample):
+            em.emit(f"_ = sample(_fresh_site('sample'), {gen_dist(expr.dist, ctx)})", indent)
+        else:
+            raise CompileError(f"unsupported effect {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    def _gen_state(self, expr: ir.LetState, em: Emitter, indent: int) -> None:
+        value = expr.value
+        if isinstance(value, ir.ForRangeG):
+            self._gen_for_range(value, em, indent)
+        elif isinstance(value, ir.ForEachG):
+            self._gen_for_each(value, em, indent)
+        elif isinstance(value, ir.WhileG):
+            self._gen_while(value, em, indent)
+        elif isinstance(value, ir.IfG):
+            self._gen_if(value, em, indent)
+        else:
+            raise CompileError(f"unsupported state binding {type(value).__name__}")
+
+    def _gen_for_range(self, loop: ir.ForRangeG, em: Emitter, indent: int) -> None:
+        ctx = self.ctx
+        lo = gen_expr(loop.lower, ctx)
+        hi = gen_expr(loop.upper, ctx)
+        var = sanitize(loop.var)
+        state = [sanitize(s) for s in loop.state]
+        if ctx.backend == "numpyro":
+            # Lambda-lift the loop body into a pure function and drive it with
+            # fori_loop, as the NumPyro backend does (§4).
+            fn_name = ctx.fresh("fori")
+            em.emit(f"def {fn_name}({var}, __acc):", indent)
+            if state:
+                em.emit(f"{', '.join(state)}{',' if len(state) == 1 else ''} = __acc", indent + 1)
+            self._gen(loop.body, em, indent + 1)
+            if state:
+                em.emit(f"return ({', '.join(state)}{',' if len(state) == 1 else ''})", indent + 1)
+            else:
+                em.emit("return None", indent + 1)
+            init = f"({', '.join(state)}{',' if len(state) == 1 else ''})" if state else "None"
+            em.emit(f"__acc = fori_loop(_int({lo}), _int({hi}) + 1, {fn_name}, {init})", indent)
+            if state:
+                em.emit(f"{', '.join(state)}{',' if len(state) == 1 else ''} = __acc", indent)
+        else:
+            em.emit(f"for {var} in _irange({lo}, {hi}):", indent)
+            self._gen(loop.body, em, indent + 1)
+
+    def _gen_for_each(self, loop: ir.ForEachG, em: Emitter, indent: int) -> None:
+        ctx = self.ctx
+        var = sanitize(loop.var)
+        seq = gen_expr(loop.sequence, ctx)
+        em.emit(f"for {var} in _iter({seq}):", indent)
+        self._gen(loop.body, em, indent + 1)
+
+    def _gen_while(self, loop: ir.WhileG, em: Emitter, indent: int) -> None:
+        ctx = self.ctx
+        em.emit(f"while _truthy({gen_expr(loop.cond, ctx)}):", indent)
+        self._gen(loop.body, em, indent + 1)
+
+    def _gen_if(self, branch: ir.IfG, em: Emitter, indent: int) -> None:
+        ctx = self.ctx
+        em.emit(f"if _truthy({gen_expr(branch.cond, ctx)}):", indent)
+        self._gen(branch.then, em, indent + 1)
+        em.emit("else:", indent)
+        self._gen(branch.otherwise, em, indent + 1)
+
+
+# ----------------------------------------------------------------------
+# deterministic code (functions, transformed data, generated quantities)
+# ----------------------------------------------------------------------
+class DetCodegen:
+    """Generate imperative Python for deterministic Stan statement lists."""
+
+    def __init__(self, ctx: CodegenContext):
+        self.ctx = ctx
+
+    def gen_stmts(self, stmts: Sequence[ast.Stmt], em: Emitter, indent: int) -> None:
+        if not stmts:
+            em.emit("pass", indent)
+            return
+        for stmt in stmts:
+            self.gen_stmt(stmt, em, indent)
+
+    def gen_stmt(self, stmt: ast.Stmt, em: Emitter, indent: int) -> None:
+        ctx = self.ctx
+        if isinstance(stmt, ast.DeclStmt):
+            decl = stmt.decl
+            name = sanitize(decl.name)
+            if decl.init is not None:
+                em.emit(f"{name} = {gen_expr(decl.init, ctx)}", indent)
+            else:
+                dims = ", ".join(gen_expr(d, ctx) for d in decl.dims)
+                em.emit(f"{name} = _zeros({dims})", indent)
+        elif isinstance(stmt, ast.Assign):
+            value_expr = stmt.value
+            if stmt.op != "=":
+                value_expr = ast.BinaryOp(op=stmt.op[0], left=stmt.lhs, right=stmt.value)
+            if isinstance(stmt.lhs, ast.Variable):
+                em.emit(f"{sanitize(stmt.lhs.name)} = {gen_expr(value_expr, ctx)}", indent)
+            elif isinstance(stmt.lhs, ast.Indexed) and isinstance(stmt.lhs.base, ast.Variable):
+                name = sanitize(stmt.lhs.base.name)
+                idx = ", ".join(gen_index(i, ctx) for i in stmt.lhs.indices)
+                em.emit(f"{name} = _index_update({name}, ({idx},), {gen_expr(value_expr, ctx)})", indent)
+            else:
+                raise CompileError(f"{stmt.loc}: unsupported assignment target")
+        elif isinstance(stmt, ast.For):
+            var = sanitize(stmt.var)
+            if stmt.is_range:
+                em.emit(f"for {var} in _irange({gen_expr(stmt.lower, ctx)}, {gen_expr(stmt.upper, ctx)}):", indent)
+            else:
+                em.emit(f"for {var} in _iter({gen_expr(stmt.sequence, ctx)}):", indent)
+            self.gen_stmts(stmt.body, em, indent + 1)
+        elif isinstance(stmt, ast.While):
+            em.emit(f"while _truthy({gen_expr(stmt.cond, ctx)}):", indent)
+            self.gen_stmts(stmt.body, em, indent + 1)
+        elif isinstance(stmt, ast.If):
+            em.emit(f"if _truthy({gen_expr(stmt.cond, ctx)}):", indent)
+            self.gen_stmts(stmt.then_body, em, indent + 1)
+            if stmt.else_body:
+                em.emit("else:", indent)
+                self.gen_stmts(stmt.else_body, em, indent + 1)
+        elif isinstance(stmt, ast.BlockStmt):
+            self.gen_stmts(stmt.body, em, indent)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                em.emit("return None", indent)
+            else:
+                em.emit(f"return {gen_expr(stmt.value, ctx)}", indent)
+        elif isinstance(stmt, ast.CallStmt):
+            em.emit(f"_ = {gen_expr(stmt.call, ctx)}", indent)
+        elif isinstance(stmt, (ast.PrintStmt, ast.Skip)):
+            em.emit("pass", indent)
+        elif isinstance(stmt, ast.RejectStmt):
+            em.emit("raise RuntimeError('reject() called')", indent)
+        elif isinstance(stmt, (ast.Break,)):
+            em.emit("break", indent)
+        elif isinstance(stmt, (ast.Continue,)):
+            em.emit("continue", indent)
+        elif isinstance(stmt, ast.TildeStmt):
+            raise CompileError(f"{stmt.loc}: '~' statements are not allowed in deterministic blocks")
+        elif isinstance(stmt, ast.TargetPlus):
+            raise CompileError(f"{stmt.loc}: 'target +=' is not allowed in deterministic blocks")
+        else:
+            raise CompileError(f"cannot generate code for statement {type(stmt).__name__}")
+
+
+# ----------------------------------------------------------------------
+# whole-module generation
+# ----------------------------------------------------------------------
+def generate_module(program: ast.Program, model_ir: ir.GExpr, backend: str = "pyro",
+                    guide_ir: Optional[ir.GExpr] = None, scheme: str = "comprehensive") -> str:
+    """Generate the full Python module source for a compiled program."""
+    network_names = {n.name for n in program.networks}
+    network_params: Dict[str, Dict[str, str]] = {}
+    for decl in program.parameters.decls:
+        if "." in decl.name:
+            prefix, _, path = decl.name.partition(".")
+            if prefix in network_names:
+                network_params.setdefault(prefix, {})[path] = decl.name
+    ctx = CodegenContext(
+        backend=backend,
+        user_functions={f.name for f in program.functions},
+        networks=network_names,
+        network_params=network_params,
+    )
+    em = Emitter()
+    em.emit(f'"""Code generated by the {backend} backend ({scheme} scheme) '
+            f'for Stan model {program.name!r}."""', 0)
+    em.emit("from repro.backends.runtime import *", 0)
+    em.blank()
+    em.emit("_NETWORKS = {}", 0)
+    em.blank()
+
+    det = DetCodegen(ctx)
+
+    # --- user functions -------------------------------------------------
+    for func in program.functions:
+        args = ", ".join(sanitize(a.name) for a in func.args)
+        em.emit(f"def _user_{sanitize(func.name)}({args}):", 0)
+        det.gen_stmts(func.body, em, 1)
+        em.blank()
+
+    data_names = [d.name for d in program.data.decls]
+    td_names = [d.name for d in program.transformed_data.decls]
+    param_names = [d.name for d in program.parameters.decls]
+    tp_names = [d.name for d in program.transformed_parameters.decls]
+    gq_names = [d.name for d in program.generated_quantities.decls]
+
+    def kwarg_list(names: Sequence[str]) -> str:
+        return ", ".join(f"{sanitize(n)}=None" for n in names)
+
+    # --- transformed data -------------------------------------------------
+    em.emit(f"def transformed_data({kwarg_list(data_names)}):", 0)
+    if program.transformed_data.is_empty:
+        em.emit("return {}", 1)
+    else:
+        for decl in program.transformed_data.decls:
+            det.gen_stmt(ast.DeclStmt(decl=decl), em, 1)
+        det.gen_stmts(program.transformed_data.stmts, em, 1)
+        pairs = ", ".join(f"{name!r}: {sanitize(name)}" for name in td_names)
+        em.emit(f"return {{{pairs}}}", 1)
+    em.blank()
+
+    # --- model -----------------------------------------------------------
+    model_args = kwarg_list(data_names + td_names)
+    em.emit(f"def model({model_args}):", 0)
+    prob = ProbCodegen(ctx, returned=param_names + tp_names)
+    prob.generate(model_ir, em, 1)
+    em.blank()
+
+    # --- guide -----------------------------------------------------------
+    if guide_ir is not None:
+        guide_args = kwarg_list(data_names + td_names)
+        em.emit(f"def guide({guide_args}):", 0)
+        for decl in program.guide_parameters.decls:
+            name = sanitize(decl.name)
+            dims = ", ".join(gen_expr(d, ctx) for d in decl.dims)
+            if decl.constraint.lower is not None and decl.constraint.upper is None:
+                # Positive guide parameters (e.g. scales) live in log space.
+                em.emit(f"{name} = _positive_param({decl.name!r}, _zeros({dims}))", 1)
+            else:
+                em.emit(f"{name} = param({decl.name!r}, _zeros({dims}))", 1)
+        guide_prob = ProbCodegen(ctx, returned=param_names)
+        guide_prob.generate(guide_ir, em, 1)
+        em.blank()
+
+    # --- generated quantities ---------------------------------------------
+    gq_args = kwarg_list(data_names + td_names + param_names + tp_names)
+    em.emit(f"def generated_quantities({gq_args}):", 0)
+    if program.generated_quantities.is_empty and not tp_names:
+        em.emit("return {}", 1)
+    else:
+        # Transformed parameters are recomputed here because generated
+        # quantities may depend on them (§3.3).
+        for decl in program.generated_quantities.decls:
+            det.gen_stmt(ast.DeclStmt(decl=decl), em, 1)
+        det.gen_stmts(program.generated_quantities.stmts, em, 1)
+        pairs = ", ".join(f"{name!r}: {sanitize(name)}" for name in gq_names)
+        em.emit(f"return {{{pairs}}}", 1)
+    em.blank()
+    return em.source()

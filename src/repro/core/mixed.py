@@ -1,0 +1,388 @@
+"""The mixed compilation scheme (§4): comprehensive + rescheduling + merging.
+
+Starting from the comprehensive IR, the mixed scheme
+
+1. reschedules ``sample(uniform)``/``sample(improper_uniform)`` prior
+   statements *as late as possible* and ``observe`` statements *as early as
+   possible* (sound by the commutativity theorem of Staton 2017 the paper
+   appeals to), and
+2. merges ``let x = sample(uniform) in ... let () = observe(D, x) in e`` into
+   ``let x = sample(D) in e`` whenever the support of ``D`` equals the declared
+   support of ``x``.
+
+The result recovers generative-looking code whenever that is possible (the
+biased-coin model compiles to exactly Figure 2a) while remaining correct on
+every program the comprehensive scheme accepts — including ``~`` statements
+written out of dependency order (the paper's ``y ~ normal(x, 1); x ~
+normal(0, 1)`` example).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.frontend import ast
+from repro.gprob import ir
+from repro.ppl import constraints as C
+
+# Static supports of Stan distributions (independent of their arguments).
+STATIC_DIST_SUPPORT: Dict[str, C.Constraint] = {
+    "normal": C.real,
+    "std_normal": C.real,
+    "student_t": C.real,
+    "cauchy": C.real,
+    "double_exponential": C.real,
+    "laplace": C.real,
+    "logistic": C.real,
+    "gumbel": C.real,
+    "lognormal": C.positive,
+    "chi_square": C.positive,
+    "inv_chi_square": C.positive,
+    "exponential": C.positive,
+    "gamma": C.positive,
+    "inv_gamma": C.positive,
+    "weibull": C.positive,
+    "beta": C.unit_interval,
+    "dirichlet": C.simplex,
+    "multi_normal": C.real,
+    "multi_normal_cholesky": C.real,
+}
+
+
+def _literal_value(expr: ast.Expr) -> Optional[float]:
+    if isinstance(expr, ast.IntLiteral):
+        return float(expr.value)
+    if isinstance(expr, ast.RealLiteral):
+        return float(expr.value)
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _literal_value(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.Variable) and expr.name == "__none__":
+        return math.inf  # marker handled by callers
+    return None
+
+
+def dist_static_support(dist: ir.DistCall) -> Optional[C.Constraint]:
+    """Support of a distribution call, when statically known."""
+    if dist.name in STATIC_DIST_SUPPORT:
+        return STATIC_DIST_SUPPORT[dist.name]
+    if dist.name == "uniform" and len(dist.args) == 2:
+        lo = _literal_value(dist.args[0])
+        hi = _literal_value(dist.args[1])
+        if lo is not None and hi is not None and math.isfinite(lo) and math.isfinite(hi):
+            return C.Interval(lo, hi)
+    return None
+
+
+def prior_static_support(dist: ir.DistCall) -> Optional[C.Constraint]:
+    """Declared support encoded in a comprehensive-translation prior."""
+    if dist.name in ("improper_uniform", "flat"):
+        lo_expr = dist.args[0] if dist.args else None
+        hi_expr = dist.args[1] if len(dist.args) > 1 else None
+        lo = _none_to_inf(lo_expr, -math.inf)
+        hi = _none_to_inf(hi_expr, math.inf)
+        if lo is None or hi is None:
+            return None
+        return C.Interval(lo, hi)
+    if dist.name == "bounded_uniform":
+        lo = _literal_value(dist.args[0])
+        hi = _literal_value(dist.args[1])
+        if lo is None or hi is None:
+            return None
+        return C.Interval(lo, hi)
+    if dist.name == "improper_simplex":
+        return C.simplex
+    if dist.name == "improper_ordered":
+        return C.ordered
+    if dist.name == "improper_positive_ordered":
+        return C.positive_ordered
+    return None
+
+
+def _none_to_inf(expr: Optional[ast.Expr], default: float) -> Optional[float]:
+    if expr is None:
+        return default
+    if isinstance(expr, ast.Variable) and expr.name == "__none__":
+        return default
+    value = _literal_value(expr)
+    return value
+
+
+# ----------------------------------------------------------------------
+# spine decomposition
+# ----------------------------------------------------------------------
+@dataclass
+class SpineElement:
+    kind: str  # prior, let, let_indexed, let_state, observe, factor, expr
+    node: ir.GExpr
+    writes: Set[str] = field(default_factory=set)
+    reads: Set[str] = field(default_factory=set)
+
+
+def _expr_vars(expr: Optional[ast.Expr]) -> Set[str]:
+    if expr is None:
+        return set()
+    return {v for v in ast.expr_variables(expr) if v != "__none__"}
+
+
+def _dist_vars(dist: Optional[ir.DistCall]) -> Set[str]:
+    if dist is None:
+        return set()
+    names: Set[str] = set()
+    for arg in list(dist.args) + list(dist.shape):
+        names |= _expr_vars(arg)
+    return names
+
+
+def _subtree_vars(expr: ir.GExpr) -> Set[str]:
+    """All Stan variables read anywhere in a GProb subtree (conservative)."""
+    names: Set[str] = set()
+    for node in ir.walk_gexpr(expr):
+        if isinstance(node, ir.StanE):
+            names |= _expr_vars(node.expr)
+        elif isinstance(node, ir.Observe):
+            names |= _dist_vars(node.dist) | _expr_vars(node.value)
+        elif isinstance(node, ir.Sample):
+            names |= _dist_vars(node.dist)
+        elif isinstance(node, ir.Factor):
+            names |= _expr_vars(node.value)
+        elif isinstance(node, ir.ReturnE):
+            names |= _expr_vars(node.value) | set(node.names)
+        elif isinstance(node, ir.InitVar):
+            for dim in node.decl.dims:
+                names |= _expr_vars(dim)
+        elif isinstance(node, (ir.ForRangeG,)):
+            names |= _expr_vars(node.lower) | _expr_vars(node.upper)
+        elif isinstance(node, ir.ForEachG):
+            names |= _expr_vars(node.sequence)
+        elif isinstance(node, (ir.WhileG, ir.IfG)):
+            names |= _expr_vars(node.cond)
+        elif isinstance(node, ir.LetIndexed):
+            for index in node.indices:
+                names |= _expr_vars(index.expr) | _expr_vars(index.lower) | _expr_vars(index.upper)
+    return names
+
+
+def decompose_spine(expr: ir.GExpr, parameter_names: Set[str]) -> Tuple[List[SpineElement], ir.GExpr]:
+    """Split the top-level Let/Seq chain into a list of elements + final tail."""
+    elements: List[SpineElement] = []
+    node = expr
+    while True:
+        if isinstance(node, ir.Let):
+            if isinstance(node.value, ir.Sample) and node.name in parameter_names:
+                elements.append(SpineElement(
+                    kind="prior", node=ir.Let(name=node.name, value=node.value, body=None),
+                    writes={node.name}, reads=_dist_vars(node.value.dist)))
+            else:
+                elements.append(SpineElement(
+                    kind="let", node=ir.Let(name=node.name, value=node.value, body=None),
+                    writes={node.name}, reads=_subtree_vars(node.value)))
+            node = node.body
+        elif isinstance(node, ir.LetIndexed):
+            elements.append(SpineElement(
+                kind="let_indexed",
+                node=ir.LetIndexed(name=node.name, indices=node.indices, value=node.value, body=None),
+                writes={node.name},
+                reads=_subtree_vars(node.value) | {node.name} | set().union(
+                    *[_expr_vars(i.expr) | _expr_vars(i.lower) | _expr_vars(i.upper) for i in node.indices]
+                ) if node.indices else _subtree_vars(node.value) | {node.name}))
+            node = node.body
+        elif isinstance(node, ir.LetState):
+            writes = set(node.names)
+            reads = _subtree_vars(node.value) - writes
+            elements.append(SpineElement(
+                kind="let_state",
+                node=ir.LetState(names=list(node.names), value=node.value, body=None),
+                writes=writes, reads=reads))
+            node = node.body
+        elif isinstance(node, ir.Seq):
+            first = node.first
+            if isinstance(first, ir.Observe):
+                elements.append(SpineElement(kind="observe", node=first,
+                                             reads=_dist_vars(first.dist) | _expr_vars(first.value)))
+            elif isinstance(first, ir.Factor):
+                elements.append(SpineElement(kind="factor", node=first, reads=_expr_vars(first.value)))
+            else:
+                elements.append(SpineElement(kind="expr", node=first, reads=_subtree_vars(first)))
+            node = node.second
+        else:
+            return elements, node
+
+
+def recompose_spine(elements: Sequence[SpineElement], tail: ir.GExpr) -> ir.GExpr:
+    """Rebuild a GProb chain from spine elements and the final tail."""
+    result = tail
+    for element in reversed(list(elements)):
+        node = element.node
+        if isinstance(node, ir.Let):
+            result = ir.Let(name=node.name, value=node.value, body=result)
+        elif isinstance(node, ir.LetIndexed):
+            result = ir.LetIndexed(name=node.name, indices=node.indices, value=node.value, body=result)
+        elif isinstance(node, ir.LetState):
+            result = ir.LetState(names=list(node.names), value=node.value, body=result)
+        else:
+            result = ir.Seq(first=node, second=result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# the mixed rewriting
+# ----------------------------------------------------------------------
+def _supports_match(prior_dist: ir.DistCall, observed_dist: ir.DistCall) -> bool:
+    # Only scalar parameters are merged: for container parameters the prior
+    # carries the declared shape, which the observed distribution's arguments
+    # do not determine, so the sample/observe pair is kept as-is (the
+    # comprehensive form is always correct).
+    if prior_dist.shape:
+        return False
+    if prior_dist.name not in ("improper_uniform", "bounded_uniform", "flat"):
+        return False
+    declared = prior_static_support(prior_dist)
+    target = dist_static_support(observed_dist)
+    if declared is None or target is None:
+        return False
+    return C.same_support(declared, target)
+
+
+def compile_mixed(comprehensive: ir.GExpr, parameter_names: Set[str]) -> ir.GExpr:
+    """Apply the mixed-scheme rewriting to a comprehensively-compiled program."""
+    elements, tail = decompose_spine(comprehensive, parameter_names)
+
+    # Reordering is only sound when the spine assigns each deterministic
+    # variable at most once (otherwise an observe could move across a
+    # redefinition of a variable it reads).
+    write_counts: Dict[str, int] = {}
+    for element in elements:
+        if element.kind in ("let", "let_indexed", "let_state"):
+            for name in element.writes:
+                write_counts[name] = write_counts.get(name, 0) + 1
+    can_reorder = all(count <= 1 for count in write_counts.values())
+
+    if not can_reorder:
+        merged = _merge_in_place(elements, parameter_names)
+        return recompose_spine(merged, tail)
+
+    all_writes: Set[str] = set()
+    for element in elements:
+        all_writes |= element.writes
+
+    remaining = list(elements)
+    scheduled: List[SpineElement] = []
+    defined: Set[str] = set()
+
+    def ready(element: SpineElement) -> bool:
+        return (element.reads & all_writes) <= defined
+
+    while remaining:
+        progressed = False
+        # 1. merge opportunity: an observe of an un-sampled parameter whose
+        #    other dependencies are satisfied and whose support matches.
+        for idx, element in enumerate(remaining):
+            if element.kind != "observe":
+                continue
+            obs: ir.Observe = element.node  # type: ignore[assignment]
+            if not isinstance(obs.value, ast.Variable):
+                continue
+            name = obs.value.name
+            if name not in parameter_names or name in defined:
+                continue
+            other_reads = (element.reads - {name}) & all_writes
+            if not other_reads <= defined:
+                continue
+            prior_idx = next(
+                (j for j, el in enumerate(remaining)
+                 if el.kind == "prior" and next(iter(el.writes)) == name),
+                None,
+            )
+            if prior_idx is None:
+                continue
+            prior_let: ir.Let = remaining[prior_idx].node  # type: ignore[assignment]
+            prior_sample: ir.Sample = prior_let.value  # type: ignore[assignment]
+            if not _supports_match(prior_sample.dist, obs.dist):
+                continue
+            merged_let = ir.Let(name=name, value=ir.Sample(dist=obs.dist), body=None)
+            scheduled.append(SpineElement(kind="prior", node=merged_let, writes={name},
+                                          reads=element.reads - {name}))
+            defined.add(name)
+            for j in sorted({idx, prior_idx}, reverse=True):
+                remaining.pop(j)
+            progressed = True
+            break
+        if progressed:
+            continue
+        # 2. any non-prior element whose dependencies are satisfied (observes
+        #    and factors move as early as possible).
+        for idx, element in enumerate(remaining):
+            if element.kind == "prior":
+                continue
+            if ready(element):
+                scheduled.append(element)
+                defined |= element.writes
+                remaining.pop(idx)
+                progressed = True
+                break
+        if progressed:
+            continue
+        # 3. forced to emit a prior (as late as possible).
+        for idx, element in enumerate(remaining):
+            if element.kind == "prior" and ready(element):
+                scheduled.append(element)
+                defined |= element.writes
+                remaining.pop(idx)
+                progressed = True
+                break
+        if progressed:
+            continue
+        # 4. fall back to source order to guarantee termination.
+        element = remaining.pop(0)
+        scheduled.append(element)
+        defined |= element.writes
+
+    return recompose_spine(scheduled, tail)
+
+
+def _merge_in_place(elements: List[SpineElement], parameter_names: Set[str]) -> List[SpineElement]:
+    """Conservative merging without reordering (used when reordering is unsafe)."""
+    result = list(elements)
+    for name in parameter_names:
+        prior_idx = next(
+            (i for i, el in enumerate(result) if el.kind == "prior" and next(iter(el.writes)) == name),
+            None,
+        )
+        if prior_idx is None:
+            continue
+        # First element after the prior that mentions the parameter.
+        use_idx = None
+        for i in range(prior_idx + 1, len(result)):
+            if name in result[i].reads or name in result[i].writes:
+                use_idx = i
+                break
+        if use_idx is None:
+            continue
+        element = result[use_idx]
+        if element.kind != "observe":
+            continue
+        obs: ir.Observe = element.node  # type: ignore[assignment]
+        if not isinstance(obs.value, ast.Variable) or obs.value.name != name:
+            continue
+        prior_let: ir.Let = result[prior_idx].node  # type: ignore[assignment]
+        prior_sample: ir.Sample = prior_let.value  # type: ignore[assignment]
+        if not _supports_match(prior_sample.dist, obs.dist):
+            continue
+        # The observed distribution's arguments must already be available at
+        # the prior's position.
+        defined_before = set()
+        for el in result[:prior_idx]:
+            defined_before |= el.writes
+        spine_writes = set().union(*[el.writes for el in result]) if result else set()
+        if (element.reads - {name}) & spine_writes <= defined_before:
+            result[prior_idx] = SpineElement(
+                kind="prior",
+                node=ir.Let(name=name, value=ir.Sample(dist=obs.dist), body=None),
+                writes={name},
+                reads=element.reads - {name},
+            )
+            result.pop(use_idx)
+    return result

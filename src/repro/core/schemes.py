@@ -1,0 +1,327 @@
+"""The generative and comprehensive compilation schemes (§2.1, §2.3, Figs. 6-7).
+
+Both schemes translate the Stan AST into GProb IR.  The comprehensive scheme
+compiles *any* Stan program: parameters are first sampled from uniform /
+improper-uniform priors on their declared domains and every ``~`` statement
+becomes an ``observe``.  The generative scheme performs the naive 1:1
+translation and raises :class:`NonGenerativeModelError` whenever the program
+uses a non-generative feature (Table 1), matching the failures the paper
+reports for its generative baseline (RQ1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core import analysis
+from repro.frontend import ast
+from repro.gprob import ir
+
+
+class CompileError(Exception):
+    """Base class for compilation failures."""
+
+
+class NonGenerativeModelError(CompileError):
+    """The generative translation is not applicable to this program."""
+
+
+class UnsupportedFeatureError(CompileError):
+    """The program uses a Stan feature none of the backends support.
+
+    The paper's backends fail on 9 example models, "all involving truncations,
+    a feature that is not natively supported in Pyro" — we reproduce that
+    behaviour by raising at compile time.
+    """
+
+
+# ----------------------------------------------------------------------
+# priors for parameter declarations (Fig. 6)
+# ----------------------------------------------------------------------
+def prior_for_declaration(decl: ast.Decl) -> ir.DistCall:
+    """The ``C(cstr, shape)`` mapping of Figure 6, extended to Stan's
+    constrained container types (simplex, ordered, ...)."""
+    shape = list(decl.dims)
+    base = decl.base_type.name
+    constraint = decl.constraint
+    if base == "simplex":
+        return ir.DistCall(name="improper_simplex", args=list(decl.base_type.sizes), shape=[])
+    if base == "ordered":
+        return ir.DistCall(name="improper_ordered", args=list(decl.base_type.sizes), shape=[])
+    if base == "positive_ordered":
+        return ir.DistCall(name="improper_positive_ordered", args=list(decl.base_type.sizes), shape=[])
+    if base in ("cov_matrix", "corr_matrix", "cholesky_factor_corr", "cholesky_factor_cov", "unit_vector"):
+        raise UnsupportedFeatureError(
+            f"parameter {decl.name!r}: constrained matrix type {base!r} is not supported by the backends"
+        )
+    lower, upper = constraint.lower, constraint.upper
+    if lower is not None and upper is not None:
+        return ir.DistCall(name="bounded_uniform", args=[lower, upper], shape=shape, constraint=constraint)
+    if lower is not None:
+        return ir.DistCall(name="improper_uniform", args=[lower, _none_expr(), ], shape=shape, constraint=constraint)
+    if upper is not None:
+        return ir.DistCall(name="improper_uniform", args=[_none_expr(), upper], shape=shape, constraint=constraint)
+    return ir.DistCall(name="improper_uniform", args=[_none_expr(), _none_expr()], shape=shape, constraint=constraint)
+
+
+def _none_expr() -> ast.Expr:
+    """Placeholder for an absent bound (rendered as ``None`` by the codegen)."""
+    return ast.Variable(name="__none__")
+
+
+# ----------------------------------------------------------------------
+# statement compilation shared by both schemes
+# ----------------------------------------------------------------------
+def _desugar_compound_assign(stmt: ast.Assign) -> ast.Assign:
+    if stmt.op == "=":
+        return stmt
+    op = stmt.op[0]
+    return ast.Assign(lhs=stmt.lhs, value=ast.BinaryOp(op=op, left=stmt.lhs, right=stmt.value),
+                      op="=", loc=stmt.loc)
+
+
+def _loop_state(body: Sequence[ast.Stmt]) -> List[str]:
+    """``lhs(stmt)`` of §3.3: the variables assigned in a loop body.
+
+    Variables *declared* inside the body (and nested loop indices) are local to
+    each iteration, not loop-carried state, so they are excluded — they need
+    not (and cannot) be initialised before the loop.
+    """
+    assigned = ast.assigned_variables(list(body))
+    local: set = set()
+    for stmt in ast.walk_stmts(list(body)):
+        if isinstance(stmt, ast.DeclStmt):
+            local.add(stmt.decl.name)
+        elif isinstance(stmt, ast.For):
+            local.add(stmt.var)
+    return [name for name in assigned if name not in local]
+
+
+@dataclass
+class StatementCompiler:
+    """Compiles Stan statements into GProb IR with a continuation (Fig. 7)."""
+
+    scheme: str = "comprehensive"  # or "generative"
+    parameter_names: Set[str] = field(default_factory=set)
+    data_names: Set[str] = field(default_factory=set)
+    sampled_parameters: Set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def compile_stmts(self, stmts: Sequence[ast.Stmt], k: ir.GExpr) -> ir.GExpr:
+        """``C_k(s1; ...; sn)`` — fold the statement list into the continuation."""
+        result = k
+        for stmt in reversed(list(stmts)):
+            result = self.compile_stmt(stmt, result)
+        return result
+
+    def compile_stmt(self, stmt: ast.Stmt, k: ir.GExpr) -> ir.GExpr:
+        if isinstance(stmt, ast.Skip) or isinstance(stmt, (ast.PrintStmt, ast.Break, ast.Continue)):
+            return k
+        if isinstance(stmt, ast.RejectStmt):
+            # reject() makes the current execution impossible.
+            return ir.Seq(first=ir.Factor(value=ast.RealLiteral(value=float("-inf"))), second=k)
+        if isinstance(stmt, ast.DeclStmt):
+            return self._compile_decl_stmt(stmt.decl, k)
+        if isinstance(stmt, ast.Assign):
+            return self._compile_assign(_desugar_compound_assign(stmt), k)
+        if isinstance(stmt, ast.TargetPlus):
+            return ir.Seq(first=ir.Factor(value=stmt.value), second=k)
+        if isinstance(stmt, ast.TildeStmt):
+            return self._compile_tilde(stmt, k)
+        if isinstance(stmt, ast.For):
+            return self._compile_for(stmt, k)
+        if isinstance(stmt, ast.While):
+            return self._compile_while(stmt, k)
+        if isinstance(stmt, ast.If):
+            return self._compile_if(stmt, k)
+        if isinstance(stmt, ast.BlockStmt):
+            return self.compile_stmts(stmt.body, k)
+        if isinstance(stmt, ast.CallStmt):
+            return ir.Seq(first=ir.StanE(expr=stmt.call), second=k)
+        if isinstance(stmt, ast.Return):
+            # Only valid inside user functions, which are inlined before this
+            # point; a stray `return` in the model is ignored.
+            return k
+        raise CompileError(f"cannot compile statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def _compile_decl_stmt(self, decl: ast.Decl, k: ir.GExpr) -> ir.GExpr:
+        if decl.init is not None:
+            return ir.Let(name=decl.name, value=ir.ReturnE(value=decl.init), body=k)
+        return ir.Let(name=decl.name, value=ir.InitVar(decl=decl), body=k)
+
+    def _compile_assign(self, stmt: ast.Assign, k: ir.GExpr) -> ir.GExpr:
+        if isinstance(stmt.lhs, ast.Variable):
+            return ir.Let(name=stmt.lhs.name, value=ir.ReturnE(value=stmt.value), body=k)
+        if isinstance(stmt.lhs, ast.Indexed) and isinstance(stmt.lhs.base, ast.Variable):
+            return ir.LetIndexed(name=stmt.lhs.base.name, indices=list(stmt.lhs.indices),
+                                 value=ir.ReturnE(value=stmt.value), body=k)
+        raise CompileError(f"{stmt.loc}: unsupported assignment target")
+
+    def _compile_tilde(self, stmt: ast.TildeStmt, k: ir.GExpr) -> ir.GExpr:
+        if stmt.has_truncation:
+            raise UnsupportedFeatureError(
+                f"{stmt.loc}: truncated distribution ({stmt.dist_name} ... T[,]) is not supported"
+            )
+        dist = ir.DistCall(name=stmt.dist_name, args=list(stmt.args))
+        if self.scheme == "generative":
+            return self._compile_tilde_generative(stmt, dist, k)
+        return ir.Seq(first=ir.Observe(dist=dist, value=stmt.lhs), second=k)
+
+    def _compile_tilde_generative(self, stmt: ast.TildeStmt, dist: ir.DistCall, k: ir.GExpr) -> ir.GExpr:
+        if not analysis.is_simple_lhs(stmt.lhs):
+            raise NonGenerativeModelError(
+                f"{stmt.loc}: left expression {analysis.lhs_base_name(stmt.lhs) or '<expr>'} "
+                "on the left of '~' has no generative translation"
+            )
+        name = analysis.lhs_base_name(stmt.lhs)
+        if name in self.parameter_names:
+            if name in self.sampled_parameters and isinstance(stmt.lhs, ast.Variable):
+                raise NonGenerativeModelError(
+                    f"{stmt.loc}: parameter {name!r} receives multiple '~' updates"
+                )
+            self.sampled_parameters.add(name)
+            if isinstance(stmt.lhs, ast.Variable):
+                return ir.Let(name=name, value=ir.Sample(dist=dist), body=k)
+            return ir.LetIndexed(name=name, indices=list(stmt.lhs.indices),
+                                 value=ir.Sample(dist=dist), body=k)
+        # Data (or locally computed value): observation.
+        return ir.Seq(first=ir.Observe(dist=dist, value=stmt.lhs), second=k)
+
+    def _state_vars(self, body: Sequence[ast.Stmt]) -> List[str]:
+        """State variables of a nested body (``lhs(stmt)``, §3.3).
+
+        Under the generative scheme, parameters sampled inside the body (their
+        ``~`` statement becomes a binding ``let``) are part of the state too,
+        so they remain visible to the continuation.
+        """
+        state = _loop_state(body)
+        if self.scheme == "generative":
+            for stmt in ast.walk_stmts(list(body)):
+                if isinstance(stmt, ast.TildeStmt):
+                    name = analysis.lhs_base_name(stmt.lhs)
+                    if name in self.parameter_names and name not in state:
+                        state.append(name)
+        return state
+
+    def _compile_for(self, stmt: ast.For, k: ir.GExpr) -> ir.GExpr:
+        state = self._state_vars(stmt.body)
+        body = self.compile_stmts(stmt.body, ir.ReturnE(names=list(state)))
+        if stmt.is_range:
+            loop = ir.ForRangeG(state=state, var=stmt.var, lower=stmt.lower, upper=stmt.upper, body=body)
+        else:
+            loop = ir.ForEachG(state=state, var=stmt.var, sequence=stmt.sequence, body=body)
+        return ir.LetState(names=state, value=loop, body=k)
+
+    def _compile_while(self, stmt: ast.While, k: ir.GExpr) -> ir.GExpr:
+        state = self._state_vars(stmt.body)
+        body = self.compile_stmts(stmt.body, ir.ReturnE(names=list(state)))
+        loop = ir.WhileG(state=state, cond=stmt.cond, body=body)
+        return ir.LetState(names=state, value=loop, body=k)
+
+    def _compile_if(self, stmt: ast.If, k: ir.GExpr) -> ir.GExpr:
+        # Fig. 7 duplicates the continuation in both branches; to keep the
+        # generated code linear in the source size we bind the branch-assigned
+        # variables instead (semantically equivalent: both branches return the
+        # updated state which the continuation then reads).
+        state = sorted(set(self._state_vars(stmt.then_body)) | set(self._state_vars(stmt.else_body)))
+        sampled_before = set(self.sampled_parameters)
+        then_body = self.compile_stmts(stmt.then_body, ir.ReturnE(names=list(state)))
+        sampled_then = set(self.sampled_parameters)
+        # A parameter sampled in both branches of a conditional is still
+        # sampled exactly once per execution, so it is not a multiple update.
+        self.sampled_parameters = set(sampled_before)
+        else_body = self.compile_stmts(stmt.else_body, ir.ReturnE(names=list(state)))
+        self.sampled_parameters |= sampled_then
+        branch = ir.IfG(cond=stmt.cond, then=then_body, otherwise=else_body)
+        return ir.LetState(names=state, value=branch, body=k)
+
+
+# ----------------------------------------------------------------------
+# whole-program compilation
+# ----------------------------------------------------------------------
+def _model_body_stmts(program: ast.Program) -> List[ast.Stmt]:
+    """Transformed-parameters (inlined) + model statements, with local decls."""
+    stmts: List[ast.Stmt] = []
+    for decl in program.transformed_parameters.decls:
+        stmts.append(ast.DeclStmt(decl=decl))
+    stmts.extend(program.transformed_parameters.stmts)
+    for decl in program.model.decls:
+        stmts.append(ast.DeclStmt(decl=decl))
+    stmts.extend(program.model.stmts)
+    return stmts
+
+
+def returned_names(program: ast.Program) -> List[str]:
+    """Values returned by the compiled model: parameters + transformed parameters."""
+    names = [d.name for d in program.parameters.decls]
+    names += [d.name for d in program.transformed_parameters.decls]
+    return names
+
+
+def compile_comprehensive(program: ast.Program) -> ir.GExpr:
+    """The comprehensive translation ``C(p)`` of §3.3."""
+    params = program.parameters.decls
+    compiler = StatementCompiler(
+        scheme="comprehensive",
+        parameter_names={d.name for d in params},
+        data_names={d.name for d in program.data.decls},
+    )
+    final = ir.ReturnE(names=returned_names(program))
+    body = compiler.compile_stmts(_model_body_stmts(program), final)
+    # Priors for the parameters, outermost-first (Fig. 6).
+    result = body
+    for decl in reversed(params):
+        prior = prior_for_declaration(decl)
+        result = ir.Let(name=decl.name, value=ir.Sample(dist=prior), body=result)
+    return result
+
+
+def compile_generative(program: ast.Program) -> ir.GExpr:
+    """The generative translation of §2.1 (raises on non-generative features)."""
+    report = analysis.analyze(program)
+    if report.has_target_update:
+        raise NonGenerativeModelError("program updates 'target' directly; no generative translation")
+    params = program.parameters.decls
+    compiler = StatementCompiler(
+        scheme="generative",
+        parameter_names={d.name for d in params},
+        data_names={d.name for d in program.data.decls},
+    )
+    final = ir.ReturnE(names=returned_names(program))
+    body = compiler.compile_stmts(_model_body_stmts(program), final)
+    missing = set(d.name for d in params) - compiler.sampled_parameters
+    if missing:
+        raise NonGenerativeModelError(
+            f"parameters with implicit priors have no generative translation: {sorted(missing)}"
+        )
+    return body
+
+
+def compile_guide(program: ast.Program) -> ir.GExpr:
+    """Compile the DeepStan ``guide`` block with the generative scheme (§5.1).
+
+    The guide must sample every model parameter and cannot use non-generative
+    features or ``target`` updates — restrictions inherited from Pyro.
+    """
+    if program.guide.is_empty:
+        raise CompileError("program has no guide block")
+    params = program.parameters.decls
+    compiler = StatementCompiler(
+        scheme="generative",
+        parameter_names={d.name for d in params},
+        data_names={d.name for d in program.data.decls},
+    )
+    stmts: List[ast.Stmt] = []
+    for decl in program.guide.decls:
+        stmts.append(ast.DeclStmt(decl=decl))
+    stmts.extend(program.guide.stmts)
+    final = ir.ReturnE(names=[d.name for d in params])
+    body = compiler.compile_stmts(stmts, final)
+    missing = set(d.name for d in params) - compiler.sampled_parameters
+    if missing:
+        raise CompileError(
+            f"the guide must sample every model parameter; missing: {sorted(missing)}"
+        )
+    return body

@@ -1,0 +1,747 @@
+"""Runtime port of (a substantial part of) the Stan standard library.
+
+The paper's backends ship a runtime library exposing Stan's math functions and
+distributions on top of Pyro/NumPyro (§4: "Stan has a large standard library
+that also has to be ported...").  This module is that library for our runtime:
+
+* :data:`STAN_FUNCTIONS` — Stan math functions implemented over
+  :mod:`repro.autodiff.ops` so they are differentiable and work on scalars,
+  vectors and matrices alike.
+* :data:`KNOWN_DISTRIBUTIONS` — the mapping from Stan distribution names to
+  runtime distribution factories, including the semantic shims called out in
+  §4 (the 1-based ``categorical``, the integer-valued ``bernoulli``).
+* ``*_lpdf`` / ``*_lpmf`` / ``*_rng`` entries generated from the distribution
+  table, used when models call the density functions explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+from scipy import special as sps
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import constraints as C
+from repro.ppl import distributions as dist
+from repro.ppl.distributions.base import Distribution, param_value
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _np(x):
+    """Plain NumPy value of a possibly-Tensor argument."""
+    return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+
+def _is_tensor(*args) -> bool:
+    return any(isinstance(a, Tensor) for a in args)
+
+
+# ----------------------------------------------------------------------
+# distribution shims (§4: naming and indexing conventions)
+# ----------------------------------------------------------------------
+class StanCategorical(Distribution):
+    """Stan's ``categorical``: outcomes in ``1..K`` (runtime uses ``0..K-1``)."""
+
+    is_discrete = True
+
+    def __init__(self, probs):
+        self._inner = dist.Categorical(probs)
+        k = param_value(probs).shape[-1]
+        self.support = C.IntegerInterval(1, k)
+
+    def sample(self, rng, sample_shape=()):
+        return np.asarray(self._inner.sample(rng, sample_shape)) + 1.0
+
+    def log_prob(self, value):
+        shifted = ops.sub(as_tensor(value), 1.0)
+        return self._inner.log_prob(shifted)
+
+
+class StanCategoricalLogit(Distribution):
+    """Stan's ``categorical_logit``: outcomes in ``1..K``."""
+
+    is_discrete = True
+
+    def __init__(self, logits):
+        self._inner = dist.CategoricalLogit(logits)
+        k = param_value(logits).shape[-1]
+        self.support = C.IntegerInterval(1, k)
+
+    def sample(self, rng, sample_shape=()):
+        return np.asarray(self._inner.sample(rng, sample_shape)) + 1.0
+
+    def log_prob(self, value):
+        shifted = ops.sub(as_tensor(value), 1.0)
+        return self._inner.log_prob(shifted)
+
+
+class StanOrderedLogistic(Distribution):
+    """Stan's ``ordered_logistic``: outcomes in ``1..K+1``."""
+
+    is_discrete = True
+
+    def __init__(self, eta, cutpoints):
+        self._inner = dist.OrderedLogistic(eta, cutpoints)
+        k = param_value(cutpoints).shape[-1]
+        self.support = C.IntegerInterval(1, k + 1)
+
+    def sample(self, rng, sample_shape=()):
+        return np.asarray(self._inner.sample(rng, sample_shape)) + 1.0
+
+    def log_prob(self, value):
+        shifted = ops.sub(as_tensor(value), 1.0)
+        return self._inner.log_prob(shifted)
+
+
+# name -> factory taking the Stan argument list
+KNOWN_DISTRIBUTIONS: Dict[str, Callable[..., Distribution]] = {
+    "normal": lambda mu, sigma: dist.Normal(mu, sigma),
+    "std_normal": lambda: dist.Normal(0.0, 1.0),
+    "student_t": lambda nu, mu, sigma: dist.StudentT(nu, mu, sigma),
+    "cauchy": lambda mu, sigma: dist.Cauchy(mu, sigma),
+    "double_exponential": lambda mu, sigma: dist.DoubleExponential(mu, sigma),
+    "laplace": lambda mu, sigma: dist.DoubleExponential(mu, sigma),
+    "logistic": lambda mu, sigma: dist.Logistic(mu, sigma),
+    "gumbel": lambda mu, beta: dist.Gumbel(mu, beta),
+    "lognormal": lambda mu, sigma: dist.LogNormal(mu, sigma),
+    "chi_square": lambda nu: dist.ChiSquare(nu),
+    "inv_chi_square": lambda nu: dist.InvChiSquare(nu),
+    "exponential": lambda beta: dist.Exponential(beta),
+    "gamma": lambda alpha, beta: dist.Gamma(alpha, beta),
+    "inv_gamma": lambda alpha, beta: dist.InvGamma(alpha, beta),
+    "weibull": lambda alpha, sigma: dist.Weibull(alpha, sigma),
+    "beta": lambda a, b: dist.Beta(a, b),
+    "uniform": lambda a, b: dist.Uniform(a, b),
+    "pareto": lambda ymin, alpha: dist.Pareto(ymin, alpha),
+    "bernoulli": lambda theta: dist.Bernoulli(theta),
+    "bernoulli_logit": lambda alpha: dist.BernoulliLogit(alpha),
+    "binomial": lambda n, theta: dist.Binomial(n, theta),
+    "binomial_logit": lambda n, alpha: dist.BinomialLogit(n, alpha),
+    "poisson": lambda lam: dist.Poisson(lam),
+    "poisson_log": lambda alpha: dist.PoissonLog(alpha),
+    "neg_binomial_2": lambda mu, phi: dist.NegBinomial2(mu, phi),
+    "categorical": lambda theta: StanCategorical(theta),
+    "categorical_logit": lambda beta: StanCategoricalLogit(beta),
+    "ordered_logistic": lambda eta, c: StanOrderedLogistic(eta, c),
+    "dirichlet": lambda alpha: dist.Dirichlet(alpha),
+    "multi_normal": lambda mu, sigma: dist.MultiNormal(mu, sigma),
+    "multi_normal_cholesky": lambda mu, L: dist.MultiNormalCholesky(mu, L),
+    "multinomial": lambda theta: dist.Multinomial(theta),
+    "lkj_corr_cholesky": lambda eta: dist.LKJCorrCholesky(2, eta),
+    # priors generated by the comprehensive translation (Fig. 6)
+    "improper_uniform": lambda lower=None, upper=None, shape=(): dist.ImproperUniform(lower, upper, shape),
+    "flat": lambda shape=(): dist.Flat(shape),
+    "bounded_uniform": lambda lower, upper, shape=(): dist.BoundedUniform(lower, upper, shape),
+    "improper_simplex": lambda dim: dist.ImproperSimplex(dim),
+    "improper_ordered": lambda dim: dist.ImproperOrdered(dim),
+    "improper_positive_ordered": lambda dim: dist.ImproperPositiveOrdered(dim),
+}
+
+# Distributions whose Stan counterparts are defined but which our backends do
+# not support (used to reproduce the error rows of Tables 2-4).
+UNSUPPORTED_FUNCTIONS = {
+    "cov_exp_quad",
+    "integrate_ode_rk45",
+    "integrate_ode_bdf",
+    "ode_rk45",
+    "ode_bdf",
+    "algebra_solver",
+    "map_rect",
+    "student_t_lccdf",
+    "gaussian_dlm_obs",
+}
+
+
+class UnsupportedStanFunction(RuntimeError):
+    """Raised when generated code calls a standard-library function we lack."""
+
+
+def make_distribution(name: str, *args, **kwargs) -> Distribution:
+    """Instantiate a runtime distribution from its Stan name and arguments.
+
+    Keyword arguments (currently only ``shape``, used by the priors the
+    comprehensive translation introduces for container parameters) are passed
+    through to the factory.
+    """
+    if name not in KNOWN_DISTRIBUTIONS:
+        raise UnsupportedStanFunction(f"unknown distribution {name!r}")
+    return KNOWN_DISTRIBUTIONS[name](*args, **kwargs)
+
+
+def distribution_support(name: str, *args) -> C.Constraint:
+    """Support of a Stan distribution (used by the mixed merging rule, §4)."""
+    return make_distribution(name, *args).support
+
+
+# ----------------------------------------------------------------------
+# math functions
+# ----------------------------------------------------------------------
+def _lit(value):
+    return value
+
+
+def stan_sum(x):
+    return ops.sum_(as_tensor(x)) if _is_tensor(x) else float(np.sum(_np(x)))
+
+
+def stan_prod(x):
+    if _is_tensor(x):
+        return ops.exp(ops.sum_(ops.log(as_tensor(x))))
+    return float(np.prod(_np(x)))
+
+
+def stan_mean(x):
+    return ops.mean(as_tensor(x)) if _is_tensor(x) else float(np.mean(_np(x)))
+
+
+def stan_sd(x):
+    if _is_tensor(x):
+        m = ops.mean(as_tensor(x))
+        centered = ops.sub(as_tensor(x), m)
+        n = _np(x).size
+        return ops.sqrt(ops.div(ops.sum_(ops.mul(centered, centered)), float(n - 1)))
+    return float(np.std(_np(x), ddof=1))
+
+
+def stan_variance(x):
+    if _is_tensor(x):
+        s = stan_sd(x)
+        return ops.mul(s, s)
+    return float(np.var(_np(x), ddof=1))
+
+
+def stan_log_sum_exp(*args):
+    if len(args) == 1:
+        x = args[0]
+        return ops.logsumexp(as_tensor(x)) if _is_tensor(x) else float(sps.logsumexp(_np(x)))
+    stacked = ops.stack([as_tensor(a) for a in args])
+    return ops.logsumexp(stacked)
+
+
+def stan_dot_product(a, b):
+    if _is_tensor(a, b):
+        return ops.sum_(ops.mul(as_tensor(a), as_tensor(b)))
+    return float(np.dot(_np(a).ravel(), _np(b).ravel()))
+
+
+def stan_dot_self(a):
+    return stan_dot_product(a, a)
+
+def stan_distance(a, b):
+    diff = ops.sub(as_tensor(a), as_tensor(b))
+    return ops.sqrt(ops.sum_(ops.mul(diff, diff)))
+
+
+def stan_squared_distance(a, b):
+    diff = ops.sub(as_tensor(a), as_tensor(b))
+    return ops.sum_(ops.mul(diff, diff))
+
+
+def stan_rep_vector(value, n):
+    n = int(_np(n))
+    if _is_tensor(value):
+        return ops.mul(as_tensor(np.ones(n)), value)
+    return np.full(n, float(_np(value)))
+
+
+def stan_rep_row_vector(value, n):
+    return stan_rep_vector(value, n)
+
+
+def stan_rep_matrix(value, n, m):
+    n, m = int(_np(n)), int(_np(m))
+    if _is_tensor(value):
+        return ops.mul(as_tensor(np.ones((n, m))), value)
+    return np.full((n, m), float(_np(value)))
+
+
+def stan_rep_array(value, *dims):
+    shape = tuple(int(_np(d)) for d in dims)
+    if _is_tensor(value):
+        return ops.mul(as_tensor(np.ones(shape)), value)
+    return np.full(shape, _np(value))
+
+
+def stan_rows(x):
+    return int(_np(x).shape[0])
+
+
+def stan_cols(x):
+    return int(_np(x).shape[1])
+
+
+def stan_num_elements(x):
+    return int(_np(x).size)
+
+
+def stan_size(x):
+    arr = _np(x)
+    return int(arr.shape[0]) if arr.ndim else 1
+
+
+def stan_dims(x):
+    return list(_np(x).shape)
+
+
+def stan_to_vector(x):
+    if _is_tensor(x):
+        return ops.reshape(as_tensor(x), (-1,))
+    return _np(x).reshape(-1).astype(float)
+
+
+def stan_to_row_vector(x):
+    return stan_to_vector(x)
+
+
+def stan_to_array_1d(x):
+    return stan_to_vector(x)
+
+
+def stan_to_matrix(x, n=None, m=None):
+    if n is None:
+        return as_tensor(x) if _is_tensor(x) else np.asarray(_np(x), dtype=float)
+    shape = (int(_np(n)), int(_np(m)))
+    if _is_tensor(x):
+        return ops.reshape(as_tensor(x), shape)
+    return _np(x).reshape(shape)
+
+
+def stan_head(x, n):
+    n = int(_np(n))
+    return as_tensor(x)[slice(0, n)] if _is_tensor(x) else _np(x)[:n]
+
+
+def stan_tail(x, n):
+    n = int(_np(n))
+    total = _np(x).shape[0]
+    return as_tensor(x)[slice(total - n, total)] if _is_tensor(x) else _np(x)[total - n:]
+
+
+def stan_segment(x, start, n):
+    start = int(_np(start)) - 1
+    n = int(_np(n))
+    return as_tensor(x)[slice(start, start + n)] if _is_tensor(x) else _np(x)[start:start + n]
+
+
+def stan_append_row(a, b):
+    return ops.concatenate([ops.reshape(as_tensor(a), (-1,)) if np.ndim(_np(a)) == 0 else as_tensor(a),
+                            ops.reshape(as_tensor(b), (-1,)) if np.ndim(_np(b)) == 0 else as_tensor(b)])
+
+
+def stan_append_col(a, b):
+    return stan_append_row(a, b)
+
+
+def stan_append_array(a, b):
+    return stan_append_row(a, b)
+
+
+def stan_cumulative_sum(x):
+    return ops.cumsum(as_tensor(x)) if _is_tensor(x) else np.cumsum(_np(x))
+
+
+def stan_softmax(x):
+    return ops.softmax(as_tensor(x))
+
+
+def stan_log_softmax(x):
+    return ops.log_softmax(as_tensor(x))
+
+
+def stan_col(x, i):
+    i = int(_np(i)) - 1
+    return as_tensor(x)[(slice(None), i)] if _is_tensor(x) else _np(x)[:, i]
+
+
+def stan_row(x, i):
+    i = int(_np(i)) - 1
+    return as_tensor(x)[i] if _is_tensor(x) else _np(x)[i]
+
+
+def stan_diag_matrix(x):
+    arr = _np(x)
+    if _is_tensor(x):
+        n = arr.shape[0]
+        eye = np.eye(n)
+        return ops.mul(as_tensor(eye), ops.reshape(as_tensor(x), (n, 1)))
+    return np.diag(arr)
+
+
+def stan_diagonal(x):
+    arr = _np(x)
+    idx = (np.arange(arr.shape[0]), np.arange(arr.shape[0]))
+    return as_tensor(x)[idx] if _is_tensor(x) else np.diag(arr)
+
+
+def stan_inverse(x):
+    return np.linalg.inv(_np(x))
+
+
+def stan_cholesky_decompose(x):
+    return np.linalg.cholesky(_np(x))
+
+
+def stan_transpose(x):
+    return ops.transpose(as_tensor(x)) if _is_tensor(x) else _np(x).T
+
+
+def stan_multiply_log(x, y):
+    return ops.mul(as_tensor(x), ops.log(as_tensor(y)))
+
+
+def stan_lmultiply(x, y):
+    return stan_multiply_log(x, y)
+
+
+def stan_lbeta(a, b):
+    a, b = as_tensor(a), as_tensor(b)
+    return ops.sub(ops.add(ops.lgamma(a), ops.lgamma(b)), ops.lgamma(ops.add(a, b)))
+
+
+def stan_lchoose(n, k):
+    n, k = as_tensor(n), as_tensor(k)
+    return ops.sub(
+        ops.lgamma(ops.add(n, 1.0)),
+        ops.add(ops.lgamma(ops.add(k, 1.0)), ops.lgamma(ops.add(ops.sub(n, k), 1.0))),
+    )
+
+
+def stan_inv_logit(x):
+    return ops.sigmoid(as_tensor(x))
+
+
+def stan_logit(x):
+    x = as_tensor(x)
+    return ops.sub(ops.log(x), ops.log1p(ops.neg(x)))
+
+
+def stan_phi(x):
+    x = as_tensor(x)
+    return ops.mul(0.5, ops.add(1.0, ops.erf(ops.div(x, math.sqrt(2.0)))))
+
+
+def stan_phi_approx(x):
+    x = as_tensor(x)
+    return ops.sigmoid(ops.mul(x, ops.add(1.5976, ops.mul(0.070565992, ops.mul(x, x)))))
+
+
+def stan_inv_cloglog(x):
+    x = as_tensor(x)
+    return ops.sub(1.0, ops.exp(ops.neg(ops.exp(x))))
+
+
+def stan_log1m(x):
+    return ops.log1p(ops.neg(as_tensor(x)))
+
+
+def stan_log1m_exp(x):
+    x = as_tensor(x)
+    return ops.log(ops.clip(ops.sub(1.0, ops.exp(x)), 1e-300, 1.0))
+
+
+def stan_log1p_exp(x):
+    return ops.softplus(as_tensor(x))
+
+
+def stan_log_inv_logit(x):
+    return ops.neg(ops.softplus(ops.neg(as_tensor(x))))
+
+
+def stan_fma(x, y, z):
+    return ops.add(ops.mul(as_tensor(x), y), z)
+
+
+def stan_pow(x, y):
+    return ops.pow_(as_tensor(x), as_tensor(y))
+
+
+def stan_square(x):
+    return ops.square(as_tensor(x))
+
+
+def stan_inv(x):
+    return ops.div(1.0, as_tensor(x))
+
+
+def stan_inv_sqrt(x):
+    return ops.div(1.0, ops.sqrt(as_tensor(x)))
+
+
+def stan_inv_square(x):
+    return ops.div(1.0, ops.square(as_tensor(x)))
+
+
+def stan_fmin(a, b):
+    return ops.minimum(as_tensor(a), as_tensor(b))
+
+
+def stan_fmax(a, b):
+    return ops.maximum(as_tensor(a), as_tensor(b))
+
+
+def stan_min(x, *rest):
+    if rest:
+        return stan_fmin(x, rest[0])
+    arr = _np(x)
+    if _is_tensor(x):
+        idx = int(np.argmin(arr))
+        return as_tensor(x)[np.unravel_index(idx, arr.shape)] if arr.ndim > 1 else as_tensor(x)[idx]
+    return float(arr.min()) if arr.dtype.kind == "f" else int(arr.min())
+
+
+def stan_max(x, *rest):
+    if rest:
+        return stan_fmax(x, rest[0])
+    arr = _np(x)
+    if _is_tensor(x):
+        idx = int(np.argmax(arr))
+        return as_tensor(x)[np.unravel_index(idx, arr.shape)] if arr.ndim > 1 else as_tensor(x)[idx]
+    return float(arr.max()) if arr.dtype.kind == "f" else int(arr.max())
+
+
+def stan_step(x):
+    return (np.asarray(_np(x)) >= 0).astype(float)
+
+
+def stan_int_step(x):
+    return (np.asarray(_np(x)) > 0).astype(int)
+
+
+def stan_floor(x):
+    return np.floor(_np(x))
+
+
+def stan_ceil(x):
+    return np.ceil(_np(x))
+
+
+def stan_round(x):
+    return np.round(_np(x))
+
+
+def stan_trunc(x):
+    return np.trunc(_np(x))
+
+
+def stan_abs(x):
+    return ops.abs_(as_tensor(x)) if _is_tensor(x) else np.abs(_np(x))
+
+
+def stan_sort_asc(x):
+    return np.sort(_np(x))
+
+
+def stan_sort_desc(x):
+    return np.sort(_np(x))[::-1].copy()
+
+
+def stan_rank(v, s):
+    arr = _np(v)
+    s = int(_np(s)) - 1
+    return int(np.sum(arr < arr[s]))
+
+
+def stan_sort_indices_asc(x):
+    return np.argsort(_np(x)) + 1
+
+
+def stan_sort_indices_desc(x):
+    return np.argsort(-_np(x)) + 1
+
+
+def stan_reverse(x):
+    if _is_tensor(x):
+        idx = np.arange(_np(x).shape[0])[::-1].copy()
+        return as_tensor(x)[idx]
+    return _np(x)[::-1].copy()
+
+
+def _unsupported(name):
+    def raiser(*args, **kwargs):
+        raise UnsupportedStanFunction(
+            f"Stan standard-library function {name!r} is not supported by this backend"
+        )
+
+    return raiser
+
+
+STAN_FUNCTIONS: Dict[str, Callable] = {
+    # reductions
+    "sum": stan_sum,
+    "prod": stan_prod,
+    "mean": stan_mean,
+    "sd": stan_sd,
+    "variance": stan_variance,
+    "log_sum_exp": stan_log_sum_exp,
+    "min": stan_min,
+    "max": stan_max,
+    # vector / matrix
+    "dot_product": stan_dot_product,
+    "dot_self": stan_dot_self,
+    "distance": stan_distance,
+    "squared_distance": stan_squared_distance,
+    "rep_vector": stan_rep_vector,
+    "rep_row_vector": stan_rep_row_vector,
+    "rep_matrix": stan_rep_matrix,
+    "rep_array": stan_rep_array,
+    "rows": stan_rows,
+    "cols": stan_cols,
+    "num_elements": stan_num_elements,
+    "size": stan_size,
+    "dims": stan_dims,
+    "to_vector": stan_to_vector,
+    "to_row_vector": stan_to_row_vector,
+    "to_array_1d": stan_to_array_1d,
+    "to_matrix": stan_to_matrix,
+    "head": stan_head,
+    "tail": stan_tail,
+    "segment": stan_segment,
+    "append_row": stan_append_row,
+    "append_col": stan_append_col,
+    "append_array": stan_append_array,
+    "cumulative_sum": stan_cumulative_sum,
+    "softmax": stan_softmax,
+    "log_softmax": stan_log_softmax,
+    "col": stan_col,
+    "row": stan_row,
+    "diag_matrix": stan_diag_matrix,
+    "diagonal": stan_diagonal,
+    "inverse": stan_inverse,
+    "cholesky_decompose": stan_cholesky_decompose,
+    "transpose": stan_transpose,
+    "sort_asc": stan_sort_asc,
+    "sort_desc": stan_sort_desc,
+    "sort_indices_asc": stan_sort_indices_asc,
+    "sort_indices_desc": stan_sort_indices_desc,
+    "rank": stan_rank,
+    "reverse": stan_reverse,
+    # scalar math
+    "log": lambda x: ops.log(as_tensor(x)),
+    "log1p": lambda x: ops.log1p(as_tensor(x)),
+    "log1m": stan_log1m,
+    "log1m_exp": stan_log1m_exp,
+    "log1p_exp": stan_log1p_exp,
+    "log_inv_logit": stan_log_inv_logit,
+    "log10": lambda x: ops.div(ops.log(as_tensor(x)), math.log(10.0)),
+    "log2": lambda x: ops.div(ops.log(as_tensor(x)), math.log(2.0)),
+    "exp": lambda x: ops.exp(as_tensor(x)),
+    "expm1": lambda x: ops.expm1(as_tensor(x)),
+    "sqrt": lambda x: ops.sqrt(as_tensor(x)),
+    "cbrt": lambda x: ops.pow_(as_tensor(x), 1.0 / 3.0),
+    "square": stan_square,
+    "pow": stan_pow,
+    "inv": stan_inv,
+    "inv_sqrt": stan_inv_sqrt,
+    "inv_square": stan_inv_square,
+    "inv_logit": stan_inv_logit,
+    "logit": stan_logit,
+    "inv_cloglog": stan_inv_cloglog,
+    "erf": lambda x: ops.erf(as_tensor(x)),
+    "erfc": lambda x: ops.erfc(as_tensor(x)),
+    "Phi": stan_phi,
+    "Phi_approx": stan_phi_approx,
+    "phi": stan_phi,
+    "tgamma": lambda x: ops.exp(ops.lgamma(as_tensor(x))),
+    "lgamma": lambda x: ops.lgamma(as_tensor(x)),
+    "digamma": lambda x: ops.digamma(as_tensor(x)),
+    "lbeta": stan_lbeta,
+    "lchoose": stan_lchoose,
+    "choose": lambda n, k: float(sps.comb(int(_np(n)), int(_np(k)))),
+    "binomial_coefficient_log": stan_lchoose,
+    "multiply_log": stan_multiply_log,
+    "lmultiply": stan_lmultiply,
+    "fma": stan_fma,
+    "abs": stan_abs,
+    "fabs": stan_abs,
+    "fmin": stan_fmin,
+    "fmax": stan_fmax,
+    "fdim": lambda a, b: ops.maximum(ops.sub(as_tensor(a), as_tensor(b)), 0.0),
+    "fmod": lambda a, b: np.fmod(_np(a), _np(b)),
+    "floor": stan_floor,
+    "ceil": stan_ceil,
+    "round": stan_round,
+    "trunc": stan_trunc,
+    "step": stan_step,
+    "int_step": stan_int_step,
+    "is_inf": lambda x: bool(np.any(np.isinf(_np(x)))),
+    "is_nan": lambda x: bool(np.any(np.isnan(_np(x)))),
+    "sin": lambda x: ops.sin(as_tensor(x)),
+    "cos": lambda x: ops.cos(as_tensor(x)),
+    "tan": lambda x: ops.div(ops.sin(as_tensor(x)), ops.cos(as_tensor(x))),
+    "asin": lambda x: np.arcsin(_np(x)),
+    "acos": lambda x: np.arccos(_np(x)),
+    "atan": lambda x: np.arctan(_np(x)),
+    "atan2": lambda y, x: np.arctan2(_np(y), _np(x)),
+    "sinh": lambda x: np.sinh(_np(x)),
+    "cosh": lambda x: np.cosh(_np(x)),
+    "tanh": lambda x: ops.tanh(as_tensor(x)),
+    "hypot": lambda a, b: np.hypot(_np(a), _np(b)),
+    # constants
+    "pi": lambda: math.pi,
+    "e": lambda: math.e,
+    "sqrt2": lambda: math.sqrt(2.0),
+    "machine_precision": lambda: float(np.finfo(float).eps),
+    "positive_infinity": lambda: math.inf,
+    "negative_infinity": lambda: -math.inf,
+    "not_a_number": lambda: math.nan,
+}
+
+# Functions we know about but do not support: calling them raises, matching the
+# "missing standard library functions" failures of Tables 2-4.
+for _name in UNSUPPORTED_FUNCTIONS:
+    STAN_FUNCTIONS[_name] = _unsupported(_name)
+
+
+# ----------------------------------------------------------------------
+# density / mass / rng functions derived from the distribution table
+# ----------------------------------------------------------------------
+def _make_lpdf(dist_name: str) -> Callable:
+    def lpdf(value, *args):
+        d = make_distribution(dist_name, *args)
+        lp = d.log_prob(as_tensor(value))
+        return lp.sum() if isinstance(lp, Tensor) and lp.data.ndim > 0 else lp
+
+    return lpdf
+
+
+def _make_rng(dist_name: str) -> Callable:
+    def rng_fn(*args):
+        d = make_distribution(dist_name, *args)
+        return d.sample(np.random.default_rng())
+
+    return rng_fn
+
+
+for _dist_name in list(KNOWN_DISTRIBUTIONS):
+    for _suffix in ("_lpdf", "_lpmf", "_log"):
+        STAN_FUNCTIONS.setdefault(_dist_name + _suffix, _make_lpdf(_dist_name))
+    STAN_FUNCTIONS.setdefault(_dist_name + "_rng", _make_rng(_dist_name))
+
+# A few cdf-style functions used by common models.
+def _normal_lcdf(value, mu, sigma):
+    z = ops.div(ops.sub(as_tensor(value), mu), sigma)
+    return ops.log(ops.clip(stan_phi(z), 1e-300, 1.0))
+
+
+def _normal_lccdf(value, mu, sigma):
+    z = ops.div(ops.sub(as_tensor(value), mu), sigma)
+    return ops.log(ops.clip(ops.sub(1.0, stan_phi(z)), 1e-300, 1.0))
+
+
+STAN_FUNCTIONS["normal_lcdf"] = _normal_lcdf
+STAN_FUNCTIONS["normal_lccdf"] = _normal_lccdf
+STAN_FUNCTIONS["normal_cdf"] = lambda value, mu, sigma: stan_phi(
+    ops.div(ops.sub(as_tensor(value), mu), sigma)
+)
+
+
+def lookup_function(name: str) -> Callable:
+    """Resolve a Stan function name to its runtime implementation."""
+    if name in STAN_FUNCTIONS:
+        return STAN_FUNCTIONS[name]
+    raise UnsupportedStanFunction(f"Stan function {name!r} is not implemented in the runtime library")

@@ -1,0 +1,5 @@
+"""Bundled corpus of Stan models (the ``example-models`` substitute)."""
+
+from repro.corpus.models import MODELS, get, names
+
+__all__ = ["MODELS", "get", "names"]

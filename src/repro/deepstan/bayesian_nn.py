@@ -1,0 +1,228 @@
+"""The Bayesian multi-layer perceptron of §5.3 / Figure 9.
+
+The network's weights and biases are lifted to random variables with
+``normal(0, 1)`` priors declared in the Stan ``parameters`` block
+(``mlp.l1.weight`` ...), the guide proposes factorised Gaussians whose means
+and log-scales are ``guide parameters``, and predictions are made by sampling
+an ensemble of concrete networks from the fitted guide (the paper samples 100
+networks and lets them vote).
+
+Two implementations again: :class:`DeepStanBayesianMLP` (compiled from the
+DeepStan source below) and :class:`HandWrittenBayesianMLP` (written directly
+against the runtime), so RQ5's accuracy/agreement comparison can be run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autodiff import nn, ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.core.compiler import CompiledModel, compile_model
+from repro.deepstan.clustering import prediction_accuracy, prediction_agreement
+from repro.infer.svi import SVI
+from repro.ppl import distributions as dist
+from repro.ppl import primitives
+from repro.ppl.primitives import observe, param, sample
+
+BAYESIAN_MLP_SOURCE = """
+networks {
+  matrix mlp(matrix imgs);
+}
+data {
+  int batch_size;
+  int nx;
+  int nh;
+  int ny;
+  matrix[batch_size, nx] imgs;
+  int<lower=1, upper=10> labels[batch_size];
+}
+parameters {
+  real mlp.l1.weight[nh, nx];
+  real mlp.l1.bias[nh];
+  real mlp.l2.weight[ny, nh];
+  real mlp.l2.bias[ny];
+}
+model {
+  matrix[batch_size, ny] lambda;
+  mlp.l1.weight ~ normal(0, 1);
+  mlp.l1.bias ~ normal(0, 1);
+  mlp.l2.weight ~ normal(0, 1);
+  mlp.l2.bias ~ normal(0, 1);
+  lambda = mlp(imgs);
+  labels ~ categorical_logit(lambda);
+}
+guide parameters {
+  real w1_mu[nh, nx];
+  real w1_sigma[nh, nx];
+  real b1_mu[nh];
+  real b1_sigma[nh];
+  real w2_mu[ny, nh];
+  real w2_sigma[ny, nh];
+  real b2_mu[ny];
+  real b2_sigma[ny];
+}
+guide {
+  mlp.l1.weight ~ normal(w1_mu, 0.1 * exp(w1_sigma));
+  mlp.l1.bias ~ normal(b1_mu, 0.1 * exp(b1_sigma));
+  mlp.l2.weight ~ normal(w2_mu, 0.1 * exp(w2_sigma));
+  mlp.l2.bias ~ normal(b2_mu, 0.1 * exp(b2_sigma));
+}
+"""
+
+PARAM_SITES = ("mlp.l1.weight", "mlp.l1.bias", "mlp.l2.weight", "mlp.l2.bias")
+
+
+@dataclass
+class MLPResult:
+    accuracy: float
+    losses: List[float] = field(default_factory=list)
+
+
+class _BayesianMLPBase:
+    """Shared training / ensemble-prediction machinery."""
+
+    def __init__(self, nx: int = 64, nh: int = 16, ny: int = 10, seed: int = 0,
+                 prior_scale: float = 1.0):
+        self.nx, self.nh, self.ny = nx, nh, ny
+        self.seed = seed
+        self.prior_scale = prior_scale
+        self.mlp = nn.MLP([nx, nh, ny], activation="tanh", rng=np.random.default_rng(seed))
+        self.losses: List[float] = []
+        self._svi: Optional[SVI] = None
+
+    # ------------------------------------------------------------------
+    def _model(self, images: np.ndarray, labels: np.ndarray):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _guide(self, images: np.ndarray, labels: np.ndarray):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def train(self, images: np.ndarray, labels: np.ndarray, epochs: int = 20,
+              learning_rate: float = 0.05, batch_size: Optional[int] = None) -> "_BayesianMLPBase":
+        primitives.clear_param_store()
+        images = np.asarray(images, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        batch_size = batch_size or len(images)
+        svi = SVI(lambda img, lab: self._model(img, lab)(),
+                  lambda img, lab: self._guide(img, lab)(),
+                  learning_rate=learning_rate, seed=self.seed)
+        self._svi = svi
+        num_batches = int(np.ceil(len(images) / batch_size))
+        for _ in range(epochs):
+            for b in range(num_batches):
+                batch = slice(b * batch_size, (b + 1) * batch_size)
+                loss = svi.step(images[batch], labels[batch])
+                self.losses.append(loss)
+        return self
+
+    # ------------------------------------------------------------------
+    def sample_networks(self, num_networks: int = 100) -> List[Dict[str, np.ndarray]]:
+        """Sample concrete weight/bias settings from the fitted guide."""
+        if self._svi is None:
+            raise RuntimeError("train() must be called before sampling networks")
+        draws = self._svi.sample_posterior(num_networks, np.zeros((1, self.nx)), np.ones(1),
+                                           site_names=PARAM_SITES)
+        return [
+            {site: draws[site][i] for site in PARAM_SITES}
+            for i in range(num_networks)
+        ]
+
+    def _logits(self, weights: Dict[str, np.ndarray], images: np.ndarray) -> np.ndarray:
+        h = np.tanh(images @ weights["mlp.l1.weight"].T + weights["mlp.l1.bias"])
+        return h @ weights["mlp.l2.weight"].T + weights["mlp.l2.bias"]
+
+    def predict(self, images: np.ndarray, num_networks: int = 100) -> np.ndarray:
+        """Ensemble vote over sampled networks; returns 1-based labels."""
+        images = np.asarray(images, dtype=float)
+        networks = self.sample_networks(num_networks)
+        probs = np.zeros((len(images), self.ny))
+        for weights in networks:
+            logits = self._logits(weights, images)
+            logits = logits - logits.max(axis=1, keepdims=True)
+            p = np.exp(logits)
+            probs += p / p.sum(axis=1, keepdims=True)
+        return probs.argmax(axis=1) + 1
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray, num_networks: int = 100) -> MLPResult:
+        predictions = self.predict(images, num_networks)
+        return MLPResult(accuracy=prediction_accuracy(predictions, labels), losses=list(self.losses))
+
+    @staticmethod
+    def agreement(predictions_a: np.ndarray, predictions_b: np.ndarray) -> float:
+        return prediction_agreement(predictions_a, predictions_b)
+
+
+class HandWrittenBayesianMLP(_BayesianMLPBase):
+    """The Bayesian MLP written directly against the runtime primitives."""
+
+    def _model(self, images: np.ndarray, labels: np.ndarray):
+        def model():
+            shapes = {
+                "mlp.l1.weight": (self.nh, self.nx),
+                "mlp.l1.bias": (self.nh,),
+                "mlp.l2.weight": (self.ny, self.nh),
+                "mlp.l2.bias": (self.ny,),
+            }
+            weights = {
+                site: sample(site, dist.Normal(np.zeros(shape), self.prior_scale * np.ones(shape)))
+                for site, shape in shapes.items()
+            }
+            x = as_tensor(images)
+            h = ops.tanh(ops.add(ops.matmul(x, ops.transpose(as_tensor(weights["mlp.l1.weight"]))),
+                                 weights["mlp.l1.bias"]))
+            logits = ops.add(ops.matmul(h, ops.transpose(as_tensor(weights["mlp.l2.weight"]))),
+                             weights["mlp.l2.bias"])
+            observe(dist.CategoricalLogit(logits), np.asarray(labels) - 1, name="labels")
+
+        return lambda: model()
+
+    def _guide(self, images: np.ndarray, labels: np.ndarray):
+        def guide():
+            shapes = {
+                "mlp.l1.weight": ("w1", (self.nh, self.nx)),
+                "mlp.l1.bias": ("b1", (self.nh,)),
+                "mlp.l2.weight": ("w2", (self.ny, self.nh)),
+                "mlp.l2.bias": ("b2", (self.ny,)),
+            }
+            for site, (prefix, shape) in shapes.items():
+                mu = param(f"{prefix}_mu", np.zeros(shape))
+                log_sigma = param(f"{prefix}_sigma", np.full(shape, 0.0))
+                sample(site, dist.Normal(mu, 0.1 * ops.exp(as_tensor(log_sigma))))
+
+        return lambda: guide()
+
+
+class DeepStanBayesianMLP(_BayesianMLPBase):
+    """The Bayesian MLP written in DeepStan (Figure 9), compiled to the runtime."""
+
+    def __init__(self, nx: int = 64, nh: int = 16, ny: int = 10, seed: int = 0,
+                 prior_scale: float = 1.0, backend: str = "pyro"):
+        super().__init__(nx=nx, nh=nh, ny=ny, seed=seed, prior_scale=prior_scale)
+        source = BAYESIAN_MLP_SOURCE
+        if prior_scale != 1.0:
+            # The §6.2 ablation: changing the priors from normal(0, 1) to
+            # normal(0, 10) increases accuracy from 0.92 to 0.96.
+            source = source.replace("~ normal(0, 1)", f"~ normal(0, {prior_scale})")
+        self.compiled: CompiledModel = compile_model(source, backend=backend,
+                                                     scheme="comprehensive", name="bayes_mlp")
+        self.compiled.bind_networks({"mlp": self.mlp})
+
+    def _data(self, images: np.ndarray, labels: np.ndarray) -> Dict[str, np.ndarray]:
+        return {
+            "batch_size": len(images),
+            "nx": self.nx,
+            "nh": self.nh,
+            "ny": self.ny,
+            "imgs": np.asarray(images, dtype=float),
+            "labels": np.asarray(labels, dtype=float),
+        }
+
+    def _model(self, images: np.ndarray, labels: np.ndarray):
+        return self.compiled.model_callable(self._data(images, labels))
+
+    def _guide(self, images: np.ndarray, labels: np.ndarray):
+        return self.compiled.guide_callable(self._data(images, labels))

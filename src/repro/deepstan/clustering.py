@@ -1,0 +1,97 @@
+"""KMeans clustering and the pairwise-F1 metric used by RQ5.
+
+The paper measures VAE quality by clustering the learned latent representation
+with KMeans (k=10) and scoring the clustering against the digit labels with
+pairwise F1: a *true positive* is a pair of images of the same digit assigned
+to the same cluster.  scikit-learn is not available offline, so a compact
+Lloyd's-algorithm KMeans is implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    centers: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def kmeans(points: np.ndarray, k: int, num_iters: int = 100, seed: int = 0,
+           num_restarts: int = 3) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ initialisation and restarts."""
+    points = np.asarray(points, dtype=float)
+    best: KMeansResult = None  # type: ignore[assignment]
+    for restart in range(num_restarts):
+        rng = np.random.default_rng(seed + restart)
+        centers = _kmeanspp_init(points, k, rng)
+        assignments = np.zeros(len(points), dtype=int)
+        for iteration in range(num_iters):
+            distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            new_assignments = distances.argmin(axis=1)
+            if iteration > 0 and np.array_equal(new_assignments, assignments):
+                break
+            assignments = new_assignments
+            for c in range(k):
+                members = points[assignments == c]
+                if len(members):
+                    centers[c] = members.mean(axis=0)
+        inertia = float(((points - centers[assignments]) ** 2).sum())
+        result = KMeansResult(centers=centers, assignments=assignments,
+                              inertia=inertia, iterations=iteration + 1)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    return best
+
+
+def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    n = len(points)
+    centers = [points[rng.integers(n)]]
+    for _ in range(1, k):
+        distances = np.min(
+            [((points - c) ** 2).sum(axis=1) for c in centers], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centers.append(points[rng.integers(n)])
+            continue
+        probs = distances / total
+        centers.append(points[rng.choice(n, p=probs)])
+    return np.array(centers, dtype=float)
+
+
+def pairwise_f1(labels: np.ndarray, assignments: np.ndarray) -> Dict[str, float]:
+    """Pairwise precision/recall/F1 of a clustering against true labels (RQ5)."""
+    labels = np.asarray(labels)
+    assignments = np.asarray(assignments)
+    n = len(labels)
+    same_label = labels[:, None] == labels[None, :]
+    same_cluster = assignments[:, None] == assignments[None, :]
+    upper = np.triu_indices(n, k=1)
+    same_label = same_label[upper]
+    same_cluster = same_cluster[upper]
+    tp = float(np.sum(same_label & same_cluster))
+    fp = float(np.sum(~same_label & same_cluster))
+    fn = float(np.sum(same_label & ~same_cluster))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def prediction_accuracy(predicted: np.ndarray, labels: np.ndarray) -> float:
+    """Classification accuracy (used by the Bayesian-MLP experiment)."""
+    predicted = np.asarray(predicted)
+    labels = np.asarray(labels)
+    return float(np.mean(predicted == labels))
+
+
+def prediction_agreement(predicted_a: np.ndarray, predicted_b: np.ndarray) -> float:
+    """Agreement between two classifiers' predictions (RQ5's 95% agreement)."""
+    return float(np.mean(np.asarray(predicted_a) == np.asarray(predicted_b)))

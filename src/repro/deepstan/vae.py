@@ -1,0 +1,193 @@
+"""The Variational Auto-Encoder of §5.2 / Figure 8, in DeepStan and by hand.
+
+Two implementations are provided for the RQ5 comparison:
+
+* :class:`DeepStanVAE` — the model and guide written in DeepStan source (the
+  ``networks`` block imports the encoder/decoder), compiled with the Pyro
+  backend and trained with SVI;
+* :class:`HandWrittenVAE` — the same model written directly against the
+  runtime primitives (the role of the hand-written Pyro VAE in the paper).
+
+Both share the same encoder/decoder architectures, training loop shape and
+evaluation (KMeans over latent means, pairwise F1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autodiff import nn, ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.core.compiler import CompiledModel, compile_model
+from repro.deepstan.clustering import kmeans, pairwise_f1
+from repro.infer.svi import SVI, TraceELBO
+from repro.ppl import distributions as dist
+from repro.ppl import primitives
+from repro.ppl.primitives import observe, sample
+
+VAE_DEEPSTAN_SOURCE = """
+networks {
+  vector decoder(vector z);
+  matrix encoder(vector x);
+}
+data {
+  int nz;
+  int nx;
+  int<lower=0, upper=1> x[nx];
+}
+parameters {
+  real z[nz];
+}
+model {
+  real mu[nx];
+  z ~ normal(0, 1);
+  mu = decoder(z);
+  x ~ bernoulli(mu);
+}
+guide {
+  real encoded[2, nz];
+  real mu_z[nz];
+  real sigma_z[nz];
+  encoded = encoder(x);
+  mu_z = encoded[1];
+  sigma_z = encoded[2];
+  z ~ normal(mu_z, sigma_z);
+}
+"""
+
+
+class Decoder(nn.Module):
+    """Latent vector -> Bernoulli pixel probabilities."""
+
+    def __init__(self, nz: int, nx: int, hidden: int = 32, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.l1 = nn.Linear(nz, hidden, rng=rng)
+        self.l2 = nn.Linear(hidden, nx, rng=rng)
+
+    def forward(self, z) -> Tensor:
+        h = ops.tanh(self.l1(z))
+        return ops.clip(ops.sigmoid(self.l2(h)), 1e-6, 1 - 1e-6)
+
+
+class Encoder(nn.Module):
+    """Image -> (mu_z, sigma_z), stacked as a 2 x nz matrix (Figure 8)."""
+
+    def __init__(self, nx: int, nz: int, hidden: int = 32, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(1)
+        self.l1 = nn.Linear(nx, hidden, rng=rng)
+        self.mu_head = nn.Linear(hidden, nz, rng=rng)
+        self.sigma_head = nn.Linear(hidden, nz, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        h = ops.tanh(self.l1(x))
+        mu = self.mu_head(h)
+        sigma = ops.add(ops.softplus(self.sigma_head(h)), 1e-3)
+        return ops.stack([mu, sigma])
+
+    def latent_mean(self, x) -> np.ndarray:
+        return np.asarray(self.forward(as_tensor(x)).data[0])
+
+
+@dataclass
+class VAEResult:
+    f1: float
+    precision: float
+    recall: float
+    losses: List[float] = field(default_factory=list)
+
+
+class _VAEBase:
+    """Shared training/evaluation loop for both VAE implementations."""
+
+    def __init__(self, nz: int = 5, nx: int = 64, hidden: int = 32, seed: int = 0):
+        self.nz = nz
+        self.nx = nx
+        rng = np.random.default_rng(seed)
+        self.decoder = Decoder(nz, nx, hidden, rng=rng)
+        self.encoder = Encoder(nx, nz, hidden, rng=rng)
+        self.seed = seed
+        self.losses: List[float] = []
+
+    # subclasses provide model/guide callables bound to one image
+    def _bound_model(self, image: np.ndarray):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _bound_guide(self, image: np.ndarray):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def train(self, images: np.ndarray, epochs: int = 2, learning_rate: float = 0.01,
+              max_images: Optional[int] = None) -> "_VAEBase":
+        """Run SVI over the images, one ELBO step per image per epoch."""
+        primitives.clear_param_store()
+        images = np.asarray(images, dtype=float)
+        if max_images is not None:
+            images = images[:max_images]
+        extra = self.decoder.parameters() + self.encoder.parameters()
+        svi = SVI(lambda img: self._bound_model(img)(),
+                  lambda img: self._bound_guide(img)(),
+                  learning_rate=learning_rate, seed=self.seed, extra_params=extra)
+        for _ in range(epochs):
+            for image in images:
+                loss = svi.step(image)
+                self.losses.append(loss)
+        return self
+
+    def latent_representation(self, images: np.ndarray) -> np.ndarray:
+        """Encoder mean for each image (the learned latent representation)."""
+        return np.array([self.encoder.latent_mean(img) for img in np.asarray(images, dtype=float)])
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray, num_clusters: int = 10,
+                 seed: int = 0) -> VAEResult:
+        """Cluster the latent space with KMeans and compute pairwise F1 (RQ5)."""
+        latents = self.latent_representation(images)
+        clusters = kmeans(latents, num_clusters, seed=seed)
+        scores = pairwise_f1(labels, clusters.assignments)
+        return VAEResult(f1=scores["f1"], precision=scores["precision"],
+                         recall=scores["recall"], losses=list(self.losses))
+
+
+class HandWrittenVAE(_VAEBase):
+    """The VAE written directly against the runtime (the paper's Pyro VAE)."""
+
+    def _bound_model(self, image: np.ndarray):
+        def model():
+            z = sample("z", dist.Normal(np.zeros(self.nz), np.ones(self.nz)))
+            mu = self.decoder(z)
+            observe(dist.Bernoulli(mu), image, name="x")
+            return z
+
+        return model
+
+    def _bound_guide(self, image: np.ndarray):
+        def guide():
+            encoded = self.encoder(as_tensor(image))
+            mu_z = encoded[0]
+            sigma_z = encoded[1]
+            sample("z", dist.Normal(mu_z, sigma_z))
+
+        return guide
+
+
+class DeepStanVAE(_VAEBase):
+    """The VAE written in DeepStan (Figure 8), compiled and trained with SVI."""
+
+    def __init__(self, nz: int = 5, nx: int = 64, hidden: int = 32, seed: int = 0,
+                 backend: str = "pyro"):
+        super().__init__(nz=nz, nx=nx, hidden=hidden, seed=seed)
+        self.compiled: CompiledModel = compile_model(VAE_DEEPSTAN_SOURCE, backend=backend,
+                                                     scheme="comprehensive", name="vae")
+        self.compiled.bind_networks({"decoder": self.decoder, "encoder": self.encoder})
+
+    def _data(self, image: np.ndarray) -> Dict[str, np.ndarray]:
+        return {"nz": self.nz, "nx": self.nx, "x": np.asarray(image, dtype=float)}
+
+    def _bound_model(self, image: np.ndarray):
+        return self.compiled.model_callable(self._data(image))
+
+    def _bound_guide(self, image: np.ndarray):
+        return self.compiled.guide_callable(self._data(image))

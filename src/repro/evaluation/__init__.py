@@ -1,0 +1,29 @@
+"""Evaluation harness regenerating the paper's tables and figures."""
+
+from repro.evaluation.harness import (
+    AccuracyRow,
+    GeneralityResult,
+    SpeedRow,
+    accuracy_and_speed_row,
+    compile_status,
+    corpus_feature_table,
+    corpus_generality,
+    geometric_mean_speedup,
+    registry_generality,
+    run_reference,
+)
+from repro.evaluation.multimodal import multimodal_experiment
+
+__all__ = [
+    "AccuracyRow",
+    "SpeedRow",
+    "GeneralityResult",
+    "compile_status",
+    "corpus_feature_table",
+    "corpus_generality",
+    "registry_generality",
+    "run_reference",
+    "accuracy_and_speed_row",
+    "geometric_mean_speedup",
+    "multimodal_experiment",
+]

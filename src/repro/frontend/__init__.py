@@ -1,0 +1,36 @@
+"""Stan language frontend: lexer, parser, AST and semantic checks.
+
+This plays the role of the Stanc3 frontend stages the paper's backends hook
+into: the compiler backends (:mod:`repro.core`) consume the typed AST produced
+here, which corresponds to "the first internal language which is the closest
+to the Stan source" mentioned in §4.
+"""
+
+from repro.frontend.ast import (
+    Program,
+    Decl,
+    Block,
+    FunctionDef,
+    Stmt,
+    Expr,
+)
+from repro.frontend.lexer import Lexer, Token, LexerError
+from repro.frontend.parser import Parser, ParseError, parse_program
+from repro.frontend.semantics import SemanticError, check_program
+
+__all__ = [
+    "Program",
+    "Decl",
+    "Block",
+    "FunctionDef",
+    "Stmt",
+    "Expr",
+    "Lexer",
+    "Token",
+    "LexerError",
+    "Parser",
+    "ParseError",
+    "parse_program",
+    "SemanticError",
+    "check_program",
+]

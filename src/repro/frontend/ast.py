@@ -1,0 +1,473 @@
+"""Abstract syntax tree for the Stan subset formalised in §3.1 of the paper.
+
+The grammar covers the full block structure (``functions``, ``data``,
+``transformed data``, ``parameters``, ``transformed parameters``, ``model``,
+``generated quantities``), declarations with type constraints, the statement
+language (assignment, ``~``, ``target +=``, loops, conditionals) and the
+expression language (literals, variables, indexing, function calls, operators,
+array/vector literals) — plus the DeepStan extension blocks
+(``networks``, ``guide parameters``, ``guide``) of §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# source locations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Location:
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    loc: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class RealLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class Variable(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = "+"
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = "-"
+    operand: Expr = None
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary expression ``cond ? a : b``."""
+
+    cond: Expr = None
+    then: Expr = None
+    otherwise: Expr = None
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index:
+    """One index inside brackets: a single expression, a slice, or ``:``."""
+
+    expr: Optional[Expr] = None
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+    is_slice: bool = False
+
+    @property
+    def is_all(self) -> bool:
+        return self.is_slice and self.lower is None and self.upper is None
+
+
+@dataclass
+class Indexed(Expr):
+    base: Expr = None
+    indices: List[Index] = field(default_factory=list)
+
+
+@dataclass
+class ArrayLiteral(Expr):
+    """Brace array literal ``{e1, ..., en}``."""
+
+    elements: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class RowVectorLiteral(Expr):
+    """Bracket literal ``[e1, ..., en]`` (row vector / matrix rows)."""
+
+    elements: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Range(Expr):
+    """A ``lower:upper`` range used in loop bounds and slices."""
+
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+
+
+@dataclass
+class Transpose(Expr):
+    operand: Expr = None
+
+
+# ----------------------------------------------------------------------
+# types and declarations
+# ----------------------------------------------------------------------
+@dataclass
+class TypeConstraint:
+    """``<lower=e, upper=e>`` (or offset/multiplier, which we parse and keep)."""
+
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    multiplier: Optional[Expr] = None
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.lower is None and self.upper is None
+
+
+@dataclass
+class BaseType:
+    """Primitive Stan type, possibly sized (vector/matrix) or specialised."""
+
+    name: str = "real"  # int, real, vector, row_vector, matrix, simplex,
+    #                      ordered, positive_ordered, unit_vector, cov_matrix,
+    #                      corr_matrix, cholesky_factor_corr, cholesky_factor_cov
+    sizes: List[Expr] = field(default_factory=list)
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name == "int"
+
+    @property
+    def is_constrained_vector(self) -> bool:
+        return self.name in (
+            "simplex",
+            "ordered",
+            "positive_ordered",
+            "unit_vector",
+        )
+
+
+@dataclass
+class Decl:
+    """A variable declaration with optional constraint, array dims and initialiser."""
+
+    name: str = ""
+    base_type: BaseType = field(default_factory=BaseType)
+    constraint: TypeConstraint = field(default_factory=TypeConstraint)
+    array_dims: List[Expr] = field(default_factory=list)
+    init: Optional[Expr] = None
+    loc: Location = field(default_factory=Location, compare=False)
+
+    @property
+    def dims(self) -> List[Expr]:
+        """All dimensions: array dims then container sizes."""
+        return list(self.array_dims) + list(self.base_type.sizes)
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.dims
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    loc: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass
+class Assign(Stmt):
+    """``lhs = e`` or compound ``lhs op= e`` (op in +,-,*,/)."""
+
+    lhs: Expr = None
+    value: Expr = None
+    op: str = "="
+
+
+@dataclass
+class TildeStmt(Stmt):
+    """``e ~ dist(args)`` with optional truncation ``T[lower, upper]``."""
+
+    lhs: Expr = None
+    dist_name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    truncation_lower: Optional[Expr] = None
+    truncation_upper: Optional[Expr] = None
+    has_truncation: bool = False
+
+
+@dataclass
+class TargetPlus(Stmt):
+    """``target += e``."""
+
+    value: Expr = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local declaration appearing inside a block body."""
+
+    decl: Decl = None
+
+
+@dataclass
+class For(Stmt):
+    """``for (x in e1:e2) body`` or ``for (x in e) body`` (collection loop)."""
+
+    var: str = ""
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+    sequence: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+    @property
+    def is_range(self) -> bool:
+        return self.sequence is None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class BlockStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Skip(Stmt):
+    pass
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class PrintStmt(Stmt):
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class RejectStmt(Stmt):
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CallStmt(Stmt):
+    """A bare function-call statement (void functions / rng calls)."""
+
+    call: FunctionCall = None
+
+
+# ----------------------------------------------------------------------
+# functions, networks, blocks, program
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionArg:
+    name: str = ""
+    base_type: BaseType = field(default_factory=BaseType)
+    array_dims: int = 0
+    is_data: bool = False
+
+
+@dataclass
+class FunctionDef:
+    name: str = ""
+    return_type: Optional[BaseType] = None
+    return_array_dims: int = 0
+    args: List[FunctionArg] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    loc: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass
+class NetworkDecl:
+    """A DeepStan ``networks`` block entry: an imported neural network (§5.2)."""
+
+    name: str = ""
+    return_type: Optional[BaseType] = None
+    return_array_dims: int = 0
+    args: List[FunctionArg] = field(default_factory=list)
+    loc: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass
+class Block:
+    """One program block: declarations followed by statements."""
+
+    decls: List[Decl] = field(default_factory=list)
+    stmts: List[Stmt] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.decls and not self.stmts
+
+
+@dataclass
+class Program:
+    """A complete (Deep)Stan program."""
+
+    functions: List[FunctionDef] = field(default_factory=list)
+    networks: List[NetworkDecl] = field(default_factory=list)
+    data: Block = field(default_factory=Block)
+    transformed_data: Block = field(default_factory=Block)
+    parameters: Block = field(default_factory=Block)
+    transformed_parameters: Block = field(default_factory=Block)
+    model: Block = field(default_factory=Block)
+    generated_quantities: Block = field(default_factory=Block)
+    guide_parameters: Block = field(default_factory=Block)
+    guide: Block = field(default_factory=Block)
+    source: str = ""
+    name: str = "model"
+
+    # ------------------------------------------------------------------
+    # the notation functions of §3.1
+    # ------------------------------------------------------------------
+    def data_decls(self) -> List[Decl]:
+        """``data(p)`` — declarations of observed variables."""
+        return list(self.data.decls)
+
+    def params_decls(self) -> List[Decl]:
+        """``params(p)`` — declarations of latent parameters."""
+        return list(self.parameters.decls)
+
+    def model_stmts(self) -> List[Stmt]:
+        """``model(p)`` — the statements of the model block."""
+        return list(self.model.stmts)
+
+    @property
+    def has_deepstan_extensions(self) -> bool:
+        return bool(self.networks) or not self.guide.is_empty or not self.guide_parameters.is_empty
+
+
+# ----------------------------------------------------------------------
+# generic traversal helpers
+# ----------------------------------------------------------------------
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and all sub-expressions (pre-order)."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Conditional):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.then)
+        yield from walk_expr(expr.otherwise)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, Indexed):
+        yield from walk_expr(expr.base)
+        for idx in expr.indices:
+            if idx.expr is not None:
+                yield from walk_expr(idx.expr)
+            if idx.lower is not None:
+                yield from walk_expr(idx.lower)
+            if idx.upper is not None:
+                yield from walk_expr(idx.upper)
+    elif isinstance(expr, (ArrayLiteral, RowVectorLiteral)):
+        for element in expr.elements:
+            yield from walk_expr(element)
+    elif isinstance(expr, Range):
+        if expr.lower is not None:
+            yield from walk_expr(expr.lower)
+        if expr.upper is not None:
+            yield from walk_expr(expr.upper)
+    elif isinstance(expr, Transpose):
+        yield from walk_expr(expr.operand)
+
+
+def walk_stmts(stmts: Sequence[Stmt]):
+    """Yield every statement in a statement list, recursively."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, For):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, BlockStmt):
+            yield from walk_stmts(stmt.body)
+
+
+def expr_variables(expr: Expr) -> List[str]:
+    """Names of all variables appearing in an expression."""
+    return [node.name for node in walk_expr(expr) if isinstance(node, Variable)]
+
+
+def assigned_variables(stmts: Sequence[Stmt]) -> List[str]:
+    """Names assigned anywhere in the statements (the ``lhs`` set of §3.3)."""
+    names: List[str] = []
+
+    def lhs_name(expr: Expr) -> Optional[str]:
+        if isinstance(expr, Variable):
+            return expr.name
+        if isinstance(expr, Indexed):
+            return lhs_name(expr.base)
+        return None
+
+    for stmt in walk_stmts(stmts):
+        if isinstance(stmt, Assign):
+            name = lhs_name(stmt.lhs)
+            if name is not None and name not in names:
+                names.append(name)
+        elif isinstance(stmt, For):
+            if stmt.var not in names:
+                names.append(stmt.var)
+        elif isinstance(stmt, DeclStmt) and stmt.decl.init is not None:
+            if stmt.decl.name not in names:
+                names.append(stmt.decl.name)
+    return names

@@ -1,0 +1,241 @@
+"""Lexer for the Stan language (plus the DeepStan block keywords).
+
+Produces a flat list of :class:`Token` objects with source locations.
+Handles line comments (``//`` and ``#``), block comments (``/* ... */``),
+numeric literals (integer, real, scientific notation), string literals and the
+full Stan operator set including ``+=``, ``~``, ``.*``, ``./``, ``'``
+(transpose) and the ternary ``? :``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.frontend.ast import Location
+
+
+class LexerError(Exception):
+    """Raised on malformed input (unterminated comment/string, bad char)."""
+
+
+# Token kinds
+IDENT = "IDENT"
+INT = "INT"
+REAL = "REAL"
+STRING = "STRING"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = {
+    "functions",
+    "data",
+    "transformed",
+    "parameters",
+    "model",
+    "generated",
+    "quantities",
+    "networks",
+    "guide",
+    "for",
+    "in",
+    "while",
+    "if",
+    "else",
+    "return",
+    "break",
+    "continue",
+    "print",
+    "reject",
+    "target",
+    "int",
+    "real",
+    "vector",
+    "row_vector",
+    "matrix",
+    "simplex",
+    "ordered",
+    "positive_ordered",
+    "unit_vector",
+    "cov_matrix",
+    "corr_matrix",
+    "cholesky_factor_corr",
+    "cholesky_factor_cov",
+    "lower",
+    "upper",
+    "offset",
+    "multiplier",
+    "void",
+    "T",
+}
+
+# Multi-character punctuation, longest first so maximal munch works.
+MULTI_PUNCT = [
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    ".*",
+    "./",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "%/%",
+]
+
+SINGLE_PUNCT = set("+-*/^'!<>=~?:;,.(){}[]|%&")
+
+
+@dataclass
+class Token:
+    kind: str
+    value: str
+    loc: Location
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.loc})"
+
+
+class Lexer:
+    """Tokenise Stan source text."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: List[Token] = []
+
+    # ------------------------------------------------------------------
+    def _loc(self) -> Location:
+        return Location(self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> List[Token]:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+                continue
+            if ch == "#":
+                self._skip_line_comment()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+                continue
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._lex_number()
+                continue
+            if ch.isalpha() or ch == "_":
+                self._lex_identifier()
+                continue
+            if ch == '"':
+                self._lex_string()
+                continue
+            self._lex_punct()
+        self.tokens.append(Token(EOF, "", self._loc()))
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        loc = self._loc()
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexerError(f"unterminated block comment starting at {loc}")
+
+    def _lex_number(self) -> None:
+        loc = self._loc()
+        start = self.pos
+        is_real = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_real = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())):
+            is_real = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.pos]
+        self.tokens.append(Token(REAL if is_real else INT, text, loc))
+
+    def _lex_identifier(self) -> None:
+        loc = self._loc()
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        # DeepStan network parameters use dotted paths (mlp.l1.weight); treat a
+        # dot immediately followed by an identifier character as part of the name.
+        while self._peek() == "." and (self._peek(1).isalpha() or self._peek(1) == "_"):
+            self._advance()
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+        text = self.source[start:self.pos]
+        self.tokens.append(Token(IDENT, text, loc))
+
+    def _lex_string(self) -> None:
+        loc = self._loc()
+        self._advance()  # opening quote
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != '"':
+            if self._peek() == "\n":
+                raise LexerError(f"unterminated string literal at {loc}")
+            self._advance()
+        if self.pos >= len(self.source):
+            raise LexerError(f"unterminated string literal at {loc}")
+        text = self.source[start:self.pos]
+        self._advance()  # closing quote
+        self.tokens.append(Token(STRING, text, loc))
+
+    def _lex_punct(self) -> None:
+        loc = self._loc()
+        for punct in MULTI_PUNCT:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                self.tokens.append(Token(PUNCT, punct, loc))
+                return
+        ch = self._peek()
+        if ch in SINGLE_PUNCT:
+            self._advance()
+            self.tokens.append(Token(PUNCT, ch, loc))
+            return
+        raise LexerError(f"unexpected character {ch!r} at {loc}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper returning the token list for ``source``."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,652 @@
+"""Recursive-descent parser for the Stan language and the DeepStan extensions.
+
+Produces the :mod:`repro.frontend.ast` representation.  The grammar follows
+§3.1 of the paper (and the Stan reference manual for the concrete syntax),
+including:
+
+* the seven standard blocks plus ``networks``, ``guide parameters`` and
+  ``guide`` (§5),
+* constrained types (``<lower=..., upper=...>``), sized containers
+  (``vector[N]``, ``matrix[N, M]``), constrained containers (``simplex[K]``,
+  ``ordered[K]``, ...), old- and new-style array declarations,
+* the statement language with ``~`` (with optional truncation ``T[a, b]``),
+  ``target +=``, loops, conditionals and local declarations,
+* the expression language with the full operator-precedence table, indexing,
+  slices, array/row-vector literals and the ternary conditional.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast
+from repro.frontend.lexer import EOF, IDENT, INT, PUNCT, REAL, STRING, Token, tokenize
+
+TYPE_KEYWORDS = {
+    "int",
+    "real",
+    "vector",
+    "row_vector",
+    "matrix",
+    "simplex",
+    "ordered",
+    "positive_ordered",
+    "unit_vector",
+    "cov_matrix",
+    "corr_matrix",
+    "cholesky_factor_corr",
+    "cholesky_factor_cov",
+    "array",
+}
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/="}
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending location in the message."""
+
+
+class Parser:
+    """Token-stream parser producing an :class:`~repro.frontend.ast.Program`."""
+
+    def __init__(self, source: str, name: str = "model"):
+        self.source = source
+        self.name = name
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _at(self, value: str, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        return tok.value == value and tok.kind in (PUNCT, IDENT)
+
+    def _at_kind(self, kind: str, offset: int = 0) -> bool:
+        return self._peek(offset).kind == kind
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, value: str) -> Token:
+        tok = self._peek()
+        if tok.value != value:
+            raise ParseError(f"{tok.loc}: expected {value!r} but found {tok.value!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        tok = self._peek()
+        if tok.kind != IDENT:
+            raise ParseError(f"{tok.loc}: expected an identifier but found {tok.value!r}")
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        tok = self._peek()
+        return ParseError(f"{tok.loc}: {message} (found {tok.value!r})")
+
+    # ------------------------------------------------------------------
+    # program and blocks
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(source=self.source, name=self.name)
+        while not self._at_kind(EOF):
+            tok = self._peek()
+            if tok.value == "functions":
+                self._advance()
+                program.functions = self._parse_functions_block()
+            elif tok.value == "networks":
+                self._advance()
+                program.networks = self._parse_networks_block()
+            elif tok.value == "data":
+                self._advance()
+                program.data = self._parse_block()
+            elif tok.value == "transformed" and self._peek(1).value == "data":
+                self._advance()
+                self._advance()
+                program.transformed_data = self._parse_block()
+            elif tok.value == "parameters":
+                self._advance()
+                program.parameters = self._parse_block()
+            elif tok.value == "transformed" and self._peek(1).value == "parameters":
+                self._advance()
+                self._advance()
+                program.transformed_parameters = self._parse_block()
+            elif tok.value == "model":
+                self._advance()
+                program.model = self._parse_block()
+            elif tok.value == "generated" and self._peek(1).value == "quantities":
+                self._advance()
+                self._advance()
+                program.generated_quantities = self._parse_block()
+            elif tok.value == "guide" and self._peek(1).value == "parameters":
+                self._advance()
+                self._advance()
+                program.guide_parameters = self._parse_block()
+            elif tok.value == "guide":
+                self._advance()
+                program.guide = self._parse_block()
+            else:
+                raise self._error("expected a block keyword")
+        return program
+
+    def _parse_block(self) -> ast.Block:
+        self._expect("{")
+        block = ast.Block()
+        in_decl_prefix = True
+        while not self._at("}"):
+            if self._at_kind(EOF):
+                raise self._error("unexpected end of input inside a block")
+            if in_decl_prefix and self._starts_declaration():
+                block.decls.append(self._parse_declaration())
+            else:
+                in_decl_prefix = False
+                block.stmts.append(self._parse_statement())
+        self._expect("}")
+        return block
+
+    def _parse_functions_block(self) -> List[ast.FunctionDef]:
+        self._expect("{")
+        functions: List[ast.FunctionDef] = []
+        while not self._at("}"):
+            functions.append(self._parse_function_def())
+        self._expect("}")
+        return functions
+
+    def _parse_networks_block(self) -> List[ast.NetworkDecl]:
+        self._expect("{")
+        networks: List[ast.NetworkDecl] = []
+        while not self._at("}"):
+            loc = self._peek().loc
+            ret_type, ret_dims = self._parse_function_return_type()
+            name = self._expect_ident().value
+            args = self._parse_function_args()
+            self._expect(";")
+            networks.append(
+                ast.NetworkDecl(name=name, return_type=ret_type, return_array_dims=ret_dims,
+                                args=args, loc=loc)
+            )
+        self._expect("}")
+        return networks
+
+    # ------------------------------------------------------------------
+    # functions
+    # ------------------------------------------------------------------
+    def _parse_function_return_type(self):
+        tok = self._peek()
+        if tok.value == "void":
+            self._advance()
+            return None, 0
+        base = self._parse_base_type()
+        dims = 0
+        if self._at("["):
+            # Return types use `real[,]`-style dimension counts.
+            self._advance()
+            dims = 1
+            while self._at(","):
+                self._advance()
+                dims += 1
+            self._expect("]")
+        return base, dims
+
+    def _parse_function_args(self) -> List[ast.FunctionArg]:
+        self._expect("(")
+        args: List[ast.FunctionArg] = []
+        while not self._at(")"):
+            is_data = False
+            if self._at("data"):
+                self._advance()
+                is_data = True
+            base = self._parse_base_type()
+            dims = 0
+            if self._at("["):
+                self._advance()
+                dims = 1
+                while self._at(","):
+                    self._advance()
+                    dims += 1
+                self._expect("]")
+            name = self._expect_ident().value
+            args.append(ast.FunctionArg(name=name, base_type=base, array_dims=dims, is_data=is_data))
+            if self._at(","):
+                self._advance()
+        self._expect(")")
+        return args
+
+    def _parse_function_def(self) -> ast.FunctionDef:
+        loc = self._peek().loc
+        ret_type, ret_dims = self._parse_function_return_type()
+        name = self._expect_ident().value
+        args = self._parse_function_args()
+        body_block = self._parse_braced_statements()
+        return ast.FunctionDef(name=name, return_type=ret_type, return_array_dims=ret_dims,
+                               args=args, body=body_block, loc=loc)
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def _starts_declaration(self) -> bool:
+        tok = self._peek()
+        if tok.kind != IDENT or tok.value not in TYPE_KEYWORDS:
+            return False
+        # `real ...` might also start an expression only if `real` were a
+        # variable, which Stan forbids, so the keyword check is sufficient.
+        return True
+
+    def _parse_base_type(self) -> ast.BaseType:
+        tok = self._expect_ident()
+        name = tok.value
+        if name not in TYPE_KEYWORDS or name == "array":
+            raise ParseError(f"{tok.loc}: expected a type, found {name!r}")
+        base = ast.BaseType(name=name)
+        return base
+
+    def _parse_constraint(self) -> ast.TypeConstraint:
+        constraint = ast.TypeConstraint()
+        if not self._at("<"):
+            return constraint
+        self._advance()
+        while True:
+            key = self._expect_ident().value
+            self._expect("=")
+            value = self._parse_expression(no_greater=True)
+            if key == "lower":
+                constraint.lower = value
+            elif key == "upper":
+                constraint.upper = value
+            elif key == "offset":
+                constraint.offset = value
+            elif key == "multiplier":
+                constraint.multiplier = value
+            else:
+                raise self._error(f"unknown constraint keyword {key!r}")
+            if self._at(","):
+                self._advance()
+                continue
+            break
+        self._expect(">")
+        return constraint
+
+    def _parse_type_sizes(self) -> List[ast.Expr]:
+        sizes: List[ast.Expr] = []
+        if self._at("["):
+            self._advance()
+            sizes.append(self._parse_expression())
+            while self._at(","):
+                self._advance()
+                sizes.append(self._parse_expression())
+            self._expect("]")
+        return sizes
+
+    def _parse_declaration(self) -> ast.Decl:
+        loc = self._peek().loc
+        array_dims: List[ast.Expr] = []
+        # New-style array syntax: array[N, M] real x;
+        if self._at("array"):
+            self._advance()
+            array_dims = self._parse_type_sizes()
+        base = self._parse_base_type()
+        constraint = self._parse_constraint()
+        if base.name in ("vector", "row_vector", "matrix", "simplex", "ordered",
+                         "positive_ordered", "unit_vector", "cov_matrix", "corr_matrix",
+                         "cholesky_factor_corr", "cholesky_factor_cov"):
+            base.sizes = self._parse_type_sizes()
+        name = self._expect_ident().value
+        # Old-style trailing array dims: real x[N, M];
+        if self._at("["):
+            array_dims = array_dims + self._parse_type_sizes()
+        init: Optional[ast.Expr] = None
+        if self._at("="):
+            self._advance()
+            init = self._parse_expression()
+        self._expect(";")
+        return ast.Decl(name=name, base_type=base, constraint=constraint,
+                        array_dims=array_dims, init=init, loc=loc)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _parse_braced_statements(self) -> List[ast.Stmt]:
+        self._expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self._at("}"):
+            if self._at_kind(EOF):
+                raise self._error("unexpected end of input inside a statement block")
+            stmts.append(self._parse_statement())
+        self._expect("}")
+        return stmts
+
+    def _parse_statement_or_block(self) -> List[ast.Stmt]:
+        if self._at("{"):
+            return self._parse_braced_statements()
+        return [self._parse_statement()]
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self._peek()
+        loc = tok.loc
+        if self._starts_declaration():
+            decl = self._parse_declaration()
+            return ast.DeclStmt(decl=decl, loc=loc)
+        if tok.value == "for":
+            return self._parse_for()
+        if tok.value == "while":
+            return self._parse_while()
+        if tok.value == "if":
+            return self._parse_if()
+        if tok.value == "{":
+            return ast.BlockStmt(body=self._parse_braced_statements(), loc=loc)
+        if tok.value == ";":
+            self._advance()
+            return ast.Skip(loc=loc)
+        if tok.value == "break":
+            self._advance()
+            self._expect(";")
+            return ast.Break(loc=loc)
+        if tok.value == "continue":
+            self._advance()
+            self._expect(";")
+            return ast.Continue(loc=loc)
+        if tok.value == "return":
+            self._advance()
+            value = None
+            if not self._at(";"):
+                value = self._parse_expression()
+            self._expect(";")
+            return ast.Return(value=value, loc=loc)
+        if tok.value == "print":
+            self._advance()
+            args = self._parse_call_args()
+            self._expect(";")
+            return ast.PrintStmt(args=args, loc=loc)
+        if tok.value == "reject":
+            self._advance()
+            args = self._parse_call_args()
+            self._expect(";")
+            return ast.RejectStmt(args=args, loc=loc)
+        if tok.value == "target" and self._peek(1).value == "+=":
+            self._advance()
+            self._advance()
+            value = self._parse_expression()
+            self._expect(";")
+            return ast.TargetPlus(value=value, loc=loc)
+        if tok.value == "increment_log_prob":
+            # Deprecated alias for `target +=`.
+            self._advance()
+            args = self._parse_call_args()
+            self._expect(";")
+            value = args[0] if args else ast.RealLiteral(value=0.0)
+            return ast.TargetPlus(value=value, loc=loc)
+        # Otherwise: expression-first statements (assignment, ~, call).
+        expr = self._parse_expression()
+        if self._at("~"):
+            self._advance()
+            return self._finish_tilde(expr, loc)
+        if self._peek().value in ASSIGN_OPS:
+            op = self._advance().value
+            value = self._parse_expression()
+            self._expect(";")
+            return ast.Assign(lhs=expr, value=value, op=op, loc=loc)
+        if self._at("<") and self._peek(1).value == "-":
+            # Deprecated arrow assignment `x <- e`.
+            self._advance()
+            self._advance()
+            value = self._parse_expression()
+            self._expect(";")
+            return ast.Assign(lhs=expr, value=value, op="=", loc=loc)
+        self._expect(";")
+        if isinstance(expr, ast.FunctionCall):
+            return ast.CallStmt(call=expr, loc=loc)
+        return ast.Skip(loc=loc)
+
+    def _finish_tilde(self, lhs: ast.Expr, loc) -> ast.TildeStmt:
+        dist_tok = self._expect_ident()
+        args = self._parse_call_args()
+        stmt = ast.TildeStmt(lhs=lhs, dist_name=dist_tok.value, args=args, loc=loc)
+        if self._at("T"):
+            self._advance()
+            self._expect("[")
+            stmt.has_truncation = True
+            if not self._at(","):
+                stmt.truncation_lower = self._parse_expression()
+            self._expect(",")
+            if not self._at("]"):
+                stmt.truncation_upper = self._parse_expression()
+            self._expect("]")
+        self._expect(";")
+        return stmt
+
+    def _parse_for(self) -> ast.For:
+        loc = self._peek().loc
+        self._expect("for")
+        self._expect("(")
+        var = self._expect_ident().value
+        self._expect("in")
+        first = self._parse_expression()
+        stmt = ast.For(var=var, loc=loc)
+        if self._at(":"):
+            self._advance()
+            stmt.lower = first
+            stmt.upper = self._parse_expression()
+        else:
+            stmt.sequence = first
+        self._expect(")")
+        stmt.body = self._parse_statement_or_block()
+        return stmt
+
+    def _parse_while(self) -> ast.While:
+        loc = self._peek().loc
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement_or_block()
+        return ast.While(cond=cond, body=body, loc=loc)
+
+    def _parse_if(self) -> ast.If:
+        loc = self._peek().loc
+        self._expect("if")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then_body = self._parse_statement_or_block()
+        else_body: List[ast.Stmt] = []
+        if self._at("else"):
+            self._advance()
+            else_body = self._parse_statement_or_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, loc=loc)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_call_args(self) -> List[ast.Expr]:
+        self._expect("(")
+        args: List[ast.Expr] = []
+        while not self._at(")"):
+            args.append(self._parse_expression())
+            # Both `,` and the conditioning bar `|` of `foo_lpdf(y | theta)`
+            # separate arguments.
+            if self._at(",") or self._at("|"):
+                self._advance()
+        self._expect(")")
+        return args
+
+    def _parse_expression(self, no_greater: bool = False) -> ast.Expr:
+        return self._parse_ternary(no_greater)
+
+    def _parse_ternary(self, no_greater: bool = False) -> ast.Expr:
+        cond = self._parse_or(no_greater)
+        if self._at("?"):
+            loc = self._peek().loc
+            self._advance()
+            then = self._parse_expression(no_greater)
+            self._expect(":")
+            otherwise = self._parse_ternary(no_greater)
+            return ast.Conditional(cond=cond, then=then, otherwise=otherwise, loc=loc)
+        return cond
+
+    def _parse_or(self, no_greater: bool) -> ast.Expr:
+        left = self._parse_and(no_greater)
+        while self._at("||"):
+            loc = self._peek().loc
+            self._advance()
+            right = self._parse_and(no_greater)
+            left = ast.BinaryOp(op="||", left=left, right=right, loc=loc)
+        return left
+
+    def _parse_and(self, no_greater: bool) -> ast.Expr:
+        left = self._parse_equality(no_greater)
+        while self._at("&&"):
+            loc = self._peek().loc
+            self._advance()
+            right = self._parse_equality(no_greater)
+            left = ast.BinaryOp(op="&&", left=left, right=right, loc=loc)
+        return left
+
+    def _parse_equality(self, no_greater: bool) -> ast.Expr:
+        left = self._parse_comparison(no_greater)
+        while self._peek().value in ("==", "!="):
+            op = self._advance().value
+            right = self._parse_comparison(no_greater)
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_comparison(self, no_greater: bool) -> ast.Expr:
+        left = self._parse_additive(no_greater)
+        while True:
+            tok = self._peek()
+            if tok.value in ("<", "<=", ">="):
+                op = self._advance().value
+            elif tok.value == ">" and not no_greater:
+                op = self._advance().value
+            else:
+                break
+            right = self._parse_additive(no_greater)
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self, no_greater: bool) -> ast.Expr:
+        left = self._parse_multiplicative(no_greater)
+        while self._peek().value in ("+", "-"):
+            op = self._advance().value
+            right = self._parse_multiplicative(no_greater)
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self, no_greater: bool) -> ast.Expr:
+        left = self._parse_unary(no_greater)
+        while self._peek().value in ("*", "/", ".*", "./", "%", "%/%"):
+            op = self._advance().value
+            right = self._parse_unary(no_greater)
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self, no_greater: bool) -> ast.Expr:
+        tok = self._peek()
+        if tok.value in ("-", "+", "!"):
+            self._advance()
+            operand = self._parse_unary(no_greater)
+            return ast.UnaryOp(op=tok.value, operand=operand, loc=tok.loc)
+        return self._parse_power(no_greater)
+
+    def _parse_power(self, no_greater: bool) -> ast.Expr:
+        base = self._parse_postfix(no_greater)
+        if self._at("^"):
+            loc = self._peek().loc
+            self._advance()
+            exponent = self._parse_unary(no_greater)  # right-associative
+            return ast.BinaryOp(op="^", left=base, right=exponent, loc=loc)
+        return base
+
+    def _parse_postfix(self, no_greater: bool) -> ast.Expr:
+        expr = self._parse_primary(no_greater)
+        while True:
+            if self._at("["):
+                expr = self._parse_indexing(expr)
+            elif self._at("'"):
+                loc = self._peek().loc
+                self._advance()
+                expr = ast.Transpose(operand=expr, loc=loc)
+            else:
+                break
+        return expr
+
+    def _parse_indexing(self, base: ast.Expr) -> ast.Expr:
+        loc = self._peek().loc
+        self._expect("[")
+        indices: List[ast.Index] = []
+        while not self._at("]"):
+            indices.append(self._parse_index())
+            if self._at(","):
+                self._advance()
+        self._expect("]")
+        return ast.Indexed(base=base, indices=indices, loc=loc)
+
+    def _parse_index(self) -> ast.Index:
+        if self._at(":"):
+            self._advance()
+            if self._at(",") or self._at("]"):
+                return ast.Index(is_slice=True)
+            upper = self._parse_expression()
+            return ast.Index(is_slice=True, upper=upper)
+        expr = self._parse_expression()
+        if self._at(":"):
+            self._advance()
+            if self._at(",") or self._at("]"):
+                return ast.Index(is_slice=True, lower=expr)
+            upper = self._parse_expression()
+            return ast.Index(is_slice=True, lower=expr, upper=upper)
+        return ast.Index(expr=expr)
+
+    def _parse_primary(self, no_greater: bool) -> ast.Expr:
+        tok = self._peek()
+        loc = tok.loc
+        if tok.kind == INT:
+            self._advance()
+            return ast.IntLiteral(value=int(tok.value), loc=loc)
+        if tok.kind == REAL:
+            self._advance()
+            return ast.RealLiteral(value=float(tok.value), loc=loc)
+        if tok.kind == STRING:
+            self._advance()
+            return ast.StringLiteral(value=tok.value, loc=loc)
+        if tok.value == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if tok.value == "{":
+            self._advance()
+            elements = [self._parse_expression()]
+            while self._at(","):
+                self._advance()
+                elements.append(self._parse_expression())
+            self._expect("}")
+            return ast.ArrayLiteral(elements=elements, loc=loc)
+        if tok.value == "[":
+            self._advance()
+            elements: List[ast.Expr] = []
+            while not self._at("]"):
+                elements.append(self._parse_expression())
+                if self._at(","):
+                    self._advance()
+            self._expect("]")
+            return ast.RowVectorLiteral(elements=elements, loc=loc)
+        if tok.kind == IDENT:
+            self._advance()
+            if self._at("("):
+                args = self._parse_call_args()
+                # `foo(a | b, c)` conditional-bar syntax for lpdf calls.
+                return ast.FunctionCall(name=tok.value, args=args, loc=loc)
+            return ast.Variable(name=tok.value, loc=loc)
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str, name: str = "model") -> ast.Program:
+    """Parse a complete Stan (or DeepStan) program from source text."""
+    return Parser(source, name=name).parse_program()

@@ -1,0 +1,55 @@
+"""GProb: the small generative probabilistic intermediate language of §3.2.
+
+The compilation schemes of :mod:`repro.core` translate Stan ASTs into this IR;
+the code generators then emit Python targeting the Pyro-like or NumPyro-like
+runtimes.  Keeping the IR close to the paper's GProb makes the correspondence
+between the formal compilation functions (Figs. 6-7) and the implementation
+direct, which is also how the authors describe their Stanc3 backends ("the
+implementation is thus closer to the formalization", §4).
+"""
+
+from repro.gprob.ir import (
+    DistCall,
+    Factor,
+    ForEachG,
+    ForRangeG,
+    GExpr,
+    IfG,
+    InitVar,
+    Let,
+    LetIndexed,
+    LetState,
+    Observe,
+    ReturnE,
+    Sample,
+    Seq,
+    StanE,
+    Unit,
+    WhileG,
+    map_gexpr,
+    walk_gexpr,
+)
+from repro.gprob.pretty import pretty
+
+__all__ = [
+    "GExpr",
+    "StanE",
+    "Let",
+    "LetIndexed",
+    "LetState",
+    "Sample",
+    "Observe",
+    "Factor",
+    "ReturnE",
+    "IfG",
+    "ForRangeG",
+    "ForEachG",
+    "WhileG",
+    "Seq",
+    "Unit",
+    "InitVar",
+    "DistCall",
+    "pretty",
+    "walk_gexpr",
+    "map_gexpr",
+]

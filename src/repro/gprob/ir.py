@@ -1,0 +1,238 @@
+"""GProb intermediate representation.
+
+The expression forms correspond to §3.2 of the paper:
+
+``e ::= c | x | {e...} | [e...] | e[e] | f(e...)            (Stan expressions)
+      | let x = e1 in e2 | let x[e...] = e in e'
+      | if (e) e1 else e2 | for_X (x in e1:e2) e3 | while_X (e1) e2
+      | factor(e) | sample(e) | observe(D, v) | return(e)``
+
+Deterministic Stan expressions are embedded wholesale via :class:`StanE`
+(the compilation functions of Figs. 6-7 leave them untouched), and loops are
+annotated with the set ``X`` of state variables assigned in their bodies —
+which is what the NumPyro backend's lambda-lifting of loop bodies needs (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.frontend import ast
+
+
+@dataclass
+class GExpr:
+    """Base class of GProb expressions."""
+
+
+@dataclass
+class StanE(GExpr):
+    """An embedded deterministic Stan expression."""
+
+    expr: ast.Expr = None
+
+
+@dataclass
+class DistCall:
+    """A distribution constructor ``f(e1, ..., en)`` with an optional shape.
+
+    The shape argument is only used by the priors the comprehensive scheme
+    introduces (Fig. 6): ``uniform([a, b], shape)`` / ``improper_uniform``.
+    """
+
+    name: str = ""
+    args: List[ast.Expr] = field(default_factory=list)
+    shape: List[ast.Expr] = field(default_factory=list)
+    # Declared support of the associated Stan parameter (mixed scheme, §4).
+    constraint: Optional[object] = None
+
+
+@dataclass
+class Sample(GExpr):
+    """``sample(D)`` — draw from a distribution."""
+
+    dist: DistCall = None
+
+
+@dataclass
+class Observe(GExpr):
+    """``observe(D, v)`` — condition on ``v`` following ``D``."""
+
+    dist: DistCall = None
+    value: ast.Expr = None
+
+
+@dataclass
+class Factor(GExpr):
+    """``factor(e)`` — add ``e`` to the log score of the trace."""
+
+    value: ast.Expr = None
+
+
+@dataclass
+class ReturnE(GExpr):
+    """``return(e)`` — lift a deterministic expression (or variable tuple)."""
+
+    value: Optional[ast.Expr] = None
+    names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Unit(GExpr):
+    """``return(())`` — the unit continuation."""
+
+
+@dataclass
+class InitVar(GExpr):
+    """Allocation of a local Stan declaration (zero-initialised container)."""
+
+    decl: ast.Decl = None
+
+
+@dataclass
+class Let(GExpr):
+    """``let name = value in body``."""
+
+    name: str = ""
+    value: GExpr = None
+    body: GExpr = None
+
+
+@dataclass
+class LetIndexed(GExpr):
+    """``let x[e1, ..., en] = value in body`` — functional array update."""
+
+    name: str = ""
+    indices: List[ast.Index] = field(default_factory=list)
+    value: GExpr = None
+    body: GExpr = None
+
+
+@dataclass
+class LetState(GExpr):
+    """``let (x1, ..., xk) = value in body`` — binds loop state variables."""
+
+    names: List[str] = field(default_factory=list)
+    value: GExpr = None
+    body: GExpr = None
+
+
+@dataclass
+class IfG(GExpr):
+    """``if (cond) then else otherwise``."""
+
+    cond: ast.Expr = None
+    then: GExpr = None
+    otherwise: GExpr = None
+
+
+@dataclass
+class ForRangeG(GExpr):
+    """``for_X (var in lower:upper) body`` returning the state variables X."""
+
+    state: List[str] = field(default_factory=list)
+    var: str = ""
+    lower: ast.Expr = None
+    upper: ast.Expr = None
+    body: GExpr = None
+
+
+@dataclass
+class ForEachG(GExpr):
+    """``for_X (var in seq) body`` — iteration over an indexed structure."""
+
+    state: List[str] = field(default_factory=list)
+    var: str = ""
+    sequence: ast.Expr = None
+    body: GExpr = None
+
+
+@dataclass
+class WhileG(GExpr):
+    """``while_X (cond) body``."""
+
+    state: List[str] = field(default_factory=list)
+    cond: ast.Expr = None
+    body: GExpr = None
+
+
+@dataclass
+class Seq(GExpr):
+    """``let () = first in second`` — sequencing of unit-valued expressions."""
+
+    first: GExpr = None
+    second: GExpr = None
+
+
+# ----------------------------------------------------------------------
+# traversal / transformation helpers
+# ----------------------------------------------------------------------
+def walk_gexpr(expr: GExpr) -> Iterator[GExpr]:
+    """Yield ``expr`` and every sub-expression (pre-order)."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, (Let, LetIndexed, LetState)):
+        yield from walk_gexpr(expr.value)
+        yield from walk_gexpr(expr.body)
+    elif isinstance(expr, Seq):
+        yield from walk_gexpr(expr.first)
+        yield from walk_gexpr(expr.second)
+    elif isinstance(expr, IfG):
+        yield from walk_gexpr(expr.then)
+        yield from walk_gexpr(expr.otherwise)
+    elif isinstance(expr, (ForRangeG, ForEachG, WhileG)):
+        yield from walk_gexpr(expr.body)
+
+
+def map_gexpr(expr: GExpr, fn) -> GExpr:
+    """Rebuild ``expr`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives a node whose children have already been mapped and returns
+    its (possibly new) replacement.  Used by the mixed-scheme rewriter.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, Let):
+        new = Let(name=expr.name, value=map_gexpr(expr.value, fn), body=map_gexpr(expr.body, fn))
+    elif isinstance(expr, LetIndexed):
+        new = LetIndexed(name=expr.name, indices=expr.indices,
+                         value=map_gexpr(expr.value, fn), body=map_gexpr(expr.body, fn))
+    elif isinstance(expr, LetState):
+        new = LetState(names=list(expr.names), value=map_gexpr(expr.value, fn),
+                       body=map_gexpr(expr.body, fn))
+    elif isinstance(expr, Seq):
+        new = Seq(first=map_gexpr(expr.first, fn), second=map_gexpr(expr.second, fn))
+    elif isinstance(expr, IfG):
+        new = IfG(cond=expr.cond, then=map_gexpr(expr.then, fn),
+                  otherwise=map_gexpr(expr.otherwise, fn))
+    elif isinstance(expr, ForRangeG):
+        new = ForRangeG(state=list(expr.state), var=expr.var, lower=expr.lower,
+                        upper=expr.upper, body=map_gexpr(expr.body, fn))
+    elif isinstance(expr, ForEachG):
+        new = ForEachG(state=list(expr.state), var=expr.var, sequence=expr.sequence,
+                       body=map_gexpr(expr.body, fn))
+    elif isinstance(expr, WhileG):
+        new = WhileG(state=list(expr.state), cond=expr.cond, body=map_gexpr(expr.body, fn))
+    else:
+        new = expr
+    return fn(new)
+
+
+def count_nodes(expr: GExpr) -> int:
+    """Number of IR nodes (used in tests and compile-time metrics)."""
+    return sum(1 for _ in walk_gexpr(expr))
+
+
+def sample_sites(expr: GExpr) -> List[str]:
+    """Names bound directly to ``sample`` expressions (the latent sites)."""
+    names: List[str] = []
+    for node in walk_gexpr(expr):
+        if isinstance(node, Let) and isinstance(node.value, Sample):
+            names.append(node.name)
+    return names
+
+
+def observe_count(expr: GExpr) -> int:
+    return sum(1 for node in walk_gexpr(expr) if isinstance(node, Observe))

@@ -1,0 +1,121 @@
+"""Pretty-printer for GProb IR (the surface syntax used in the paper's figures).
+
+Useful for debugging compiled models and for the documentation examples: the
+output of ``pretty(compile_comprehensive(program))`` on the coin model matches
+the shape of Figure 2b.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend import ast
+from repro.gprob import ir
+
+
+def pretty_stan_expr(expr: ast.Expr) -> str:
+    """Render an embedded Stan expression in Stan-like concrete syntax."""
+    if expr is None:
+        return "()"
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.RealLiteral):
+        return repr(expr.value)
+    if isinstance(expr, ast.StringLiteral):
+        return f'"{expr.value}"'
+    if isinstance(expr, ast.Variable):
+        return expr.name
+    if isinstance(expr, ast.BinaryOp):
+        return f"({pretty_stan_expr(expr.left)} {expr.op} {pretty_stan_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op}{pretty_stan_expr(expr.operand)})"
+    if isinstance(expr, ast.Conditional):
+        return (f"({pretty_stan_expr(expr.cond)} ? {pretty_stan_expr(expr.then)}"
+                f" : {pretty_stan_expr(expr.otherwise)})")
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(pretty_stan_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Indexed):
+        idx = ", ".join(_pretty_index(i) for i in expr.indices)
+        return f"{pretty_stan_expr(expr.base)}[{idx}]"
+    if isinstance(expr, ast.ArrayLiteral):
+        return "{" + ", ".join(pretty_stan_expr(e) for e in expr.elements) + "}"
+    if isinstance(expr, ast.RowVectorLiteral):
+        return "[" + ", ".join(pretty_stan_expr(e) for e in expr.elements) + "]"
+    if isinstance(expr, ast.Transpose):
+        return f"{pretty_stan_expr(expr.operand)}'"
+    if isinstance(expr, ast.Range):
+        lo = pretty_stan_expr(expr.lower) if expr.lower else ""
+        hi = pretty_stan_expr(expr.upper) if expr.upper else ""
+        return f"{lo}:{hi}"
+    return f"<{type(expr).__name__}>"
+
+
+def _pretty_index(index: ast.Index) -> str:
+    if index.is_all:
+        return ":"
+    if index.is_slice:
+        lo = pretty_stan_expr(index.lower) if index.lower else ""
+        hi = pretty_stan_expr(index.upper) if index.upper else ""
+        return f"{lo}:{hi}"
+    return pretty_stan_expr(index.expr)
+
+
+def pretty_dist(dist: ir.DistCall) -> str:
+    parts = [pretty_stan_expr(a) for a in dist.args]
+    if dist.shape:
+        parts.append("shape=[" + ", ".join(pretty_stan_expr(s) for s in dist.shape) + "]")
+    return f"{dist.name}({', '.join(parts)})"
+
+
+def pretty(expr: ir.GExpr, indent: int = 0) -> str:
+    """Render a GProb expression over multiple lines."""
+    pad = "  " * indent
+    if expr is None:
+        return pad + "()"
+    if isinstance(expr, ir.StanE):
+        return pad + pretty_stan_expr(expr.expr)
+    if isinstance(expr, ir.Sample):
+        return pad + f"sample({pretty_dist(expr.dist)})"
+    if isinstance(expr, ir.Observe):
+        return pad + f"observe({pretty_dist(expr.dist)}, {pretty_stan_expr(expr.value)})"
+    if isinstance(expr, ir.Factor):
+        return pad + f"factor({pretty_stan_expr(expr.value)})"
+    if isinstance(expr, ir.ReturnE):
+        if expr.names:
+            return pad + f"return({', '.join(expr.names)})"
+        return pad + f"return({pretty_stan_expr(expr.value)})"
+    if isinstance(expr, ir.Unit):
+        return pad + "return(())"
+    if isinstance(expr, ir.InitVar):
+        return pad + f"alloc {expr.decl.name}"
+    if isinstance(expr, ir.Let):
+        value = pretty(expr.value, 0).strip()
+        return pad + f"let {expr.name} = {value} in\n" + pretty(expr.body, indent)
+    if isinstance(expr, ir.LetIndexed):
+        idx = ", ".join(_pretty_index(i) for i in expr.indices)
+        value = pretty(expr.value, 0).strip()
+        return pad + f"let {expr.name}[{idx}] = {value} in\n" + pretty(expr.body, indent)
+    if isinstance(expr, ir.LetState):
+        value = pretty(expr.value, indent + 1)
+        names = ", ".join(expr.names) if expr.names else "()"
+        return pad + f"let ({names}) =\n{value}\n{pad}in\n" + pretty(expr.body, indent)
+    if isinstance(expr, ir.Seq):
+        return pad + "let () = " + pretty(expr.first, 0).strip() + " in\n" + pretty(expr.second, indent)
+    if isinstance(expr, ir.IfG):
+        return (pad + f"if ({pretty_stan_expr(expr.cond)})\n"
+                + pretty(expr.then, indent + 1) + "\n"
+                + pad + "else\n" + pretty(expr.otherwise, indent + 1))
+    if isinstance(expr, ir.ForRangeG):
+        state = ",".join(expr.state)
+        return (pad + f"for_[{state}] ({expr.var} in {pretty_stan_expr(expr.lower)}"
+                f":{pretty_stan_expr(expr.upper)})\n" + pretty(expr.body, indent + 1))
+    if isinstance(expr, ir.ForEachG):
+        state = ",".join(expr.state)
+        return (pad + f"for_[{state}] ({expr.var} in {pretty_stan_expr(expr.sequence)})\n"
+                + pretty(expr.body, indent + 1))
+    if isinstance(expr, ir.WhileG):
+        state = ",".join(expr.state)
+        return (pad + f"while_[{state}] ({pretty_stan_expr(expr.cond)})\n"
+                + pretty(expr.body, indent + 1))
+    return pad + f"<{type(expr).__name__}>"

@@ -1,0 +1,42 @@
+"""Inference algorithms for the generative-PPL runtime.
+
+The paper evaluates its backends with NUTS (the preferred Stan inference
+method, available in both Pyro and NumPyro) and with stochastic variational
+inference for the DeepStan extensions.  This package provides:
+
+* :class:`~repro.infer.mcmc.MCMC` — a driver running HMC/NUTS chains against a
+  model, handling warmup, multiple chains, and constrained/unconstrained
+  re-parameterisation.
+* :class:`~repro.infer.hmc.HMC` and :class:`~repro.infer.nuts.NUTS` — kernels.
+* :class:`~repro.infer.advi.ADVI` — mean-field automatic differentiation
+  variational inference (Stan's ADVI baseline in Fig. 10).
+* :class:`~repro.infer.svi.SVI` — ELBO optimisation against an explicit guide
+  (DeepStan ``guide`` blocks, §5.1).
+* :class:`~repro.infer.importance.ImportanceSampling` — self-normalised
+  importance sampling, used to illustrate the role of the priors introduced by
+  the comprehensive translation.
+* :mod:`~repro.infer.diagnostics` — R-hat, effective sample size, posterior
+  summaries and the paper's 30%-of-reference-stddev accuracy criterion.
+"""
+
+from repro.infer.potential import Potential, make_potential
+from repro.infer.hmc import HMC
+from repro.infer.nuts import NUTS
+from repro.infer.mcmc import MCMC
+from repro.infer.advi import ADVI
+from repro.infer.svi import SVI, TraceELBO
+from repro.infer.importance import ImportanceSampling
+from repro.infer import diagnostics
+
+__all__ = [
+    "Potential",
+    "make_potential",
+    "HMC",
+    "NUTS",
+    "MCMC",
+    "ADVI",
+    "SVI",
+    "TraceELBO",
+    "ImportanceSampling",
+    "diagnostics",
+]

@@ -1,0 +1,152 @@
+"""Posterior diagnostics and the paper's accuracy criterion.
+
+Implements split R-hat and bulk effective sample size following the formulas
+used by Stan, plus :func:`accuracy_check` — the regression-test criterion of
+§6 RQ2:  ``|mean(theta_ref) - mean(theta)| < 0.3 * stddev(theta_ref)`` for
+every component of every parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+
+def _split_chains(x: np.ndarray) -> np.ndarray:
+    """Split each chain in half: (chains, draws, ...) -> (2*chains, draws//2, ...)."""
+    n = x.shape[1] // 2
+    if n == 0:
+        return x
+    first = x[:, :n]
+    second = x[:, n:2 * n]
+    return np.concatenate([first, second], axis=0)
+
+
+def potential_scale_reduction(x: np.ndarray) -> float:
+    """Split R-hat of a (chains, draws) array of a scalar quantity."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    x = _split_chains(x)
+    m, n = x.shape
+    if n < 2:
+        return np.nan
+    chain_means = x.mean(axis=1)
+    chain_vars = x.var(axis=1, ddof=1)
+    between = n * chain_means.var(ddof=1) if m > 1 else 0.0
+    within = chain_vars.mean()
+    if within == 0:
+        return 1.0
+    var_plus = (n - 1) / n * within + between / n
+    return float(np.sqrt(var_plus / within))
+
+
+def effective_sample_size(x: np.ndarray) -> float:
+    """Bulk ESS of a (chains, draws) array using Geyer's initial monotone sequence."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    m, n = x.shape
+    if n < 4:
+        return float(m * n)
+    chain_means = x.mean(axis=1, keepdims=True)
+    centered = x - chain_means
+    # Per-chain autocovariance via FFT.
+    acov = np.zeros((m, n))
+    for i in range(m):
+        padded = np.concatenate([centered[i], np.zeros(n)])
+        f = np.fft.fft(padded)
+        acf = np.fft.ifft(f * np.conjugate(f)).real[:n]
+        acov[i] = acf / n
+    within = acov[:, 0].mean() * n / (n - 1)
+    var_plus = within * (n - 1) / n
+    if m > 1:
+        var_plus += x.mean(axis=1).var(ddof=1)
+    if var_plus == 0:
+        return float(m * n)
+    rho = 1.0 - (within - acov.mean(axis=0)) / var_plus
+    # Geyer initial positive/monotone sequence.
+    tau = 0.0
+    t = 1
+    prev_pair = None
+    while t + 1 < n:
+        pair = rho[t] + rho[t + 1]
+        if pair < 0:
+            break
+        if prev_pair is not None:
+            pair = min(pair, prev_pair)
+        tau += pair
+        prev_pair = pair
+        t += 2
+    ess = m * n / (1.0 + 2.0 * tau)
+    return float(max(min(ess, m * n), 1.0))
+
+
+def summary(samples_by_chain: Mapping[str, np.ndarray]) -> Dict[str, Dict[str, float]]:
+    """Per-scalar summary of a dict of (chains, draws, *shape) arrays."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, values in samples_by_chain.items():
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 2:
+            components = {name: values}
+        else:
+            flat = values.reshape(values.shape[0], values.shape[1], -1)
+            components = {
+                f"{name}[{i}]": flat[:, :, i] for i in range(flat.shape[2])
+            }
+        for comp_name, comp in components.items():
+            draws = comp.reshape(-1)
+            out[comp_name] = {
+                "mean": float(draws.mean()),
+                "std": float(draws.std(ddof=1)) if draws.size > 1 else 0.0,
+                "5%": float(np.percentile(draws, 5)),
+                "50%": float(np.percentile(draws, 50)),
+                "95%": float(np.percentile(draws, 95)),
+                "n_eff": effective_sample_size(comp),
+                "r_hat": potential_scale_reduction(comp),
+            }
+    return out
+
+
+def flatten_samples(samples: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Flatten multi-dimensional parameters to per-component draws."""
+    out: Dict[str, np.ndarray] = {}
+    for name, values in samples.items():
+        values = np.asarray(values, dtype=float)
+        if values.ndim <= 1:
+            out[name] = values
+        else:
+            flat = values.reshape(values.shape[0], -1)
+            for i in range(flat.shape[1]):
+                out[f"{name}[{i}]"] = flat[:, i]
+    return out
+
+
+def accuracy_check(reference: Mapping[str, np.ndarray], candidate: Mapping[str, np.ndarray],
+                   threshold: float = 0.3) -> Tuple[bool, float]:
+    """The paper's RQ2 accuracy criterion.
+
+    For every component: ``|mean(ref) - mean(cand)| < threshold * std(ref)``.
+    Returns ``(passed, mean relative error)`` where the relative error of a
+    component is ``|mean(ref) - mean(cand)| / std(ref)`` (the quantity
+    reported in Table 4).
+    """
+    ref_flat = flatten_samples(reference)
+    cand_flat = flatten_samples(candidate)
+    errors = []
+    passed = True
+    for name, ref_draws in ref_flat.items():
+        if name not in cand_flat:
+            continue
+        ref_mean = float(np.mean(ref_draws))
+        ref_std = float(np.std(ref_draws, ddof=1)) if ref_draws.size > 1 else 0.0
+        cand_mean = float(np.mean(cand_flat[name]))
+        denom = ref_std if ref_std > 1e-12 else max(abs(ref_mean), 1e-12)
+        rel_err = abs(ref_mean - cand_mean) / denom
+        errors.append(rel_err)
+        if rel_err >= threshold:
+            passed = False
+    if not errors:
+        return False, float("nan")
+    return passed, float(np.mean(errors))

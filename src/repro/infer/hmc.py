@@ -1,0 +1,219 @@
+"""Hamiltonian Monte Carlo kernel with step-size and mass adaptation.
+
+The static-trajectory HMC kernel shares its adaptation machinery (dual
+averaging for the step size, Welford estimation of a diagonal mass matrix)
+with the NUTS kernel in :mod:`repro.infer.nuts`, mirroring the structure of
+Stan's and NumPyro's samplers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.infer.potential import Potential
+
+
+@dataclass
+class DualAveraging:
+    """Nesterov dual averaging of the log step size (Hoffman & Gelman 2014)."""
+
+    target_accept: float = 0.8
+    gamma: float = 0.05
+    t0: float = 10.0
+    kappa: float = 0.75
+    mu: float = 0.0
+    log_step: float = 0.0
+    log_step_avg: float = 0.0
+    h_bar: float = 0.0
+    count: int = 0
+
+    def initialize(self, step_size: float) -> None:
+        self.mu = math.log(10.0 * step_size)
+        self.log_step = math.log(step_size)
+        self.log_step_avg = math.log(step_size)
+        self.h_bar = 0.0
+        self.count = 0
+
+    def update(self, accept_prob: float) -> float:
+        self.count += 1
+        eta = 1.0 / (self.count + self.t0)
+        self.h_bar = (1 - eta) * self.h_bar + eta * (self.target_accept - accept_prob)
+        self.log_step = self.mu - math.sqrt(self.count) / self.gamma * self.h_bar
+        weight = self.count ** (-self.kappa)
+        self.log_step_avg = weight * self.log_step + (1 - weight) * self.log_step_avg
+        return math.exp(self.log_step)
+
+    @property
+    def adapted_step_size(self) -> float:
+        return math.exp(self.log_step_avg)
+
+
+@dataclass
+class WelfordVariance:
+    """Online estimator of per-dimension variance for the mass matrix."""
+
+    dim: int
+    count: int = 0
+    mean: np.ndarray = field(default=None)  # type: ignore[assignment]
+    m2: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.mean = np.zeros(self.dim)
+        self.m2 = np.zeros(self.dim)
+
+    def update(self, x: np.ndarray) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean = self.mean + delta / self.count
+        self.m2 = self.m2 + delta * (x - self.mean)
+
+    def variance(self) -> np.ndarray:
+        if self.count < 2:
+            return np.ones(self.dim)
+        var = self.m2 / (self.count - 1)
+        # Regularise towards unity as Stan does.
+        return (self.count / (self.count + 5.0)) * var + 1e-3 * (5.0 / (self.count + 5.0))
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = np.zeros(self.dim)
+        self.m2 = np.zeros(self.dim)
+
+
+class HMC:
+    """Static Hamiltonian Monte Carlo kernel.
+
+    Parameters
+    ----------
+    potential:
+        A :class:`~repro.infer.potential.Potential` (or any object exposing
+        ``dim``, ``potential_and_grad``).
+    step_size:
+        Initial leapfrog step size (adapted during warmup unless
+        ``adapt_step_size=False``).
+    num_steps:
+        Number of leapfrog steps per proposal (ignored by NUTS).
+    """
+
+    def __init__(self, potential: Potential, step_size: float = 0.1, num_steps: int = 10,
+                 adapt_step_size: bool = True, adapt_mass_matrix: bool = True,
+                 target_accept: float = 0.8, max_energy_change: float = 1000.0):
+        self.potential = potential
+        self.step_size = step_size
+        self.num_steps = num_steps
+        self.adapt_step_size = adapt_step_size
+        self.adapt_mass_matrix = adapt_mass_matrix
+        self.target_accept = target_accept
+        self.max_energy_change = max_energy_change
+        self.inv_mass = np.ones(potential.dim)
+        self._dual_avg = DualAveraging(target_accept=target_accept)
+        self._welford = WelfordVariance(potential.dim)
+        self.divergences = 0
+
+    # ------------------------------------------------------------------
+    # numerics
+    # ------------------------------------------------------------------
+    def _kinetic(self, momentum: np.ndarray) -> float:
+        return 0.5 * float(np.sum(self.inv_mass * momentum * momentum))
+
+    def _sample_momentum(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.standard_normal(self.potential.dim) / np.sqrt(self.inv_mass)
+
+    def leapfrog(self, z: np.ndarray, momentum: np.ndarray, grad: np.ndarray,
+                 step_size: float, num_steps: int) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray]:
+        """Run ``num_steps`` leapfrog steps; return (z, momentum, U, grad)."""
+        z = z.copy()
+        momentum = momentum.copy()
+        momentum -= 0.5 * step_size * grad
+        for i in range(num_steps):
+            z += step_size * self.inv_mass * momentum
+            u, grad = self.potential.potential_and_grad(z)
+            if i < num_steps - 1:
+                momentum -= step_size * grad
+        momentum -= 0.5 * step_size * grad
+        return z, momentum, u, grad
+
+    def find_reasonable_step_size(self, z: np.ndarray, rng: np.random.Generator) -> float:
+        """Heuristic initial step size (Hoffman & Gelman 2014, Algorithm 4)."""
+        step_size = 1.0
+        u0, grad0 = self.potential.potential_and_grad(z)
+        momentum = self._sample_momentum(rng)
+        h0 = u0 + self._kinetic(momentum)
+        z1, r1, u1, _ = self.leapfrog(z, momentum, grad0, step_size, 1)
+        h1 = u1 + self._kinetic(r1)
+        log_ratio = h0 - h1
+        direction = 1.0 if log_ratio > math.log(0.5) else -1.0
+        for _ in range(50):
+            step_size *= 2.0 ** direction
+            z1, r1, u1, _ = self.leapfrog(z, momentum, grad0, step_size, 1)
+            h1 = u1 + self._kinetic(r1)
+            if not np.isfinite(h1):
+                step_size *= 0.5 ** direction
+                continue
+            log_ratio = h0 - h1
+            if direction == 1.0 and log_ratio <= math.log(0.5):
+                break
+            if direction == -1.0 and log_ratio >= math.log(0.5):
+                break
+        return max(min(step_size, 10.0), 1e-6)
+
+    # ------------------------------------------------------------------
+    # sampling protocol shared with NUTS
+    # ------------------------------------------------------------------
+    def setup(self, z: np.ndarray, rng: np.random.Generator, num_warmup: int) -> None:
+        if self.adapt_step_size:
+            self.step_size = self.find_reasonable_step_size(z, rng)
+            self._dual_avg.initialize(self.step_size)
+        self._welford.reset()
+        self._num_warmup = num_warmup
+        self._iteration = 0
+
+    def _adapt(self, z: np.ndarray, accept_prob: float) -> None:
+        warmup = getattr(self, "_num_warmup", 0)
+        if self._iteration >= warmup:
+            return
+        if self.adapt_step_size:
+            self.step_size = self._dual_avg.update(accept_prob)
+        if self.adapt_mass_matrix:
+            self._welford.update(z)
+            # Update the mass matrix at a few fixed points of the warmup.
+            if self._iteration in (int(warmup * 0.5), int(warmup * 0.75)) and self._welford.count > 10:
+                self.inv_mass = self._welford.variance()
+                self._welford.reset()
+        if self._iteration == warmup - 1 and self.adapt_step_size:
+            self.step_size = self._dual_avg.adapted_step_size
+
+    def sample(self, z: np.ndarray, rng: np.random.Generator) -> Tuple[np.ndarray, dict]:
+        """One MCMC transition from ``z``; returns (new z, stats dict)."""
+        u0, grad0 = self.potential.potential_and_grad(z)
+        momentum = self._sample_momentum(rng)
+        h0 = u0 + self._kinetic(momentum)
+        z_new, r_new, u_new, _ = self.leapfrog(z, momentum, grad0, self.step_size, self.num_steps)
+        h_new = u_new + self._kinetic(r_new)
+        energy_change = h_new - h0
+        if not np.isfinite(energy_change):
+            energy_change = float("inf")
+        if energy_change <= 0.0:
+            accept_prob = 1.0
+        elif np.isfinite(energy_change):
+            accept_prob = math.exp(-energy_change)
+        else:
+            accept_prob = 0.0
+        divergent = energy_change > self.max_energy_change
+        if divergent:
+            self.divergences += 1
+        accepted = rng.uniform() < accept_prob and not divergent
+        z_out = z_new if accepted else z
+        self._adapt(z_out, accept_prob)
+        self._iteration += 1
+        return z_out, {
+            "accept_prob": accept_prob,
+            "accepted": accepted,
+            "step_size": self.step_size,
+            "divergent": divergent,
+            "potential_energy": u_new if accepted else u0,
+        }

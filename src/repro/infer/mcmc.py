@@ -1,0 +1,123 @@
+"""MCMC driver: chains, warmup, thinning and result collection.
+
+The interface mirrors the one shared by CmdStanPy, Pyro and NumPyro that the
+paper's evaluation scripts use: construct with a kernel, call ``run`` with
+iteration counts, then read ``get_samples()`` keyed by (Stan) parameter name.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.infer.hmc import HMC
+from repro.infer.potential import Potential
+
+
+class MCMC:
+    """Run one or more chains of an HMC-family kernel.
+
+    Parameters
+    ----------
+    kernel_factory:
+        Callable returning a fresh kernel (e.g. ``lambda: NUTS(potential)``),
+        or a kernel instance (reused across chains with re-initialisation).
+    num_warmup, num_samples:
+        Warmup (adaptation) iterations and retained post-warmup draws.
+    num_chains:
+        Number of independent chains (run sequentially).
+    thinning:
+        Keep every ``thinning``-th post-warmup draw (PosteriorDB configs use
+        thinning for a few models).
+    """
+
+    def __init__(self, kernel, num_warmup: int = 500, num_samples: int = 500,
+                 num_chains: int = 1, thinning: int = 1, seed: int = 0,
+                 progress: bool = False):
+        self._kernel_factory = kernel if callable(kernel) and not isinstance(kernel, HMC) else None
+        self._kernel_instance = kernel if isinstance(kernel, HMC) else None
+        self.num_warmup = int(num_warmup)
+        self.num_samples = int(num_samples)
+        self.num_chains = int(num_chains)
+        self.thinning = max(int(thinning), 1)
+        self.seed = seed
+        self.progress = progress
+        self._samples_by_chain: List[Dict[str, np.ndarray]] = []
+        self._stats_by_chain: List[Dict[str, np.ndarray]] = []
+        self.runtime_seconds: float = 0.0
+
+    def _get_kernel(self) -> HMC:
+        if self._kernel_instance is not None:
+            return self._kernel_instance
+        return self._kernel_factory()
+
+    # ------------------------------------------------------------------
+    def run(self, init_params: Optional[np.ndarray] = None) -> "MCMC":
+        """Run all chains; returns ``self`` for chaining."""
+        start = time.perf_counter()
+        self._samples_by_chain = []
+        self._stats_by_chain = []
+        for chain in range(self.num_chains):
+            rng = np.random.default_rng(self.seed + chain)
+            kernel = self._get_kernel()
+            potential = kernel.potential
+            if init_params is not None:
+                z = np.asarray(init_params, dtype=float).copy()
+            else:
+                z = potential.initial_unconstrained(rng=rng)
+                # Fall back to the prior-draw point if the jittered start is infeasible.
+                if not np.isfinite(potential.potential(z)):
+                    z = potential.initial_unconstrained()
+            kernel.setup(z, rng, self.num_warmup)
+            draws: List[np.ndarray] = []
+            stats: Dict[str, List[float]] = {"accept_prob": [], "step_size": [], "divergent": []}
+            total_iters = self.num_warmup + self.num_samples * self.thinning
+            for i in range(total_iters):
+                z, info = kernel.sample(z, rng)
+                if i >= self.num_warmup and (i - self.num_warmup) % self.thinning == 0:
+                    draws.append(z.copy())
+                    stats["accept_prob"].append(info.get("accept_prob", np.nan))
+                    stats["step_size"].append(info.get("step_size", np.nan))
+                    stats["divergent"].append(float(info.get("divergent", False)))
+            unconstrained = np.array(draws)
+            constrained = self._constrain_all(potential, unconstrained)
+            self._samples_by_chain.append(constrained)
+            self._stats_by_chain.append({k: np.array(v) for k, v in stats.items()})
+        self.runtime_seconds = time.perf_counter() - start
+        return self
+
+    @staticmethod
+    def _constrain_all(potential: Potential, unconstrained: np.ndarray) -> Dict[str, np.ndarray]:
+        out: Dict[str, List[np.ndarray]] = OrderedDict((name, []) for name in potential.sites)
+        for z in unconstrained:
+            values = potential.constrained_dict(z)
+            for name, value in values.items():
+                out[name].append(value)
+        return OrderedDict((name, np.array(vals)) for name, vals in out.items())
+
+    # ------------------------------------------------------------------
+    def get_samples(self, group_by_chain: bool = False) -> Dict[str, np.ndarray]:
+        """Posterior draws per site; chains are concatenated unless grouped."""
+        if not self._samples_by_chain:
+            raise RuntimeError("run() must be called before get_samples()")
+        if group_by_chain:
+            return {
+                name: np.stack([chain[name] for chain in self._samples_by_chain])
+                for name in self._samples_by_chain[0]
+            }
+        return {
+            name: np.concatenate([chain[name] for chain in self._samples_by_chain])
+            for name in self._samples_by_chain[0]
+        }
+
+    def get_extra_fields(self) -> List[Dict[str, np.ndarray]]:
+        return self._stats_by_chain
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Posterior summary (mean, std, quantiles, n_eff, r_hat) per scalar."""
+        from repro.infer import diagnostics
+
+        return diagnostics.summary(self.get_samples(group_by_chain=True))

@@ -1,0 +1,179 @@
+"""The No-U-Turn Sampler (Hoffman & Gelman 2014).
+
+This is the preferred inference method of Stan and of the Pyro/NumPyro
+runtimes the paper targets; all the accuracy and speed comparisons of Tables
+3–5 run NUTS on both sides.  The implementation follows the iterative
+formulation with slice sampling (Algorithm 6 of the NUTS paper) and reuses the
+step-size/mass adaptation of :class:`~repro.infer.hmc.HMC`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.infer.hmc import HMC
+from repro.infer.potential import Potential
+
+
+@dataclass
+class _TreeState:
+    z_minus: np.ndarray
+    r_minus: np.ndarray
+    grad_minus: np.ndarray
+    z_plus: np.ndarray
+    r_plus: np.ndarray
+    grad_plus: np.ndarray
+    z_proposal: np.ndarray
+    n_valid: int
+    keep_going: bool
+    sum_accept: float
+    n_states: int
+
+
+class NUTS(HMC):
+    """No-U-Turn sampler kernel.
+
+    Parameters
+    ----------
+    potential:
+        Potential-energy object for the model.
+    max_tree_depth:
+        Maximum doubling depth (Stan's default is 10; small models in the
+        benchmark registry use smaller values to bound runtime).
+    """
+
+    def __init__(self, potential: Potential, step_size: float = 0.1, max_tree_depth: int = 10,
+                 adapt_step_size: bool = True, adapt_mass_matrix: bool = True,
+                 target_accept: float = 0.8, max_energy_change: float = 1000.0):
+        super().__init__(
+            potential,
+            step_size=step_size,
+            num_steps=1,
+            adapt_step_size=adapt_step_size,
+            adapt_mass_matrix=adapt_mass_matrix,
+            target_accept=target_accept,
+            max_energy_change=max_energy_change,
+        )
+        self.max_tree_depth = max_tree_depth
+
+    # ------------------------------------------------------------------
+    def _single_leapfrog(self, z, r, grad, step_size):
+        r = r - 0.5 * step_size * grad
+        z = z + step_size * self.inv_mass * r
+        u, grad = self.potential.potential_and_grad(z)
+        r = r - 0.5 * step_size * grad
+        return z, r, u, grad
+
+    def _is_turning(self, z_minus, r_minus, z_plus, r_plus) -> bool:
+        diff = z_plus - z_minus
+        return (
+            float(np.dot(diff, self.inv_mass * r_minus)) < 0.0
+            or float(np.dot(diff, self.inv_mass * r_plus)) < 0.0
+        )
+
+    def _build_tree(self, z, r, grad, log_slice, direction, depth, h0, rng) -> _TreeState:
+        if depth == 0:
+            step = direction * self.step_size
+            z_new, r_new, u_new, grad_new = self._single_leapfrog(z, r, grad, step)
+            h_new = u_new + self._kinetic(r_new)
+            if not np.isfinite(h_new):
+                h_new = float("inf")
+            n_valid = 1 if log_slice <= -h_new else 0
+            diverging = (log_slice - 1000.0) >= -h_new
+            if not np.isfinite(h_new):
+                accept = 0.0
+            elif h0 - h_new >= 0.0:
+                accept = 1.0
+            else:
+                accept = math.exp(h0 - h_new)
+            if diverging:
+                self.divergences += 1
+            return _TreeState(
+                z_minus=z_new, r_minus=r_new, grad_minus=grad_new,
+                z_plus=z_new, r_plus=r_new, grad_plus=grad_new,
+                z_proposal=z_new, n_valid=n_valid, keep_going=not diverging,
+                sum_accept=accept, n_states=1,
+            )
+        # Recursively build left and right subtrees.
+        first = self._build_tree(z, r, grad, log_slice, direction, depth - 1, h0, rng)
+        if not first.keep_going:
+            return first
+        if direction == 1:
+            second = self._build_tree(first.z_plus, first.r_plus, first.grad_plus,
+                                      log_slice, direction, depth - 1, h0, rng)
+            z_minus, r_minus, grad_minus = first.z_minus, first.r_minus, first.grad_minus
+            z_plus, r_plus, grad_plus = second.z_plus, second.r_plus, second.grad_plus
+        else:
+            second = self._build_tree(first.z_minus, first.r_minus, first.grad_minus,
+                                      log_slice, direction, depth - 1, h0, rng)
+            z_minus, r_minus, grad_minus = second.z_minus, second.r_minus, second.grad_minus
+            z_plus, r_plus, grad_plus = first.z_plus, first.r_plus, first.grad_plus
+        total_valid = first.n_valid + second.n_valid
+        if total_valid > 0 and rng.uniform() < second.n_valid / total_valid:
+            proposal = second.z_proposal
+        else:
+            proposal = first.z_proposal
+        keep_going = (
+            second.keep_going
+            and not self._is_turning(z_minus, r_minus, z_plus, r_plus)
+        )
+        return _TreeState(
+            z_minus=z_minus, r_minus=r_minus, grad_minus=grad_minus,
+            z_plus=z_plus, r_plus=r_plus, grad_plus=grad_plus,
+            z_proposal=proposal, n_valid=total_valid, keep_going=keep_going,
+            sum_accept=first.sum_accept + second.sum_accept,
+            n_states=first.n_states + second.n_states,
+        )
+
+    # ------------------------------------------------------------------
+    def sample(self, z: np.ndarray, rng: np.random.Generator) -> Tuple[np.ndarray, dict]:
+        u0, grad0 = self.potential.potential_and_grad(z)
+        r0 = self._sample_momentum(rng)
+        h0 = u0 + self._kinetic(r0)
+        # Slice variable in log space: log u = log(uniform) - H0.
+        log_slice = math.log(rng.uniform(1e-300, 1.0)) - h0
+
+        z_minus = z.copy()
+        z_plus = z.copy()
+        r_minus = r0.copy()
+        r_plus = r0.copy()
+        grad_minus = grad0.copy()
+        grad_plus = grad0.copy()
+        z_proposal = z.copy()
+        n_valid = 1
+        sum_accept = 0.0
+        n_states = 0
+        depth = 0
+        keep_going = True
+        while keep_going and depth < self.max_tree_depth:
+            direction = 1 if rng.uniform() < 0.5 else -1
+            if direction == 1:
+                tree = self._build_tree(z_plus, r_plus, grad_plus, log_slice, 1, depth, h0, rng)
+                z_plus, r_plus, grad_plus = tree.z_plus, tree.r_plus, tree.grad_plus
+            else:
+                tree = self._build_tree(z_minus, r_minus, grad_minus, log_slice, -1, depth, h0, rng)
+                z_minus, r_minus, grad_minus = tree.z_minus, tree.r_minus, tree.grad_minus
+            if tree.keep_going and tree.n_valid > 0:
+                if rng.uniform() < tree.n_valid / max(n_valid, 1):
+                    z_proposal = tree.z_proposal
+            n_valid += tree.n_valid
+            sum_accept += tree.sum_accept
+            n_states += tree.n_states
+            keep_going = tree.keep_going and not self._is_turning(z_minus, r_minus, z_plus, r_plus)
+            depth += 1
+
+        accept_prob = sum_accept / max(n_states, 1)
+        self._adapt(z_proposal, accept_prob)
+        self._iteration += 1
+        return z_proposal, {
+            "accept_prob": accept_prob,
+            "accepted": not np.allclose(z_proposal, z),
+            "step_size": self.step_size,
+            "tree_depth": depth,
+            "divergent": n_states > 0 and not keep_going and depth == 0,
+            "potential_energy": self.potential.potential(z_proposal),
+        }

@@ -1,0 +1,131 @@
+"""Stochastic variational inference with explicit guides (Pyro-style SVI).
+
+The DeepStan ``guide`` block (§5.1) compiles to a Python guide function; this
+module optimises the guide parameters (declared with ``param``, i.e. the Stan
+``guide parameters`` block) by maximising the ELBO.  The gradient estimator is
+the reparameterised (pathwise) estimator whenever the guide distribution
+supports ``rsample`` (Normal and its transforms), and falls back to treating
+the sample as a constant otherwise — sufficient for the paper's experiments
+(all guides are Gaussian families).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.optim import Adam, Optimizer
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import handlers, primitives
+
+
+class TraceELBO:
+    """Single-sample ELBO estimator from paired guide/model traces."""
+
+    def __init__(self, num_particles: int = 1):
+        self.num_particles = num_particles
+
+    def loss_tensor(self, model: Callable, guide: Callable, rng: np.random.Generator,
+                    *args, **kwargs) -> Tensor:
+        """Return the negative ELBO as a differentiable scalar tensor."""
+        total = as_tensor(0.0)
+        for _ in range(self.num_particles):
+            guide_tracer = handlers.trace()
+            with handlers.seed(rng_seed=rng), guide_tracer:
+                guide(*args, **kwargs)
+            guide_trace = guide_tracer.trace
+
+            model_tracer = handlers.trace()
+            with handlers.seed(rng_seed=rng), handlers.replay(guide_trace=guide_trace), model_tracer:
+                model(*args, **kwargs)
+            model_trace = model_tracer.trace
+
+            log_p = handlers.trace_log_density(model_trace)
+            log_q = handlers.trace_log_density(guide_trace)
+            total = ops.add(total, ops.sub(log_q, log_p))
+        return ops.div(total, float(self.num_particles))
+
+
+class SVI:
+    """Optimise guide parameters against a model with the ELBO objective.
+
+    Parameters
+    ----------
+    model, guide:
+        Callables using the :mod:`repro.ppl` primitives and sharing latent
+        sample-site names (the guide must sample every model parameter, the
+        DeepStan restriction inherited from Pyro).
+    optimizer:
+        An :class:`~repro.autodiff.optim.Optimizer`; created lazily over the
+        parameter store if omitted.
+    """
+
+    def __init__(self, model: Callable, guide: Callable, optimizer: Optional[Optimizer] = None,
+                 loss: Optional[TraceELBO] = None, learning_rate: float = 0.01, seed: int = 0,
+                 extra_params: Optional[Sequence] = None):
+        self.model = model
+        self.guide = guide
+        self.optimizer = optimizer
+        self.learning_rate = learning_rate
+        self.loss = loss or TraceELBO()
+        self.rng = np.random.default_rng(seed)
+        self.loss_history: List[float] = []
+        # Additional learnable tensors outside the param store — typically the
+        # weights of (non-lifted) neural networks used by the model/guide, the
+        # analogue of registering a module with Pyro's optimiser.
+        self.extra_params = list(extra_params or [])
+
+    def _ensure_optimizer(self) -> Optimizer:
+        store = primitives.get_param_store()
+        params = list(store.values()) + list(self.extra_params)
+        if self.optimizer is None:
+            if not params:
+                raise RuntimeError("no parameters found in the param store; run a step first")
+            self.optimizer = Adam(params, lr=self.learning_rate)
+        else:
+            for p in params:
+                self.optimizer.add_param(p)
+        return self.optimizer
+
+    def step(self, *args, **kwargs) -> float:
+        """One ELBO gradient step; returns the loss (negative ELBO) value."""
+        loss = self.loss.loss_tensor(self.model, self.guide, self.rng, *args, **kwargs)
+        optimizer = None
+        store_before = dict(primitives.get_param_store())
+        if store_before:
+            optimizer = self._ensure_optimizer()
+            optimizer.zero_grad()
+        loss.backward()
+        if optimizer is None:
+            optimizer = self._ensure_optimizer()
+        optimizer.step()
+        optimizer.zero_grad()
+        value = float(loss.data)
+        self.loss_history.append(value)
+        return value
+
+    def run(self, num_steps: int, *args, **kwargs) -> "SVI":
+        for _ in range(num_steps):
+            self.step(*args, **kwargs)
+        return self
+
+    # ------------------------------------------------------------------
+    def sample_posterior(self, num_samples: int, *args, site_names: Optional[Sequence[str]] = None,
+                         **kwargs) -> Dict[str, np.ndarray]:
+        """Draw posterior samples by running the fitted guide forward."""
+        out: Dict[str, List[np.ndarray]] = {}
+        for _ in range(num_samples):
+            tracer = handlers.trace()
+            with handlers.seed(rng_seed=self.rng), tracer:
+                self.guide(*args, **kwargs)
+            for name, site in tracer.trace.items():
+                if site["type"] != "sample" or site["is_observed"]:
+                    continue
+                if site_names is not None and name not in site_names:
+                    continue
+                value = site["value"]
+                value = value.data if isinstance(value, Tensor) else np.asarray(value)
+                out.setdefault(name, []).append(np.array(value, dtype=float))
+        return {name: np.array(vals) for name, vals in out.items()}

@@ -1,0 +1,23 @@
+"""PosteriorDB substitute: model/dataset/config registry with references."""
+
+from repro.posteriordb.registry import (
+    Entry,
+    InferenceConfig,
+    entries,
+    get,
+    names,
+    register,
+    supported_entries,
+)
+from repro.posteriordb import datagen
+
+__all__ = [
+    "Entry",
+    "InferenceConfig",
+    "entries",
+    "get",
+    "names",
+    "register",
+    "supported_entries",
+    "datagen",
+]

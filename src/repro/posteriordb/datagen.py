@@ -1,0 +1,192 @@
+"""Synthetic dataset generators for the PosteriorDB-style registry.
+
+PosteriorDB pairs each Stan model with a real dataset (earnings, kidiq,
+mesquite, NES surveys, ...).  Those datasets are not redistributable/offline,
+so each registry entry instead carries a generator producing a synthetic
+dataset with the same schema and qualitatively similar scale (sample sizes are
+reduced so the NUTS benchmarks stay laptop-sized).  The generators are
+deterministic given their seed, so reference posteriors and backend runs see
+the same data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+
+def coin_data(seed: int = 0, n: int = 40) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    return {"N": n, "x": rng.binomial(1, 0.7, size=n).astype(float)}
+
+
+def eight_schools_data(seed: int = 0) -> Dict[str, Any]:
+    # The classic eight-schools data (public domain, Rubin 1981).
+    return {
+        "J": 8,
+        "y": np.array([28.0, 8.0, -3.0, 7.0, -1.0, 1.0, 18.0, 12.0]),
+        "sigma": np.array([15.0, 10.0, 16.0, 11.0, 9.0, 11.0, 10.0, 18.0]),
+    }
+
+
+def earnings_data(seed: int = 0, n: int = 60) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    height = rng.normal(66.0, 4.0, size=n)
+    male = rng.binomial(1, 0.5, size=n).astype(float)
+    log_earn = 6.0 + 0.025 * height + 0.4 * male + rng.normal(0, 0.5, size=n)
+    return {"N": n, "earn": np.exp(log_earn), "height": height, "male": male}
+
+
+def kidiq_data(seed: int = 0, n: int = 60) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    mom_iq = rng.normal(100.0, 15.0, size=n)
+    mom_hs = rng.binomial(1, 0.8, size=n).astype(float)
+    mom_work = rng.integers(1, 5, size=n).astype(float)
+    kid_score = 20.0 + 0.6 * mom_iq + 5.0 * mom_hs + rng.normal(0, 18.0, size=n)
+    return {"N": n, "kid_score": kid_score, "mom_iq": mom_iq, "mom_hs": mom_hs,
+            "mom_work": mom_work}
+
+
+def mesquite_data(seed: int = 0, n: int = 45) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    diam1 = rng.uniform(0.8, 4.0, size=n)
+    diam2 = rng.uniform(0.5, 3.0, size=n)
+    canopy_height = rng.uniform(0.5, 2.5, size=n)
+    weight = np.exp(0.5 + 1.2 * np.log(diam1 * diam2 * canopy_height)
+                    + rng.normal(0, 0.3, size=n))
+    return {"N": n, "weight": weight, "diam1": diam1, "diam2": diam2,
+            "canopy_height": canopy_height}
+
+
+def kilpisjarvi_data(seed: int = 0, n: int = 60) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    year = np.linspace(0.0, 1.0, n)
+    temp = 2.0 + 1.5 * year + rng.normal(0, 0.8, size=n)
+    return {"N": n, "x": year, "y": temp,
+            "pmualpha": 2.0, "psalpha": 10.0, "pmubeta": 0.0, "psbeta": 10.0}
+
+
+def blr_data(seed: int = 0, n: int = 50, d: int = 3) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    beta = rng.normal(0, 1.0, size=d)
+    y = X @ beta + rng.normal(0, 0.7, size=n)
+    return {"N": n, "D": d, "X": X, "y": y}
+
+
+def nes_data(seed: int = 0, n: int = 80) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    income = rng.normal(0.0, 1.0, size=n)
+    logits = 0.3 + 0.8 * income
+    vote = (rng.uniform(size=n) < 1.0 / (1.0 + np.exp(-logits))).astype(float)
+    return {"N": n, "income": income, "vote": vote}
+
+
+def ar_data(seed: int = 0, t: int = 60, k: int = 2) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    coeffs = np.array([0.5, -0.3])[:k]
+    y = np.zeros(t)
+    for i in range(k, t):
+        y[i] = 1.0 + y[i - k:i][::-1] @ coeffs + rng.normal(0, 0.5)
+    return {"K": k, "T": t, "y": y}
+
+
+def arma_data(seed: int = 0, t: int = 60) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    y = np.zeros(t)
+    err_prev = 0.0
+    for i in range(1, t):
+        err = rng.normal(0, 0.5)
+        y[i] = 0.5 + 0.6 * y[i - 1] + 0.3 * err_prev + err
+        err_prev = err
+    return {"T": t, "y": y}
+
+
+def garch_data(seed: int = 0, t: int = 60) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    y = np.zeros(t)
+    sigma = 1.0
+    for i in range(1, t):
+        sigma = np.sqrt(0.2 + 0.3 * y[i - 1] ** 2 + 0.4 * sigma ** 2)
+        y[i] = 0.1 + sigma * rng.standard_normal()
+    return {"T": t, "y": y, "sigma1": 1.0}
+
+
+def dogs_data(seed: int = 0, n_dogs: int = 8, n_trials: int = 12) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    y = np.zeros((n_dogs, n_trials))
+    for j in range(n_dogs):
+        n_avoid, n_shock = 0.0, 0.0
+        for t in range(n_trials):
+            p = 1.0 / (1.0 + np.exp(-(1.0 - 0.3 * n_avoid + 0.1 * n_shock)))
+            shock = rng.uniform() < p
+            y[j, t] = float(shock)
+            if shock:
+                n_shock += 1
+            else:
+                n_avoid += 1
+    return {"n_dogs": n_dogs, "n_trials": n_trials, "y": y}
+
+
+def hmm_data(seed: int = 0, n: int = 40, k: int = 2) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    means = np.array([3.0, 10.0])
+    states = np.zeros(n, dtype=int)
+    for i in range(1, n):
+        stay = rng.uniform() < 0.8
+        states[i] = states[i - 1] if stay else 1 - states[i - 1]
+    y = means[states] + rng.normal(0, 1.0, size=n)
+    return {"N": n, "K": k, "y": y}
+
+
+def gauss_mix_data(seed: int = 0, n: int = 60) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    z = rng.binomial(1, 0.4, size=n)
+    y = np.where(z == 1, rng.normal(-1.5, 0.7, size=n), rng.normal(1.5, 0.7, size=n))
+    return {"N": n, "y": y}
+
+
+def gp_data(seed: int = 0, n: int = 20) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 10, n)
+    y = np.sin(x) + rng.normal(0, 0.2, size=n)
+    return {"N": n, "x": x, "y": y}
+
+
+def lotka_volterra_data(seed: int = 0, n: int = 20) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    ts = np.linspace(1.0, 20.0, n)
+    y = np.abs(np.stack([10 + 5 * np.sin(ts / 3), 5 + 3 * np.cos(ts / 3)], axis=1)
+               + rng.normal(0, 0.5, size=(n, 2)))
+    return {"N": n, "ts": ts, "y_init": np.array([10.0, 5.0]), "y": y}
+
+
+def one_comp_data(seed: int = 0, n: int = 15) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    ts = np.linspace(0.5, 10.0, n)
+    y = 10.0 * np.exp(-0.3 * ts) + np.abs(rng.normal(0, 0.1, size=n))
+    return {"N": n, "ts": ts, "y_obs": y}
+
+
+def diamonds_data(seed: int = 0, n: int = 50) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    carat = rng.uniform(0.2, 2.0, size=n)
+    price = 2.0 + 4.0 * carat + rng.normal(0, 0.8, size=n)
+    return {"N": n, "price": price, "carat": carat}
+
+
+def poisson_data(seed: int = 0, n: int = 50) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, size=n)
+    y = rng.poisson(np.exp(0.5 + 0.7 * x))
+    return {"N": n, "y": y.astype(float), "x": x}
+
+
+def seeds_data(seed: int = 0, n: int = 20) -> Dict[str, Any]:
+    rng = np.random.default_rng(seed)
+    trials = rng.integers(10, 60, size=n)
+    x1 = rng.binomial(1, 0.5, size=n).astype(float)
+    probs = 1.0 / (1.0 + np.exp(-(-0.5 + 1.0 * x1)))
+    r = rng.binomial(trials, probs)
+    return {"N": n, "n": trials.astype(float), "r": r.astype(float), "x1": x1}

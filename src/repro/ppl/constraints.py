@@ -1,0 +1,191 @@
+"""Support constraints for distributions and Stan parameter declarations.
+
+A :class:`Constraint` describes the support of a distribution (or the declared
+domain of a Stan parameter).  It is used in three places:
+
+* the mixed compilation scheme (§4) merges ``sample(uniform)`` with a
+  subsequent ``observe(D, x)`` only when the supports coincide;
+* the inference engines pick the bijector mapping unconstrained space onto the
+  support (:func:`repro.ppl.transforms.biject_to`);
+* distribution ``log_prob`` implementations use constraints to clamp or reject
+  out-of-support values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+Numeric = Union[int, float, np.ndarray]
+
+
+def _as_float(x) -> float:
+    if x is None:
+        return math.nan
+    if hasattr(x, "item"):
+        try:
+            return float(x.item())
+        except Exception:  # pragma: no cover - defensive
+            return math.nan
+    try:
+        return float(x)
+    except (TypeError, ValueError):
+        return math.nan
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Base class; concrete constraints are singletons or parameterised."""
+
+    def check(self, value) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_discrete(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Real(Constraint):
+    def check(self, value) -> bool:
+        return bool(np.all(np.isfinite(np.asarray(value, dtype=float))))
+
+    def __repr__(self) -> str:
+        return "real"
+
+
+@dataclass(frozen=True)
+class Interval(Constraint):
+    """Support ``[lower, upper]``; either bound may be infinite."""
+
+    lower: float = -math.inf
+    upper: float = math.inf
+
+    def check(self, value) -> bool:
+        arr = np.asarray(value, dtype=float)
+        return bool(np.all(arr >= self.lower) and np.all(arr <= self.upper))
+
+    def __repr__(self) -> str:
+        return f"interval({self.lower}, {self.upper})"
+
+
+@dataclass(frozen=True)
+class IntegerInterval(Constraint):
+    lower: float = -math.inf
+    upper: float = math.inf
+
+    def check(self, value) -> bool:
+        arr = np.asarray(value, dtype=float)
+        return bool(
+            np.all(arr >= self.lower)
+            and np.all(arr <= self.upper)
+            and np.all(arr == np.round(arr))
+        )
+
+    @property
+    def is_discrete(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"integer_interval({self.lower}, {self.upper})"
+
+
+@dataclass(frozen=True)
+class Simplex(Constraint):
+    def check(self, value) -> bool:
+        arr = np.asarray(value, dtype=float)
+        return bool(np.all(arr >= 0) and abs(arr.sum() - 1.0) < 1e-6)
+
+    def __repr__(self) -> str:
+        return "simplex"
+
+
+@dataclass(frozen=True)
+class Ordered(Constraint):
+    def check(self, value) -> bool:
+        arr = np.asarray(value, dtype=float)
+        return bool(np.all(np.diff(arr) >= 0))
+
+    def __repr__(self) -> str:
+        return "ordered"
+
+
+@dataclass(frozen=True)
+class PositiveOrdered(Constraint):
+    def check(self, value) -> bool:
+        arr = np.asarray(value, dtype=float)
+        return bool(np.all(arr >= 0) and np.all(np.diff(arr) >= 0))
+
+    def __repr__(self) -> str:
+        return "positive_ordered"
+
+
+@dataclass(frozen=True)
+class CholeskyCorr(Constraint):
+    def check(self, value) -> bool:
+        arr = np.asarray(value, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            return False
+        return bool(np.allclose(arr, np.tril(arr)))
+
+    def __repr__(self) -> str:
+        return "cholesky_factor_corr"
+
+
+# Canonical instances -------------------------------------------------------
+real = Real()
+positive = Interval(0.0, math.inf)
+negative = Interval(-math.inf, 0.0)
+unit_interval = Interval(0.0, 1.0)
+simplex = Simplex()
+ordered = Ordered()
+positive_ordered = PositiveOrdered()
+integer = IntegerInterval()
+nonnegative_integer = IntegerInterval(0, math.inf)
+cholesky_corr = CholeskyCorr()
+
+
+def interval(lower=None, upper=None) -> Interval:
+    """Build an :class:`Interval` from optional bounds (Stan ``<lower,upper>``)."""
+    lo = -math.inf if lower is None else _as_float(lower)
+    hi = math.inf if upper is None else _as_float(upper)
+    return Interval(lo, hi)
+
+
+def integer_interval(lower=None, upper=None) -> IntegerInterval:
+    lo = -math.inf if lower is None else _as_float(lower)
+    hi = math.inf if upper is None else _as_float(upper)
+    return IntegerInterval(lo, hi)
+
+
+def same_support(a: Constraint, b: Constraint, atol: float = 1e-12) -> bool:
+    """Whether two constraints describe the same support.
+
+    Used by the mixed compilation scheme: ``sample(uniform(support))`` followed
+    by ``observe(D, x)`` may be merged into ``sample(D)`` only when
+    ``D.support`` equals the declared support of ``x`` (§4).
+    """
+    if type(a) is not type(b):
+        # A Real constraint and an unbounded Interval are the same support.
+        a_iv = Interval(-math.inf, math.inf) if isinstance(a, Real) else a
+        b_iv = Interval(-math.inf, math.inf) if isinstance(b, Real) else b
+        if isinstance(a_iv, Interval) and isinstance(b_iv, Interval):
+            return _interval_eq(a_iv, b_iv, atol)
+        return False
+    if isinstance(a, Interval):
+        return _interval_eq(a, b, atol)
+    if isinstance(a, IntegerInterval):
+        return _interval_eq(a, b, atol)
+    return True
+
+
+def _interval_eq(a, b, atol: float) -> bool:
+    def eq(x, y):
+        if math.isinf(x) or math.isinf(y):
+            return x == y
+        return abs(x - y) <= atol
+
+    return eq(a.lower, b.lower) and eq(a.upper, b.upper)

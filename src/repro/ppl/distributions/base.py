@@ -1,0 +1,76 @@
+"""Distribution base class shared by all runtime distributions.
+
+Distributions hold their parameters as tensors (or plain arrays), expose a
+``support`` constraint, a ``sample`` method driven by a NumPy ``Generator``
+and a differentiable ``log_prob``.  ``log_prob`` returns an *element-wise*
+tensor; the effect handlers (and the inference engines) sum it over the whole
+site, which mirrors how the compiled Stan code treats vectorised ``~``
+statements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import constraints as C
+
+ParamLike = Union[int, float, np.ndarray, Tensor]
+
+
+def param_value(x: ParamLike) -> np.ndarray:
+    """Return the plain NumPy value of a (possibly Tensor) parameter."""
+    if isinstance(x, Tensor):
+        return x.data
+    return np.asarray(x, dtype=float)
+
+
+class Distribution:
+    """Base class for probability distributions."""
+
+    #: declared support; concrete classes override (possibly per-instance)
+    support: C.Constraint = C.real
+
+    #: whether the distribution is discrete (affects inference site handling)
+    is_discrete: bool = False
+
+    #: length of a single event (0 for scalar distributions)
+    event_dim: int = 0
+
+    def sample(self, rng: np.random.Generator, sample_shape: Tuple[int, ...] = ()) -> np.ndarray:
+        """Draw a sample as a NumPy array (no gradient tracking)."""
+        raise NotImplementedError
+
+    def log_prob(self, value) -> Tensor:
+        """Element-wise log density/mass at ``value`` (a Tensor)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # helpers shared by concrete distributions
+    # ------------------------------------------------------------------
+    def _batch_shape(self, *params) -> Tuple[int, ...]:
+        shapes = [np.shape(param_value(p)) for p in params]
+        return np.broadcast_shapes(*shapes) if shapes else ()
+
+    def expand_shape(self, sample_shape: Tuple[int, ...], *params) -> Tuple[int, ...]:
+        return tuple(sample_shape) + self._batch_shape(*params)
+
+    @property
+    def mean(self) -> np.ndarray:  # pragma: no cover - optional
+        raise NotImplementedError
+
+    @property
+    def variance(self) -> np.ndarray:  # pragma: no cover - optional
+        raise NotImplementedError
+
+    def log_prob_sum(self, value) -> Tensor:
+        """Sum of the element-wise log probability (a scalar tensor)."""
+        lp = self.log_prob(value)
+        if isinstance(lp, Tensor) and lp.data.ndim > 0:
+            return lp.sum()
+        return as_tensor(lp)
+
+    def __repr__(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,476 @@
+"""Univariate continuous distributions.
+
+The set covers the Stan functions reference entries used by the bundled
+corpus and PosteriorDB-style models: location-scale families, positive
+families, and bounded families.  ``log_prob`` is written with
+:mod:`repro.autodiff.ops` so that gradients with respect to both the value and
+the distribution parameters are available to HMC/NUTS and to variational
+inference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import constraints as C
+from repro.ppl.distributions.base import Distribution, param_value
+
+LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+class Normal(Distribution):
+    """Gaussian distribution ``normal(mu, sigma)``."""
+
+    support = C.real
+    has_rsample = True
+
+    def __init__(self, loc=0.0, scale=1.0):
+        self.loc = loc
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.loc, self.scale)
+        return param_value(self.loc) + param_value(self.scale) * rng.standard_normal(shape)
+
+    def rsample(self, rng, sample_shape=()) -> Tensor:
+        """Reparameterised sample (pathwise gradients for SVI guides)."""
+        shape = self.expand_shape(sample_shape, self.loc, self.scale)
+        eps = rng.standard_normal(shape)
+        return ops.add(self.loc, ops.mul(self.scale, eps))
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        z = ops.div(ops.sub(value, self.loc), self.scale)
+        return ops.sub(
+            ops.mul(-0.5, ops.mul(z, z)),
+            ops.add(ops.log(as_tensor(self.scale)), LOG_SQRT_2PI),
+        )
+
+    @property
+    def mean(self):
+        return param_value(self.loc)
+
+    @property
+    def variance(self):
+        return param_value(self.scale) ** 2
+
+
+class StudentT(Distribution):
+    """Student's t ``student_t(nu, mu, sigma)``."""
+
+    support = C.real
+
+    def __init__(self, df, loc=0.0, scale=1.0):
+        self.df = df
+        self.loc = loc
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.df, self.loc, self.scale)
+        return param_value(self.loc) + param_value(self.scale) * rng.standard_t(
+            param_value(self.df), size=shape
+        )
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        nu = as_tensor(self.df)
+        z = ops.div(ops.sub(value, self.loc), self.scale)
+        half_nu = ops.mul(0.5, nu)
+        lognorm = ops.sub(
+            ops.lgamma(ops.add(half_nu, 0.5)),
+            ops.add(
+                ops.lgamma(half_nu),
+                ops.add(
+                    ops.mul(0.5, ops.log(nu)),
+                    ops.add(0.5 * math.log(math.pi), ops.log(as_tensor(self.scale))),
+                ),
+            ),
+        )
+        kernel = ops.mul(
+            ops.neg(ops.add(half_nu, 0.5)),
+            ops.log1p(ops.div(ops.mul(z, z), nu)),
+        )
+        return ops.add(lognorm, kernel)
+
+
+class Cauchy(Distribution):
+    """Cauchy ``cauchy(mu, sigma)``."""
+
+    support = C.real
+
+    def __init__(self, loc=0.0, scale=1.0):
+        self.loc = loc
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.loc, self.scale)
+        return param_value(self.loc) + param_value(self.scale) * rng.standard_cauchy(shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        z = ops.div(ops.sub(value, self.loc), self.scale)
+        return ops.neg(
+            ops.add(
+                math.log(math.pi),
+                ops.add(ops.log(as_tensor(self.scale)), ops.log1p(ops.mul(z, z))),
+            )
+        )
+
+
+class DoubleExponential(Distribution):
+    """Laplace ``double_exponential(mu, sigma)``."""
+
+    support = C.real
+
+    def __init__(self, loc=0.0, scale=1.0):
+        self.loc = loc
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.loc, self.scale)
+        return rng.laplace(param_value(self.loc), param_value(self.scale), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        z = ops.abs_(ops.div(ops.sub(value, self.loc), self.scale))
+        return ops.neg(ops.add(z, ops.add(math.log(2.0), ops.log(as_tensor(self.scale)))))
+
+
+class Logistic(Distribution):
+    """Logistic ``logistic(mu, sigma)``."""
+
+    support = C.real
+
+    def __init__(self, loc=0.0, scale=1.0):
+        self.loc = loc
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.loc, self.scale)
+        return rng.logistic(param_value(self.loc), param_value(self.scale), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        z = ops.div(ops.sub(value, self.loc), self.scale)
+        return ops.sub(
+            ops.sub(ops.neg(z), ops.log(as_tensor(self.scale))),
+            ops.mul(2.0, ops.softplus(ops.neg(z))),
+        )
+
+
+class LogNormal(Distribution):
+    """``lognormal(mu, sigma)`` on (0, inf)."""
+
+    support = C.positive
+
+    def __init__(self, loc=0.0, scale=1.0):
+        self.loc = loc
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.loc, self.scale)
+        return rng.lognormal(param_value(self.loc), param_value(self.scale), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        logv = ops.log(value)
+        z = ops.div(ops.sub(logv, self.loc), self.scale)
+        return ops.sub(
+            ops.mul(-0.5, ops.mul(z, z)),
+            ops.add(logv, ops.add(ops.log(as_tensor(self.scale)), LOG_SQRT_2PI)),
+        )
+
+
+class Exponential(Distribution):
+    """``exponential(beta)`` with rate ``beta``."""
+
+    support = C.positive
+
+    def __init__(self, rate=1.0):
+        self.rate = rate
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.rate)
+        return rng.exponential(1.0 / param_value(self.rate), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        return ops.sub(ops.log(as_tensor(self.rate)), ops.mul(self.rate, value))
+
+    @property
+    def mean(self):
+        return 1.0 / param_value(self.rate)
+
+
+class Gamma(Distribution):
+    """``gamma(alpha, beta)`` with shape ``alpha`` and rate ``beta``."""
+
+    support = C.positive
+
+    def __init__(self, concentration, rate):
+        self.concentration = concentration
+        self.rate = rate
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.concentration, self.rate)
+        return rng.gamma(param_value(self.concentration), 1.0 / param_value(self.rate), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        a = as_tensor(self.concentration)
+        b = as_tensor(self.rate)
+        return ops.sub(
+            ops.add(
+                ops.mul(a, ops.log(b)),
+                ops.mul(ops.sub(a, 1.0), ops.log(value)),
+            ),
+            ops.add(ops.mul(b, value), ops.lgamma(a)),
+        )
+
+
+class InvGamma(Distribution):
+    """``inv_gamma(alpha, beta)``."""
+
+    support = C.positive
+
+    def __init__(self, concentration, scale):
+        self.concentration = concentration
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.concentration, self.scale)
+        return 1.0 / rng.gamma(
+            param_value(self.concentration), 1.0 / param_value(self.scale), size=shape
+        )
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        a = as_tensor(self.concentration)
+        b = as_tensor(self.scale)
+        return ops.sub(
+            ops.sub(ops.mul(a, ops.log(b)), ops.mul(ops.add(a, 1.0), ops.log(value))),
+            ops.add(ops.div(b, value), ops.lgamma(a)),
+        )
+
+
+class ChiSquare(Distribution):
+    """``chi_square(nu)``."""
+
+    support = C.positive
+
+    def __init__(self, df):
+        self.df = df
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.df)
+        return rng.chisquare(param_value(self.df), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        half_nu = ops.mul(0.5, as_tensor(self.df))
+        return ops.sub(
+            ops.add(
+                ops.mul(ops.sub(half_nu, 1.0), ops.log(value)),
+                ops.mul(-0.5, value),
+            ),
+            ops.add(ops.mul(half_nu, math.log(2.0)), ops.lgamma(half_nu)),
+        )
+
+
+class InvChiSquare(Distribution):
+    """``inv_chi_square(nu)``."""
+
+    support = C.positive
+
+    def __init__(self, df):
+        self.df = df
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.df)
+        return 1.0 / rng.chisquare(param_value(self.df), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        half_nu = ops.mul(0.5, as_tensor(self.df))
+        return ops.sub(
+            ops.sub(
+                ops.mul(ops.neg(ops.add(half_nu, 1.0)), ops.log(value)),
+                ops.div(0.5, value),
+            ),
+            ops.add(ops.mul(half_nu, math.log(2.0)), ops.lgamma(half_nu)),
+        )
+
+
+class Weibull(Distribution):
+    """``weibull(alpha, sigma)``."""
+
+    support = C.positive
+
+    def __init__(self, shape, scale):
+        self.shape_param = shape
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        out_shape = self.expand_shape(sample_shape, self.shape_param, self.scale)
+        return param_value(self.scale) * rng.weibull(param_value(self.shape_param), size=out_shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        k = as_tensor(self.shape_param)
+        lam = as_tensor(self.scale)
+        z = ops.div(value, lam)
+        return ops.sub(
+            ops.add(
+                ops.sub(ops.log(k), ops.log(lam)),
+                ops.mul(ops.sub(k, 1.0), ops.log(z)),
+            ),
+            ops.pow_(z, k),
+        )
+
+
+class Beta(Distribution):
+    """``beta(alpha, beta)`` on (0, 1)."""
+
+    support = C.unit_interval
+
+    def __init__(self, concentration1, concentration0):
+        self.concentration1 = concentration1
+        self.concentration0 = concentration0
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.concentration1, self.concentration0)
+        return rng.beta(
+            param_value(self.concentration1), param_value(self.concentration0), size=shape
+        )
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        a = as_tensor(self.concentration1)
+        b = as_tensor(self.concentration0)
+        log_beta = ops.sub(ops.add(ops.lgamma(a), ops.lgamma(b)), ops.lgamma(ops.add(a, b)))
+        return ops.sub(
+            ops.add(
+                ops.mul(ops.sub(a, 1.0), ops.log(value)),
+                ops.mul(ops.sub(b, 1.0), ops.log1p(ops.neg(value))),
+            ),
+            log_beta,
+        )
+
+
+class Uniform(Distribution):
+    """``uniform(a, b)``; the support is the declared interval."""
+
+    def __init__(self, low=0.0, high=1.0):
+        self.low = low
+        self.high = high
+        self.support = C.interval(param_value(low).item() if np.size(param_value(low)) == 1 else None,
+                                  param_value(high).item() if np.size(param_value(high)) == 1 else None)
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.low, self.high)
+        return rng.uniform(param_value(self.low), param_value(self.high), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        width = ops.sub(self.high, self.low)
+        return ops.sub(ops.mul(value, 0.0), ops.log(width))
+
+
+class Pareto(Distribution):
+    """``pareto(y_min, alpha)``."""
+
+    def __init__(self, scale, alpha):
+        self.scale = scale
+        self.alpha = alpha
+        lo = param_value(scale)
+        self.support = C.interval(float(lo) if lo.size == 1 else 0.0, None)
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.scale, self.alpha)
+        return param_value(self.scale) * (1.0 + rng.pareto(param_value(self.alpha), size=shape))
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        a = as_tensor(self.alpha)
+        m = as_tensor(self.scale)
+        return ops.sub(
+            ops.add(ops.log(a), ops.mul(a, ops.log(m))),
+            ops.mul(ops.add(a, 1.0), ops.log(value)),
+        )
+
+
+class Gumbel(Distribution):
+    """``gumbel(mu, beta)``."""
+
+    support = C.real
+
+    def __init__(self, loc, scale):
+        self.loc = loc
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.loc, self.scale)
+        return rng.gumbel(param_value(self.loc), param_value(self.scale), size=shape)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        z = ops.div(ops.sub(value, self.loc), self.scale)
+        return ops.sub(
+            ops.sub(ops.neg(z), ops.exp(ops.neg(z))),
+            ops.log(as_tensor(self.scale)),
+        )
+
+
+class HalfNormal(Distribution):
+    """Half-normal on (0, inf); used for truncated ``normal`` priors."""
+
+    support = C.positive
+
+    def __init__(self, scale=1.0):
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.scale)
+        return np.abs(param_value(self.scale) * rng.standard_normal(shape))
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        z = ops.div(value, self.scale)
+        return ops.add(
+            ops.sub(
+                ops.mul(-0.5, ops.mul(z, z)),
+                ops.add(ops.log(as_tensor(self.scale)), LOG_SQRT_2PI),
+            ),
+            math.log(2.0),
+        )
+
+
+class HalfCauchy(Distribution):
+    """Half-Cauchy on (0, inf)."""
+
+    support = C.positive
+
+    def __init__(self, scale=1.0):
+        self.scale = scale
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.scale)
+        return np.abs(param_value(self.scale) * rng.standard_cauchy(shape))
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        z = ops.div(value, self.scale)
+        return ops.add(
+            ops.neg(
+                ops.add(
+                    math.log(math.pi),
+                    ops.add(ops.log(as_tensor(self.scale)), ops.log1p(ops.mul(z, z))),
+                )
+            ),
+            math.log(2.0),
+        )

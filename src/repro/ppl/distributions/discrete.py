@@ -1,0 +1,308 @@
+"""Univariate discrete distributions.
+
+Note on conventions: Stan's ``categorical`` is defined on ``1..N`` while the
+runtime (like Pyro) uses ``0..N-1``; the Stan standard-library shim in
+:mod:`repro.core.stanlib` performs the index shift exactly as described in §4
+of the paper.  The distributions here always use the 0-based convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy import special as sps
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import constraints as C
+from repro.ppl.distributions.base import Distribution, param_value
+
+
+class Bernoulli(Distribution):
+    """``bernoulli(theta)`` with success probability ``theta``."""
+
+    support = C.IntegerInterval(0, 1)
+    is_discrete = True
+
+    def __init__(self, probs):
+        self.probs = probs
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.probs)
+        return (rng.uniform(size=shape) < param_value(self.probs)).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        p = ops.clip(as_tensor(self.probs), 1e-12, 1 - 1e-12)
+        return ops.add(
+            ops.mul(value, ops.log(p)),
+            ops.mul(ops.sub(1.0, value), ops.log1p(ops.neg(p))),
+        )
+
+    @property
+    def mean(self):
+        return param_value(self.probs)
+
+
+class BernoulliLogit(Distribution):
+    """``bernoulli_logit(alpha)`` parameterised by log-odds."""
+
+    support = C.IntegerInterval(0, 1)
+    is_discrete = True
+
+    def __init__(self, logits):
+        self.logits = logits
+
+    def sample(self, rng, sample_shape=()):
+        probs = sps.expit(param_value(self.logits))
+        shape = self.expand_shape(sample_shape, self.logits)
+        return (rng.uniform(size=shape) < probs).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        logits = as_tensor(self.logits)
+        # log p = y * alpha - log(1 + exp(alpha))
+        return ops.sub(ops.mul(value, logits), ops.softplus(logits))
+
+
+class Binomial(Distribution):
+    """``binomial(N, theta)``."""
+
+    is_discrete = True
+
+    def __init__(self, total_count, probs):
+        self.total_count = total_count
+        self.probs = probs
+        n = param_value(total_count)
+        self.support = C.IntegerInterval(0, float(n.max()) if n.size else 0)
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.total_count, self.probs)
+        return rng.binomial(
+            param_value(self.total_count).astype(int), param_value(self.probs), size=shape
+        ).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        n = as_tensor(self.total_count)
+        p = ops.clip(as_tensor(self.probs), 1e-12, 1 - 1e-12)
+        log_binom = ops.sub(
+            ops.lgamma(ops.add(n, 1.0)),
+            ops.add(ops.lgamma(ops.add(value, 1.0)), ops.lgamma(ops.add(ops.sub(n, value), 1.0))),
+        )
+        return ops.add(
+            log_binom,
+            ops.add(
+                ops.mul(value, ops.log(p)),
+                ops.mul(ops.sub(n, value), ops.log1p(ops.neg(p))),
+            ),
+        )
+
+
+class BinomialLogit(Distribution):
+    """``binomial_logit(N, alpha)``."""
+
+    is_discrete = True
+
+    def __init__(self, total_count, logits):
+        self.total_count = total_count
+        self.logits = logits
+        n = param_value(total_count)
+        self.support = C.IntegerInterval(0, float(n.max()) if n.size else 0)
+
+    def sample(self, rng, sample_shape=()):
+        probs = sps.expit(param_value(self.logits))
+        shape = self.expand_shape(sample_shape, self.total_count, self.logits)
+        return rng.binomial(param_value(self.total_count).astype(int), probs, size=shape).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        n = as_tensor(self.total_count)
+        logits = as_tensor(self.logits)
+        log_binom = ops.sub(
+            ops.lgamma(ops.add(n, 1.0)),
+            ops.add(ops.lgamma(ops.add(value, 1.0)), ops.lgamma(ops.add(ops.sub(n, value), 1.0))),
+        )
+        return ops.add(
+            log_binom,
+            ops.sub(ops.mul(value, logits), ops.mul(n, ops.softplus(logits))),
+        )
+
+
+class Poisson(Distribution):
+    """``poisson(lambda)``."""
+
+    support = C.nonnegative_integer
+    is_discrete = True
+
+    def __init__(self, rate):
+        self.rate = rate
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.rate)
+        return rng.poisson(param_value(self.rate), size=shape).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        lam = as_tensor(self.rate)
+        return ops.sub(
+            ops.sub(ops.mul(value, ops.log(lam)), lam),
+            ops.lgamma(ops.add(value, 1.0)),
+        )
+
+
+class PoissonLog(Distribution):
+    """``poisson_log(alpha)`` parameterised by the log rate."""
+
+    support = C.nonnegative_integer
+    is_discrete = True
+
+    def __init__(self, log_rate):
+        self.log_rate = log_rate
+
+    def sample(self, rng, sample_shape=()):
+        shape = self.expand_shape(sample_shape, self.log_rate)
+        return rng.poisson(np.exp(param_value(self.log_rate)), size=shape).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        alpha = as_tensor(self.log_rate)
+        return ops.sub(
+            ops.sub(ops.mul(value, alpha), ops.exp(alpha)),
+            ops.lgamma(ops.add(value, 1.0)),
+        )
+
+
+class NegBinomial2(Distribution):
+    """``neg_binomial_2(mu, phi)`` (mean / dispersion parameterisation)."""
+
+    support = C.nonnegative_integer
+    is_discrete = True
+
+    def __init__(self, mu, phi):
+        self.mu = mu
+        self.phi = phi
+
+    def sample(self, rng, sample_shape=()):
+        mu = param_value(self.mu)
+        phi = param_value(self.phi)
+        shape = self.expand_shape(sample_shape, self.mu, self.phi)
+        p = phi / (phi + mu)
+        return rng.negative_binomial(phi, p, size=shape).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        mu = as_tensor(self.mu)
+        phi = as_tensor(self.phi)
+        log_binom = ops.sub(
+            ops.lgamma(ops.add(value, phi)),
+            ops.add(ops.lgamma(ops.add(value, 1.0)), ops.lgamma(phi)),
+        )
+        return ops.add(
+            log_binom,
+            ops.add(
+                ops.mul(phi, ops.sub(ops.log(phi), ops.log(ops.add(mu, phi)))),
+                ops.mul(value, ops.sub(ops.log(mu), ops.log(ops.add(mu, phi)))),
+            ),
+        )
+
+
+class Categorical(Distribution):
+    """``categorical(theta)`` over ``0..K-1`` with probability vector ``theta``.
+
+    The probability vector is the trailing dimension; values index into it.
+    """
+
+    is_discrete = True
+    event_dim = 0
+
+    def __init__(self, probs):
+        self.probs = probs
+        k = param_value(probs).shape[-1]
+        self.support = C.IntegerInterval(0, k - 1)
+
+    def sample(self, rng, sample_shape=()):
+        p = param_value(self.probs)
+        p = p / p.sum(axis=-1, keepdims=True)
+        if p.ndim == 1:
+            shape = tuple(sample_shape) if sample_shape else ()
+            n = int(np.prod(shape)) if shape else 1
+            draws = rng.choice(len(p), size=n, p=p)
+            return draws.reshape(shape).astype(float) if shape else float(draws[0])
+        flat = p.reshape(-1, p.shape[-1])
+        out = np.array([rng.choice(p.shape[-1], p=row / row.sum()) for row in flat])
+        return out.reshape(p.shape[:-1]).astype(float)
+
+    def log_prob(self, value):
+        probs = ops.clip(as_tensor(self.probs), 1e-12, 1.0)
+        logp = ops.log(ops.div(probs, ops.sum_(probs, axis=-1, keepdims=True)))
+        idx = np.asarray(param_value(value)).astype(int)
+        if logp.data.ndim == 1:
+            return logp[idx]
+        rows = np.arange(logp.data.shape[0])
+        return logp[(rows, idx)]
+
+
+class CategoricalLogit(Distribution):
+    """``categorical_logit(beta)`` over ``0..K-1`` with unnormalised log-odds."""
+
+    is_discrete = True
+
+    def __init__(self, logits):
+        self.logits = logits
+        k = param_value(logits).shape[-1]
+        self.support = C.IntegerInterval(0, k - 1)
+
+    def sample(self, rng, sample_shape=()):
+        p = sps.softmax(param_value(self.logits), axis=-1)
+        return Categorical(p).sample(rng, sample_shape)
+
+    def log_prob(self, value):
+        logp = ops.log_softmax(as_tensor(self.logits), axis=-1)
+        idx = np.asarray(param_value(value)).astype(int)
+        if logp.data.ndim == 1:
+            return logp[idx]
+        rows = np.arange(logp.data.shape[0])
+        return logp[(rows, idx)]
+
+
+class OrderedLogistic(Distribution):
+    """``ordered_logistic(eta, c)`` over ``0..K`` with cutpoints ``c``."""
+
+    is_discrete = True
+
+    def __init__(self, eta, cutpoints):
+        self.eta = eta
+        self.cutpoints = cutpoints
+        k = param_value(cutpoints).shape[-1]
+        self.support = C.IntegerInterval(0, k)
+
+    def _log_probs(self) -> Tensor:
+        eta = as_tensor(self.eta)
+        cuts = as_tensor(self.cutpoints)
+        if eta.data.ndim == 0:
+            diffs = ops.sub(cuts, eta)
+        else:
+            diffs = ops.sub(cuts, ops.reshape(eta, tuple(eta.shape) + (1,)))
+        cdf = ops.sigmoid(diffs)
+        ones_shape = tuple(cdf.shape[:-1]) + (1,)
+        zero = ops.mul(ops.getitem(cdf, (..., slice(0, 1))), 0.0)
+        one = ops.add(zero, 1.0)
+        upper = ops.concatenate([cdf, one], axis=-1)
+        lower = ops.concatenate([zero, cdf], axis=-1)
+        return ops.log(ops.clip(ops.sub(upper, lower), 1e-12, 1.0))
+
+    def sample(self, rng, sample_shape=()):
+        logp = self._log_probs().data
+        p = np.exp(logp)
+        return Categorical(p).sample(rng, sample_shape)
+
+    def log_prob(self, value):
+        logp = self._log_probs()
+        idx = np.asarray(param_value(value)).astype(int)
+        if logp.data.ndim == 1:
+            return logp[idx]
+        rows = np.arange(logp.data.shape[0])
+        return logp[(rows, idx)]

@@ -1,0 +1,167 @@
+"""Improper and flat priors introduced by the comprehensive translation (§2.3).
+
+For a parameter declared on an unbounded domain the comprehensive translation
+samples from ``improper_uniform``, a "distribution" with constant density with
+respect to the Lebesgue measure on the declared domain.  Its log density is
+identically zero, so it only contributes the constant factor that Lemma 3.1
+normalises away.  Sampling is still required (the generative program must be
+runnable forward), so ``sample`` draws from a wide proper surrogate on the same
+domain; inference never uses those draws except as an initialisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import constraints as C
+from repro.ppl.distributions.base import Distribution, param_value
+
+
+def _scalar(x, default):
+    if x is None:
+        return default
+    v = param_value(x)
+    return float(v) if v.size == 1 else v
+
+
+class ImproperUniform(Distribution):
+    """Constant density on ``[lower, upper]`` (either bound may be infinite).
+
+    ``shape`` gives the event shape of the parameter (Stan arrays/vectors get
+    their shape from the declaration, which the compiler passes through, §4).
+    """
+
+    def __init__(self, lower=None, upper=None, shape: Tuple[int, ...] = ()):
+        self.lower = lower
+        self.upper = upper
+        self.shape = tuple(int(s) for s in np.atleast_1d(shape)) if np.ndim(shape) else (int(shape),)
+        if shape == () or shape is None:
+            self.shape = ()
+        lo = _scalar(lower, -math.inf)
+        hi = _scalar(upper, math.inf)
+        lo_f = float(np.min(lo)) if np.ndim(lo) else float(lo)
+        hi_f = float(np.max(hi)) if np.ndim(hi) else float(hi)
+        self.support = C.Interval(lo_f, hi_f)
+
+    def _bounds(self):
+        lo = _scalar(self.lower, -math.inf)
+        hi = _scalar(self.upper, math.inf)
+        return lo, hi
+
+    def sample(self, rng, sample_shape=()):
+        lo, hi = self._bounds()
+        shape = tuple(sample_shape) + self.shape
+        lo_arr = np.broadcast_to(np.asarray(lo, dtype=float), shape) if shape else np.asarray(lo, dtype=float)
+        hi_arr = np.broadcast_to(np.asarray(hi, dtype=float), shape) if shape else np.asarray(hi, dtype=float)
+        lo_finite = np.where(np.isfinite(lo_arr), lo_arr, -2.0)
+        hi_finite = np.where(np.isfinite(hi_arr), hi_arr, 2.0)
+        both_inf = ~np.isfinite(lo_arr) & ~np.isfinite(hi_arr)
+        draw = rng.uniform(np.where(both_inf, -2.0, lo_finite), np.where(both_inf, 2.0, hi_finite), size=shape or None)
+        return np.asarray(draw, dtype=float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        # Constant (zero) density; keep the graph connected so gradients exist.
+        return ops.mul(value, 0.0)
+
+
+class Flat(ImproperUniform):
+    """Alias for the unbounded improper uniform (Stan's default flat prior)."""
+
+    def __init__(self, shape: Tuple[int, ...] = ()):
+        super().__init__(lower=None, upper=None, shape=shape)
+
+
+class LowerTruncatedImproperUniform(ImproperUniform):
+    """Improper uniform on ``[lower, inf)`` — ``<lower=e>`` declarations."""
+
+    def __init__(self, lower=0.0, shape: Tuple[int, ...] = ()):
+        super().__init__(lower=lower, upper=None, shape=shape)
+
+
+class UpperTruncatedImproperUniform(ImproperUniform):
+    """Improper uniform on ``(-inf, upper]`` — ``<upper=e>`` declarations."""
+
+    def __init__(self, upper=0.0, shape: Tuple[int, ...] = ()):
+        super().__init__(lower=None, upper=upper, shape=shape)
+
+
+class BoundedUniform(Distribution):
+    """Proper uniform prior over a bounded declared domain, with shape.
+
+    Used by the comprehensive translation for ``<lower=a, upper=b>``
+    declarations (Fig. 6): a genuine ``uniform([a, b], shape)``.
+    """
+
+    def __init__(self, lower, upper, shape: Tuple[int, ...] = ()):
+        self.lower = lower
+        self.upper = upper
+        self.shape = tuple(int(s) for s in np.atleast_1d(shape)) if np.ndim(shape) else (int(shape),)
+        if shape == () or shape is None:
+            self.shape = ()
+        lo = _scalar(lower, 0.0)
+        hi = _scalar(upper, 1.0)
+        lo_f = float(np.min(lo)) if np.ndim(lo) else float(lo)
+        hi_f = float(np.max(hi)) if np.ndim(hi) else float(hi)
+        self.support = C.Interval(lo_f, hi_f)
+
+    def sample(self, rng, sample_shape=()):
+        lo = param_value(self.lower)
+        hi = param_value(self.upper)
+        shape = tuple(sample_shape) + self.shape
+        return rng.uniform(lo, hi, size=shape or None)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        width = ops.sub(self.upper, self.lower)
+        return ops.sub(ops.mul(value, 0.0), ops.log(width))
+
+
+class ImproperSimplex(Distribution):
+    """Flat prior over the simplex (``simplex[K]`` parameter declarations)."""
+
+    support = C.simplex
+    event_dim = 1
+
+    def __init__(self, dim: int):
+        self.dim = int(dim)
+
+    def sample(self, rng, sample_shape=()):
+        return rng.dirichlet(np.ones(self.dim), size=sample_shape if sample_shape else None)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        return ops.mul(ops.sum_(value, axis=-1), 0.0)
+
+
+class ImproperOrdered(Distribution):
+    """Flat prior over ordered vectors (``ordered[K]`` declarations)."""
+
+    support = C.ordered
+    event_dim = 1
+
+    def __init__(self, dim: int):
+        self.dim = int(dim)
+
+    def sample(self, rng, sample_shape=()):
+        shape = tuple(sample_shape) + (self.dim,)
+        return np.sort(rng.normal(0.0, 1.0, size=shape), axis=-1)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        return ops.mul(ops.sum_(value, axis=-1), 0.0)
+
+
+class ImproperPositiveOrdered(ImproperOrdered):
+    """Flat prior over positive ordered vectors."""
+
+    support = C.positive_ordered
+
+    def sample(self, rng, sample_shape=()):
+        shape = tuple(sample_shape) + (self.dim,)
+        return np.sort(rng.exponential(1.0, size=shape), axis=-1)

@@ -1,0 +1,167 @@
+"""Multivariate distributions (Dirichlet, multivariate normal).
+
+Only the members needed by the bundled corpus are implemented; each has an
+``event_dim`` of 1 (or 2 for matrix variates) so the handlers know not to
+treat trailing dimensions as independent sites.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import constraints as C
+from repro.ppl.distributions.base import Distribution, param_value
+
+
+class Dirichlet(Distribution):
+    """``dirichlet(alpha)`` over the simplex."""
+
+    support = C.simplex
+    event_dim = 1
+
+    def __init__(self, concentration):
+        self.concentration = concentration
+
+    def sample(self, rng, sample_shape=()):
+        alpha = param_value(self.concentration)
+        return rng.dirichlet(alpha, size=sample_shape if sample_shape else None)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        alpha = as_tensor(self.concentration)
+        log_norm = ops.sub(
+            ops.sum_(ops.lgamma(alpha), axis=-1),
+            ops.lgamma(ops.sum_(alpha, axis=-1)),
+        )
+        kernel = ops.sum_(ops.mul(ops.sub(alpha, 1.0), ops.log(value)), axis=-1)
+        return ops.sub(kernel, log_norm)
+
+
+class MultiNormal(Distribution):
+    """``multi_normal(mu, Sigma)`` with a dense covariance matrix."""
+
+    support = C.real
+    event_dim = 1
+
+    def __init__(self, loc, covariance):
+        self.loc = loc
+        self.covariance = covariance
+
+    def sample(self, rng, sample_shape=()):
+        mu = param_value(self.loc)
+        cov = param_value(self.covariance)
+        return rng.multivariate_normal(mu, cov, size=sample_shape if sample_shape else None)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        mu = as_tensor(self.loc)
+        cov = param_value(self.covariance)
+        dim = cov.shape[-1]
+        # Covariance gradients are not propagated (cmdstan-style models in the
+        # corpus only use data covariances); value/loc gradients are exact.
+        prec = np.linalg.inv(cov)
+        _, logdet = np.linalg.slogdet(cov)
+        diff = ops.sub(value, mu)
+        quad = ops.sum_(ops.mul(ops.matmul(diff, Tensor(prec)), diff), axis=-1)
+        const = dim * math.log(2.0 * math.pi) + float(logdet)
+        return ops.mul(-0.5, ops.add(quad, const))
+
+
+class MultiNormalCholesky(Distribution):
+    """``multi_normal_cholesky(mu, L)`` with lower Cholesky factor ``L``."""
+
+    support = C.real
+    event_dim = 1
+
+    def __init__(self, loc, scale_tril):
+        self.loc = loc
+        self.scale_tril = scale_tril
+
+    def sample(self, rng, sample_shape=()):
+        mu = param_value(self.loc)
+        chol = param_value(self.scale_tril)
+        shape = tuple(sample_shape) + mu.shape
+        eps = rng.standard_normal(shape)
+        return mu + eps @ chol.T
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        mu = as_tensor(self.loc)
+        chol = param_value(self.scale_tril)
+        dim = chol.shape[-1]
+        inv_chol = np.linalg.inv(chol)
+        diff = ops.sub(value, mu)
+        z = ops.matmul(diff, Tensor(inv_chol.T))
+        quad = ops.sum_(ops.mul(z, z), axis=-1)
+        logdet = float(np.sum(np.log(np.abs(np.diag(chol)))))
+        const = dim * math.log(2.0 * math.pi) + 2.0 * logdet
+        return ops.mul(-0.5, ops.add(quad, const))
+
+
+class Multinomial(Distribution):
+    """``multinomial(theta)`` counts over K categories."""
+
+    is_discrete = True
+    event_dim = 1
+
+    def __init__(self, probs, total_count=None):
+        self.probs = probs
+        self.total_count = total_count
+        self.support = C.nonnegative_integer
+
+    def sample(self, rng, sample_shape=()):
+        p = param_value(self.probs)
+        n = int(param_value(self.total_count)) if self.total_count is not None else 1
+        return rng.multinomial(n, p / p.sum(), size=sample_shape if sample_shape else None).astype(float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        p = ops.clip(as_tensor(self.probs), 1e-12, 1.0)
+        n = ops.sum_(value, axis=-1)
+        log_coeff = ops.sub(
+            ops.lgamma(ops.add(n, 1.0)),
+            ops.sum_(ops.lgamma(ops.add(value, 1.0)), axis=-1),
+        )
+        return ops.add(log_coeff, ops.sum_(ops.mul(value, ops.log(p)), axis=-1))
+
+
+class LKJCorrCholesky(Distribution):
+    """``lkj_corr_cholesky(eta)`` over Cholesky factors of correlation matrices."""
+
+    support = C.cholesky_corr
+    event_dim = 2
+
+    def __init__(self, dim, eta=1.0):
+        self.dim = int(dim)
+        self.eta = eta
+
+    def sample(self, rng, sample_shape=()):
+        # Onion-method sampling of a correlation matrix, then Cholesky.
+        d = self.dim
+        eta = float(param_value(self.eta))
+        beta = eta + (d - 2) / 2.0
+        corr = np.eye(d)
+        for k in range(1, d):
+            beta -= 0.5
+            y = rng.beta(k / 2.0, beta)
+            u = rng.standard_normal(k)
+            u /= np.linalg.norm(u)
+            w = np.sqrt(y) * u
+            chol_prev = np.linalg.cholesky(corr[:k, :k])
+            corr[k, :k] = chol_prev @ w
+            corr[:k, k] = corr[k, :k]
+        return np.linalg.cholesky(corr)
+
+    def log_prob(self, value):
+        L = as_tensor(value)
+        eta = as_tensor(self.eta)
+        d = self.dim
+        total = as_tensor(0.0)
+        for k in range(1, d):
+            coef = ops.add(ops.mul(2.0, ops.sub(eta, 1.0)), float(d - k - 1))
+            total = ops.add(total, ops.mul(coef, ops.log(L[(k, k)])))
+        return total

@@ -1,0 +1,39 @@
+"""Lifting neural networks to Bayesian neural networks (``random_module``).
+
+Pyro's ``random_module`` primitive takes a neural network and a dictionary of
+priors and returns a *distribution over networks*: calling it samples every
+named parameter from its prior (through ordinary ``sample`` sites, so all the
+handlers apply) and installs the sampled tensors into a copy of the network.
+The paper's compilation of Bayesian neural networks (§5.3) relies on exactly
+this primitive, combined with the comprehensive translation of the priors
+declared in the Stan ``parameters`` block.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict
+
+from repro.autodiff.nn import Module
+from repro.ppl.distributions.base import Distribution
+from repro.ppl.primitives import sample
+
+
+def random_module(name: str, module: Module, priors: Dict[str, Distribution]) -> Callable[[], Module]:
+    """Return a callable that samples a lifted copy of ``module``.
+
+    ``priors`` maps dotted parameter paths (e.g. ``"l1.weight"``) to
+    distributions.  Parameters without an entry keep their deterministic
+    values, which is how the compiler supports mixing probabilistic and
+    non-probabilistic parameters (§5.3).
+    """
+
+    def lifted() -> Module:
+        lifted_module = copy.deepcopy(module)
+        for param_name, prior in priors.items():
+            site_name = f"{name}.{param_name}"
+            value = sample(site_name, prior)
+            lifted_module.set_parameter(param_name, value)
+        return lifted_module
+
+    return lifted

@@ -1,0 +1,330 @@
+"""Bijective transforms between unconstrained space and constrained supports.
+
+Stan runs HMC on unconstrained parameters and maps them to their declared
+domains with smooth bijections, adding the log-absolute-determinant of the
+Jacobian to the target density.  Pyro/NumPyro do the same through
+``biject_to(support)``.  The inference engines in :mod:`repro.infer` use the
+transforms defined here for exactly that purpose, so the compiled models (whose
+parameters are sampled from ``uniform`` / ``improper_uniform`` priors on their
+declared domains, §2.3) can be sampled with NUTS just like in the paper.
+
+Every transform implements
+
+* ``__call__(x)``      — unconstrained ``x`` to constrained ``y``,
+* ``inv(y)``           — constrained ``y`` back to unconstrained ``x``,
+* ``log_abs_det_jacobian(x, y)`` — ``log |dy/dx|`` summed over the event.
+
+All three work on :class:`~repro.autodiff.tensor.Tensor` inputs so gradients
+flow through the change of variables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.ppl import constraints as C
+
+
+class Transform:
+    """Base class for bijections."""
+
+    def __call__(self, x):
+        raise NotImplementedError
+
+    def inv(self, y):
+        raise NotImplementedError
+
+    def log_abs_det_jacobian(self, x, y):
+        raise NotImplementedError
+
+    def unconstrained_shape(self, constrained_shape):
+        """Shape of the unconstrained representation (differs for simplex)."""
+        return tuple(constrained_shape)
+
+
+class IdentityTransform(Transform):
+    def __call__(self, x):
+        return as_tensor(x)
+
+    def inv(self, y):
+        return as_tensor(y)
+
+    def log_abs_det_jacobian(self, x, y):
+        return as_tensor(0.0)
+
+    def __repr__(self):
+        return "identity"
+
+
+class ExpTransform(Transform):
+    """Maps R -> (0, inf) via exp."""
+
+    def __call__(self, x):
+        return ops.exp(x)
+
+    def inv(self, y):
+        return ops.log(as_tensor(y))
+
+    def log_abs_det_jacobian(self, x, y):
+        return ops.sum_(as_tensor(x))
+
+    def __repr__(self):
+        return "exp"
+
+
+class AffineTransform(Transform):
+    """y = loc + scale * x."""
+
+    def __init__(self, loc=0.0, scale=1.0):
+        self.loc = loc
+        self.scale = scale
+
+    def __call__(self, x):
+        return ops.add(self.loc, ops.mul(self.scale, x))
+
+    def inv(self, y):
+        return ops.div(ops.sub(y, self.loc), self.scale)
+
+    def log_abs_det_jacobian(self, x, y):
+        x = as_tensor(x)
+        n = x.data.size
+        scale = float(np.asarray(self.scale if not isinstance(self.scale, Tensor) else self.scale.data))
+        return as_tensor(n * math.log(abs(scale)))
+
+    def __repr__(self):
+        return f"affine(loc={self.loc}, scale={self.scale})"
+
+
+class ComposeTransform(Transform):
+    """Apply ``parts`` left to right."""
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+
+    def __call__(self, x):
+        for part in self.parts:
+            x = part(x)
+        return x
+
+    def inv(self, y):
+        for part in reversed(self.parts):
+            y = part.inv(y)
+        return y
+
+    def log_abs_det_jacobian(self, x, y):
+        total = as_tensor(0.0)
+        cur = as_tensor(x)
+        for part in self.parts:
+            nxt = part(cur)
+            total = ops.add(total, part.log_abs_det_jacobian(cur, nxt))
+            cur = nxt
+        return total
+
+    def __repr__(self):
+        return "compose(" + ", ".join(repr(p) for p in self.parts) + ")"
+
+
+class LowerBoundTransform(Transform):
+    """Maps R -> (lower, inf): y = lower + exp(x)."""
+
+    def __init__(self, lower):
+        self.lower = lower
+
+    def __call__(self, x):
+        return ops.add(self.lower, ops.exp(x))
+
+    def inv(self, y):
+        return ops.log(ops.sub(y, self.lower))
+
+    def log_abs_det_jacobian(self, x, y):
+        return ops.sum_(as_tensor(x))
+
+    def __repr__(self):
+        return f"lower({self.lower})"
+
+
+class UpperBoundTransform(Transform):
+    """Maps R -> (-inf, upper): y = upper - exp(x)."""
+
+    def __init__(self, upper):
+        self.upper = upper
+
+    def __call__(self, x):
+        return ops.sub(self.upper, ops.exp(x))
+
+    def inv(self, y):
+        return ops.log(ops.sub(self.upper, y))
+
+    def log_abs_det_jacobian(self, x, y):
+        return ops.sum_(as_tensor(x))
+
+    def __repr__(self):
+        return f"upper({self.upper})"
+
+
+class IntervalTransform(Transform):
+    """Maps R -> (lower, upper) via a scaled logistic sigmoid."""
+
+    def __init__(self, lower, upper):
+        self.lower = lower
+        self.upper = upper
+
+    def __call__(self, x):
+        width = ops.sub(self.upper, self.lower)
+        return ops.add(self.lower, ops.mul(width, ops.sigmoid(x)))
+
+    def inv(self, y):
+        width = ops.sub(self.upper, self.lower)
+        p = ops.div(ops.sub(y, self.lower), width)
+        p = ops.clip(p, 1e-12, 1.0 - 1e-12)
+        return ops.sub(ops.log(p), ops.log1p(ops.neg(p)))
+
+    def log_abs_det_jacobian(self, x, y):
+        x = as_tensor(x)
+        width = ops.sub(self.upper, self.lower)
+        width_term = ops.log(width)
+        if isinstance(width_term, Tensor) and width_term.data.size == 1 and x.data.size > 1:
+            width_term = ops.mul(float(x.data.size), width_term)
+        else:
+            width_term = ops.sum_(ops.mul(ops.add(ops.mul(x, 0.0), 1.0), ops.log(width)))
+        s = ops.sigmoid(x)
+        sig_term = ops.sum_(ops.add(ops.log(s), ops.log1p(ops.neg(s))))
+        return ops.add(width_term, sig_term)
+
+    def __repr__(self):
+        return f"interval({self.lower}, {self.upper})"
+
+
+class OrderedTransform(Transform):
+    """Maps R^n to ordered vectors: y1 = x1, y_k = y_{k-1} + exp(x_k)."""
+
+    def __call__(self, x):
+        x = as_tensor(x)
+        parts = [ops.reshape(x[0], (1,))]
+        for k in range(1, x.shape[0]):
+            parts.append(ops.reshape(ops.add(parts[-1][0], ops.exp(x[k])), (1,)))
+        return ops.concatenate(parts)
+
+    def inv(self, y):
+        y = as_tensor(y)
+        parts = [ops.reshape(y[0], (1,))]
+        for k in range(1, y.shape[0]):
+            parts.append(ops.reshape(ops.log(ops.sub(y[k], y[k - 1])), (1,)))
+        return ops.concatenate(parts)
+
+    def log_abs_det_jacobian(self, x, y):
+        x = as_tensor(x)
+        if x.shape[0] <= 1:
+            return as_tensor(0.0)
+        return ops.sum_(x[slice(1, None)])
+
+    def __repr__(self):
+        return "ordered"
+
+
+class PositiveOrderedTransform(Transform):
+    """Maps R^n to positive ordered vectors via cumulative sums of exp."""
+
+    def __call__(self, x):
+        x = as_tensor(x)
+        return ops.cumsum(ops.exp(x))
+
+    def inv(self, y):
+        y = as_tensor(y)
+        parts = [ops.reshape(ops.log(y[0]), (1,))]
+        for k in range(1, y.shape[0]):
+            parts.append(ops.reshape(ops.log(ops.sub(y[k], y[k - 1])), (1,)))
+        return ops.concatenate(parts)
+
+    def log_abs_det_jacobian(self, x, y):
+        return ops.sum_(as_tensor(x))
+
+    def __repr__(self):
+        return "positive_ordered"
+
+
+class StickBreakingTransform(Transform):
+    """Maps R^{n-1} to the n-simplex using Stan's stick-breaking construction."""
+
+    def __call__(self, x):
+        x = as_tensor(x)
+        n = x.shape[0] + 1
+        remaining = as_tensor(1.0)
+        parts = []
+        for k in range(n - 1):
+            offset = math.log(1.0 / (n - k - 1))
+            z = ops.sigmoid(ops.add(x[k], offset))
+            piece = ops.mul(remaining, z)
+            parts.append(ops.reshape(piece, (1,)))
+            remaining = ops.sub(remaining, piece)
+        parts.append(ops.reshape(remaining, (1,)))
+        return ops.concatenate(parts)
+
+    def inv(self, y):
+        y = as_tensor(y)
+        n = y.shape[0]
+        parts = []
+        remaining = as_tensor(1.0)
+        for k in range(n - 1):
+            z = ops.div(y[k], remaining)
+            z = ops.clip(z, 1e-12, 1 - 1e-12)
+            offset = math.log(1.0 / (n - k - 1))
+            parts.append(
+                ops.reshape(ops.sub(ops.sub(ops.log(z), ops.log1p(ops.neg(z))), offset), (1,))
+            )
+            remaining = ops.sub(remaining, y[k])
+        return ops.concatenate(parts)
+
+    def log_abs_det_jacobian(self, x, y):
+        x = as_tensor(x)
+        n = x.shape[0] + 1
+        total = as_tensor(0.0)
+        remaining = as_tensor(1.0)
+        for k in range(n - 1):
+            offset = math.log(1.0 / (n - k - 1))
+            z = ops.sigmoid(ops.add(x[k], offset))
+            total = ops.add(
+                total,
+                ops.add(ops.log(remaining), ops.add(ops.log(z), ops.log1p(ops.neg(z)))),
+            )
+            remaining = ops.mul(remaining, ops.sub(1.0, z))
+        return total
+
+    def unconstrained_shape(self, constrained_shape):
+        shape = tuple(constrained_shape)
+        if not shape:
+            raise ValueError("simplex must have at least one dimension")
+        return shape[:-1] + (shape[-1] - 1,)
+
+    def __repr__(self):
+        return "stick_breaking"
+
+
+def biject_to(constraint: C.Constraint) -> Transform:
+    """Return the transform mapping unconstrained reals onto ``constraint``."""
+    if isinstance(constraint, C.Real):
+        return IdentityTransform()
+    if isinstance(constraint, C.IntegerInterval):
+        # Discrete supports are not reparameterised; identity keeps values.
+        return IdentityTransform()
+    if isinstance(constraint, C.Interval):
+        lo, hi = constraint.lower, constraint.upper
+        if math.isinf(lo) and math.isinf(hi):
+            return IdentityTransform()
+        if math.isinf(hi):
+            return LowerBoundTransform(lo) if lo != 0.0 else ExpTransform()
+        if math.isinf(lo):
+            return UpperBoundTransform(hi)
+        return IntervalTransform(lo, hi)
+    if isinstance(constraint, C.Simplex):
+        return StickBreakingTransform()
+    if isinstance(constraint, C.Ordered):
+        return OrderedTransform()
+    if isinstance(constraint, C.PositiveOrdered):
+        return PositiveOrderedTransform()
+    raise NotImplementedError(f"no bijector for constraint {constraint!r}")

@@ -1,0 +1,358 @@
+"""Interpreter for the Stan statement/expression semantics of §3.1 (Fig. 3/4).
+
+The interpreter evaluates a statement list in an environment mapping variable
+names to values (NumPy arrays or autodiff tensors), threading the special
+``target`` accumulator.  Probabilistic statements are delegated to a small
+*effect handler* so the same interpreter core serves three purposes:
+
+* :class:`TargetAccumulator` — the literal Fig. 3 semantics
+  (``e ~ D`` ≡ ``target += D_lpdf(e)``), used by the correctness tests and by
+  the reference NUTS backend;
+* :class:`GenerativeEffects` — emits ``observe``/``factor`` through the
+  runtime primitives, which lets the reference model participate in the same
+  inference machinery as the compiled backends;
+* generated-quantities evaluation, where ``~`` is illegal and ``*_rng`` calls
+  are allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.backends import runtime as rt
+from repro.core import stanlib
+from repro.frontend import ast
+from repro.ppl.primitives import factor, observe
+
+
+class StanRuntimeError(RuntimeError):
+    """Raised on evaluation errors (unknown variables, reject(), bad indexing)."""
+
+
+class Environment:
+    """A chained mapping of variable names to values."""
+
+    def __init__(self, values: Optional[Dict[str, Any]] = None, parent: Optional["Environment"] = None):
+        self.values: Dict[str, Any] = dict(values or {})
+        self.parent = parent
+
+    def lookup(self, name: str):
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.values:
+                return env.values[name]
+            env = env.parent
+        raise StanRuntimeError(f"variable {name!r} is not defined")
+
+    def __contains__(self, name: str) -> bool:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.values:
+                return True
+            env = env.parent
+        return False
+
+    def assign(self, name: str, value) -> None:
+        """Assign in the innermost scope that already defines ``name`` (or here)."""
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.values:
+                env.values[name] = value
+                return
+            env = env.parent
+        self.values[name] = value
+
+    def child(self, values: Optional[Dict[str, Any]] = None) -> "Environment":
+        return Environment(values, parent=self)
+
+    def flatten(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        env: Optional[Environment] = self
+        chain: List[Environment] = []
+        while env is not None:
+            chain.append(env)
+            env = env.parent
+        for env in reversed(chain):
+            out.update(env.values)
+        return out
+
+
+# ----------------------------------------------------------------------
+# probabilistic-effect handlers
+# ----------------------------------------------------------------------
+class TargetAccumulator:
+    """Fig. 3 semantics: ``~`` and ``target +=`` add to the ``target`` value."""
+
+    def __init__(self) -> None:
+        self.target = as_tensor(0.0)
+
+    def on_tilde(self, dist, value) -> None:
+        lp = dist.log_prob(as_tensor(value))
+        lp = lp.sum() if isinstance(lp, Tensor) and lp.data.ndim > 0 else lp
+        self.target = ops.add(self.target, lp)
+
+    def on_target_increment(self, value) -> None:
+        value = as_tensor(value)
+        value = value.sum() if value.data.ndim > 0 else value
+        self.target = ops.add(self.target, value)
+
+
+class GenerativeEffects:
+    """Emit ``observe``/``factor`` so the reference model composes with handlers."""
+
+    def on_tilde(self, dist, value) -> None:
+        observe(dist, value)
+
+    def on_target_increment(self, value) -> None:
+        factor(rt._fresh_site("target"), value)
+
+
+class ForbidProbabilistic:
+    """Used for generated quantities / transformed data, where ``~`` is illegal."""
+
+    def on_tilde(self, dist, value) -> None:
+        raise StanRuntimeError("'~' statements are not allowed in this block")
+
+    def on_target_increment(self, value) -> None:
+        raise StanRuntimeError("'target +=' is not allowed in this block")
+
+
+class _BreakLoop(Exception):
+    pass
+
+
+class _ContinueLoop(Exception):
+    pass
+
+
+class _ReturnValue(Exception):
+    def __init__(self, value):
+        super().__init__("return")
+        self.value = value
+
+
+# ----------------------------------------------------------------------
+# the interpreter
+# ----------------------------------------------------------------------
+@dataclass
+class StanInterpreter:
+    """Evaluates Stan statements and expressions over an environment."""
+
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    networks: Dict[str, Callable] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # expressions (Fig. 4)
+    # ------------------------------------------------------------------
+    def eval_expr(self, expr: ast.Expr, env: Environment):
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.RealLiteral):
+            return expr.value
+        if isinstance(expr, ast.StringLiteral):
+            return expr.value
+        if isinstance(expr, ast.Variable):
+            if expr.name == "__none__":
+                return None
+            return env.lookup(expr.name)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.eval_expr(expr.operand, env)
+            if expr.op == "-":
+                return -as_tensor(operand) if isinstance(operand, Tensor) else -np.asarray(operand) if np.ndim(operand) else -operand
+            if expr.op == "+":
+                return operand
+            if expr.op == "!":
+                return rt._not(operand)
+            raise StanRuntimeError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.Conditional):
+            if rt._truthy(self.eval_expr(expr.cond, env)):
+                return self.eval_expr(expr.then, env)
+            return self.eval_expr(expr.otherwise, env)
+        if isinstance(expr, ast.FunctionCall):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Indexed):
+            base = self.eval_expr(expr.base, env)
+            indices = [self._eval_index(i, env) for i in expr.indices]
+            return rt._index(base, *indices)
+        if isinstance(expr, ast.ArrayLiteral):
+            return rt._array(*[self.eval_expr(e, env) for e in expr.elements])
+        if isinstance(expr, ast.RowVectorLiteral):
+            return rt._row_vector(*[self.eval_expr(e, env) for e in expr.elements])
+        if isinstance(expr, ast.Transpose):
+            return rt._transpose(self.eval_expr(expr.operand, env))
+        if isinstance(expr, ast.Range):
+            lo = self.eval_expr(expr.lower, env) if expr.lower else None
+            hi = self.eval_expr(expr.upper, env) if expr.upper else None
+            return rt.vectorized_range(lo, hi)
+        raise StanRuntimeError(f"cannot evaluate expression {type(expr).__name__}")
+
+    def _eval_index(self, index: ast.Index, env: Environment):
+        if index.is_slice:
+            lo = self.eval_expr(index.lower, env) if index.lower is not None else None
+            hi = self.eval_expr(index.upper, env) if index.upper is not None else None
+            return rt._slice_index(lo, hi)
+        return self.eval_expr(index.expr, env)
+
+    def _eval_binary(self, expr: ast.BinaryOp, env: Environment):
+        op = expr.op
+        left = self.eval_expr(expr.left, env)
+        if op == "&&":
+            return rt._and(left, self.eval_expr(expr.right, env)) if rt._truthy(left) else 0.0
+        if op == "||":
+            return 1.0 if rt._truthy(left) else rt._or(left, self.eval_expr(expr.right, env))
+        right = self.eval_expr(expr.right, env)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return rt._mul(left, right)
+        if op == "/":
+            return rt._div(left, right)
+        if op == ".*":
+            return rt._elt_mul(left, right)
+        if op == "./":
+            return rt._elt_div(left, right)
+        if op == "^":
+            return rt._pow(left, right)
+        if op == "%":
+            return rt._mod(left, right)
+        if op == "%/%":
+            return rt._idiv(left, right)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            lv, rv = rt._to_value(left), rt._to_value(right)
+            return {"<": lv < rv, "<=": lv <= rv, ">": lv > rv, ">=": lv >= rv,
+                    "==": lv == rv, "!=": lv != rv}[op]
+        raise StanRuntimeError(f"unknown binary operator {op!r}")
+
+    def _eval_call(self, expr: ast.FunctionCall, env: Environment):
+        args = [self.eval_expr(a, env) for a in expr.args]
+        name = expr.name
+        if name in self.functions:
+            return self._call_user_function(self.functions[name], args)
+        if name in self.networks:
+            return self.networks[name](*args)
+        return stanlib.lookup_function(name)(*args)
+
+    def _call_user_function(self, func: ast.FunctionDef, args: Sequence[Any]):
+        env = Environment({arg.name: value for arg, value in zip(func.args, args)})
+        handler = ForbidProbabilistic()
+        try:
+            self.exec_stmts(func.body, env, handler)
+        except _ReturnValue as ret:
+            return ret.value
+        return None
+
+    # ------------------------------------------------------------------
+    # statements (Fig. 3)
+    # ------------------------------------------------------------------
+    def exec_stmts(self, stmts: Sequence[ast.Stmt], env: Environment, handler) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env, handler)
+
+    def exec_stmt(self, stmt: ast.Stmt, env: Environment, handler) -> None:
+        if isinstance(stmt, ast.Skip) or isinstance(stmt, ast.PrintStmt):
+            return
+        if isinstance(stmt, ast.DeclStmt):
+            self.declare(stmt.decl, env)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, env)
+            return
+        if isinstance(stmt, ast.TargetPlus):
+            handler.on_target_increment(self.eval_expr(stmt.value, env))
+            return
+        if isinstance(stmt, ast.TildeStmt):
+            self._exec_tilde(stmt, env, handler)
+            return
+        if isinstance(stmt, ast.For):
+            self._exec_for(stmt, env, handler)
+            return
+        if isinstance(stmt, ast.While):
+            while rt._truthy(self.eval_expr(stmt.cond, env)):
+                try:
+                    self.exec_stmts(stmt.body, env.child(), handler)
+                except _BreakLoop:
+                    break
+                except _ContinueLoop:
+                    continue
+            return
+        if isinstance(stmt, ast.If):
+            if rt._truthy(self.eval_expr(stmt.cond, env)):
+                self.exec_stmts(stmt.then_body, env.child(), handler)
+            else:
+                self.exec_stmts(stmt.else_body, env.child(), handler)
+            return
+        if isinstance(stmt, ast.BlockStmt):
+            self.exec_stmts(stmt.body, env.child(), handler)
+            return
+        if isinstance(stmt, ast.Break):
+            raise _BreakLoop()
+        if isinstance(stmt, ast.Continue):
+            raise _ContinueLoop()
+        if isinstance(stmt, ast.Return):
+            value = self.eval_expr(stmt.value, env) if stmt.value is not None else None
+            raise _ReturnValue(value)
+        if isinstance(stmt, ast.RejectStmt):
+            handler.on_target_increment(float("-inf"))
+            return
+        if isinstance(stmt, ast.CallStmt):
+            self.eval_expr(stmt.call, env)
+            return
+        raise StanRuntimeError(f"cannot execute statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def declare(self, decl: ast.Decl, env: Environment) -> None:
+        """Allocate a declared variable (zero-initialised or from its initialiser)."""
+        if decl.init is not None:
+            env.values[decl.name] = self.eval_expr(decl.init, env)
+            return
+        dims = [self.eval_expr(d, env) for d in decl.dims]
+        env.values[decl.name] = rt._zeros(*dims)
+
+    def _exec_assign(self, stmt: ast.Assign, env: Environment) -> None:
+        value_expr = stmt.value
+        if stmt.op != "=":
+            value_expr = ast.BinaryOp(op=stmt.op[0], left=stmt.lhs, right=stmt.value)
+        value = self.eval_expr(value_expr, env)
+        if isinstance(stmt.lhs, ast.Variable):
+            env.assign(stmt.lhs.name, value)
+            return
+        if isinstance(stmt.lhs, ast.Indexed) and isinstance(stmt.lhs.base, ast.Variable):
+            name = stmt.lhs.base.name
+            base = env.lookup(name)
+            indices = tuple(self._eval_index(i, env) for i in stmt.lhs.indices)
+            env.assign(name, rt._index_update(base, indices, value))
+            return
+        raise StanRuntimeError(f"{stmt.loc}: unsupported assignment target")
+
+    def _exec_tilde(self, stmt: ast.TildeStmt, env: Environment, handler) -> None:
+        if stmt.has_truncation:
+            raise StanRuntimeError(f"{stmt.loc}: truncated '~' statements are not supported")
+        args = [self.eval_expr(a, env) for a in stmt.args]
+        dist = stanlib.make_distribution(stmt.dist_name, *args)
+        value = self.eval_expr(stmt.lhs, env)
+        handler.on_tilde(dist, value)
+
+    def _exec_for(self, stmt: ast.For, env: Environment, handler) -> None:
+        if stmt.is_range:
+            lower = rt._int(self.eval_expr(stmt.lower, env))
+            upper = rt._int(self.eval_expr(stmt.upper, env))
+            iterator = range(lower, upper + 1)
+        else:
+            iterator = rt._iter(self.eval_expr(stmt.sequence, env))
+        for value in iterator:
+            loop_env = env.child({stmt.var: value})
+            try:
+                self.exec_stmts(stmt.body, loop_env, handler)
+            except _BreakLoop:
+                break
+            except _ContinueLoop:
+                continue

@@ -1,0 +1,197 @@
+"""Gradient correctness of the operator library, checked against finite differences.
+
+Includes hypothesis property tests: for random inputs in each op's domain, the
+reverse-mode gradient matches a central-difference estimate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, ops
+from repro.autodiff.functional import grad, numerical_grad, value_and_grad
+
+
+def check_gradient(fn, x, atol=1e-4):
+    """Compare reverse-mode and numerical gradients of a scalar function."""
+    vg = value_and_grad(lambda t: fn(t))
+    _, analytic = vg(x)
+    numeric = numerical_grad(lambda arr: float(vg(arr)[0]), np.asarray(x, dtype=float))
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-3)
+
+
+UNARY_CASES = [
+    ("exp", ops.exp, np.array([0.1, -0.5, 1.2])),
+    ("log", ops.log, np.array([0.3, 1.5, 2.2])),
+    ("log1p", ops.log1p, np.array([0.3, 1.5, -0.4])),
+    ("sqrt", ops.sqrt, np.array([0.5, 2.0, 4.0])),
+    ("sigmoid", ops.sigmoid, np.array([-1.0, 0.2, 3.0])),
+    ("tanh", ops.tanh, np.array([-1.0, 0.2, 3.0])),
+    ("softplus", ops.softplus, np.array([-2.0, 0.0, 2.0])),
+    ("relu", ops.relu, np.array([-2.0, 0.5, 2.0])),
+    ("square", ops.square, np.array([-2.0, 0.5, 2.0])),
+    ("abs", ops.abs_, np.array([-2.0, 0.5, 2.0])),
+    ("lgamma", ops.lgamma, np.array([0.5, 2.5, 4.0])),
+    ("digamma", ops.digamma, np.array([0.5, 2.5, 4.0])),
+    ("erf", ops.erf, np.array([-1.0, 0.3, 1.5])),
+    ("erfc", ops.erfc, np.array([-1.0, 0.3, 1.5])),
+    ("expm1", ops.expm1, np.array([-1.0, 0.3, 1.5])),
+    ("sin", ops.sin, np.array([-1.0, 0.3, 1.5])),
+    ("cos", ops.cos, np.array([-1.0, 0.3, 1.5])),
+]
+
+
+@pytest.mark.parametrize("name,op,x", UNARY_CASES, ids=[c[0] for c in UNARY_CASES])
+def test_unary_gradients(name, op, x):
+    check_gradient(lambda t: ops.sum_(op(t)), x)
+
+
+def test_add_mul_div_gradients():
+    x = np.array([1.0, 2.0, 3.0])
+    check_gradient(lambda t: ops.sum_(ops.mul(ops.add(t, 2.0), ops.div(t, 3.0))), x)
+
+
+def test_pow_gradient():
+    check_gradient(lambda t: ops.sum_(ops.pow_(t, 2.5)), np.array([0.5, 1.5, 2.5]))
+
+
+def test_sum_axis_gradient():
+    x = np.arange(6, dtype=float).reshape(2, 3)
+    check_gradient(lambda t: ops.sum_(ops.mul(ops.sum_(t, axis=0), 2.0)), x)
+
+
+def test_mean_gradient():
+    check_gradient(lambda t: ops.mean(ops.exp(t)), np.array([0.1, 0.2, 0.3, 0.4]))
+
+
+def test_logsumexp_gradient():
+    check_gradient(lambda t: ops.logsumexp(t), np.array([0.1, -0.2, 1.3]))
+
+
+def test_softmax_gradient():
+    check_gradient(lambda t: ops.sum_(ops.mul(ops.softmax(t), np.array([1.0, 2.0, 3.0]))),
+                   np.array([0.1, -0.2, 1.3]))
+
+
+def test_log_softmax_gradient():
+    check_gradient(lambda t: ops.sum_(ops.mul(ops.log_softmax(t), np.array([1.0, 2.0, 3.0]))),
+                   np.array([0.1, -0.2, 1.3]))
+
+
+def test_cumsum_gradient():
+    check_gradient(lambda t: ops.sum_(ops.mul(ops.cumsum(t), np.array([1.0, 0.5, 2.0]))),
+                   np.array([0.1, -0.2, 1.3]))
+
+
+def test_matmul_gradient_matrix_vector():
+    A = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    x = np.array([0.5, -1.0])
+    check_gradient(lambda t: ops.sum_(ops.matmul(A, t)), x)
+    check_gradient(lambda t: ops.sum_(ops.matmul(ops.reshape(t, (3, 2)), x)),
+                   A.reshape(-1))
+
+
+def test_matmul_gradient_matrix_matrix():
+    A = np.arange(6, dtype=float).reshape(2, 3)
+    B = np.arange(12, dtype=float).reshape(3, 4) / 10.0
+    check_gradient(lambda t: ops.sum_(ops.matmul(ops.reshape(t, (2, 3)), B)), A.reshape(-1))
+
+
+def test_dot_gradient():
+    x = np.array([1.0, 2.0, 3.0])
+    check_gradient(lambda t: ops.dot(t, np.array([0.5, -1.0, 2.0])), x)
+
+
+def test_outer_gradient():
+    check_gradient(lambda t: ops.sum_(ops.outer(t, np.array([1.0, 2.0]))),
+                   np.array([0.5, -1.0, 2.0]))
+
+
+def test_transpose_gradient():
+    A = np.arange(6, dtype=float).reshape(2, 3)
+    check_gradient(lambda t: ops.sum_(ops.mul(ops.transpose(ops.reshape(t, (2, 3))),
+                                              np.arange(6, dtype=float).reshape(3, 2))),
+                   A.reshape(-1))
+
+
+def test_concatenate_gradient():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+
+    def fn(t):
+        a = ops.getitem(t, slice(0, 2))
+        b = ops.getitem(t, slice(2, 4))
+        return ops.sum_(ops.mul(ops.concatenate([a, b]), np.array([1.0, 2.0, 3.0, 4.0])))
+
+    check_gradient(fn, x)
+
+
+def test_stack_gradient():
+    x = np.array([1.0, 2.0])
+    check_gradient(lambda t: ops.sum_(ops.square(ops.stack([t, ops.mul(t, 2.0)]))), x)
+
+
+def test_getitem_fancy_index_gradient():
+    x = np.array([1.0, 2.0, 3.0])
+    idx = np.array([0, 2, 2])
+    check_gradient(lambda t: ops.sum_(ops.getitem(t, idx)), x)
+
+
+def test_index_update_gradient():
+    x = np.array([1.0, 2.0, 3.0])
+
+    def fn(t):
+        updated = ops.index_update(t, 1, ops.mul(ops.getitem(t, 0), 3.0))
+        return ops.sum_(ops.square(updated))
+
+    check_gradient(fn, x)
+
+
+def test_where_gradient():
+    x = np.array([-1.0, 0.5, 2.0])
+    cond = x > 0
+    check_gradient(lambda t: ops.sum_(ops.where(cond, ops.mul(t, 2.0), ops.mul(t, -1.0))), x)
+
+
+def test_minimum_maximum_clip_gradient():
+    x = np.array([-1.0, 0.5, 2.0])
+    check_gradient(lambda t: ops.sum_(ops.minimum(t, 1.0)), x)
+    check_gradient(lambda t: ops.sum_(ops.maximum(t, 0.0)), x)
+    check_gradient(lambda t: ops.sum_(ops.clip(t, -0.5, 1.5)), x)
+
+
+def test_grad_function_wrapper():
+    g = grad(lambda t: ops.sum_(ops.square(t)))
+    np.testing.assert_allclose(g(np.array([1.0, -2.0])), [2.0, -4.0])
+
+
+def test_constant_function_returns_zero_grad():
+    value, g = value_and_grad(lambda t: 3.0)(np.array([1.0, 2.0]))
+    assert value == pytest.approx(3.0)
+    np.testing.assert_allclose(g, np.zeros(2))
+
+
+# ----------------------------------------------------------------------
+# property-based gradient checks
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-3.0, max_value=3.0), min_size=1, max_size=6))
+def test_property_sigmoid_tanh_chain_gradient(values):
+    x = np.asarray(values, dtype=float)
+    check_gradient(lambda t: ops.sum_(ops.sigmoid(ops.tanh(ops.mul(t, 0.7)))), x, atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=6))
+def test_property_log_gamma_chain_gradient(values):
+    x = np.asarray(values, dtype=float)
+    check_gradient(lambda t: ops.sum_(ops.add(ops.lgamma(t), ops.log(t))), x, atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-2.0, max_value=2.0), min_size=2, max_size=6))
+def test_property_logsumexp_upper_bound(values):
+    x = np.asarray(values, dtype=float)
+    lse = float(ops.logsumexp(Tensor(x)).data)
+    assert lse >= float(np.max(x)) - 1e-9
+    assert lse <= float(np.max(x)) + np.log(len(x)) + 1e-9

@@ -1,0 +1,159 @@
+"""Tests for the Tensor class: graph recording, backward, broadcasting."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, as_tensor, no_grad, ops
+from repro.autodiff.tensor import unbroadcast
+
+
+def test_tensor_wraps_array():
+    t = Tensor([1.0, 2.0, 3.0])
+    assert t.shape == (3,)
+    assert t.ndim == 1
+    assert t.size == 3
+    np.testing.assert_allclose(t.numpy(), [1.0, 2.0, 3.0])
+
+
+def test_scalar_item():
+    assert Tensor(3.5).item() == pytest.approx(3.5)
+
+
+def test_as_tensor_idempotent():
+    t = Tensor([1.0])
+    assert as_tensor(t) is t
+
+
+def test_backward_simple_chain():
+    x = Tensor(2.0, requires_grad=True)
+    y = (x * x) + x
+    y.backward()
+    assert x.grad == pytest.approx(2 * 2.0 + 1.0)
+
+
+def test_backward_requires_scalar():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    with pytest.raises(ValueError):
+        (x * 2).backward()
+
+
+def test_backward_accumulates_over_multiple_uses():
+    x = Tensor(3.0, requires_grad=True)
+    y = x * x * x  # x^3, dy/dx = 3 x^2
+    y.backward()
+    assert x.grad == pytest.approx(27.0)
+
+
+def test_grad_none_until_backward():
+    x = Tensor(1.0, requires_grad=True)
+    assert x.grad is None
+    (x * 2.0).backward()
+    assert x.grad == pytest.approx(2.0)
+
+
+def test_zero_grad():
+    x = Tensor(1.0, requires_grad=True)
+    (x * 2.0).backward()
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_detach_cuts_graph():
+    x = Tensor(1.0, requires_grad=True)
+    y = (x * 3.0).detach()
+    z = y * 2.0
+    assert z.parents == () or all(p is not x for p in z.parents)
+
+
+def test_no_grad_context_disables_recording():
+    x = Tensor(1.0, requires_grad=True)
+    with no_grad():
+        y = x * 2.0
+    assert y.parents == ()
+
+
+def test_broadcast_gradient_shapes():
+    a = Tensor(np.ones((3, 1)), requires_grad=True)
+    b = Tensor(np.ones(4), requires_grad=True)
+    out = (a + b).sum()
+    out.backward()
+    assert a.grad.shape == (3, 1)
+    assert b.grad.shape == (4,)
+    np.testing.assert_allclose(a.grad, 4 * np.ones((3, 1)))
+    np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+
+def test_unbroadcast_sums_leading_dims():
+    g = np.ones((5, 3))
+    reduced = unbroadcast(g, (3,))
+    np.testing.assert_allclose(reduced, 5 * np.ones(3))
+
+
+def test_unbroadcast_keepdims():
+    g = np.ones((2, 4))
+    reduced = unbroadcast(g, (2, 1))
+    np.testing.assert_allclose(reduced, 4 * np.ones((2, 1)))
+
+
+def test_comparisons_return_plain_arrays():
+    t = Tensor([1.0, 2.0, 3.0])
+    assert isinstance(t > 1.5, np.ndarray)
+    np.testing.assert_array_equal(t > 1.5, [False, True, True])
+
+
+def test_python_operators_dispatch():
+    x = Tensor(4.0, requires_grad=True)
+    y = (2.0 * x - 1.0) / 2.0 + 3.0
+    assert isinstance(y, Tensor)
+    y.backward()
+    assert x.grad == pytest.approx(1.0)
+
+
+def test_rsub_rdiv_rpow():
+    x = Tensor(2.0, requires_grad=True)
+    assert float((3.0 - x).data) == pytest.approx(1.0)
+    assert float((8.0 / x).data) == pytest.approx(4.0)
+    assert float((2.0 ** x).data) == pytest.approx(4.0)
+
+
+def test_matmul_operator():
+    a = Tensor(np.eye(2), requires_grad=True)
+    b = Tensor(np.array([1.0, 2.0]))
+    out = a @ b
+    np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+
+def test_getitem_gradient():
+    x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    y = x[1] * 5.0
+    y.backward()
+    np.testing.assert_allclose(x.grad, [0.0, 5.0, 0.0])
+
+
+def test_iteration_over_first_dim():
+    x = Tensor(np.array([1.0, 2.0]))
+    values = [float(v.data) for v in x]
+    assert values == [1.0, 2.0]
+
+
+def test_bool_int_float_conversions():
+    assert bool(Tensor(1.0))
+    assert int(Tensor(3.7)) == 3
+    assert float(Tensor(3.7)) == pytest.approx(3.7)
+
+
+def test_reshape_and_flatten():
+    x = Tensor(np.arange(6, dtype=float), requires_grad=True)
+    y = x.reshape(2, 3).sum()
+    y.backward()
+    np.testing.assert_allclose(x.grad, np.ones(6))
+    assert Tensor(np.ones((2, 3))).flatten().shape == (6,)
+
+
+def test_transpose_property():
+    x = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+    assert x.T.shape == (3, 2)
+
+
+def test_repr_mentions_requires_grad():
+    assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))

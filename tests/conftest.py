@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.ppl import primitives
+
+
+@pytest.fixture(autouse=True)
+def _clean_param_store():
+    """Keep the global parameter store isolated between tests."""
+    primitives.clear_param_store()
+    yield
+    primitives.clear_param_store()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+COIN_MODEL = """
+data {
+  int N;
+  int<lower=0, upper=1> x[N];
+}
+parameters {
+  real<lower=0, upper=1> z;
+}
+model {
+  z ~ beta(1, 1);
+  for (i in 1:N)
+    x[i] ~ bernoulli(z);
+}
+"""
+
+NORMAL_MODEL = """
+data {
+  int N;
+  real y[N];
+}
+parameters {
+  real mu;
+  real<lower=0> sigma;
+}
+model {
+  mu ~ normal(0, 10);
+  sigma ~ cauchy(0, 5);
+  y ~ normal(mu, sigma);
+}
+"""
+
+
+@pytest.fixture
+def coin_source():
+    return COIN_MODEL
+
+
+@pytest.fixture
+def normal_source():
+    return NORMAL_MODEL
+
+
+@pytest.fixture
+def coin_data():
+    return {"N": 10, "x": np.array([1, 1, 1, 0, 1, 1, 0, 1, 1, 1], dtype=float)}
+
+
+@pytest.fixture
+def normal_data(rng):
+    return {"N": 25, "y": rng.normal(2.0, 1.5, size=25)}

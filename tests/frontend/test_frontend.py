@@ -1,0 +1,355 @@
+"""Frontend tests: lexer, parser, AST helpers, semantic checks."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.lexer import LexerError, tokenize
+from repro.frontend.parser import ParseError, parse_program
+from repro.frontend.semantics import SemanticError, build_symbol_table, check_program
+
+COIN = """
+data { int N; int<lower=0,upper=1> x[N]; }
+parameters { real<lower=0,upper=1> z; }
+model {
+  z ~ beta(1, 1);
+  for (i in 1:N) x[i] ~ bernoulli(z);
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+def test_tokenize_basic_kinds():
+    tokens = tokenize("real x = 3.5; // comment\n x ~ normal(0, 1);")
+    values = [t.value for t in tokens if t.kind != "EOF"]
+    assert "real" in values and "3.5" in values and "~" in values
+    assert "comment" not in " ".join(values)
+
+
+def test_tokenize_block_comment_and_hash_comment():
+    tokens = tokenize("/* block\ncomment */ int N; # trailing")
+    values = [t.value for t in tokens]
+    assert "N" in values
+    assert "block" not in values
+
+
+def test_tokenize_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("/* never closed")
+
+
+def test_tokenize_numbers():
+    tokens = tokenize("1 2.5 3e4 1.5e-3 .5")
+    kinds = [t.kind for t in tokens if t.kind != "EOF"]
+    assert kinds == ["INT", "REAL", "REAL", "REAL", "REAL"]
+
+
+def test_tokenize_multichar_operators():
+    tokens = tokenize("a += b .* c ./ d && e || f <= g")
+    values = [t.value for t in tokens]
+    for op in ("+=", ".*", "./", "&&", "||", "<="):
+        assert op in values
+
+
+def test_tokenize_dotted_identifier():
+    tokens = tokenize("mlp.l1.weight ~ normal(0, 1);")
+    assert tokens[0].value == "mlp.l1.weight"
+
+
+def test_tokenize_string_literal():
+    tokens = tokenize('print("hello world");')
+    assert any(t.kind == "STRING" and t.value == "hello world" for t in tokens)
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(LexerError):
+        tokenize("int N; @")
+
+
+def test_tokens_carry_locations():
+    tokens = tokenize("int N;\nreal x;")
+    real_tok = next(t for t in tokens if t.value == "real")
+    assert real_tok.loc.line == 2
+
+
+# ----------------------------------------------------------------------
+# parser: blocks and declarations
+# ----------------------------------------------------------------------
+def test_parse_coin_model_blocks():
+    program = parse_program(COIN)
+    assert [d.name for d in program.data.decls] == ["N", "x"]
+    assert [d.name for d in program.parameters.decls] == ["z"]
+    assert len(program.model.stmts) == 2
+
+
+def test_parse_all_blocks_present():
+    src = """
+    functions { real f(real x) { return x + 1; } }
+    data { int N; }
+    transformed data { real m; m = N * 2.0; }
+    parameters { real mu; }
+    transformed parameters { real mu2; mu2 = 2 * mu; }
+    model { mu ~ normal(0, 1); }
+    generated quantities { real g; g = mu2 + m; }
+    """
+    program = parse_program(src)
+    assert len(program.functions) == 1
+    assert not program.transformed_data.is_empty
+    assert not program.transformed_parameters.is_empty
+    assert not program.generated_quantities.is_empty
+
+
+def test_parse_constrained_declarations():
+    program = parse_program("parameters { real<lower=0, upper=1> p; real<lower=0> s; } model { }")
+    p, s = program.parameters.decls
+    assert p.constraint.lower is not None and p.constraint.upper is not None
+    assert s.constraint.upper is None
+
+
+def test_parse_container_types():
+    src = """
+    data {
+      vector[3] v;
+      matrix[2, 3] M;
+      simplex[4] theta;
+      ordered[3] c;
+      row_vector[2] r;
+      real arr[5, 6];
+      array[7] int counts;
+    }
+    model { }
+    """
+    program = parse_program(src)
+    decls = {d.name: d for d in program.data.decls}
+    assert decls["v"].base_type.name == "vector"
+    assert len(decls["M"].base_type.sizes) == 2
+    assert decls["theta"].base_type.name == "simplex"
+    assert len(decls["arr"].array_dims) == 2
+    assert len(decls["counts"].array_dims) == 1
+
+
+def test_parse_deepstan_blocks():
+    src = """
+    networks { vector mlp(matrix imgs); }
+    data { int N; }
+    parameters { real z; }
+    model { z ~ normal(0, 1); }
+    guide parameters { real m; real<lower=0> s; }
+    guide { z ~ normal(m, s); }
+    """
+    program = parse_program(src)
+    assert program.networks[0].name == "mlp"
+    assert [d.name for d in program.guide_parameters.decls] == ["m", "s"]
+    assert not program.guide.is_empty
+    assert program.has_deepstan_extensions
+
+
+# ----------------------------------------------------------------------
+# parser: statements
+# ----------------------------------------------------------------------
+def test_parse_statement_varieties():
+    src = """
+    data { int N; real y[N]; }
+    parameters { real mu; }
+    model {
+      real acc;
+      int i;
+      acc = 0;
+      acc += 1.5;
+      target += normal_lpdf(mu, 0, 1);
+      while (i < N) { i = i + 1; }
+      if (acc > 0) { mu ~ normal(0, 1); } else { mu ~ normal(0, 2); }
+      for (n in 1:N) y[n] ~ normal(mu, 1);
+      print("done");
+    }
+    """
+    program = parse_program(src)
+    kinds = [type(s).__name__ for s in program.model.stmts]
+    assert "TargetPlus" in kinds
+    assert "While" in kinds
+    assert "If" in kinds
+    assert "For" in kinds
+    assert "PrintStmt" in kinds
+
+
+def test_parse_truncation():
+    src = "data { real y; } parameters { real mu; } model { y ~ normal(mu, 1) T[0, ]; }"
+    program = parse_program(src)
+    stmt = program.model.stmts[0]
+    assert isinstance(stmt, ast.TildeStmt)
+    assert stmt.has_truncation
+    assert stmt.truncation_lower is not None
+    assert stmt.truncation_upper is None
+
+
+def test_parse_foreach_loop():
+    src = "data { real y[3]; } parameters { real mu; } model { for (v in y) v ~ normal(mu, 1); }"
+    program = parse_program(src)
+    loop = program.model.stmts[0]
+    assert isinstance(loop, ast.For)
+    assert not loop.is_range
+
+
+def test_parse_compound_assignment():
+    src = "model { real a; a = 1; a *= 2; a /= 3; }"
+    program = parse_program(src)
+    assigns = [s for s in program.model.stmts if isinstance(s, ast.Assign)]
+    assert [a.op for a in assigns] == ["=", "*=", "/="]
+
+
+# ----------------------------------------------------------------------
+# parser: expressions
+# ----------------------------------------------------------------------
+def test_expression_precedence():
+    # Leading local declarations are collected into the block's decls, so the
+    # assignment is the first statement.
+    program = parse_program("model { real a; a = 1 + 2 * 3; }")
+    expr = program.model.stmts[0].value
+    assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+
+def test_power_is_right_associative():
+    program = parse_program("model { real a; a = 2 ^ 3 ^ 2; }")
+    expr = program.model.stmts[0].value
+    assert expr.op == "^"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "^"
+
+
+def test_ternary_and_logical_operators():
+    program = parse_program("model { real a; a = (1 > 0 && 2 < 3) ? 1.0 : 0.0; }")
+    expr = program.model.stmts[0].value
+    assert isinstance(expr, ast.Conditional)
+    assert isinstance(expr.cond, ast.BinaryOp) and expr.cond.op == "&&"
+
+
+def test_indexing_and_slices():
+    program = parse_program("data { real x[5]; } model { real a; a = x[2] + sum(x[1:3]) + sum(x[:]); }")
+    expr = program.model.stmts[0].value
+    indexed = [n for n in ast.walk_expr(expr) if isinstance(n, ast.Indexed)]
+    assert len(indexed) == 3
+    assert indexed[1].indices[0].is_slice or indexed[2].indices[0].is_slice
+
+
+def test_transpose_and_elementwise_ops():
+    program = parse_program("data { matrix[2,2] A; } model { real a; a = sum(A' .* A); }")
+    nodes = list(ast.walk_expr(program.model.stmts[0].value))
+    assert any(isinstance(n, ast.Transpose) for n in nodes)
+    assert any(isinstance(n, ast.BinaryOp) and n.op == ".*" for n in nodes)
+
+
+def test_array_and_row_vector_literals():
+    program = parse_program("model { real a; a = sum({1, 2, 3}) + sum([4, 5]); }")
+    nodes = list(ast.walk_expr(program.model.stmts[0].value))
+    assert any(isinstance(n, ast.ArrayLiteral) for n in nodes)
+    assert any(isinstance(n, ast.RowVectorLiteral) for n in nodes)
+
+
+def test_lpdf_bar_syntax():
+    program = parse_program("data { real y; } parameters { real mu; } model { target += normal_lpdf(y | mu, 1); }")
+    call = program.model.stmts[0].value
+    assert isinstance(call, ast.FunctionCall)
+    assert len(call.args) == 3
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError):
+        parse_program("data { int N }")  # missing semicolon
+
+
+def test_parse_error_on_unknown_block():
+    with pytest.raises(ParseError):
+        parse_program("bogus { }")
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def test_assigned_variables_helper():
+    program = parse_program("""
+    model {
+      real a; real b;
+      a = 1;
+      for (i in 1:3) { b = a + i; }
+    }
+    """)
+    assigned = ast.assigned_variables(program.model.stmts)
+    assert "a" in assigned and "b" in assigned and "i" in assigned
+
+
+def test_expr_variables_helper():
+    program = parse_program("data { real x; real y; } model { real a; a = x * log(y) + 2; }")
+    variables = ast.expr_variables(program.model.stmts[0].value)
+    assert set(variables) == {"x", "y"}
+
+
+def test_program_notation_functions():
+    program = parse_program(COIN)
+    assert [d.name for d in program.data_decls()] == ["N", "x"]
+    assert [d.name for d in program.params_decls()] == ["z"]
+    assert len(program.model_stmts()) == 2
+
+
+# ----------------------------------------------------------------------
+# semantic checks
+# ----------------------------------------------------------------------
+def test_check_program_accepts_valid_model():
+    table = check_program(parse_program(COIN))
+    assert table.kind_of("z") == "parameter"
+    assert table.kind_of("x") == "data"
+
+
+def test_semantic_error_on_undeclared_variable():
+    src = "parameters { real mu; } model { mu ~ normal(nu, 1); }"
+    with pytest.raises(SemanticError):
+        check_program(parse_program(src))
+
+
+def test_semantic_error_on_int_parameter():
+    src = "parameters { int k; } model { }"
+    with pytest.raises(SemanticError):
+        check_program(parse_program(src))
+
+
+def test_semantic_error_on_parameter_assignment():
+    src = "parameters { real mu; } model { mu = 1.0; }"
+    with pytest.raises(SemanticError):
+        check_program(parse_program(src))
+
+
+def test_semantic_error_on_data_assignment():
+    src = "data { real y; } parameters { real mu; } model { y = mu; mu ~ normal(0,1); }"
+    with pytest.raises(SemanticError):
+        check_program(parse_program(src))
+
+
+def test_semantic_error_on_reading_target():
+    src = "parameters { real mu; } model { real a; a = target + 1; }"
+    with pytest.raises(SemanticError):
+        check_program(parse_program(src))
+
+
+def test_semantic_error_on_duplicate_declaration():
+    src = "data { real y; } parameters { real y; } model { }"
+    with pytest.raises(SemanticError):
+        check_program(parse_program(src))
+
+
+def test_loop_variable_is_visible_in_body():
+    src = "data { int N; real y[N]; } parameters { real mu; } model { for (i in 1:N) y[i] ~ normal(mu, 1); }"
+    check_program(parse_program(src))
+
+
+def test_function_arguments_visible_in_function_body():
+    src = """
+    functions { real f(real a, real b) { return a + b; } }
+    parameters { real mu; }
+    model { mu ~ normal(f(1, 2), 1); }
+    """
+    check_program(parse_program(src))
+
+
+def test_symbol_table_of_kind():
+    table = build_symbol_table(parse_program(COIN))
+    assert [info.name for info in table.of_kind("parameter")] == ["z"]

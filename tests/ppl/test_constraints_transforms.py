@@ -1,0 +1,162 @@
+"""Constraint and bijector tests: round trips, Jacobians, support mapping."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.autodiff.functional import numerical_grad
+from repro.ppl import constraints as C
+from repro.ppl import transforms as T
+
+
+# ----------------------------------------------------------------------
+# constraints
+# ----------------------------------------------------------------------
+def test_interval_check():
+    c = C.interval(0, 1)
+    assert c.check(0.5)
+    assert not c.check(1.5)
+    assert c.lower == 0.0 and c.upper == 1.0
+
+
+def test_interval_with_missing_bounds():
+    assert C.interval(None, 2.0).lower == -math.inf
+    assert C.interval(1.0, None).upper == math.inf
+
+
+def test_integer_interval_check():
+    c = C.integer_interval(0, 5)
+    assert c.check(3)
+    assert not c.check(3.5)
+    assert c.is_discrete
+
+
+def test_simplex_ordered_checks():
+    assert C.simplex.check([0.2, 0.3, 0.5])
+    assert not C.simplex.check([0.2, 0.3, 0.6])
+    assert C.ordered.check([1.0, 2.0, 3.0])
+    assert not C.ordered.check([3.0, 2.0])
+    assert C.positive_ordered.check([1.0, 2.0])
+    assert not C.positive_ordered.check([-1.0, 2.0])
+
+
+def test_same_support_interval_vs_real():
+    assert C.same_support(C.real, C.Interval(-math.inf, math.inf))
+    assert C.same_support(C.positive, C.Interval(0.0, math.inf))
+    assert not C.same_support(C.positive, C.real)
+    assert C.same_support(C.unit_interval, C.Interval(0.0, 1.0))
+    assert not C.same_support(C.unit_interval, C.Interval(0.0, 2.0))
+    assert C.same_support(C.simplex, C.Simplex())
+    assert not C.same_support(C.simplex, C.ordered)
+
+
+# ----------------------------------------------------------------------
+# transforms: round trip and Jacobians
+# ----------------------------------------------------------------------
+TRANSFORM_CASES = [
+    ("identity", T.IdentityTransform(), np.array([0.3, -1.2])),
+    ("exp", T.ExpTransform(), np.array([0.3, -1.2])),
+    ("lower", T.LowerBoundTransform(2.0), np.array([0.3, -1.2])),
+    ("upper", T.UpperBoundTransform(5.0), np.array([0.3, -1.2])),
+    ("interval", T.IntervalTransform(-1.0, 3.0), np.array([0.3, -1.2])),
+    ("ordered", T.OrderedTransform(), np.array([0.3, -1.2, 0.7])),
+    ("positive_ordered", T.PositiveOrderedTransform(), np.array([0.3, -1.2, 0.7])),
+    ("simplex", T.StickBreakingTransform(), np.array([0.3, -1.2, 0.7])),
+    ("affine", T.AffineTransform(2.0, 3.0), np.array([0.3, -1.2])),
+]
+
+
+@pytest.mark.parametrize("name,transform,x", TRANSFORM_CASES, ids=[c[0] for c in TRANSFORM_CASES])
+def test_transform_round_trip(name, transform, x):
+    y = transform(Tensor(x))
+    back = transform.inv(y)
+    np.testing.assert_allclose(np.atleast_1d(back.data), x, atol=1e-6)
+
+
+@pytest.mark.parametrize("name,transform,x", TRANSFORM_CASES, ids=[c[0] for c in TRANSFORM_CASES])
+def test_transform_jacobian_matches_numerical(name, transform, x):
+    y = transform(Tensor(x))
+    analytic = float(np.sum(transform.log_abs_det_jacobian(Tensor(x), y).data))
+
+    def forward(arr):
+        return np.atleast_1d(np.asarray(transform(Tensor(arr)).data, dtype=float))
+
+    eps = 1e-6
+    n_out = forward(x).shape[0]
+    jac = np.zeros((n_out, x.size))
+    for i in range(x.size):
+        xp = x.copy()
+        xp[i] += eps
+        xm = x.copy()
+        xm[i] -= eps
+        jac[:, i] = (forward(xp) - forward(xm)) / (2 * eps)
+    if jac.shape[0] == jac.shape[1]:
+        _, numeric = np.linalg.slogdet(jac)
+    else:
+        # simplex: drop the last (redundant) output row
+        _, numeric = np.linalg.slogdet(jac[:-1, :])
+    assert analytic == pytest.approx(float(numeric), abs=1e-4)
+
+
+def test_transform_targets_respect_support():
+    assert float(T.ExpTransform()(Tensor(np.array(-3.0))).data) > 0
+    y = T.IntervalTransform(2.0, 4.0)(Tensor(np.array(10.0)))
+    assert 2.0 < float(y.data) < 4.0
+    simplex = T.StickBreakingTransform()(Tensor(np.array([0.5, -0.5, 2.0])))
+    assert simplex.data.sum() == pytest.approx(1.0)
+    assert np.all(simplex.data > 0)
+    ordered = T.OrderedTransform()(Tensor(np.array([0.5, -0.5, 2.0])))
+    assert np.all(np.diff(ordered.data) > 0)
+
+
+def test_biject_to_dispatch():
+    assert isinstance(T.biject_to(C.real), T.IdentityTransform)
+    assert isinstance(T.biject_to(C.positive), T.ExpTransform)
+    assert isinstance(T.biject_to(C.Interval(2.0, math.inf)), T.LowerBoundTransform)
+    assert isinstance(T.biject_to(C.Interval(-math.inf, 3.0)), T.UpperBoundTransform)
+    assert isinstance(T.biject_to(C.unit_interval), T.IntervalTransform)
+    assert isinstance(T.biject_to(C.simplex), T.StickBreakingTransform)
+    assert isinstance(T.biject_to(C.ordered), T.OrderedTransform)
+    assert isinstance(T.biject_to(C.positive_ordered), T.PositiveOrderedTransform)
+    assert isinstance(T.biject_to(C.integer_interval(0, 1)), T.IdentityTransform)
+
+
+def test_biject_to_unknown_constraint_raises():
+    with pytest.raises(NotImplementedError):
+        T.biject_to(C.cholesky_corr)
+
+
+def test_simplex_unconstrained_shape():
+    t = T.StickBreakingTransform()
+    assert t.unconstrained_shape((4,)) == (3,)
+
+
+def test_compose_transform():
+    composed = T.ComposeTransform([T.ExpTransform(), T.AffineTransform(1.0, 2.0)])
+    x = Tensor(np.array([0.3]))
+    y = composed(x)
+    np.testing.assert_allclose(y.data, 1.0 + 2.0 * np.exp(0.3))
+    np.testing.assert_allclose(composed.inv(y).data, 0.3, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=-4, max_value=4), min_size=1, max_size=5))
+def test_property_interval_round_trip(values):
+    x = np.asarray(values, dtype=float)
+    t = T.IntervalTransform(-2.0, 5.0)
+    y = t(Tensor(x))
+    assert np.all(y.data > -2.0) and np.all(y.data < 5.0)
+    np.testing.assert_allclose(t.inv(y).data, x, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=-3, max_value=3), min_size=2, max_size=6))
+def test_property_stick_breaking_produces_simplex(values):
+    x = np.asarray(values, dtype=float)
+    y = T.StickBreakingTransform()(Tensor(x))
+    assert y.data.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(y.data >= 0)

@@ -1,0 +1,219 @@
+"""Distribution library tests: log densities against SciPy, sampling moments."""
+
+import numpy as np
+import pytest
+import scipy.stats as st
+from hypothesis import given, settings
+from hypothesis import strategies as st_h
+
+from repro.autodiff import Tensor
+from repro.ppl import constraints as C
+from repro.ppl import distributions as dist
+
+
+def logp(d, value):
+    out = d.log_prob(Tensor(np.asarray(value, dtype=float)))
+    return np.asarray(out.data)
+
+
+CONTINUOUS_CASES = [
+    ("normal", dist.Normal(1.0, 2.0), st.norm(1.0, 2.0), [0.5, -1.0, 3.0]),
+    ("student_t", dist.StudentT(4.0, 1.0, 2.0), st.t(4.0, 1.0, 2.0), [0.5, -1.0, 3.0]),
+    ("cauchy", dist.Cauchy(0.5, 1.5), st.cauchy(0.5, 1.5), [0.5, -1.0, 3.0]),
+    ("laplace", dist.DoubleExponential(0.5, 1.5), st.laplace(0.5, 1.5), [0.5, -1.0, 3.0]),
+    ("logistic", dist.Logistic(0.5, 1.5), st.logistic(0.5, 1.5), [0.5, -1.0, 3.0]),
+    ("lognormal", dist.LogNormal(0.2, 0.7), st.lognorm(0.7, scale=np.exp(0.2)), [0.5, 1.0, 3.0]),
+    ("exponential", dist.Exponential(1.5), st.expon(scale=1 / 1.5), [0.5, 1.0, 3.0]),
+    ("gamma", dist.Gamma(2.0, 1.5), st.gamma(2.0, scale=1 / 1.5), [0.5, 1.0, 3.0]),
+    ("inv_gamma", dist.InvGamma(3.0, 2.0), st.invgamma(3.0, scale=2.0), [0.5, 1.0, 3.0]),
+    ("chi_square", dist.ChiSquare(3.0), st.chi2(3.0), [0.5, 1.0, 3.0]),
+    ("weibull", dist.Weibull(1.5, 2.0), st.weibull_min(1.5, scale=2.0), [0.5, 1.0, 3.0]),
+    ("beta", dist.Beta(2.0, 3.0), st.beta(2.0, 3.0), [0.1, 0.5, 0.9]),
+    ("uniform", dist.Uniform(-1.0, 2.0), st.uniform(-1.0, 3.0), [-0.5, 0.0, 1.5]),
+    ("pareto", dist.Pareto(1.0, 2.0), st.pareto(2.0), [1.5, 2.0, 3.0]),
+    ("gumbel", dist.Gumbel(0.5, 1.5), st.gumbel_r(0.5, 1.5), [0.5, -1.0, 3.0]),
+    ("halfnormal", dist.HalfNormal(2.0), st.halfnorm(scale=2.0), [0.5, 1.0, 3.0]),
+    ("halfcauchy", dist.HalfCauchy(2.0), st.halfcauchy(scale=2.0), [0.5, 1.0, 3.0]),
+]
+
+
+@pytest.mark.parametrize("name,d,ref,values", CONTINUOUS_CASES, ids=[c[0] for c in CONTINUOUS_CASES])
+def test_continuous_log_prob_matches_scipy(name, d, ref, values):
+    np.testing.assert_allclose(logp(d, values), ref.logpdf(values), atol=1e-8)
+
+
+DISCRETE_CASES = [
+    ("bernoulli", dist.Bernoulli(0.3), st.bernoulli(0.3), [0, 1, 1]),
+    ("binomial", dist.Binomial(10, 0.4), st.binom(10, 0.4), [0, 3, 10]),
+    ("poisson", dist.Poisson(2.5), st.poisson(2.5), [0, 2, 6]),
+    ("neg_binomial_2", dist.NegBinomial2(3.0, 2.0), st.nbinom(2.0, 2.0 / 5.0), [0, 2, 6]),
+]
+
+
+@pytest.mark.parametrize("name,d,ref,values", DISCRETE_CASES, ids=[c[0] for c in DISCRETE_CASES])
+def test_discrete_log_prob_matches_scipy(name, d, ref, values):
+    np.testing.assert_allclose(logp(d, values), ref.logpmf(values), atol=1e-8)
+
+
+def test_bernoulli_logit_equals_bernoulli():
+    logits = 0.7
+    p = 1 / (1 + np.exp(-logits))
+    np.testing.assert_allclose(logp(dist.BernoulliLogit(logits), [0, 1]),
+                               logp(dist.Bernoulli(p), [0, 1]), atol=1e-9)
+
+
+def test_binomial_logit_equals_binomial():
+    logits = -0.3
+    p = 1 / (1 + np.exp(-logits))
+    np.testing.assert_allclose(logp(dist.BinomialLogit(8, logits), [0, 4, 8]),
+                               logp(dist.Binomial(8, p), [0, 4, 8]), atol=1e-9)
+
+
+def test_poisson_log_equals_poisson():
+    np.testing.assert_allclose(logp(dist.PoissonLog(np.log(2.5)), [0, 2, 6]),
+                               logp(dist.Poisson(2.5), [0, 2, 6]), atol=1e-9)
+
+
+def test_categorical_log_prob():
+    probs = np.array([0.2, 0.3, 0.5])
+    d = dist.Categorical(probs)
+    np.testing.assert_allclose(logp(d, 2), np.log(0.5), atol=1e-9)
+    np.testing.assert_allclose(logp(d, 0), np.log(0.2), atol=1e-9)
+
+
+def test_categorical_logit_matches_softmax():
+    logits = np.array([0.1, -0.5, 2.0])
+    probs = np.exp(logits) / np.exp(logits).sum()
+    np.testing.assert_allclose(logp(dist.CategoricalLogit(logits), 1), np.log(probs[1]), atol=1e-9)
+
+
+def test_categorical_batched_logits():
+    logits = np.array([[0.0, 1.0], [2.0, 0.0]])
+    d = dist.CategoricalLogit(logits)
+    out = logp(d, np.array([1, 0]))
+    expected = [np.log(np.exp(1.0) / (1 + np.exp(1.0))), np.log(np.exp(2.0) / (1 + np.exp(2.0)))]
+    np.testing.assert_allclose(out, expected, atol=1e-9)
+
+
+def test_ordered_logistic_probabilities_sum_to_one():
+    d = dist.OrderedLogistic(0.5, np.array([-1.0, 0.5, 2.0]))
+    lp = np.array([logp(d, k) for k in range(4)])
+    assert np.exp(lp).sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_dirichlet_log_prob_matches_scipy():
+    alpha = np.array([2.0, 3.0, 1.5])
+    value = np.array([0.2, 0.5, 0.3])
+    np.testing.assert_allclose(logp(dist.Dirichlet(alpha), value),
+                               st.dirichlet(alpha).logpdf(value), atol=1e-8)
+
+
+def test_multi_normal_log_prob_matches_scipy():
+    mu = np.array([0.5, -1.0])
+    cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+    value = np.array([1.0, 0.0])
+    np.testing.assert_allclose(logp(dist.MultiNormal(mu, cov), value),
+                               st.multivariate_normal(mu, cov).logpdf(value), atol=1e-8)
+
+
+def test_multi_normal_cholesky_matches_full():
+    mu = np.array([0.5, -1.0])
+    cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+    L = np.linalg.cholesky(cov)
+    value = np.array([1.0, 0.0])
+    np.testing.assert_allclose(logp(dist.MultiNormalCholesky(mu, L), value),
+                               logp(dist.MultiNormal(mu, cov), value), atol=1e-8)
+
+
+def test_multinomial_log_prob():
+    probs = np.array([0.2, 0.3, 0.5])
+    counts = np.array([1.0, 2.0, 3.0])
+    np.testing.assert_allclose(logp(dist.Multinomial(probs), counts),
+                               st.multinomial(6, probs).logpmf(counts), atol=1e-8)
+
+
+def test_improper_uniform_zero_density():
+    d = dist.ImproperUniform(lower=0.0)
+    np.testing.assert_allclose(logp(d, [0.5, 2.0, 100.0]), np.zeros(3))
+    assert d.support.lower == 0.0
+
+
+def test_bounded_uniform_density_is_constant():
+    d = dist.BoundedUniform(0.0, 2.0, shape=(3,))
+    np.testing.assert_allclose(logp(d, [0.5, 1.0, 1.5]), np.full(3, -np.log(2.0)))
+
+
+def test_improper_simplex_and_ordered_supports():
+    assert isinstance(dist.ImproperSimplex(3).support, C.Simplex)
+    assert isinstance(dist.ImproperOrdered(3).support, C.Ordered)
+    assert isinstance(dist.ImproperPositiveOrdered(3).support, C.PositiveOrdered)
+
+
+# ----------------------------------------------------------------------
+# sampling sanity checks (moments and support membership)
+# ----------------------------------------------------------------------
+SAMPLING_CASES = [
+    (dist.Normal(1.0, 2.0), 1.0, 2.0),
+    (dist.Exponential(2.0), 0.5, 0.5),
+    (dist.Gamma(3.0, 2.0), 1.5, np.sqrt(3.0) / 2.0),
+    (dist.Beta(2.0, 2.0), 0.5, np.sqrt(1 / 20.0)),
+    (dist.LogNormal(0.0, 0.5), np.exp(0.125), None),
+    (dist.Poisson(3.0), 3.0, np.sqrt(3.0)),
+]
+
+
+@pytest.mark.parametrize("d,mean,std", SAMPLING_CASES,
+                         ids=[type(c[0]).__name__ for c in SAMPLING_CASES])
+def test_sampling_moments(d, mean, std, rng):
+    draws = d.sample(rng, (4000,))
+    assert np.asarray(draws).shape[0] == 4000
+    assert np.mean(draws) == pytest.approx(mean, abs=4 * (std if std else mean) / np.sqrt(4000) + 0.05)
+
+
+def test_samples_respect_support(rng):
+    assert np.all(dist.Beta(2.0, 2.0).sample(rng, (100,)) >= 0)
+    assert np.all(dist.Beta(2.0, 2.0).sample(rng, (100,)) <= 1)
+    assert np.all(dist.Exponential(1.0).sample(rng, (100,)) >= 0)
+    simplex_draw = dist.Dirichlet(np.ones(4)).sample(rng)
+    assert simplex_draw.sum() == pytest.approx(1.0)
+
+
+def test_lkj_cholesky_sample_is_valid_cholesky(rng):
+    d = dist.LKJCorrCholesky(3, 2.0)
+    L = d.sample(rng)
+    corr = L @ L.T
+    np.testing.assert_allclose(np.diag(corr), np.ones(3), atol=1e-8)
+
+
+def test_normal_rsample_is_differentiable(rng):
+    loc = Tensor(0.5, requires_grad=True)
+    d = dist.Normal(loc, 1.0)
+    draw = d.rsample(rng)
+    draw.backward()
+    assert loc.grad == pytest.approx(1.0)
+
+
+def test_log_prob_sum_reduces_to_scalar():
+    d = dist.Normal(0.0, 1.0)
+    total = d.log_prob_sum(np.array([0.0, 1.0, -1.0]))
+    expected = st.norm(0, 1).logpdf([0.0, 1.0, -1.0]).sum()
+    assert float(total.data) == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st_h.floats(min_value=-5, max_value=5), st_h.floats(min_value=0.1, max_value=5))
+def test_property_normal_density_integrates_via_grid(mu, sigma):
+    # The density should integrate to ~1 over a wide grid (propriety check).
+    grid = np.linspace(mu - 10 * sigma, mu + 10 * sigma, 2001)
+    density = np.exp(logp(dist.Normal(mu, sigma), grid))
+    integral = np.trapezoid(density, grid)
+    assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st_h.floats(min_value=1.0, max_value=5), st_h.floats(min_value=1.0, max_value=5))
+def test_property_beta_density_integrates(a, b):
+    grid = np.linspace(1e-4, 1 - 1e-4, 2001)
+    density = np.exp(logp(dist.Beta(a, b), grid))
+    integral = np.trapezoid(density, grid)
+    assert integral == pytest.approx(1.0, abs=5e-3)

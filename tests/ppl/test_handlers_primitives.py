@@ -1,0 +1,183 @@
+"""Effect handlers and probabilistic primitives."""
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.autodiff import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl import handlers
+from repro.ppl.lifting import random_module
+from repro.ppl.primitives import (
+    FastLogDensityContext,
+    clear_param_store,
+    factor,
+    get_param_store,
+    observe,
+    param,
+    sample,
+)
+from repro.autodiff.nn import MLP
+
+
+def simple_model(data):
+    mu = sample("mu", dist.Normal(0.0, 10.0))
+    observe(dist.Normal(mu, 1.0), data, name="y")
+    factor("extra", -1.5)
+    return mu
+
+
+def test_sample_without_handlers_draws_value():
+    value = sample("a", dist.Normal(0.0, 1.0))
+    assert np.isfinite(float(np.asarray(value if not isinstance(value, Tensor) else value.data)))
+
+
+def test_sample_rejects_non_distribution():
+    with pytest.raises(TypeError):
+        sample("a", "not a distribution")
+
+
+def test_trace_records_all_sites():
+    tracer = handlers.trace()
+    with handlers.seed(rng_seed=0), tracer:
+        simple_model(1.0)
+    assert set(tracer.trace) == {"mu", "y", "extra"}
+    assert tracer.trace["y"]["is_observed"]
+    assert not tracer.trace["mu"]["is_observed"]
+
+
+def test_trace_rejects_duplicate_site_names():
+    def bad_model():
+        sample("x", dist.Normal(0.0, 1.0))
+        sample("x", dist.Normal(0.0, 1.0))
+
+    with pytest.raises(RuntimeError):
+        handlers.trace(bad_model).get_trace()
+
+
+def test_seed_makes_execution_deterministic():
+    def model():
+        return sample("x", dist.Gamma(2.0, 1.0))
+
+    a = handlers.seed(model, rng_seed=42)()
+    b = handlers.seed(model, rng_seed=42)()
+    np.testing.assert_allclose(np.asarray(a), np.asarray(b))
+
+
+def test_substitute_forces_values():
+    lp, trace = handlers.log_density(simple_model, (2.0,), substituted={"mu": 0.5})
+    expected = (st.norm(0, 10).logpdf(0.5) + st.norm(0.5, 1).logpdf(2.0) - 1.5)
+    assert float(lp.data) == pytest.approx(expected)
+
+
+def test_condition_marks_sites_observed():
+    def model():
+        x = sample("x", dist.Normal(0.0, 1.0))
+        sample("y", dist.Normal(x, 1.0))
+
+    tracer = handlers.trace()
+    with handlers.seed(rng_seed=0), handlers.condition(data={"y": 3.0}), tracer:
+        model()
+    assert tracer.trace["y"]["is_observed"]
+    assert float(np.asarray(tracer.trace["y"]["value"])) == 3.0
+
+
+def test_replay_reuses_guide_values():
+    def model():
+        return sample("x", dist.Normal(0.0, 1.0))
+
+    guide_trace = handlers.trace(handlers.seed(model, rng_seed=7))
+    guide_trace.get_trace()
+    replayed = handlers.replay(handlers.seed(model, rng_seed=99), guide_trace=guide_trace.trace)
+    value = replayed()
+    np.testing.assert_allclose(np.asarray(value if not isinstance(value, Tensor) else value.data),
+                               np.asarray(guide_trace.trace["x"]["value"].data
+                                          if isinstance(guide_trace.trace["x"]["value"], Tensor)
+                                          else guide_trace.trace["x"]["value"]))
+
+
+def test_block_hides_sites_from_outer_trace():
+    def model():
+        sample("visible", dist.Normal(0.0, 1.0))
+        with handlers.block(hide=["hidden"]):
+            sample("hidden", dist.Normal(0.0, 1.0))
+
+    tracer = handlers.trace()
+    with handlers.seed(rng_seed=0), tracer:
+        model()
+    assert "visible" in tracer.trace
+
+
+def test_trace_log_density_sums_factors_and_sites():
+    lp, trace = handlers.log_density(simple_model, (0.0,), substituted={"mu": 0.0})
+    manual = handlers.trace_log_density(trace)
+    assert float(lp.data) == pytest.approx(float(manual.data))
+
+
+def test_latent_sites_excludes_observed():
+    _, trace = handlers.log_density(simple_model, (0.0,), substituted={"mu": 0.0})
+    latents = handlers.latent_sites(trace)
+    assert list(latents) == ["mu"]
+
+
+def test_param_store_persistence_and_clear():
+    p1 = param("w", np.zeros(3))
+    p2 = param("w", np.ones(3))  # init ignored on second call
+    assert p1 is p2
+    assert "w" in get_param_store()
+    clear_param_store()
+    assert "w" not in get_param_store()
+
+
+def test_param_requires_grad():
+    p = param("theta", np.zeros(2))
+    assert p.requires_grad
+
+
+def test_fast_context_accumulates_same_log_density():
+    data = 1.7
+    lp_handlers, _ = handlers.log_density(simple_model, (data,), substituted={"mu": 0.3})
+    ctx = FastLogDensityContext(substitution={"mu": 0.3})
+    with ctx:
+        simple_model(data)
+    assert float(ctx.total().data) == pytest.approx(float(lp_handlers.data))
+
+
+def test_fast_context_samples_unsubstituted_sites():
+    ctx = FastLogDensityContext(substitution={}, rng=np.random.default_rng(0))
+    with ctx:
+        value = sample("fresh", dist.Normal(0.0, 1.0))
+    assert np.isfinite(float(np.asarray(value)))
+
+
+def test_observe_generates_fresh_names():
+    tracer = handlers.trace()
+    with handlers.seed(rng_seed=0), tracer:
+        observe(dist.Normal(0.0, 1.0), 0.5)
+        observe(dist.Normal(0.0, 1.0), 0.7)
+    observed = [s for s in tracer.trace.values() if s["is_observed"]]
+    assert len(observed) == 2
+
+
+def test_random_module_lifts_parameters():
+    module = MLP([2, 3, 1])
+    priors = {"l1.weight": dist.Normal(np.zeros((3, 2)), np.ones((3, 2)))}
+    lifted_fn = random_module("net", module, priors)
+    tracer = handlers.trace()
+    with handlers.seed(rng_seed=0), tracer:
+        lifted = lifted_fn()
+    assert "net.l1.weight" in tracer.trace
+    # The lifted module uses the sampled value, the original is untouched.
+    sampled = tracer.trace["net.l1.weight"]["value"]
+    installed = dict(lifted.named_parameters())["l1.weight"]
+    np.testing.assert_allclose(np.asarray(installed.data),
+                               np.asarray(sampled.data if isinstance(sampled, Tensor) else sampled))
+
+
+def test_random_module_keeps_unlifted_parameters():
+    module = MLP([2, 3, 1])
+    original_bias = dict(module.named_parameters())["l1.bias"].data.copy()
+    lifted_fn = random_module("net", module, {})
+    with handlers.seed(rng_seed=0):
+        lifted = lifted_fn()
+    np.testing.assert_allclose(dict(lifted.named_parameters())["l1.bias"].data, original_bias)

@@ -1,0 +1,146 @@
+"""Runtime-library helpers and GProb IR utilities."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.backends import runtime as rt
+from repro.frontend.parser import parse_program
+from repro.core.schemes import compile_comprehensive
+from repro.gprob import ir
+
+
+# ----------------------------------------------------------------------
+# one-based indexing helpers
+# ----------------------------------------------------------------------
+def test_index_is_one_based():
+    x = np.array([10.0, 20.0, 30.0])
+    assert rt._index(x, 1) == 10.0
+    assert rt._index(x, 3) == 30.0
+
+
+def test_index_matrix_and_tensor():
+    m = np.arange(6, dtype=float).reshape(2, 3)
+    assert rt._index(m, 2, 3) == 5.0
+    t = Tensor(m)
+    assert float(rt._index(t, 1, 1).data) == 0.0
+
+
+def test_index_with_slice_is_inclusive():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    np.testing.assert_allclose(rt._index(x, rt._slice_index(2, 3)), [2.0, 3.0])
+    np.testing.assert_allclose(rt._index(x, rt._slice_index(None, None)), x)
+
+
+def test_index_with_index_array_shifts():
+    x = np.array([1.0, 2.0, 3.0])
+    np.testing.assert_allclose(rt._index(x, np.array([1, 3])), [1.0, 3.0])
+
+
+def test_index_update_is_functional():
+    x = np.array([1.0, 2.0, 3.0])
+    updated = rt._index_update(x, (2,), 9.0)
+    assert updated[1] == 9.0
+    assert x[1] == 2.0  # the original is untouched
+
+
+def test_index_update_with_tensor_keeps_gradients():
+    base = Tensor(np.zeros(3))
+    value = Tensor(2.0, requires_grad=True)
+    updated = rt._index_update(base, (1,), value)
+    updated.sum().backward()
+    assert value.grad == pytest.approx(1.0)
+
+
+def test_zeros_and_irange():
+    assert rt._zeros() == 0.0
+    assert rt._zeros(2, 3).shape == (2, 3)
+    assert list(rt._irange(1, 4)) == [1, 2, 3, 4]
+
+
+def test_truthy_and_int():
+    assert rt._truthy(np.array(1.0))
+    assert not rt._truthy(Tensor(0.0))
+    assert rt._int(Tensor(3.9)) == 3
+
+
+def test_stan_multiplication_semantics():
+    A = np.arange(6, dtype=float).reshape(2, 3)
+    v = np.array([1.0, 2.0, 3.0])
+    np.testing.assert_allclose(rt._mul(A, v), A @ v)          # matrix * vector
+    np.testing.assert_allclose(rt._mul(2.0, v), 2 * v)         # scalar * vector
+    assert rt._mul(v, v) == pytest.approx(float(v @ v))        # dot product
+    np.testing.assert_allclose(rt._elt_mul(v, v), v * v)       # .*
+
+
+def test_logical_helpers():
+    assert rt._and(1.0, 2.0) == 1.0
+    assert rt._and(1.0, 0.0) == 0.0
+    assert rt._or(0.0, 3.0) == 1.0
+    assert rt._not(0.0) == 1.0
+
+
+def test_array_literals_and_transpose():
+    np.testing.assert_allclose(rt._array(1.0, 2.0, 3.0), [1.0, 2.0, 3.0])
+    arr = rt._array(Tensor(1.0), 2.0)
+    assert isinstance(arr, Tensor)
+    M = np.arange(6, dtype=float).reshape(2, 3)
+    np.testing.assert_allclose(rt._transpose(M), M.T)
+
+
+def test_fori_loop_accumulates():
+    total = rt.fori_loop(1, 5, lambda i, acc: acc + i, 0)
+    assert total == 1 + 2 + 3 + 4
+
+
+def test_fresh_site_names_are_unique():
+    assert rt._fresh_site("a") != rt._fresh_site("a")
+
+
+def test_positive_param_is_positive():
+    value = rt._positive_param("scale_test", np.zeros(3))
+    assert np.all(value.data > 0)
+
+
+def test_call_dispatches_stan_functions():
+    assert float(np.asarray(rt._call("sum", np.array([1.0, 2.0, 3.0])))) == 6.0
+
+
+def test_distribution_constructors_exported():
+    d = rt.normal(0.0, 1.0)
+    assert type(d).__name__ == "Normal"
+    assert type(rt.improper_uniform(0.0, None)).__name__ == "ImproperUniform"
+
+
+# ----------------------------------------------------------------------
+# GProb IR utilities
+# ----------------------------------------------------------------------
+COIN = """
+data { int N; int<lower=0,upper=1> x[N]; }
+parameters { real<lower=0,upper=1> z; }
+model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+"""
+
+
+def test_ir_walk_and_counts():
+    compiled = compile_comprehensive(parse_program(COIN))
+    nodes = list(ir.walk_gexpr(compiled))
+    assert any(isinstance(n, ir.Sample) for n in nodes)
+    assert any(isinstance(n, ir.ForRangeG) for n in nodes)
+    assert ir.count_nodes(compiled) == len(nodes)
+    assert ir.sample_sites(compiled) == ["z"]
+    assert ir.observe_count(compiled) == 2
+
+
+def test_ir_map_rebuilds_structure():
+    compiled = compile_comprehensive(parse_program(COIN))
+
+    def rename(node):
+        if isinstance(node, ir.Let) and node.name == "z":
+            return ir.Let(name="renamed", value=node.value, body=node.body)
+        return node
+
+    mapped = ir.map_gexpr(compiled, rename)
+    assert ir.sample_sites(mapped) == ["renamed"]
+    # the original IR is untouched
+    assert ir.sample_sites(compiled) == ["z"]
