@@ -5,6 +5,7 @@ reference frontend) and the runtime ablation between the Pyro-style
 (effect-handler) and NumPyro-style (direct potential) execution paths.
 """
 
+import os
 import time
 
 import numpy as np
@@ -22,7 +23,10 @@ TABLE5_ENTRIES = [
     "nes-nes2000",
 ]
 
-REPEATS = 3
+# CI smoke runs set REPRO_BENCH_ITERS (e.g. 20) to pin the per-run iteration
+# counts, so the script is exercised on every push without burning minutes.
+BENCH_ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "0"))
+REPEATS = 1 if BENCH_ITERS else 3
 SCALE = 0.3
 
 
@@ -41,8 +45,11 @@ def test_table5_duration_mean_std(benchmark):
         for name in TABLE5_ENTRIES:
             entry = get(name)
             config = entry.config
-            warmup = max(int(config.num_warmup * SCALE), 10)
-            samples = max(int(config.num_samples * SCALE), 10)
+            if BENCH_ITERS:
+                warmup = samples = BENCH_ITERS
+            else:
+                warmup = max(int(config.num_warmup * SCALE), 10)
+                samples = max(int(config.num_samples * SCALE), 10)
             data = entry.data()
 
             ref = StanModel(entry.source, name=entry.name)

@@ -14,6 +14,12 @@ import pytest
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``bench`` so they are filterable from CI."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def record(title: str, lines: Iterable[str]) -> None:
     """Print a result block and append it to benchmarks/results.txt."""
     block = [f"== {title} =="] + list(lines) + [""]

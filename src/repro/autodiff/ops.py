@@ -249,7 +249,12 @@ def sum_(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
 def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     a = as_tensor(a)
     out = a.data.mean(axis=axis, keepdims=keepdims)
-    count = a.data.size if axis is None else a.data.shape[axis]
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.data.shape[ax] for ax in axis])) if axis else 1
+    else:
+        count = a.data.shape[axis]
 
     def backward(g):
         g = np.asarray(g, dtype=float) / count

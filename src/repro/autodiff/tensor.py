@@ -78,7 +78,12 @@ class Tensor:
         Optional debugging name.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "parents", "backward_fns", "name")
+    # ``is_batched`` marks tensors that carry a leading chain axis during
+    # vectorized multi-chain evaluation (see repro.infer.potential).  The slot
+    # is left unassigned unless a batched evaluation sets it, so ordinary
+    # tensors pay no cost: read it with ``getattr(t, "is_batched", False)``.
+    __slots__ = ("data", "requires_grad", "grad", "parents", "backward_fns", "name",
+                 "is_batched")
 
     __array_priority__ = 100.0  # make np_scalar * Tensor dispatch to Tensor
 

@@ -25,7 +25,7 @@ from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, as_tensor
 from repro.core import stanlib
 from repro.ppl import distributions as _dist
-from repro.ppl.primitives import factor, observe, param, sample
+from repro.ppl.primitives import BatchMixingError, current_batch_size, factor, observe, param, sample
 
 __all__ = [
     "sample",
@@ -89,7 +89,34 @@ for _name in stanlib.KNOWN_DISTRIBUTIONS:
 # standard-library dispatch and user-function support
 # ----------------------------------------------------------------------
 def _call(name: str, *args):
-    """Dispatch a Stan standard-library call by name."""
+    """Dispatch a Stan standard-library call by name.
+
+    During vectorized multi-chain evaluation, calls on tensors that carry a
+    leading chain axis (``is_batched``) must not collapse that axis: a plain
+    ``sum(theta)`` would silently mix all chains into one scalar, and a
+    branch on the result would bypass the :func:`_truthy` mixing guard (the
+    reduced value is size 1).  ``sum``/``mean`` therefore reduce per chain,
+    and any other call whose result loses the chain axis aborts the batched
+    evaluation so the potential falls back to the per-chain row loop.
+    """
+    batch = current_batch_size()
+    if batch is not None and any(
+            isinstance(a, Tensor) and getattr(a, "is_batched", False) for a in args):
+        if name in ("sum", "mean") and len(args) == 1:
+            x = as_tensor(args[0])
+            reduce = ops.sum_ if name == "sum" else ops.mean
+            out = reduce(x, axis=tuple(range(1, x.data.ndim)), keepdims=False)
+            out = ops.reshape(out, (batch, 1))
+            out.is_batched = True
+            return out
+        result = stanlib.lookup_function(name)(*args)
+        shape = np.shape(_to_value(result))
+        if len(shape) == 0 or shape[0] != batch:
+            raise BatchMixingError(
+                f"stanlib call {name!r} lost the chain axis (result shape {shape})")
+        if isinstance(result, Tensor):
+            result.is_batched = True
+        return result
     return stanlib.lookup_function(name)(*args)
 
 
@@ -109,6 +136,12 @@ def _truthy(x) -> bool:
     arr = np.asarray(value)
     if arr.size == 1:
         return bool(arr)
+    batch = current_batch_size()
+    if batch is not None and arr.ndim >= 1 and arr.shape[0] == batch:
+        # Branching on a per-chain quantity cannot be batched: each chain may
+        # take a different path.  Raising aborts the vectorized evaluation so
+        # the potential falls back to the per-chain row loop.
+        raise BatchMixingError("control flow depends on a per-chain value")
     return bool(np.all(arr))
 
 
@@ -137,8 +170,20 @@ def _slice_index(lower=None, upper=None):
 
 
 def _index(base, *indices):
-    """One-based indexing of arrays, vectors, matrices and Tensors."""
+    """One-based indexing of arrays, vectors, matrices and Tensors.
+
+    During vectorized multi-chain evaluation, tensors that carry a leading
+    chain axis (``is_batched``) are indexed on their *event* axes: ``beta[2]``
+    picks column 1 of the ``(chains, 2)`` matrix and stays per-chain, shaped
+    ``(chains, 1)`` so it broadcasts against data vectors like a scalar.
+    """
     norm = tuple(_normalize_index(i) for i in indices)
+    if isinstance(base, Tensor) and getattr(base, "is_batched", False):
+        out = base[(slice(None),) + norm]
+        if out.data.ndim == 1:
+            out = out.reshape((out.data.shape[0], 1))
+        out.is_batched = True
+        return out
     if len(norm) == 1:
         norm = norm[0]
     if isinstance(base, Tensor):
@@ -185,9 +230,47 @@ def _is_matrixlike(x) -> bool:
     return np.ndim(_to_value(x)) >= 1
 
 
+def _is_chain_scalar(x, batch) -> bool:
+    """A per-chain scalar: a batched tensor of shape ``(batch, 1)``."""
+    return (
+        isinstance(x, Tensor)
+        and getattr(x, "is_batched", False)
+        and x.data.ndim == 2
+        and x.data.shape == (batch, 1)
+    )
+
+
 def _mul(a, b):
     """Stan ``*``: matrix/vector multiplication when both sides are containers,
-    otherwise scalar scaling."""
+    otherwise scalar scaling.
+
+    During vectorized multi-chain evaluation, per-chain scalars ``(C, 1)``
+    multiply elementwise (they are scalars per chain, not matrices), and a
+    data matrix times a batched parameter vector ``(C, D)`` contracts the
+    event axis per chain.
+    """
+    batch = current_batch_size()
+    if batch is not None:
+        a_scalar = _is_chain_scalar(a, batch)
+        b_scalar = _is_chain_scalar(b, batch)
+        if a_scalar or b_scalar:
+            out = ops.mul(as_tensor(a), as_tensor(b))
+            if out.data.ndim >= 1 and out.data.shape[0] == batch:
+                out.is_batched = True
+            return out
+        a_batched = isinstance(a, Tensor) and getattr(a, "is_batched", False)
+        b_batched = isinstance(b, Tensor) and getattr(b, "is_batched", False)
+        if b_batched and b.data.ndim == 2 and not a_batched and np.ndim(_to_value(a)) == 2:
+            # X (N, D) * beta (C, D)  ->  per-chain X @ beta_c, shape (C, N).
+            out = ops.matmul(as_tensor(b), ops.transpose(as_tensor(a)))
+            out.is_batched = True
+            return out
+        if (a_batched or b_batched) and np.ndim(_to_value(a)) >= 1 and np.ndim(_to_value(b)) >= 1:
+            # row_vector (C, K) * vector (K,) (or symmetric): per-chain dot.
+            lhs, rhs = as_tensor(a), as_tensor(b)
+            out = ops.sum_(ops.mul(lhs, rhs), axis=-1, keepdims=True)
+            out.is_batched = True
+            return out
     a_nd = np.ndim(_to_value(a))
     b_nd = np.ndim(_to_value(b))
     if a_nd >= 1 and b_nd >= 1 and (a_nd >= 2 or b_nd >= 2):

@@ -131,12 +131,19 @@ class CompiledModel:
     # ------------------------------------------------------------------
     def run_nuts(self, data: Optional[Dict[str, Any]] = None, num_warmup: int = 300,
                  num_samples: int = 300, num_chains: int = 1, thinning: int = 1,
-                 seed: int = 0, max_tree_depth: int = 10, target_accept: float = 0.8) -> MCMC:
-        """Run NUTS (the paper's evaluation protocol) and return the MCMC driver."""
+                 seed: int = 0, max_tree_depth: int = 10, target_accept: float = 0.8,
+                 chain_method: str = "sequential") -> MCMC:
+        """Run NUTS (the paper's evaluation protocol) and return the MCMC driver.
+
+        ``chain_method="vectorized"`` advances all chains as one batched state
+        (NumPyro-style); it produces the same draws as ``"sequential"`` for a
+        fixed seed.
+        """
         potential = self.potential(data, rng_seed=seed)
         kernel = NUTS(potential, max_tree_depth=max_tree_depth, target_accept=target_accept)
         mcmc = MCMC(kernel, num_warmup=num_warmup, num_samples=num_samples,
-                    num_chains=num_chains, thinning=thinning, seed=seed)
+                    num_chains=num_chains, thinning=thinning, seed=seed,
+                    chain_method=chain_method)
         return mcmc.run()
 
     def run_advi(self, data: Optional[Dict[str, Any]] = None, num_steps: int = 1000,

@@ -20,7 +20,7 @@ inference for the DeepStan extensions.  This package provides:
 """
 
 from repro.infer.potential import Potential, make_potential
-from repro.infer.hmc import HMC
+from repro.infer.hmc import HMC, VectorizedChains
 from repro.infer.nuts import NUTS
 from repro.infer.mcmc import MCMC
 from repro.infer.advi import ADVI
@@ -34,6 +34,7 @@ __all__ = [
     "HMC",
     "NUTS",
     "MCMC",
+    "VectorizedChains",
     "ADVI",
     "SVI",
     "TraceELBO",

@@ -14,13 +14,16 @@ import numpy as np
 
 
 def _split_chains(x: np.ndarray) -> np.ndarray:
-    """Split each chain in half: (chains, draws, ...) -> (2*chains, draws//2, ...)."""
+    """Split each chain in half: (chains, draws) -> (2*chains, draws//2).
+
+    For an even, contiguous draw count the reshape is a view; with an odd
+    draw count (the trailing draw is dropped) ``ascontiguousarray`` has to
+    copy the truncated block first.
+    """
     n = x.shape[1] // 2
     if n == 0:
         return x
-    first = x[:, :n]
-    second = x[:, n:2 * n]
-    return np.concatenate([first, second], axis=0)
+    return np.ascontiguousarray(x[:, :2 * n]).reshape(x.shape[0] * 2, n)
 
 
 def potential_scale_reduction(x: np.ndarray) -> float:
@@ -52,13 +55,10 @@ def effective_sample_size(x: np.ndarray) -> float:
         return float(m * n)
     chain_means = x.mean(axis=1, keepdims=True)
     centered = x - chain_means
-    # Per-chain autocovariance via FFT.
-    acov = np.zeros((m, n))
-    for i in range(m):
-        padded = np.concatenate([centered[i], np.zeros(n)])
-        f = np.fft.fft(padded)
-        acf = np.fft.ifft(f * np.conjugate(f)).real[:n]
-        acov[i] = acf / n
+    # Autocovariance of all chains at once: one zero-padded FFT over axis 1
+    # instead of a Python loop of per-chain transforms.
+    f = np.fft.fft(centered, n=2 * n, axis=1)
+    acov = np.fft.ifft(f * np.conjugate(f), axis=1).real[:, :n] / n
     within = acov[:, 0].mean() * n / (n - 1)
     var_plus = within * (n - 1) / n
     if m > 1:

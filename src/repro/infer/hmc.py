@@ -4,13 +4,27 @@ The static-trajectory HMC kernel shares its adaptation machinery (dual
 averaging for the step size, Welford estimation of a diagonal mass matrix)
 with the NUTS kernel in :mod:`repro.infer.nuts`, mirroring the structure of
 Stan's and NumPyro's samplers.
+
+Vectorized multi-chain execution
+--------------------------------
+
+A transition is expressed once, as a *generator* (:meth:`HMC._transition_gen`)
+that yields every point at which it needs the potential and its gradient and
+receives the ``(U, dU/dz)`` pair back.  The sequential :meth:`HMC.sample`
+drives one generator with scalar potential evaluations; the
+:class:`VectorizedChains` driver advances one generator per chain and answers
+all outstanding requests with a single batched
+:meth:`~repro.infer.potential.Potential.potential_and_grad_batched` call per
+synchronized step.  Because each chain consumes its own RNG stream and its own
+adaptation state in exactly the order the sequential path would, both chain
+methods produce identical draws for a fixed seed.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -84,6 +98,32 @@ class WelfordVariance:
         self.m2 = np.zeros(self.dim)
 
 
+def run_adaptation_step(kernel: "HMC", z: np.ndarray, accept_prob: float,
+                        iteration: int, num_warmup: int, step_size: float,
+                        inv_mass: np.ndarray, dual_avg: DualAveraging,
+                        welford: WelfordVariance):
+    """One warmup-adaptation update; returns the new ``(step_size, inv_mass)``.
+
+    This is the single source of truth for the adaptation schedule.  The
+    sequential kernel applies it to its own fields and the vectorized driver
+    applies it to each chain's :class:`_ChainState`; the vectorized/sequential
+    identical-draws guarantee holds exactly because both run this function.
+    """
+    if iteration >= num_warmup:
+        return step_size, inv_mass
+    if kernel.adapt_step_size:
+        step_size = dual_avg.update(accept_prob)
+    if kernel.adapt_mass_matrix:
+        welford.update(z)
+        # Update the mass matrix at a few fixed points of the warmup.
+        if iteration in (int(num_warmup * 0.5), int(num_warmup * 0.75)) and welford.count > 10:
+            inv_mass = welford.variance()
+            welford.reset()
+    if iteration == num_warmup - 1 and kernel.adapt_step_size:
+        step_size = dual_avg.adapted_step_size
+    return step_size, inv_mass
+
+
 class HMC:
     """Static Hamiltonian Monte Carlo kernel.
 
@@ -117,11 +157,16 @@ class HMC:
     # ------------------------------------------------------------------
     # numerics
     # ------------------------------------------------------------------
-    def _kinetic(self, momentum: np.ndarray) -> float:
-        return 0.5 * float(np.sum(self.inv_mass * momentum * momentum))
+    def _kinetic(self, momentum: np.ndarray, inv_mass: Optional[np.ndarray] = None) -> float:
+        if inv_mass is None:
+            inv_mass = self.inv_mass
+        return 0.5 * float(np.sum(inv_mass * momentum * momentum))
 
-    def _sample_momentum(self, rng: np.random.Generator) -> np.ndarray:
-        return rng.standard_normal(self.potential.dim) / np.sqrt(self.inv_mass)
+    def _sample_momentum(self, rng: np.random.Generator,
+                         inv_mass: Optional[np.ndarray] = None) -> np.ndarray:
+        if inv_mass is None:
+            inv_mass = self.inv_mass
+        return rng.standard_normal(self.potential.dim) / np.sqrt(inv_mass)
 
     def leapfrog(self, z: np.ndarray, momentum: np.ndarray, grad: np.ndarray,
                  step_size: float, num_steps: int) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray]:
@@ -162,38 +207,41 @@ class HMC:
         return max(min(step_size, 10.0), 1e-6)
 
     # ------------------------------------------------------------------
-    # sampling protocol shared with NUTS
+    # the transition as a generator (shared by both chain methods)
     # ------------------------------------------------------------------
-    def setup(self, z: np.ndarray, rng: np.random.Generator, num_warmup: int) -> None:
-        if self.adapt_step_size:
-            self.step_size = self.find_reasonable_step_size(z, rng)
-            self._dual_avg.initialize(self.step_size)
-        self._welford.reset()
-        self._num_warmup = num_warmup
-        self._iteration = 0
+    def _transition_gen(self, z: np.ndarray, rng: np.random.Generator,
+                        step_size: float, inv_mass: np.ndarray,
+                        initial_eval=None):
+        """One HMC transition; yields evaluation points, receives ``(U, grad)``.
 
-    def _adapt(self, z: np.ndarray, accept_prob: float) -> None:
-        warmup = getattr(self, "_num_warmup", 0)
-        if self._iteration >= warmup:
-            return
-        if self.adapt_step_size:
-            self.step_size = self._dual_avg.update(accept_prob)
-        if self.adapt_mass_matrix:
-            self._welford.update(z)
-            # Update the mass matrix at a few fixed points of the warmup.
-            if self._iteration in (int(warmup * 0.5), int(warmup * 0.75)) and self._welford.count > 10:
-                self.inv_mass = self._welford.variance()
-                self._welford.reset()
-        if self._iteration == warmup - 1 and self.adapt_step_size:
-            self.step_size = self._dual_avg.adapted_step_size
+        Returns ``(z_new, info)`` via ``StopIteration.value``.  Adaptation and
+        iteration bookkeeping live in the caller so the same generator serves
+        the sequential kernel and the vectorized multi-chain driver.
 
-    def sample(self, z: np.ndarray, rng: np.random.Generator) -> Tuple[np.ndarray, dict]:
-        """One MCMC transition from ``z``; returns (new z, stats dict)."""
-        u0, grad0 = self.potential.potential_and_grad(z)
-        momentum = self._sample_momentum(rng)
-        h0 = u0 + self._kinetic(momentum)
-        z_new, r_new, u_new, _ = self.leapfrog(z, momentum, grad0, self.step_size, self.num_steps)
-        h_new = u_new + self._kinetic(r_new)
+        ``initial_eval`` is the ``(U, grad)`` pair at ``z`` if the caller
+        already knows it (the previous transition evaluated its endpoint);
+        evaluations are deterministic, so reusing it cannot change the draws.
+        The returned info carries ``"_next_eval"`` — the ``(U, grad)`` at the
+        returned position — for the caller to pass into the next transition.
+        """
+        if initial_eval is not None:
+            u0, grad0 = initial_eval
+        else:
+            u0, grad0 = yield z
+        momentum = self._sample_momentum(rng, inv_mass)
+        h0 = u0 + self._kinetic(momentum, inv_mass)
+        z_new = z.copy()
+        r = momentum.copy()
+        r -= 0.5 * step_size * grad0
+        grad = grad0
+        u_new = u0
+        for i in range(self.num_steps):
+            z_new = z_new + step_size * inv_mass * r
+            u_new, grad = yield z_new
+            if i < self.num_steps - 1:
+                r -= step_size * grad
+        r -= 0.5 * step_size * grad
+        h_new = u_new + self._kinetic(r, inv_mass)
         energy_change = h_new - h0
         if not np.isfinite(energy_change):
             energy_change = float("inf")
@@ -208,12 +256,201 @@ class HMC:
             self.divergences += 1
         accepted = rng.uniform() < accept_prob and not divergent
         z_out = z_new if accepted else z
-        self._adapt(z_out, accept_prob)
-        self._iteration += 1
         return z_out, {
             "accept_prob": accept_prob,
             "accepted": accepted,
-            "step_size": self.step_size,
             "divergent": divergent,
             "potential_energy": u_new if accepted else u0,
+            "_next_eval": (u_new, grad) if accepted else (u0, grad0),
         }
+
+    # ------------------------------------------------------------------
+    # sampling protocol shared with NUTS
+    # ------------------------------------------------------------------
+    def setup(self, z: np.ndarray, rng: np.random.Generator, num_warmup: int) -> None:
+        # Chains must be independent: forget any mass matrix adapted by a
+        # previous chain run with this kernel instance.  A manually configured
+        # matrix (adapt_mass_matrix=False) is the user's to keep.
+        if self.adapt_mass_matrix:
+            self.inv_mass = np.ones(self.potential.dim)
+        if self.adapt_step_size:
+            self.step_size = self.find_reasonable_step_size(z, rng)
+            self._dual_avg.initialize(self.step_size)
+        self._welford.reset()
+        self._num_warmup = num_warmup
+        self._iteration = 0
+        self._eval_cache = None
+
+    def _adapt(self, z: np.ndarray, accept_prob: float) -> None:
+        self.step_size, self.inv_mass = run_adaptation_step(
+            self, z, accept_prob, self._iteration, getattr(self, "_num_warmup", 0),
+            self.step_size, self.inv_mass, self._dual_avg, self._welford)
+
+    def sample(self, z: np.ndarray, rng: np.random.Generator) -> Tuple[np.ndarray, dict]:
+        """One MCMC transition from ``z``; returns (new z, stats dict)."""
+        # The cache stores a defensive copy and compares by value, so callers
+        # that mutate ``z`` in place between transitions still get a fresh
+        # evaluation (the O(dim) comparison is negligible next to one).
+        cache = getattr(self, "_eval_cache", None)
+        initial_eval = cache[1] if cache is not None and np.array_equal(cache[0], z) else None
+        gen = self._transition_gen(z, rng, self.step_size, self.inv_mass,
+                                   initial_eval=initial_eval)
+        response = None
+        while True:
+            try:
+                request = gen.send(response)
+            except StopIteration as stop:
+                z_out, info = stop.value
+                break
+            response = self.potential.potential_and_grad(request)
+        self._eval_cache = (np.array(z_out, copy=True), info.pop("_next_eval"))
+        self._adapt(z_out, info["accept_prob"])
+        self._iteration += 1
+        info["step_size"] = self.step_size
+        return z_out, info
+
+class _ChainState:
+    """Per-chain sampler state for :class:`VectorizedChains`.
+
+    Each chain carries exactly the state a sequential kernel run would --
+    position, step size, diagonal inverse mass, the *scalar*
+    :class:`DualAveraging` recursion and a :class:`WelfordVariance` -- so a
+    chain's trajectory is bitwise identical to the sequential path for the
+    same RNG stream.  (A NumPy-vectorized dual-averaging update can differ
+    from the scalar one by an ulp, which compounds into different
+    trajectories; the recursion is a handful of scalar ops per iteration,
+    nowhere near the sampling hot path.)
+    """
+
+    __slots__ = ("index", "position", "rng", "step_size", "inv_mass", "dual_avg",
+                 "welford", "iteration", "gen", "response", "results", "last_eval")
+
+    def __init__(self, index: int, position: np.ndarray, rng: np.random.Generator,
+                 kernel: "HMC"):
+        self.index = index
+        self.position = position
+        self.rng = rng
+        self.step_size = float(kernel.step_size)
+        # Fresh chains adapt from identity; a manually configured matrix
+        # (adapt_mass_matrix=False) is shared by all chains, as sequentially.
+        self.inv_mass = np.ones(kernel.potential.dim) if kernel.adapt_mass_matrix \
+            else np.asarray(kernel.inv_mass, dtype=float).copy()
+        self.dual_avg = DualAveraging(target_accept=kernel.target_accept)
+        self.welford = WelfordVariance(kernel.potential.dim)
+        self.iteration = 0
+        self.gen = None
+        self.response: Optional[Tuple[float, np.ndarray]] = None
+        self.results: List[Tuple[np.ndarray, dict]] = []
+        self.last_eval: Optional[Tuple[float, np.ndarray]] = None
+
+
+class VectorizedChains:
+    """Advance ``num_chains`` chains of an HMC-family kernel as one batched state.
+
+    Every chain runs :meth:`HMC._transition_gen` -- the same generator the
+    sequential path drives -- against its own RNG stream and adaptation state.
+    The driver collects the chains' outstanding evaluation requests each round
+    into an ``(active, dim)`` matrix and answers them with a single batched
+    :meth:`~repro.infer.potential.Potential.potential_and_grad_batched` call.
+
+    Chains are mutually independent, so they need not stay in lockstep: a
+    chain that finishes a NUTS trajectory early immediately applies its own
+    adaptation and starts its next transition, keeping the evaluation batch
+    full even when tree depths diverge across chains.
+    """
+
+    def __init__(self, kernel: HMC, num_chains: int):
+        self.kernel = kernel
+        self.num_chains = int(num_chains)
+        self.chains: List[_ChainState] = []
+        self._on_result = None
+
+    def run(self, positions: np.ndarray, rngs: List[np.random.Generator],
+            num_warmup: int, total_iters: int,
+            on_result=None) -> List[List[Tuple[np.ndarray, dict]]]:
+        """Run every chain for ``total_iters`` transitions.
+
+        With ``on_result(chain, iteration, position, info)`` given, results
+        are streamed to the callback as each transition completes (chains
+        advance at their own pace, so callbacks arrive per chain in iteration
+        order but interleaved across chains) and nothing is buffered —
+        warmup and thinned-out iterations then cost no memory.  Otherwise
+        every chain's ``(position, info)`` results are collected and returned.
+        """
+        self._on_result = on_result
+        kernel = self.kernel
+        self.chains = [
+            _ChainState(c, positions[c].copy(), rngs[c], kernel)
+            for c in range(self.num_chains)
+        ]
+        if kernel.adapt_step_size:
+            # The heuristic search takes a different number of doublings per
+            # chain, so it runs per chain -- warmup-only, once.  It reads the
+            # kernel's mass matrix, which a fresh chain resets to identity
+            # (unless manually configured via adapt_mass_matrix=False).
+            if kernel.adapt_mass_matrix:
+                kernel.inv_mass = np.ones(kernel.potential.dim)
+            for state in self.chains:
+                state.step_size = kernel.find_reasonable_step_size(state.position, state.rng)
+                state.dual_avg.initialize(state.step_size)
+        if total_iters <= 0:
+            return [state.results for state in self.chains]
+        for state in self.chains:
+            state.gen = kernel._transition_gen(state.position, state.rng,
+                                               state.step_size, state.inv_mass)
+            state.response = None
+        active = list(self.chains)
+        while active:
+            requests = []
+            requesters = []
+            for state in active:
+                request = self._advance(state, num_warmup, total_iters)
+                if request is not None:
+                    requests.append(request)
+                    requesters.append(state)
+            if not requesters:
+                break
+            values, grads = kernel.potential.potential_and_grad_batched(np.stack(requests))
+            for i, state in enumerate(requesters):
+                state.response = (values[i], grads[i])
+            active = requesters
+        # Leave the kernel in the same state a sequential run would: the last
+        # chain's adapted step size and mass matrix.
+        kernel.step_size = self.chains[-1].step_size
+        kernel.inv_mass = self.chains[-1].inv_mass
+        return [state.results for state in self.chains]
+
+    def _advance(self, state: _ChainState, num_warmup: int,
+                 total_iters: int) -> Optional[np.ndarray]:
+        """Drive one chain until it needs an evaluation or finishes its run.
+
+        Returns the evaluation point the chain is waiting on, or ``None``
+        once the chain has completed all its transitions.
+        """
+        while True:
+            try:
+                return state.gen.send(state.response)
+            except StopIteration as stop:
+                z_out, info = stop.value
+                state.last_eval = info.pop("_next_eval")
+                self._adapt(state, z_out, info["accept_prob"], num_warmup)
+                state.iteration += 1
+                info["step_size"] = state.step_size
+                state.position = z_out
+                if self._on_result is not None:
+                    self._on_result(state.index, state.iteration - 1, z_out, info)
+                else:
+                    state.results.append((z_out, info))
+                if state.iteration >= total_iters:
+                    state.gen = None
+                    return None
+                state.gen = self.kernel._transition_gen(state.position, state.rng,
+                                                        state.step_size, state.inv_mass,
+                                                        initial_eval=state.last_eval)
+                state.response = None
+
+    def _adapt(self, state: _ChainState, z: np.ndarray, accept_prob: float,
+               num_warmup: int) -> None:
+        state.step_size, state.inv_mass = run_adaptation_step(
+            self.kernel, z, accept_prob, state.iteration, num_warmup,
+            state.step_size, state.inv_mass, state.dual_avg, state.welford)

@@ -3,6 +3,18 @@
 The interface mirrors the one shared by CmdStanPy, Pyro and NumPyro that the
 paper's evaluation scripts use: construct with a kernel, call ``run`` with
 iteration counts, then read ``get_samples()`` keyed by (Stan) parameter name.
+
+Chains can be run two ways (``chain_method``):
+
+* ``"sequential"`` — one chain at a time, the correctness oracle;
+* ``"vectorized"`` — all chains advance as one batched ``(chains, dim)``
+  state; every synchronized step of every chain is served by a single batched
+  potential/gradient evaluation (NumPyro's ``chain_method="vectorized"``).
+
+Per-chain RNG streams are spawned from one :class:`numpy.random.SeedSequence`,
+so chain ``c`` consumes exactly the same randomness under either method and
+for any total chain count — the two methods produce identical draws for a
+fixed seed.
 """
 
 from __future__ import annotations
@@ -13,8 +25,38 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.infer.hmc import HMC
+from repro.infer.hmc import HMC, VectorizedChains
 from repro.infer.potential import Potential
+
+CHAIN_METHODS = ("sequential", "vectorized")
+
+
+class _ChainCollector:
+    """Accumulates one chain's retained draws and sampler stats.
+
+    Both chain methods stream transitions through this class, so the
+    keep-rule (warmup cut + thinning) and the stat keys cannot drift apart
+    between them, and non-retained iterations cost no memory.
+    """
+
+    STAT_KEYS = ("accept_prob", "step_size", "divergent")
+
+    def __init__(self, num_warmup: int, thinning: int):
+        self.num_warmup = num_warmup
+        self.thinning = thinning
+        self.draws: List[np.ndarray] = []
+        self.stats: Dict[str, List[float]] = {key: [] for key in self.STAT_KEYS}
+
+    def add(self, iteration: int, z: np.ndarray, info: dict) -> None:
+        if iteration < self.num_warmup or (iteration - self.num_warmup) % self.thinning != 0:
+            return
+        self.draws.append(z.copy())
+        self.stats["accept_prob"].append(info.get("accept_prob", np.nan))
+        self.stats["step_size"].append(info.get("step_size", np.nan))
+        self.stats["divergent"].append(float(info.get("divergent", False)))
+
+    def arrays(self):
+        return np.array(self.draws), {k: np.array(v) for k, v in self.stats.items()}
 
 
 class MCMC:
@@ -28,15 +70,18 @@ class MCMC:
     num_warmup, num_samples:
         Warmup (adaptation) iterations and retained post-warmup draws.
     num_chains:
-        Number of independent chains (run sequentially).
+        Number of independent chains.
     thinning:
         Keep every ``thinning``-th post-warmup draw (PosteriorDB configs use
         thinning for a few models).
+    chain_method:
+        ``"sequential"`` (default) or ``"vectorized"``; both produce the same
+        draws for a fixed seed.
     """
 
     def __init__(self, kernel, num_warmup: int = 500, num_samples: int = 500,
                  num_chains: int = 1, thinning: int = 1, seed: int = 0,
-                 progress: bool = False):
+                 progress: bool = False, chain_method: str = "sequential"):
         self._kernel_factory = kernel if callable(kernel) and not isinstance(kernel, HMC) else None
         self._kernel_instance = kernel if isinstance(kernel, HMC) else None
         self.num_warmup = int(num_warmup)
@@ -45,6 +90,10 @@ class MCMC:
         self.thinning = max(int(thinning), 1)
         self.seed = seed
         self.progress = progress
+        if chain_method not in CHAIN_METHODS:
+            raise ValueError(
+                f"unknown chain_method {chain_method!r}; expected one of {CHAIN_METHODS}")
+        self.chain_method = chain_method
         self._samples_by_chain: List[Dict[str, np.ndarray]] = []
         self._stats_by_chain: List[Dict[str, np.ndarray]] = []
         self.runtime_seconds: float = 0.0
@@ -54,49 +103,90 @@ class MCMC:
             return self._kernel_instance
         return self._kernel_factory()
 
+    def _chain_rngs(self) -> List[np.random.Generator]:
+        """Per-chain generators spawned from one SeedSequence.
+
+        Chain ``c``'s stream depends only on ``(seed, c)`` — not on the chain
+        method or on how many chains run in total — so results are
+        reproducible across both.
+        """
+        children = np.random.SeedSequence(self.seed).spawn(self.num_chains)
+        return [np.random.default_rng(child) for child in children]
+
+    @staticmethod
+    def _initial_position(potential: Potential, rng: np.random.Generator,
+                          init_params: Optional[np.ndarray]) -> np.ndarray:
+        if init_params is not None:
+            return np.asarray(init_params, dtype=float).copy()
+        z = potential.initial_unconstrained(rng=rng)
+        # Fall back to the prior-draw point if the jittered start is infeasible.
+        if not np.isfinite(potential.potential(z)):
+            z = potential.initial_unconstrained()
+        return z
+
     # ------------------------------------------------------------------
     def run(self, init_params: Optional[np.ndarray] = None) -> "MCMC":
         """Run all chains; returns ``self`` for chaining."""
         start = time.perf_counter()
         self._samples_by_chain = []
         self._stats_by_chain = []
-        for chain in range(self.num_chains):
-            rng = np.random.default_rng(self.seed + chain)
-            kernel = self._get_kernel()
-            potential = kernel.potential
-            if init_params is not None:
-                z = np.asarray(init_params, dtype=float).copy()
-            else:
-                z = potential.initial_unconstrained(rng=rng)
-                # Fall back to the prior-draw point if the jittered start is infeasible.
-                if not np.isfinite(potential.potential(z)):
-                    z = potential.initial_unconstrained()
-            kernel.setup(z, rng, self.num_warmup)
-            draws: List[np.ndarray] = []
-            stats: Dict[str, List[float]] = {"accept_prob": [], "step_size": [], "divergent": []}
-            total_iters = self.num_warmup + self.num_samples * self.thinning
-            for i in range(total_iters):
-                z, info = kernel.sample(z, rng)
-                if i >= self.num_warmup and (i - self.num_warmup) % self.thinning == 0:
-                    draws.append(z.copy())
-                    stats["accept_prob"].append(info.get("accept_prob", np.nan))
-                    stats["step_size"].append(info.get("step_size", np.nan))
-                    stats["divergent"].append(float(info.get("divergent", False)))
-            unconstrained = np.array(draws)
-            constrained = self._constrain_all(potential, unconstrained)
-            self._samples_by_chain.append(constrained)
-            self._stats_by_chain.append({k: np.array(v) for k, v in stats.items()})
+        rngs = self._chain_rngs()
+        if self.chain_method == "vectorized" and self.num_chains > 1:
+            self._run_vectorized(rngs, init_params)
+        else:
+            self._run_sequential(rngs, init_params)
         self.runtime_seconds = time.perf_counter() - start
         return self
 
+    def _new_collector(self) -> "_ChainCollector":
+        return _ChainCollector(self.num_warmup, self.thinning)
+
+    def _store_chain(self, potential: Potential, collector: "_ChainCollector") -> None:
+        draws, stats = collector.arrays()
+        constrained = self._constrain_all(potential, draws)
+        self._samples_by_chain.append(constrained)
+        self._stats_by_chain.append(stats)
+
+    def _run_sequential(self, rngs: List[np.random.Generator],
+                        init_params: Optional[np.ndarray]) -> None:
+        total_iters = self.num_warmup + self.num_samples * self.thinning
+        for chain in range(self.num_chains):
+            rng = rngs[chain]
+            kernel = self._get_kernel()
+            potential = kernel.potential
+            z = self._initial_position(potential, rng, init_params)
+            kernel.setup(z, rng, self.num_warmup)
+            collector = self._new_collector()
+            for i in range(total_iters):
+                z, info = kernel.sample(z, rng)
+                collector.add(i, z, info)
+            self._store_chain(potential, collector)
+
+    def _run_vectorized(self, rngs: List[np.random.Generator],
+                        init_params: Optional[np.ndarray]) -> None:
+        kernel = self._get_kernel()
+        potential = kernel.potential
+        positions = np.stack([
+            self._initial_position(potential, rngs[c], init_params)
+            for c in range(self.num_chains)
+        ])
+        driver = VectorizedChains(kernel, self.num_chains)
+        total_iters = self.num_warmup + self.num_samples * self.thinning
+        collectors = [self._new_collector() for _ in range(self.num_chains)]
+        driver.run(positions, rngs, self.num_warmup, total_iters,
+                   on_result=lambda chain, i, z, info: collectors[chain].add(i, z, info))
+        for collector in collectors:
+            self._store_chain(potential, collector)
+
     @staticmethod
     def _constrain_all(potential: Potential, unconstrained: np.ndarray) -> Dict[str, np.ndarray]:
-        out: Dict[str, List[np.ndarray]] = OrderedDict((name, []) for name in potential.sites)
-        for z in unconstrained:
-            values = potential.constrained_dict(z)
-            for name, value in values.items():
-                out[name].append(value)
-        return OrderedDict((name, np.array(vals)) for name, vals in out.items())
+        if unconstrained.size == 0:
+            return OrderedDict((name, np.array([])) for name in potential.sites)
+        # One batched change-of-variables over the whole chain of draws
+        # (row-validated; falls back to a per-draw loop for models that do
+        # not broadcast along the batch axis).
+        values = potential.constrained_dict_batched(unconstrained)
+        return OrderedDict((name, values[name]) for name in potential.sites)
 
     # ------------------------------------------------------------------
     def get_samples(self, group_by_chain: bool = False) -> Dict[str, np.ndarray]:

@@ -5,13 +5,22 @@ runtimes the paper targets; all the accuracy and speed comparisons of Tables
 3–5 run NUTS on both sides.  The implementation follows the iterative
 formulation with slice sampling (Algorithm 6 of the NUTS paper) and reuses the
 step-size/mass adaptation of :class:`~repro.infer.hmc.HMC`.
+
+Like :class:`~repro.infer.hmc.HMC`, the transition is written as a generator
+that yields every point requiring a potential/gradient evaluation: the
+inherited sequential ``sample`` drives it one evaluation at a time, while the
+vectorized multi-chain driver batches the outstanding requests of all chains
+into a single ``(chains, dim)`` potential call per tree-building step.  Tree
+building is therefore carried per chain along axis 0 without changing the
+algorithm: chains whose trajectories terminate early simply stop requesting
+evaluations.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -28,10 +37,13 @@ class _TreeState:
     r_plus: np.ndarray
     grad_plus: np.ndarray
     z_proposal: np.ndarray
+    u_proposal: float
+    grad_proposal: np.ndarray
     n_valid: int
     keep_going: bool
     sum_accept: float
     n_states: int
+    n_divergent: int
 
 
 class NUTS(HMC):
@@ -61,25 +73,26 @@ class NUTS(HMC):
         self.max_tree_depth = max_tree_depth
 
     # ------------------------------------------------------------------
-    def _single_leapfrog(self, z, r, grad, step_size):
-        r = r - 0.5 * step_size * grad
-        z = z + step_size * self.inv_mass * r
-        u, grad = self.potential.potential_and_grad(z)
-        r = r - 0.5 * step_size * grad
-        return z, r, u, grad
-
-    def _is_turning(self, z_minus, r_minus, z_plus, r_plus) -> bool:
+    def _is_turning(self, z_minus, r_minus, z_plus, r_plus,
+                    inv_mass: Optional[np.ndarray] = None) -> bool:
+        if inv_mass is None:
+            inv_mass = self.inv_mass
         diff = z_plus - z_minus
         return (
-            float(np.dot(diff, self.inv_mass * r_minus)) < 0.0
-            or float(np.dot(diff, self.inv_mass * r_plus)) < 0.0
+            float(np.dot(diff, inv_mass * r_minus)) < 0.0
+            or float(np.dot(diff, inv_mass * r_plus)) < 0.0
         )
 
-    def _build_tree(self, z, r, grad, log_slice, direction, depth, h0, rng) -> _TreeState:
+    def _tree_gen(self, z, r, grad, log_slice, direction, depth, h0, rng,
+                  step_size, inv_mass):
+        """Recursive doubling as a generator; yields evaluation points."""
         if depth == 0:
-            step = direction * self.step_size
-            z_new, r_new, u_new, grad_new = self._single_leapfrog(z, r, grad, step)
-            h_new = u_new + self._kinetic(r_new)
+            step = direction * step_size
+            r_new = r - 0.5 * step * grad
+            z_new = z + step * inv_mass * r_new
+            u_new, grad_new = yield z_new
+            r_new = r_new - 0.5 * step * grad_new
+            h_new = u_new + self._kinetic(r_new, inv_mass)
             if not np.isfinite(h_new):
                 h_new = float("inf")
             n_valid = 1 if log_slice <= -h_new else 0
@@ -95,45 +108,58 @@ class NUTS(HMC):
             return _TreeState(
                 z_minus=z_new, r_minus=r_new, grad_minus=grad_new,
                 z_plus=z_new, r_plus=r_new, grad_plus=grad_new,
-                z_proposal=z_new, n_valid=n_valid, keep_going=not diverging,
-                sum_accept=accept, n_states=1,
+                z_proposal=z_new, u_proposal=u_new, grad_proposal=grad_new,
+                n_valid=n_valid,
+                keep_going=not diverging, sum_accept=accept, n_states=1,
+                n_divergent=int(diverging),
             )
         # Recursively build left and right subtrees.
-        first = self._build_tree(z, r, grad, log_slice, direction, depth - 1, h0, rng)
+        first = yield from self._tree_gen(z, r, grad, log_slice, direction,
+                                          depth - 1, h0, rng, step_size, inv_mass)
         if not first.keep_going:
             return first
         if direction == 1:
-            second = self._build_tree(first.z_plus, first.r_plus, first.grad_plus,
-                                      log_slice, direction, depth - 1, h0, rng)
+            second = yield from self._tree_gen(first.z_plus, first.r_plus, first.grad_plus,
+                                               log_slice, direction, depth - 1, h0, rng,
+                                               step_size, inv_mass)
             z_minus, r_minus, grad_minus = first.z_minus, first.r_minus, first.grad_minus
             z_plus, r_plus, grad_plus = second.z_plus, second.r_plus, second.grad_plus
         else:
-            second = self._build_tree(first.z_minus, first.r_minus, first.grad_minus,
-                                      log_slice, direction, depth - 1, h0, rng)
+            second = yield from self._tree_gen(first.z_minus, first.r_minus, first.grad_minus,
+                                               log_slice, direction, depth - 1, h0, rng,
+                                               step_size, inv_mass)
             z_minus, r_minus, grad_minus = second.z_minus, second.r_minus, second.grad_minus
             z_plus, r_plus, grad_plus = first.z_plus, first.r_plus, first.grad_plus
         total_valid = first.n_valid + second.n_valid
         if total_valid > 0 and rng.uniform() < second.n_valid / total_valid:
-            proposal = second.z_proposal
+            chosen = second
         else:
-            proposal = first.z_proposal
+            chosen = first
         keep_going = (
             second.keep_going
-            and not self._is_turning(z_minus, r_minus, z_plus, r_plus)
+            and not self._is_turning(z_minus, r_minus, z_plus, r_plus, inv_mass)
         )
         return _TreeState(
             z_minus=z_minus, r_minus=r_minus, grad_minus=grad_minus,
             z_plus=z_plus, r_plus=r_plus, grad_plus=grad_plus,
-            z_proposal=proposal, n_valid=total_valid, keep_going=keep_going,
+            z_proposal=chosen.z_proposal, u_proposal=chosen.u_proposal,
+            grad_proposal=chosen.grad_proposal, n_valid=total_valid,
+            keep_going=keep_going,
             sum_accept=first.sum_accept + second.sum_accept,
             n_states=first.n_states + second.n_states,
+            n_divergent=first.n_divergent + second.n_divergent,
         )
 
     # ------------------------------------------------------------------
-    def sample(self, z: np.ndarray, rng: np.random.Generator) -> Tuple[np.ndarray, dict]:
-        u0, grad0 = self.potential.potential_and_grad(z)
-        r0 = self._sample_momentum(rng)
-        h0 = u0 + self._kinetic(r0)
+    def _transition_gen(self, z: np.ndarray, rng: np.random.Generator,
+                        step_size: float, inv_mass: np.ndarray,
+                        initial_eval=None):
+        if initial_eval is not None:
+            u0, grad0 = initial_eval
+        else:
+            u0, grad0 = yield z
+        r0 = self._sample_momentum(rng, inv_mass)
+        h0 = u0 + self._kinetic(r0, inv_mass)
         # Slice variable in log space: log u = log(uniform) - H0.
         log_slice = math.log(rng.uniform(1e-300, 1.0)) - h0
 
@@ -144,36 +170,43 @@ class NUTS(HMC):
         grad_minus = grad0.copy()
         grad_plus = grad0.copy()
         z_proposal = z.copy()
+        u_proposal = u0
+        grad_proposal = grad0
         n_valid = 1
         sum_accept = 0.0
         n_states = 0
+        n_divergent = 0
         depth = 0
         keep_going = True
         while keep_going and depth < self.max_tree_depth:
             direction = 1 if rng.uniform() < 0.5 else -1
             if direction == 1:
-                tree = self._build_tree(z_plus, r_plus, grad_plus, log_slice, 1, depth, h0, rng)
+                tree = yield from self._tree_gen(z_plus, r_plus, grad_plus, log_slice,
+                                                 1, depth, h0, rng, step_size, inv_mass)
                 z_plus, r_plus, grad_plus = tree.z_plus, tree.r_plus, tree.grad_plus
             else:
-                tree = self._build_tree(z_minus, r_minus, grad_minus, log_slice, -1, depth, h0, rng)
+                tree = yield from self._tree_gen(z_minus, r_minus, grad_minus, log_slice,
+                                                 -1, depth, h0, rng, step_size, inv_mass)
                 z_minus, r_minus, grad_minus = tree.z_minus, tree.r_minus, tree.grad_minus
             if tree.keep_going and tree.n_valid > 0:
                 if rng.uniform() < tree.n_valid / max(n_valid, 1):
                     z_proposal = tree.z_proposal
+                    u_proposal = tree.u_proposal
+                    grad_proposal = tree.grad_proposal
             n_valid += tree.n_valid
             sum_accept += tree.sum_accept
             n_states += tree.n_states
-            keep_going = tree.keep_going and not self._is_turning(z_minus, r_minus, z_plus, r_plus)
+            n_divergent += tree.n_divergent
+            keep_going = tree.keep_going and not self._is_turning(
+                z_minus, r_minus, z_plus, r_plus, inv_mass)
             depth += 1
 
         accept_prob = sum_accept / max(n_states, 1)
-        self._adapt(z_proposal, accept_prob)
-        self._iteration += 1
         return z_proposal, {
             "accept_prob": accept_prob,
             "accepted": not np.allclose(z_proposal, z),
-            "step_size": self.step_size,
             "tree_depth": depth,
-            "divergent": n_states > 0 and not keep_going and depth == 0,
-            "potential_energy": self.potential.potential(z_proposal),
+            "divergent": n_divergent > 0,
+            "potential_energy": u_proposal,
+            "_next_eval": (u_proposal, grad_proposal),
         }

@@ -13,6 +13,25 @@ performs the same extraction for our runtime:
     including the change-of-variables Jacobian terms.
 
 Both the HMC/NUTS kernels and ADVI consume this object.
+
+Vectorized multi-chain fast path
+--------------------------------
+
+:meth:`Potential.potential_and_grad_batched` evaluates the potential and its
+gradient for a whole ``(num_chains, dim)`` matrix of unconstrained states in
+*one* tape.  The model is executed once with every latent site carrying a
+leading chain axis (scalar sites are shaped ``(C, 1)`` so they broadcast
+against data vectors), the per-site log-probability terms are reduced over
+their trailing axes only, and a single reverse pass seeded with ones yields
+the per-chain gradients — chains never interact, so the rows of ``dU/dZ`` are
+exactly the per-chain gradients.
+
+Because the model is arbitrary Python, batching is *optimistic*: on the first
+batched call for a given chain count the result is validated against the
+per-row sequential oracle; if the model does something that does not broadcast
+along the chain axis (axis-0 indexing of locals, data-dependent branching on
+latents, matrix ops that contract the wrong axis, ...) the potential silently
+falls back to an API-compatible row loop, keeping semantics identical.
 """
 
 from __future__ import annotations
@@ -25,7 +44,7 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.functional import value_and_grad
-from repro.autodiff.tensor import Tensor, as_tensor
+from repro.autodiff.tensor import Tensor, as_tensor, no_grad
 from repro.ppl import handlers
 from repro.ppl.distributions.base import param_value
 from repro.ppl.transforms import Transform, biject_to
@@ -65,6 +84,10 @@ class Potential:
         self._initial_values: Dict[str, np.ndarray] = {}
         self._discover_sites()
         self._vg = value_and_grad(self._neg_log_joint_tensor)
+        # Batched-evaluation mode per chain count: "fast" once validated
+        # against the sequential oracle, "loop" if the model does not batch.
+        self._batched_mode: Dict[int, str] = {}
+        self._constrain_batched_ok: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # site discovery and packing
@@ -187,6 +210,156 @@ class Potential:
     def log_prob(self, z: np.ndarray) -> float:
         """Log joint density (the negation of the potential)."""
         return -self.potential(z)
+
+    # ------------------------------------------------------------------
+    # vectorized multi-chain fast path
+    # ------------------------------------------------------------------
+    def unpack_batched(self, z: Tensor) -> "OrderedDict[str, Tensor]":
+        """Split a ``(C, dim)`` tensor into per-site batched unconstrained tensors.
+
+        Scalar sites keep a trailing singleton axis (``(C, 1)``) so that
+        per-chain scalars broadcast correctly against data vectors.
+        """
+        c = z.data.shape[0]
+        out: "OrderedDict[str, Tensor]" = OrderedDict()
+        for name, info in self.sites.items():
+            segment = ops.getitem(z, (slice(None), slice(info.offset, info.offset + info.size)))
+            if info.unconstrained_shape not in ((), (info.size,)):
+                segment = ops.reshape(segment, (c,) + info.unconstrained_shape)
+            out[name] = segment
+        return out
+
+    def constrain_batched(self, z: Tensor) -> Tuple["OrderedDict[str, Tensor]", Tensor]:
+        """Batched :meth:`constrain`: per-site constrained values + per-chain log|J|."""
+        c = z.data.shape[0]
+        constrained: "OrderedDict[str, Tensor]" = OrderedDict()
+        log_det = as_tensor(0.0)
+        for name, segment in self.unpack_batched(z).items():
+            info = self.sites[name]
+            value = info.transform(segment)
+            expected = (c,) + info.constrained_shape if info.constrained_shape else (c, 1)
+            if value.data.shape != expected:
+                value = ops.reshape(value, expected)
+            value.is_batched = True
+            constrained[name] = value
+            log_det = ops.add(log_det, info.transform.batched_log_abs_det_jacobian(segment, value))
+        return constrained, log_det
+
+    def _neg_log_joint_tensor_batched(self, z: Tensor) -> Tensor:
+        from repro.ppl.primitives import FastLogDensityContext
+
+        c = z.data.shape[0]
+        constrained, log_det = self.constrain_batched(z)
+        substitution = dict(self.observed)
+        substitution.update(constrained)
+        ctx = FastLogDensityContext(substitution=substitution,
+                                    rng=np.random.default_rng(self.rng_seed),
+                                    batch_size=c)
+        with ctx:
+            self.model(*self.model_args, **self.model_kwargs)
+        total = ctx.total()
+        if total.data.shape != (c,):
+            raise RuntimeError(f"batched log joint has shape {total.data.shape}, expected ({c},)")
+        return ops.neg(ops.add(total, log_det))
+
+    def _potential_and_grad_batched_fast(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        t = Tensor(z, requires_grad=True)
+        with np.errstate(all="ignore"):
+            out = self._neg_log_joint_tensor_batched(t)
+            out.backward(np.ones(z.shape[0]))
+        grad = t.grad if t.grad is not None else np.zeros_like(z)
+        return np.asarray(out.data, dtype=float), np.asarray(grad, dtype=float)
+
+    def _potential_and_grad_batched_loop(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        values = np.empty(z.shape[0])
+        grads = np.empty_like(z)
+        for i in range(z.shape[0]):
+            values[i], grads[i] = self._vg(z[i])
+        return values, grads
+
+    def potential_and_grad_batched(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Potential energies ``(C,)`` and gradients ``(C, dim)`` for a batch ``z``.
+
+        The first call for a given chain count validates the vectorized
+        evaluation against the per-row sequential oracle and falls back to an
+        equivalent row loop if the model does not broadcast along chains.
+        """
+        z = np.asarray(z, dtype=float)
+        if z.ndim != 2:
+            raise ValueError(f"expected a (num_chains, dim) batch, got shape {z.shape}")
+        c = z.shape[0]
+        if c == 1:
+            # A single row gains nothing from the batched tape (and vectorized
+            # NUTS runs shrink to one straggler chain at the end of every run)
+            # — the sequential evaluation is the cheaper identical computation.
+            return self._potential_and_grad_batched_loop(z)
+        mode = self._batched_mode.get(c)
+        if mode == "fast":
+            try:
+                return self._potential_and_grad_batched_fast(z)
+            except Exception:
+                # A state-dependent branch may only trigger away from the
+                # validation point (e.g. a latent crossing a control-flow
+                # boundary); demote this batch size to the row loop for good.
+                self._batched_mode[c] = "loop"
+                return self._potential_and_grad_batched_loop(z)
+        if mode == "loop":
+            return self._potential_and_grad_batched_loop(z)
+        values, grads = self._potential_and_grad_batched_loop(z)
+        try:
+            fast_values, fast_grads = self._potential_and_grad_batched_fast(z)
+            # Require *bitwise* agreement with the sequential oracle, not just
+            # tolerance: sampler decisions (accept, slice, U-turn) threshold on
+            # these values, so a sub-tolerance discrepancy could flip a
+            # knife-edge decision and break the identical-draws contract
+            # between the chain methods.  Models whose batched evaluation
+            # reorders floating point (e.g. gemm vs gemv) take the row loop.
+            ok = (
+                np.array_equal(fast_values, values, equal_nan=True)
+                and np.array_equal(fast_grads, grads, equal_nan=True)
+            )
+        except Exception:
+            ok = False
+        self._batched_mode[c] = "fast" if ok else "loop"
+        return values, grads
+
+    def constrained_dict_batched(self, z: np.ndarray) -> Dict[str, np.ndarray]:
+        """Constrained NumPy values for a ``(C, dim)`` batch (no grad).
+
+        Returns arrays of shape ``(C, *constrained_shape)`` per site.  The
+        first call validates *every* row against :meth:`constrained_dict`
+        (once per potential); models that do not batch fall back to a row
+        loop.
+        """
+        z = np.asarray(z, dtype=float)
+        if z.ndim != 2:
+            raise ValueError(f"expected a (num_chains, dim) batch, got shape {z.shape}")
+        if self._constrain_batched_ok is not False:
+            try:
+                with no_grad():
+                    constrained, _ = self.constrain_batched(as_tensor(z))
+                out = {}
+                for name, value in constrained.items():
+                    info = self.sites[name]
+                    arr = np.asarray(value.data)
+                    out[name] = arr.reshape((z.shape[0],) + info.constrained_shape)
+                if self._constrain_batched_ok is None:
+                    rows = [self.constrained_dict(z[i]) for i in range(z.shape[0])]
+                    self._constrain_batched_ok = all(
+                        np.allclose(out[name][i], rows[i][name],
+                                    rtol=1e-8, atol=1e-10, equal_nan=True)
+                        for i in range(z.shape[0]) for name in rows[i]
+                    )
+                    if not self._constrain_batched_ok:
+                        # The oracle rows were just computed — reuse them.
+                        return {name: np.array([row[name] for row in rows])
+                                for name in self.sites}
+                if self._constrain_batched_ok:
+                    return out
+            except Exception:
+                self._constrain_batched_ok = False
+        rows = [self.constrained_dict(z[i]) for i in range(z.shape[0])]
+        return {name: np.array([row[name] for row in rows]) for name in self.sites}
 
 
 def make_potential(model: Callable, *model_args, observed: Optional[Dict[str, Any]] = None,

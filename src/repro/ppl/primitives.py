@@ -32,15 +32,28 @@ _HANDLER_STACK: list = []
 _FAST_STACK: list = []
 
 
+class BatchMixingError(RuntimeError):
+    """Raised when a batched evaluation would mix values across chains."""
+
+
 class FastLogDensityContext:
-    """Accumulates the log joint of a model execution without handlers."""
+    """Accumulates the log joint of a model execution without handlers.
 
-    __slots__ = ("substitution", "log_prob_terms", "rng")
+    With ``batch_size=C`` the context runs in *vectorized multi-chain* mode:
+    substituted latent values carry a leading chain axis of length ``C`` and
+    :meth:`total` returns a ``(C,)`` tensor — each term is summed over its
+    trailing (event) axes only, so every chain keeps its own log joint.  Terms
+    that do not carry the chain axis (data-only contributions) are summed to a
+    scalar and broadcast to all chains.
+    """
 
-    def __init__(self, substitution=None, rng=None):
+    __slots__ = ("substitution", "log_prob_terms", "rng", "batch_size")
+
+    def __init__(self, substitution=None, rng=None, batch_size=None):
         self.substitution = substitution or {}
         self.log_prob_terms = []
         self.rng = rng or np.random.default_rng(0)
+        self.batch_size = batch_size
 
     def add(self, term) -> None:
         self.log_prob_terms.append(term)
@@ -49,10 +62,22 @@ class FastLogDensityContext:
         from repro.autodiff import ops
         from repro.autodiff.tensor import as_tensor
 
-        total = as_tensor(0.0)
+        if self.batch_size is None:
+            total = as_tensor(0.0)
+            for term in self.log_prob_terms:
+                term = as_tensor(term)
+                total = ops.add(total, term.sum() if term.data.ndim > 0 else term)
+            return total
+        c = self.batch_size
+        total = as_tensor(np.zeros(c))
         for term in self.log_prob_terms:
             term = as_tensor(term)
-            total = ops.add(total, term.sum() if term.data.ndim > 0 else term)
+            if term.data.ndim >= 1 and term.data.shape[0] == c:
+                reduced = ops.sum_(term, axis=tuple(range(1, term.data.ndim))) \
+                    if term.data.ndim > 1 else term
+            else:
+                reduced = term.sum() if term.data.ndim > 0 else term
+            total = ops.add(total, reduced)
         return total
 
     def __enter__(self):
@@ -63,6 +88,13 @@ class FastLogDensityContext:
         assert _FAST_STACK[-1] is self
         _FAST_STACK.pop()
         return False
+
+
+def current_batch_size():
+    """Chain count of the innermost active batched fast context (or ``None``)."""
+    if _FAST_STACK:
+        return _FAST_STACK[-1].batch_size
+    return None
 
 # Global parameter store for `param` sites (Pyro's param store equivalent).
 _PARAM_STORE: Dict[str, Tensor] = {}

@@ -12,10 +12,16 @@ Every transform implements
 
 * ``__call__(x)``      — unconstrained ``x`` to constrained ``y``,
 * ``inv(y)``           — constrained ``y`` back to unconstrained ``x``,
-* ``log_abs_det_jacobian(x, y)`` — ``log |dy/dx|`` summed over the event.
+* ``log_abs_det_jacobian(x, y)`` — ``log |dy/dx|`` summed over the event,
+* ``batched_log_abs_det_jacobian(x, y)`` — the same quantity per *chain* for
+  inputs carrying a leading batch axis (summed over every trailing axis).
 
-All three work on :class:`~repro.autodiff.tensor.Tensor` inputs so gradients
-flow through the change of variables.
+All of them work on :class:`~repro.autodiff.tensor.Tensor` inputs so gradients
+flow through the change of variables.  Transforms that act on a vector
+(ordered, positive-ordered, stick-breaking) operate on the *last* axis, so a
+``(num_chains, event)`` batch flows through them unchanged — this is what lets
+the vectorized multi-chain engine push a whole matrix of unconstrained states
+through the change of variables in one tape.
 """
 
 from __future__ import annotations
@@ -30,6 +36,18 @@ from repro.autodiff.tensor import Tensor, as_tensor
 from repro.ppl import constraints as C
 
 
+def _sum_trailing(x: Tensor) -> Tensor:
+    """Sum a batched tensor over every axis except the leading (chain) axis."""
+    x = as_tensor(x)
+    if x.data.ndim <= 1:
+        return x
+    return ops.sum_(x, axis=tuple(range(1, x.data.ndim)))
+
+
+class BatchingUnsupported(NotImplementedError):
+    """Raised when a transform cannot produce per-chain Jacobian terms."""
+
+
 class Transform:
     """Base class for bijections."""
 
@@ -41,6 +59,10 @@ class Transform:
 
     def log_abs_det_jacobian(self, x, y):
         raise NotImplementedError
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        """``log |dy/dx|`` per chain for ``x`` of shape ``(chains, *event)``."""
+        raise BatchingUnsupported(type(self).__name__)
 
     def unconstrained_shape(self, constrained_shape):
         """Shape of the unconstrained representation (differs for simplex)."""
@@ -55,6 +77,9 @@ class IdentityTransform(Transform):
         return as_tensor(y)
 
     def log_abs_det_jacobian(self, x, y):
+        return as_tensor(0.0)
+
+    def batched_log_abs_det_jacobian(self, x, y):
         return as_tensor(0.0)
 
     def __repr__(self):
@@ -72,6 +97,9 @@ class ExpTransform(Transform):
 
     def log_abs_det_jacobian(self, x, y):
         return ops.sum_(as_tensor(x))
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        return _sum_trailing(x)
 
     def __repr__(self):
         return "exp"
@@ -93,6 +121,12 @@ class AffineTransform(Transform):
     def log_abs_det_jacobian(self, x, y):
         x = as_tensor(x)
         n = x.data.size
+        scale = float(np.asarray(self.scale if not isinstance(self.scale, Tensor) else self.scale.data))
+        return as_tensor(n * math.log(abs(scale)))
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        x = as_tensor(x)
+        n = int(np.prod(x.data.shape[1:])) if x.data.ndim > 1 else 1
         scale = float(np.asarray(self.scale if not isinstance(self.scale, Tensor) else self.scale.data))
         return as_tensor(n * math.log(abs(scale)))
 
@@ -125,6 +159,15 @@ class ComposeTransform(Transform):
             cur = nxt
         return total
 
+    def batched_log_abs_det_jacobian(self, x, y):
+        total = as_tensor(0.0)
+        cur = as_tensor(x)
+        for part in self.parts:
+            nxt = part(cur)
+            total = ops.add(total, part.batched_log_abs_det_jacobian(cur, nxt))
+            cur = nxt
+        return total
+
     def __repr__(self):
         return "compose(" + ", ".join(repr(p) for p in self.parts) + ")"
 
@@ -144,6 +187,9 @@ class LowerBoundTransform(Transform):
     def log_abs_det_jacobian(self, x, y):
         return ops.sum_(as_tensor(x))
 
+    def batched_log_abs_det_jacobian(self, x, y):
+        return _sum_trailing(x)
+
     def __repr__(self):
         return f"lower({self.lower})"
 
@@ -162,6 +208,9 @@ class UpperBoundTransform(Transform):
 
     def log_abs_det_jacobian(self, x, y):
         return ops.sum_(as_tensor(x))
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        return _sum_trailing(x)
 
     def __repr__(self):
         return f"upper({self.upper})"
@@ -196,32 +245,55 @@ class IntervalTransform(Transform):
         sig_term = ops.sum_(ops.add(ops.log(s), ops.log1p(ops.neg(s))))
         return ops.add(width_term, sig_term)
 
+    def batched_log_abs_det_jacobian(self, x, y):
+        x = as_tensor(x)
+        width = ops.sub(self.upper, self.lower)
+        n = int(np.prod(x.data.shape[1:])) if x.data.ndim > 1 else 1
+        if isinstance(width, Tensor) and width.data.size == 1:
+            width_term = ops.mul(float(n), ops.log(width))
+        else:
+            width_term = _sum_trailing(ops.mul(ops.add(ops.mul(x, 0.0), 1.0), ops.log(width)))
+        s = ops.sigmoid(x)
+        sig_term = _sum_trailing(ops.add(ops.log(s), ops.log1p(ops.neg(s))))
+        return ops.add(width_term, sig_term)
+
     def __repr__(self):
         return f"interval({self.lower}, {self.upper})"
 
 
 class OrderedTransform(Transform):
-    """Maps R^n to ordered vectors: y1 = x1, y_k = y_{k-1} + exp(x_k)."""
+    """Maps R^n to ordered vectors: y1 = x1, y_k = y_{k-1} + exp(x_k).
+
+    Operates on the *last* axis so batched ``(chains, n)`` inputs pass through.
+    """
 
     def __call__(self, x):
         x = as_tensor(x)
-        parts = [ops.reshape(x[0], (1,))]
-        for k in range(1, x.shape[0]):
-            parts.append(ops.reshape(ops.add(parts[-1][0], ops.exp(x[k])), (1,)))
-        return ops.concatenate(parts)
+        first = x[(Ellipsis, slice(0, 1))]
+        if x.shape[-1] <= 1:
+            return first
+        rest = ops.cumsum(ops.exp(x[(Ellipsis, slice(1, None))]), axis=-1)
+        return ops.concatenate([first, ops.add(first, rest)], axis=-1)
 
     def inv(self, y):
         y = as_tensor(y)
-        parts = [ops.reshape(y[0], (1,))]
-        for k in range(1, y.shape[0]):
-            parts.append(ops.reshape(ops.log(ops.sub(y[k], y[k - 1])), (1,)))
-        return ops.concatenate(parts)
+        first = y[(Ellipsis, slice(0, 1))]
+        if y.shape[-1] <= 1:
+            return first
+        diffs = ops.sub(y[(Ellipsis, slice(1, None))], y[(Ellipsis, slice(0, -1))])
+        return ops.concatenate([first, ops.log(diffs)], axis=-1)
 
     def log_abs_det_jacobian(self, x, y):
         x = as_tensor(x)
-        if x.shape[0] <= 1:
+        if x.shape[-1] <= 1:
             return as_tensor(0.0)
-        return ops.sum_(x[slice(1, None)])
+        return ops.sum_(x[(Ellipsis, slice(1, None))])
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        x = as_tensor(x)
+        if x.shape[-1] <= 1:
+            return as_tensor(0.0)
+        return _sum_trailing(x[(Ellipsis, slice(1, None))])
 
     def __repr__(self):
         return "ordered"
@@ -232,68 +304,85 @@ class PositiveOrderedTransform(Transform):
 
     def __call__(self, x):
         x = as_tensor(x)
-        return ops.cumsum(ops.exp(x))
+        return ops.cumsum(ops.exp(x), axis=-1)
 
     def inv(self, y):
         y = as_tensor(y)
-        parts = [ops.reshape(ops.log(y[0]), (1,))]
-        for k in range(1, y.shape[0]):
-            parts.append(ops.reshape(ops.log(ops.sub(y[k], y[k - 1])), (1,)))
-        return ops.concatenate(parts)
+        first = ops.log(y[(Ellipsis, slice(0, 1))])
+        if y.shape[-1] <= 1:
+            return first
+        diffs = ops.sub(y[(Ellipsis, slice(1, None))], y[(Ellipsis, slice(0, -1))])
+        return ops.concatenate([first, ops.log(diffs)], axis=-1)
 
     def log_abs_det_jacobian(self, x, y):
         return ops.sum_(as_tensor(x))
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        return _sum_trailing(x)
 
     def __repr__(self):
         return "positive_ordered"
 
 
 class StickBreakingTransform(Transform):
-    """Maps R^{n-1} to the n-simplex using Stan's stick-breaking construction."""
+    """Maps R^{n-1} to the n-simplex using Stan's stick-breaking construction.
+
+    The stick is broken along the *last* axis; leading axes (chains) batch.
+    """
 
     def __call__(self, x):
         x = as_tensor(x)
-        n = x.shape[0] + 1
+        n = x.shape[-1] + 1
         remaining = as_tensor(1.0)
         parts = []
         for k in range(n - 1):
             offset = math.log(1.0 / (n - k - 1))
-            z = ops.sigmoid(ops.add(x[k], offset))
+            z = ops.sigmoid(ops.add(x[(Ellipsis, slice(k, k + 1))], offset))
             piece = ops.mul(remaining, z)
-            parts.append(ops.reshape(piece, (1,)))
+            parts.append(piece)
             remaining = ops.sub(remaining, piece)
-        parts.append(ops.reshape(remaining, (1,)))
-        return ops.concatenate(parts)
+        if not parts:
+            # Zero-length unconstrained input: the 1-simplex is the point {1}.
+            return ops.reshape(as_tensor(np.ones(x.data.shape[:-1] + (1,))), x.data.shape[:-1] + (1,))
+        parts.append(remaining)
+        return ops.concatenate(parts, axis=-1)
 
     def inv(self, y):
         y = as_tensor(y)
-        n = y.shape[0]
+        n = y.shape[-1]
         parts = []
         remaining = as_tensor(1.0)
         for k in range(n - 1):
-            z = ops.div(y[k], remaining)
+            yk = y[(Ellipsis, slice(k, k + 1))]
+            z = ops.div(yk, remaining)
             z = ops.clip(z, 1e-12, 1 - 1e-12)
             offset = math.log(1.0 / (n - k - 1))
-            parts.append(
-                ops.reshape(ops.sub(ops.sub(ops.log(z), ops.log1p(ops.neg(z))), offset), (1,))
-            )
-            remaining = ops.sub(remaining, y[k])
-        return ops.concatenate(parts)
+            parts.append(ops.sub(ops.sub(ops.log(z), ops.log1p(ops.neg(z))), offset))
+            remaining = ops.sub(remaining, yk)
+        return ops.concatenate(parts, axis=-1)
 
     def log_abs_det_jacobian(self, x, y):
+        return self._log_det_terms(x)
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        return _sum_trailing(self._log_det_terms(x, keep_batch=True))
+
+    def _log_det_terms(self, x, keep_batch: bool = False):
         x = as_tensor(x)
-        n = x.shape[0] + 1
+        n = x.shape[-1] + 1
         total = as_tensor(0.0)
         remaining = as_tensor(1.0)
         for k in range(n - 1):
             offset = math.log(1.0 / (n - k - 1))
-            z = ops.sigmoid(ops.add(x[k], offset))
+            z = ops.sigmoid(ops.add(x[(Ellipsis, slice(k, k + 1))], offset))
             total = ops.add(
                 total,
                 ops.add(ops.log(remaining), ops.add(ops.log(z), ops.log1p(ops.neg(z)))),
             )
             remaining = ops.mul(remaining, ops.sub(1.0, z))
-        return total
+        if keep_batch:
+            return total
+        return ops.sum_(total) if isinstance(total, Tensor) and total.data.ndim > 0 else total
 
     def unconstrained_shape(self, constrained_shape):
         shape = tuple(constrained_shape)

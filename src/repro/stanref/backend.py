@@ -125,11 +125,13 @@ class StanModel:
 
     def run_nuts(self, data: Dict[str, Any], num_warmup: int = 300, num_samples: int = 300,
                  num_chains: int = 1, thinning: int = 1, seed: int = 0,
-                 max_tree_depth: int = 10, target_accept: float = 0.8) -> MCMC:
+                 max_tree_depth: int = 10, target_accept: float = 0.8,
+                 chain_method: str = "sequential") -> MCMC:
         potential = self.potential(data, rng_seed=seed)
         kernel = NUTS(potential, max_tree_depth=max_tree_depth, target_accept=target_accept)
         mcmc = MCMC(kernel, num_warmup=num_warmup, num_samples=num_samples,
-                    num_chains=num_chains, thinning=thinning, seed=seed)
+                    num_chains=num_chains, thinning=thinning, seed=seed,
+                    chain_method=chain_method)
         return mcmc.run()
 
     def run_advi(self, data: Dict[str, Any], num_steps: int = 1000, learning_rate: float = 0.05,

@@ -1,0 +1,253 @@
+"""Vectorized multi-chain engine: equivalence with the sequential oracle.
+
+The vectorized chain method must be a pure performance optimisation: for a
+fixed seed it has to produce exactly the draws, sampler statistics and
+diagnostics of the sequential path, on models that batch (the fast path) and
+on models that fall back to the per-chain row loop.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro import compile_model
+from repro.corpus import models
+from repro.infer import ADVI, HMC, MCMC, NUTS, make_potential
+from repro.ppl import distributions as dist
+from repro.ppl.primitives import observe, sample
+
+EIGHT_SCHOOLS_DATA = {
+    "J": 8,
+    "y": np.array([28.0, 8.0, -3.0, 7.0, -1.0, 1.0, 18.0, 12.0]),
+    "sigma": np.array([15.0, 10.0, 16.0, 11.0, 9.0, 11.0, 10.0, 18.0]),
+}
+
+
+def _eight_schools_potential():
+    compiled = compile_model(models.get("eight_schools_centered"), backend="numpyro",
+                             scheme="comprehensive")
+    return compiled.potential(EIGHT_SCHOOLS_DATA)
+
+
+# ----------------------------------------------------------------------
+# batched potential evaluation
+# ----------------------------------------------------------------------
+def test_batched_potential_matches_rowwise_eight_schools():
+    pot = _eight_schools_potential()
+    rng = np.random.default_rng(0)
+    z = rng.uniform(-1.0, 1.0, size=(5, pot.dim))
+    values, grads = pot.potential_and_grad_batched(z)
+    values2, grads2 = pot.potential_and_grad_batched(z)  # second call: fast path
+    assert pot._batched_mode[5] == "fast"
+    for i in range(5):
+        u, g = pot.potential_and_grad(z[i])
+        assert values[i] == pytest.approx(u)
+        assert values2[i] == pytest.approx(u)
+        np.testing.assert_allclose(grads[i], g)
+        np.testing.assert_allclose(grads2[i], g)
+
+
+def test_batched_potential_falls_back_for_unbatchable_model():
+    compiled = compile_model(models.get("multimodal"), backend="numpyro",
+                             scheme="comprehensive")
+    pot = compiled.potential({})
+    z = np.array([[1.0, 2.0], [-1.0, 0.5], [0.3, -0.2]])
+    values, grads = pot.potential_and_grad_batched(z)
+    assert pot._batched_mode[3] == "loop"
+    for i in range(3):
+        u, g = pot.potential_and_grad(z[i])
+        assert values[i] == pytest.approx(u)
+        np.testing.assert_allclose(grads[i], g)
+
+
+def test_branch_on_reduced_parameter_falls_back():
+    """A branch on sum(theta) must not silently mix chains (regression).
+
+    The per-chain reduction keeps the chain axis, so the control-flow guard
+    trips and the model takes the row loop — even when every chain happens to
+    sit on the same side of the branch at validation time.
+    """
+    source = """
+    data { int<lower=0> N; vector[N] y; }
+    parameters { vector[2] theta; }
+    model {
+      theta ~ normal(0, 1);
+      if (sum(theta) > 0)
+        y ~ normal(theta[1], 0.5);
+      else
+        y ~ normal(-theta[1], 0.5);
+    }
+    """
+    compiled = compile_model(source, backend="numpyro", scheme="comprehensive")
+    pot = compiled.potential({"N": 4, "y": np.array([0.5, 0.4, 0.6, 0.5])})
+    same_side = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 0.2]])
+    pot.potential_and_grad_batched(same_side)
+    assert pot._batched_mode[3] == "loop"
+    straddling = np.array([[1.0, 1.0], [-2.0, -2.0], [0.5, 0.2]])
+    values, grads = pot.potential_and_grad_batched(straddling)
+    for i in range(3):
+        u, g = pot.potential_and_grad(straddling[i])
+        assert values[i] == pytest.approx(u)
+        np.testing.assert_allclose(grads[i], g)
+
+
+def test_sum_statement_batches_per_chain():
+    """sum(phi) ~ normal(...) reduces per chain and stays on the fast path."""
+    compiled = compile_model(models.get("left_expression_example"), backend="numpyro",
+                             scheme="comprehensive")
+    pot = compiled.potential({"N": 5, "y": np.zeros(5)})
+    z = np.random.default_rng(0).normal(size=(4, pot.dim))
+    pot.potential_and_grad_batched(z)
+    assert pot._batched_mode[4] == "fast"
+    values, _ = pot.potential_and_grad_batched(z)
+    for i in range(4):
+        assert values[i] == pytest.approx(pot.potential_and_grad(z[i])[0])
+
+
+def test_batched_constrained_dict_matches_rowwise():
+    pot = _eight_schools_potential()
+    z = np.random.default_rng(1).normal(size=(4, pot.dim))
+    batched = pot.constrained_dict_batched(z)
+    for i in range(4):
+        row = pot.constrained_dict(z[i])
+        for name, value in row.items():
+            np.testing.assert_allclose(batched[name][i], value)
+
+
+# ----------------------------------------------------------------------
+# vectorized vs sequential chains
+# ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def _run_eight_schools(chain_method, kernel_cls=NUTS, num_chains=3, fresh=0):
+    """Run (and memoise) an eight-schools MCMC; ``fresh`` busts the cache."""
+    pot = _eight_schools_potential()
+    if kernel_cls is NUTS:
+        kernel = NUTS(pot, max_tree_depth=6)
+    else:
+        kernel = HMC(pot, num_steps=8)
+    return MCMC(kernel, num_warmup=60, num_samples=40, num_chains=num_chains,
+                seed=7, chain_method=chain_method).run()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kernel_cls", [NUTS, HMC])
+def test_vectorized_matches_sequential_eight_schools(kernel_cls):
+    seq = _run_eight_schools("sequential", kernel_cls)
+    vec = _run_eight_schools("vectorized", kernel_cls)
+    seq_draws = seq.get_samples(group_by_chain=True)
+    vec_draws = vec.get_samples(group_by_chain=True)
+    assert set(seq_draws) == set(vec_draws)
+    for name in seq_draws:
+        np.testing.assert_allclose(vec_draws[name], seq_draws[name], atol=1e-12,
+                                   err_msg=f"site {name} diverged between chain methods")
+    for chain in range(3):
+        seq_stats = seq.get_extra_fields()[chain]
+        vec_stats = vec.get_extra_fields()[chain]
+        for key in ("accept_prob", "step_size", "divergent"):
+            np.testing.assert_allclose(vec_stats[key], seq_stats[key], atol=1e-12)
+
+
+def test_vectorized_matches_sequential_corpus_model():
+    source = models.get("kilpisjarvi")
+    data = {"N": 12, "x": np.linspace(0.0, 1.0, 12), "y": np.linspace(1.0, 3.0, 12),
+            "pmualpha": 0.0, "psalpha": 10.0, "pmubeta": 0.0, "psbeta": 10.0}
+
+    def run(chain_method):
+        compiled = compile_model(source, backend="numpyro", scheme="comprehensive")
+        return compiled.run_nuts(data, num_warmup=50, num_samples=30, num_chains=4,
+                                 seed=3, max_tree_depth=6, chain_method=chain_method)
+
+    seq = run("sequential").get_samples(group_by_chain=True)
+    vec = run("vectorized").get_samples(group_by_chain=True)
+    for name in seq:
+        np.testing.assert_allclose(vec[name], seq[name], atol=1e-12)
+
+
+def test_vectorized_matches_sequential_on_fallback_model():
+    """Models that cannot batch still sample identically via the row loop."""
+
+    def run(chain_method):
+        compiled = compile_model(models.get("multimodal"), backend="numpyro",
+                                 scheme="comprehensive")
+        return compiled.run_nuts({}, num_warmup=40, num_samples=20, num_chains=2,
+                                 seed=11, max_tree_depth=5, chain_method=chain_method)
+
+    seq = run("sequential").get_samples(group_by_chain=True)
+    vec = run("vectorized").get_samples(group_by_chain=True)
+    for name in seq:
+        np.testing.assert_allclose(vec[name], seq[name], atol=1e-12)
+
+
+def test_diagnostics_agree_across_chain_methods():
+    seq = _run_eight_schools("sequential").summary()
+    vec = _run_eight_schools("vectorized").summary()
+    assert set(seq) == set(vec)
+    for name in seq:
+        assert vec[name]["r_hat"] == pytest.approx(seq[name]["r_hat"], nan_ok=True)
+        assert vec[name]["n_eff"] == pytest.approx(seq[name]["n_eff"], nan_ok=True)
+
+
+# ----------------------------------------------------------------------
+# seeding
+# ----------------------------------------------------------------------
+def test_same_seed_reproduces_draws():
+    a = _run_eight_schools("vectorized").get_samples(group_by_chain=True)
+    b = _run_eight_schools("vectorized", fresh=1).get_samples(group_by_chain=True)
+    for name in a:
+        np.testing.assert_array_equal(a[name], b[name])
+
+
+@pytest.mark.slow
+def test_chain_streams_independent_of_chain_count():
+    """Chain c's stream depends only on (seed, c): prefix chains are identical."""
+    two = _run_eight_schools("sequential", num_chains=2).get_samples(group_by_chain=True)
+    three = _run_eight_schools("sequential", num_chains=3).get_samples(group_by_chain=True)
+    for name in two:
+        np.testing.assert_array_equal(three[name][:2], two[name])
+
+
+def test_chain_method_validation():
+    pot = _eight_schools_potential()
+    with pytest.raises(ValueError):
+        MCMC(NUTS(pot), num_warmup=10, num_samples=10, chain_method="parallel")
+
+
+def test_custom_mass_matrix_preserved_across_chains():
+    """adapt_mass_matrix=False keeps a user-configured matrix in both methods."""
+    custom = None
+
+    def run(chain_method):
+        nonlocal custom
+        pot = _eight_schools_potential()
+        kernel = HMC(pot, num_steps=5, adapt_mass_matrix=False)
+        custom = np.full(pot.dim, 0.25)
+        kernel.inv_mass = custom.copy()
+        mcmc = MCMC(kernel, num_warmup=20, num_samples=15, num_chains=2, seed=4,
+                    chain_method=chain_method).run()
+        assert np.array_equal(kernel.inv_mass, custom)
+        return mcmc.get_samples(group_by_chain=True)
+
+    seq = run("sequential")
+    vec = run("vectorized")
+    for name in seq:
+        np.testing.assert_array_equal(vec[name], seq[name])
+
+
+# ----------------------------------------------------------------------
+# ADVI batched ELBO draws
+# ----------------------------------------------------------------------
+def test_advi_multi_sample_elbo_uses_batched_path():
+    data = np.random.default_rng(0).normal(1.0, 1.0, size=30)
+
+    def model():
+        mu = sample("mu", dist.Normal(0.0, 2.0))
+        observe(dist.Normal(mu, 1.0), data, name="y")
+
+    pot = make_potential(model)
+    advi = ADVI(pot, learning_rate=0.1, num_elbo_samples=4, seed=0).run(200)
+    assert pot._batched_mode.get(4) == "fast"
+    draws = advi.sample_posterior(300)["mu"]
+    n = len(data)
+    true_mean = (data.sum() / 1.0) / (1 / 4.0 + n)
+    assert draws.mean() == pytest.approx(true_mean, abs=0.2)

@@ -135,6 +135,7 @@ def test_reference_nuts_recovers_coin_posterior(coin_source, coin_data):
     assert draws.mean() == pytest.approx(expected_mean, abs=0.08)
 
 
+@pytest.mark.slow
 def test_reference_and_compiled_backends_agree(normal_source, normal_data):
     from repro import compile_model
 

@@ -220,6 +220,7 @@ def test_harness_registry_generality_single_entry():
     assert result.ran[("generative", "numpyro")] == 1
 
 
+@pytest.mark.slow
 def test_harness_accuracy_row_matches_reference():
     entry = get("coin-flips")
     reference, stan_time = harness.run_reference(entry, scale=0.5)
