@@ -9,7 +9,7 @@ import os
 import time
 
 import numpy as np
-from conftest import record
+from conftest import record, record_json
 
 from repro import compile_model
 from repro.evaluation.harness import compile_time_comparison
@@ -76,6 +76,20 @@ def test_table5_duration_mean_std(benchmark):
         lines.append(f"{name:<42} {stan_mean:7.2f}({stan_std:4.2f}) {np_c[0]:7.2f}({np_c[1]:4.2f}) "
                      f"{np_m[0]:7.2f}({np_m[1]:4.2f}) {py_c[0]:7.2f}({py_c[1]:4.2f})")
     record("Table 5 — duration mean(std) per backend", lines)
+    record_json("BENCH_table5.json", {
+        "config": {"bench_iters": BENCH_ITERS, "repeats": REPEATS, "scale": SCALE},
+        "rows": [
+            {
+                "entry": name,
+                "stan": {"mean_seconds": stan_mean, "std_seconds": stan_std},
+                "backends": {
+                    f"{backend}-{scheme}": {"mean_seconds": mean, "std_seconds": std}
+                    for (backend, scheme), (mean, std) in backends.items()
+                },
+            }
+            for name, (stan_mean, stan_std), backends in rows
+        ],
+    })
 
     # Shape: comprehensive and mixed runtimes are essentially identical, and
     # the NumPyro-style runtime is not slower than the Pyro-style one.

@@ -6,6 +6,7 @@ DESIGN.md's experiment index).  Results are printed to stdout (run pytest with
 EXPERIMENTS.md numbers can be refreshed from a single run.
 """
 
+import json
 import os
 from typing import Iterable
 
@@ -27,6 +28,20 @@ def record(title: str, lines: Iterable[str]) -> None:
     print("\n" + text)
     with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def record_json(name: str, payload) -> str:
+    """Write a machine-readable benchmark artifact next to results.txt.
+
+    ``name`` should follow the ``BENCH_<topic>.json`` convention; CI uploads
+    these files so the perf/quality trajectory is tracked across pushes.
+    """
+    path = os.path.join(os.path.dirname(__file__), name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+    print(f"[bench] wrote {path}")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)

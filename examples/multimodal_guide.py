@@ -26,11 +26,18 @@ def main() -> None:
     for method, label in (("stan_nuts", "Stan (NUTS)"),
                           ("deepstan_nuts", "DeepStan (NUTS)"),
                           ("stan_advi", "Stan (ADVI)"),
+                          ("deepstan_advi", "DeepStan (VI, auto_normal guide)"),
                           ("deepstan_vi", "DeepStan (VI, explicit guide)")):
         masses = result.mode_masses[method]
         print(f"\n{label}: mass near 0 = {masses['low_mode']:.2f}, "
               f"mass near 20 = {masses['high_mode']:.2f}")
         print(ascii_histogram(result.draws[method]))
+
+    print("\nGuide quality (PSIS k-hat; < 0.7 = reliable):")
+    for method, khat in result.khat.items():
+        history = result.elbo_histories[method]
+        print(f"  {method}: k-hat = {khat:.2f}, "
+              f"ELBO {history[0]:.1f} -> {history[-1]:.1f}")
 
 
 if __name__ == "__main__":

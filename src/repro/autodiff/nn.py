@@ -93,14 +93,23 @@ class Module:
 
 
 class Linear(Module):
-    """Affine layer ``y = x @ W.T + b`` with Glorot-uniform initialisation."""
+    """Affine layer ``y = x @ W.T + b`` with Glorot-uniform initialisation.
+
+    ``zero_init=True`` starts the layer at the zero map — used as the output
+    layer of amortized guides so the initial variational distribution is
+    data-independent (a standard Gaussian) regardless of the network input.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 zero_init: bool = False) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
         bound = np.sqrt(6.0 / (in_features + out_features))
-        weight = Tensor(rng.uniform(-bound, bound, size=(out_features, in_features)))
+        if zero_init:
+            weight = Tensor(np.zeros((out_features, in_features)))
+        else:
+            weight = Tensor(rng.uniform(-bound, bound, size=(out_features, in_features)))
         self.weight = self.register_parameter("weight", weight)
         self.in_features = in_features
         self.out_features = out_features
@@ -162,13 +171,16 @@ class MLP(Module):
     """
 
     def __init__(self, sizes: List[int], activation: str = "tanh",
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 zero_init_last: bool = False) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.sizes = list(sizes)
         self.activation = activation
         for i in range(len(sizes) - 1):
-            layer = Linear(sizes[i], sizes[i + 1], rng=rng)
+            is_last = i == len(sizes) - 2
+            layer = Linear(sizes[i], sizes[i + 1], rng=rng,
+                           zero_init=zero_init_last and is_last)
             self.add_module(f"l{i + 1}", layer)
             object.__setattr__(self, f"l{i + 1}", layer)
 

@@ -29,7 +29,8 @@ from repro.frontend import ast
 from repro.frontend.parser import ParseError, parse_program
 from repro.frontend.semantics import SemanticError, check_program
 from repro.gprob import ir
-from repro.infer import ADVI, MCMC, NUTS, SVI, Potential
+from repro.guides import AutoGuide
+from repro.infer import MCMC, NUTS, SVI, VI, ExplicitVI, Potential
 from repro.ppl import handlers
 
 SCHEMES = ("generative", "comprehensive", "mixed")
@@ -146,12 +147,78 @@ class CompiledModel:
                     chain_method=chain_method)
         return mcmc.run()
 
+    def run_vi(self, data: Optional[Dict[str, Any]] = None,
+               guide: Any = "auto_normal", num_steps: int = 1000,
+               learning_rate: Optional[float] = None,
+               num_particles: Optional[int] = None,
+               seed: int = 0, guide_kwargs: Optional[Dict[str, Any]] = None):
+        """Fit a variational approximation; returns the fitted VI engine.
+
+        ``guide`` selects the variational family:
+
+        * an autoguide name — ``"auto_normal"`` (mean-field), ``"auto_mvn"``
+          (full-rank), ``"auto_lowrank"``, ``"auto_delta"`` (MAP),
+          ``"auto_neural"`` (amortized MLP) — or an
+          :class:`~repro.guides.AutoGuide` instance;
+        * ``"explicit"`` (or ``None`` on a program with a ``guide`` block, or
+          any other callable) — the DeepStan explicit guide, optimised with
+          trace-based SVI.
+
+        The result exposes ``elbo_history``/``losses``, ``guide_sample()``,
+        ``guide_log_density()``, ``posterior_draws()`` and the PSIS guide-
+        quality diagnostic ``psis_diagnostic()``/``diagnostics()`` uniformly
+        across families.  The explicit path clears the global param store
+        first so repeated fits do not leak state into each other.
+        """
+        guide_kwargs = dict(guide_kwargs or {})
+        if isinstance(guide, type) and issubclass(guide, AutoGuide):
+            guide = guide(**guide_kwargs)
+            guide_kwargs = {}
+        explicit = False
+        if guide is None:
+            if self.has_guide:
+                explicit = True
+            else:
+                guide = "auto_normal"
+        elif isinstance(guide, str) and guide.lower() in ("explicit", "deepstan", "guide"):
+            explicit = True
+        elif callable(guide) and not isinstance(guide, AutoGuide):
+            explicit = True
+        if explicit:
+            if guide_kwargs:
+                raise ValueError(
+                    f"guide_kwargs {sorted(guide_kwargs)} only apply to autoguide "
+                    "families, not explicit guides")
+            if callable(guide) and not isinstance(guide, str):
+                guide_fn = guide
+            else:
+                if not self.has_guide:
+                    raise CompileError("guide='explicit' requires a guide block")
+                guide_fn = self.guide_callable(data)
+            from repro.ppl import primitives
+
+            primitives.clear_param_store()
+            engine = ExplicitVI(self.model_callable(data), guide_fn,
+                                latent_names=self.parameter_names,
+                                learning_rate=learning_rate,
+                                num_particles=num_particles, seed=seed)
+        else:
+            potential = self.potential(data, rng_seed=seed)
+            engine = VI(potential, guide=guide, learning_rate=learning_rate,
+                        num_particles=num_particles, seed=seed, **guide_kwargs)
+        return engine.run(num_steps)
+
     def run_advi(self, data: Optional[Dict[str, Any]] = None, num_steps: int = 1000,
                  learning_rate: float = 0.05, num_samples: int = 1000, seed: int = 0) -> Dict[str, np.ndarray]:
-        """Mean-field ADVI (Stan's ADVI baseline, Fig. 10)."""
-        potential = self.potential(data, rng_seed=seed)
-        advi = ADVI(potential, learning_rate=learning_rate, seed=seed).run(num_steps)
-        return advi.sample_posterior(num_samples)
+        """Mean-field ADVI (Stan's ADVI baseline, Fig. 10).
+
+        Kept for backward compatibility; equivalent to
+        ``run_vi(data, guide="auto_normal", ...).posterior_draws(num_samples)``
+        and bitwise stable against the historical implementation.
+        """
+        vi = self.run_vi(data, guide="auto_normal", num_steps=num_steps,
+                         learning_rate=learning_rate, seed=seed)
+        return vi.posterior_draws(num_samples)
 
     def run_svi(self, data: Optional[Dict[str, Any]] = None, num_steps: int = 1000,
                 learning_rate: float = 0.01, num_samples: int = 1000, seed: int = 0) -> Dict[str, np.ndarray]:

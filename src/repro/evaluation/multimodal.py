@@ -7,18 +7,28 @@ shows four posteriors over ``theta``:
   mass of the two modes is wrong;
 * DeepStan with NUTS — same behaviour (the compilation does not change this
   known HMC limitation);
-* Stan with ADVI — the mean-field Gaussian collapses onto a single mode;
+* Stan with ADVI — the mean-field Gaussian cannot represent two modes and
+  collapses onto a single Gaussian;
 * DeepStan with VI and the explicit two-component guide — recovers both modes
   with roughly the right proportions.
 
-:func:`multimodal_experiment` runs all four and returns the draws of ``theta``
-for each, plus coarse mode-mass summaries used by the tests and the benchmark.
+This reproduction additionally runs the *automatic* mean-field guide of the
+new VI engine (``deepstan_advi``, the ``auto_normal`` family) and records the
+guide-quality layer for both VI methods: per-step ELBO histories and the PSIS
+k-hat diagnostic.  The k-hat numbers turn the figure's qualitative contrast
+into a measurement — the mean-field guide's importance ratios against the
+bimodal joint are hopeless (k-hat well above the 0.7 reliability threshold)
+while the explicit guide's are excellent.
+
+:func:`multimodal_experiment` runs all five and returns the draws of
+``theta`` for each, plus mode-mass summaries used by the tests and the
+benchmark.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List
 
 import numpy as np
 
@@ -26,15 +36,31 @@ from repro.core import compile_model
 from repro.corpus import models as corpus_models
 from repro.stanref import StanModel
 
+#: the two true posterior modes of the Figure 10 model
+MODES = (0.0, 20.0)
+
 
 @dataclass
 class MultimodalResult:
     draws: Dict[str, np.ndarray]
     mode_masses: Dict[str, Dict[str, float]]
+    #: per-step ELBO histories of the VI methods (from ``.elbo_history``)
+    elbo_histories: Dict[str, List[float]] = field(default_factory=dict)
+    #: PSIS k-hat of the VI methods (guide-quality diagnostic)
+    khat: Dict[str, float] = field(default_factory=dict)
 
     def found_both_modes(self, method: str, low: float = 0.05) -> bool:
         masses = self.mode_masses[method]
         return masses["low_mode"] > low and masses["high_mode"] > low
+
+    def covers_both_modes(self, method: str, low: float = 0.15,
+                          radius: float = 5.0) -> bool:
+        """Whether the draws put real mass *at* both true modes (not merely on
+        both sides of the midpoint — a saddle-collapsed Gaussian passes the
+        midpoint split but covers neither mode)."""
+        theta = np.asarray(self.draws[method], dtype=float).reshape(-1)
+        return all(float(np.mean(np.abs(theta - mode) < radius)) > low
+                   for mode in MODES)
 
 
 def _mode_masses(theta: np.ndarray) -> Dict[str, float]:
@@ -46,12 +72,15 @@ def _mode_masses(theta: np.ndarray) -> Dict[str, float]:
 
 
 def multimodal_experiment(num_warmup: int = 200, num_samples: int = 400,
-                          vi_steps: int = 2000, seed: int = 0) -> MultimodalResult:
-    """Run the four Figure 10 configurations on the multimodal model."""
+                          vi_steps: int = 2000, seed: int = 0,
+                          num_psis_samples: int = 600) -> MultimodalResult:
+    """Run the five Figure 10 configurations on the multimodal model."""
     plain_source = corpus_models.get("multimodal")
     guided_source = corpus_models.get("multimodal_guide")
 
     draws: Dict[str, np.ndarray] = {}
+    elbo_histories: Dict[str, List[float]] = {}
+    khat: Dict[str, float] = {}
 
     # Stan (reference backend) with NUTS.
     stan = StanModel(plain_source, name="multimodal")
@@ -66,19 +95,27 @@ def multimodal_experiment(num_warmup: int = 200, num_samples: int = 400,
                                       num_chains=2, seed=seed)
     draws["deepstan_nuts"] = deepstan_nuts.get_samples()["theta"]
 
-    # Stan ADVI (mean-field): collapses to one mode.
+    # Stan ADVI (reference backend, mean-field): cannot represent two modes.
     advi_draws = stan.run_advi({}, num_steps=vi_steps, num_samples=num_samples, seed=seed)
     draws["stan_advi"] = advi_draws["theta"]
 
-    # DeepStan VI with the explicit guide: recovers both modes.
+    # DeepStan automatic mean-field guide through the unified VI engine: the
+    # same family, now with ELBO history and the PSIS k-hat diagnostic.
+    advi_vi = compiled.run_vi({}, guide="auto_normal", num_steps=vi_steps,
+                              learning_rate=0.05, seed=seed)
+    draws["deepstan_advi"] = advi_vi.posterior_draws(num_samples)["theta"]
+    elbo_histories["deepstan_advi"] = list(advi_vi.elbo_history)
+    khat["deepstan_advi"] = advi_vi.psis_diagnostic(num_samples=num_psis_samples).khat
+
+    # DeepStan VI with the explicit two-component guide: recovers both modes.
     guided = compile_model(guided_source, backend="pyro", scheme="comprehensive",
                            name="multimodal_guide")
-    from repro.ppl import primitives
-
-    primitives.clear_param_store()
-    svi_draws = guided.run_svi({}, num_steps=vi_steps, learning_rate=0.05,
-                               num_samples=num_samples, seed=seed)
-    draws["deepstan_vi"] = svi_draws["theta"]
+    guided_vi = guided.run_vi({}, guide="explicit", num_steps=vi_steps,
+                              learning_rate=0.05, seed=seed)
+    draws["deepstan_vi"] = guided_vi.posterior_draws(num_samples)["theta"]
+    elbo_histories["deepstan_vi"] = list(guided_vi.elbo_history)
+    khat["deepstan_vi"] = guided_vi.psis_diagnostic(num_samples=num_psis_samples).khat
 
     mode_masses = {name: _mode_masses(theta) for name, theta in draws.items()}
-    return MultimodalResult(draws=draws, mode_masses=mode_masses)
+    return MultimodalResult(draws=draws, mode_masses=mode_masses,
+                            elbo_histories=elbo_histories, khat=khat)

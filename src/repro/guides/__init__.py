@@ -1,0 +1,45 @@
+"""Automatic guide generation (autoguides) for variational inference.
+
+Derives whole families of guides from a compiled model's latent structure
+(names, shapes, constraining transforms — as recorded by
+:class:`~repro.infer.potential.Potential`), following "Automatic Guide
+Generation for Stan via NumPyro" (Baudart & Mandel, 2021):
+
+* :class:`AutoDelta` — point mass (MAP estimation);
+* :class:`AutoNormal` — mean-field Gaussian (subsumes the legacy ADVI);
+* :class:`AutoMultivariateNormal` — full-rank Gaussian (Cholesky factor);
+* :class:`AutoLowRankMultivariateNormal` — low-rank plus diagonal covariance;
+* :class:`AutoNeural` — amortized guide whose moments an MLP computes from
+  the observed data.
+
+All of them plug into the unified :class:`~repro.infer.vi.VI` engine, or via
+``compiled.run_vi(data, guide="auto_normal" | "auto_mvn" | ...)``.
+"""
+
+from repro.guides.base import (
+    AutoGuide,
+    GuideSetupError,
+    autoguide_names,
+    get_autoguide,
+    register_autoguide,
+)
+from repro.guides.gaussian import (
+    AutoDelta,
+    AutoLowRankMultivariateNormal,
+    AutoMultivariateNormal,
+    AutoNormal,
+)
+from repro.guides.neural import AutoNeural
+
+__all__ = [
+    "AutoGuide",
+    "GuideSetupError",
+    "AutoDelta",
+    "AutoNormal",
+    "AutoMultivariateNormal",
+    "AutoLowRankMultivariateNormal",
+    "AutoNeural",
+    "autoguide_names",
+    "get_autoguide",
+    "register_autoguide",
+]

@@ -8,13 +8,19 @@ inference for the DeepStan extensions.  This package provides:
   model, handling warmup, multiple chains, and constrained/unconstrained
   re-parameterisation.
 * :class:`~repro.infer.hmc.HMC` and :class:`~repro.infer.nuts.NUTS` — kernels.
-* :class:`~repro.infer.advi.ADVI` — mean-field automatic differentiation
-  variational inference (Stan's ADVI baseline in Fig. 10).
-* :class:`~repro.infer.svi.SVI` — ELBO optimisation against an explicit guide
-  (DeepStan ``guide`` blocks, §5.1).
+* :class:`~repro.infer.vi.VI` — the unified variational-inference engine over
+  the automatic guide families of :mod:`repro.guides` (mean-field, full-rank,
+  low-rank, point-mass, amortized-neural), with ELBO histories and PSIS k-hat
+  guide-quality diagnostics.
+* :class:`~repro.infer.vi.ExplicitVI` — the same result interface over
+  explicit DeepStan ``guide`` blocks (via SVI).
+* :class:`~repro.infer.advi.ADVI` — deprecated alias of
+  ``VI(guide=AutoNormal())`` (Stan's ADVI baseline in Fig. 10).
+* :class:`~repro.infer.svi.SVI` — trace-based ELBO optimisation against an
+  explicit guide (DeepStan ``guide`` blocks, §5.1).
 * :class:`~repro.infer.importance.ImportanceSampling` — self-normalised
-  importance sampling, used to illustrate the role of the priors introduced by
-  the comprehensive translation.
+  importance sampling, plus the Pareto-smoothed weight machinery (PSIS k-hat,
+  importance ESS) shared with the VI guide diagnostics.
 * :mod:`~repro.infer.diagnostics` — R-hat, effective sample size, posterior
   summaries and the paper's 30%-of-reference-stddev accuracy criterion.
 """
@@ -23,9 +29,16 @@ from repro.infer.potential import Potential, make_potential
 from repro.infer.hmc import HMC, VectorizedChains
 from repro.infer.nuts import NUTS
 from repro.infer.mcmc import MCMC
+from repro.infer.vi import VI, ExplicitVI, PSISResult
 from repro.infer.advi import ADVI
 from repro.infer.svi import SVI, TraceELBO
-from repro.infer.importance import ImportanceSampling
+from repro.infer.importance import (
+    ImportanceSampling,
+    fit_generalized_pareto,
+    importance_ess,
+    pareto_smoothed_log_weights,
+    psis_khat,
+)
 from repro.infer import diagnostics
 
 __all__ = [
@@ -35,9 +48,16 @@ __all__ = [
     "NUTS",
     "MCMC",
     "VectorizedChains",
+    "VI",
+    "ExplicitVI",
+    "PSISResult",
     "ADVI",
     "SVI",
     "TraceELBO",
     "ImportanceSampling",
+    "fit_generalized_pareto",
+    "importance_ess",
+    "pareto_smoothed_log_weights",
+    "psis_khat",
     "diagnostics",
 ]

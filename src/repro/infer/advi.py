@@ -1,28 +1,32 @@
-"""Automatic Differentiation Variational Inference (mean-field ADVI).
+"""Mean-field ADVI — now a thin alias over the unified VI engine.
 
-Stan's ADVI (Kucukelbir et al. 2017) fits an independent Gaussian to the
-posterior in unconstrained space.  The paper uses it as the baseline that
-*cannot* represent the multimodal posterior of Figure 10; the explicit-guide
-SVI of DeepStan is the contrast.  This implementation follows the same
-blueprint: a diagonal Gaussian over the unconstrained parameters of a
-:class:`~repro.infer.potential.Potential`, optimised by stochastic gradients of
-the ELBO with the reparameterisation trick.
+.. deprecated::
+    :class:`ADVI` is ``VI(guide=AutoNormal())`` and is kept only for backward
+    compatibility with the Fig. 10 baseline scripts.  New code should use
+    :class:`repro.infer.vi.VI` (or ``compiled.run_vi``) directly, which adds
+    full-rank / low-rank / neural guide families and PSIS diagnostics on top
+    of the same optimiser.
+
+The alias is *bitwise stable*: :class:`~repro.guides.gaussian.AutoNormal`
+reproduces the historical gradient arithmetic and RNG stream, and the VI Adam
+loop is operation-for-operation the historical one, so seeded
+``run``/``sample_posterior`` results are identical to the pre-refactor
+implementation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
-from repro.autodiff import ops
-from repro.autodiff.functional import value_and_grad
-from repro.autodiff.tensor import Tensor, as_tensor
+from repro.guides import AutoNormal
 from repro.infer.potential import Potential
+from repro.infer.vi import VI
 
 
-class ADVI:
-    """Mean-field ADVI over a potential function.
+class ADVI(VI):
+    """Mean-field ADVI over a potential (deprecated alias of the VI engine).
 
     Parameters
     ----------
@@ -31,67 +35,27 @@ class ADVI:
     learning_rate:
         Adam step size.
     num_elbo_samples:
-        Monte-Carlo samples per ELBO gradient estimate.
+        Monte-Carlo samples per ELBO gradient estimate (VI's ``num_particles``).
     """
 
     def __init__(self, potential: Potential, learning_rate: float = 0.05,
                  num_elbo_samples: int = 1, seed: int = 0):
-        self.potential = potential
-        self.learning_rate = learning_rate
-        self.num_elbo_samples = num_elbo_samples
-        self.rng = np.random.default_rng(seed)
-        dim = potential.dim
-        self.loc = np.zeros(dim)
-        self.log_scale = np.full(dim, -1.0)
-        self.elbo_history: List[float] = []
+        super().__init__(potential, guide=AutoNormal(), learning_rate=learning_rate,
+                         num_particles=num_elbo_samples, seed=seed)
 
-    # ------------------------------------------------------------------
-    def _elbo_and_grads(self) -> tuple:
-        """Monte-Carlo ELBO estimate and gradients w.r.t. (loc, log_scale).
+    # Historical accessors ------------------------------------------------
+    @property
+    def num_elbo_samples(self) -> int:
+        return self.num_particles
 
-        All ``num_elbo_samples`` reparameterised draws are evaluated as one
-        ``(S, dim)`` batch through the potential's vectorized fast path (the
-        same machinery that powers ``chain_method="vectorized"``), so a
-        multi-sample ELBO costs one tape instead of ``S``.
-        """
-        n = self.num_elbo_samples
-        dim = self.potential.dim
-        eps = self.rng.standard_normal((n, dim))
-        scale = np.exp(self.log_scale)
-        z = self.loc + scale * eps
-        neg_logp, grad_z = self.potential.potential_and_grad_batched(z)
-        # ELBO = E[log p(z, x)] + entropy(q); entropy = sum(log_scale) + const
-        elbo = float(np.mean(-neg_logp)) + float(np.sum(self.log_scale))
-        # d ELBO / d loc = -d U/d z ; d ELBO / d log_scale = -dU/dz * scale*eps + 1
-        grad_loc = -grad_z.mean(axis=0)
-        grad_log_scale = (-grad_z * scale * eps).mean(axis=0) + 1.0
-        return elbo, grad_loc, grad_log_scale
+    @property
+    def loc(self) -> np.ndarray:
+        return self.guide.loc
 
-    def run(self, num_steps: int = 1000) -> "ADVI":
-        """Optimise the variational parameters with Adam."""
-        m_loc = np.zeros_like(self.loc)
-        v_loc = np.zeros_like(self.loc)
-        m_ls = np.zeros_like(self.log_scale)
-        v_ls = np.zeros_like(self.log_scale)
-        beta1, beta2, eps_adam = 0.9, 0.999, 1e-8
-        for t in range(1, num_steps + 1):
-            elbo, g_loc, g_ls = self._elbo_and_grads()
-            self.elbo_history.append(elbo)
-            for (g, m, v, target) in ((g_loc, m_loc, v_loc, "loc"), (g_ls, m_ls, v_ls, "log_scale")):
-                m[:] = beta1 * m + (1 - beta1) * g
-                v[:] = beta2 * v + (1 - beta2) * g * g
-                m_hat = m / (1 - beta1 ** t)
-                v_hat = v / (1 - beta2 ** t)
-                step = self.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
-                if target == "loc":
-                    self.loc = self.loc + step
-                else:
-                    self.log_scale = self.log_scale + step
-        return self
+    @property
+    def log_scale(self) -> np.ndarray:
+        return self.guide.log_scale
 
-    # ------------------------------------------------------------------
     def sample_posterior(self, num_samples: int = 1000) -> Dict[str, np.ndarray]:
         """Draw from the fitted variational approximation (constrained space)."""
-        scale = np.exp(self.log_scale)
-        z = self.loc + scale * self.rng.standard_normal((num_samples, self.potential.dim))
-        return dict(self.potential.constrained_dict_batched(z))
+        return self.posterior_draws(num_samples)

@@ -92,15 +92,27 @@ class Potential:
     # ------------------------------------------------------------------
     # site discovery and packing
     # ------------------------------------------------------------------
-    def _run_traced(self):
+    def _run_traced(self, rng_seed: Optional[int] = None):
+        from repro.ppl.primitives import reset_site_counter
+
+        # Auto-generated ``observe__N`` names must be stable across traced
+        # runs so sites can be matched between the discovery and probe traces.
+        reset_site_counter()
         tracer = handlers.trace()
-        with handlers.seed(rng_seed=self.rng_seed), handlers.condition(data=self.observed), tracer:
+        with handlers.seed(rng_seed=self.rng_seed if rng_seed is None else rng_seed), \
+             handlers.condition(data=self.observed), tracer:
             self.model(*self.model_args, **self.model_kwargs)
         return tracer.trace
 
     def _discover_sites(self) -> None:
         model_trace = self._run_traced()
         offset = 0
+        self._observed_raw: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, site in model_trace.items():
+            if site["type"] == "sample" and site["is_observed"]:
+                self._observed_raw[name] = np.asarray(param_value(site["value"]),
+                                                      dtype=float)
+        self._observed_sites: Optional["OrderedDict[str, np.ndarray]"] = None
         for name, site in handlers.latent_sites(model_trace).items():
             fn = site["fn"]
             if getattr(fn, "is_discrete", False):
@@ -124,6 +136,42 @@ class Potential:
         self.dim = offset
         if self.dim == 0:
             raise RuntimeError("model has no continuous latent sites")
+
+    @property
+    def observed_sites(self) -> "OrderedDict[str, np.ndarray]":
+        """Observed sites whose values are genuinely data.
+
+        Under the comprehensive scheme a prior statement also traces as an
+        observed site, but its value is the (seed-dependent) latent draw — a
+        probe trace with a second seed, run lazily on first access so the
+        common sampling paths never pay for it, keeps only the seed-invariant
+        values.
+        """
+        if self._observed_sites is None:
+            probe_trace = self._run_traced(rng_seed=self.rng_seed + 1)
+            self._observed_sites = OrderedDict()
+            for name, value in self._observed_raw.items():
+                probe = probe_trace.get(name)
+                if probe is None:
+                    continue
+                probe_value = np.asarray(param_value(probe["value"]), dtype=float)
+                if value.shape == probe_value.shape and \
+                        np.array_equal(value, probe_value, equal_nan=True):
+                    self._observed_sites[name] = value
+        return self._observed_sites
+
+    def observed_vector(self) -> np.ndarray:
+        """All observed site values flattened into one feature vector.
+
+        Amortized guides (:class:`repro.guides.neural.AutoNeural`) condition
+        their variational parameters on this vector.  Models without observed
+        sample sites yield a single zero so downstream networks always have an
+        input.
+        """
+        parts = [np.reshape(value, -1) for value in self.observed_sites.values()]
+        if not parts:
+            return np.zeros(1)
+        return np.concatenate(parts)
 
     # ------------------------------------------------------------------
     # packing between flat unconstrained vectors and per-site values
@@ -322,6 +370,32 @@ class Potential:
             ok = False
         self._batched_mode[c] = "fast" if ok else "loop"
         return values, grads
+
+    def potential_batched(self, z: np.ndarray) -> np.ndarray:
+        """Batched potential *values* only, shape ``(C,)`` — no gradients.
+
+        The diagnostics path (PSIS reweighting of guide draws) needs large
+        batches of densities but never their gradients; skipping the reverse
+        pass roughly halves the cost.  Reuses (and, on first call, triggers)
+        the fast/loop classification of :meth:`potential_and_grad_batched`.
+        """
+        z = np.asarray(z, dtype=float)
+        if z.ndim != 2:
+            raise ValueError(f"expected a (num_chains, dim) batch, got shape {z.shape}")
+        c = z.shape[0]
+        mode = self._batched_mode.get(c)
+        if mode is None:
+            return self.potential_and_grad_batched(z)[0]
+        if mode == "fast":
+            try:
+                with no_grad(), np.errstate(all="ignore"):
+                    out = self._neg_log_joint_tensor_batched(as_tensor(z))
+                return np.asarray(out.data, dtype=float)
+            except Exception:
+                self._batched_mode[c] = "loop"
+        with no_grad():
+            return np.array([float(self._neg_log_joint_tensor(as_tensor(z[i])).data)
+                             for i in range(c)])
 
     def constrained_dict_batched(self, z: np.ndarray) -> Dict[str, np.ndarray]:
         """Constrained NumPy values for a ``(C, dim)`` batch (no grad).

@@ -48,6 +48,28 @@ class TraceELBO:
         return ops.div(total, float(self.num_particles))
 
 
+class _InitJitter(handlers.Messenger):
+    """Deterministically jitters the initial value of *fresh* ``param`` sites.
+
+    The jitter stream is derived from the SVI seed, so two runs with the same
+    seed initialise identically while different seeds break the symmetric
+    (all-zeros) starting points that can trap multimodal guides.
+    """
+
+    def __init__(self, rng: np.random.Generator, scale: float):
+        super().__init__()
+        self.rng = rng
+        self.scale = scale
+
+    def process_message(self, msg) -> None:
+        if (msg["type"] == "param" and msg["value"] is None and self.scale > 0
+                and msg["name"] not in primitives.get_param_store()):
+            init = msg["init"]
+            base = init.data if isinstance(init, Tensor) else np.asarray(init, dtype=float)
+            msg["init"] = base + self.rng.uniform(-self.scale, self.scale,
+                                                  size=np.shape(base))
+
+
 class SVI:
     """Optimise guide parameters against a model with the ELBO objective.
 
@@ -60,22 +82,40 @@ class SVI:
     optimizer:
         An :class:`~repro.autodiff.optim.Optimizer`; created lazily over the
         parameter store if omitted.
+    init_jitter:
+        Half-width of the uniform perturbation added to the declared initial
+        value of each ``param`` site on first creation, drawn from a stream
+        seeded by ``seed`` (0 disables, restoring exactly-as-declared inits).
     """
 
     def __init__(self, model: Callable, guide: Callable, optimizer: Optional[Optimizer] = None,
                  loss: Optional[TraceELBO] = None, learning_rate: float = 0.01, seed: int = 0,
-                 extra_params: Optional[Sequence] = None):
+                 extra_params: Optional[Sequence] = None, init_jitter: float = 0.01):
         self.model = model
         self.guide = guide
         self.optimizer = optimizer
         self.learning_rate = learning_rate
         self.loss = loss or TraceELBO()
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.loss_history: List[float] = []
+        self._init_jitter = _InitJitter(np.random.default_rng([seed, 0x1217]),
+                                        init_jitter)
         # Additional learnable tensors outside the param store — typically the
         # weights of (non-lifted) neural networks used by the model/guide, the
         # analogue of registering a module with Pyro's optimiser.
         self.extra_params = list(extra_params or [])
+
+    # ------------------------------------------------------------------
+    @property
+    def losses(self) -> List[float]:
+        """Per-step loss (negative ELBO) history recorded by :meth:`step`."""
+        return self.loss_history
+
+    @property
+    def elbo_history(self) -> List[float]:
+        """Per-step ELBO history (the negated loss trace)."""
+        return [-l for l in self.loss_history]
 
     def _ensure_optimizer(self) -> Optimizer:
         store = primitives.get_param_store()
@@ -91,7 +131,8 @@ class SVI:
 
     def step(self, *args, **kwargs) -> float:
         """One ELBO gradient step; returns the loss (negative ELBO) value."""
-        loss = self.loss.loss_tensor(self.model, self.guide, self.rng, *args, **kwargs)
+        with self._init_jitter:
+            loss = self.loss.loss_tensor(self.model, self.guide, self.rng, *args, **kwargs)
         optimizer = None
         store_before = dict(primitives.get_param_store())
         if store_before:

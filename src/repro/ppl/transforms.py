@@ -105,6 +105,35 @@ class ExpTransform(Transform):
         return "exp"
 
 
+class SoftplusTransform(Transform):
+    """Maps R -> (0, inf) via ``softplus(x) = log(1 + exp(x))``.
+
+    A flatter alternative to :class:`ExpTransform` for *variational* scale
+    parameters: gradients do not explode for large ``x``, which keeps
+    amortized guides (whose scales are network outputs) numerically stable.
+    Not used by ``biject_to`` — Stan's constrained parameters keep the exp
+    bijector for bit-compatibility with the sampler paths.
+    """
+
+    def __call__(self, x):
+        return ops.softplus(x)
+
+    def inv(self, y):
+        # x = log(exp(y) - 1) = y + log(1 - exp(-y)), stable for large y.
+        y = as_tensor(y)
+        return ops.add(y, ops.log1p(ops.neg(ops.exp(ops.neg(y)))))
+
+    def log_abs_det_jacobian(self, x, y):
+        # d softplus(x)/dx = sigmoid(x);  log sigmoid(x) = -softplus(-x).
+        return ops.neg(ops.sum_(ops.softplus(ops.neg(as_tensor(x)))))
+
+    def batched_log_abs_det_jacobian(self, x, y):
+        return ops.neg(_sum_trailing(ops.softplus(ops.neg(as_tensor(x)))))
+
+    def __repr__(self):
+        return "softplus"
+
+
 class AffineTransform(Transform):
     """y = loc + scale * x."""
 

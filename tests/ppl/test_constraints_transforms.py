@@ -135,6 +135,24 @@ def test_simplex_unconstrained_shape():
     assert t.unconstrained_shape((4,)) == (3,)
 
 
+def test_softplus_transform_round_trip_and_jacobian():
+    t = T.SoftplusTransform()
+    x = Tensor(np.array([-2.0, 0.0, 1.5, 4.0]))
+    y = t(x)
+    assert np.all(y.data > 0)
+    np.testing.assert_allclose(t.inv(y).data, x.data, atol=1e-9)
+    # log |dy/dx| = sum log sigmoid(x)
+    expected = np.sum(np.log(1.0 / (1.0 + np.exp(-x.data))))
+    np.testing.assert_allclose(t.log_abs_det_jacobian(x, y).data, expected, atol=1e-10)
+    # Batched form reduces over trailing axes only.
+    xb = Tensor(np.array([[-1.0, 0.5], [2.0, -0.3]]))
+    yb = t(xb)
+    per_chain = t.batched_log_abs_det_jacobian(xb, yb).data
+    assert per_chain.shape == (2,)
+    np.testing.assert_allclose(
+        per_chain, np.sum(np.log(1.0 / (1.0 + np.exp(-xb.data))), axis=1), atol=1e-10)
+
+
 def test_compose_transform():
     composed = T.ComposeTransform([T.ExpTransform(), T.AffineTransform(1.0, 2.0)])
     x = Tensor(np.array([0.3]))
