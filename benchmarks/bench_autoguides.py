@@ -31,8 +31,8 @@ FAMILIES = ("auto_delta", "auto_normal", "auto_mvn", "auto_lowrank", "auto_neura
 
 def _fit(compiled, data, guide, steps, learning_rate=None, seed=0):
     start = time.perf_counter()
-    vi = compiled.run_vi(data, guide=guide, num_steps=steps,
-                         learning_rate=learning_rate, seed=seed)
+    vi = compiled.condition(data).fit("vi", guide=guide, num_steps=steps,
+                                      learning_rate=learning_rate, seed=seed)
     seconds = time.perf_counter() - start
     diag = vi.diagnostics(num_psis_samples=PSIS_SAMPLES)
     return vi, {

@@ -1,6 +1,6 @@
 """Figure 10 (RQ4): the multimodal posterior under NUTS, ADVI and guided VI.
 
-The VI rows now run through the unified ``run_vi`` engine, which exposes the
+The VI rows now run through the unified ``fit("vi")`` engine, which exposes the
 per-step ELBO history (consumed directly here instead of re-deriving any
 loss) and the PSIS k-hat guide-quality diagnostic — the quantitative form of
 the paper's contrast between mean-field ADVI and the explicit guide.

@@ -61,9 +61,11 @@ def test_table5_duration_mean_std(benchmark):
                                     ("pyro", "comprehensive")):
                 compiled = compile_model(entry.source, backend=backend, scheme=scheme,
                                          name=entry.name)
+                conditioned = compiled.condition(data)
                 backends[(backend, scheme)] = _run_times(
-                    lambda seed: compiled.run_nuts(data, num_warmup=warmup, num_samples=samples,
-                                                   seed=seed, max_tree_depth=config.max_tree_depth))
+                    lambda seed: conditioned.fit("nuts", num_warmup=warmup,
+                                                 num_samples=samples, seed=seed,
+                                                 max_tree_depth=config.max_tree_depth))
             rows.append((entry.name, (stan_mean, stan_std), backends))
         return rows
 

@@ -30,12 +30,20 @@ def record(title: str, lines: Iterable[str]) -> None:
         handle.write(text + "\n")
 
 
+#: version of the BENCH_*.json artifact layout; bump on breaking changes so
+#: downstream consumers of the uploaded artifacts can dispatch on it.
+BENCH_SCHEMA_VERSION = 1
+
+
 def record_json(name: str, payload) -> str:
     """Write a machine-readable benchmark artifact next to results.txt.
 
     ``name`` should follow the ``BENCH_<topic>.json`` convention; CI uploads
     these files so the perf/quality trajectory is tracked across pushes.
+    Dict payloads are stamped with a top-level ``schema_version``.
     """
+    if isinstance(payload, dict):
+        payload.setdefault("schema_version", BENCH_SCHEMA_VERSION)
     path = os.path.join(os.path.dirname(__file__), name)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True, default=float)

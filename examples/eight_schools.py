@@ -30,9 +30,9 @@ def main() -> None:
     for scheme in ("comprehensive", "mixed"):
         compiled = compile_model(source, backend="numpyro", scheme=scheme)
         start = time.perf_counter()
-        mcmc = compiled.run_nuts(data, num_warmup=400, num_samples=400, seed=0)
+        fit = compiled.condition(data).fit("nuts", num_warmup=400, num_samples=400, seed=0)
         elapsed = time.perf_counter() - start
-        samples = mcmc.get_samples()
+        samples = fit.posterior.get_samples()
         passed, rel_err = diagnostics.accuracy_check(ref_samples, samples)
         status = "match" if passed else "MISMATCH"
         print(f"NumPyro backend, {scheme:>13} scheme: mu = {samples['mu'].mean():.2f}, "

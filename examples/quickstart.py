@@ -42,13 +42,17 @@ def main() -> None:
     warmup = ITERS or 300
     samples = ITERS or 500
     compiled = compile_model(COIN_MODEL, backend="numpyro", scheme="mixed")
-    mcmc = compiled.run_nuts(data, num_warmup=warmup, num_samples=samples, seed=0)
-    draws = mcmc.get_samples()["z"]
+    # The posterior-first pipeline: condition on data once (the derived
+    # potential is cached), then fit any method; every fit yields a Posterior.
+    model = compiled.condition(data)
+    fit = model.fit("nuts", num_warmup=warmup, num_samples=samples, seed=0)
+    posterior = fit.posterior
+    draws = posterior.get_samples()["z"]
     analytic_mean = (data["x"].sum() + 1) / (data["N"] + 2)
     print(f"posterior mean of z : {draws.mean():.3f}")
     print(f"analytic mean       : {analytic_mean:.3f}")
     print(f"posterior sd of z   : {draws.std():.3f}")
-    summary = mcmc.summary()["z"]
+    summary = posterior.summary()["z"]
     print(f"effective sample size: {summary['n_eff']:.0f}, R-hat: {summary['r_hat']:.3f}")
 
     # Multiple chains: `chain_method="vectorized"` advances all chains as one
@@ -59,19 +63,19 @@ def main() -> None:
     import time
 
     start = time.perf_counter()
-    vectorized = compiled.run_nuts(data, num_warmup=warmup, num_samples=samples, seed=0,
-                                   num_chains=4, chain_method="vectorized")
+    vectorized = model.fit("nuts", num_warmup=warmup, num_samples=samples, seed=0,
+                           num_chains=4, chain_method="vectorized")
     vec_time = time.perf_counter() - start
     start = time.perf_counter()
-    sequential = compiled.run_nuts(data, num_warmup=warmup, num_samples=samples, seed=0,
-                                   num_chains=4, chain_method="sequential")
+    sequential = model.fit("nuts", num_warmup=warmup, num_samples=samples, seed=0,
+                           num_chains=4, chain_method="sequential")
     seq_time = time.perf_counter() - start
-    vec_z = vectorized.get_samples(group_by_chain=True)["z"]
-    seq_z = sequential.get_samples(group_by_chain=True)["z"]
+    vec_z = vectorized.posterior.get_samples(group_by_chain=True)["z"]
+    seq_z = sequential.posterior.get_samples(group_by_chain=True)["z"]
     print(f"4 chains, vectorized : {vec_time:.2f}s   sequential: {seq_time:.2f}s "
           f"({seq_time / vec_time:.1f}x)")
     print(f"identical draws      : {np.allclose(vec_z, seq_z)}")
-    print(f"R-hat over 4 chains  : {vectorized.summary()['z']['r_hat']:.3f}")
+    print(f"R-hat over 4 chains  : {vectorized.posterior.summary()['z']['r_hat']:.3f}")
 
 
 if __name__ == "__main__":

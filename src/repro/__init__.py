@@ -5,7 +5,14 @@ Top-level API:
 
 * :func:`repro.compile_model` / :func:`repro.compile_file` — compile Stan (or
   DeepStan) source with one of the three compilation schemes (``generative``,
-  ``comprehensive``, ``mixed``) targeting the ``pyro`` or ``numpyro`` runtime.
+  ``comprehensive``, ``mixed``) targeting the ``pyro`` or ``numpyro`` runtime;
+  string sources are memoised on ``(source, scheme, backend)``.
+* ``compiled.condition(data).fit("nuts" | "hmc" | "vi" | "svi" | "importance")``
+  — the posterior-first pipeline; every fit satisfies
+  :class:`repro.FitResult` and produces a :class:`repro.Posterior`
+  (``save``/``load``, ``stack``/``concat``, cached ``summary``).  MCMC and
+  autoguide-VI fits support ``checkpoint_every=``/``checkpoint_path=`` with
+  bitwise-identical ``resume``.
 * :mod:`repro.stanref` — the Stan-semantics reference backend (interpreter +
   NUTS) used as the "Stan" baseline of the evaluation.
 * :mod:`repro.infer` — NUTS/HMC, ADVI, SVI and diagnostics.
@@ -18,20 +25,29 @@ Top-level API:
 from repro.core import (
     CompiledModel,
     CompileError,
+    ConditionedModel,
     NonGenerativeModelError,
     UnsupportedFeatureError,
     analyze_source,
+    clear_compile_cache,
+    compile_cache_info,
     compile_file,
     compile_model,
 )
+from repro.infer.results import FitResult, Posterior
 
 __version__ = "0.1.0"
 
 __all__ = [
     "compile_model",
     "compile_file",
+    "compile_cache_info",
+    "clear_compile_cache",
     "analyze_source",
     "CompiledModel",
+    "ConditionedModel",
+    "Posterior",
+    "FitResult",
     "CompileError",
     "NonGenerativeModelError",
     "UnsupportedFeatureError",

@@ -14,9 +14,13 @@ Sub-modules:
 from repro.core.analysis import FeatureReport, analyze, summarize_corpus
 from repro.core.compiler import (
     BACKENDS,
+    FIT_METHODS,
     SCHEMES,
     CompiledModel,
+    ConditionedModel,
     analyze_source,
+    clear_compile_cache,
+    compile_cache_info,
     compile_file,
     compile_model,
 )
@@ -35,11 +39,15 @@ __all__ = [
     "analyze",
     "summarize_corpus",
     "CompiledModel",
+    "ConditionedModel",
     "compile_model",
     "compile_file",
+    "compile_cache_info",
+    "clear_compile_cache",
     "analyze_source",
     "SCHEMES",
     "BACKENDS",
+    "FIT_METHODS",
     "CompileError",
     "NonGenerativeModelError",
     "UnsupportedFeatureError",

@@ -1,12 +1,22 @@
 """The compiler driver: parse, check, compile, generate code, run inference.
 
 This is the user-facing entry point corresponding to the paper's modified
-Stanc3 pipeline plus its thin Python driver (CmdStanPy-like):
+Stanc3 pipeline plus its thin Python driver (CmdStanPy-like), redesigned
+around the posterior-first pipeline:
 
 >>> from repro import compile_model
 >>> compiled = compile_model(source, backend="numpyro", scheme="comprehensive")
->>> mcmc = compiled.run_nuts(data={"N": 5, "x": [1, 1, 0, 1, 1]}, num_samples=200)
->>> mcmc.get_samples()["z"].mean()
+>>> fit = compiled.condition({"N": 5, "x": [1, 1, 0, 1, 1]}).fit("nuts", num_samples=200)
+>>> fit.posterior.summary()["z"]["mean"]
+>>> fit.posterior.save("posterior")          # npz + json, exact round trip
+
+``condition(data)`` returns a :class:`ConditionedModel` that caches the
+derived :class:`~repro.infer.Potential` and exposes ``fit`` (NUTS / HMC /
+VI / SVI / importance — every result satisfies the
+:class:`~repro.infer.FitResult` protocol), ``sample_prior`` and
+``generated_quantities``.  The legacy ``run_*`` methods remain as
+deprecated one-line shims.  Compilation of string sources is memoised on
+``(source, scheme, backend, name)``.
 
 Three compilation schemes are exposed (``generative``, ``comprehensive``,
 ``mixed``) and two backends (``pyro``: eager effect-handler runtime,
@@ -15,26 +25,32 @@ Three compilation schemes are exposed (``generative``, ``comprehensive``,
 
 from __future__ import annotations
 
+import functools
 import time
 import types
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core import analysis, codegen, mixed as mixed_mod, schemes, stanlib
 from repro.core.codegen import sanitize
 from repro.core.schemes import CompileError, NonGenerativeModelError, UnsupportedFeatureError
+from repro.deprecation import warn_once
 from repro.frontend import ast
 from repro.frontend.parser import ParseError, parse_program
 from repro.frontend.semantics import SemanticError, check_program
 from repro.gprob import ir
 from repro.guides import AutoGuide
-from repro.infer import MCMC, NUTS, SVI, VI, ExplicitVI, Potential
+from repro.infer import HMC, MCMC, NUTS, VI, ExplicitVI, ImportanceSampling, Potential
+from repro.infer.results import FitResult, Posterior
 from repro.ppl import handlers
 
 SCHEMES = ("generative", "comprehensive", "mixed")
 BACKENDS = ("pyro", "numpyro")
+
+#: inference methods accepted by :meth:`ConditionedModel.fit`.
+FIT_METHODS = ("nuts", "hmc", "vi", "svi", "advi", "importance")
 
 
 @dataclass
@@ -128,33 +144,235 @@ class CompiledModel:
         return float(log_prob.data)
 
     # ------------------------------------------------------------------
-    # inference drivers
+    # the fluent pipeline
+    # ------------------------------------------------------------------
+    def condition(self, data: Optional[Dict[str, Any]] = None) -> "ConditionedModel":
+        """Bind ``data`` to the compiled model, yielding a fit-ready pipeline.
+
+        The returned :class:`ConditionedModel` caches the derived
+        :class:`~repro.infer.Potential` per RNG seed, so repeated
+        (service-style) fits against the same data skip site re-discovery,
+        and exposes ``.fit(method)``, ``.sample_prior`` and
+        ``.generated_quantities``.
+        """
+        return ConditionedModel(self, data)
+
+    # ------------------------------------------------------------------
+    # legacy inference drivers (deprecated one-liners over the pipeline)
     # ------------------------------------------------------------------
     def run_nuts(self, data: Optional[Dict[str, Any]] = None, num_warmup: int = 300,
                  num_samples: int = 300, num_chains: int = 1, thinning: int = 1,
                  seed: int = 0, max_tree_depth: int = 10, target_accept: float = 0.8,
                  chain_method: str = "sequential") -> MCMC:
-        """Run NUTS (the paper's evaluation protocol) and return the MCMC driver.
-
-        ``chain_method="vectorized"`` advances all chains as one batched state
-        (NumPyro-style); it produces the same draws as ``"sequential"`` for a
-        fixed seed.
-        """
-        potential = self.potential(data, rng_seed=seed)
-        kernel = NUTS(potential, max_tree_depth=max_tree_depth, target_accept=target_accept)
-        mcmc = MCMC(kernel, num_warmup=num_warmup, num_samples=num_samples,
-                    num_chains=num_chains, thinning=thinning, seed=seed,
-                    chain_method=chain_method)
-        return mcmc.run()
+        """Deprecated: use ``compiled.condition(data).fit("nuts", ...)``."""
+        warn_once(
+            "compiled-run-nuts",
+            "CompiledModel.run_nuts is deprecated; use "
+            "compiled.condition(data).fit('nuts', ...) — identical draws, and the "
+            "result exposes .posterior (save/load) and checkpoint/resume")
+        return self.condition(data).fit(
+            "nuts", num_warmup=num_warmup, num_samples=num_samples,
+            num_chains=num_chains, thinning=thinning, seed=seed,
+            max_tree_depth=max_tree_depth, target_accept=target_accept,
+            chain_method=chain_method)
 
     def run_vi(self, data: Optional[Dict[str, Any]] = None,
                guide: Any = "auto_normal", num_steps: int = 1000,
                learning_rate: Optional[float] = None,
                num_particles: Optional[int] = None,
                seed: int = 0, guide_kwargs: Optional[Dict[str, Any]] = None):
-        """Fit a variational approximation; returns the fitted VI engine.
+        """Deprecated: use ``compiled.condition(data).fit("vi", ...)``."""
+        warn_once(
+            "compiled-run-vi",
+            "CompiledModel.run_vi is deprecated; use "
+            "compiled.condition(data).fit('vi', guide=...) — identical results")
+        return self.condition(data).fit(
+            "vi", guide=guide, num_steps=num_steps, learning_rate=learning_rate,
+            num_particles=num_particles, seed=seed, guide_kwargs=guide_kwargs)
 
-        ``guide`` selects the variational family:
+    def run_advi(self, data: Optional[Dict[str, Any]] = None, num_steps: int = 1000,
+                 learning_rate: float = 0.05, num_samples: int = 1000, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Deprecated: mean-field ADVI draws (Stan's ADVI baseline, Fig. 10).
+
+        Equivalent to ``condition(data).fit("vi", guide="auto_normal",
+        ...).posterior_draws(num_samples)`` and bitwise stable against the
+        historical implementation.
+        """
+        warn_once(
+            "compiled-run-advi",
+            "CompiledModel.run_advi is deprecated; use "
+            "compiled.condition(data).fit('vi', guide='auto_normal', ...) and read "
+            ".posterior or .posterior_draws() — bitwise-identical under a fixed seed")
+        vi = self.condition(data).fit("vi", guide="auto_normal", num_steps=num_steps,
+                                      learning_rate=learning_rate, seed=seed)
+        return vi.posterior_draws(num_samples)
+
+    def run_svi(self, data: Optional[Dict[str, Any]] = None, num_steps: int = 1000,
+                learning_rate: float = 0.01, num_samples: int = 1000, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Deprecated: SVI draws against the explicit DeepStan guide (§5.1)."""
+        warn_once(
+            "compiled-run-svi",
+            "CompiledModel.run_svi is deprecated; use "
+            "compiled.condition(data).fit('svi', ...) and read .posterior or "
+            ".posterior_draws()")
+        if not self.has_guide:
+            raise CompileError("run_svi requires a guide block")
+        fit = self.condition(data).fit("svi", num_steps=num_steps,
+                                       learning_rate=learning_rate, seed=seed)
+        return fit.posterior_draws(num_samples)
+
+    def run_generated_quantities(self, data: Dict[str, Any], draws: Dict[str, np.ndarray],
+                                 num_draws: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Deprecated: use ``compiled.condition(data).generated_quantities(...)``."""
+        warn_once(
+            "compiled-run-generated-quantities",
+            "CompiledModel.run_generated_quantities is deprecated; use "
+            "compiled.condition(data).generated_quantities(posterior_or_draws)")
+        return self.condition(data).generated_quantities(draws, num_draws=num_draws)
+
+
+def _as_array(value):
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return value
+    return np.asarray(value, dtype=float)
+
+
+class ConditionedModel:
+    """A compiled model bound to data: the fit-ready stage of the pipeline.
+
+    Produced by :meth:`CompiledModel.condition`.  Caches the derived
+    :class:`~repro.infer.Potential` (per RNG seed) and the zero-argument
+    model callable, so a service issuing many fits against the same data
+    pays site discovery and ``transformed data`` preparation once:
+
+    >>> model = compile_model(source).condition(data)
+    >>> fit = model.fit("nuts", num_samples=500, seed=0)     # -> MCMC
+    >>> fit.posterior.save("posterior")                      # npz + json
+    >>> vi = model.fit("vi", guide="auto_mvn", seed=0)       # -> VI
+    >>> prior = model.sample_prior(100)
+    >>> gq = model.generated_quantities(fit.posterior)
+
+    Every ``fit`` result satisfies the :class:`~repro.infer.FitResult`
+    protocol (``.posterior`` + ``.diagnostics()``) and records the
+    compilation scheme/backend in ``posterior.metadata``.
+    """
+
+    def __init__(self, compiled: CompiledModel, data: Optional[Dict[str, Any]] = None):
+        self.compiled = compiled
+        self.data: Dict[str, Any] = dict(data or {})
+        self._potentials: Dict[int, Potential] = {}
+        self._model_callable: Optional[Callable[[], Dict[str, Any]]] = None
+
+    def __repr__(self) -> str:
+        return (f"ConditionedModel(scheme={self.compiled.scheme!r}, "
+                f"backend={self.compiled.backend!r}, data={sorted(self.data)})")
+
+    # ------------------------------------------------------------------
+    # cached derived objects
+    # ------------------------------------------------------------------
+    def potential(self, seed: int = 0) -> Potential:
+        """The model's :class:`Potential` over ``data`` (cached per seed)."""
+        if seed not in self._potentials:
+            self._potentials[seed] = self.compiled.potential(self.data, rng_seed=seed)
+        return self._potentials[seed]
+
+    def model_callable(self) -> Callable[[], Dict[str, Any]]:
+        if self._model_callable is None:
+            self._model_callable = self.compiled.model_callable(self.data)
+        return self._model_callable
+
+    def _metadata(self, method: str, seed: int) -> Dict[str, Any]:
+        return {
+            "method": method,
+            "scheme": self.compiled.scheme,
+            "backend": self.compiled.backend,
+            "seed": seed,
+        }
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, method: str = "nuts", **kwargs) -> FitResult:
+        """Run inference; returns a :class:`~repro.infer.FitResult`.
+
+        ``method`` is one of:
+
+        * ``"nuts"`` / ``"hmc"`` — MCMC; returns the completed
+          :class:`~repro.infer.MCMC` driver.  Supports ``num_warmup``,
+          ``num_samples``, ``num_chains``, ``thinning``, ``seed``,
+          ``chain_method``, kernel options, and checkpointing
+          (``checkpoint_every``/``checkpoint_path``; see
+          :meth:`ConditionedModel.resume`).
+        * ``"vi"`` — variational inference over any autoguide family (or the
+          explicit DeepStan guide); returns the fitted
+          :class:`~repro.infer.VI` / :class:`~repro.infer.ExplicitVI`.
+        * ``"svi"`` — alias of ``fit("vi", guide="explicit")``.
+        * ``"advi"`` — alias of ``fit("vi", guide="auto_normal")`` with the
+          historical defaults (bitwise-stable Fig. 10 baseline).
+        * ``"importance"`` — likelihood-weighted sampling from the compiled
+          prior; returns the completed
+          :class:`~repro.infer.ImportanceSampling`.
+        """
+        key = str(method).lower().strip()
+        if key == "nuts":
+            return self._fit_mcmc("nuts", **kwargs)
+        if key == "hmc":
+            return self._fit_mcmc("hmc", **kwargs)
+        if key == "vi":
+            return self._fit_vi(**kwargs)
+        if key == "svi":
+            kwargs.setdefault("guide", "explicit")
+            kwargs.setdefault("learning_rate", 0.01)
+            return self._fit_vi(**kwargs)
+        if key == "advi":
+            kwargs.setdefault("guide", "auto_normal")
+            kwargs.setdefault("learning_rate", 0.05)
+            return self._fit_vi(**kwargs)
+        if key == "importance":
+            return self._fit_importance(**kwargs)
+        raise ValueError(f"unknown fit method {method!r}; expected one of {FIT_METHODS}")
+
+    def _make_kernel(self, method: str, seed: int, max_tree_depth: int = 10,
+                     target_accept: float = 0.8, step_size: float = 0.1,
+                     num_steps: int = 10):
+        potential = self.potential(seed)
+        if method == "nuts":
+            return NUTS(potential, step_size=step_size,
+                        max_tree_depth=max_tree_depth,
+                        target_accept=target_accept)
+        return HMC(potential, step_size=step_size, num_steps=num_steps,
+                   target_accept=target_accept)
+
+    def _fit_mcmc(self, method: str, num_warmup: int = 300, num_samples: int = 300,
+                  num_chains: int = 1, thinning: int = 1, seed: int = 0,
+                  max_tree_depth: int = 10, target_accept: float = 0.8,
+                  step_size: float = 0.1, num_steps: int = 10,
+                  chain_method: str = "sequential",
+                  init_params: Optional[np.ndarray] = None,
+                  checkpoint_every: Optional[int] = None,
+                  checkpoint_path: Optional[str] = None,
+                  checkpoint_keep: bool = False) -> MCMC:
+        kernel = self._make_kernel(method, seed, max_tree_depth=max_tree_depth,
+                                   target_accept=target_accept,
+                                   step_size=step_size, num_steps=num_steps)
+        mcmc = MCMC(kernel, num_warmup=num_warmup, num_samples=num_samples,
+                    num_chains=num_chains, thinning=thinning, seed=seed,
+                    chain_method=chain_method)
+        mcmc.metadata.update(self._metadata(method, seed))
+        return mcmc.run(init_params=init_params, checkpoint_every=checkpoint_every,
+                        checkpoint_path=checkpoint_path,
+                        checkpoint_keep=checkpoint_keep)
+
+    def _fit_vi(self, guide: Any = "auto_normal", num_steps: int = 1000,
+                learning_rate: Optional[float] = None,
+                num_particles: Optional[int] = None, seed: int = 0,
+                guide_kwargs: Optional[Dict[str, Any]] = None,
+                checkpoint_every: Optional[int] = None,
+                checkpoint_path: Optional[str] = None,
+                checkpoint_keep: bool = False):
+        """Variational fit; ``guide`` selects the family.
 
         * an autoguide name — ``"auto_normal"`` (mean-field), ``"auto_mvn"``
           (full-rank), ``"auto_lowrank"``, ``"auto_delta"`` (MAP),
@@ -162,13 +380,8 @@ class CompiledModel:
           :class:`~repro.guides.AutoGuide` instance;
         * ``"explicit"`` (or ``None`` on a program with a ``guide`` block, or
           any other callable) — the DeepStan explicit guide, optimised with
-          trace-based SVI.
-
-        The result exposes ``elbo_history``/``losses``, ``guide_sample()``,
-        ``guide_log_density()``, ``posterior_draws()`` and the PSIS guide-
-        quality diagnostic ``psis_diagnostic()``/``diagnostics()`` uniformly
-        across families.  The explicit path clears the global param store
-        first so repeated fits do not leak state into each other.
+          trace-based SVI.  The explicit path clears the global param store
+          first so repeated fits do not leak state into each other.
         """
         guide_kwargs = dict(guide_kwargs or {})
         if isinstance(guide, type) and issubclass(guide, AutoGuide):
@@ -176,7 +389,7 @@ class CompiledModel:
             guide_kwargs = {}
         explicit = False
         if guide is None:
-            if self.has_guide:
+            if self.compiled.has_guide:
                 explicit = True
             else:
                 guide = "auto_normal"
@@ -189,55 +402,145 @@ class CompiledModel:
                 raise ValueError(
                     f"guide_kwargs {sorted(guide_kwargs)} only apply to autoguide "
                     "families, not explicit guides")
+            if checkpoint_every or checkpoint_path:
+                raise ValueError(
+                    "checkpointing is supported for autoguide VI fits only "
+                    "(explicit guides keep their state in the global param store)")
             if callable(guide) and not isinstance(guide, str):
                 guide_fn = guide
             else:
-                if not self.has_guide:
+                if not self.compiled.has_guide:
                     raise CompileError("guide='explicit' requires a guide block")
-                guide_fn = self.guide_callable(data)
+                guide_fn = self.compiled.guide_callable(self.data)
             from repro.ppl import primitives
 
             primitives.clear_param_store()
-            engine = ExplicitVI(self.model_callable(data), guide_fn,
-                                latent_names=self.parameter_names,
+            engine = ExplicitVI(self.model_callable(), guide_fn,
+                                latent_names=self.compiled.parameter_names,
                                 learning_rate=learning_rate,
                                 num_particles=num_particles, seed=seed)
-        else:
-            potential = self.potential(data, rng_seed=seed)
-            engine = VI(potential, guide=guide, learning_rate=learning_rate,
-                        num_particles=num_particles, seed=seed, **guide_kwargs)
-        return engine.run(num_steps)
+            engine.metadata.update(self._metadata("vi", seed))
+            return engine.run(num_steps)
+        engine = VI(self.potential(seed), guide=guide, learning_rate=learning_rate,
+                    num_particles=num_particles, seed=seed, **guide_kwargs)
+        engine.metadata.update(self._metadata("vi", seed))
+        return engine.run(num_steps, checkpoint_every=checkpoint_every,
+                          checkpoint_path=checkpoint_path,
+                          checkpoint_keep=checkpoint_keep)
 
-    def run_advi(self, data: Optional[Dict[str, Any]] = None, num_steps: int = 1000,
-                 learning_rate: float = 0.05, num_samples: int = 1000, seed: int = 0) -> Dict[str, np.ndarray]:
-        """Mean-field ADVI (Stan's ADVI baseline, Fig. 10).
+    def _fit_importance(self, num_samples: int = 1000, seed: int = 0) -> ImportanceSampling:
+        sampler = ImportanceSampling(self.model_callable(), num_samples=num_samples,
+                                     seed=seed)
+        sampler.metadata.update(self._metadata("importance", seed))
+        return sampler.run()
 
-        Kept for backward compatibility; equivalent to
-        ``run_vi(data, guide="auto_normal", ...).posterior_draws(num_samples)``
-        and bitwise stable against the historical implementation.
+    # ------------------------------------------------------------------
+    # resuming checkpointed fits
+    # ------------------------------------------------------------------
+    def resume(self, path: str, **kwargs) -> FitResult:
+        """Continue a checkpointed ``fit`` from its snapshot file.
+
+        Dispatches on the checkpoint kind.  MCMC snapshots rebuild the
+        kernel from the options *recorded in the checkpoint* (method, tree
+        depth, target accept, ..., and the fit seed), so the continuation
+        matches the original ``fit`` call without re-specifying anything;
+        explicit kwargs override and a genuine mismatch raises rather than
+        silently diverging.  VI snapshots rebuild the potential with the
+        recorded seed (pass ``guide`` for non-default guide constructions).
+        The continuation is bitwise-identical to an uninterrupted fit.
         """
-        vi = self.run_vi(data, guide="auto_normal", num_steps=num_steps,
-                         learning_rate=learning_rate, seed=seed)
-        return vi.posterior_draws(num_samples)
+        from repro.infer.checkpoint import base_checkpoint_path, read_checkpoint
+        from repro.infer.mcmc import MCMC_CHECKPOINT_FORMAT
+        from repro.infer.vi import VI_CHECKPOINT_FORMAT
 
-    def run_svi(self, data: Optional[Dict[str, Any]] = None, num_steps: int = 1000,
-                learning_rate: float = 0.01, num_samples: int = 1000, seed: int = 0) -> Dict[str, np.ndarray]:
-        """SVI against the explicit DeepStan guide (§5.1)."""
-        if not self.has_guide:
-            raise CompileError("run_svi requires a guide block")
-        from repro.ppl import primitives
+        payload = read_checkpoint(path)
+        kind = payload["format"]
+        if kind == MCMC_CHECKPOINT_FORMAT:
+            stored = payload.get("kernel") or {}
+            method = kwargs.pop("method", stored.get("method", "nuts"))
+            # The original fit's seed lives in the checkpoint config; it must
+            # also seed the rebuilt potential, or the resumed run could
+            # diverge (e.g. a pending chain's prior-draw fallback start).
+            seed = self._resume_seed(kwargs, payload["config"]["seed"])
+            checkpoint = {k: kwargs.pop(k) for k in
+                          ("checkpoint_every", "checkpoint_path", "checkpoint_keep")
+                          if k in kwargs}
+            kernel_kwargs = {}
+            for key in ("max_tree_depth", "target_accept", "step_size", "num_steps"):
+                if key in kwargs:
+                    kernel_kwargs[key] = kwargs.pop(key)
+                elif key in stored:
+                    kernel_kwargs[key] = stored[key]
+            kernel = self._make_kernel(method, seed, **kernel_kwargs)
+            if kwargs:
+                raise TypeError(f"unexpected resume arguments: {sorted(kwargs)}")
+            mcmc = MCMC.resume_payload(payload, kernel,
+                                       default_path=base_checkpoint_path(path),
+                                       **checkpoint)
+            mcmc.metadata.update(self._metadata(method, seed))
+            return mcmc
+        if kind == VI_CHECKPOINT_FORMAT:
+            seed = self._resume_seed(kwargs, payload["config"]["seed"])
+            engine = VI.resume_payload(payload, self.potential(seed),
+                                       default_path=base_checkpoint_path(path),
+                                       **kwargs)
+            engine.metadata.update(self._metadata("vi", engine.seed))
+            return engine
+        raise ValueError(f"{path} is not a recognised checkpoint (format={kind!r})")
 
-        model = self.model_callable(data)
-        guide = self.guide_callable(data)
-        svi = SVI(model, guide, learning_rate=learning_rate, seed=seed)
-        svi.run(num_steps)
-        return svi.sample_posterior(num_samples, site_names=self.parameter_names)
+    @staticmethod
+    def _resume_seed(kwargs: Dict[str, Any], stored_seed: int) -> int:
+        """The fit seed of a resumed run — always the checkpoint's.
 
-    def run_generated_quantities(self, data: Dict[str, Any], draws: Dict[str, np.ndarray],
-                                 num_draws: Optional[int] = None) -> Dict[str, np.ndarray]:
-        """Post-process posterior draws through the ``generated quantities`` block."""
-        inputs = self._prepare_inputs(data)
-        gq_fn = self.namespace["generated_quantities"]
+        The restored RNG bit-states and the run config already encode the
+        original seed; a different one would produce a silent hybrid run
+        (new-potential site discovery, old chain streams), so an explicit
+        mismatching ``seed=`` is an error rather than a knob.
+        """
+        seed = kwargs.pop("seed", stored_seed)
+        if seed != stored_seed:
+            raise ValueError(
+                f"cannot resume with seed={seed!r}: the checkpoint was written "
+                f"by a fit with seed={stored_seed!r} (a resumed run always "
+                "continues the original seed)")
+        return seed
+
+    # ------------------------------------------------------------------
+    # the generative directions
+    # ------------------------------------------------------------------
+    def sample_prior(self, num_draws: int = 1, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Forward-sample the compiled prior; returns per-site draw arrays.
+
+        Runs the generative model ``num_draws`` times under a seeded trace
+        and collects the latent sample sites, each as an array with a
+        leading draw axis.
+        """
+        from repro.autodiff.tensor import Tensor as _Tensor
+
+        model = self.model_callable()
+        rng = np.random.default_rng(seed)
+        out: Dict[str, List[np.ndarray]] = {}
+        for _ in range(int(num_draws)):
+            tracer = handlers.trace()
+            with handlers.seed(rng_seed=rng), tracer:
+                model()
+            for name, site in handlers.latent_sites(tracer.trace).items():
+                value = site["value"]
+                raw = value.data if isinstance(value, _Tensor) else np.asarray(value)
+                out.setdefault(name, []).append(np.array(raw, dtype=float))
+        return {name: np.array(values) for name, values in out.items()}
+
+    def generated_quantities(self, posterior: Union[Posterior, Dict[str, np.ndarray]],
+                             num_draws: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Post-process draws through the ``generated quantities`` block.
+
+        Accepts a :class:`~repro.infer.Posterior` (chains are concatenated)
+        or a plain dict of per-site draw arrays.
+        """
+        draws = posterior.get_samples() if isinstance(posterior, Posterior) else posterior
+        compiled = self.compiled
+        inputs = compiled._prepare_inputs(self.data)
+        gq_fn = compiled.namespace["generated_quantities"]
         names = list(draws.keys())
         total = len(draws[names[0]]) if names else 0
         if num_draws is not None:
@@ -252,20 +555,66 @@ class CompiledModel:
         return {key: np.array(vals) for key, vals in results.items()}
 
 
-def _as_array(value):
-    if isinstance(value, (int, float)):
-        return value
-    if isinstance(value, np.ndarray):
-        return value
-    return np.asarray(value, dtype=float)
-
-
 # ----------------------------------------------------------------------
 # compilation entry points
 # ----------------------------------------------------------------------
+def _build_program(program: ast.Program, backend: str, scheme: str, name: str):
+    """Check + scheme-compile + codegen; returns (model_ir, guide_ir, source, code)."""
+    check_program(program)
+    if scheme == "generative":
+        model_ir = schemes.compile_generative(program)
+    else:
+        model_ir = schemes.compile_comprehensive(program)
+        if scheme == "mixed":
+            model_ir = mixed_mod.compile_mixed(model_ir, {d.name for d in program.parameters.decls})
+    guide_ir = None
+    if not program.guide.is_empty:
+        guide_ir = schemes.compile_guide(program)
+    source = codegen.generate_module(program, model_ir, backend=backend,
+                                     guide_ir=guide_ir, scheme=scheme)
+    code = compile(source, filename=f"<{name}.{backend}.{scheme}>", mode="exec")
+    return model_ir, guide_ir, source, code
+
+
+@functools.lru_cache(maxsize=128)
+def _compile_cached(source: str, backend: str, scheme: str, name: str):
+    """Parse + codegen, memoised on ``(source, scheme, backend, name)``.
+
+    The LRU dict hashes the source text itself — an explicit digest would
+    be pure overhead on top of the string hash.
+
+    Only the *stateless* products are cached — the parsed program, the IRs,
+    the generated source and its compiled code object.  Every
+    :func:`compile_model` call executes the code object into a **fresh**
+    namespace, so cached compilations share no mutable state (network
+    bindings, generated-function globals) across :class:`CompiledModel`
+    instances.  This is the hot path of service-style deployments: repeated
+    ``compile_model(source).condition(data).fit(...)`` calls skip the parser
+    and code generator entirely.
+    """
+    program = parse_program(source, name=name)
+    model_ir, guide_ir, gen_source, code = _build_program(program, backend, scheme, name)
+    return program, model_ir, guide_ir, gen_source, code
+
+
+def compile_cache_info():
+    """Hit/miss statistics of the compilation cache (``functools`` format)."""
+    return _compile_cached.cache_info()
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation (tests and long-lived services)."""
+    _compile_cached.cache_clear()
+
+
 def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "comprehensive",
                   name: str = "model") -> CompiledModel:
-    """Compile Stan source (or a parsed program) to a :class:`CompiledModel`."""
+    """Compile Stan source (or a parsed program) to a :class:`CompiledModel`.
+
+    String sources are memoised: the parse/check/codegen products are cached
+    on ``(source, scheme, backend, name)`` (LRU, 128 entries), so
+    repeated service-style calls only pay a fresh module execution.
+    """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if scheme not in SCHEMES:
@@ -273,25 +622,11 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
     start = time.perf_counter()
     if isinstance(source_or_program, ast.Program):
         program = source_or_program
+        model_ir, guide_ir, source, code = _build_program(program, backend, scheme, name)
     else:
-        program = parse_program(str(source_or_program), name=name)
-    check_program(program)
-
-    if scheme == "generative":
-        model_ir = schemes.compile_generative(program)
-    else:
-        model_ir = schemes.compile_comprehensive(program)
-        if scheme == "mixed":
-            model_ir = mixed_mod.compile_mixed(model_ir, {d.name for d in program.parameters.decls})
-
-    guide_ir = None
-    if not program.guide.is_empty:
-        guide_ir = schemes.compile_guide(program)
-
-    source = codegen.generate_module(program, model_ir, backend=backend,
-                                     guide_ir=guide_ir, scheme=scheme)
+        program, model_ir, guide_ir, source, code = _compile_cached(
+            str(source_or_program), backend, scheme, str(name))
     namespace: Dict[str, Any] = {}
-    code = compile(source, filename=f"<{name}.{backend}.{scheme}>", mode="exec")
     exec(code, namespace)  # noqa: S102 - executing our own generated code
     elapsed = time.perf_counter() - start
     return CompiledModel(program=program, scheme=scheme, backend=backend, source=source,

@@ -1,0 +1,41 @@
+"""Once-per-process deprecation warnings for the legacy API surface.
+
+The posterior-first redesign keeps every legacy entry point (``run_nuts``,
+``run_vi``, ``run_advi``, ``run_svi``, :class:`~repro.infer.advi.ADVI`, the
+raw ``get_extra_fields()`` shape, ...) alive as a thin shim over the new
+``condition().fit()`` / :class:`~repro.infer.results.Posterior` path.  Each
+shim announces itself exactly once per process through :func:`warn_once`,
+keyed by a stable string, so long-running services and test suites are not
+flooded while interactive users still see the migration pointer.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str, *, category=DeprecationWarning,
+              stacklevel: int = 3) -> None:
+    """Emit ``message`` as a deprecation warning, once per process per key.
+
+    The once-only bookkeeping is ours (not the :mod:`warnings` registry), so
+    it is independent of the active warning filters and can be reset for
+    tests via :func:`reset_warnings`.
+    """
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, category=category, stacklevel=stacklevel)
+
+
+def reset_warnings() -> None:
+    """Forget which deprecation warnings already fired (test helper)."""
+    _WARNED.clear()
+
+
+def warned_keys() -> Set[str]:
+    """The keys that have fired so far (test helper)."""
+    return set(_WARNED)

@@ -104,8 +104,9 @@ def registry_generality(entries: List[Entry],
                     compiled = compile_model(entry.source, backend=backend, scheme=scheme,
                                              name=entry.name)
                     compiled_ok = True
-                    compiled.run_nuts(entry.data(), num_warmup=1, num_samples=1,
-                                      max_tree_depth=2, seed=entry.config.seed)
+                    compiled.condition(entry.data()).fit(
+                        "nuts", num_warmup=1, num_samples=1,
+                        max_tree_depth=2, seed=entry.config.seed)
                     ran_ok = True
                 except Exception as exc:  # noqa: BLE001 - table records the failure kind
                     error = f"{type(exc).__name__}: {exc}"
@@ -155,13 +156,14 @@ def accuracy_and_speed_row(entry: Entry, reference: Dict[str, np.ndarray],
     start = time.perf_counter()
     try:
         compiled = compile_model(entry.source, backend=backend, scheme=scheme, name=entry.name)
-        mcmc = compiled.run_nuts(entry.data(),
-                                 num_warmup=max(int(config.num_warmup * scale), 10),
-                                 num_samples=max(int(config.num_samples * scale), 10),
-                                 num_chains=config.num_chains, thinning=config.thinning,
-                                 seed=config.seed, max_tree_depth=config.max_tree_depth)
+        fit = compiled.condition(entry.data()).fit(
+            "nuts",
+            num_warmup=max(int(config.num_warmup * scale), 10),
+            num_samples=max(int(config.num_samples * scale), 10),
+            num_chains=config.num_chains, thinning=config.thinning,
+            seed=config.seed, max_tree_depth=config.max_tree_depth)
         elapsed = time.perf_counter() - start
-        samples = {k: v for k, v in mcmc.get_samples().items() if k in reference}
+        samples = {k: v for k, v in fit.posterior.get_samples().items() if k in reference}
         passed, rel_err = diagnostics.accuracy_check(reference, samples, threshold=threshold)
         status = "match" if passed else "mismatch"
         return AccuracyRow(entry=entry.name, status=status, relative_error=rel_err,

@@ -88,12 +88,13 @@ def multimodal_experiment(num_warmup: int = 200, num_samples: int = 400,
                               num_chains=2, seed=seed)
     draws["stan_nuts"] = stan_nuts.get_samples()["theta"]
 
-    # DeepStan (compiled) with NUTS.
+    # DeepStan (compiled) with NUTS, through the posterior-first pipeline.
     compiled = compile_model(plain_source, backend="numpyro", scheme="comprehensive",
                              name="multimodal")
-    deepstan_nuts = compiled.run_nuts({}, num_warmup=num_warmup, num_samples=num_samples,
-                                      num_chains=2, seed=seed)
-    draws["deepstan_nuts"] = deepstan_nuts.get_samples()["theta"]
+    conditioned = compiled.condition({})
+    deepstan_nuts = conditioned.fit("nuts", num_warmup=num_warmup,
+                                    num_samples=num_samples, num_chains=2, seed=seed)
+    draws["deepstan_nuts"] = deepstan_nuts.posterior.get_samples()["theta"]
 
     # Stan ADVI (reference backend, mean-field): cannot represent two modes.
     advi_draws = stan.run_advi({}, num_steps=vi_steps, num_samples=num_samples, seed=seed)
@@ -101,7 +102,7 @@ def multimodal_experiment(num_warmup: int = 200, num_samples: int = 400,
 
     # DeepStan automatic mean-field guide through the unified VI engine: the
     # same family, now with ELBO history and the PSIS k-hat diagnostic.
-    advi_vi = compiled.run_vi({}, guide="auto_normal", num_steps=vi_steps,
+    advi_vi = conditioned.fit("vi", guide="auto_normal", num_steps=vi_steps,
                               learning_rate=0.05, seed=seed)
     draws["deepstan_advi"] = advi_vi.posterior_draws(num_samples)["theta"]
     elbo_histories["deepstan_advi"] = list(advi_vi.elbo_history)
@@ -110,8 +111,8 @@ def multimodal_experiment(num_warmup: int = 200, num_samples: int = 400,
     # DeepStan VI with the explicit two-component guide: recovers both modes.
     guided = compile_model(guided_source, backend="pyro", scheme="comprehensive",
                            name="multimodal_guide")
-    guided_vi = guided.run_vi({}, guide="explicit", num_steps=vi_steps,
-                              learning_rate=0.05, seed=seed)
+    guided_vi = guided.condition({}).fit("vi", guide="explicit", num_steps=vi_steps,
+                                         learning_rate=0.05, seed=seed)
     draws["deepstan_vi"] = guided_vi.posterior_draws(num_samples)["theta"]
     elbo_histories["deepstan_vi"] = list(guided_vi.elbo_history)
     khat["deepstan_vi"] = guided_vi.psis_diagnostic(num_samples=num_psis_samples).khat

@@ -13,7 +13,7 @@ Generation for Stan via NumPyro" (Baudart & Mandel, 2021):
   the observed data.
 
 All of them plug into the unified :class:`~repro.infer.vi.VI` engine, or via
-``compiled.run_vi(data, guide="auto_normal" | "auto_mvn" | ...)``.
+``compiled.condition(data).fit("vi", guide="auto_normal" | "auto_mvn" | ...)``.
 """
 
 from repro.guides.base import (

@@ -4,9 +4,15 @@ The paper evaluates its backends with NUTS (the preferred Stan inference
 method, available in both Pyro and NumPyro) and with stochastic variational
 inference for the DeepStan extensions.  This package provides:
 
+* :class:`~repro.infer.results.Posterior` / the
+  :class:`~repro.infer.results.FitResult` protocol — the posterior-first
+  result layer every engine produces (``.posterior`` + ``.diagnostics()``),
+  with exact ``save``/``load``, chain-axis ``stack``, draw-axis ``concat``
+  and a cached ``summary()``.
 * :class:`~repro.infer.mcmc.MCMC` — a driver running HMC/NUTS chains against a
-  model, handling warmup, multiple chains, and constrained/unconstrained
-  re-parameterisation.
+  model, handling warmup, multiple chains, constrained/unconstrained
+  re-parameterisation and checkpoint/resume (``checkpoint_every`` /
+  :meth:`~repro.infer.mcmc.MCMC.resume`, bitwise-identical continuation).
 * :class:`~repro.infer.hmc.HMC` and :class:`~repro.infer.nuts.NUTS` — kernels.
 * :class:`~repro.infer.vi.VI` — the unified variational-inference engine over
   the automatic guide families of :mod:`repro.guides` (mean-field, full-rank,
@@ -29,6 +35,7 @@ from repro.infer.potential import Potential, make_potential
 from repro.infer.hmc import HMC, VectorizedChains
 from repro.infer.nuts import NUTS
 from repro.infer.mcmc import MCMC
+from repro.infer.results import FitResult, Posterior, POSTERIOR_SCHEMA_VERSION
 from repro.infer.vi import VI, ExplicitVI, PSISResult
 from repro.infer.advi import ADVI
 from repro.infer.svi import SVI, TraceELBO
@@ -48,6 +55,9 @@ __all__ = [
     "NUTS",
     "MCMC",
     "VectorizedChains",
+    "Posterior",
+    "FitResult",
+    "POSTERIOR_SCHEMA_VERSION",
     "VI",
     "ExplicitVI",
     "PSISResult",

@@ -20,6 +20,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.deprecation import warn_once
 from repro.guides import AutoNormal
 from repro.infer.potential import Potential
 from repro.infer.vi import VI
@@ -40,6 +41,11 @@ class ADVI(VI):
 
     def __init__(self, potential: Potential, learning_rate: float = 0.05,
                  num_elbo_samples: int = 1, seed: int = 0):
+        warn_once(
+            "advi-class",
+            "ADVI is deprecated; use VI(potential, guide='auto_normal') or "
+            "compiled.condition(data).fit('vi', guide='auto_normal') — the "
+            "replacement is bitwise-identical under a fixed seed")
         super().__init__(potential, guide=AutoNormal(), learning_rate=learning_rate,
                          num_particles=num_elbo_samples, seed=seed)
 

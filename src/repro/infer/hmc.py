@@ -22,12 +22,14 @@ methods produce identical draws for a fixed seed.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.infer.checkpoint import restore_rng, rng_state
 from repro.infer.potential import Potential
 
 
@@ -122,6 +124,109 @@ def run_adaptation_step(kernel: "HMC", z: np.ndarray, accept_prob: float,
     if iteration == num_warmup - 1 and kernel.adapt_step_size:
         step_size = dual_avg.adapted_step_size
     return step_size, inv_mass
+
+
+# ----------------------------------------------------------------------
+# explicit (picklable) sampler state, for checkpoint/resume
+# ----------------------------------------------------------------------
+def _dual_avg_state(dual_avg: DualAveraging) -> Dict[str, Any]:
+    return dataclasses.asdict(dual_avg)
+
+
+def _restore_dual_avg(state: Dict[str, Any]) -> DualAveraging:
+    return DualAveraging(**state)
+
+
+def _welford_state(welford: WelfordVariance) -> Dict[str, Any]:
+    return {"dim": int(welford.dim), "count": int(welford.count),
+            "mean": np.array(welford.mean, dtype=float),
+            "m2": np.array(welford.m2, dtype=float)}
+
+
+def _restore_welford(state: Dict[str, Any]) -> WelfordVariance:
+    welford = WelfordVariance(dim=int(state["dim"]))
+    welford.count = int(state["count"])
+    welford.mean = np.array(state["mean"], dtype=float)
+    welford.m2 = np.array(state["m2"], dtype=float)
+    return welford
+
+
+def _eval_state(pair: Optional[Tuple[float, np.ndarray]]):
+    if pair is None:
+        return None
+    return (float(pair[0]), np.array(pair[1], dtype=float))
+
+
+def kernel_config(kernel: "HMC") -> Dict[str, Any]:
+    """The draw-determining kernel *options* (not the mutable run state).
+
+    Stored in every MCMC checkpoint so ``resume`` can verify — or rebuild —
+    a kernel whose remaining transitions match the original run exactly.
+    ``step_size`` here is the configured value at run start; it only governs
+    draws when step-size adaptation is off (adaptive runs re-derive it).
+    """
+    config = {
+        "method": type(kernel).__name__.lower(),
+        "num_steps": int(kernel.num_steps),
+        "target_accept": float(kernel.target_accept),
+        "max_energy_change": float(kernel.max_energy_change),
+        "adapt_step_size": bool(kernel.adapt_step_size),
+        "adapt_mass_matrix": bool(kernel.adapt_mass_matrix),
+        "step_size": float(kernel.step_size),
+    }
+    max_tree_depth = getattr(kernel, "max_tree_depth", None)
+    if max_tree_depth is not None:
+        config["max_tree_depth"] = int(max_tree_depth)
+    return config
+
+
+def check_kernel_config(kernel: "HMC", stored: Dict[str, Any]) -> None:
+    """Raise if ``kernel`` would not continue ``stored``'s run identically."""
+    current = kernel_config(kernel)
+    mismatched = []
+    for key, value in stored.items():
+        if key == "step_size" and stored.get("adapt_step_size", True):
+            continue  # adaptive runs re-derive / restore the step size
+        if current.get(key) != value:
+            mismatched.append(f"{key}: checkpoint={value!r}, kernel={current.get(key)!r}")
+    if mismatched:
+        raise ValueError(
+            "kernel does not match the checkpointed run (resume would not be "
+            "bitwise-identical): " + "; ".join(mismatched))
+
+
+def snapshot_kernel_state(kernel: "HMC") -> Dict[str, Any]:
+    """Everything a sequential kernel mutates between transitions.
+
+    Together with the chain position and the RNG bit-state this determines
+    the remainder of a chain's trajectory exactly, so restoring it via
+    :func:`restore_kernel_state` continues bitwise-identically.
+    """
+    cache = getattr(kernel, "_eval_cache", None)
+    return {
+        "step_size": float(kernel.step_size),
+        "inv_mass": np.array(kernel.inv_mass, dtype=float),
+        "divergences": int(kernel.divergences),
+        "iteration": int(getattr(kernel, "_iteration", 0)),
+        "dual_avg": _dual_avg_state(kernel._dual_avg),
+        "welford": _welford_state(kernel._welford),
+        "eval_cache": None if cache is None
+        else (np.array(cache[0], dtype=float), _eval_state(cache[1])),
+    }
+
+
+def restore_kernel_state(kernel: "HMC", state: Dict[str, Any], num_warmup: int) -> None:
+    """Inverse of :func:`snapshot_kernel_state` (replaces ``kernel.setup``)."""
+    kernel.step_size = float(state["step_size"])
+    kernel.inv_mass = np.array(state["inv_mass"], dtype=float)
+    kernel.divergences = int(state["divergences"])
+    kernel._dual_avg = _restore_dual_avg(state["dual_avg"])
+    kernel._welford = _restore_welford(state["welford"])
+    kernel._num_warmup = int(num_warmup)
+    kernel._iteration = int(state["iteration"])
+    cache = state["eval_cache"]
+    kernel._eval_cache = None if cache is None \
+        else (np.array(cache[0], dtype=float), cache[1])
 
 
 class HMC:
@@ -343,6 +448,33 @@ class _ChainState:
         self.results: List[Tuple[np.ndarray, dict]] = []
         self.last_eval: Optional[Tuple[float, np.ndarray]] = None
 
+    # -- explicit state (checkpoint/resume) ---------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable copy of everything the next transition depends on."""
+        return {
+            "position": np.array(self.position, dtype=float),
+            "rng_state": rng_state(self.rng),
+            "step_size": float(self.step_size),
+            "inv_mass": np.array(self.inv_mass, dtype=float),
+            "dual_avg": _dual_avg_state(self.dual_avg),
+            "welford": _welford_state(self.welford),
+            "iteration": int(self.iteration),
+            "last_eval": _eval_state(self.last_eval),
+        }
+
+    @classmethod
+    def from_snapshot(cls, index: int, snap: Dict[str, Any],
+                      kernel: "HMC") -> "_ChainState":
+        state = cls(index, np.array(snap["position"], dtype=float),
+                    restore_rng(snap["rng_state"]), kernel)
+        state.step_size = float(snap["step_size"])
+        state.inv_mass = np.array(snap["inv_mass"], dtype=float)
+        state.dual_avg = _restore_dual_avg(snap["dual_avg"])
+        state.welford = _restore_welford(snap["welford"])
+        state.iteration = int(snap["iteration"])
+        state.last_eval = snap["last_eval"]
+        return state
+
 
 class VectorizedChains:
     """Advance ``num_chains`` chains of an HMC-family kernel as one batched state.
@@ -365,9 +497,11 @@ class VectorizedChains:
         self.chains: List[_ChainState] = []
         self._on_result = None
 
-    def run(self, positions: np.ndarray, rngs: List[np.random.Generator],
-            num_warmup: int, total_iters: int,
-            on_result=None) -> List[List[Tuple[np.ndarray, dict]]]:
+    def run(self, positions: Optional[np.ndarray], rngs: Optional[List[np.random.Generator]],
+            num_warmup: int, total_iters: int, on_result=None,
+            barrier_every: Optional[int] = None, on_barrier=None,
+            resume_states: Optional[List[Dict[str, Any]]] = None,
+            ) -> List[List[Tuple[np.ndarray, dict]]]:
         """Run every chain for ``total_iters`` transitions.
 
         With ``on_result(chain, iteration, position, info)`` given, results
@@ -376,35 +510,81 @@ class VectorizedChains:
         order but interleaved across chains) and nothing is buffered —
         warmup and thinned-out iterations then cost no memory.  Otherwise
         every chain's ``(position, info)`` results are collected and returned.
+
+        ``barrier_every=N`` pauses every chain at iteration multiples of
+        ``N`` and calls ``on_barrier(chains, iteration)`` once all chains
+        have arrived — the point where every chain's state is explicit (no
+        generator mid-flight) and :meth:`_ChainState.snapshot` is valid.
+        Pausing cannot change the draws: chains are mutually independent, so
+        holding a fast chain at a barrier only delays *when* its next
+        transition runs, not what it computes.  ``resume_states`` (a list of
+        per-chain snapshots) restores such a barrier state instead of
+        initialising fresh chains.
         """
         self._on_result = on_result
         kernel = self.kernel
-        self.chains = [
-            _ChainState(c, positions[c].copy(), rngs[c], kernel)
-            for c in range(self.num_chains)
-        ]
-        if kernel.adapt_step_size:
-            # The heuristic search takes a different number of doublings per
-            # chain, so it runs per chain -- warmup-only, once.  It reads the
-            # kernel's mass matrix, which a fresh chain resets to identity
-            # (unless manually configured via adapt_mass_matrix=False).
-            if kernel.adapt_mass_matrix:
-                kernel.inv_mass = np.ones(kernel.potential.dim)
-            for state in self.chains:
-                state.step_size = kernel.find_reasonable_step_size(state.position, state.rng)
-                state.dual_avg.initialize(state.step_size)
+        if resume_states is not None:
+            self.chains = [
+                _ChainState.from_snapshot(c, snap, kernel)
+                for c, snap in enumerate(resume_states)
+            ]
+        else:
+            self.chains = [
+                _ChainState(c, positions[c].copy(), rngs[c], kernel)
+                for c in range(self.num_chains)
+            ]
+            if kernel.adapt_step_size:
+                # The heuristic search takes a different number of doublings per
+                # chain, so it runs per chain -- warmup-only, once.  It reads the
+                # kernel's mass matrix, which a fresh chain resets to identity
+                # (unless manually configured via adapt_mass_matrix=False).
+                if kernel.adapt_mass_matrix:
+                    kernel.inv_mass = np.ones(kernel.potential.dim)
+                for state in self.chains:
+                    state.step_size = kernel.find_reasonable_step_size(state.position, state.rng)
+                    state.dual_avg.initialize(state.step_size)
         if total_iters <= 0:
             return [state.results for state in self.chains]
+        segment_start = min(state.iteration for state in self.chains)
+        while segment_start < total_iters:
+            if barrier_every:
+                next_barrier = (segment_start // barrier_every + 1) * barrier_every
+                target = min(next_barrier, total_iters)
+            else:
+                target = total_iters
+            self._run_segment(target, num_warmup)
+            if target >= total_iters:
+                break
+            if on_barrier is not None:
+                on_barrier(self.chains, target)
+            segment_start = target
+        # Leave the kernel in the same state a sequential run would: the last
+        # chain's adapted step size and mass matrix.
+        kernel.step_size = self.chains[-1].step_size
+        kernel.inv_mass = self.chains[-1].inv_mass
+        return [state.results for state in self.chains]
+
+    def _run_segment(self, stop_at: int, num_warmup: int) -> None:
+        """Advance every chain to ``stop_at`` transitions (a barrier point)."""
+        kernel = self.kernel
         for state in self.chains:
+            if state.iteration >= stop_at or state.gen is not None:
+                continue
+            # A chain entering its first-ever transition has no cached
+            # endpoint evaluation; every later start reuses the (u, grad) of
+            # the previous transition's returned position — evaluations are
+            # deterministic, so either way the draws are identical.
+            initial_eval = state.last_eval if state.iteration > 0 else None
             state.gen = kernel._transition_gen(state.position, state.rng,
-                                               state.step_size, state.inv_mass)
+                                               state.step_size, state.inv_mass,
+                                               initial_eval=initial_eval)
             state.response = None
-        active = list(self.chains)
+        active = [state for state in self.chains if state.gen is not None]
         while active:
             requests = []
             requesters = []
             for state in active:
-                request = self._advance(state, num_warmup, total_iters)
+                request = self._advance(state, num_warmup, stop_at)
                 if request is not None:
                     requests.append(request)
                     requesters.append(state)
@@ -414,18 +594,14 @@ class VectorizedChains:
             for i, state in enumerate(requesters):
                 state.response = (values[i], grads[i])
             active = requesters
-        # Leave the kernel in the same state a sequential run would: the last
-        # chain's adapted step size and mass matrix.
-        kernel.step_size = self.chains[-1].step_size
-        kernel.inv_mass = self.chains[-1].inv_mass
-        return [state.results for state in self.chains]
 
     def _advance(self, state: _ChainState, num_warmup: int,
-                 total_iters: int) -> Optional[np.ndarray]:
-        """Drive one chain until it needs an evaluation or finishes its run.
+                 stop_at: int) -> Optional[np.ndarray]:
+        """Drive one chain until it needs an evaluation or reaches ``stop_at``.
 
         Returns the evaluation point the chain is waiting on, or ``None``
-        once the chain has completed all its transitions.
+        once the chain has completed ``stop_at`` transitions (the end of the
+        run or a checkpoint barrier).
         """
         while True:
             try:
@@ -441,7 +617,7 @@ class VectorizedChains:
                     self._on_result(state.index, state.iteration - 1, z_out, info)
                 else:
                     state.results.append((z_out, info))
-                if state.iteration >= total_iters:
+                if state.iteration >= stop_at:
                     state.gen = None
                     return None
                 state.gen = self.kernel._transition_gen(state.position, state.rng,

@@ -20,7 +20,7 @@ how well the proposal covers the target — the guide-quality layer of
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.special import logsumexp
@@ -135,8 +135,12 @@ class ImportanceSampling:
         self.seed = seed
         self.log_weights: Optional[np.ndarray] = None
         self._latents: List[Dict[str, np.ndarray]] = []
+        #: extra run facts merged into ``posterior.metadata``.
+        self.metadata: Dict[str, Any] = {}
+        self._posterior_cache = None
 
     def run(self, *args, **kwargs) -> "ImportanceSampling":
+        self._posterior_cache = None
         rng = np.random.default_rng(self.seed)
         log_weights = np.zeros(self.num_samples)
         self._latents = []
@@ -203,3 +207,50 @@ class ImportanceSampling:
         idx = rng.choice(len(w), size=num_draws, p=w)
         names = self._latents[0].keys() if self._latents else []
         return {name: np.array([self._latents[i][name] for i in idx]) for name in names}
+
+    # ------------------------------------------------------------------
+    # the FitResult surface
+    # ------------------------------------------------------------------
+    @property
+    def posterior(self):
+        """Importance-resampled draws as a :class:`~repro.infer.results.Posterior`.
+
+        Latents are resampled with replacement according to the
+        Pareto-*smoothed* weights (so a single extreme raw weight cannot
+        dominate the resampled posterior) using a dedicated RNG derived
+        from the sampler seed; the PSIS quality diagnostics ride along in
+        the metadata.
+        """
+        if self._posterior_cache is None:
+            if self.log_weights is None:
+                raise RuntimeError("run() must be called before posterior")
+            from repro.infer.results import Posterior, posterior_rng
+
+            rng = posterior_rng(self.seed)
+            weights = self.pareto_smoothed_weights()
+            weights = weights / weights.sum()
+            idx = rng.choice(len(weights), size=self.num_samples, p=weights)
+            names = self._latents[0].keys() if self._latents else []
+            resampled = {name: np.array([self._latents[i][name] for i in idx])
+                         for name in names}
+            draws = {name: value[None] for name, value in resampled.items()}
+            metadata = {
+                "method": "importance",
+                "num_samples": self.num_samples,
+                "seed": self.seed,
+                "khat": self.pareto_k(),
+                "ess": self.effective_sample_size(),
+            }
+            metadata.update(self.metadata)
+            self._posterior_cache = Posterior(draws, metadata=metadata)
+        return self._posterior_cache
+
+    def diagnostics(self) -> Dict[str, float]:
+        """Proposal-quality report: importance ESS and the PSIS k-hat."""
+        if self.log_weights is None:
+            raise RuntimeError("run() must be called before diagnostics()")
+        return {
+            "num_samples": self.num_samples,
+            "ess": self.effective_sample_size(),
+            "khat": self.pareto_k(),
+        }

@@ -1,8 +1,9 @@
-"""MCMC driver: chains, warmup, thinning and result collection.
+"""MCMC driver: chains, warmup, thinning, checkpointing and result collection.
 
 The interface mirrors the one shared by CmdStanPy, Pyro and NumPyro that the
 paper's evaluation scripts use: construct with a kernel, call ``run`` with
-iteration counts, then read ``get_samples()`` keyed by (Stan) parameter name.
+iteration counts, then read the :class:`~repro.infer.results.Posterior` via
+``.posterior`` (or the legacy ``get_samples()`` accessors, which delegate).
 
 Chains can be run two ways (``chain_method``):
 
@@ -15,20 +16,52 @@ Per-chain RNG streams are spawned from one :class:`numpy.random.SeedSequence`,
 so chain ``c`` consumes exactly the same randomness under either method and
 for any total chain count — the two methods produce identical draws for a
 fixed seed.
+
+Checkpoint / resume
+-------------------
+
+``run(checkpoint_every=N, checkpoint_path=path)`` snapshots the complete
+explicit sampler state — per-chain positions, step sizes, dual-averaging and
+Welford accumulators, retained draws and the RNG bit-states — at iteration
+boundaries (under ``"vectorized"``, at synchronization barriers where no
+transition generator is mid-flight).  :meth:`MCMC.resume` rebuilds the run
+from such a file and continues **bitwise-identically** to an uninterrupted
+run: every chain's remaining trajectory is a deterministic function of the
+restored state.  The model itself is not stored (generated code is not
+picklable); ``resume`` takes the rebuilt kernel.
 """
 
 from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.infer.hmc import HMC, VectorizedChains
+from repro.deprecation import warn_once
+from repro.infer.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    base_checkpoint_path,
+    read_checkpoint,
+    restore_rng,
+    rng_state,
+)
+from repro.infer.hmc import (
+    HMC,
+    VectorizedChains,
+    check_kernel_config,
+    kernel_config,
+    restore_kernel_state,
+    snapshot_kernel_state,
+)
 from repro.infer.potential import Potential
+from repro.infer.results import Posterior
 
 CHAIN_METHODS = ("sequential", "vectorized")
+
+MCMC_CHECKPOINT_FORMAT = "repro-mcmc-checkpoint"
 
 
 class _ChainCollector:
@@ -58,13 +91,57 @@ class _ChainCollector:
     def arrays(self):
         return np.array(self.draws), {k: np.array(v) for k, v in self.stats.items()}
 
+    # -- explicit state (checkpoint/resume) ---------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {"draws": [np.array(d) for d in self.draws],
+                "stats": {k: list(v) for k, v in self.stats.items()}}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.draws = [np.array(d) for d in state["draws"]]
+        self.stats = {k: list(v) for k, v in state["stats"].items()}
+
+
+class _Checkpointer:
+    """Builds MCMC snapshot payloads and hands them to a shared writer."""
+
+    def __init__(self, mcmc: "MCMC", every: int, path: str, keep: bool,
+                 init_params: Optional[np.ndarray], base_runtime: float,
+                 start_count: int = 0):
+        self.mcmc = mcmc
+        self.every = int(every)
+        self.writer = CheckpointWriter(path, keep=keep, count=start_count)
+        self.init_params = None if init_params is None else np.array(init_params)
+        self.base_runtime = float(base_runtime)
+        self.start = time.perf_counter()
+
+    def write(self, chains_payload: List[Dict[str, Any]]) -> None:
+        mcmc = self.mcmc
+        self.writer.write({
+            "format": MCMC_CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "config": {
+                "num_warmup": mcmc.num_warmup,
+                "num_samples": mcmc.num_samples,
+                "num_chains": mcmc.num_chains,
+                "thinning": mcmc.thinning,
+                "seed": mcmc.seed,
+                "chain_method": mcmc.chain_method,
+            },
+            "checkpoint_every": self.every,
+            "checkpoint_keep": self.writer.keep,
+            "kernel": dict(mcmc._kernel_config or {}),
+            "init_params": self.init_params,
+            "runtime_so_far": self.base_runtime + (time.perf_counter() - self.start),
+            "chains": chains_payload,
+        })
+
 
 class MCMC:
     """Run one or more chains of an HMC-family kernel.
 
     Parameters
     ----------
-    kernel_factory:
+    kernel:
         Callable returning a fresh kernel (e.g. ``lambda: NUTS(potential)``),
         or a kernel instance (reused across chains with re-initialisation).
     num_warmup, num_samples:
@@ -96,7 +173,15 @@ class MCMC:
         self.chain_method = chain_method
         self._samples_by_chain: List[Dict[str, np.ndarray]] = []
         self._stats_by_chain: List[Dict[str, np.ndarray]] = []
+        self._unconstrained_by_chain: List[np.ndarray] = []
         self.runtime_seconds: float = 0.0
+        #: extra run facts merged into ``posterior.metadata`` (the fluent
+        #: pipeline records scheme/backend/model name here).
+        self.metadata: Dict[str, Any] = {}
+        self._kernel_name: Optional[str] = None
+        self._kernel_config: Optional[Dict[str, Any]] = None
+        self._posterior_cache: Optional[Posterior] = None
+        self.last_checkpoint_path: Optional[str] = None
 
     def _get_kernel(self) -> HMC:
         if self._kernel_instance is not None:
@@ -125,17 +210,89 @@ class MCMC:
         return z
 
     # ------------------------------------------------------------------
-    def run(self, init_params: Optional[np.ndarray] = None) -> "MCMC":
-        """Run all chains; returns ``self`` for chaining."""
+    def run(self, init_params: Optional[np.ndarray] = None,
+            checkpoint_every: Optional[int] = None,
+            checkpoint_path: Optional[str] = None,
+            checkpoint_keep: bool = False) -> "MCMC":
+        """Run all chains; returns ``self`` for chaining.
+
+        With ``checkpoint_every=N`` and ``checkpoint_path`` given, a snapshot
+        of the complete sampler state is written (atomically, overwriting the
+        previous one) every ``N`` per-chain iterations; ``checkpoint_keep``
+        additionally retains every snapshot as ``<path>.snap<k>``.  A snapshot
+        can be continued with :meth:`resume`.
+        """
+        return self._run(init_params, resume=None, checkpoint_every=checkpoint_every,
+                         checkpoint_path=checkpoint_path, checkpoint_keep=checkpoint_keep)
+
+    @classmethod
+    def resume(cls, path: str, kernel, checkpoint_every: Optional[int] = None,
+               checkpoint_path: Optional[str] = None,
+               checkpoint_keep: Optional[bool] = None) -> "MCMC":
+        """Continue an interrupted checkpointed run to completion.
+
+        ``kernel`` must be rebuilt over the same model and data (kernels hold
+        the model callable, which checkpoints deliberately do not store) with
+        the same options — the checkpoint records the draw-determining kernel
+        configuration (method, tree depth, target accept, ...) and a mismatch
+        raises rather than silently diverging.  The run configuration
+        (iteration counts, seed, chain method) comes from the file.  The
+        continued run produces draws bitwise-identical to an uninterrupted
+        run, and keeps checkpointing with the same cadence and path unless
+        overridden (pass ``checkpoint_every=0`` to disable).
+        """
+        payload = read_checkpoint(path, MCMC_CHECKPOINT_FORMAT)
+        return cls.resume_payload(payload, kernel,
+                                  default_path=base_checkpoint_path(path),
+                                  checkpoint_every=checkpoint_every,
+                                  checkpoint_path=checkpoint_path,
+                                  checkpoint_keep=checkpoint_keep)
+
+    @classmethod
+    def resume_payload(cls, payload: Dict[str, Any], kernel,
+                       default_path: Optional[str] = None,
+                       checkpoint_every: Optional[int] = None,
+                       checkpoint_path: Optional[str] = None,
+                       checkpoint_keep: Optional[bool] = None) -> "MCMC":
+        """:meth:`resume` over an already-deserialized checkpoint payload."""
+        mcmc = cls(kernel, **payload["config"])
+        stored_kernel = payload.get("kernel")
+        if stored_kernel:
+            check_kernel_config(mcmc._get_kernel(), stored_kernel)
+        every = payload.get("checkpoint_every") if checkpoint_every is None \
+            else checkpoint_every
+        keep = bool(payload.get("checkpoint_keep", False)) if checkpoint_keep is None \
+            else checkpoint_keep
+        return mcmc._run(payload.get("init_params"), resume=payload,
+                         checkpoint_every=every or None,
+                         checkpoint_path=checkpoint_path or default_path,
+                         checkpoint_keep=keep)
+
+    def _run(self, init_params, resume, checkpoint_every, checkpoint_path,
+             checkpoint_keep) -> "MCMC":
         start = time.perf_counter()
+        base_runtime = float(resume.get("runtime_so_far", 0.0)) if resume else 0.0
         self._samples_by_chain = []
         self._stats_by_chain = []
+        self._unconstrained_by_chain = []
+        self._posterior_cache = None
+        ckpt = None
+        if checkpoint_every:
+            if not checkpoint_path:
+                raise ValueError("checkpoint_every requires checkpoint_path")
+            ckpt = _Checkpointer(self, checkpoint_every, checkpoint_path,
+                                 checkpoint_keep, init_params, base_runtime,
+                                 start_count=int(resume.get("snapshot_count", 0))
+                                 if resume else 0)
         rngs = self._chain_rngs()
+        resume_chains = resume["chains"] if resume else None
         if self.chain_method == "vectorized" and self.num_chains > 1:
-            self._run_vectorized(rngs, init_params)
+            self._run_vectorized(rngs, init_params, resume_chains, ckpt)
         else:
-            self._run_sequential(rngs, init_params)
-        self.runtime_seconds = time.perf_counter() - start
+            self._run_sequential(rngs, init_params, resume_chains, ckpt)
+        if ckpt is not None and ckpt.writer.last_path is not None:
+            self.last_checkpoint_path = ckpt.writer.last_path
+        self.runtime_seconds = base_runtime + (time.perf_counter() - start)
         return self
 
     def _new_collector(self) -> "_ChainCollector":
@@ -146,35 +303,108 @@ class MCMC:
         constrained = self._constrain_all(potential, draws)
         self._samples_by_chain.append(constrained)
         self._stats_by_chain.append(stats)
+        self._unconstrained_by_chain.append(draws)
 
     def _run_sequential(self, rngs: List[np.random.Generator],
-                        init_params: Optional[np.ndarray]) -> None:
+                        init_params: Optional[np.ndarray],
+                        resume_chains: Optional[List[Dict[str, Any]]],
+                        ckpt: Optional[_Checkpointer]) -> None:
         total_iters = self.num_warmup + self.num_samples * self.thinning
+        collectors: List[_ChainCollector] = []
         for chain in range(self.num_chains):
-            rng = rngs[chain]
+            snap = resume_chains[chain] if resume_chains else None
             kernel = self._get_kernel()
+            self._kernel_name = type(kernel).__name__.lower()
+            if chain == 0:
+                # Captured before any transition mutates the kernel, so
+                # checkpoints record the *configured* options.
+                self._kernel_config = kernel_config(kernel)
             potential = kernel.potential
-            z = self._initial_position(potential, rng, init_params)
-            kernel.setup(z, rng, self.num_warmup)
             collector = self._new_collector()
-            for i in range(total_iters):
+            collectors.append(collector)
+            if snap is not None and snap["status"] == "done":
+                # Completed before the snapshot: replay the retained draws.
+                collector.load_state_dict(snap["collector"])
+                self._store_chain(potential, collector)
+                continue
+            rng = rngs[chain]
+            if snap is not None and snap["status"] == "running":
+                collector.load_state_dict(snap["collector"])
+                z = np.array(snap["position"], dtype=float)
+                rng = restore_rng(snap["rng_state"])
+                restore_kernel_state(kernel, snap["kernel"], self.num_warmup)
+                start_iter = int(snap["kernel"]["iteration"])
+            else:
+                z = self._initial_position(potential, rng, init_params)
+                kernel.setup(z, rng, self.num_warmup)
+                start_iter = 0
+            for i in range(start_iter, total_iters):
                 z, info = kernel.sample(z, rng)
                 collector.add(i, z, info)
+                if ckpt is not None and (i + 1) % ckpt.every == 0 and (i + 1) < total_iters:
+                    ckpt.write(self._sequential_payload(collectors, chain, z, rng, kernel))
             self._store_chain(potential, collector)
 
+    def _sequential_payload(self, collectors: List[_ChainCollector], chain: int,
+                            z: np.ndarray, rng: np.random.Generator,
+                            kernel: HMC) -> List[Dict[str, Any]]:
+        chains: List[Dict[str, Any]] = []
+        for ci in range(self.num_chains):
+            if ci < chain:
+                chains.append({"status": "done",
+                               "collector": collectors[ci].state_dict()})
+            elif ci == chain:
+                chains.append({
+                    "status": "running",
+                    "position": np.array(z, dtype=float),
+                    "rng_state": rng_state(rng),
+                    "kernel": snapshot_kernel_state(kernel),
+                    "collector": collectors[ci].state_dict(),
+                })
+            else:
+                # Untouched: chain rngs depend only on (seed, index), so a
+                # resumed run re-spawns them and starts these chains fresh.
+                chains.append({"status": "pending"})
+        return chains
+
     def _run_vectorized(self, rngs: List[np.random.Generator],
-                        init_params: Optional[np.ndarray]) -> None:
+                        init_params: Optional[np.ndarray],
+                        resume_chains: Optional[List[Dict[str, Any]]],
+                        ckpt: Optional[_Checkpointer]) -> None:
         kernel = self._get_kernel()
+        self._kernel_name = type(kernel).__name__.lower()
+        self._kernel_config = kernel_config(kernel)
         potential = kernel.potential
-        positions = np.stack([
-            self._initial_position(potential, rngs[c], init_params)
-            for c in range(self.num_chains)
-        ])
-        driver = VectorizedChains(kernel, self.num_chains)
         total_iters = self.num_warmup + self.num_samples * self.thinning
         collectors = [self._new_collector() for _ in range(self.num_chains)]
+        positions = None
+        resume_states = None
+        if resume_chains is not None:
+            for collector, snap in zip(collectors, resume_chains):
+                collector.load_state_dict(snap["collector"])
+            resume_states = [snap["state"] for snap in resume_chains]
+            kernel.divergences = int(resume_chains[0].get("divergences",
+                                                          kernel.divergences))
+        else:
+            positions = np.stack([
+                self._initial_position(potential, rngs[c], init_params)
+                for c in range(self.num_chains)
+            ])
+        driver = VectorizedChains(kernel, self.num_chains)
+        on_barrier = None
+        if ckpt is not None:
+            def on_barrier(chains, iteration):
+                ckpt.write([
+                    {"status": "running",
+                     "state": state.snapshot(),
+                     "collector": collectors[state.index].state_dict(),
+                     "divergences": int(kernel.divergences)}
+                    for state in chains
+                ])
         driver.run(positions, rngs, self.num_warmup, total_iters,
-                   on_result=lambda chain, i, z, info: collectors[chain].add(i, z, info))
+                   on_result=lambda chain, i, z, info: collectors[chain].add(i, z, info),
+                   barrier_every=ckpt.every if ckpt is not None else None,
+                   on_barrier=on_barrier, resume_states=resume_states)
         for collector in collectors:
             self._store_chain(potential, collector)
 
@@ -189,25 +419,87 @@ class MCMC:
         return OrderedDict((name, values[name]) for name in potential.sites)
 
     # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def posterior(self) -> Posterior:
+        """The run's draws and stats as a :class:`Posterior` (built once)."""
+        if self._posterior_cache is None:
+            if not self._samples_by_chain:
+                raise RuntimeError("run() must be called before posterior")
+            draws = {
+                name: np.stack([chain[name] for chain in self._samples_by_chain])
+                for name in self._samples_by_chain[0]
+            }
+            stats = {
+                key: np.stack([chain[key] for chain in self._stats_by_chain])
+                for key in self._stats_by_chain[0]
+            }
+            try:
+                unconstrained = np.stack(self._unconstrained_by_chain)
+            except ValueError:
+                unconstrained = None
+            metadata = {
+                "method": self._kernel_name or "mcmc",
+                "num_warmup": self.num_warmup,
+                "num_samples": self.num_samples,
+                "num_chains": self.num_chains,
+                "thinning": self.thinning,
+                "seed": self.seed,
+                "chain_method": self.chain_method,
+                "runtime_seconds": self.runtime_seconds,
+            }
+            metadata.update(self.metadata)
+            self._posterior_cache = Posterior(draws, stats=stats,
+                                              unconstrained=unconstrained,
+                                              metadata=metadata)
+        return self._posterior_cache
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """Chain diagnostics: cached summary, divergence count, runtime."""
+        out = self.posterior.diagnostics()
+        out["runtime_seconds"] = self.runtime_seconds
+        return out
+
+    # ------------------------------------------------------------------
+    # legacy accessors (thin delegations over the posterior)
+    # ------------------------------------------------------------------
     def get_samples(self, group_by_chain: bool = False) -> Dict[str, np.ndarray]:
         """Posterior draws per site; chains are concatenated unless grouped."""
         if not self._samples_by_chain:
             raise RuntimeError("run() must be called before get_samples()")
+        return self.posterior.get_samples(group_by_chain=group_by_chain)
+
+    def get_extra_fields(self, group_by_chain: Optional[bool] = None):
+        """Sampler statistics (accept_prob, step_size, divergent).
+
+        ``group_by_chain=True`` returns ``(num_chains, num_draws)`` arrays
+        per stat, ``False`` concatenates the chains — the same treatment as
+        :meth:`get_samples`.  Calling without the argument returns the
+        historical raw list-of-dicts-per-chain shape, with a deprecation
+        warning.
+        """
+        if group_by_chain is None:
+            warn_once(
+                "mcmc-get-extra-fields-legacy",
+                "MCMC.get_extra_fields() without group_by_chain returns the legacy "
+                "list-of-dicts-per-chain; pass group_by_chain=True/False for stacked "
+                "arrays (or read .posterior.stats)")
+            return self._stats_by_chain
+        if not self._stats_by_chain:
+            raise RuntimeError("run() must be called before get_extra_fields()")
+        stats = self.posterior.stats
         if group_by_chain:
-            return {
-                name: np.stack([chain[name] for chain in self._samples_by_chain])
-                for name in self._samples_by_chain[0]
-            }
+            return dict(stats)
         return {
-            name: np.concatenate([chain[name] for chain in self._samples_by_chain])
-            for name in self._samples_by_chain[0]
+            key: value.reshape((-1,) + value.shape[2:])
+            for key, value in stats.items()
         }
 
-    def get_extra_fields(self) -> List[Dict[str, np.ndarray]]:
-        return self._stats_by_chain
-
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Posterior summary (mean, std, quantiles, n_eff, r_hat) per scalar."""
-        from repro.infer import diagnostics
+        """Posterior summary (mean, std, quantiles, n_eff, r_hat) per scalar.
 
-        return diagnostics.summary(self.get_samples(group_by_chain=True))
+        Computed once per run and cached on the posterior — repeated calls
+        do not re-stack chains or recompute R-hat/ESS.
+        """
+        return self.posterior.summary()

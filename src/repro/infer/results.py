@@ -1,0 +1,334 @@
+"""Posterior-first result containers shared by every inference engine.
+
+The user-facing surface of the paper's pipeline used to be per-method: NUTS
+returned an ``MCMC`` driver, VI a fitted engine, importance sampling a
+sampler object — each with its own draw accessors and none serializable.
+This module provides the single result abstraction they all now produce:
+
+* :class:`Posterior` — per-chain constrained draws, the unconstrained draws
+  they came from, per-draw sampler statistics and run metadata, with
+  chain-axis ``stack`` / draw-axis ``concat``, ``thin``, a cached
+  ``summary()`` and an exact ``save``/``load`` round trip (``.npz`` array
+  payload + ``.json`` metadata sidecar);
+* :class:`FitResult` — the protocol every engine satisfies
+  (``.posterior`` + ``.diagnostics()``), so callers can treat
+  ``condition(data).fit("nuts")`` and ``.fit("vi")`` results uniformly.
+
+Draw layout is chain-major everywhere, matching the batched kernel state:
+``draws[name]`` has shape ``(num_chains, num_draws, *site_shape)``,
+``stats[key]`` has shape ``(num_chains, num_draws)`` and the optional
+``unconstrained`` matrix has shape ``(num_chains, num_draws, dim)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+#: bumped whenever the on-disk layout of ``save``/``load`` changes.
+POSTERIOR_SCHEMA_VERSION = 1
+
+_FORMAT = "repro-posterior"
+
+
+def posterior_rng(seed: int) -> np.random.Generator:
+    """The dedicated RNG every engine uses to *materialise* its posterior.
+
+    Derived from the engine seed plus a fixed domain tag, so building the
+    ``.posterior`` never perturbs the engine's training / draw streams and
+    is reproducible for a fixed seed.
+    """
+    return np.random.default_rng([seed, 0x504F5354])
+
+
+@runtime_checkable
+class FitResult(Protocol):
+    """What every fitted inference engine exposes.
+
+    ``posterior`` materialises the draws as a :class:`Posterior`;
+    ``diagnostics()`` returns a method-appropriate quality report (R-hat/ESS
+    for MCMC, ELBO trajectory and PSIS k-hat for VI, ESS/k-hat for
+    importance sampling).
+    """
+
+    @property
+    def posterior(self) -> "Posterior": ...
+
+    def diagnostics(self) -> Dict[str, Any]: ...
+
+
+class Posterior:
+    """Container of posterior draws from any inference method.
+
+    Parameters
+    ----------
+    draws:
+        Mapping of site name to a ``(num_chains, num_draws, *shape)`` array of
+        constrained draws.
+    stats:
+        Optional per-draw sampler statistics, each ``(num_chains, num_draws)``.
+    unconstrained:
+        Optional ``(num_chains, num_draws, dim)`` matrix of the unconstrained
+        states the draws were transformed from (kept by MCMC and the
+        Gaussian-family VI guides; ``None`` for trace-based methods).
+    metadata:
+        JSON-serializable run facts (method, scheme, backend, seed, runtime).
+    """
+
+    def __init__(self, draws: Dict[str, np.ndarray],
+                 stats: Optional[Dict[str, np.ndarray]] = None,
+                 unconstrained: Optional[np.ndarray] = None,
+                 metadata: Optional[Dict[str, Any]] = None):
+        if not draws:
+            raise ValueError("a Posterior needs at least one sampled site")
+        self.draws: Dict[str, np.ndarray] = {
+            name: np.asarray(value) for name, value in draws.items()
+        }
+        first = next(iter(self.draws.values()))
+        if first.ndim < 2:
+            raise ValueError(
+                "draws must be chain-major (num_chains, num_draws, *shape) arrays")
+        self._chains, self._num_draws = first.shape[0], first.shape[1]
+        for name, value in self.draws.items():
+            if value.shape[:2] != (self._chains, self._num_draws):
+                raise ValueError(
+                    f"site {name!r} has leading shape {value.shape[:2]}, expected "
+                    f"{(self._chains, self._num_draws)}")
+        self.stats: Dict[str, np.ndarray] = {
+            key: np.asarray(value) for key, value in (stats or {}).items()
+        }
+        for key, value in self.stats.items():
+            if value.shape[:2] != (self._chains, self._num_draws):
+                raise ValueError(
+                    f"stat {key!r} has shape {value.shape}, expected leading "
+                    f"{(self._chains, self._num_draws)}")
+        self.unconstrained = None if unconstrained is None else np.asarray(unconstrained)
+        if self.unconstrained is not None and \
+                self.unconstrained.shape[:2] != (self._chains, self._num_draws):
+            raise ValueError(
+                f"unconstrained has shape {self.unconstrained.shape}, expected leading "
+                f"{(self._chains, self._num_draws)}")
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self._summary: Optional[Dict[str, Dict[str, float]]] = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_chains(self) -> int:
+        return self._chains
+
+    @property
+    def num_draws(self) -> int:
+        """Retained draws per chain."""
+        return self._num_draws
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self.draws)
+
+    def get_samples(self, group_by_chain: bool = False) -> Dict[str, np.ndarray]:
+        """Draws per site; chains are concatenated unless grouped."""
+        if group_by_chain:
+            return dict(self.draws)
+        return {
+            name: value.reshape((self._chains * self._num_draws,) + value.shape[2:])
+            for name, value in self.draws.items()
+        }
+
+    def __repr__(self) -> str:
+        method = self.metadata.get("method", "?")
+        return (f"Posterior(method={method!r}, chains={self._chains}, "
+                f"draws={self._num_draws}, sites={self.sites})")
+
+    # ------------------------------------------------------------------
+    # combination and selection
+    # ------------------------------------------------------------------
+    @classmethod
+    def stack(cls, posteriors: Sequence["Posterior"]) -> "Posterior":
+        """Combine posteriors along the *chain* axis (sharded inference)."""
+        return cls._combine(posteriors, axis=0)
+
+    @classmethod
+    def concat(cls, posteriors: Sequence["Posterior"]) -> "Posterior":
+        """Combine posteriors along the *draw* axis (continued runs)."""
+        return cls._combine(posteriors, axis=1)
+
+    @classmethod
+    def _combine(cls, posteriors: Sequence["Posterior"], axis: int) -> "Posterior":
+        posteriors = list(posteriors)
+        if not posteriors:
+            raise ValueError("need at least one Posterior to combine")
+        head = posteriors[0]
+        for other in posteriors[1:]:
+            if other.sites != head.sites:
+                raise ValueError(
+                    f"cannot combine posteriors over different sites: "
+                    f"{head.sites} vs {other.sites}")
+        draws = {
+            name: np.concatenate([p.draws[name] for p in posteriors], axis=axis)
+            for name in head.draws
+        }
+        stat_keys = set(head.stats)
+        for other in posteriors[1:]:
+            stat_keys &= set(other.stats)
+        stats = {
+            key: np.concatenate([p.stats[key] for p in posteriors], axis=axis)
+            for key in head.stats if key in stat_keys
+        }
+        if all(p.unconstrained is not None for p in posteriors):
+            unconstrained = np.concatenate(
+                [p.unconstrained for p in posteriors], axis=axis)
+        else:
+            unconstrained = None
+        metadata = dict(head.metadata)
+        metadata["combined"] = {"op": "stack" if axis == 0 else "concat",
+                                "parts": len(posteriors)}
+        return cls(draws, stats=stats, unconstrained=unconstrained, metadata=metadata)
+
+    def thin(self, factor: int) -> "Posterior":
+        """Keep every ``factor``-th draw of every chain."""
+        factor = int(factor)
+        if factor < 1:
+            raise ValueError(f"thinning factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        metadata = dict(self.metadata)
+        metadata["thinned_by"] = factor * int(metadata.get("thinned_by", 1))
+        return Posterior(
+            {name: value[:, ::factor] for name, value in self.draws.items()},
+            stats={key: value[:, ::factor] for key, value in self.stats.items()},
+            unconstrained=None if self.unconstrained is None
+            else self.unconstrained[:, ::factor],
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-scalar mean/std/quantiles/ESS/R-hat (computed once, cached)."""
+        if self._summary is None:
+            from repro.infer import diagnostics
+
+            self._summary = diagnostics.summary(self.draws)
+        return self._summary
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """Summary plus chain-level counts (divergences when recorded)."""
+        out: Dict[str, Any] = {
+            "num_chains": self._chains,
+            "num_draws": self._num_draws,
+            "summary": self.summary(),
+        }
+        if "divergent" in self.stats:
+            out["divergences"] = int(np.sum(self.stats["divergent"]))
+        return out
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (arrays included) used by ``save`` and the tests."""
+        return {
+            "schema_version": POSTERIOR_SCHEMA_VERSION,
+            "draws": dict(self.draws),
+            "stats": dict(self.stats),
+            "unconstrained": self.unconstrained,
+            "metadata": dict(self.metadata),
+        }
+
+    @staticmethod
+    def _paths(path: str) -> tuple:
+        for suffix in (".npz", ".json"):
+            if path.endswith(suffix):
+                path = path[:-len(suffix)]
+                break
+        return path + ".npz", path + ".json"
+
+    def save(self, path: str) -> str:
+        """Write the posterior to ``<path>.npz`` plus a ``<path>.json`` sidecar.
+
+        The array payload (draws, stats, unconstrained) goes to the ``.npz``
+        uncompressed — the round trip is exact to the bit — and the JSON
+        sidecar carries the schema version, site/stat ordering and metadata.
+        Returns the ``.npz`` path.
+        """
+        npz_path, json_path = self._paths(path)
+        directory = os.path.dirname(os.path.abspath(npz_path))
+        os.makedirs(directory, exist_ok=True)
+        arrays: Dict[str, np.ndarray] = {}
+        for name, value in self.draws.items():
+            arrays[f"draws/{name}"] = value
+        for key, value in self.stats.items():
+            arrays[f"stats/{key}"] = value
+        if self.unconstrained is not None:
+            arrays["unconstrained"] = self.unconstrained
+        np.savez(npz_path, **arrays)
+        sidecar = {
+            "format": _FORMAT,
+            "schema_version": POSTERIOR_SCHEMA_VERSION,
+            "sites": list(self.draws),
+            "stat_keys": list(self.stats),
+            "num_chains": self._chains,
+            "num_draws": self._num_draws,
+            "has_unconstrained": self.unconstrained is not None,
+            "metadata": self.metadata,
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(sidecar, handle, indent=2, sort_keys=True, default=float)
+            handle.write("\n")
+        return npz_path
+
+    @classmethod
+    def load(cls, path: str) -> "Posterior":
+        """Load a posterior written by :meth:`save`.
+
+        Accepts the ``.npz`` path, the ``.json`` sidecar path, or the
+        common basename.
+        """
+        npz_path, json_path = cls._paths(path)
+        with open(json_path, "r", encoding="utf-8") as handle:
+            sidecar = json.load(handle)
+        if sidecar.get("format") != _FORMAT:
+            raise ValueError(f"{json_path} is not a saved Posterior "
+                             f"(format={sidecar.get('format')!r})")
+        version = sidecar.get("schema_version")
+        if version != POSTERIOR_SCHEMA_VERSION:
+            raise ValueError(
+                f"posterior schema version {version} is not supported "
+                f"(expected {POSTERIOR_SCHEMA_VERSION})")
+        with np.load(npz_path) as payload:
+            draws = {name: payload[f"draws/{name}"] for name in sidecar["sites"]}
+            stats = {key: payload[f"stats/{key}"] for key in sidecar["stat_keys"]}
+            unconstrained = (payload["unconstrained"]
+                             if sidecar.get("has_unconstrained") else None)
+        return cls(draws, stats=stats, unconstrained=unconstrained,
+                   metadata=sidecar.get("metadata") or {})
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def equals(self, other: "Posterior", check_metadata: bool = False) -> bool:
+        """Exact (bitwise) equality of draws, stats and unconstrained states."""
+        if not isinstance(other, Posterior):
+            return False
+        if self.sites != other.sites or set(self.stats) != set(other.stats):
+            return False
+        for name in self.draws:
+            if not np.array_equal(self.draws[name], other.draws[name], equal_nan=True):
+                return False
+        for key in self.stats:
+            if not np.array_equal(self.stats[key], other.stats[key], equal_nan=True):
+                return False
+        if (self.unconstrained is None) != (other.unconstrained is None):
+            return False
+        if self.unconstrained is not None and not np.array_equal(
+                self.unconstrained, other.unconstrained, equal_nan=True):
+            return False
+        if check_metadata and self.metadata != other.metadata:
+            return False
+        return True

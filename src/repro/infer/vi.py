@@ -7,8 +7,8 @@ ELBOs through the vectorized ``potential_and_grad_batched`` fast path (the
 particles ride the chain axis of the batched tape).  Explicit DeepStan
 ``guide`` blocks run through :class:`ExplicitVI`, a wrapper over the
 trace-based :class:`~repro.infer.svi.SVI` that exposes the same result API,
-so ``compiled.run_vi(data, guide=...)`` behaves uniformly across the whole
-guide spectrum:
+so ``compiled.condition(data).fit("vi", guide=...)`` behaves uniformly across
+the whole guide spectrum:
 
 * ``elbo_history`` / ``losses`` — the per-step objective trace;
 * ``guide_sample()`` / ``posterior_draws()`` — draws from the fitted guide in
@@ -35,9 +35,20 @@ import numpy as np
 
 from repro.autodiff.tensor import Tensor, as_tensor
 from repro.guides import AutoGuide, get_autoguide
+from repro.infer.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    base_checkpoint_path,
+    read_checkpoint,
+    restore_rng,
+    rng_state,
+)
 from repro.infer.importance import importance_ess, pareto_smoothed_log_weights
 from repro.infer.potential import Potential
+from repro.infer.results import Posterior, posterior_rng
 from repro.ppl import handlers
+
+VI_CHECKPOINT_FORMAT = "repro-vi-checkpoint"
 
 
 @dataclass
@@ -102,6 +113,13 @@ class VI:
         self._adam_m: Optional[List[np.ndarray]] = None
         self._adam_v: Optional[List[np.ndarray]] = None
         self._adam_t = 0
+        #: extra run facts merged into ``posterior.metadata`` (the fluent
+        #: pipeline records scheme/backend/model name here).
+        self.metadata: Dict[str, Any] = {}
+        self._posterior_cache: Optional[Posterior] = None
+        self._run_target = 0
+        self._snapshot_count = 0
+        self.last_checkpoint_path: Optional[str] = None
 
     # ------------------------------------------------------------------
     # optimisation
@@ -141,15 +159,157 @@ class VI:
             v_hat = v / (1 - beta2 ** t)
             p.data = p.data - self.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
 
-    def run(self, num_steps: int = 1000) -> "VI":
-        """Optimise the guide for ``num_steps`` Adam steps."""
+    def run(self, num_steps: int = 1000, checkpoint_every: Optional[int] = None,
+            checkpoint_path: Optional[str] = None,
+            checkpoint_keep: bool = False) -> "VI":
+        """Optimise the guide for ``num_steps`` Adam steps.
+
+        With ``checkpoint_every=N`` and ``checkpoint_path`` given, an
+        optimizer-state snapshot (guide parameters, Adam moments, ELBO
+        history, RNG bit-state) is written every ``N`` steps;
+        ``checkpoint_keep`` additionally retains every snapshot as
+        ``<path>.snap<k>``.  :meth:`resume` continues such a snapshot
+        bitwise-identically to an uninterrupted run.
+        """
+        if checkpoint_every and not checkpoint_path:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        self._posterior_cache = None
+        self._run_target = len(self.elbo_history) + int(num_steps)
+        writer = None
+        if checkpoint_every and checkpoint_path:
+            # Resumed runs continue the history numbering where the
+            # interrupted run left off (see CheckpointWriter).
+            writer = CheckpointWriter(checkpoint_path, keep=checkpoint_keep,
+                                      count=self._snapshot_count)
         for _ in range(num_steps):
             self.step()
+            done = len(self.elbo_history)
+            if writer is not None and \
+                    done % int(checkpoint_every) == 0 and done < self._run_target:
+                writer.write(self._checkpoint_payload(int(checkpoint_every),
+                                                      writer.keep))
+                self.last_checkpoint_path = writer.last_path
+                self._snapshot_count = writer.count
         return self
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def _checkpoint_payload(self, checkpoint_every: int,
+                            checkpoint_keep: bool = False) -> Dict[str, Any]:
+        params = self.guide.parameters()
+        return {
+            "format": VI_CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "guide_name": self.guide.guide_name,
+            "config": {
+                "learning_rate": self.learning_rate,
+                "num_particles": self.num_particles,
+                "seed": self.seed,
+            },
+            "checkpoint_every": int(checkpoint_every),
+            "checkpoint_keep": bool(checkpoint_keep),
+            "steps_done": len(self.elbo_history),
+            "target_steps": self._run_target,
+            "elbo_history": list(self.elbo_history),
+            "params": [np.array(p.data) for p in params],
+            "adam": {
+                "m": None if self._adam_m is None else [np.array(m) for m in self._adam_m],
+                "v": None if self._adam_v is None else [np.array(v) for v in self._adam_v],
+                "t": self._adam_t,
+            },
+            "rng_state": rng_state(self.rng),
+        }
+
+    @classmethod
+    def resume(cls, path: str, potential: Potential,
+               guide: Union[str, AutoGuide, None] = None,
+               checkpoint_every: Optional[int] = None,
+               checkpoint_path: Optional[str] = None,
+               checkpoint_keep: Optional[bool] = None) -> "VI":
+        """Continue an interrupted checkpointed fit to its target step count.
+
+        ``potential`` must be rebuilt over the same model and data (model
+        callables are deliberately not stored).  ``guide`` defaults to a
+        fresh instance of the checkpoint's guide family; pass an instance
+        for families constructed with non-default arguments (e.g.
+        ``AutoLowRankMultivariateNormal(rank=4)``).  The continuation is
+        bitwise-identical to an uninterrupted run: guide parameters, Adam
+        moments and the RNG bit-state are all restored exactly.
+        """
+        payload = read_checkpoint(path, VI_CHECKPOINT_FORMAT)
+        return cls.resume_payload(payload, potential, guide=guide,
+                                  default_path=base_checkpoint_path(path),
+                                  checkpoint_every=checkpoint_every,
+                                  checkpoint_path=checkpoint_path,
+                                  checkpoint_keep=checkpoint_keep)
+
+    @classmethod
+    def resume_payload(cls, payload: Dict[str, Any], potential: Potential,
+                       guide: Union[str, AutoGuide, None] = None,
+                       default_path: Optional[str] = None,
+                       checkpoint_every: Optional[int] = None,
+                       checkpoint_path: Optional[str] = None,
+                       checkpoint_keep: Optional[bool] = None) -> "VI":
+        """:meth:`resume` over an already-deserialized checkpoint payload."""
+        if guide is None:
+            guide = payload["guide_name"]
+        engine = cls(potential, guide=guide, **payload["config"])
+        params = engine.guide.parameters()
+        saved = payload["params"]
+        if len(params) != len(saved):
+            raise ValueError(
+                f"guide has {len(params)} parameter tensors, checkpoint stores "
+                f"{len(saved)} — pass a guide constructed like the original")
+        for p, value in zip(params, saved):
+            p.data = np.array(value)
+        adam = payload["adam"]
+        engine._adam_m = None if adam["m"] is None else [np.array(m) for m in adam["m"]]
+        engine._adam_v = None if adam["v"] is None else [np.array(v) for v in adam["v"]]
+        engine._adam_t = int(adam["t"])
+        engine.elbo_history = list(payload["elbo_history"])
+        engine.rng = restore_rng(payload["rng_state"])
+        engine._snapshot_count = int(payload.get("snapshot_count", 0))
+        remaining = int(payload["target_steps"]) - int(payload["steps_done"])
+        every = payload.get("checkpoint_every") if checkpoint_every is None \
+            else checkpoint_every
+        keep = bool(payload.get("checkpoint_keep", False)) if checkpoint_keep is None \
+            else checkpoint_keep
+        return engine.run(remaining, checkpoint_every=every or None,
+                          checkpoint_path=checkpoint_path or default_path,
+                          checkpoint_keep=keep)
 
     # ------------------------------------------------------------------
     # the fitted guide as a posterior approximation
     # ------------------------------------------------------------------
+    @property
+    def posterior(self) -> Posterior:
+        """The fitted guide as a :class:`Posterior` (1000 draws, built once).
+
+        Uses a dedicated RNG derived from the engine seed, so materialising
+        the posterior never perturbs the training or ``posterior_draws``
+        stream and is reproducible for a fixed seed.
+        """
+        if self._posterior_cache is None:
+            num_samples = 1000
+            rng = posterior_rng(self.seed)
+            z = self.guide.sample_unconstrained(rng, num_samples)
+            constrained = self.potential.constrained_dict_batched(z)
+            draws = {name: value[None] for name, value in constrained.items()}
+            metadata = {
+                "method": "vi",
+                "guide": self.guide.guide_name,
+                "num_steps": len(self.elbo_history),
+                "num_samples": num_samples,
+                "seed": self.seed,
+                "elbo_final": (float(np.mean(self.elbo_history[-10:]))
+                               if self.elbo_history else None),
+            }
+            metadata.update(self.metadata)
+            self._posterior_cache = Posterior(draws, unconstrained=z[None],
+                                              metadata=metadata)
+        return self._posterior_cache
+
     def posterior_draws(self, num_samples: int = 1000) -> Dict[str, np.ndarray]:
         """Draws from the fitted guide, mapped to constrained space."""
         z = self.guide.sample_unconstrained(self.rng, num_samples)
@@ -281,8 +441,12 @@ class ExplicitVI:
                        loss=TraceELBO(num_particles=num_particles or 1), seed=seed)
         # Snapshot of the fitted guide parameters (see _restore_params).
         self._param_snapshot: Dict[str, np.ndarray] = {}
+        #: extra run facts merged into ``posterior.metadata``.
+        self.metadata: Dict[str, Any] = {}
+        self._posterior_cache: Optional[Posterior] = None
 
     def run(self, num_steps: int = 1000) -> "ExplicitVI":
+        self._posterior_cache = None
         self.svi.run(num_steps)
         from repro.ppl import primitives
 
@@ -318,6 +482,38 @@ class ExplicitVI:
         return self.svi.elbo_history
 
     # ------------------------------------------------------------------
+    @property
+    def posterior(self) -> Posterior:
+        """The fitted explicit guide as a :class:`Posterior` (1000 draws).
+
+        Trace-based guides have no flat unconstrained parameterisation, so
+        ``unconstrained`` is ``None``; the draw stream comes from a dedicated
+        RNG derived from the engine seed.
+        """
+        if self._posterior_cache is None:
+            num_samples = 1000
+            self._restore_params()
+            rng = posterior_rng(self.seed)
+            out: Dict[str, List[np.ndarray]] = {}
+            for _ in range(num_samples):
+                latents, _ = self._sample_latents(rng)
+                for name, value in latents.items():
+                    if self.latent_names is None or name in self.latent_names:
+                        out.setdefault(name, []).append(value)
+            draws = {name: np.array(values)[None] for name, values in out.items()}
+            metadata = {
+                "method": "vi",
+                "guide": self.guide_name,
+                "num_steps": len(self.elbo_history),
+                "num_samples": num_samples,
+                "seed": self.seed,
+                "elbo_final": (float(np.mean(self.elbo_history[-10:]))
+                               if self.elbo_history else None),
+            }
+            metadata.update(self.metadata)
+            self._posterior_cache = Posterior(draws, metadata=metadata)
+        return self._posterior_cache
+
     def posterior_draws(self, num_samples: int = 1000) -> Dict[str, np.ndarray]:
         self._restore_params()
         return self.svi.sample_posterior(num_samples, site_names=self.latent_names)
@@ -328,8 +524,8 @@ class ExplicitVI:
             return {name: value[0] for name, value in draws.items()}
         return draws
 
-    def _trace_guide(self, rng: np.random.Generator):
-        """One guide execution: latent values and their joint log density.
+    def _sample_latents(self, rng: np.random.Generator):
+        """One guide execution: ``(latent values, trace)`` — no density work.
 
         Callers must :meth:`_restore_params` first (once, not per draw).
         """
@@ -337,13 +533,20 @@ class ExplicitVI:
         with handlers.seed(rng_seed=rng), tracer:
             self.guide_fn()
         latents: Dict[str, np.ndarray] = {}
-        log_q = 0.0
-        for name, site in tracer.trace.items():
-            if site["type"] != "sample" or site["is_observed"]:
-                continue
+        for name, site in handlers.latent_sites(tracer.trace).items():
             value = site["value"]
             raw = value.data if isinstance(value, Tensor) else np.asarray(value, dtype=float)
             latents[name] = np.array(raw, dtype=float)
+        return latents, tracer.trace
+
+    def _trace_guide(self, rng: np.random.Generator):
+        """One guide execution: latent values and their joint log density.
+
+        Callers must :meth:`_restore_params` first (once, not per draw).
+        """
+        latents, trace = self._sample_latents(rng)
+        log_q = 0.0
+        for site in handlers.latent_sites(trace).values():
             lp = site["fn"].log_prob(site["value"])
             lp_val = lp.data if isinstance(lp, Tensor) else np.asarray(lp)
             log_q += float(np.sum(lp_val))

@@ -23,7 +23,8 @@ from repro.core.schemes import prior_for_declaration
 from repro.frontend import ast
 from repro.frontend.parser import parse_program
 from repro.frontend.semantics import check_program
-from repro.infer import ADVI, MCMC, NUTS, Potential
+from repro.guides import AutoNormal
+from repro.infer import MCMC, NUTS, Potential, VI
 from repro.ppl.primitives import sample
 from repro.stanref.interpreter import (
     Environment,
@@ -136,10 +137,16 @@ class StanModel:
 
     def run_advi(self, data: Dict[str, Any], num_steps: int = 1000, learning_rate: float = 0.05,
                  num_samples: int = 1000, seed: int = 0) -> Dict[str, np.ndarray]:
-        """Stan's ADVI: mean-field VI over the same density (Fig. 10 baseline)."""
+        """Stan's ADVI: mean-field VI over the same density (Fig. 10 baseline).
+
+        Runs the unified VI engine with the mean-field family and one ELBO
+        particle — the exact (bitwise) computation of the historical ADVI
+        loop, without routing through the deprecated alias.
+        """
         potential = self.potential(data, rng_seed=seed)
-        advi = ADVI(potential, learning_rate=learning_rate, seed=seed).run(num_steps)
-        return advi.sample_posterior(num_samples)
+        vi = VI(potential, guide=AutoNormal(), learning_rate=learning_rate,
+                num_particles=1, seed=seed).run(num_steps)
+        return vi.posterior_draws(num_samples)
 
     # ------------------------------------------------------------------
     # post-processing

@@ -159,7 +159,7 @@ def test_nuts_step_size_adaptation_changes_step(rng):
     kernel = NUTS(pot)
     mcmc = MCMC(kernel, num_warmup=100, num_samples=10, seed=0).run()
     assert kernel.step_size > 0
-    stats = mcmc.get_extra_fields()[0]
+    stats = mcmc.get_extra_fields(group_by_chain=False)
     assert np.nanmean(stats["accept_prob"]) > 0.4
 
 

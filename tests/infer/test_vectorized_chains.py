@@ -141,11 +141,10 @@ def test_vectorized_matches_sequential_eight_schools(kernel_cls):
     for name in seq_draws:
         np.testing.assert_allclose(vec_draws[name], seq_draws[name], atol=1e-12,
                                    err_msg=f"site {name} diverged between chain methods")
-    for chain in range(3):
-        seq_stats = seq.get_extra_fields()[chain]
-        vec_stats = vec.get_extra_fields()[chain]
-        for key in ("accept_prob", "step_size", "divergent"):
-            np.testing.assert_allclose(vec_stats[key], seq_stats[key], atol=1e-12)
+    seq_stats = seq.get_extra_fields(group_by_chain=True)
+    vec_stats = vec.get_extra_fields(group_by_chain=True)
+    for key in ("accept_prob", "step_size", "divergent"):
+        np.testing.assert_allclose(vec_stats[key], seq_stats[key], atol=1e-12)
 
 
 def test_vectorized_matches_sequential_corpus_model():
