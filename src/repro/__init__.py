@@ -34,6 +34,7 @@ from repro.core import (
     compile_file,
     compile_model,
 )
+from repro.enum import EnumerationError, TableSizeError, infer_discrete
 from repro.infer.results import FitResult, Posterior
 
 __version__ = "0.1.0"
@@ -51,5 +52,8 @@ __all__ = [
     "CompileError",
     "NonGenerativeModelError",
     "UnsupportedFeatureError",
+    "EnumerationError",
+    "TableSizeError",
+    "infer_discrete",
     "__version__",
 ]

@@ -169,6 +169,26 @@ def _slice_index(lower=None, upper=None):
     return slice(lo, hi)
 
 
+def _tie_index_tensors(out, indices):
+    """Zero-valued graph edges from tensor indices into an indexed result.
+
+    Indexing is not differentiable in the index, but provenance analyses
+    (the enumeration engine's term classification) need ``mu[z]`` to record
+    its dependence on ``z``.  Only applied when the index broadcasts cleanly
+    into the result; otherwise the caller's validation nets handle it.
+    """
+    if not isinstance(out, Tensor):
+        return out
+    for idx in indices:
+        if isinstance(idx, Tensor):
+            try:
+                if np.broadcast_shapes(out.data.shape, idx.data.shape) == out.data.shape:
+                    out = ops.add(out, ops.mul(idx, 0.0))
+            except ValueError:
+                pass
+    return out
+
+
 def _index(base, *indices):
     """One-based indexing of arrays, vectors, matrices and Tensors.
 
@@ -179,15 +199,27 @@ def _index(base, *indices):
     """
     norm = tuple(_normalize_index(i) for i in indices)
     if isinstance(base, Tensor) and getattr(base, "is_batched", False):
-        out = base[(slice(None),) + norm]
+        b = base.data.shape[0]
+        arrays = [i for i in norm if isinstance(i, np.ndarray) and i.ndim >= 1]
+        if arrays and all(a.shape[0] == b for a in arrays):
+            # Per-row indices (e.g. a latent vector indexed by an enumerated
+            # assignment): gather row-wise so row i of the result reads row i
+            # of the base — a plain advanced index would take the outer
+            # product of the batch axes instead.
+            idx_shape = np.broadcast_shapes(*[a.shape for a in arrays])
+            rows = np.arange(b).reshape((b,) + (1,) * (len(idx_shape) - 1))
+            out = base[(rows,) + norm]
+        else:
+            out = base[(slice(None),) + norm]
         if out.data.ndim == 1:
             out = out.reshape((out.data.shape[0], 1))
+        out = _tie_index_tensors(out, indices)
         out.is_batched = True
         return out
     if len(norm) == 1:
         norm = norm[0]
     if isinstance(base, Tensor):
-        return base[norm]
+        return _tie_index_tensors(base[norm], indices)
     if isinstance(base, (list, tuple)):
         if isinstance(norm, tuple):
             out = base
@@ -333,7 +365,27 @@ def _or(a, b):
 
 
 def _array(*elements):
-    """Stan brace array literal ``{e1, ..., en}``."""
+    """Stan brace array literal ``{e1, ..., en}``.
+
+    During vectorized evaluation an array of per-chain scalars (``(C, 1)``
+    tensors) becomes a per-chain vector ``(C, n)`` — stacking along a new
+    leading axis would bury the chain axis and mix rows downstream.
+    """
+    batch = current_batch_size()
+    if batch is not None and any(_is_chain_scalar(e, batch) for e in elements):
+        columns = []
+        for e in elements:
+            t = as_tensor(e)
+            if t.data.ndim == 0:
+                t = ops.mul(ops.reshape(t, (1, 1)), np.ones((batch, 1)))
+            elif t.data.shape != (batch, 1):
+                raise BatchMixingError(
+                    "array literal mixes per-chain scalars with an element of "
+                    f"shape {t.data.shape}")
+            columns.append(t)
+        out = ops.concatenate(columns, axis=-1)
+        out.is_batched = True
+        return out
     if any(isinstance(e, Tensor) for e in elements):
         return ops.stack([as_tensor(e) for e in elements])
     return np.array([_to_value(e) for e in elements], dtype=float)

@@ -65,6 +65,11 @@ class CompiledModel:
     model_ir: ir.GExpr
     guide_ir: Optional[ir.GExpr] = None
     compile_time_seconds: float = 0.0
+    #: ``"parallel"`` when the discrete-latent enumeration engine is enabled
+    #: (bounded ``int`` parameters marginalized exactly); ``None`` otherwise.
+    enumerate_mode: Optional[str] = None
+    #: cap on the joint enumeration table (``None`` = engine default).
+    max_enum_table_size: Optional[int] = None
 
     # ------------------------------------------------------------------
     # structural accessors
@@ -129,9 +134,16 @@ class CompiledModel:
         return lambda: guide_fn(**inputs)
 
     def potential(self, data: Optional[Dict[str, Any]] = None, rng_seed: int = 0) -> Potential:
-        """Potential-energy object over the model's latent parameters."""
+        """Potential-energy object over the model's latent parameters.
+
+        With ``enumerate="parallel"`` the potential is the **exact marginal**
+        over the model's discrete latent sites (see :mod:`repro.enum`), so
+        gradient-based inference runs unchanged on the continuous remainder.
+        """
         return Potential(self.model_callable(data), rng_seed=rng_seed,
-                         fast=(self.backend == "numpyro"))
+                         fast=(self.backend == "numpyro"),
+                         enumerate=self.enumerate_mode,
+                         max_table_size=self.max_enum_table_size)
 
     def log_joint(self, data: Dict[str, Any], params: Dict[str, Any]) -> float:
         """Log joint density of ``params`` and ``data`` under the compiled model.
@@ -284,12 +296,15 @@ class ConditionedModel:
         return self._model_callable
 
     def _metadata(self, method: str, seed: int) -> Dict[str, Any]:
-        return {
+        meta = {
             "method": method,
             "scheme": self.compiled.scheme,
             "backend": self.compiled.backend,
             "seed": seed,
         }
+        if self.compiled.enumerate_mode is not None:
+            meta["enumerate"] = self.compiled.enumerate_mode
+        return meta
 
     # ------------------------------------------------------------------
     # fitting
@@ -506,6 +521,58 @@ class ConditionedModel:
         return seed
 
     # ------------------------------------------------------------------
+    # discrete posteriors (the enumeration engine's post-pass)
+    # ------------------------------------------------------------------
+    def infer_discrete(self, posterior: Union[Posterior, FitResult],
+                       mode: str = "marginal", seed: int = 0,
+                       include_marginals: bool = True) -> Posterior:
+        """Recover the discrete sites a marginalized fit summed out.
+
+        For every retained draw the per-assignment posterior over the joint
+        enumeration table is recomputed conditional on that draw's
+        continuous parameters, and read out per ``mode``:
+
+        * ``"marginal"`` — per-element marginal probabilities
+          (responsibilities), integer draws are the per-element modes;
+        * ``"max"`` — the joint MAP assignment per draw;
+        * ``"sample"`` — one seeded exact assignment sample per draw.
+
+        Returns a **new** :class:`~repro.infer.Posterior` whose draws merge
+        the integer-valued discrete sites into the continuous ones (so
+        ``summary()`` reports mode/support probabilities for them); with
+        ``include_marginals=True`` each discrete site also gets a
+        ``<name>__marginal`` probability array with a trailing support axis.
+        """
+        from repro.enum import infer_discrete as _infer_discrete
+
+        if not isinstance(posterior, Posterior):
+            posterior = posterior.posterior
+        if posterior.unconstrained is None:
+            raise ValueError(
+                "infer_discrete needs the posterior's unconstrained states; "
+                "this posterior does not carry them (trace-based methods drop "
+                "them — use an MCMC or Gaussian-family VI fit)")
+        fit_seed = int(posterior.metadata.get("seed", 0))
+        potential = self.potential(fit_seed)
+        result = _infer_discrete(potential, posterior.unconstrained, mode=mode,
+                                 seed=seed)
+        draws = dict(posterior.draws)
+        draws.update(result.draws)
+        if include_marginals:
+            for name, probs in result.marginals.items():
+                draws[f"{name}__marginal"] = probs
+        metadata = dict(posterior.metadata)
+        metadata["infer_discrete"] = {
+            "mode": mode,
+            "seed": seed,
+            "sites": sorted(result.draws),
+            "support": {name: values.tolist()
+                        for name, values in result.support.items()},
+        }
+        return Posterior(draws, stats=posterior.stats,
+                         unconstrained=posterior.unconstrained, metadata=metadata)
+
+    # ------------------------------------------------------------------
     # the generative directions
     # ------------------------------------------------------------------
     def sample_prior(self, num_draws: int = 1, seed: int = 0) -> Dict[str, np.ndarray]:
@@ -558,9 +625,10 @@ class ConditionedModel:
 # ----------------------------------------------------------------------
 # compilation entry points
 # ----------------------------------------------------------------------
-def _build_program(program: ast.Program, backend: str, scheme: str, name: str):
+def _build_program(program: ast.Program, backend: str, scheme: str, name: str,
+                   allow_enumeration: bool = False):
     """Check + scheme-compile + codegen; returns (model_ir, guide_ir, source, code)."""
-    check_program(program)
+    check_program(program, allow_int_parameters=allow_enumeration)
     if scheme == "generative":
         model_ir = schemes.compile_generative(program)
     else:
@@ -577,8 +645,9 @@ def _build_program(program: ast.Program, backend: str, scheme: str, name: str):
 
 
 @functools.lru_cache(maxsize=128)
-def _compile_cached(source: str, backend: str, scheme: str, name: str):
-    """Parse + codegen, memoised on ``(source, scheme, backend, name)``.
+def _compile_cached(source: str, backend: str, scheme: str, name: str,
+                    allow_enumeration: bool = False):
+    """Parse + codegen, memoised on ``(source, scheme, backend, name, enum)``.
 
     The LRU dict hashes the source text itself — an explicit digest would
     be pure overhead on top of the string hash.
@@ -593,7 +662,8 @@ def _compile_cached(source: str, backend: str, scheme: str, name: str):
     and code generator entirely.
     """
     program = parse_program(source, name=name)
-    model_ir, guide_ir, gen_source, code = _build_program(program, backend, scheme, name)
+    model_ir, guide_ir, gen_source, code = _build_program(
+        program, backend, scheme, name, allow_enumeration=allow_enumeration)
     return program, model_ir, guide_ir, gen_source, code
 
 
@@ -608,30 +678,45 @@ def clear_compile_cache() -> None:
 
 
 def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "comprehensive",
-                  name: str = "model") -> CompiledModel:
+                  name: str = "model", enumerate: Optional[str] = None,
+                  max_enum_table_size: Optional[int] = None) -> CompiledModel:
     """Compile Stan source (or a parsed program) to a :class:`CompiledModel`.
 
     String sources are memoised: the parse/check/codegen products are cached
-    on ``(source, scheme, backend, name)`` (LRU, 128 entries), so
+    on ``(source, scheme, backend, name, enumerate)`` (LRU, 128 entries), so
     repeated service-style calls only pay a fresh module execution.
+
+    ``enumerate="parallel"`` enables the discrete-latent enumeration engine:
+    bounded ``int`` parameters (and other finite-support discrete latents)
+    are accepted and **marginalized exactly** — NUTS/HMC/VI then run on the
+    marginal density over the continuous parameters, and
+    :meth:`ConditionedModel.infer_discrete` recovers the discrete posteriors
+    afterwards.  ``max_enum_table_size`` caps the joint assignment table
+    (default :data:`repro.enum.DEFAULT_MAX_TABLE_SIZE`).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    if enumerate not in (None, "parallel"):
+        raise ValueError(
+            f'unknown enumerate mode {enumerate!r}; expected None or "parallel"')
+    allow_enum = enumerate is not None
     start = time.perf_counter()
     if isinstance(source_or_program, ast.Program):
         program = source_or_program
-        model_ir, guide_ir, source, code = _build_program(program, backend, scheme, name)
+        model_ir, guide_ir, source, code = _build_program(
+            program, backend, scheme, name, allow_enumeration=allow_enum)
     else:
         program, model_ir, guide_ir, source, code = _compile_cached(
-            str(source_or_program), backend, scheme, str(name))
+            str(source_or_program), backend, scheme, str(name), allow_enum)
     namespace: Dict[str, Any] = {}
     exec(code, namespace)  # noqa: S102 - executing our own generated code
     elapsed = time.perf_counter() - start
     return CompiledModel(program=program, scheme=scheme, backend=backend, source=source,
                          namespace=namespace, model_ir=model_ir, guide_ir=guide_ir,
-                         compile_time_seconds=elapsed)
+                         compile_time_seconds=elapsed, enumerate_mode=enumerate,
+                         max_enum_table_size=max_enum_table_size)
 
 
 def compile_file(path: str, **kwargs) -> CompiledModel:

@@ -45,6 +45,16 @@ def prior_for_declaration(decl: ast.Decl) -> ir.DistCall:
     shape = list(decl.dims)
     base = decl.base_type.name
     constraint = decl.constraint
+    if decl.base_type.is_integer:
+        # Bounded int parameters (the enumeration engine's discrete latents)
+        # get the discrete analogue of bounded_uniform; the semantic checks
+        # guarantee both bounds are present on the enumerated path.
+        if constraint.lower is None or constraint.upper is None:
+            raise UnsupportedFeatureError(
+                f"parameter {decl.name!r}: integer parameters need finite bounds "
+                "(int<lower=.., upper=..>) to be enumerated")
+        return ir.DistCall(name="int_range", args=[constraint.lower, constraint.upper],
+                           shape=shape, constraint=constraint)
     if base == "simplex":
         return ir.DistCall(name="improper_simplex", args=list(decl.base_type.sizes), shape=[])
     if base == "ordered":

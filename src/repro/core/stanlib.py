@@ -61,6 +61,9 @@ class StanCategorical(Distribution):
         shifted = ops.sub(as_tensor(value), 1.0)
         return self._inner.log_prob(shifted)
 
+    def enumerate_support(self):
+        return self._inner.enumerate_support() + 1.0
+
 
 class StanCategoricalLogit(Distribution):
     """Stan's ``categorical_logit``: outcomes in ``1..K``."""
@@ -79,6 +82,9 @@ class StanCategoricalLogit(Distribution):
         shifted = ops.sub(as_tensor(value), 1.0)
         return self._inner.log_prob(shifted)
 
+    def enumerate_support(self):
+        return self._inner.enumerate_support() + 1.0
+
 
 class StanOrderedLogistic(Distribution):
     """Stan's ``ordered_logistic``: outcomes in ``1..K+1``."""
@@ -96,6 +102,9 @@ class StanOrderedLogistic(Distribution):
     def log_prob(self, value):
         shifted = ops.sub(as_tensor(value), 1.0)
         return self._inner.log_prob(shifted)
+
+    def enumerate_support(self):
+        return self._inner.enumerate_support() + 1.0
 
 
 # name -> factory taking the Stan argument list
@@ -140,6 +149,7 @@ KNOWN_DISTRIBUTIONS: Dict[str, Callable[..., Distribution]] = {
     "improper_simplex": lambda dim: dist.ImproperSimplex(dim),
     "improper_ordered": lambda dim: dist.ImproperOrdered(dim),
     "improper_positive_ordered": lambda dim: dist.ImproperPositiveOrdered(dim),
+    "int_range": lambda lower, upper, shape=(): dist.IntRange(lower, upper, shape),
 }
 
 # Distributions whose Stan counterparts are defined but which our backends do

@@ -1001,6 +1001,127 @@ generated quantities {
 }
 """)
 
+# ----------------------------------------------------------------------
+# discrete latent variables (the enumeration engine's flagship workloads)
+#
+# Stan itself rejects every model in this group: they declare bounded `int`
+# parameters.  They compile with `enumerate="parallel"`, which marginalizes
+# the discrete latents exactly.  The mixture and ZIP models have a
+# hand-marginalized `_marginal` counterpart (the formulation Stan forces on
+# users) defining the same posterior over the continuous parameters, used by
+# the equivalence tests and BENCH_discrete; the HMM is instead checked
+# against an independent forward-algorithm computation in the tests.
+# ----------------------------------------------------------------------
+register("gauss_mix_enum", """
+data {
+  int N;
+  real y[N];
+}
+parameters {
+  real<lower=0, upper=1> theta;
+  real mu[2];
+  real<lower=0> sigma;
+  int<lower=1, upper=2> z[N];
+}
+model {
+  vector[2] pi;
+  pi[1] = theta;
+  pi[2] = 1 - theta;
+  theta ~ beta(2, 2);
+  mu[1] ~ normal(-2, 1);
+  mu[2] ~ normal(2, 1);
+  sigma ~ normal(0, 1);
+  for (n in 1:N) {
+    z[n] ~ categorical(pi);
+    y[n] ~ normal(mu[z[n]], sigma);
+  }
+}
+""")
+
+register("gauss_mix_marginal", """
+data {
+  int N;
+  real y[N];
+}
+parameters {
+  real<lower=0, upper=1> theta;
+  real mu[2];
+  real<lower=0> sigma;
+}
+model {
+  vector[2] pi;
+  pi[1] = theta;
+  pi[2] = 1 - theta;
+  theta ~ beta(2, 2);
+  mu[1] ~ normal(-2, 1);
+  mu[2] ~ normal(2, 1);
+  sigma ~ normal(0, 1);
+  for (n in 1:N)
+    target += log_sum_exp(log(pi[1]) + normal_lpdf(y[n], mu[1], sigma),
+                          log(pi[2]) + normal_lpdf(y[n], mu[2], sigma));
+}
+""")
+
+register("zip_poisson_enum", """
+data {
+  int N;
+  int y[N];
+}
+parameters {
+  real<lower=0, upper=1> psi;
+  real<lower=0> lam;
+  int<lower=0, upper=1> z[N];
+}
+model {
+  psi ~ beta(1, 1);
+  lam ~ gamma(2, 0.5);
+  for (n in 1:N) {
+    z[n] ~ bernoulli(psi);
+    y[n] ~ poisson(0.1 + z[n] * lam);
+  }
+}
+""")
+
+register("zip_poisson_marginal", """
+data {
+  int N;
+  int y[N];
+}
+parameters {
+  real<lower=0, upper=1> psi;
+  real<lower=0> lam;
+}
+model {
+  psi ~ beta(1, 1);
+  lam ~ gamma(2, 0.5);
+  for (n in 1:N)
+    target += log_sum_exp(log(psi) + poisson_lpmf(y[n], 0.1 + lam),
+                          log1m(psi) + poisson_lpmf(y[n], 0.1));
+}
+""")
+
+register("hmm_enum", """
+data {
+  int T;
+  real y[T];
+  matrix[2, 2] Gamma;
+  vector[2] rho;
+}
+parameters {
+  real mu[2];
+  int<lower=1, upper=2> z[T];
+}
+model {
+  mu[1] ~ normal(-1, 1);
+  mu[2] ~ normal(1, 1);
+  z[1] ~ categorical(rho);
+  for (t in 2:T)
+    z[t] ~ categorical(Gamma[z[t - 1]]);
+  for (t in 1:T)
+    y[t] ~ normal(mu[z[t]], 0.5);
+}
+""")
+
 register("transformed_data_example", """
 data {
   int<lower=0> N;

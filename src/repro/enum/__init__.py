@@ -1,0 +1,55 @@
+"""Discrete-latent enumeration engine: exact marginalization of ``int`` parameters.
+
+Stan rejects ``int`` parameters outright — mixture assignments, occupancy
+states and HMM paths must be marginalized by hand (``log_sum_exp`` algebra in
+the model block).  Compiling to a generative PPL removes that restriction:
+this package makes bounded discrete latents first-class by enumerating their
+joint support and summing them out of the density *exactly*.
+
+Pieces
+------
+
+* :class:`~repro.enum.plan.EnumerationPlan` / :class:`DiscreteSiteInfo` —
+  the joint assignment table over the discrete latent sites, with the
+  unbounded-support and table-size guard rails
+  (:class:`EnumerationError` / :class:`TableSizeError`).
+* :class:`~repro.enum.handler.enum_sites` — the effect handler lifting each
+  discrete site onto its own reserved broadcast axis so one traced execution
+  evaluates all joint assignments (plus the trace reduction
+  :func:`enum_trace_log_density` and the convenience
+  :func:`enum_log_density`).
+* :func:`~repro.enum.discrete.infer_discrete` — the post-pass recovering
+  per-draw discrete posteriors (marginal responsibilities / joint MAP /
+  exact samples) from the continuous draws of a marginalized fit.
+
+The compile-side entry point is ``compile_model(source, enumerate="parallel")``
+(see :mod:`repro.core.compiler`); the density-side integration lives in
+:class:`repro.infer.Potential`, whose marginalized evaluation
+``logsumexp``-es the enumeration axes so NUTS/HMC/VI run unchanged.
+"""
+
+from repro.enum.plan import (
+    DEFAULT_MAX_TABLE_SIZE,
+    DiscreteSiteInfo,
+    EnumerationError,
+    EnumerationPlan,
+    TableSizeError,
+    site_support,
+)
+from repro.enum.handler import enum_log_density, enum_sites, enum_trace_log_density
+from repro.enum.discrete import DiscretePosterior, discrete_rng, infer_discrete
+
+__all__ = [
+    "DEFAULT_MAX_TABLE_SIZE",
+    "DiscreteSiteInfo",
+    "EnumerationError",
+    "EnumerationPlan",
+    "TableSizeError",
+    "site_support",
+    "enum_sites",
+    "enum_log_density",
+    "enum_trace_log_density",
+    "DiscretePosterior",
+    "discrete_rng",
+    "infer_discrete",
+]

@@ -12,6 +12,11 @@ from repro.evaluation.harness import (
     registry_generality,
     run_reference,
 )
+from repro.evaluation.discrete import (
+    DiscreteComparison,
+    discrete_enumeration_experiment,
+    run_discrete_comparison,
+)
 from repro.evaluation.multimodal import multimodal_experiment
 
 __all__ = [
@@ -26,4 +31,7 @@ __all__ = [
     "accuracy_and_speed_row",
     "geometric_mean_speedup",
     "multimodal_experiment",
+    "DiscreteComparison",
+    "discrete_enumeration_experiment",
+    "run_discrete_comparison",
 ]

@@ -11,8 +11,10 @@ the compilation schemes rely on:
   Lemma 3.1 of the paper depends on it);
 * ``target`` is only accessed through ``target +=`` (Assumption 2);
 * observed data never appears on the left of an assignment;
-* declared types pass basic well-formedness (e.g. ``int`` parameters are
-  rejected, just like Stan does).
+* declared types pass basic well-formedness (``int`` parameters are rejected
+  like Stan does on the default path, and admitted as bounded discrete
+  latents when the enumeration engine is enabled — see
+  :func:`check_program`'s ``allow_int_parameters``).
 """
 
 from __future__ import annotations
@@ -127,11 +129,31 @@ def _lhs_base_name(expr: ast.Expr) -> Optional[str]:
     return None
 
 
-def _check_no_int_parameters(program: ast.Program) -> None:
+def _check_int_parameters(program: ast.Program, allow_enumeration: bool) -> None:
+    """Gate ``int`` parameter declarations.
+
+    Stan rejects them outright; our enumeration engine accepts *bounded*
+    integer parameters (finite support, marginalized exactly) when the
+    caller opted in with ``enumerate="parallel"``.  Unbounded declarations
+    are rejected on every path — they have no exact enumeration.
+    """
     for decl in program.parameters.decls:
-        if decl.base_type.is_integer:
+        if not decl.base_type.is_integer:
+            continue
+        if not allow_enumeration:
             raise SemanticError(
-                f"parameter {decl.name!r} is declared int; Stan requires continuous parameters"
+                f"parameter {decl.name!r} is declared int; Stan requires continuous "
+                "parameters. Unlike Stan, this compiler can marginalize bounded "
+                "integer parameters exactly — recompile with "
+                'enumerate="parallel" (compile_model(source, enumerate="parallel")) '
+                "to enable the discrete-latent enumeration engine."
+            )
+        if decl.constraint.lower is None or decl.constraint.upper is None:
+            raise SemanticError(
+                f"parameter {decl.name!r}: enumeration requires a finite support; "
+                "declare both bounds (int<lower=.., upper=..>). Unbounded integer "
+                "parameters (e.g. Poisson latents) cannot be marginalized exactly — "
+                "truncate them to a bounded range."
             )
 
 
@@ -282,10 +304,15 @@ def _check_target_usage(program: ast.Program) -> None:
                     )
 
 
-def check_program(program: ast.Program) -> SymbolTable:
-    """Run all semantic checks; return the symbol table on success."""
+def check_program(program: ast.Program, allow_int_parameters: bool = False) -> SymbolTable:
+    """Run all semantic checks; return the symbol table on success.
+
+    ``allow_int_parameters=True`` (set by the enumerated compile path)
+    admits *bounded* ``int`` parameter declarations as finite-support
+    discrete latents instead of rejecting them like Stan does.
+    """
     table = build_symbol_table(program)
-    _check_no_int_parameters(program)
+    _check_int_parameters(program, allow_int_parameters)
     _check_variables_declared(program, table)
     _check_no_parameter_assignment(program, table)
     _check_target_usage(program)

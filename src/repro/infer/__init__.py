@@ -31,7 +31,7 @@ inference for the DeepStan extensions.  This package provides:
   summaries and the paper's 30%-of-reference-stddev accuracy criterion.
 """
 
-from repro.infer.potential import Potential, make_potential
+from repro.infer.potential import DiscreteLatentError, Potential, make_potential
 from repro.infer.hmc import HMC, VectorizedChains
 from repro.infer.nuts import NUTS
 from repro.infer.mcmc import MCMC
@@ -50,6 +50,7 @@ from repro.infer import diagnostics
 
 __all__ = [
     "Potential",
+    "DiscreteLatentError",
     "make_potential",
     "HMC",
     "NUTS",

@@ -83,8 +83,43 @@ def effective_sample_size(x: np.ndarray) -> float:
     return float(max(min(ess, m * n), 1.0))
 
 
+#: integer-valued components report per-value probabilities up to this many
+#: distinct values (beyond it, only mode / p_mode are listed).
+MAX_SUPPORT_PROBS = 25
+
+
+def is_integer_valued(draws: np.ndarray) -> bool:
+    """Whether every draw of a component is a (finite) integer.
+
+    Discrete sites recovered by ``infer_discrete`` and integer-valued
+    ``generated quantities`` land here; mean/sd/quantiles are meaningless
+    for them, so :func:`summary` switches to mode/support probabilities.
+    """
+    draws = np.asarray(draws)
+    return bool(draws.size and np.all(np.isfinite(draws))
+                and np.all(draws == np.round(draws)))
+
+
+def discrete_summary(draws: np.ndarray) -> Dict[str, float]:
+    """Mode and support probabilities of an integer-valued draw array."""
+    draws = np.asarray(draws, dtype=float).reshape(-1)
+    values, counts = np.unique(draws, return_counts=True)
+    probs = counts / draws.size
+    mode_idx = int(np.argmax(probs))  # ties resolve to the smallest value
+    out = {"mode": float(values[mode_idx]), "p_mode": float(probs[mode_idx])}
+    if values.size <= MAX_SUPPORT_PROBS:
+        for value, prob in zip(values, probs):
+            out[f"p_{int(value)}"] = float(prob)
+    return out
+
+
 def summary(samples_by_chain: Mapping[str, np.ndarray]) -> Dict[str, Dict[str, float]]:
-    """Per-scalar summary of a dict of (chains, draws, *shape) arrays."""
+    """Per-scalar summary of a dict of (chains, draws, *shape) arrays.
+
+    Continuous components get mean/std/quantiles/ESS/R-hat; integer-valued
+    components (discrete sites, integer generated quantities) get mode and
+    support probabilities instead — a mean of mixture assignments is noise.
+    """
     out: Dict[str, Dict[str, float]] = {}
     for name, values in samples_by_chain.items():
         values = np.asarray(values, dtype=float)
@@ -97,6 +132,9 @@ def summary(samples_by_chain: Mapping[str, np.ndarray]) -> Dict[str, Dict[str, f
             }
         for comp_name, comp in components.items():
             draws = comp.reshape(-1)
+            if is_integer_valued(draws):
+                out[comp_name] = discrete_summary(draws)
+                continue
             out[comp_name] = {
                 "mean": float(draws.mean()),
                 "std": float(draws.std(ddof=1)) if draws.size > 1 else 0.0,

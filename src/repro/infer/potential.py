@@ -32,6 +32,32 @@ per-row sequential oracle; if the model does something that does not broadcast
 along the chain axis (axis-0 indexing of locals, data-dependent branching on
 latents, matrix ops that contract the wrong axis, ...) the potential silently
 falls back to an API-compatible row loop, keeping semantics identical.
+
+Discrete-latent enumeration
+---------------------------
+
+With ``enumerate="parallel"`` a model may contain *discrete* latent sites
+with finite support (bounded ``int`` parameters).  The potential then
+evaluates the **exact marginal** density: the discrete sites are summed out
+over their joint assignment table (:class:`repro.enum.EnumerationPlan`), so
+HMC/NUTS/VI see a purely continuous, differentiable potential over the
+remaining parameters.  Two evaluation strategies exist, following the same
+optimistic pattern as chain batching:
+
+* ``"parallel"`` — one vectorized execution per density evaluation: the
+  flattened joint table rides the batched-evaluation machinery (table rows
+  behave exactly like chains), per-assignment log joints come back as a
+  ``(T,)`` vector, and ``logsumexp`` produces the marginal.  Validated on
+  first use against the rows oracle.
+* ``"rows"`` — the always-correct oracle: one model execution per joint
+  assignment (concrete integer values substituted), stacked and
+  ``logsumexp``-ed in the same tape.  Models that do not vectorize across
+  the table (per-assignment control flow, axis-mixing ops) silently land
+  here; slower, identical semantics.
+
+Under the multi-chain fast path the enumeration axis rides *behind* the
+chain axis: the batch is ``(C * T, dim)`` rows (chain-major), reduced back
+to per-chain marginals by a ``(C, T)`` logsumexp.
 """
 
 from __future__ import annotations
@@ -51,7 +77,11 @@ from repro.ppl.transforms import Transform, biject_to
 
 
 class DiscreteLatentError(RuntimeError):
-    """Raised when a model has a discrete latent site (HMC cannot handle it)."""
+    """Raised when a model has a discrete latent site on the non-enumerated path."""
+
+
+#: accepted values of the ``enumerate`` option.
+ENUMERATE_MODES = (None, "parallel")
 
 
 @dataclass
@@ -71,7 +101,11 @@ class Potential:
 
     def __init__(self, model: Callable, model_args: Tuple = (), model_kwargs: Optional[Dict] = None,
                  observed: Optional[Dict[str, Any]] = None, rng_seed: int = 0,
-                 fast: bool = False):
+                 fast: bool = False, enumerate: Optional[str] = None,
+                 max_table_size: Optional[int] = None):
+        if enumerate not in ENUMERATE_MODES:
+            raise ValueError(
+                f"unknown enumerate mode {enumerate!r}; expected one of {ENUMERATE_MODES}")
         self.model = model
         self.model_args = tuple(model_args)
         self.model_kwargs = dict(model_kwargs or {})
@@ -80,6 +114,15 @@ class Potential:
         # ``fast=True`` evaluates the log joint through the NumPyro-style
         # direct-accumulation context instead of the effect-handler stack.
         self.fast = fast
+        self.enumerate = enumerate
+        self.max_table_size = max_table_size
+        #: joint assignment table over the discrete latent sites
+        #: (``None`` unless ``enumerate="parallel"`` found any).
+        self.enum_plan = None
+        # Enumerated-evaluation strategy: "parallel" once validated against
+        # the per-assignment rows oracle, "rows" if the model does not
+        # vectorize across the table; ``None`` until the first evaluation.
+        self._enum_mode: Optional[str] = None
         self.sites: "OrderedDict[str, SiteInfo]" = OrderedDict()
         self._initial_values: Dict[str, np.ndarray] = {}
         self._discover_sites()
@@ -113,12 +156,21 @@ class Potential:
                 self._observed_raw[name] = np.asarray(param_value(site["value"]),
                                                       dtype=float)
         self._observed_sites: Optional["OrderedDict[str, np.ndarray]"] = None
+        discrete: "OrderedDict[str, Tuple[Any, Tuple[int, ...]]]" = OrderedDict()
         for name, site in handlers.latent_sites(model_trace).items():
             fn = site["fn"]
             if getattr(fn, "is_discrete", False):
-                raise DiscreteLatentError(
-                    f"latent site {name!r} is discrete; NUTS/HMC requires continuous parameters"
-                )
+                if self.enumerate is None:
+                    raise DiscreteLatentError(
+                        f"latent site {name!r} is discrete; NUTS/HMC requires "
+                        "continuous parameters. Bounded discrete latents can be "
+                        "marginalized exactly instead — recompile with "
+                        'enumerate="parallel" (compile_model(source, '
+                        'enumerate="parallel")) or build the Potential with '
+                        'enumerate="parallel".')
+                value = np.asarray(param_value(site["value"]), dtype=float)
+                discrete[name] = (fn, value.shape)
+                continue
             value = np.asarray(param_value(site["value"]), dtype=float)
             transform = biject_to(fn.support)
             unconstrained_shape = transform.unconstrained_shape(value.shape)
@@ -133,8 +185,18 @@ class Potential:
             )
             self._initial_values[name] = value
             offset += size
+        if discrete:
+            from repro.enum import EnumerationPlan
+
+            self.enum_plan = EnumerationPlan.from_trace_sites(
+                discrete, max_table_size=self.max_table_size)
         self.dim = offset
         if self.dim == 0:
+            if self.enum_plan is not None:
+                raise RuntimeError(
+                    "model has no continuous latent sites (every parameter is "
+                    "an enumerated discrete latent); gradient-based inference "
+                    "needs at least one continuous parameter")
             raise RuntimeError("model has no continuous latent sites")
 
     @property
@@ -224,10 +286,140 @@ class Potential:
         return {name: np.array(value.data) for name, value in constrained.items()}
 
     # ------------------------------------------------------------------
+    # enumerated (marginalized) density evaluation
+    # ------------------------------------------------------------------
+    def _enum_log_joint_parallel(self, constrained: "OrderedDict[str, Tensor]") -> Tensor:
+        """Per-assignment log joints ``(T,)`` from one vectorized execution.
+
+        The flattened joint table is substituted at the discrete sites with
+        the table axis marked ``is_batched``, so the assignment rows ride the
+        existing vectorized-evaluation machinery exactly like chains do.
+        """
+        plan = self.enum_plan
+        t_size = plan.table_size
+        if self.fast:
+            from repro.ppl.primitives import FastLogDensityContext
+
+            substitution = dict(self.observed)
+            substitution.update(constrained)
+            for name, value in plan.flat_values().items():
+                tensor = as_tensor(value)
+                tensor.is_batched = True
+                substitution[name] = tensor
+            ctx = FastLogDensityContext(substitution=substitution,
+                                        rng=np.random.default_rng(self.rng_seed),
+                                        batch_size=t_size)
+            with ctx:
+                self.model(*self.model_args, **self.model_kwargs)
+            total = ctx.total()
+        else:
+            from repro.enum import enum_log_density
+
+            # The flat layout: generated code indexes sites elementwise
+            # (``z[n]``), which the ``is_batched`` marking routes around the
+            # table axis; the per-site "axes" layout is for hand-written
+            # broadcast-style models.
+            total, _ = enum_log_density(
+                self.model, plan, model_args=self.model_args,
+                model_kwargs=self.model_kwargs, substituted=dict(constrained),
+                observed=self.observed, rng_seed=self.rng_seed, layout="flat")
+        if total.data.shape != (t_size,):
+            raise RuntimeError(
+                f"enumerated log joint has shape {total.data.shape}, expected ({t_size},)")
+        return total
+
+    def _enum_log_joint_rows(self, constrained: "OrderedDict[str, Tensor]") -> Tensor:
+        """Per-assignment log joints via the always-correct assignment loop."""
+        plan = self.enum_plan
+        terms = []
+        for t in range(plan.table_size):
+            substitution = dict(self.observed)
+            substitution.update(constrained)
+            substitution.update({name: as_tensor(value)
+                                 for name, value in plan.decode(t).items()})
+            if self.fast:
+                from repro.ppl.primitives import FastLogDensityContext
+
+                ctx = FastLogDensityContext(substitution=substitution,
+                                            rng=np.random.default_rng(self.rng_seed))
+                with ctx:
+                    self.model(*self.model_args, **self.model_kwargs)
+                terms.append(ctx.total())
+            else:
+                tracer = handlers.trace()
+                with handlers.seed(rng_seed=self.rng_seed), \
+                     handlers.condition(data=self.observed), \
+                     handlers.substitute(data=substitution), tracer:
+                    self.model(*self.model_args, **self.model_kwargs)
+                terms.append(handlers.trace_log_density(tracer.trace))
+        return ops.stack(terms)
+
+    def _enum_log_joint(self, constrained: "OrderedDict[str, Tensor]") -> Tensor:
+        """Per-assignment log joints, picking the validated strategy.
+
+        The first evaluation validates the vectorized table execution
+        bitwise against the per-assignment rows oracle (the same optimistic
+        pattern the chain batching uses); models that do not vectorize
+        across the table keep the rows strategy for good.
+        """
+        mode = self._enum_mode
+        if mode == "rows":
+            return self._enum_log_joint_rows(constrained)
+        if mode == "parallel":
+            try:
+                return self._enum_log_joint_parallel(constrained)
+            except Exception:
+                # Assignment-dependent control flow may only trigger away
+                # from the validation point; demote permanently.
+                self._enum_mode = "rows"
+                return self._enum_log_joint_rows(constrained)
+        rows = self._enum_log_joint_rows(constrained)
+        try:
+            parallel = self._enum_log_joint_parallel(constrained)
+            ok = np.array_equal(parallel.data, rows.data, equal_nan=True)
+        except Exception:
+            ok = False
+        self._enum_mode = "parallel" if ok else "rows"
+        return parallel if ok else rows
+
+    @property
+    def enum_strategy(self) -> Optional[str]:
+        """The validated enumerated-evaluation strategy.
+
+        ``"parallel"`` (one table-vectorized execution) or ``"rows"`` (the
+        per-assignment oracle loop) once the first evaluation has validated;
+        ``None`` for non-enumerated potentials or before the first call —
+        treat ``None`` on an enumerated potential as "parallel pending
+        validation".
+        """
+        if self.enum_plan is None:
+            return None
+        return self._enum_mode or "parallel"
+
+    def assignment_log_joints(self, z: np.ndarray) -> np.ndarray:
+        """Per-assignment log joints ``(table_size,)`` at unconstrained ``z``.
+
+        The constant change-of-variables term is omitted — it cancels in the
+        softmax over assignments that :func:`repro.enum.infer_discrete`
+        applies.  Gradients are not returned, but the evaluation keeps the
+        graph recorded: the trace-based reduction classifies terms by graph
+        provenance, and the classification here must match the one the
+        sampling path was validated under.
+        """
+        if self.enum_plan is None:
+            raise RuntimeError("assignment_log_joints requires an enumerated potential")
+        with np.errstate(all="ignore"):
+            constrained, _ = self.constrain(as_tensor(np.asarray(z, dtype=float)))
+            return np.asarray(self._enum_log_joint(constrained).data, dtype=float)
+
+    # ------------------------------------------------------------------
     # density evaluation
     # ------------------------------------------------------------------
     def _neg_log_joint_tensor(self, z: Tensor) -> Tensor:
         constrained, log_det = self.constrain(z)
+        if self.enum_plan is not None:
+            per_assignment = self._enum_log_joint(constrained)
+            return ops.neg(ops.add(ops.logsumexp(per_assignment), log_det))
         if self.fast:
             from repro.ppl.primitives import FastLogDensityContext
 
@@ -293,11 +485,52 @@ class Potential:
             log_det = ops.add(log_det, info.transform.batched_log_abs_det_jacobian(segment, value))
         return constrained, log_det
 
+    @staticmethod
+    def _tile_rows(value: Tensor, repeats: int) -> Tensor:
+        """Repeat each leading-axis row ``repeats`` times consecutively.
+
+        ``(C, *rest) -> (C * repeats, *rest)`` inside the graph (gradients
+        sum back over the repeats), used to pair every chain row with every
+        joint assignment of the enumeration table.
+        """
+        rest = value.data.shape[1:]
+        c = value.data.shape[0]
+        expanded = ops.reshape(value, (c, 1) + rest)
+        expanded = ops.mul(expanded, np.ones((1, repeats) + (1,) * len(rest)))
+        return ops.reshape(expanded, (c * repeats,) + rest)
+
     def _neg_log_joint_tensor_batched(self, z: Tensor) -> Tensor:
         from repro.ppl.primitives import FastLogDensityContext
 
         c = z.data.shape[0]
         constrained, log_det = self.constrain_batched(z)
+        if self.enum_plan is not None:
+            # Enumeration axis rides behind the chain axis: the batch is
+            # C * T rows, chain-major, reduced back per chain by a (C, T)
+            # logsumexp over the table axis.
+            t_size = self.enum_plan.table_size
+            b = c * t_size
+            substitution = dict(self.observed)
+            for name, value in constrained.items():
+                expanded = self._tile_rows(value, t_size)
+                expanded.is_batched = True
+                substitution[name] = expanded
+            for name, value in self.enum_plan.flat_values().items():
+                tiled = as_tensor(np.tile(value, (c,) + (1,) * (value.ndim - 1)))
+                tiled.is_batched = True
+                substitution[name] = tiled
+            ctx = FastLogDensityContext(substitution=substitution,
+                                        rng=np.random.default_rng(self.rng_seed),
+                                        batch_size=b)
+            with ctx:
+                self.model(*self.model_args, **self.model_kwargs)
+            total = ctx.total()
+            if total.data.shape != (b,):
+                raise RuntimeError(
+                    f"batched enumerated log joint has shape {total.data.shape}, "
+                    f"expected ({b},)")
+            per_chain = ops.logsumexp(ops.reshape(total, (c, t_size)), axis=1)
+            return ops.neg(ops.add(per_chain, log_det))
         substitution = dict(self.observed)
         substitution.update(constrained)
         ctx = FastLogDensityContext(substitution=substitution,
@@ -437,7 +670,8 @@ class Potential:
 
 
 def make_potential(model: Callable, *model_args, observed: Optional[Dict[str, Any]] = None,
-                   rng_seed: int = 0, fast: bool = False, **model_kwargs) -> Potential:
+                   rng_seed: int = 0, fast: bool = False, enumerate: Optional[str] = None,
+                   max_table_size: Optional[int] = None, **model_kwargs) -> Potential:
     """Convenience constructor used throughout the benchmarks and examples."""
     return Potential(model, model_args, model_kwargs, observed=observed, rng_seed=rng_seed,
-                     fast=fast)
+                     fast=fast, enumerate=enumerate, max_table_size=max_table_size)

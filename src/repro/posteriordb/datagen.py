@@ -190,3 +190,37 @@ def seeds_data(seed: int = 0, n: int = 20) -> Dict[str, Any]:
     probs = 1.0 / (1.0 + np.exp(-(-0.5 + 1.0 * x1)))
     r = rng.binomial(trials, probs)
     return {"N": n, "n": trials.astype(float), "r": r.astype(float), "x1": x1}
+
+
+def gauss_mix_enum_data(seed: int = 0, n: int = 8) -> Dict[str, Any]:
+    """Two well-separated Gaussian clusters; ``n`` stays small because the
+    enumerated formulation's joint assignment table is ``2 ** n``."""
+    rng = np.random.default_rng(seed)
+    component = rng.binomial(1, 0.4, size=n)
+    y = np.where(component == 0,
+                 rng.normal(-2.0, 0.7, size=n),
+                 rng.normal(2.0, 0.7, size=n))
+    return {"N": n, "y": y}
+
+
+def zip_poisson_data(seed: int = 0, n: int = 8) -> Dict[str, Any]:
+    """Occupancy-style zero-inflated counts (background rate 0.1)."""
+    rng = np.random.default_rng(seed)
+    active = rng.binomial(1, 0.6, size=n)
+    y = rng.poisson(0.1 + active * 4.0)
+    return {"N": n, "y": y.astype(float)}
+
+
+def hmm_enum_data(seed: int = 0, t: int = 6) -> Dict[str, Any]:
+    """A short 2-state HMM path; enumeration sums all ``2 ** t`` paths."""
+    rng = np.random.default_rng(seed)
+    transition = np.array([[0.8, 0.2], [0.3, 0.7]])
+    initial = np.array([0.5, 0.5])
+    means = np.array([-1.0, 1.0])
+    state = rng.choice(2, p=initial)
+    states, y = [], []
+    for _ in range(t):
+        states.append(state)
+        y.append(rng.normal(means[state], 0.5))
+        state = rng.choice(2, p=transition[state])
+    return {"T": t, "y": np.array(y), "Gamma": transition, "rho": initial}

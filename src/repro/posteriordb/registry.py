@@ -51,6 +51,11 @@ class Entry:
     expect_unsupported: bool = False
     expect_mismatch: bool = False
     description: str = ""
+    #: ``"parallel"`` for models with bounded ``int`` parameters — they only
+    #: compile through the discrete-latent enumeration engine
+    #: (``compile_model(..., enumerate=entry.enumerate)``) and are excluded
+    #: from the plain-path tables like ``expect_unsupported`` entries.
+    enumerate: Optional[str] = None
 
     @property
     def source(self) -> str:
@@ -75,7 +80,8 @@ def get(name: str) -> Entry:
 def names(include_unsupported: bool = True) -> List[str]:
     return sorted(
         name for name, entry in _REGISTRY.items()
-        if include_unsupported or not entry.expect_unsupported
+        if include_unsupported
+        or not (entry.expect_unsupported or entry.enumerate is not None)
     )
 
 
@@ -169,3 +175,32 @@ register(Entry("one_comp_mm_elim_abs-one_comp_mm_elim_abs", "one_comp_mm_elim_ab
 register(Entry("diamonds-diamonds", "diamonds", "diamonds", datagen.diamonds_data,
                expect_unsupported=True,
                description="requires student_t_lccdf (missing from the runtime library)"))
+# Discrete latent variables (the enumeration engine's workloads).  The
+# `_enum` entries declare bounded int parameters — Stan itself rejects them,
+# and so does our plain compile path; they run via
+# compile_model(..., enumerate=entry.enumerate).  Each has a hand-marginalized
+# counterpart defining the same continuous posterior (BENCH_discrete compares
+# the two).
+register(Entry("gauss_mix_enum-synthetic_mixture", "gauss_mix_enum", "synthetic_mixture",
+               datagen.gauss_mix_enum_data, enumerate="parallel",
+               config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
+               description="2-component mixture with int<lower=1,upper=2> assignments, "
+                           "marginalized by enumeration"))
+register(Entry("gauss_mix_marginal-synthetic_mixture", "gauss_mix_marginal",
+               "synthetic_mixture", datagen.gauss_mix_enum_data,
+               config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
+               description="hand-marginalized formulation of gauss_mix_enum "
+                           "(what Stan forces users to write)"))
+register(Entry("zip_poisson_enum-synthetic_zip", "zip_poisson_enum", "synthetic_zip",
+               datagen.zip_poisson_data, enumerate="parallel",
+               config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
+               description="occupancy/zero-inflated Poisson with Bernoulli latents"))
+register(Entry("zip_poisson_marginal-synthetic_zip", "zip_poisson_marginal",
+               "synthetic_zip", datagen.zip_poisson_data,
+               config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
+               description="hand-marginalized zero-inflated Poisson"))
+register(Entry("hmm_enum-synthetic_hmm", "hmm_enum", "synthetic_hmm",
+               datagen.hmm_enum_data, enumerate="parallel",
+               config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
+               description="short 2-state HMM: enumeration sums all paths, no "
+                           "hand-written forward algorithm"))

@@ -47,6 +47,18 @@ class Distribution:
         """Element-wise log density/mass at ``value`` (a Tensor)."""
         raise NotImplementedError
 
+    def enumerate_support(self) -> np.ndarray:
+        """The finite per-element support as a 1-d array of values.
+
+        Only meaningful for discrete distributions whose support is bounded
+        (Bernoulli, Categorical, bounded Binomial, ...); the enumeration
+        engine (:mod:`repro.enum`) uses it to marginalize discrete latent
+        sites exactly.  Distributions with unbounded or continuous support
+        raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no finite enumerable support")
+
     # ------------------------------------------------------------------
     # helpers shared by concrete distributions
     # ------------------------------------------------------------------

@@ -20,6 +20,46 @@ from repro.ppl import constraints as C
 from repro.ppl.distributions.base import Distribution, param_value
 
 
+def _gather_last(logp: Tensor, idx: np.ndarray, value=None) -> Tensor:
+    """Index the trailing (category) axis of ``logp`` by integer array ``idx``.
+
+    Handles arbitrary leading batch axes on either side (the enumeration
+    engine broadcasts category probabilities and values against each other,
+    e.g. HMM transition rows indexed by the previous state), keeping the
+    gather differentiable with respect to ``logp``.  When the indexed
+    ``value`` is a tensor, a zero-valued graph link ties it into the result
+    — indices are not differentiable, but provenance-based analyses (the
+    enumeration engine's term classification) must still see that the
+    gather depends on the value.
+    """
+    idx = np.asarray(idx, dtype=int)
+    if logp.data.ndim == 1:
+        return _tie_value(ops.getitem(logp, idx), value)
+    lead = logp.data.shape[:-1]
+    if len(idx.shape) > len(lead) and idx.shape[:len(lead)] == lead:
+        # The value carries extra trailing element axes beyond the table's
+        # batch shape (e.g. a per-chain probability row shared by all
+        # elements of a vectorized observation): align the batch axes on the
+        # left by padding singleton element axes into the table.
+        logp = ops.reshape(logp, lead + (1,) * (len(idx.shape) - len(lead))
+                           + (logp.data.shape[-1],))
+    batch_shape = np.broadcast_shapes(logp.data.shape[:-1], idx.shape)
+    idx = np.broadcast_to(idx, batch_shape)
+    if logp.data.shape[:-1] != batch_shape:
+        # Broadcast the probability table up to the batch shape inside the
+        # graph so the fancy-index gather below stays well-defined.
+        logp = ops.mul(logp, np.ones(batch_shape + (1,)))
+    grids = tuple(np.indices(batch_shape))
+    return _tie_value(ops.getitem(logp, grids + (idx,)), value)
+
+
+def _tie_value(out: Tensor, value) -> Tensor:
+    """Add a zero-valued graph edge from ``value`` into ``out`` (if a tensor)."""
+    if isinstance(value, Tensor):
+        return ops.add(out, ops.mul(value, 0.0))
+    return out
+
+
 class Bernoulli(Distribution):
     """``bernoulli(theta)`` with success probability ``theta``."""
 
@@ -45,6 +85,9 @@ class Bernoulli(Distribution):
     def mean(self):
         return param_value(self.probs)
 
+    def enumerate_support(self):
+        return np.array([0.0, 1.0])
+
 
 class BernoulliLogit(Distribution):
     """``bernoulli_logit(alpha)`` parameterised by log-odds."""
@@ -65,6 +108,9 @@ class BernoulliLogit(Distribution):
         logits = as_tensor(self.logits)
         # log p = y * alpha - log(1 + exp(alpha))
         return ops.sub(ops.mul(value, logits), ops.softplus(logits))
+
+    def enumerate_support(self):
+        return np.array([0.0, 1.0])
 
 
 class Binomial(Distribution):
@@ -100,6 +146,9 @@ class Binomial(Distribution):
             ),
         )
 
+    def enumerate_support(self):
+        return _binomial_support(self.total_count)
+
 
 class BinomialLogit(Distribution):
     """``binomial_logit(N, alpha)``."""
@@ -129,6 +178,21 @@ class BinomialLogit(Distribution):
             log_binom,
             ops.sub(ops.mul(value, logits), ops.mul(n, ops.softplus(logits))),
         )
+
+    def enumerate_support(self):
+        return _binomial_support(self.total_count)
+
+
+def _binomial_support(total_count) -> np.ndarray:
+    """``0..n`` for a bounded (scalar, finite ``n``) binomial."""
+    n = param_value(total_count)
+    if n.size != 1:
+        raise NotImplementedError(
+            "Binomial with per-element total_count has no shared enumerable support")
+    n = float(n.reshape(()))
+    if not math.isfinite(n) or n != round(n) or n < 0:
+        raise NotImplementedError(f"Binomial total_count {n!r} is not a finite count")
+    return np.arange(int(n) + 1, dtype=float)
 
 
 class Poisson(Distribution):
@@ -239,10 +303,10 @@ class Categorical(Distribution):
         probs = ops.clip(as_tensor(self.probs), 1e-12, 1.0)
         logp = ops.log(ops.div(probs, ops.sum_(probs, axis=-1, keepdims=True)))
         idx = np.asarray(param_value(value)).astype(int)
-        if logp.data.ndim == 1:
-            return logp[idx]
-        rows = np.arange(logp.data.shape[0])
-        return logp[(rows, idx)]
+        return _gather_last(logp, idx, value)
+
+    def enumerate_support(self):
+        return np.arange(param_value(self.probs).shape[-1], dtype=float)
 
 
 class CategoricalLogit(Distribution):
@@ -262,10 +326,10 @@ class CategoricalLogit(Distribution):
     def log_prob(self, value):
         logp = ops.log_softmax(as_tensor(self.logits), axis=-1)
         idx = np.asarray(param_value(value)).astype(int)
-        if logp.data.ndim == 1:
-            return logp[idx]
-        rows = np.arange(logp.data.shape[0])
-        return logp[(rows, idx)]
+        return _gather_last(logp, idx, value)
+
+    def enumerate_support(self):
+        return np.arange(param_value(self.logits).shape[-1], dtype=float)
 
 
 class OrderedLogistic(Distribution):
@@ -302,7 +366,47 @@ class OrderedLogistic(Distribution):
     def log_prob(self, value):
         logp = self._log_probs()
         idx = np.asarray(param_value(value)).astype(int)
-        if logp.data.ndim == 1:
-            return logp[idx]
-        rows = np.arange(logp.data.shape[0])
-        return logp[(rows, idx)]
+        return _gather_last(logp, idx, value)
+
+    def enumerate_support(self):
+        return np.arange(param_value(self.cutpoints).shape[-1] + 1, dtype=float)
+
+
+class IntRange(Distribution):
+    """Uniform pmf on the integer range ``lower..upper`` (both inclusive).
+
+    The prior the comprehensive translation assigns to bounded ``int``
+    parameter declarations — the discrete analogue of ``bounded_uniform``.
+    Bounds must be finite scalars: an unbounded integer parameter has no
+    exact enumeration, which the frontend rejects before this is reached.
+    """
+
+    is_discrete = True
+
+    def __init__(self, lower, upper, shape: Tuple[int, ...] = ()):
+        lo = param_value(lower)
+        hi = param_value(upper)
+        if lo.size != 1 or hi.size != 1 or not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+            raise ValueError(
+                f"int_range requires finite scalar bounds, got lower={lower!r}, upper={upper!r}")
+        self.lower = int(round(float(lo.reshape(()))))
+        self.upper = int(round(float(hi.reshape(()))))
+        if self.upper < self.lower:
+            raise ValueError(f"int_range bounds are empty: [{self.lower}, {self.upper}]")
+        self.shape = () if shape is None else tuple(int(s) for s in np.atleast_1d(shape))
+        self.support = C.IntegerInterval(self.lower, self.upper)
+
+    def sample(self, rng, sample_shape=()):
+        shape = tuple(sample_shape) + self.shape
+        return np.asarray(
+            rng.integers(self.lower, self.upper + 1, size=shape or None), dtype=float)
+
+    def log_prob(self, value):
+        value = as_tensor(value)
+        k = self.upper - self.lower + 1
+        # Proper uniform mass on the range; graph kept connected like the
+        # other declaration priors.
+        return ops.sub(ops.mul(value, 0.0), math.log(k))
+
+    def enumerate_support(self):
+        return np.arange(self.lower, self.upper + 1, dtype=float)

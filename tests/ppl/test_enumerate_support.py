@@ -1,0 +1,106 @@
+"""enumerate_support() contracts for every finite-support discrete distribution.
+
+The enumeration engine relies on two properties of a discrete distribution's
+declared support:
+
+* every support value round-trips through ``log_prob`` to a finite mass
+  (and lies inside the declared ``support`` constraint);
+* the masses are normalized: ``logsumexp(log_prob(support)) == 0`` to 1e-10
+  (the proper-uniform ``int_range`` prior included).
+
+Unbounded distributions must refuse enumeration with ``NotImplementedError``
+so the engine can raise its actionable :class:`EnumerationError`.
+"""
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp
+
+from repro.core import stanlib
+from repro.ppl import distributions as dist
+
+
+def _log_probs(d, support):
+    return np.array([float(np.asarray(d.log_prob(v).data)) for v in support])
+
+
+FINITE_SUPPORT_DISTS = [
+    ("bernoulli", lambda: dist.Bernoulli(0.3), [0.0, 1.0]),
+    ("bernoulli_logit", lambda: dist.BernoulliLogit(-0.4), [0.0, 1.0]),
+    ("categorical", lambda: dist.Categorical(np.array([0.2, 0.3, 0.5])), [0.0, 1.0, 2.0]),
+    ("categorical_logit", lambda: dist.CategoricalLogit(np.array([0.1, -0.2, 0.4])),
+     [0.0, 1.0, 2.0]),
+    ("binomial", lambda: dist.Binomial(5, 0.4), list(np.arange(6.0))),
+    ("binomial_logit", lambda: dist.BinomialLogit(4, 0.3), list(np.arange(5.0))),
+    ("ordered_logistic", lambda: dist.OrderedLogistic(0.5, np.array([-1.0, 0.5, 2.0])),
+     [0.0, 1.0, 2.0, 3.0]),
+    ("int_range", lambda: dist.IntRange(2, 6), [2.0, 3.0, 4.0, 5.0, 6.0]),
+    ("stan_categorical", lambda: stanlib.make_distribution(
+        "categorical", np.array([0.2, 0.3, 0.5])), [1.0, 2.0, 3.0]),
+    ("stan_categorical_logit", lambda: stanlib.make_distribution(
+        "categorical_logit", np.array([0.1, -0.2, 0.4])), [1.0, 2.0, 3.0]),
+    ("stan_ordered_logistic", lambda: stanlib.make_distribution(
+        "ordered_logistic", 0.5, np.array([-1.0, 0.5, 2.0])), [1.0, 2.0, 3.0, 4.0]),
+]
+
+
+@pytest.mark.parametrize("name,factory,expected",
+                         FINITE_SUPPORT_DISTS, ids=[f[0] for f in FINITE_SUPPORT_DISTS])
+def test_enumerate_support_values(name, factory, expected):
+    d = factory()
+    support = d.enumerate_support()
+    np.testing.assert_array_equal(support, np.array(expected))
+    assert support.dtype == np.float64 and support.ndim == 1
+    # every support value lies in the declared support constraint
+    assert d.support.check(support)
+
+
+@pytest.mark.parametrize("name,factory,expected",
+                         FINITE_SUPPORT_DISTS, ids=[f[0] for f in FINITE_SUPPORT_DISTS])
+def test_enumerate_support_roundtrips_and_normalizes(name, factory, expected):
+    d = factory()
+    support = d.enumerate_support()
+    log_probs = _log_probs(d, support)
+    assert np.all(np.isfinite(log_probs)), (name, log_probs)
+    # the pmf over the enumerated support sums to one
+    assert abs(logsumexp(log_probs)) < 1e-10, (name, logsumexp(log_probs))
+
+
+def test_enumerate_support_vectorized_evaluation_matches_elementwise():
+    # log_prob over the whole support at once equals per-value evaluation
+    d = dist.Categorical(np.array([0.1, 0.2, 0.7]))
+    support = d.enumerate_support()
+    batched = np.asarray(d.log_prob(support).data)
+    np.testing.assert_allclose(batched, _log_probs(d, support), rtol=0, atol=0)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: dist.Poisson(3.0),
+    lambda: dist.PoissonLog(0.5),
+    lambda: dist.NegBinomial2(2.0, 1.0),
+    lambda: dist.Normal(0.0, 1.0),
+], ids=["poisson", "poisson_log", "neg_binomial_2", "normal"])
+def test_unbounded_or_continuous_support_refuses_enumeration(factory):
+    with pytest.raises(NotImplementedError):
+        factory().enumerate_support()
+
+
+def test_binomial_per_element_counts_refuse_enumeration():
+    d = dist.Binomial(np.array([2.0, 5.0]), 0.3)
+    with pytest.raises(NotImplementedError):
+        d.enumerate_support()
+
+
+def test_int_range_requires_finite_bounds():
+    with pytest.raises(ValueError):
+        dist.IntRange(0, np.inf)
+    with pytest.raises(ValueError):
+        dist.IntRange(3, 1)
+
+
+def test_int_range_sampling_and_shape():
+    d = dist.IntRange(1, 3, shape=(4,))
+    rng = np.random.default_rng(0)
+    draws = d.sample(rng)
+    assert draws.shape == (4,)
+    assert d.support.check(draws)
