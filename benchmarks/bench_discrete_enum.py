@@ -21,6 +21,7 @@ are appended to ``results.txt`` and emitted as ``BENCH_discrete.json``.
 import os
 
 import numpy as np
+import pytest
 from conftest import record, record_json
 
 from repro.evaluation.discrete import discrete_enumeration_experiment
@@ -109,3 +110,100 @@ def test_hmm_enumeration_runs_without_forward_algorithm(benchmark):
     ])
     if FULL_RUN:
         assert summary["mu[0]"]["mean"] < 0 < summary["mu[1]"]["mean"]
+
+
+def test_factorized_enumeration_scales_linearly(benchmark):
+    """The asymptotic gate for the factorized engine (BENCH_enum_scaling.json).
+
+    Measures steady-state ``potential_and_grad`` cost of the mixture at
+    N=250 vs N=500 (per-element enumeration) and the 4-state HMM at T=100 vs
+    T=200 (chain elimination) — sizes whose joint table (``2^N`` / ``4^T``)
+    is unrepresentable, so a regression back to the exponential path cannot
+    even complete.  Asserts the factorized strategy resolved and that cost
+    grows at most linearly (x2 slack for timer noise) in N / T at fixed K,
+    i.e. the measured O(N*K) / O(T*K^2) asymptotic.
+    """
+    from repro.evaluation.discrete import enum_scaling_experiment
+
+    results = benchmark.pedantic(enum_scaling_experiment,
+                                 kwargs={"repeats": 3, "seed": 0},
+                                 rounds=1, iterations=1)
+    lines = [f"{'workload':<18} {'sizes':>12} {'eval[s]':>20} "
+             f"{'cost ratio':>10} {'bound':>6}"]
+    payload = {"workloads": {}}
+    for name, scaling in results.items():
+        bound = 2.0 * scaling.size_ratio
+        lines.append(
+            f"{name:<18} {str(scaling.sizes):>12} "
+            f"{scaling.eval_seconds[0]:>9.4f} {scaling.eval_seconds[1]:>9.4f} "
+            f"{scaling.cost_ratio:>10.2f} {bound:>6.1f}")
+        payload["workloads"][name] = {
+            "sizes": list(scaling.sizes),
+            "eval_seconds": list(scaling.eval_seconds),
+            "cost_ratio": scaling.cost_ratio,
+            "cost_ratio_bound": bound,
+            "strategies": list(scaling.strategies),
+        }
+        assert scaling.strategies == ("factorized", "factorized"), scaling
+        # Linear growth in the element count at fixed K: doubling the size
+        # must cost at most ~2x (the joint table would be 2^250 times worse
+        # for the mixture step alone).
+        assert scaling.cost_ratio <= bound, scaling
+    lines.append("[cost grows linearly in N/T: per-element O(N*K) and "
+                 "chain-elimination O(T*K^2), never the K^N joint table]")
+    record("BENCH_enum_scaling — factorized enumeration asymptotics", lines)
+    record_json("BENCH_enum_scaling.json", payload)
+
+
+@pytest.mark.skipif(
+    not FULL_RUN and not os.environ.get("REPRO_ENUM_SCALING"),
+    reason="NUTS at N=500 / T=200 is the enum-scaling job's budget, not the "
+           "smoke cut's (set REPRO_ENUM_SCALING=1 to force)")
+def test_unrepresentable_table_workloads_match_hand_marginalization(benchmark):
+    """The enum-scaling gate: mixture at N=500 and the 4-state HMM at T=200.
+
+    The joint assignment tables would hold 2^500 and 4^200 entries — only
+    the factorized path can run these — and the recovered posteriors must
+    agree with the hand-marginalized twins within Monte Carlo error.
+    CI runs this in the dedicated ``enum-scaling`` job under a wall-clock
+    budget; the smoke job skips it (cut draw counts would make the
+    agreement assertion vacuous anyway).
+    """
+    from repro.evaluation.discrete import SCALING_PAIRS, run_discrete_comparison
+
+    scale = 1.0 if FULL_RUN else max(BENCH_ITERS / 40.0, 0.25)
+
+    def run_pairs():
+        return {
+            enum_name: run_discrete_comparison(get(enum_name), get(marginal_name),
+                                               scale=scale, seed=0)
+            for enum_name, marginal_name in SCALING_PAIRS
+        }
+
+    results = benchmark.pedantic(run_pairs, rounds=1, iterations=1)
+    lines = [f"{'workload':<40} {'mcse-z':>7} {'enum[s]':>8} {'manual[s]':>10} "
+             f"{'log10(table)':>13} {'strategy':>11}"]
+    payload = {"scale": scale, "workloads": {}}
+    for name, comp in results.items():
+        digits = len(str(comp.table_size)) - 1
+        lines.append(
+            f"{name:<40} {comp.max_mcse_sigmas:>7.2f} "
+            f"{comp.enum_runtime_seconds:>8.1f} "
+            f"{comp.marginal_runtime_seconds:>10.1f} {digits:>13} "
+            f"{comp.enum_strategy:>11}")
+        payload["workloads"][name] = {
+            "marginal_entry": comp.marginal_entry,
+            "max_mcse_sigmas": comp.max_mcse_sigmas,
+            "enum_runtime_seconds": comp.enum_runtime_seconds,
+            "marginal_runtime_seconds": comp.marginal_runtime_seconds,
+            "table_size_digits": digits,
+            "enum_strategy": comp.enum_strategy,
+        }
+        assert comp.enum_strategy == "factorized", (name, comp.enum_strategy)
+        # the whole point: the joint table is unrepresentable at these sizes
+        assert comp.table_size > 10 ** 100, (name, comp.table_size)
+        assert comp.max_mcse_sigmas < 4.0, (name, comp.max_mcse_sigmas)
+    lines.append("[posteriors at joint-table-unrepresentable sizes match the "
+                 "hand-marginalized twins within Monte Carlo error]")
+    record("BENCH_enum_scaling — unrepresentable-table workloads", lines)
+    record_json("BENCH_enum_scaling_posteriors.json", payload)

@@ -9,7 +9,6 @@ geometric-mean speedup of NumPyro (comprehensive) over Stan.
 """
 
 import numpy as np
-import pytest
 from conftest import record
 
 from repro.evaluation.harness import (

@@ -14,8 +14,7 @@ import os
 import time
 
 import numpy as np
-import pytest
-from conftest import record
+from conftest import record, record_json
 
 from repro import compile_model
 from repro.infer import MCMC, NUTS
@@ -81,10 +80,21 @@ def test_vectorized_chain_speedup(benchmark):
     lines.append(f"{'geometric mean':<28} {'':>12} {'':>12} "
                  f"{float(np.exp(np.mean(np.log(speedups)))):8.2f}x")
     record("Vectorized multi-chain engine — 4-chain NUTS speedup", lines)
+    mean_speedup = float(np.exp(np.mean(np.log(speedups))))
+    record_json("BENCH_vectorized.json", {
+        "num_chains": NUM_CHAINS,
+        "rows": [{"entry": name, "sequential_seconds": seq_time,
+                  "vectorized_seconds": vec_time, "speedup": seq_time / vec_time,
+                  "identical_draws": bool(identical)}
+                 for name, seq_time, vec_time, identical in rows],
+        "geometric_mean_speedup": mean_speedup,
+        # the regression guard (check_bench_regressions.py) gates on this;
+        # cut runs record no threshold — timings are meaningless there
+        "speedup_threshold": 2.0 if FULL_RUN else None,
+    })
 
     # The vectorized path is only a valid optimisation if it is a bitwise
     # re-ordering of the same computation.
     assert all(identical for *_, identical in rows)
     if FULL_RUN:
-        mean_speedup = float(np.exp(np.mean(np.log(speedups))))
         assert mean_speedup >= 2.0, f"expected >=2x aggregate speedup, got {mean_speedup:.2f}x"

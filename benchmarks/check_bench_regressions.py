@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Benchmark regression guard: turn the BENCH_*.json artifacts into a gate.
+
+The CI smoke job produces ``BENCH_*.json`` files and uploads them as
+artifacts; without a check, a regression that still *completes* (a strategy
+demotion, a blown-out posterior disagreement, a vanished speedup) would ride
+along silently — the artifact upload is a dump, not a gate.  This script
+loads whichever of the known artifacts exist in the directory and fails
+(exit 1) if any recorded assertion field regressed past its threshold:
+
+* ``BENCH_discrete.json`` — every workload's ``max_mcse_sigmas`` < 4 (the
+  honest two-finite-runs agreement metric), ``accuracy_passed`` true, and
+  responsibilities present;
+* ``BENCH_enum_scaling.json`` — both workloads resolved the ``factorized``
+  strategy and per-evaluation cost grew at most linearly (the recorded
+  ``cost_ratio`` <= its recorded bound);
+* ``BENCH_enum_scaling_posteriors.json`` — the unrepresentable-table
+  workloads stayed factorized and within ``max_mcse_sigmas`` < 4;
+* ``BENCH_vectorized.json`` — the geometric-mean multi-chain speedup stayed
+  >= the recorded assertion threshold, when the file records one.
+
+Usage::
+
+    python benchmarks/check_bench_regressions.py [directory]
+
+Missing files are reported but do not fail the check (benchmark cuts differ
+between jobs); a present file with a regressed field does.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Callable, Dict, List
+
+MCSE_SIGMAS_THRESHOLD = 4.0
+
+
+def _check_discrete(payload: dict, problems: List[str]) -> None:
+    for name, row in payload.get("workloads", {}).items():
+        sigmas = row.get("max_mcse_sigmas")
+        if sigmas is None or sigmas >= MCSE_SIGMAS_THRESHOLD:
+            problems.append(
+                f"BENCH_discrete: {name} max_mcse_sigmas={sigmas!r} "
+                f"(threshold < {MCSE_SIGMAS_THRESHOLD})")
+        if not row.get("accuracy_passed", False):
+            problems.append(f"BENCH_discrete: {name} accuracy_passed is false")
+        if not row.get("mean_responsibilities"):
+            problems.append(f"BENCH_discrete: {name} has no responsibilities")
+
+
+def _check_enum_scaling(payload: dict, problems: List[str]) -> None:
+    for name, row in payload.get("workloads", {}).items():
+        strategies = row.get("strategies", [])
+        if any(s != "factorized" for s in strategies):
+            problems.append(
+                f"BENCH_enum_scaling: {name} strategies={strategies!r} "
+                "(regressed off the factorized path)")
+        ratio = row.get("cost_ratio")
+        bound = row.get("cost_ratio_bound")
+        if ratio is None or bound is None or ratio > bound:
+            problems.append(
+                f"BENCH_enum_scaling: {name} cost_ratio={ratio!r} exceeds "
+                f"bound {bound!r} (super-linear growth)")
+
+
+def _check_enum_posteriors(payload: dict, problems: List[str]) -> None:
+    for name, row in payload.get("workloads", {}).items():
+        if row.get("enum_strategy") != "factorized":
+            problems.append(
+                f"BENCH_enum_scaling_posteriors: {name} "
+                f"strategy={row.get('enum_strategy')!r} (expected factorized)")
+        sigmas = row.get("max_mcse_sigmas")
+        if sigmas is None or sigmas >= MCSE_SIGMAS_THRESHOLD:
+            problems.append(
+                f"BENCH_enum_scaling_posteriors: {name} "
+                f"max_mcse_sigmas={sigmas!r} (threshold < {MCSE_SIGMAS_THRESHOLD})")
+
+
+def _check_vectorized(payload: dict, problems: List[str]) -> None:
+    speedup = payload.get("geometric_mean_speedup")
+    threshold = payload.get("speedup_threshold")
+    if speedup is not None and threshold is not None and speedup < threshold:
+        problems.append(
+            f"BENCH_vectorized: geometric_mean_speedup={speedup!r} fell below "
+            f"the recorded threshold {threshold!r}")
+
+
+CHECKS: Dict[str, Callable[[dict, List[str]], None]] = {
+    "BENCH_discrete.json": _check_discrete,
+    "BENCH_enum_scaling.json": _check_enum_scaling,
+    "BENCH_enum_scaling_posteriors.json": _check_enum_posteriors,
+    "BENCH_vectorized.json": _check_vectorized,
+}
+
+
+def main(argv: List[str]) -> int:
+    directory = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent
+    problems: List[str] = []
+    seen = 0
+    for filename, check in CHECKS.items():
+        path = directory / filename
+        if not path.exists():
+            print(f"[skip] {filename}: not produced by this run")
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{filename}: unreadable ({exc})")
+            continue
+        seen += 1
+        before = len(problems)
+        check(payload, problems)
+        status = "ok" if len(problems) == before else "REGRESSED"
+        print(f"[{status}] {filename}")
+    if seen == 0:
+        print("no BENCH_*.json artifacts found — nothing to gate", file=sys.stderr)
+        return 1
+    if problems:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"\n{seen} artifact(s) checked, no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

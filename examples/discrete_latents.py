@@ -2,8 +2,11 @@
 
 A 2-component Gaussian mixture written the natural way — with an
 ``int<lower=1, upper=2>`` assignment parameter per observation — compiled
-with ``enumerate="parallel"``.  The enumeration engine marginalizes the
-assignments exactly, NUTS runs unchanged on the continuous parameters, and
+with ``enumerate="factorized"``.  The factorized enumeration engine detects
+that the assignments are conditionally independent and marginalizes each
+element in O(N*K): the full run uses N=120 observations, whose *joint*
+assignment table would hold 2^120 rows — no table-based engine could even
+represent it.  NUTS runs unchanged on the continuous parameters, and
 ``infer_discrete`` recovers the per-observation assignment posteriors
 (responsibilities) afterwards.  The hand-marginalized formulation (the
 ``log_sum_exp`` rewrite Stan forces on users) runs alongside to show the two
@@ -76,22 +79,28 @@ model {
 
 def main() -> None:
     rng = np.random.default_rng(0)
-    n = 8
+    # Full runs use a length whose joint table (2^120) is unrepresentable;
+    # the REPRO_BENCH_ITERS smoke cut keeps the size CI-friendly.
+    n = 12 if ITERS else 120
     component = rng.binomial(1, 0.4, size=n)
     y = np.where(component == 0, rng.normal(-2.0, 0.7, size=n),
                  rng.normal(2.0, 0.7, size=n))
     data = {"N": n, "y": y}
-    warmup = ITERS or 300
-    samples = ITERS or 300
+    warmup = ITERS or 150
+    samples = ITERS or 150
 
-    enum_model = compile_model(MIXTURE_ENUM, enumerate="parallel").condition(data)
+    enum_model = compile_model(MIXTURE_ENUM, enumerate="factorized").condition(data)
     enum_fit = enum_model.fit("nuts", num_warmup=warmup, num_samples=samples, seed=0)
     marginal_fit = compile_model(MIXTURE_MARGINAL).condition(data).fit(
         "nuts", num_warmup=warmup, num_samples=samples, seed=0)
 
     potential = enum_model.potential(0)
-    print(f"enumeration plan     : {potential.enum_plan} "
-          f"(strategy: {potential.enum_strategy})")
+    table_digits = len(str(potential.enum_plan.table_size))
+    print(f"enumeration strategy : {potential.enum_strategy} "
+          f"({potential.factorization_note})")
+    print(f"joint table avoided  : ~10^{table_digits - 1} assignments "
+          f"(2^{n}); factorized batch: "
+          f"{potential.factorization.batch_rows if potential.factorization else '-'} rows")
     for label, fit in (("enumerated", enum_fit), ("hand-marginalized", marginal_fit)):
         s = fit.posterior.summary()
         print(f"{label:>18}: mu = ({s['mu[0]']['mean']:+.2f}, {s['mu[1]']['mean']:+.2f}), "
@@ -101,8 +110,8 @@ def main() -> None:
     # assignment posteriors, merged back into the Posterior.
     merged = enum_model.infer_discrete(enum_fit, mode="marginal")
     responsibilities = merged.draws["z__marginal"].mean(axis=(0, 1))
-    print("per-observation responsibilities (P[z=1], P[z=2]):")
-    for i in range(n):
+    print("per-observation responsibilities (P[z=1], P[z=2]; first 8 shown):")
+    for i in range(min(n, 8)):
         print(f"  y[{i + 1}] = {y[i]:+.2f}  ->  "
               f"({responsibilities[i, 0]:.3f}, {responsibilities[i, 1]:.3f})")
     z_summary = merged.summary()["z[0]"]
@@ -114,10 +123,15 @@ def main() -> None:
         enum_mu = enum_fit.posterior.get_samples()["mu"].mean(axis=0)
         marg_mu = marginal_fit.posterior.get_samples()["mu"].mean(axis=0)
         assert np.all(np.abs(enum_mu - marg_mu) < 0.15), (enum_mu, marg_mu)
-        assert np.all(responsibilities[component == 0, 0] > 0.5)
-        assert np.all(responsibilities[component == 1, 1] > 0.5)
+        # The clusters overlap (means ±2, sd 0.7): at N=120 a few borderline
+        # observations legitimately side with the other component, so the
+        # check is on the fraction tracked, not every point.
+        tracked = np.concatenate([responsibilities[component == 0, 0],
+                                  responsibilities[component == 1, 1]])
+        assert np.mean(tracked > 0.5) > 0.9, np.mean(tracked > 0.5)
         print("checks passed: enumerated == hand-marginalized posterior, "
-              "responsibilities follow the generating components")
+              f"responsibilities track the generating components "
+              f"({100 * np.mean(tracked > 0.5):.0f}% of {n})")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ need; it is intentionally not a full PyTorch clone.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import special as sps

@@ -14,7 +14,7 @@ the parent's shape.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -82,8 +82,13 @@ class Tensor:
     # vectorized multi-chain evaluation (see repro.infer.potential).  The slot
     # is left unassigned unless a batched evaluation sets it, so ordinary
     # tensors pay no cost: read it with ``getattr(t, "is_batched", False)``.
+    # ``enum_elements`` marks an enumerated array-site value whose elements
+    # are represented by distinct leaf tensors (the factorized enumeration
+    # engine's dependency-analysis substitution; see repro.enum.factorize):
+    # the runtime's ``_index`` helper returns the per-element leaf so the
+    # autodiff graph records *which element* each log-prob term touched.
     __slots__ = ("data", "requires_grad", "grad", "parents", "backward_fns", "name",
-                 "is_batched")
+                 "is_batched", "enum_elements")
 
     __array_priority__ = 100.0  # make np_scalar * Tensor dispatch to Tensor
 

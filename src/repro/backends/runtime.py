@@ -17,14 +17,13 @@ and then use:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, as_tensor
 from repro.core import stanlib
-from repro.ppl import distributions as _dist
 from repro.ppl.primitives import BatchMixingError, current_batch_size, factor, observe, param, sample
 
 __all__ = [
@@ -198,6 +197,13 @@ def _index(base, *indices):
     ``(chains, 1)`` so it broadcasts against data vectors like a scalar.
     """
     norm = tuple(_normalize_index(i) for i in indices)
+    elements = getattr(base, "enum_elements", None) if isinstance(base, Tensor) else None
+    if elements is not None and len(norm) == 1 and isinstance(norm[0], int):
+        # Factorized-enumeration dependency analysis: the site value is a
+        # 1-D array assembled from per-element leaf tensors; returning the
+        # leaf (instead of slicing the assembled tensor) lets the graph walk
+        # see exactly which element each log-prob term touched.
+        return elements[norm[0]]
     if isinstance(base, Tensor) and getattr(base, "is_batched", False):
         b = base.data.shape[0]
         arrays = [i for i in norm if isinstance(i, np.ndarray) and i.ndim >= 1]
@@ -227,6 +233,12 @@ def _index(base, *indices):
                 out = out[i]
             return out
         return base[norm]
+    if any(isinstance(i, Tensor) for i in indices):
+        # Data indexed by a latent/enumerated tensor (``Gamma[z[t-1]]``): the
+        # numeric result is index-selected data, but provenance analyses (the
+        # enumeration engine's term classification) must still see that it
+        # depends on the indexing tensor — tie it into the graph.
+        return _tie_index_tensors(as_tensor(np.asarray(base)[norm]), indices)
     return np.asarray(base)[norm]
 
 

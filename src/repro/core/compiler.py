@@ -27,19 +27,18 @@ from __future__ import annotations
 
 import functools
 import time
-import types
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core import analysis, codegen, mixed as mixed_mod, schemes, stanlib
+from repro.core import analysis, codegen, mixed as mixed_mod, schemes
 from repro.core.codegen import sanitize
-from repro.core.schemes import CompileError, NonGenerativeModelError, UnsupportedFeatureError
+from repro.core.schemes import CompileError
 from repro.deprecation import warn_once
 from repro.frontend import ast
-from repro.frontend.parser import ParseError, parse_program
-from repro.frontend.semantics import SemanticError, check_program
+from repro.frontend.parser import parse_program
+from repro.frontend.semantics import check_program
 from repro.gprob import ir
 from repro.guides import AutoGuide
 from repro.infer import HMC, MCMC, NUTS, VI, ExplicitVI, ImportanceSampling, Potential
@@ -686,21 +685,29 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
     on ``(source, scheme, backend, name, enumerate)`` (LRU, 128 entries), so
     repeated service-style calls only pay a fresh module execution.
 
-    ``enumerate="parallel"`` enables the discrete-latent enumeration engine:
-    bounded ``int`` parameters (and other finite-support discrete latents)
-    are accepted and **marginalized exactly** — NUTS/HMC/VI then run on the
-    marginal density over the continuous parameters, and
+    ``enumerate="factorized"`` (recommended) enables the discrete-latent
+    enumeration engine: bounded ``int`` parameters (and other finite-support
+    discrete latents) are accepted and **marginalized exactly** — NUTS/HMC/VI
+    then run on the marginal density over the continuous parameters, and
     :meth:`ConditionedModel.infer_discrete` recovers the discrete posteriors
-    afterwards.  ``max_enum_table_size`` caps the joint assignment table
-    (default :data:`repro.enum.DEFAULT_MAX_TABLE_SIZE`).
+    afterwards.  The factorized engine partitions discrete elements into
+    conditionally-independent blocks (per-element enumeration, ``O(N*K)``)
+    and chain-structured blocks eliminated by the forward algorithm
+    (``O(T*K^2)``), falling back to the joint assignment table when the
+    structure does not factorize; ``enumerate="parallel"`` forces the
+    joint-table engine (exponential in array-site length, bitwise-stable
+    draws).  ``max_enum_table_size`` caps the joint table (default
+    :data:`repro.enum.DEFAULT_MAX_TABLE_SIZE`); the factorized strategy is
+    exempt until it actually falls back.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
-    if enumerate not in (None, "parallel"):
+    if enumerate not in (None, "parallel", "factorized"):
         raise ValueError(
-            f'unknown enumerate mode {enumerate!r}; expected None or "parallel"')
+            f'unknown enumerate mode {enumerate!r}; expected None, "parallel" '
+            'or "factorized"')
     allow_enum = enumerate is not None
     start = time.perf_counter()
     if isinstance(source_or_program, ast.Program):

@@ -12,7 +12,7 @@ reports for its generative baseline (RQ1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set
 
 from repro.core import analysis
 from repro.frontend import ast

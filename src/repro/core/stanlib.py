@@ -17,7 +17,7 @@ that also has to be ported...").  This module is that library for our runtime:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict
 
 import numpy as np
 from scipy import special as sps

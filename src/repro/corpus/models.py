@@ -1122,6 +1122,96 @@ model {
 }
 """)
 
+register("hmm_marginal", """
+data {
+  int T;
+  real y[T];
+  matrix[2, 2] Gamma;
+  vector[2] rho;
+}
+parameters {
+  real mu[2];
+}
+model {
+  vector[2] alpha;
+  vector[2] alpha_new;
+  mu[1] ~ normal(-1, 1);
+  mu[2] ~ normal(1, 1);
+  for (k in 1:2)
+    alpha[k] = log(rho[k]) + normal_lpdf(y[1], mu[k], 0.5);
+  for (t in 2:T) {
+    for (k in 1:2)
+      alpha_new[k] = log_sum_exp(alpha[1] + log(Gamma[1, k]),
+                                 alpha[2] + log(Gamma[2, k]))
+                     + normal_lpdf(y[t], mu[k], 0.5);
+    alpha = alpha_new;
+  }
+  target += log_sum_exp(alpha);
+}
+""")
+
+# K-state HMM pair, size-generic in both T and K: the enumerated formulation
+# writes the model the obvious way (int state path, categorical transitions);
+# the marginal twin is the hand-written forward algorithm the paper's users
+# had to produce — a triple nested loop of log_sum_exp algebra.  The
+# factorized engine detects the chain coupling z[t] ~ f(z[t-1]) and
+# eliminates it in O(T*K^2); the joint table would hold K^T entries.
+register("hmm_k_enum", """
+data {
+  int T;
+  int K;
+  real y[T];
+  matrix[K, K] Gamma;
+  vector[K] rho;
+  vector[K] mu0;
+}
+parameters {
+  real mu[K];
+  int<lower=1, upper=K> z[T];
+}
+model {
+  for (k in 1:K)
+    mu[k] ~ normal(mu0[k], 1);
+  z[1] ~ categorical(rho);
+  for (t in 2:T)
+    z[t] ~ categorical(Gamma[z[t - 1]]);
+  for (t in 1:T)
+    y[t] ~ normal(mu[z[t]], 0.5);
+}
+""")
+
+register("hmm_k_marginal", """
+data {
+  int T;
+  int K;
+  real y[T];
+  matrix[K, K] Gamma;
+  vector[K] rho;
+  vector[K] mu0;
+}
+parameters {
+  real mu[K];
+}
+model {
+  vector[K] alpha;
+  vector[K] alpha_new;
+  vector[K] acc;
+  for (k in 1:K)
+    mu[k] ~ normal(mu0[k], 1);
+  for (k in 1:K)
+    alpha[k] = log(rho[k]) + normal_lpdf(y[1], mu[k], 0.5);
+  for (t in 2:T) {
+    for (k in 1:K) {
+      for (j in 1:K)
+        acc[j] = alpha[j] + log(Gamma[j, k]);
+      alpha_new[k] = log_sum_exp(acc) + normal_lpdf(y[t], mu[k], 0.5);
+    }
+    alpha = alpha_new;
+  }
+  target += log_sum_exp(alpha);
+}
+""")
+
 register("transformed_data_example", """
 data {
   int<lower=0> N;

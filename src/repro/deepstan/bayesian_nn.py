@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.autodiff import nn, ops
-from repro.autodiff.tensor import Tensor, as_tensor
+from repro.autodiff.tensor import as_tensor
 from repro.core.compiler import CompiledModel, compile_model
 from repro.deepstan.clustering import prediction_accuracy, prediction_agreement
 from repro.infer.svi import SVI

@@ -10,7 +10,7 @@ Lloyd's-algorithm KMeans is implemented here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -23,7 +23,7 @@ from repro.autodiff import nn, ops
 from repro.autodiff.tensor import Tensor, as_tensor
 from repro.core.compiler import CompiledModel, compile_model
 from repro.deepstan.clustering import kmeans, pairwise_f1
-from repro.infer.svi import SVI, TraceELBO
+from repro.infer.svi import SVI
 from repro.ppl import distributions as dist
 from repro.ppl import primitives
 from repro.ppl.primitives import observe, sample

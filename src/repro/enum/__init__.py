@@ -18,14 +18,24 @@ Pieces
   evaluates all joint assignments (plus the trace reduction
   :func:`enum_trace_log_density` and the convenience
   :func:`enum_log_density`).
+* :func:`~repro.enum.factorize.analyze_factorization` /
+  :class:`~repro.enum.factorize.FactorizationPlan` — the factorized engine:
+  element-level dependency analysis over the autodiff graph partitions
+  discrete sites into conditionally-independent blocks (per-element
+  enumeration, O(N*K)) and chain-structured blocks eliminated by a
+  logsumexp-matmul recursion (the forward algorithm, O(T*K^2)), replacing
+  the exponential joint table wherever the structure allows.
 * :func:`~repro.enum.discrete.infer_discrete` — the post-pass recovering
   per-draw discrete posteriors (marginal responsibilities / joint MAP /
-  exact samples) from the continuous draws of a marginalized fit.
+  exact samples) from the continuous draws of a marginalized fit; on
+  factorized potentials it runs forward-backward / Viterbi / backward
+  sampling on the per-component factors instead of materializing the table.
 
-The compile-side entry point is ``compile_model(source, enumerate="parallel")``
-(see :mod:`repro.core.compiler`); the density-side integration lives in
-:class:`repro.infer.Potential`, whose marginalized evaluation
-``logsumexp``-es the enumeration axes so NUTS/HMC/VI run unchanged.
+The compile-side entry point is ``compile_model(source,
+enumerate="factorized")`` (``"parallel"`` keeps the joint-table engine);
+the density-side integration lives in :class:`repro.infer.Potential`, whose
+marginalized evaluation contracts (or ``logsumexp``-es) the enumeration
+structure so NUTS/HMC/VI run unchanged.
 """
 
 from repro.enum.plan import (
@@ -36,15 +46,27 @@ from repro.enum.plan import (
     TableSizeError,
     site_support,
 )
+from repro.enum.factorize import (
+    DEFAULT_MAX_BATCH_ROWS,
+    FactorBundle,
+    FactorizationError,
+    FactorizationPlan,
+    analyze_factorization,
+)
 from repro.enum.handler import enum_log_density, enum_sites, enum_trace_log_density
 from repro.enum.discrete import DiscretePosterior, discrete_rng, infer_discrete
 
 __all__ = [
     "DEFAULT_MAX_TABLE_SIZE",
+    "DEFAULT_MAX_BATCH_ROWS",
     "DiscreteSiteInfo",
     "EnumerationError",
     "EnumerationPlan",
+    "FactorBundle",
+    "FactorizationError",
+    "FactorizationPlan",
     "TableSizeError",
+    "analyze_factorization",
     "site_support",
     "enum_sites",
     "enum_log_density",

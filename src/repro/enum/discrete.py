@@ -2,16 +2,22 @@
 
 NUTS/HMC/VI run on the *marginalized* potential, so their draws cover only
 the continuous parameters.  :func:`infer_discrete` is the post-pass that puts
-the integers back: for every retained draw it re-evaluates the per-assignment
-log joints (one vectorized model execution per draw), normalizes them into a
-posterior over the joint assignment table conditional on that draw's
-continuous parameters, and reads out
+the integers back: for every retained draw it re-evaluates the discrete
+posterior conditional on that draw's continuous parameters and reads out
 
 * ``"marginal"`` — per-element marginal probabilities (the mixture
   responsibilities), with the per-element marginal mode as the integer draw;
 * ``"max"`` — the joint MAP assignment per draw (Viterbi-style);
 * ``"sample"`` — one seeded exact sample from the joint assignment posterior
   per draw (the analogue of Pyro's ``infer_discrete``).
+
+On a **factorized** potential the per-draw posterior is never materialized as
+a joint table: independent elements are exact categoricals in their ``(K,)``
+log factors, and chain-structured sites run the classic trio on their unary/
+pairwise potentials — forward-**backward** for marginals, max-product with
+backtracking (Viterbi) for MAP, forward-filter backward-sampling for exact
+samples — all ``O(T * K^2)`` per draw.  Joint-table potentials keep the
+original path (one vectorized table execution per draw, softmax over rows).
 
 The RNG for ``"sample"`` is derived from ``[seed, 0x454E554D]`` ("ENUM"), so
 recovering discrete sites never perturbs any engine's draw streams and is
@@ -21,7 +27,7 @@ reproducible for a fixed seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Dict, Optional
 
 import numpy as np
 from scipy import special as sps
@@ -55,6 +61,115 @@ class DiscretePosterior:
         """Posterior-averaged marginals per site: ``(*event_shape, K)``."""
         return {name: probs.mean(axis=(0, 1))
                 for name, probs in self.marginals.items()}
+
+
+# ----------------------------------------------------------------------
+# chain-structured posteriors (forward-backward / Viterbi / FFBS)
+# ----------------------------------------------------------------------
+def _chain_messages(unary: np.ndarray, pairwise: np.ndarray) -> np.ndarray:
+    """Forward (filtering) log messages ``alpha``: ``(T, K)``."""
+    t_len = unary.shape[0]
+    alpha = np.empty_like(unary)
+    alpha[0] = unary[0]
+    for t in range(1, t_len):
+        alpha[t] = sps.logsumexp(alpha[t - 1][:, None] + pairwise[t - 1], axis=0) \
+            + unary[t]
+    return alpha
+
+
+def chain_marginals(unary: np.ndarray, pairwise: np.ndarray) -> np.ndarray:
+    """Per-element posterior marginals of a chain: ``(T, K)`` probabilities.
+
+    The forward-backward algorithm on the chain's log potentials — the exact
+    smoothing marginals without materializing the ``K^T`` path table.
+    """
+    t_len = unary.shape[0]
+    alpha = _chain_messages(unary, pairwise)
+    beta = np.zeros_like(unary)
+    for t in range(t_len - 2, -1, -1):
+        beta[t] = sps.logsumexp(pairwise[t] + (unary[t + 1] + beta[t + 1])[None, :],
+                                axis=1)
+    log_marg = alpha + beta
+    log_marg -= sps.logsumexp(log_marg, axis=1, keepdims=True)
+    return np.exp(log_marg)
+
+
+def chain_map(unary: np.ndarray, pairwise: np.ndarray) -> np.ndarray:
+    """Joint MAP path of a chain (Viterbi): ``(T,)`` support indices."""
+    t_len = unary.shape[0]
+    score = unary[0].copy()
+    back = np.empty((t_len - 1, unary.shape[1]), dtype=int)
+    for t in range(1, t_len):
+        cand = score[:, None] + pairwise[t - 1]
+        back[t - 1] = np.argmax(cand, axis=0)
+        score = cand[back[t - 1], np.arange(unary.shape[1])] + unary[t]
+    path = np.empty(t_len, dtype=int)
+    path[-1] = int(np.argmax(score))
+    for t in range(t_len - 2, -1, -1):
+        path[t] = back[t][path[t + 1]]
+    return path
+
+
+def chain_sample(unary: np.ndarray, pairwise: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+    """One exact posterior path sample (forward filter, backward sample)."""
+    t_len, k = unary.shape
+    alpha = _chain_messages(unary, pairwise)
+    path = np.empty(t_len, dtype=int)
+    logits = alpha[-1] - sps.logsumexp(alpha[-1])
+    path[-1] = int(rng.choice(k, p=np.exp(logits)))
+    for t in range(t_len - 2, -1, -1):
+        logits = alpha[t] + pairwise[t][:, path[t + 1]]
+        logits -= sps.logsumexp(logits)
+        path[t] = int(rng.choice(k, p=np.exp(logits)))
+    return path
+
+
+def _fill_factorized_draw(bundle, plan: EnumerationPlan, mode: str,
+                          rng: np.random.Generator,
+                          values: Dict[str, np.ndarray],
+                          marginals: Dict[str, np.ndarray],
+                          c: int, d: int) -> None:
+    """One draw's discrete posterior from a :class:`~repro.enum.FactorBundle`.
+
+    Deterministic component order — sites in plan order, independent block
+    first, then that site's chains — so the ``"sample"`` RNG stream is
+    reproducible for a fixed seed.
+    """
+    chains_by_site: Dict[str, list] = {}
+    for chain in bundle.chains:
+        chains_by_site.setdefault(chain[0], []).append(chain)
+    for site in plan.sites:
+        name = site.name
+        numel = max(site.numel, 1)
+        flat_vals = np.empty(numel)
+        flat_marg = np.empty((numel, site.cardinality))
+        indep = bundle.independent.get(name)
+        if indep is not None:
+            idx, factors = indep
+            probs = np.exp(factors - sps.logsumexp(factors, axis=1, keepdims=True))
+            flat_marg[idx] = probs
+            if mode == "sample":
+                picks = np.array([rng.choice(site.cardinality, p=row / row.sum())
+                                  for row in probs], dtype=int)
+            else:
+                # MAP of independent elements is the per-element argmax, which
+                # coincides with the "marginal" mode convention.
+                picks = np.argmax(probs, axis=1)
+            flat_vals[idx] = site.support[picks]
+        for _, order, unary, pairwise in chains_by_site.get(name, []):
+            probs = chain_marginals(unary, pairwise)
+            flat_marg[np.asarray(order)] = probs
+            if mode == "max":
+                picks = chain_map(unary, pairwise)
+            elif mode == "sample":
+                picks = chain_sample(unary, pairwise, rng)
+            else:
+                picks = np.argmax(probs, axis=1)
+            flat_vals[np.asarray(order)] = site.support[picks]
+        values[name][c, d] = flat_vals.reshape(site.event_shape)
+        marginals[name][c, d] = flat_marg.reshape(
+            site.event_shape + (site.cardinality,))
 
 
 def infer_discrete(potential, unconstrained: np.ndarray, mode: str = "marginal",
@@ -95,8 +210,20 @@ def infer_discrete(potential, unconstrained: np.ndarray, mode: str = "marginal",
         site.name: np.empty((chains, draws) + site.event_shape + (site.cardinality,))
         for site in plan.sites
     }
+    # Factorized potentials never materialize the joint table: the backward
+    # pass runs per component on the draw's log factors instead.
+    factorized = getattr(potential, "enum_strategy", None) == "factorized" \
+        and hasattr(potential, "factorized_factors")
     for c in range(chains):
         for d in range(draws):
+            if factorized:
+                bundle = potential.factorized_factors(z[c, d])
+                if bundle is not None:
+                    _fill_factorized_draw(bundle, plan, mode, rng, values,
+                                          marginals, c, d)
+                    continue
+                # the potential demoted itself mid-pass; use the table
+                factorized = False
             log_joints = potential.assignment_log_joints(z[c, d])
             weights = np.exp(log_joints - sps.logsumexp(log_joints))
             weights /= weights.sum()

@@ -17,6 +17,14 @@ Two layouts are supported (see :mod:`repro.enum.plan`):
 * ``"flat"`` — the flattened joint table as one leading axis, marked
   ``is_batched`` so the vectorized runtime helpers (``_index``, ``_mul``,
   the fast log-density context) treat it exactly like a chain batch.
+
+Both layouts materialize the **joint** table (``prod_i K_i^numel_i`` rows)
+and therefore serve the ``"parallel"``/``"rows"`` strategies only; the
+``"factorized"`` strategy (:mod:`repro.enum.factorize`) substitutes periodic
+per-element grids through the fast log-density context instead and never
+builds the table.  The graph-walk term classification below
+(:func:`_depends_on`) is the site-granular ancestor of the factorized
+engine's element-granular analysis.
 """
 
 from __future__ import annotations

@@ -120,7 +120,8 @@ class EnumerationPlan:
     """The joint assignment table over all discrete latent sites of a model."""
 
     def __init__(self, sites: List[DiscreteSiteInfo],
-                 max_table_size: Optional[int] = None):
+                 max_table_size: Optional[int] = None,
+                 defer_size_check: bool = False):
         self.sites: List[DiscreteSiteInfo] = list(sites)
         if not self.sites:
             raise ValueError("an EnumerationPlan needs at least one discrete site")
@@ -129,36 +130,60 @@ class EnumerationPlan:
         table_size = 1
         for site in self.sites:
             table_size *= site.num_assignments
+        # Python int arithmetic on purpose: a factorized plan may describe a
+        # table (2^500 joint assignments) that is never materialized.
         self.table_size = int(table_size)
-        if self.table_size > self.max_table_size:
-            detail = ", ".join(
-                f"{s.name}: {s.cardinality}^{s.numel} = {s.num_assignments}"
-                for s in self.sites)
-            raise TableSizeError(
-                f"joint enumeration table has {self.table_size} entries "
-                f"({detail}), exceeding the cap of {self.max_table_size}. "
-                "Reduce the discrete state space (fewer elements / tighter "
-                "bounds) or raise the cap (compile_model(..., "
-                "max_enum_table_size=...) / Potential(max_table_size=...)).")
+        if not defer_size_check:
+            self.ensure_table_capacity()
         self._flat_cache: Optional[Dict[str, np.ndarray]] = None
         # draw-independent bookkeeping, built once and reused by the
         # infer_discrete post-pass (called once per retained draw)
         self._rows_cache: Dict[str, np.ndarray] = {}
         self._digits_cache: Dict[str, np.ndarray] = {}
 
+    def ensure_table_capacity(self, factorization_note: Optional[str] = None) -> None:
+        """Raise :class:`TableSizeError` if the joint table exceeds the cap.
+
+        Called at construction for joint-table plans and *lazily* — only when
+        a joint evaluation is actually needed — for factorized plans, whose
+        table may be astronomically large without ever being built.
+        ``factorization_note`` reports whether the factorized strategy was
+        attempted and why it did not apply, so the error is actionable.
+        """
+        if self.table_size <= self.max_table_size:
+            return
+        detail = ", ".join(
+            f"{s.name}: {s.cardinality}^{s.numel} = {s.num_assignments}"
+            for s in self.sites)
+        if factorization_note is None:
+            factorization_note = (
+                'factorization was not attempted on this path — recompile with '
+                'enumerate="factorized" so conditionally-independent elements '
+                "enumerate in O(N*K) and chain-structured sites in O(T*K^2) "
+                "without a joint table")
+        raise TableSizeError(
+            f"joint enumeration table has {self.table_size} entries "
+            f"({detail}), exceeding the cap of {self.max_table_size}. "
+            f"{factorization_note}. Otherwise reduce the discrete state space "
+            "(fewer elements / tighter bounds) or raise the cap "
+            "(compile_model(..., max_enum_table_size=...) / "
+            "Potential(max_table_size=...)).")
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
     def from_trace_sites(cls, trace_sites: Mapping[str, Tuple[object, Tuple[int, ...]]],
-                         max_table_size: Optional[int] = None) -> "EnumerationPlan":
+                         max_table_size: Optional[int] = None,
+                         defer_size_check: bool = False) -> "EnumerationPlan":
         """Build a plan from ``{name: (distribution, event_shape)}`` entries."""
         sites = [
             DiscreteSiteInfo(name=name, support=site_support(name, fn),
                              event_shape=tuple(shape))
             for name, (fn, shape) in trace_sites.items()
         ]
-        return cls(sites, max_table_size=max_table_size)
+        return cls(sites, max_table_size=max_table_size,
+                   defer_size_check=defer_size_check)
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -237,6 +262,7 @@ class EnumerationPlan:
         Scalar sites are shaped ``(table_size, 1)`` (see :meth:`_event_pad`).
         """
         if self._flat_cache is None:
+            self.ensure_table_capacity()
             out: Dict[str, np.ndarray] = {}
             for site in self.sites:
                 rows = self.site_assignment_indices(site.name)

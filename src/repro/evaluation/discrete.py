@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
 from repro.core import compile_model
+from repro.corpus import models as corpus_models
 from repro.infer import diagnostics
-from repro.posteriordb import Entry, get
+from repro.posteriordb import Entry, datagen, get
 
 
 @dataclass
@@ -145,6 +146,15 @@ WORKLOAD_PAIRS = (
     ("zip_poisson_enum-synthetic_zip", "zip_poisson_marginal-synthetic_zip"),
 )
 
+#: pairs at sizes whose joint table (2^500, 4^200) is unrepresentable —
+#: only the factorized strategy can evaluate the enumerated side (the CI
+#: ``enum-scaling`` job runs these under a wall-clock budget).
+SCALING_PAIRS = (
+    ("gauss_mix_enum-synthetic_mixture_large",
+     "gauss_mix_marginal-synthetic_mixture_large"),
+    ("hmm_k_enum-synthetic_hmm4", "hmm_k_marginal-synthetic_hmm4"),
+)
+
 
 def discrete_enumeration_experiment(scale: float = 1.0, seed: int = 0,
                                     pairs=WORKLOAD_PAIRS) -> Dict[str, DiscreteComparison]:
@@ -153,4 +163,90 @@ def discrete_enumeration_experiment(scale: float = 1.0, seed: int = 0,
         enum_name: run_discrete_comparison(get(enum_name), get(marginal_name),
                                            scale=scale, seed=seed)
         for enum_name, marginal_name in pairs
+    }
+
+
+# ----------------------------------------------------------------------
+# asymptotic-cost measurement (the regression gate for ROADMAP item #1)
+# ----------------------------------------------------------------------
+@dataclass
+class EnumScaling:
+    """Measured per-evaluation cost of one workload at two sizes.
+
+    The factorized engine is ``O(N * K)`` for independent elements and
+    ``O(T * K^2)`` for chains — *linear* in the element count at fixed K —
+    while the joint table is ``K ** N``.  ``cost_ratio`` close to
+    ``size_ratio`` certifies the linear asymptotic; a regression back to the
+    exponential path would not complete at these sizes at all.
+    """
+
+    model_name: str
+    sizes: Tuple[int, int]
+    eval_seconds: Tuple[float, float]
+    strategies: Tuple[str, str]
+
+    @property
+    def size_ratio(self) -> float:
+        return self.sizes[1] / self.sizes[0]
+
+    @property
+    def cost_ratio(self) -> float:
+        return self.eval_seconds[1] / self.eval_seconds[0]
+
+
+def measure_enum_cost(model_name: str, data_for_size, sizes: Tuple[int, int],
+                      repeats: int = 3, seed: int = 0) -> EnumScaling:
+    """Per-evaluation ``potential_and_grad`` cost of a workload at two sizes.
+
+    ``data_for_size(size)`` builds the dataset; ``seed`` seeds the potential
+    (dataset seeding is the caller's closure).  Both sizes must resolve to
+    the **factorized** strategy — a silent demotion mid-measurement would
+    time the wrong engine, so it raises here rather than relying on callers
+    to inspect the returned ``strategies``.  The first evaluation (strategy
+    resolution + analysis) is excluded; the steady-state cost is the
+    *minimum* over ``repeats`` timed evaluations, the usual robust-to-noise
+    choice for microbenchmarks.
+    """
+    times: list = []
+    strategies: list = []
+    for size in sizes:
+        compiled = compile_model(corpus_models.get(model_name),
+                                 enumerate="factorized", name=model_name)
+        potential = compiled.condition(data_for_size(size)).potential(seed)
+        z0 = potential.initial_unconstrained()
+        potential.potential_and_grad(z0)          # resolve + validate
+        if potential.enum_strategy != "factorized":
+            raise RuntimeError(
+                f"{model_name} at size {size} resolved to "
+                f"{potential.enum_strategy!r}, not the factorized strategy "
+                f"({potential.factorization_note}) — the cost measurement "
+                "would time the wrong engine")
+        best = float("inf")
+        for i in range(repeats):
+            start = time.perf_counter()
+            potential.potential_and_grad(z0 + 1e-3 * (i + 1))
+            best = min(best, time.perf_counter() - start)
+        times.append(best)
+        strategies.append(potential.enum_strategy)
+    return EnumScaling(model_name=model_name, sizes=tuple(sizes),
+                       eval_seconds=tuple(times), strategies=tuple(strategies))
+
+
+def enum_scaling_experiment(repeats: int = 3, seed: int = 0) -> Dict[str, EnumScaling]:
+    """Measure the factorized engine's cost growth on both workload shapes.
+
+    Mixture (independent elements) at N=250 vs N=500 and the 4-state HMM
+    (chain elimination) at T=100 vs T=200 — every size far beyond what the
+    joint table (``2^N`` / ``4^T`` rows) could represent.  ``seed`` seeds
+    both the synthetic datasets and the potentials.
+    """
+    return {
+        "gauss_mix_enum": measure_enum_cost(
+            "gauss_mix_enum",
+            lambda n: datagen.gauss_mix_enum_data(seed=seed, n=n), (250, 500),
+            repeats=repeats, seed=seed),
+        "hmm_k_enum": measure_enum_cost(
+            "hmm_k_enum",
+            lambda t: datagen.hmm_k_data(seed=seed, t=t, k=4), (100, 200),
+            repeats=repeats, seed=seed),
     }

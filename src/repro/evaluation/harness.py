@@ -20,7 +20,6 @@ from repro.corpus import models as corpus_models
 from repro.frontend.parser import ParseError, parse_program
 from repro.frontend.semantics import SemanticError
 from repro.infer import diagnostics
-from repro.infer.potential import DiscreteLatentError
 from repro.posteriordb import Entry
 from repro.stanref import StanModel
 

@@ -12,7 +12,7 @@ array/vector literals) — plus the DeepStan extension blocks
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence
 
 
 # ----------------------------------------------------------------------

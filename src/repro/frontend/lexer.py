@@ -10,7 +10,7 @@ full Stan operator set including ``+=``, ``~``, ``.*``, ``./``, ``'``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.frontend.ast import Location
 

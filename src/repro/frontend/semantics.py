@@ -20,7 +20,7 @@ the compilation schemes rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.frontend import ast
 
@@ -134,8 +134,9 @@ def _check_int_parameters(program: ast.Program, allow_enumeration: bool) -> None
 
     Stan rejects them outright; our enumeration engine accepts *bounded*
     integer parameters (finite support, marginalized exactly) when the
-    caller opted in with ``enumerate="parallel"``.  Unbounded declarations
-    are rejected on every path — they have no exact enumeration.
+    caller opted in with ``enumerate="factorized"`` or ``"parallel"``.
+    Unbounded declarations are rejected on every path — they have no exact
+    enumeration.
     """
     for decl in program.parameters.decls:
         if not decl.base_type.is_integer:
@@ -145,8 +146,10 @@ def _check_int_parameters(program: ast.Program, allow_enumeration: bool) -> None
                 f"parameter {decl.name!r} is declared int; Stan requires continuous "
                 "parameters. Unlike Stan, this compiler can marginalize bounded "
                 "integer parameters exactly — recompile with "
-                'enumerate="parallel" (compile_model(source, enumerate="parallel")) '
-                "to enable the discrete-latent enumeration engine."
+                'enumerate="factorized" (compile_model(source, '
+                'enumerate="factorized"); O(N*K)/O(T*K^2) sum-product '
+                'marginalization, or enumerate="parallel" for the joint-table '
+                "engine) to enable the discrete-latent enumeration engine."
             )
         if decl.constraint.lower is None or decl.constraint.upper is None:
             raise SemanticError(

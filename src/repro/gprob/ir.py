@@ -16,7 +16,7 @@ which is what the NumPyro backend's lambda-lifting of loop bodies needs (§4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 from repro.frontend import ast
 

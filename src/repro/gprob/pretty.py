@@ -7,7 +7,6 @@ the shape of Figure 2b.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.frontend import ast
 from repro.gprob import ir

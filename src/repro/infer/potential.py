@@ -36,35 +36,47 @@ falls back to an API-compatible row loop, keeping semantics identical.
 Discrete-latent enumeration
 ---------------------------
 
-With ``enumerate="parallel"`` a model may contain *discrete* latent sites
-with finite support (bounded ``int`` parameters).  The potential then
-evaluates the **exact marginal** density: the discrete sites are summed out
-over their joint assignment table (:class:`repro.enum.EnumerationPlan`), so
-HMC/NUTS/VI see a purely continuous, differentiable potential over the
-remaining parameters.  Two evaluation strategies exist, following the same
+With ``enumerate="factorized"`` (or ``"parallel"``) a model may contain
+*discrete* latent sites with finite support (bounded ``int`` parameters).
+The potential then evaluates the **exact marginal** density, so HMC/NUTS/VI
+see a purely continuous, differentiable potential over the remaining
+parameters.  Three evaluation strategies exist, following the same
 optimistic pattern as chain batching:
 
+* ``"factorized"`` — the sum-product engine (:mod:`repro.enum.factorize`):
+  a one-time dependency analysis over the autodiff graph partitions the
+  discrete elements into conditionally-independent blocks and
+  chain-structured blocks; per-element enumeration handles the former in
+  ``O(N * K)`` and a logsumexp-matmul elimination (the forward algorithm)
+  the latter in ``O(T * K^2)`` — no joint table is ever built, so sizes
+  like ``2^500`` assignments evaluate in milliseconds.  Cross-validated
+  against the joint oracle at small table sizes (tolerance tier — the two
+  strategies sum in different orders) with permanent demotion on mismatch;
+  structures that do not factorize fall back to the joint table.
 * ``"parallel"`` — one vectorized execution per density evaluation: the
   flattened joint table rides the batched-evaluation machinery (table rows
   behave exactly like chains), per-assignment log joints come back as a
-  ``(T,)`` vector, and ``logsumexp`` produces the marginal.  Validated on
-  first use against the rows oracle.
+  ``(T,)`` vector, and ``logsumexp`` produces the marginal.  Validated
+  bitwise on first use against the rows oracle.
 * ``"rows"`` — the always-correct oracle: one model execution per joint
   assignment (concrete integer values substituted), stacked and
   ``logsumexp``-ed in the same tape.  Models that do not vectorize across
   the table (per-assignment control flow, axis-mixing ops) silently land
   here; slower, identical semantics.
 
-Under the multi-chain fast path the enumeration axis rides *behind* the
-chain axis: the batch is ``(C * T, dim)`` rows (chain-major), reduced back
-to per-chain marginals by a ``(C, T)`` logsumexp.
+Under the multi-chain fast path the enumeration structure rides *behind*
+the chain axis: the joint-table tape evaluates ``(C * T, dim)`` rows
+(chain-major) reduced by a ``(C, T)`` logsumexp; the factorized tape
+evaluates ``C * B`` gridded rows and contracts each chain's slice
+separately.  Acceptance of either tape follows the tolerance-tiered
+validation contract defined below.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -80,8 +92,48 @@ class DiscreteLatentError(RuntimeError):
     """Raised when a model has a discrete latent site on the non-enumerated path."""
 
 
-#: accepted values of the ``enumerate`` option.
-ENUMERATE_MODES = (None, "parallel")
+#: accepted values of the ``enumerate`` option.  ``"factorized"`` (the
+#: compiler default for enumerated models) adds the dependency-analysis +
+#: sum-product engine on top of the joint table; ``"parallel"`` keeps the
+#: PR-4 joint-table engine (bitwise-stable draws).
+ENUMERATE_MODES = (None, "parallel", "factorized")
+
+# ----------------------------------------------------------------------
+# The tolerance-tiered validation contract
+# ----------------------------------------------------------------------
+# Every optimistic evaluation strategy is validated against its oracle on
+# first use, in two tiers:
+#
+# * **decision tier — bitwise.**  Potential *values* feed threshold decisions
+#   inside the samplers (accept, slice, U-turn), so any strategy whose values
+#   differ from the oracle's at all is rejected: a sub-tolerance discrepancy
+#   could flip a knife-edge decision and break the identical-draws contract
+#   between chain methods.
+# * **gradient tier — documented tolerance.**  Gradients reach the sampler
+#   only through leapfrog positions; two algebraically identical tapes may
+#   reorder floating point (gemm vs gemv, SIMD lanes vs scalar tails) and
+#   diverge at the last few ulps.  A batched tape whose values are bitwise
+#   but whose gradients agree only within (GRAD_VALIDATION_RTOL,
+#   GRAD_VALIDATION_ATOL) is recorded as ``"value_fast"``: *value-only*
+#   consumers (``potential_batched`` — the VI/PSIS diagnostics path) keep the
+#   batched tape, while ``potential_and_grad_batched`` falls back to the
+#   per-row loop so trajectories (and therefore draws) remain bitwise
+#   identical between chain methods.  This recovers the multi-chain C×T
+#   enumerated tape that a purely bitwise contract had to demote outright.
+#
+# Cross-*strategy* validation (factorized contraction vs joint table) cannot
+# be bitwise by construction — the two sum the same terms in different orders
+# — so it uses the value tolerance tier below; within the chosen strategy,
+# every evaluation path is still held to the bitwise decision tier.
+GRAD_VALIDATION_RTOL = 1e-9
+GRAD_VALIDATION_ATOL = 1e-12
+#: factorized-vs-joint marginal agreement (different logsumexp orders).
+ENUM_VALUE_RTOL = 1e-10
+ENUM_VALUE_ATOL = 1e-8
+#: largest joint table the factorized strategy is cross-validated against;
+#: beyond it the oracle itself is intractable and the (exact, graph-walk
+#: based) dependency analysis is trusted.
+ENUM_VALIDATION_TABLE_CAP = 4096
 
 
 @dataclass
@@ -117,12 +169,21 @@ class Potential:
         self.enumerate = enumerate
         self.max_table_size = max_table_size
         #: joint assignment table over the discrete latent sites
-        #: (``None`` unless ``enumerate="parallel"`` found any).
+        #: (``None`` unless enumeration is enabled and found any).
         self.enum_plan = None
-        # Enumerated-evaluation strategy: "parallel" once validated against
+        # Joint-table evaluation strategy: "parallel" once validated against
         # the per-assignment rows oracle, "rows" if the model does not
         # vectorize across the table; ``None`` until the first evaluation.
         self._enum_mode: Optional[str] = None
+        # Marginalization strategy: "factorized" (sum-product contraction)
+        # or "joint" (assignment table); ``None`` until resolved on first use.
+        self._marginal_mode: Optional[str] = None
+        #: the factorized evaluation layout (set when the dependency analysis
+        #: succeeds and the strategy validates; see repro.enum.factorize).
+        self.factorization = None
+        #: why the factorized strategy does / does not apply (human-readable;
+        #: threaded into TableSizeError so the failure is actionable).
+        self.factorization_note: Optional[str] = None
         self.sites: "OrderedDict[str, SiteInfo]" = OrderedDict()
         self._initial_values: Dict[str, np.ndarray] = {}
         self._discover_sites()
@@ -165,9 +226,11 @@ class Potential:
                         f"latent site {name!r} is discrete; NUTS/HMC requires "
                         "continuous parameters. Bounded discrete latents can be "
                         "marginalized exactly instead — recompile with "
-                        'enumerate="parallel" (compile_model(source, '
-                        'enumerate="parallel")) or build the Potential with '
-                        'enumerate="parallel".')
+                        'enumerate="factorized" (compile_model(source, '
+                        'enumerate="factorized"); O(N*K)/O(T*K^2) sum-product '
+                        'marginalization with joint-table fallback) or '
+                        'enumerate="parallel" (the joint-table engine), or '
+                        "build the Potential with either mode.")
                 value = np.asarray(param_value(site["value"]), dtype=float)
                 discrete[name] = (fn, value.shape)
                 continue
@@ -188,8 +251,11 @@ class Potential:
         if discrete:
             from repro.enum import EnumerationPlan
 
+            # The factorized strategy may never materialize the joint table,
+            # so its size cap is checked lazily (only on joint fallback).
             self.enum_plan = EnumerationPlan.from_trace_sites(
-                discrete, max_table_size=self.max_table_size)
+                discrete, max_table_size=self.max_table_size,
+                defer_size_check=(self.enumerate == "factorized"))
         self.dim = offset
         if self.dim == 0:
             if self.enum_plan is not None:
@@ -382,18 +448,180 @@ class Potential:
         self._enum_mode = "parallel" if ok else "rows"
         return parallel if ok else rows
 
+    # ------------------------------------------------------------------
+    # factorized (sum-product) marginalization
+    # ------------------------------------------------------------------
+    def _run_factorized(self, constrained: "OrderedDict[str, Tensor]"):
+        """One gridded model execution; returns the collected, checked terms."""
+        from repro.enum.factorize import reset_generated_site_names
+        from repro.ppl.primitives import FastLogDensityContext
+
+        fplan = self.factorization
+        substitution: Dict[str, Any] = dict(self.observed)
+        substitution.update(constrained)
+        for name, grid in fplan.grids().items():
+            tensor = as_tensor(grid)
+            tensor.is_batched = True
+            substitution[name] = tensor
+        reset_generated_site_names()
+        ctx = FastLogDensityContext(substitution=substitution,
+                                    rng=np.random.default_rng(self.rng_seed),
+                                    batch_size=fplan.batch_rows,
+                                    collect_names=True)
+        with ctx:
+            self.model(*self.model_args, **self.model_kwargs)
+        fplan.check_terms(ctx.term_names)
+        return ctx.log_prob_terms
+
+    def _enum_factorized_marginal(self, constrained: "OrderedDict[str, Tensor]") -> Tensor:
+        """Exact marginal log joint via the sum-product contraction."""
+        return self.factorization.contract(self._run_factorized(constrained))
+
+    def _demote_factorized(self, reason: str) -> None:
+        """Permanently fall back from the factorized strategy to the joint table.
+
+        Mirrors the established optimistic-validation pattern: a structure
+        violation may only trigger away from the analysis point, so demotion
+        is one-way.  Raises :class:`~repro.enum.TableSizeError` (with the
+        factorization context) if the joint table does not fit the cap.
+        """
+        note = f"factorization was attempted and bailed: {reason}"
+        self.factorization_note = note
+        self.factorization = None
+        self._marginal_mode = "joint"
+        self.enum_plan.ensure_table_capacity(note)
+
+    def _resolve_factorization(self, constrained: "OrderedDict[str, Tensor]") -> None:
+        """Pick the marginalization strategy (factorized vs joint) once.
+
+        Value-tier validation against the joint oracle happens here when the
+        table is small enough; the gradient tier is added by
+        :meth:`_ensure_enum_strategy` (which has the unconstrained vector and
+        can compare full gradients).
+        """
+        from repro.enum import FactorizationError, analyze_factorization
+
+        if self._marginal_mode is not None:
+            return
+        if self.enumerate != "factorized":
+            self._marginal_mode = "joint"
+            return
+        if not self.fast:
+            self.factorization_note = (
+                "factorization requires the vectorized (numpyro) runtime; "
+                "this potential uses the trace-based handler stack")
+            self._marginal_mode = "joint"
+            self.enum_plan.ensure_table_capacity(self.factorization_note)
+            return
+        if all(not site.event_shape for site in self.enum_plan.sites) \
+                and self.enum_plan.table_size <= self.enum_plan.max_table_size:
+            # Scalar sites only *and* the table fits: keep the joint
+            # arithmetic so draws stay bitwise identical to the joint-table
+            # engine.  Many scalar sites can still blow the cap (2^17
+            # Bernoullis) — those fall through to per-site factorization,
+            # which handles each scalar site in O(K); there is no joint-table
+            # run to stay bitwise with in that regime.
+            self.factorization_note = (
+                "all discrete sites are scalar; the joint table is already "
+                "small and keeps bitwise-stable draws")
+            self._marginal_mode = "joint"
+            return
+        try:
+            self.factorization = analyze_factorization(
+                self.model, self.enum_plan, model_args=self.model_args,
+                model_kwargs=self.model_kwargs, observed=self.observed,
+                constrained=dict(constrained), rng_seed=self.rng_seed)
+        except FactorizationError as exc:
+            self._demote_factorized(exc)
+            return
+        self._marginal_mode = "factorized"
+        self.factorization_note = self.factorization.describe()
+
+    def _enum_marginal(self, constrained: "OrderedDict[str, Tensor]") -> Tensor:
+        """Marginal log joint over the discrete latents (scalar tensor)."""
+        if self._marginal_mode is None:
+            # Every public evaluation entry point resolves the strategy —
+            # both validation tiers — via _ensure_enum_strategy before the
+            # tape runs; reaching this point means an internal caller went
+            # straight to the tensor function.  Resolve the structure and
+            # proceed; the oracle cross-validation lives in one place only
+            # (_ensure_enum_strategy), not here.
+            self._resolve_factorization(constrained)
+        if self._marginal_mode == "factorized":
+            try:
+                return self._enum_factorized_marginal(constrained)
+            except Exception as exc:  # noqa: BLE001
+                # Structure violations (assignment-dependent control flow)
+                # may only trigger away from the analysis point.
+                self._demote_factorized(exc)
+        return ops.logsumexp(self._enum_log_joint(constrained))
+
+    def _ensure_enum_strategy(self, z: np.ndarray) -> None:
+        """Resolve the marginalization strategy, gradient tier included.
+
+        Public evaluation entry points call this before their first real
+        evaluation so the factorized strategy is validated against the joint
+        oracle on *both* tiers of the validation contract: marginal values
+        within (ENUM_VALUE_RTOL, ENUM_VALUE_ATOL) and gradients within
+        (GRAD_VALIDATION_RTOL, GRAD_VALIDATION_ATOL).
+        """
+        if self.enum_plan is None or self._marginal_mode is not None:
+            return
+        z = np.asarray(z, dtype=float).reshape(-1)
+        with np.errstate(all="ignore"):
+            constrained, _ = self.constrain(as_tensor(z))
+            self._resolve_factorization(constrained)
+            if self._marginal_mode != "factorized":
+                return
+            cap = min(self.enum_plan.max_table_size, ENUM_VALIDATION_TABLE_CAP)
+            if self.enum_plan.table_size > cap:
+                self.factorization_note += (
+                    "; joint table too large for oracle cross-validation — "
+                    "trusting the exact graph-walk dependency analysis")
+                return
+            try:
+                value_f, grad_f = self._vg(z)
+            except Exception as exc:  # noqa: BLE001
+                self._demote_factorized(exc)
+                return
+            if self._marginal_mode != "factorized":
+                # the factorized trial demoted itself (structure violation
+                # surfaced during evaluation); the note already explains why
+                return
+            self._marginal_mode = "joint"
+            try:
+                value_j, grad_j = self._vg(z)
+            except Exception as exc:  # noqa: BLE001
+                self._demote_factorized(exc)
+                return
+            value_ok = bool(np.isclose(value_f, value_j, rtol=ENUM_VALUE_RTOL,
+                                       atol=ENUM_VALUE_ATOL, equal_nan=True))
+            grad_ok = bool(np.allclose(grad_f, grad_j,
+                                       rtol=GRAD_VALIDATION_RTOL,
+                                       atol=GRAD_VALIDATION_ATOL, equal_nan=True))
+            if value_ok and grad_ok and self.factorization is not None:
+                self._marginal_mode = "factorized"
+            else:
+                self._demote_factorized(
+                    "validation against the joint oracle failed "
+                    f"(values within tolerance: {value_ok}, gradients within "
+                    f"tolerance: {grad_ok})")
+
     @property
     def enum_strategy(self) -> Optional[str]:
         """The validated enumerated-evaluation strategy.
 
-        ``"parallel"`` (one table-vectorized execution) or ``"rows"`` (the
-        per-assignment oracle loop) once the first evaluation has validated;
-        ``None`` for non-enumerated potentials or before the first call —
-        treat ``None`` on an enumerated potential as "parallel pending
-        validation".
+        ``"factorized"`` (sum-product contraction over the factorization
+        plan), ``"parallel"`` (one table-vectorized execution) or ``"rows"``
+        (the per-assignment oracle loop); ``None`` for non-enumerated
+        potentials.  Before the first evaluation this reports the strategy
+        pending validation.
         """
         if self.enum_plan is None:
             return None
+        if self._marginal_mode == "factorized" or (
+                self._marginal_mode is None and self.enumerate == "factorized"):
+            return "factorized"
         return self._enum_mode or "parallel"
 
     def assignment_log_joints(self, z: np.ndarray) -> np.ndarray:
@@ -405,12 +633,36 @@ class Potential:
         graph recorded: the trace-based reduction classifies terms by graph
         provenance, and the classification here must match the one the
         sampling path was validated under.
+
+        Always evaluates through the **joint table** (used by the table-based
+        discrete post-pass and as the factorized oracle), so it raises
+        :class:`~repro.enum.TableSizeError` when the table exceeds the cap —
+        factorized potentials expose :meth:`factorized_factors` instead.
         """
         if self.enum_plan is None:
             raise RuntimeError("assignment_log_joints requires an enumerated potential")
+        self.enum_plan.ensure_table_capacity(self.factorization_note)
         with np.errstate(all="ignore"):
             constrained, _ = self.constrain(as_tensor(np.asarray(z, dtype=float)))
             return np.asarray(self._enum_log_joint(constrained).data, dtype=float)
+
+    def factorized_factors(self, z: np.ndarray):
+        """Per-component discrete posterior log factors at unconstrained ``z``.
+
+        Returns a :class:`~repro.enum.FactorBundle` (independent-element
+        factors and chain unary/pairwise potentials) for the ``infer_discrete``
+        backward pass, or ``None`` when the potential did not resolve to the
+        factorized strategy (callers then use :meth:`assignment_log_joints`).
+        """
+        if self.enum_plan is None:
+            raise RuntimeError("factorized_factors requires an enumerated potential")
+        self._ensure_enum_strategy(np.asarray(z, dtype=float))
+        if self._marginal_mode != "factorized":
+            return None
+        with np.errstate(all="ignore"), no_grad():
+            constrained, _ = self.constrain(as_tensor(np.asarray(z, dtype=float)))
+            terms = self._run_factorized(constrained)
+            return self.factorization.posterior_factors(terms)
 
     # ------------------------------------------------------------------
     # density evaluation
@@ -418,8 +670,7 @@ class Potential:
     def _neg_log_joint_tensor(self, z: Tensor) -> Tensor:
         constrained, log_det = self.constrain(z)
         if self.enum_plan is not None:
-            per_assignment = self._enum_log_joint(constrained)
-            return ops.neg(ops.add(ops.logsumexp(per_assignment), log_det))
+            return ops.neg(ops.add(self._enum_marginal(constrained), log_det))
         if self.fast:
             from repro.ppl.primitives import FastLogDensityContext
 
@@ -441,11 +692,15 @@ class Potential:
 
     def potential(self, z: np.ndarray) -> float:
         """Potential energy (negative log joint) at ``z``."""
-        return self._vg(np.asarray(z, dtype=float))[0]
+        z = np.asarray(z, dtype=float)
+        self._ensure_enum_strategy(z)
+        return self._vg(z)[0]
 
     def potential_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
         """Potential energy and its gradient at ``z``."""
-        return self._vg(np.asarray(z, dtype=float))
+        z = np.asarray(z, dtype=float)
+        self._ensure_enum_strategy(z)
+        return self._vg(z)
 
     def log_prob(self, z: np.ndarray) -> float:
         """Log joint density (the negation of the potential)."""
@@ -504,6 +759,37 @@ class Potential:
 
         c = z.data.shape[0]
         constrained, log_det = self.constrain_batched(z)
+        if self.enum_plan is not None and self._marginal_mode == "factorized":
+            # Factorized multi-chain tape: the batch is C * B rows
+            # (chain-major, B = the factorized batch), one model execution,
+            # then each chain's rows are contracted separately — the same
+            # per-chain arithmetic as the single-chain contraction, so the
+            # per-chain subgraphs stay disjoint until the shared leaves.
+            fplan = self.factorization
+            b = fplan.batch_rows
+            substitution: Dict[str, Any] = dict(self.observed)
+            for name, value in constrained.items():
+                expanded = self._tile_rows(value, b)
+                expanded.is_batched = True
+                substitution[name] = expanded
+            for name, grid in fplan.grids().items():
+                tiled = as_tensor(np.tile(grid, (c, 1)))
+                tiled.is_batched = True
+                substitution[name] = tiled
+            from repro.enum.factorize import reset_generated_site_names
+
+            reset_generated_site_names()
+            ctx = FastLogDensityContext(substitution=substitution,
+                                        rng=np.random.default_rng(self.rng_seed),
+                                        batch_size=c * b, collect_names=True)
+            with ctx:
+                self.model(*self.model_args, **self.model_kwargs)
+            fplan.check_terms(ctx.term_names)
+            per_chain = ops.stack([
+                fplan.contract(ctx.log_prob_terms, offset=i * b, total_rows=c * b)
+                for i in range(c)
+            ])
+            return ops.neg(ops.add(per_chain, log_det))
         if self.enum_plan is not None:
             # Enumeration axis rides behind the chain axis: the batch is
             # C * T rows, chain-major, reduced back per chain by a (C, T)
@@ -562,13 +848,21 @@ class Potential:
         """Potential energies ``(C,)`` and gradients ``(C, dim)`` for a batch ``z``.
 
         The first call for a given chain count validates the vectorized
-        evaluation against the per-row sequential oracle and falls back to an
-        equivalent row loop if the model does not broadcast along chains.
+        evaluation against the per-row sequential oracle under the
+        tolerance-tiered contract (see module constants): values must match
+        **bitwise** (they feed sampler threshold decisions); gradients may
+        match bitwise (``"fast"`` — the tape serves everything) or within the
+        documented tolerance (``"value_fast"`` — value-only consumers keep
+        the tape, gradient consumers take the row loop so trajectories stay
+        bitwise identical between chain methods); anything else falls back to
+        an equivalent row loop.
         """
         z = np.asarray(z, dtype=float)
         if z.ndim != 2:
             raise ValueError(f"expected a (num_chains, dim) batch, got shape {z.shape}")
         c = z.shape[0]
+        if c and z.shape[1]:
+            self._ensure_enum_strategy(z[0])
         if c == 1:
             # A single row gains nothing from the batched tape (and vectorized
             # NUTS runs shrink to one straggler chain at the end of every run)
@@ -584,24 +878,33 @@ class Potential:
                 # boundary); demote this batch size to the row loop for good.
                 self._batched_mode[c] = "loop"
                 return self._potential_and_grad_batched_loop(z)
-        if mode == "loop":
+        if mode in ("loop", "value_fast"):
             return self._potential_and_grad_batched_loop(z)
         values, grads = self._potential_and_grad_batched_loop(z)
         try:
             fast_values, fast_grads = self._potential_and_grad_batched_fast(z)
-            # Require *bitwise* agreement with the sequential oracle, not just
-            # tolerance: sampler decisions (accept, slice, U-turn) threshold on
-            # these values, so a sub-tolerance discrepancy could flip a
-            # knife-edge decision and break the identical-draws contract
-            # between the chain methods.  Models whose batched evaluation
-            # reorders floating point (e.g. gemm vs gemv) take the row loop.
-            ok = (
-                np.array_equal(fast_values, values, equal_nan=True)
-                and np.array_equal(fast_grads, grads, equal_nan=True)
-            )
+            # Decision tier: *bitwise* value agreement with the sequential
+            # oracle, not just tolerance — sampler decisions (accept, slice,
+            # U-turn) threshold on these values, so a sub-tolerance
+            # discrepancy could flip a knife-edge decision and break the
+            # identical-draws contract between the chain methods.
+            values_ok = np.array_equal(fast_values, values, equal_nan=True)
+            grads_bitwise = np.array_equal(fast_grads, grads, equal_nan=True)
+            # Gradient tier: a tape that reorders floating point (gemm vs
+            # gemv, tiled reductions) may diverge in the last ulps; within
+            # the documented tolerance the tape stays usable for value-only
+            # consumers (potential_batched) while gradient consumers keep
+            # the loop — this recovers the multi-chain enumerated C×T tape.
+            grads_tol = np.allclose(fast_grads, grads, rtol=GRAD_VALIDATION_RTOL,
+                                    atol=GRAD_VALIDATION_ATOL, equal_nan=True)
         except Exception:
-            ok = False
-        self._batched_mode[c] = "fast" if ok else "loop"
+            values_ok = grads_bitwise = grads_tol = False
+        if values_ok and grads_bitwise:
+            self._batched_mode[c] = "fast"
+        elif values_ok and grads_tol:
+            self._batched_mode[c] = "value_fast"
+        else:
+            self._batched_mode[c] = "loop"
         return values, grads
 
     def potential_batched(self, z: np.ndarray) -> np.ndarray:
@@ -616,10 +919,15 @@ class Potential:
         if z.ndim != 2:
             raise ValueError(f"expected a (num_chains, dim) batch, got shape {z.shape}")
         c = z.shape[0]
+        if c and z.shape[1]:
+            self._ensure_enum_strategy(z[0])
         mode = self._batched_mode.get(c)
         if mode is None:
             return self.potential_and_grad_batched(z)[0]
-        if mode == "fast":
+        if mode in ("fast", "value_fast"):
+            # ``value_fast``: the tape's *values* validated bitwise against
+            # the oracle (only its gradients sit in the tolerance tier), so
+            # value-only consumers keep the batched evaluation.
             try:
                 with no_grad(), np.errstate(all="ignore"):
                     out = self._neg_log_joint_tensor_batched(as_tensor(z))

@@ -115,7 +115,7 @@ class SVI:
     @property
     def elbo_history(self) -> List[float]:
         """Per-step ELBO history (the negated loss trace)."""
-        return [-l for l in self.loss_history]
+        return [-loss for loss in self.loss_history]
 
     def _ensure_optimizer(self) -> Optimizer:
         store = primitives.get_param_store()

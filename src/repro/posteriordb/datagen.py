@@ -211,6 +211,35 @@ def zip_poisson_data(seed: int = 0, n: int = 8) -> Dict[str, Any]:
     return {"N": n, "y": y.astype(float)}
 
 
+def hmm_k_data(seed: int = 0, t: int = 200, k: int = 4) -> Dict[str, Any]:
+    """A K-state sticky HMM at lengths only the factorized engine can run.
+
+    The joint assignment table would hold ``k ** t`` entries (``4 ** 200`` at
+    the defaults — unrepresentable); chain elimination runs it in
+    ``O(T * K^2)``.  Emission means are spaced so states are identifiable;
+    ``mu0`` carries the prior locations to both formulations.
+    """
+    rng = np.random.default_rng(seed)
+    transition = np.full((k, k), 0.3 / max(k - 1, 1))
+    np.fill_diagonal(transition, 0.7)
+    initial = np.full(k, 1.0 / k)
+    mu0 = np.linspace(-3.0, 3.0, k)
+    state = rng.choice(k, p=initial)
+    states, y = [], []
+    for _ in range(t):
+        states.append(state)
+        y.append(rng.normal(mu0[state], 0.5))
+        state = rng.choice(k, p=transition[state])
+    return {"T": t, "K": k, "y": np.array(y), "Gamma": transition,
+            "rho": initial, "mu0": mu0}
+
+
+def gauss_mix_enum_large_data(seed: int = 0, n: int = 500) -> Dict[str, Any]:
+    """The mixture workload at a length whose joint table (``2 ** n``) is
+    unrepresentable — only per-element (factorized) enumeration can run it."""
+    return gauss_mix_enum_data(seed=seed, n=n)
+
+
 def hmm_enum_data(seed: int = 0, t: int = 6) -> Dict[str, Any]:
     """A short 2-state HMM path; enumeration sums all ``2 ** t`` paths."""
     rng = np.random.default_rng(seed)

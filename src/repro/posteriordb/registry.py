@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-import numpy as np
 
 from repro.corpus import models as corpus_models
 from repro.posteriordb import datagen
@@ -51,10 +50,13 @@ class Entry:
     expect_unsupported: bool = False
     expect_mismatch: bool = False
     description: str = ""
-    #: ``"parallel"`` for models with bounded ``int`` parameters — they only
-    #: compile through the discrete-latent enumeration engine
-    #: (``compile_model(..., enumerate=entry.enumerate)``) and are excluded
-    #: from the plain-path tables like ``expect_unsupported`` entries.
+    #: ``"factorized"`` / ``"parallel"`` for models with bounded ``int``
+    #: parameters — they only compile through the discrete-latent enumeration
+    #: engine (``compile_model(..., enumerate=entry.enumerate)``) and are
+    #: excluded from the plain-path tables like ``expect_unsupported``
+    #: entries.  ``"factorized"`` (the default for these workloads) runs the
+    #: sum-product engine: O(N*K) for independent elements, O(T*K^2) for
+    #: chains, joint-table fallback otherwise.
     enumerate: Optional[str] = None
 
     @property
@@ -182,17 +184,17 @@ register(Entry("diamonds-diamonds", "diamonds", "diamonds", datagen.diamonds_dat
 # counterpart defining the same continuous posterior (BENCH_discrete compares
 # the two).
 register(Entry("gauss_mix_enum-synthetic_mixture", "gauss_mix_enum", "synthetic_mixture",
-               datagen.gauss_mix_enum_data, enumerate="parallel",
+               datagen.gauss_mix_enum_data, enumerate="factorized",
                config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
                description="2-component mixture with int<lower=1,upper=2> assignments, "
-                           "marginalized by enumeration"))
+                           "marginalized by per-element enumeration"))
 register(Entry("gauss_mix_marginal-synthetic_mixture", "gauss_mix_marginal",
                "synthetic_mixture", datagen.gauss_mix_enum_data,
                config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
                description="hand-marginalized formulation of gauss_mix_enum "
                            "(what Stan forces users to write)"))
 register(Entry("zip_poisson_enum-synthetic_zip", "zip_poisson_enum", "synthetic_zip",
-               datagen.zip_poisson_data, enumerate="parallel",
+               datagen.zip_poisson_data, enumerate="factorized",
                config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
                description="occupancy/zero-inflated Poisson with Bernoulli latents"))
 register(Entry("zip_poisson_marginal-synthetic_zip", "zip_poisson_marginal",
@@ -200,7 +202,35 @@ register(Entry("zip_poisson_marginal-synthetic_zip", "zip_poisson_marginal",
                config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
                description="hand-marginalized zero-inflated Poisson"))
 register(Entry("hmm_enum-synthetic_hmm", "hmm_enum", "synthetic_hmm",
-               datagen.hmm_enum_data, enumerate="parallel",
+               datagen.hmm_enum_data, enumerate="factorized",
                config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
-               description="short 2-state HMM: enumeration sums all paths, no "
-                           "hand-written forward algorithm"))
+               description="short 2-state HMM: the factorized engine detects the "
+                           "chain and runs the forward algorithm automatically"))
+# Scaling workloads: sizes whose joint assignment table (2^500, 4^200) is
+# unrepresentable — only the factorized strategy can evaluate them.  Each has
+# a hand-marginalized twin defining the same continuous posterior; the CI
+# `enum-scaling` job asserts posterior agreement between the pairs.
+register(Entry("gauss_mix_enum-synthetic_mixture_large", "gauss_mix_enum",
+               "synthetic_mixture_large", datagen.gauss_mix_enum_large_data,
+               enumerate="factorized",
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="the mixture at N=500: joint table would be 2^500; "
+                           "per-element enumeration runs it in O(N*K)"))
+register(Entry("gauss_mix_marginal-synthetic_mixture_large", "gauss_mix_marginal",
+               "synthetic_mixture_large", datagen.gauss_mix_enum_large_data,
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="hand-marginalized twin of the N=500 mixture"))
+register(Entry("hmm_k_enum-synthetic_hmm4", "hmm_k_enum", "synthetic_hmm4",
+               datagen.hmm_k_data, enumerate="factorized",
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="4-state HMM at T=200: joint table would be 4^200; "
+                           "chain elimination runs it in O(T*K^2)"))
+register(Entry("hmm_k_marginal-synthetic_hmm4", "hmm_k_marginal", "synthetic_hmm4",
+               datagen.hmm_k_data,
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="hand-written forward algorithm twin of hmm_k_enum "
+                           "(the log_sum_exp algebra the paper's users must write)"))
+register(Entry("hmm_marginal-synthetic_hmm", "hmm_marginal", "synthetic_hmm",
+               datagen.hmm_enum_data,
+               config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
+               description="hand-written forward algorithm twin of hmm_enum"))

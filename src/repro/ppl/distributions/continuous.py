@@ -11,7 +11,6 @@ inference.
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
 import numpy as np
 

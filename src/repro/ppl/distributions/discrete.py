@@ -351,7 +351,6 @@ class OrderedLogistic(Distribution):
         else:
             diffs = ops.sub(cuts, ops.reshape(eta, tuple(eta.shape) + (1,)))
         cdf = ops.sigmoid(diffs)
-        ones_shape = tuple(cdf.shape[:-1]) + (1,)
         zero = ops.mul(ops.getitem(cdf, (..., slice(0, 1))), 0.0)
         one = ops.add(zero, 1.0)
         upper = ops.concatenate([cdf, one], axis=-1)

@@ -12,12 +12,12 @@ domain; inference never uses those draws except as an initialisation.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.autodiff import ops
-from repro.autodiff.tensor import Tensor, as_tensor
+from repro.autodiff.tensor import as_tensor
 from repro.ppl import constraints as C
 from repro.ppl.distributions.base import Distribution, param_value
 

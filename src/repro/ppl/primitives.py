@@ -45,18 +45,28 @@ class FastLogDensityContext:
     trailing (event) axes only, so every chain keeps its own log joint.  Terms
     that do not carry the chain axis (data-only contributions) are summed to a
     scalar and broadcast to all chains.
+
+    With ``collect_names=True`` the context additionally records the site
+    name of every accumulated term (in execution order) in ``term_names`` —
+    the provenance the factorized enumeration engine needs to match each
+    term back to the model statement that produced it.  ``observe``/``factor``
+    sites get their generated names; anonymous additions record ``None``.
     """
 
-    __slots__ = ("substitution", "log_prob_terms", "rng", "batch_size")
+    __slots__ = ("substitution", "log_prob_terms", "term_names", "rng", "batch_size")
 
-    def __init__(self, substitution=None, rng=None, batch_size=None):
+    def __init__(self, substitution=None, rng=None, batch_size=None,
+                 collect_names: bool = False):
         self.substitution = substitution or {}
         self.log_prob_terms = []
+        self.term_names = [] if collect_names else None
         self.rng = rng or np.random.default_rng(0)
         self.batch_size = batch_size
 
-    def add(self, term) -> None:
+    def add(self, term, name: Optional[str] = None) -> None:
         self.log_prob_terms.append(term)
+        if self.term_names is not None:
+            self.term_names.append(name)
 
     def total(self):
         from repro.autodiff import ops
@@ -173,11 +183,11 @@ def sample(name: str, fn: Distribution, obs=None):
     if _FAST_STACK:
         ctx = _FAST_STACK[-1]
         if obs is not None:
-            ctx.add(fn.log_prob(obs))
+            ctx.add(fn.log_prob(obs), name=name)
             return obs
         if name in ctx.substitution:
             value = ctx.substitution[name]
-            ctx.add(fn.log_prob(value))
+            ctx.add(fn.log_prob(value), name=name)
             return value
         return fn.sample(ctx.rng)
     msg = {
@@ -211,7 +221,7 @@ def factor(name: str, log_factor):
     Compiles Stan's ``target += e`` (§3.3, Fig. 7).
     """
     if _FAST_STACK:
-        _FAST_STACK[-1].add(as_tensor(log_factor))
+        _FAST_STACK[-1].add(as_tensor(log_factor), name=name)
         return as_tensor(log_factor)
     msg = {
         "type": "factor",

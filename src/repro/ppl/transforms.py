@@ -27,7 +27,6 @@ through the change of variables in one tape.
 from __future__ import annotations
 
 import math
-from typing import Union
 
 import numpy as np
 

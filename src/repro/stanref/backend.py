@@ -10,13 +10,11 @@ the declared-constraint bijections.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.autodiff.tensor import Tensor, as_tensor
+from repro.autodiff.tensor import Tensor
 from repro.backends import runtime as rt
 from repro.core import stanlib
 from repro.core.schemes import prior_for_declaration

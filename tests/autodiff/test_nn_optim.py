@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor, ops
-from repro.autodiff.nn import MLP, Linear, Module, ReLU, Sequential, Sigmoid, Tanh
+from repro.autodiff.nn import MLP, Linear, Sequential, Sigmoid, Tanh
 from repro.autodiff.optim import SGD, Adam, ClippedAdam
 
 

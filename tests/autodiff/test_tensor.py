@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autodiff import Tensor, as_tensor, no_grad, ops
+from repro.autodiff import Tensor, as_tensor, no_grad
 from repro.autodiff.tensor import unbroadcast
 
 

@@ -22,7 +22,6 @@ import scipy.stats as st
 from scipy.special import logsumexp as np_logsumexp
 
 from repro import compile_model
-from repro.corpus import models as corpus_models
 from repro.evaluation.discrete import mcse_sigmas
 from repro.posteriordb import get
 

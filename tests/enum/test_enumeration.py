@@ -6,7 +6,6 @@ from scipy.special import logsumexp as np_logsumexp
 
 from repro import EnumerationError, TableSizeError, compile_model
 from repro.autodiff.tensor import as_tensor
-from repro.core import stanlib
 from repro.enum import (
     DiscreteSiteInfo,
     EnumerationPlan,
@@ -302,7 +301,6 @@ def test_compile_model_threads_the_enumerate_flag():
         compile_model(INT_PARAM_SOURCE)
     compiled = compile_model(INT_PARAM_SOURCE, enumerate="parallel")
     assert compiled.enumerate_mode == "parallel"
-    prior = compiled.model_ir
     # the int parameter got the int_range declaration prior
     assert "int_range" in compiled.source
 

@@ -349,7 +349,7 @@ def test_svi_losses_alias_and_deterministic_init(rng):
     _, loc_a2 = run(seed=0)
     _, loc_b = run(seed=1)
     assert svi_a.losses is svi_a.loss_history
-    assert svi_a.elbo_history == [-l for l in svi_a.loss_history]
+    assert svi_a.elbo_history == [-loss for loss in svi_a.loss_history]
     assert len(svi_a.losses) == 40
     assert loc_a == loc_a2          # same seed: identical trajectory
     assert loc_a != loc_b           # different seed: different jittered init

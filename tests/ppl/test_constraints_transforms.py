@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.autodiff import Tensor
-from repro.autodiff.functional import numerical_grad
 from repro.ppl import constraints as C
 from repro.ppl import transforms as T
 

@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 import scipy.stats as st
 
-from repro.stanref import Environment, StanInterpreter, StanModel, StanRuntimeError
+from repro.stanref import Environment, StanModel, StanRuntimeError
 from repro.stanref.interpreter import TargetAccumulator
-from repro.frontend.parser import parse_program
 from repro.corpus import models as corpus_models
 
 
