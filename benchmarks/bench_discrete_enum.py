@@ -56,6 +56,7 @@ def test_discrete_enumeration_vs_hand_marginalization(benchmark):
             "marginal_runtime_seconds": comp.marginal_runtime_seconds,
             "table_size": comp.table_size,
             "enum_strategy": comp.enum_strategy,
+            "engine": comp.engine,
             "mean_responsibilities": {
                 site: probs.tolist()
                 for site, probs in comp.responsibilities.items()
@@ -81,6 +82,7 @@ def test_hmm_enumeration_runs_without_forward_algorithm(benchmark):
     """The HMM workload: exact path-sum by enumeration, no hand-written
     forward algorithm, posterior over the emission means recovered."""
     from repro.core import compile_model
+    from repro.engine import EngineConfig
 
     entry = get("hmm_enum-synthetic_hmm")
     scale = SCALE
@@ -88,7 +90,7 @@ def test_hmm_enumeration_runs_without_forward_algorithm(benchmark):
     def run_hmm():
         compiled = compile_model(entry.source, backend="numpyro",
                                  scheme="comprehensive", name=entry.name,
-                                 enumerate=entry.enumerate)
+                                 engine=EngineConfig(enumerate=entry.enumerate))
         model = compiled.condition(entry.data())
         fit = model.fit("nuts",
                         num_warmup=max(int(entry.config.num_warmup * scale), 10),
@@ -119,38 +121,45 @@ def test_factorized_enumeration_scales_linearly(benchmark):
     N=250 vs N=500 (per-element enumeration) and the 4-state HMM at T=100 vs
     T=200 (chain elimination) — sizes whose joint table (``2^N`` / ``4^T``)
     is unrepresentable, so a regression back to the exponential path cannot
-    even complete.  Asserts the factorized strategy resolved and that cost
-    grows at most linearly (x2 slack for timer noise) in N / T at fixed K,
-    i.e. the measured O(N*K) / O(T*K^2) asymptotic.
+    even complete.  Runs under **both** evaluation engines (the interpreted
+    tape and the fused compiled tape) and asserts, for each, that the
+    factorized strategy resolved and that cost grows at most linearly
+    (x2 slack for timer noise) in N / T at fixed K, i.e. the measured
+    O(N*K) / O(T*K^2) asymptotic.
     """
     from repro.evaluation.discrete import enum_scaling_experiment
 
-    results = benchmark.pedantic(enum_scaling_experiment,
-                                 kwargs={"repeats": 3, "seed": 0},
-                                 rounds=1, iterations=1)
-    lines = [f"{'workload':<18} {'sizes':>12} {'eval[s]':>20} "
+    def run_both_engines():
+        return {engine: enum_scaling_experiment(repeats=3, seed=0, engine=engine)
+                for engine in ("interpreted", "compiled")}
+
+    by_engine = benchmark.pedantic(run_both_engines, rounds=1, iterations=1)
+    lines = [f"{'workload':<32} {'sizes':>12} {'eval[s]':>20} "
              f"{'cost ratio':>10} {'bound':>6}"]
     payload = {"workloads": {}}
-    for name, scaling in results.items():
-        bound = 2.0 * scaling.size_ratio
-        lines.append(
-            f"{name:<18} {str(scaling.sizes):>12} "
-            f"{scaling.eval_seconds[0]:>9.4f} {scaling.eval_seconds[1]:>9.4f} "
-            f"{scaling.cost_ratio:>10.2f} {bound:>6.1f}")
-        payload["workloads"][name] = {
-            "sizes": list(scaling.sizes),
-            "eval_seconds": list(scaling.eval_seconds),
-            "cost_ratio": scaling.cost_ratio,
-            "cost_ratio_bound": bound,
-            "strategies": list(scaling.strategies),
-        }
-        assert scaling.strategies == ("factorized", "factorized"), scaling
-        # Linear growth in the element count at fixed K: doubling the size
-        # must cost at most ~2x (the joint table would be 2^250 times worse
-        # for the mixture step alone).
-        assert scaling.cost_ratio <= bound, scaling
-    lines.append("[cost grows linearly in N/T: per-element O(N*K) and "
-                 "chain-elimination O(T*K^2), never the K^N joint table]")
+    for engine, results in by_engine.items():
+        for name, scaling in results.items():
+            bound = 2.0 * scaling.size_ratio
+            label = f"{name}[{engine}]"
+            lines.append(
+                f"{label:<32} {str(scaling.sizes):>12} "
+                f"{scaling.eval_seconds[0]:>9.4f} {scaling.eval_seconds[1]:>9.4f} "
+                f"{scaling.cost_ratio:>10.2f} {bound:>6.1f}")
+            payload["workloads"][label] = {
+                "sizes": list(scaling.sizes),
+                "eval_seconds": list(scaling.eval_seconds),
+                "cost_ratio": scaling.cost_ratio,
+                "cost_ratio_bound": bound,
+                "strategies": list(scaling.strategies),
+                "engine": scaling.engine,
+            }
+            assert scaling.strategies == ("factorized", "factorized"), scaling
+            # Linear growth in the element count at fixed K: doubling the
+            # size must cost at most ~2x (the joint table would be 2^250
+            # times worse for the mixture step alone).
+            assert scaling.cost_ratio <= bound, scaling
+    lines.append("[cost grows linearly in N/T under both engines: per-element "
+                 "O(N*K) and chain-elimination O(T*K^2), never the K^N table]")
     record("BENCH_enum_scaling — factorized enumeration asymptotics", lines)
     record_json("BENCH_enum_scaling.json", payload)
 
@@ -198,6 +207,7 @@ def test_unrepresentable_table_workloads_match_hand_marginalization(benchmark):
             "marginal_runtime_seconds": comp.marginal_runtime_seconds,
             "table_size_digits": digits,
             "enum_strategy": comp.enum_strategy,
+            "engine": comp.engine,
         }
         assert comp.enum_strategy == "factorized", (name, comp.enum_strategy)
         # the whole point: the joint table is unrepresentable at these sizes

@@ -16,6 +16,9 @@ loads whichever of the known artifacts exist in the directory and fails
   ``cost_ratio`` <= its recorded bound);
 * ``BENCH_enum_scaling_posteriors.json`` — the unrepresentable-table
   workloads stayed factorized and within ``max_mcse_sigmas`` < 4;
+* ``BENCH_compiled_tape.json`` — every workload's compiled program stayed
+  in a validated tier (``fast``/``value_fast``) and the compiled-over-
+  interpreted gradient speedup stayed >= the recorded threshold;
 * ``BENCH_vectorized.json`` — the geometric-mean multi-chain speedup stayed
   >= the recorded assertion threshold, when the file records one.
 
@@ -78,6 +81,21 @@ def _check_enum_posteriors(payload: dict, problems: List[str]) -> None:
                 f"max_mcse_sigmas={sigmas!r} (threshold < {MCSE_SIGMAS_THRESHOLD})")
 
 
+def _check_compiled_tape(payload: dict, problems: List[str]) -> None:
+    threshold = payload.get("speedup_threshold")
+    for name, row in payload.get("workloads", {}).items():
+        mode = row.get("tape_mode")
+        if mode not in ("fast", "value_fast"):
+            problems.append(
+                f"BENCH_compiled_tape: {name} tape_mode={mode!r} "
+                "(compiled program demoted off the validated fast tiers)")
+        speedup = row.get("speedup")
+        if threshold is None or speedup is None or speedup < threshold:
+            problems.append(
+                f"BENCH_compiled_tape: {name} speedup={speedup!r} fell below "
+                f"the recorded threshold {threshold!r}")
+
+
 def _check_vectorized(payload: dict, problems: List[str]) -> None:
     speedup = payload.get("geometric_mean_speedup")
     threshold = payload.get("speedup_threshold")
@@ -91,6 +109,7 @@ CHECKS: Dict[str, Callable[[dict, List[str]], None]] = {
     "BENCH_discrete.json": _check_discrete,
     "BENCH_enum_scaling.json": _check_enum_scaling,
     "BENCH_enum_scaling_posteriors.json": _check_enum_posteriors,
+    "BENCH_compiled_tape.json": _check_compiled_tape,
     "BENCH_vectorized.json": _check_vectorized,
 }
 

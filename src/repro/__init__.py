@@ -34,6 +34,7 @@ from repro.core import (
     compile_file,
     compile_model,
 )
+from repro.engine import EngineConfig
 from repro.enum import EnumerationError, TableSizeError, infer_discrete
 from repro.infer.results import FitResult, Posterior
 
@@ -47,6 +48,7 @@ __all__ = [
     "analyze_source",
     "CompiledModel",
     "ConditionedModel",
+    "EngineConfig",
     "Posterior",
     "FitResult",
     "CompileError",

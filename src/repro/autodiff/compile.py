@@ -1,0 +1,774 @@
+"""Tape compilation: lower one recorded evaluation to straight-line NumPy.
+
+The interpreted engine replays a Python-object graph on every density
+evaluation — each op pays for tensor wrapping, closure allocation, a
+topological sort and dict-based gradient accumulation.  For the potential
+functions the samplers hammer (thousands of gradient evaluations per fit)
+that interpreter tax dominates the actual numerical work.
+
+This module removes it.  :func:`compile_tape` runs the target function once
+with a *tracing sink* installed in :mod:`repro.autodiff.ops` (the single
+place graph nodes are constructed), so every node records its op name and
+static parameters.  The recorded graph is then lowered into one generated
+Python function of batched NumPy calls:
+
+* **dead-node elimination** — only nodes reachable from the output are kept
+  (side computations of the traced run disappear);
+* **constant folding** — every node that does not depend on the input vector
+  is baked into a constant (data-only subgraphs — observed-value transforms,
+  loop-built index tables — collapse into arrays captured at compile time);
+* **fusion** — single-use elementwise intermediates are inlined into their
+  consumer expression, so chains like ``-((x - mu) / sigma) ** 2 / 2``
+  become one line instead of five temporaries;
+* **hand-derived reverse program** — the backward pass is emitted as
+  straight-line code textually mirroring the interpreted VJP closures, in
+  the interpreter's exact traversal and accumulation order, so results are
+  bitwise identical to the interpreted tape (gradient contributions are
+  reduced with the same :func:`~repro.autodiff.tensor.unbroadcast`, skipped
+  statically where the traced shapes prove it is the identity).
+
+The compiled program freezes the traced control flow, so it is only valid
+for inputs with the trace's shape and dtype — :class:`CompiledTape.matches`
+is the guard callers must check, recompiling (and revalidating) on mismatch.
+Value-dependent branches that change *shape* invalidate the program through
+that guard; the first-call validation contract in
+:mod:`repro.infer.potential` covers the rest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import special as sps
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, _topological_order, unbroadcast
+
+
+class TapeCompilationError(RuntimeError):
+    """Raised when a recorded tape cannot be lowered to generated code."""
+
+
+#: hard cap on the number of dynamic nodes lowered into one function —
+#: beyond this the generated source itself becomes the bottleneck.
+MAX_PROGRAM_NODES = 200_000
+
+#: expressions longer than this are materialized instead of inlined, keeping
+#: generated lines readable and CPython's parser happy.
+MAX_INLINE_LEN = 300
+
+_ERF_COEF = 2.0 / np.sqrt(np.pi)
+
+
+def _lse(a, axis=None, keepdims=False):
+    """``scipy.special.logsumexp`` (real, unweighted) without dispatch overhead.
+
+    The interpreted tape calls :func:`scipy.special.logsumexp`, whose
+    array-API wrapper costs tens of microseconds per call — on scalar-heavy
+    tapes (one ``log_sum_exp`` per observation) that dominates the whole
+    evaluation.  This mirrors the exact operation sequence of scipy's
+    ``_logsumexp`` for real unweighted input, so results are bitwise
+    identical (the first-call validation contract checks, and demotes the
+    tape if a scipy upgrade ever changes the algorithm).
+    """
+    a = np.asarray(a)
+    ax = tuple(range(a.ndim)) if axis is None else axis
+    a_max = np.maximum.reduce(a, axis=ax, keepdims=True)
+    mask = a == a_max
+    # ``np.add.reduce`` is what np.sum dispatches to — same result, less
+    # wrapper overhead.  The negative-weight guards of scipy's general code
+    # (``s < -1`` wrap, ``abs(m)``) are identities for unweighted real input
+    # and are elided; ``m`` is the max-element multiplicity, always >= 1.
+    s = np.add.reduce(np.exp(np.where(mask, -np.inf, a) - a_max),
+                      axis=ax, keepdims=True)
+    m = np.add.reduce(mask.astype(a.dtype), axis=ax, keepdims=True)
+    s = np.where(s == 0, s, s / m)
+    out = np.log1p(s) + np.log(m) + a_max
+    finite = np.isfinite(out)
+    if not finite.all():
+        out_inf = np.log(np.add.reduce(np.exp(a), axis=ax, keepdims=True))
+        out = np.where(finite, out, out_inf)
+    if not keepdims:
+        out = np.squeeze(out, axis=ax)
+    return out[()] if out.ndim == 0 else out
+
+_VAR_TOKEN = re.compile(r"\b(?:[vgmt]\d+|gz|z|grad)\b")
+
+
+def _lit(x) -> str:
+    """Render a static op parameter as a Python source literal."""
+    if x is None:
+        return "None"
+    if isinstance(x, bool):
+        return repr(x)
+    if isinstance(x, (int, np.integer)):
+        return repr(int(x))
+    if isinstance(x, (float, np.floating)):
+        return repr(float(x))
+    if isinstance(x, tuple):
+        inner = ", ".join(_lit(i) for i in x)
+        return f"({inner},)" if len(x) == 1 else f"({inner})"
+    raise TapeCompilationError(f"cannot render static parameter {x!r}")
+
+
+@dataclass
+class TapeStats:
+    """What the lowering pass did to the recorded graph."""
+
+    recorded: int        #: nodes created during the tracing evaluation
+    reachable: int       #: nodes reachable from the output (rest eliminated)
+    dynamic: int         #: reachable nodes that depend on the input
+    folded: int          #: reachable constant nodes baked into ``_c[...]``
+    fused: int           #: single-use intermediates inlined into consumers
+    forward_lines: int   #: forward statements in the emitted program
+    backward_lines: int  #: backward statements in the emitted program
+
+
+@dataclass
+class CompiledTape:
+    """A lowered tape: generated forward/reverse NumPy programs plus guards."""
+
+    signature: Tuple[Tuple[int, ...], str]
+    stats: TapeStats
+    source: str
+    _vg_fn: Callable
+    _val_fn: Callable
+    _consts: Tuple[Any, ...]
+
+    def matches(self, z: np.ndarray) -> bool:
+        """Shape/dtype guard: is the program valid for this input?"""
+        z = np.asarray(z)
+        return (z.shape, z.dtype.str) == self.signature
+
+    def value_and_grad(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Forward + reverse program: ``(value, d value / d z)``."""
+        with np.errstate(all="ignore"):
+            return self._vg_fn(np.asarray(z, dtype=float), self._consts)
+
+    def value(self, z: np.ndarray) -> np.ndarray:
+        """Forward program only (the value-only consumers' fast path)."""
+        with np.errstate(all="ignore"):
+            return self._val_fn(np.asarray(z, dtype=float), self._consts)
+
+
+# ----------------------------------------------------------------------
+# recording
+# ----------------------------------------------------------------------
+#: ``True`` while a tracing evaluation is running (read by runtime helpers
+#: that observe value-dependent control flow, e.g. ``_truthy``).
+TRACING = False
+
+_DYNAMIC_BRANCH = [False]
+
+#: Tensor dunders whose *result* escapes the graph as a concrete Python /
+#: NumPy value — a branch or mask computed from the input would be frozen
+#: into the compiled program, so observing any of them on a graph-connected
+#: tensor during tracing rejects the model.
+_VALUE_ESCAPE_DUNDERS = ("__bool__", "__int__", "__float__", "__lt__",
+                         "__le__", "__gt__", "__ge__", "__eq__", "__ne__")
+
+
+def note_dynamic_branch() -> None:
+    """Record that the tracing evaluation branched on an input-derived value."""
+    _DYNAMIC_BRANCH[0] = True
+
+
+def _watch(method: Callable) -> Callable:
+    def wrapped(self, *args):
+        if self._requires_graph():
+            note_dynamic_branch()
+        return method(self, *args)
+
+    return wrapped
+
+
+def _watch_data(slot) -> property:
+    """Watched replacement for the ``Tensor.data`` slot during tracing.
+
+    Reading ``.data`` hands the caller the raw buffer — a value escape the
+    dunder watches cannot see (``float(t.data)`` never touches
+    ``Tensor.__float__``).  Reads from the evaluation machinery itself
+    (``repro.*`` modules: ops computing forward values, runtime helpers
+    checking shapes) are trusted — value-dependent branching there goes
+    through explicit :func:`note_dynamic_branch` hooks — but a read from
+    model code on a graph-connected tensor is indistinguishable from a
+    frozen branch, so it rejects the trace.
+    """
+    def getter(self):
+        module = sys._getframe(1).f_globals.get("__name__", "")
+        if not (module == "repro" or module.startswith("repro.")):
+            if self._requires_graph():
+                note_dynamic_branch()
+        return slot.__get__(self, Tensor)
+
+    return property(getter, lambda self, value: slot.__set__(self, value))
+
+
+def trace(fn: Callable[[Tensor], Tensor], z0: np.ndarray):
+    """Run ``fn`` once with the tracing sink installed.
+
+    Returns ``(out, root, recorded)``: the output tensor, the input leaf and
+    the list of every node :func:`repro.autodiff.ops._make` built during the
+    evaluation (each carrying its ``op``/``op_ctx`` annotation).
+
+    The compiled program freezes the traced control flow, so tracing watches
+    for value-dependent escapes: comparisons, ``bool``/``int``/``float``
+    coercions of graph-connected tensors, and runtime branch helpers
+    (:func:`note_dynamic_branch`).  Any such observation raises
+    :class:`TapeCompilationError` — the model must stay on the interpreted
+    tape, which re-executes the Python control flow on every evaluation.
+    """
+    global TRACING
+    z0 = np.asarray(z0, dtype=float)
+    root = Tensor(z0, requires_grad=True)
+    prev = ops._TRACE_SINK
+    recorded: List[Tensor] = []
+    saved = {name: getattr(Tensor, name) for name in _VALUE_ESCAPE_DUNDERS}
+    saved_data = Tensor.data  # the raw slot descriptor
+    prev_tracing, prev_flag = TRACING, _DYNAMIC_BRANCH[0]
+    ops._TRACE_SINK = recorded
+    TRACING = True
+    _DYNAMIC_BRANCH[0] = False
+    for name, method in saved.items():
+        setattr(Tensor, name, _watch(method))
+    Tensor.data = _watch_data(saved_data)
+    try:
+        with np.errstate(all="ignore"):
+            out = fn(root)
+        branched = _DYNAMIC_BRANCH[0]
+    finally:
+        ops._TRACE_SINK = prev
+        TRACING = prev_tracing
+        _DYNAMIC_BRANCH[0] = prev_flag
+        for name, method in saved.items():
+            setattr(Tensor, name, method)
+        Tensor.data = saved_data
+    if not isinstance(out, Tensor):
+        raise TapeCompilationError(
+            "traced function returned a non-tensor (constant w.r.t. the input)")
+    if branched:
+        raise TapeCompilationError(
+            "the evaluation branches on an input-derived value; the compiled "
+            "program would freeze that control flow")
+    return out, root, recorded
+
+
+# ----------------------------------------------------------------------
+# program assembly helpers
+# ----------------------------------------------------------------------
+class _Unit:
+    """One schedulable statement group of the generated program."""
+
+    __slots__ = ("target", "stmts", "inlinable")
+
+    def __init__(self, target: str, stmts: List[str], inlinable: bool):
+        self.target = target
+        self.stmts = stmts
+        self.inlinable = inlinable
+
+
+def _assign(target: str, expr: str) -> _Unit:
+    return _Unit(target, [f"{target} = {expr}"], inlinable=True)
+
+
+def _render(units: List[_Unit], ret: str, fn_name: str) -> Tuple[str, int]:
+    """Liveness-prune, inline single-use pure assignments, emit source."""
+    # liveness from the return statement backwards
+    needed = set(_VAR_TOKEN.findall(ret))
+    live: List[_Unit] = []
+    for unit in reversed(units):
+        if unit.target in needed:
+            for stmt in unit.stmts:
+                needed.update(_VAR_TOKEN.findall(stmt))
+            live.append(unit)
+    live.reverse()
+
+    # use/assignment counts over the live program
+    uses: Dict[str, int] = {}
+    assigns: Dict[str, int] = {}
+    for unit in live:
+        assigns[unit.target] = assigns.get(unit.target, 0) + 1
+        for stmt in unit.stmts:
+            rhs = stmt.split(" = ", 1)[1] if " = " in stmt else stmt
+            for tok in _VAR_TOKEN.findall(rhs):
+                uses[tok] = uses.get(tok, 0) + 1
+    for tok in _VAR_TOKEN.findall(ret):
+        uses[tok] = uses.get(tok, 0) + 1
+
+    # single-use, singly-assigned pure expressions fuse into their consumer
+    pending: Dict[str, str] = {}
+    fused = 0
+    body: List[str] = []
+
+    def substitute(text: str) -> str:
+        while True:
+            hit = None
+            for tok in _VAR_TOKEN.findall(text):
+                if tok in pending:
+                    hit = tok
+                    break
+            if hit is None:
+                return text
+            expr = pending.pop(hit)
+            text = re.sub(rf"\b{hit}\b", lambda m: expr, text, count=1)
+
+    for unit in live:
+        stmts = [substitute(s) for s in unit.stmts]
+        if (unit.inlinable and len(stmts) == 1
+                and uses.get(unit.target, 0) == 1
+                and assigns.get(unit.target, 0) == 1):
+            expr = stmts[0].split(" = ", 1)[1]
+            if len(expr) <= MAX_INLINE_LEN:
+                pending[unit.target] = expr
+                fused += 1
+                continue
+        body.extend(stmts)
+    ret = substitute(ret)
+
+    lines = [f"def {fn_name}(z, _c):"]
+    lines.extend(f"    {s}" for s in body)
+    lines.append(f"    {ret}")
+    return "\n".join(lines) + "\n", fused
+
+
+# ----------------------------------------------------------------------
+# the lowering pass
+# ----------------------------------------------------------------------
+class _Lowering:
+    def __init__(self, out: Tensor, root: Tensor, recorded: Sequence[Tensor]):
+        self.out = out
+        self.root = root
+        self.recorded = recorded
+        self.order = _topological_order(out)          # root-first
+        self.consts: List[Any] = []
+        self._const_ids: Dict[int, int] = {}
+        self._baked: set = set()
+        self.names: Dict[int, str] = {id(root): "z"}
+        self.aux: Dict[int, str] = {}                 # node id -> mask var
+        self._temp = 0
+
+        # constant classification: dynamic = depends on the input leaf
+        self.dynamic: set = {id(root)}
+        for node in reversed(self.order):
+            if id(node) in self.dynamic:
+                continue
+            if any(id(p) in self.dynamic for p in node.parents):
+                self.dynamic.add(id(node))
+        if id(out) not in self.dynamic:
+            raise TapeCompilationError("output does not depend on the input")
+
+    # -- naming ---------------------------------------------------------
+    def temp(self) -> str:
+        self._temp += 1
+        return f"t{self._temp}"
+
+    def const(self, obj) -> str:
+        key = id(obj)
+        idx = self._const_ids.get(key)
+        if idx is None:
+            idx = len(self.consts)
+            self.consts.append(obj)
+            self._const_ids[key] = idx
+        return f"_c[{idx}]"
+
+    def ref(self, node: Tensor) -> str:
+        if id(node) in self.names:
+            return self.names[id(node)]
+        if id(node) in self.dynamic:
+            raise TapeCompilationError("dynamic node referenced before definition")
+        self._baked.add(id(node))
+        return self.const(node.data)
+
+    @staticmethod
+    def op_of(node: Tensor) -> str:
+        op = getattr(node, "op", None)
+        if op is None:
+            raise TapeCompilationError(
+                "graph node without an op annotation (built outside the "
+                "tracing sink)")
+        return op
+
+    # -- forward --------------------------------------------------------
+    _UNARY_FWD = {
+        "exp": "np.exp({0})", "expm1": "np.expm1({0})", "log": "np.log({0})",
+        "log1p": "np.log1p({0})", "sqrt": "np.sqrt({0})", "sin": "np.sin({0})",
+        "cos": "np.cos({0})", "tanh": "np.tanh({0})",
+        "sigmoid": "sps.expit({0})", "softplus": "np.logaddexp(0.0, {0})",
+        "lgamma": "sps.gammaln({0})", "digamma": "sps.digamma({0})",
+        "erf": "sps.erf({0})", "erfc": "sps.erfc({0})", "abs": "np.abs({0})",
+    }
+
+    def forward_unit(self, node: Tensor, var: str) -> _Unit:
+        op = self.op_of(node)
+        ctx = getattr(node, "op_ctx", ())
+        p = [self.ref(parent) for parent in node.parents]
+        stmts: List[str] = []
+        expr: Optional[str] = None
+        if op == "add":
+            expr = f"({p[0]} + {p[1]})"
+        elif op == "sub":
+            expr = f"({p[0]} - {p[1]})"
+        elif op == "mul":
+            expr = f"({p[0]} * {p[1]})"
+        elif op == "div":
+            expr = f"({p[0]} / {p[1]})"
+        elif op == "neg":
+            expr = f"(-{p[0]})"
+        elif op == "pow":
+            expr = f"({p[0]} ** {p[1]})"
+        elif op == "square":
+            expr = f"({p[0]} * {p[0]})"
+        elif op in self._UNARY_FWD:
+            expr = self._UNARY_FWD[op].format(p[0])
+        elif op == "relu":
+            mask = f"m{var[1:]}"
+            self.aux[id(node)] = mask
+            stmts.append(f"{mask} = {p[0]} > 0")
+            expr = f"np.where({mask}, {p[0]}, 0.0)"
+        elif op in ("minimum", "maximum"):
+            mask = f"m{var[1:]}"
+            self.aux[id(node)] = mask
+            cmp = "<=" if op == "minimum" else ">="
+            stmts.append(f"{mask} = {p[0]} {cmp} {p[1]}")
+            expr = f"np.{op}({p[0]}, {p[1]})"
+        elif op == "clip":
+            lo, hi = ctx
+            mask = f"m{var[1:]}"
+            self.aux[id(node)] = mask
+            stmts.append(f"{mask} = ({p[0]} >= {_lit(lo)}) & ({p[0]} <= {_lit(hi)})")
+            expr = f"np.clip({p[0]}, {_lit(lo)}, {_lit(hi)})"
+        elif op == "where":
+            cond = self.const(ctx[0])
+            expr = f"np.where({cond}, {p[0]}, {p[1]})"
+        elif op == "sum":
+            axis, keepdims = ctx
+            expr = f"np.sum({p[0]}, axis={_lit(axis)}, keepdims={_lit(keepdims)})"
+        elif op == "mean":
+            axis, keepdims, _count = ctx
+            expr = f"np.mean({p[0]}, axis={_lit(axis)}, keepdims={_lit(keepdims)})"
+        elif op == "logsumexp":
+            axis, keepdims = ctx
+            expr = (f"np.asarray(lse({p[0]}, axis={_lit(axis)}, "
+                    f"keepdims={_lit(keepdims)}))")
+        elif op == "softmax":
+            axis = _lit(ctx[0])
+            t = self.temp()
+            stmts.append(f"{t} = np.exp({p[0]} - np.max({p[0]}, axis={axis}, "
+                         f"keepdims=True))")
+            expr = f"({t} / np.sum({t}, axis={axis}, keepdims=True))"
+        elif op == "log_softmax":
+            axis = _lit(ctx[0])
+            t = self.temp()
+            stmts.append(f"{t} = {p[0]} - np.max({p[0]}, axis={axis}, keepdims=True)")
+            expr = (f"({t} - np.log(np.sum(np.exp({t}), axis={axis}, "
+                    f"keepdims=True)))")
+        elif op == "cumsum":
+            expr = f"np.cumsum({p[0]}, axis={_lit(ctx[0])})"
+        elif op == "matmul":
+            expr = f"({p[0]} @ {p[1]})"
+        elif op == "dot":
+            expr = f"np.dot({p[0]}, {p[1]})"
+        elif op == "outer":
+            expr = f"np.outer({p[0]}, {p[1]})"
+        elif op == "transpose":
+            axes = ctx[0]
+            expr = (f"np.transpose({p[0]})" if axes is None
+                    else f"np.transpose({p[0]}, {_lit(tuple(axes))})")
+        elif op == "reshape":
+            expr = f"np.reshape({p[0]}, {_lit(tuple(ctx[0]))})"
+        elif op == "concatenate":
+            axis, _offsets = ctx
+            args = ", ".join(
+                ref if parent.data.ndim >= 1 else f"np.atleast_1d({ref})"
+                for ref, parent in zip(p, node.parents))
+            expr = f"np.concatenate([{args}], axis={_lit(axis)})"
+        elif op == "stack":
+            expr = f"np.stack([{', '.join(p)}], axis={_lit(ctx[0])})"
+        elif op == "getitem":
+            expr = f"{p[0]}[{self.const(ctx[0])}]"
+        elif op == "index_update":
+            idx = self.const(ctx[0])
+            stmts.append(f"{var} = np.array({p[0]})")
+            stmts.append(f"{var}[{idx}] = {p[1]}")
+            return _Unit(var, stmts, inlinable=False)
+        else:
+            raise TapeCompilationError(f"unsupported op {op!r}")
+        stmts.append(f"{var} = {expr}")
+        return _Unit(var, stmts, inlinable=not self.aux.get(id(node)) and len(stmts) == 1)
+
+    # -- backward -------------------------------------------------------
+    def backward_exprs(self, node: Tensor, pos: int, gvar: str
+                       ) -> Tuple[List[str], str]:
+        """Statements + expression for the VJP of ``node`` w.r.t. parent ``pos``.
+
+        Textual mirror of the closures in :mod:`repro.autodiff.ops` — same
+        formulas, same operation order, so the result is bitwise identical.
+        """
+        op = self.op_of(node)
+        ctx = getattr(node, "op_ctx", ())
+        p = [self.ref(parent) for parent in node.parents]
+        v = self.ref(node)
+        g = gvar
+        parent = node.parents[pos]
+        pshape = _lit(tuple(parent.data.shape))
+        stmts: List[str] = []
+        if op == "add":
+            return stmts, g
+        if op == "sub":
+            return stmts, g if pos == 0 else f"(-{g})"
+        if op == "mul":
+            return stmts, f"({g} * {p[1]})" if pos == 0 else f"({g} * {p[0]})"
+        if op == "div":
+            if pos == 0:
+                return stmts, f"({g} / {p[1]})"
+            return stmts, f"(-{g} * {p[0]} / ({p[1]} * {p[1]}))"
+        if op == "neg":
+            return stmts, f"(-{g})"
+        if op == "pow":
+            if pos == 0:
+                return stmts, f"({g} * {p[1]} * {p[0]} ** ({p[1]} - 1.0))"
+            t = self.temp()
+            stmts.append(f"{t} = np.where({p[0]} > 0, np.log(np.where({p[0]} > 0, "
+                         f"{p[0]}, 1.0)), 0.0)")
+            return stmts, f"({g} * {v} * {t})"
+        if op == "square":
+            return stmts, f"(2.0 * {g} * {p[0]})"
+        if op == "abs":
+            return stmts, f"({g} * np.sign({p[0]}))"
+        if op == "exp":
+            return stmts, f"({g} * {v})"
+        if op == "expm1":
+            return stmts, f"({g} * np.exp({p[0]}))"
+        if op == "log":
+            return stmts, f"({g} / {p[0]})"
+        if op == "log1p":
+            return stmts, f"({g} / (1.0 + {p[0]}))"
+        if op == "sqrt":
+            return stmts, f"({g} * 0.5 / {v})"
+        if op == "sin":
+            return stmts, f"({g} * np.cos({p[0]}))"
+        if op == "cos":
+            return stmts, f"(-{g} * np.sin({p[0]}))"
+        if op == "tanh":
+            return stmts, f"({g} * (1.0 - {v} * {v}))"
+        if op == "sigmoid":
+            return stmts, f"({g} * {v} * (1.0 - {v}))"
+        if op == "softplus":
+            return stmts, f"({g} * sps.expit({p[0]}))"
+        if op == "relu":
+            return stmts, f"({g} * {self.aux[id(node)]})"
+        if op == "lgamma":
+            return stmts, f"({g} * sps.digamma({p[0]}))"
+        if op == "digamma":
+            return stmts, f"({g} * sps.polygamma(1, {p[0]}))"
+        if op == "erf":
+            return stmts, f"({g} * {_ERF_COEF!r} * np.exp(-{p[0]} * {p[0]}))"
+        if op == "erfc":
+            return stmts, f"(-{g} * {_ERF_COEF!r} * np.exp(-{p[0]} * {p[0]}))"
+        if op in ("minimum", "maximum"):
+            mask = self.aux[id(node)]
+            return stmts, f"({g} * {mask})" if pos == 0 else f"({g} * (~{mask}))"
+        if op == "clip":
+            return stmts, f"({g} * {self.aux[id(node)]})"
+        if op == "where":
+            cond = self.const(ctx[0])
+            return stmts, f"({g} * {cond})" if pos == 0 else f"({g} * (~{cond}))"
+        if op in ("sum", "mean"):
+            axis, keepdims = ctx[0], ctx[1]
+            inner = g if op == "sum" else f"({g} / {ctx[2]})"
+            if axis is not None and not keepdims:
+                inner = f"np.expand_dims({inner}, {_lit(axis)})"
+            return stmts, f"np.broadcast_to({inner}, {pshape}).copy()"
+        if op == "logsumexp":
+            axis, keepdims = ctx
+            if axis is None or keepdims:
+                return stmts, f"({g} * np.exp({p[0]} - {v}))"
+            return stmts, (f"(np.expand_dims({g}, {_lit(axis)}) * "
+                           f"np.exp({p[0]} - np.expand_dims({v}, {_lit(axis)})))")
+        if op == "softmax":
+            axis = _lit(ctx[0])
+            t = self.temp()
+            stmts.append(f"{t} = np.sum({g} * {v}, axis={axis}, keepdims=True)")
+            return stmts, f"({v} * ({g} - {t}))"
+        if op == "log_softmax":
+            axis = _lit(ctx[0])
+            return stmts, (f"({g} - np.exp({v}) * np.sum({g}, axis={axis}, "
+                           f"keepdims=True))")
+        if op == "cumsum":
+            a = _lit(ctx[0])
+            return stmts, (f"np.flip(np.cumsum(np.flip({g}, axis={a}), "
+                           f"axis={a}), axis={a})")
+        if op == "matmul":
+            and_, bnd = node.parents[0].data.ndim, node.parents[1].data.ndim
+            if pos == 0:
+                if bnd == 1 and and_ == 1:
+                    return stmts, f"({g} * {p[1]})"
+                if bnd == 1:
+                    return stmts, (f"np.outer({g}, {p[1]})" if and_ == 2
+                                   else f"({g}[..., None] * {p[1]})")
+                if and_ == 1:
+                    return stmts, (f"({g} @ np.transpose({p[1]}))"
+                                   if node.data.ndim else f"({p[1]} @ {g})")
+                return stmts, f"({g} @ np.swapaxes({p[1]}, -1, -2))"
+            if and_ == 1 and bnd == 1:
+                return stmts, f"({g} * {p[0]})"
+            if and_ == 1:
+                return stmts, (f"np.outer({p[0]}, {g})" if bnd == 2
+                               else f"({p[0]}[..., None] * {g})")
+            return stmts, f"(np.swapaxes({p[0]}, -1, -2) @ {g})"
+        if op == "dot":
+            return stmts, f"({g} * {p[1]})" if pos == 0 else f"({g} * {p[0]})"
+        if op == "outer":
+            return stmts, f"({g} @ {p[1]})" if pos == 0 else f"({p[0]} @ {g})"
+        if op == "transpose":
+            axes = ctx[0]
+            if axes is None:
+                return stmts, f"np.transpose({g})"
+            inverse = tuple(int(i) for i in np.argsort(axes))
+            return stmts, f"np.transpose({g}, {_lit(inverse)})"
+        if op == "reshape":
+            return stmts, f"np.reshape({g}, {pshape})"
+        if op == "concatenate":
+            axis, offsets = ctx
+            ndim = node.data.ndim
+            idx = ", ".join(
+                f"{offsets[pos]}:{offsets[pos + 1]}" if d == (axis % ndim) else ":"
+                for d in range(ndim))
+            return stmts, f"np.reshape({g}[{idx}], {pshape})"
+        if op == "stack":
+            return stmts, f"np.take({g}, {pos}, axis={_lit(ctx[0])})"
+        if op == "getitem":
+            index = ctx[0]
+            idx = self.const(index)
+            t = self.temp()
+            stmts.append(f"{t} = np.zeros({pshape})")
+            single_cell = isinstance(index, (int, np.integer)) or (
+                isinstance(index, tuple)
+                and all(isinstance(i, (int, np.integer)) for i in index))
+            if single_cell:
+                # One statically-known cell: a plain store of ``0.0 + g``
+                # is bitwise-identical to ``np.add.at`` on zeros (including
+                # signed-zero semantics) at a fraction of the dispatch cost.
+                stmts.append(f"{t}[{idx}] = 0.0 + {g}")
+            else:
+                stmts.append(f"np.add.at({t}, {idx}, {g})")
+            return stmts, t
+        if op == "index_update":
+            idx = self.const(ctx[0])
+            if pos == 0:
+                t = self.temp()
+                stmts.append(f"{t} = np.array({g})")
+                stmts.append(f"{t}[{idx}] = 0.0")
+                return stmts, t
+            return stmts, f"{g}[{idx}]"
+        raise TapeCompilationError(f"unsupported op {op!r}")
+
+
+def compile_tape(fn: Callable[[Tensor], Tensor], z0: np.ndarray) -> CompiledTape:
+    """Lower one traced evaluation of ``fn`` at ``z0`` to generated code.
+
+    ``fn`` maps an input :class:`Tensor` to an output tensor whose reverse
+    pass is seeded with ones (a scalar potential, or a ``(C,)`` per-chain
+    batch).  Returns a :class:`CompiledTape` whose ``value_and_grad`` /
+    ``value`` replay the recorded computation with no per-op dispatch.
+    Raises :class:`TapeCompilationError` for graphs that cannot be lowered.
+    """
+    z0 = np.asarray(z0, dtype=float)
+    out, root, recorded = trace(fn, z0)
+    low = _Lowering(out, root, recorded)
+    dynamic_sched = [node for node in reversed(low.order)
+                     if id(node) in low.dynamic and node is not root]
+    if len(dynamic_sched) > MAX_PROGRAM_NODES:
+        raise TapeCompilationError(
+            f"traced graph has {len(dynamic_sched)} dynamic nodes, beyond the "
+            f"{MAX_PROGRAM_NODES}-node program cap")
+
+    # ---- forward program ------------------------------------------------
+    forward_units: List[_Unit] = []
+    for i, node in enumerate(dynamic_sched):
+        var = f"v{i}"
+        low.names[id(node)] = var
+        forward_units.append(low.forward_unit(node, var))
+
+    gnames: Dict[int, str] = {id(root): "gz"}
+    for i, node in enumerate(dynamic_sched):
+        gnames[id(node)] = f"g{i}"
+
+    # ---- backward program (the interpreter's exact traversal order) -----
+    backward_units: List[_Unit] = []
+    seeded: set = set()
+    out_g = gnames[id(out)]
+    backward_units.append(
+        _assign(out_g, f"np.ones({_lit(tuple(out.data.shape))})"))
+    seeded.add(out_g)
+    with np.errstate(all="ignore"):
+        probe_cache: Dict[int, np.ndarray] = {}
+        for node in low.order:                      # root (output) first
+            if id(node) not in low.dynamic or node is root:
+                continue
+            gvar = gnames[id(node)]
+            probe = probe_cache.get(id(node))
+            if probe is None:
+                probe = np.ones(node.data.shape)
+                probe_cache[id(node)] = probe
+            for pos, (parent, bfn) in enumerate(zip(node.parents, node.backward_fns)):
+                if id(parent) not in low.dynamic:
+                    continue                        # dead gradient: eliminated
+                stmts, expr = low.backward_exprs(node, pos, gvar)
+                # static unbroadcast specialization: the traced shapes tell
+                # us whether the reduction is the identity
+                contrib_shape = np.shape(bfn(probe))
+                if contrib_shape != parent.data.shape:
+                    expr = f"unbroadcast({expr}, {_lit(tuple(parent.data.shape))})"
+                pg = gnames[id(parent)]
+                if pg in seeded:
+                    stmts.append(f"{pg} = {pg} + {expr}")
+                    backward_units.append(_Unit(pg, stmts, inlinable=False))
+                else:
+                    stmts.append(f"{pg} = {expr}")
+                    seeded.add(pg)
+                    backward_units.append(
+                        _Unit(pg, stmts, inlinable=len(stmts) == 1))
+    if "gz" in seeded:
+        grad_unit = _assign("grad", "np.zeros_like(z) + gz")
+    else:
+        grad_unit = _assign("grad", "np.zeros_like(z)")
+    grad_unit.inlinable = False
+    backward_units.append(grad_unit)
+
+    out_ref = low.ref(out)
+    vg_source, fused_vg = _render(
+        forward_units + backward_units, f"return {out_ref}, grad", "_tape_vg")
+    val_source, _fused_val = _render(
+        [_Unit(u.target, list(u.stmts), u.inlinable) for u in forward_units],
+        f"return {out_ref}", "_tape_val")
+
+    namespace: Dict[str, Any] = {"np": np, "sps": sps, "unbroadcast": unbroadcast,
+                                 "lse": _lse}
+    try:
+        exec(compile(vg_source, "<compiled-tape>", "exec"), namespace)
+        exec(compile(val_source, "<compiled-tape-value>", "exec"), namespace)
+    except SyntaxError as exc:  # pragma: no cover - emitter bug guard
+        raise TapeCompilationError(f"generated program failed to parse: {exc}")
+
+    stats = TapeStats(
+        recorded=len(recorded),
+        reachable=len(low.order),
+        dynamic=len(dynamic_sched),
+        folded=len(low._baked),
+        fused=fused_vg,
+        forward_lines=len(forward_units),
+        backward_lines=len(backward_units),
+    )
+    return CompiledTape(
+        signature=(z0.shape, z0.dtype.str),
+        stats=stats,
+        source=vg_source + "\n" + val_source,
+        _vg_fn=namespace["_tape_vg"],
+        _val_fn=namespace["_tape_val"],
+        _consts=tuple(low.consts),
+    )

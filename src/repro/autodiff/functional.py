@@ -14,6 +14,29 @@ import numpy as np
 from repro.autodiff.tensor import Tensor
 
 
+def eval_value_and_grad(fn: Callable[[Tensor], Tensor], x: np.ndarray) -> Tuple[float, np.ndarray]:
+    """One interpreted-tape evaluation of ``fn`` and its gradient at ``x``.
+
+    The shared single-evaluation primitive behind :func:`value_and_grad` and
+    the compiled-tape validation oracle (:mod:`repro.infer.potential`): one
+    forward execution recording the graph, one reverse accumulation.
+    """
+    x = np.asarray(x, dtype=float)
+    t = Tensor(x, requires_grad=True)
+    # Boundary evaluations (e.g. a constrained parameter pushed to the
+    # edge of its support during leapfrog) legitimately produce inf/nan
+    # densities which the samplers treat as divergences; silence the
+    # NumPy warnings they would otherwise spam.
+    with np.errstate(all="ignore"):
+        out = fn(t)
+        if not isinstance(out, Tensor):
+            # Constant w.r.t. the input: zero gradient.
+            return float(out), np.zeros_like(x)
+        out.backward()
+    g = t.grad if t.grad is not None else np.zeros_like(x)
+    return float(out.data), np.asarray(g, dtype=float)
+
+
 def value_and_grad(fn: Callable[[Tensor], Tensor]) -> Callable[[np.ndarray], Tuple[float, np.ndarray]]:
     """Return a function computing ``(fn(x), dfn/dx)`` for a flat vector ``x``.
 
@@ -21,20 +44,7 @@ def value_and_grad(fn: Callable[[Tensor], Tensor]) -> Callable[[np.ndarray], Tup
     """
 
     def wrapped(x: np.ndarray) -> Tuple[float, np.ndarray]:
-        x = np.asarray(x, dtype=float)
-        t = Tensor(x, requires_grad=True)
-        # Boundary evaluations (e.g. a constrained parameter pushed to the
-        # edge of its support during leapfrog) legitimately produce inf/nan
-        # densities which the samplers treat as divergences; silence the
-        # NumPy warnings they would otherwise spam.
-        with np.errstate(all="ignore"):
-            out = fn(t)
-            if not isinstance(out, Tensor):
-                # Constant w.r.t. the input: zero gradient.
-                return float(out), np.zeros_like(x)
-            out.backward()
-        g = t.grad if t.grad is not None else np.zeros_like(x)
-        return float(out.data), np.asarray(g, dtype=float)
+        return eval_value_and_grad(fn, x)
 
     return wrapped
 

@@ -7,6 +7,12 @@ implementing the vector-Jacobian product for each input.
 The operator set is chosen to cover what the Stan standard library, the
 distribution library, the constraint transforms and the neural-network modules
 need; it is intentionally not a full PyTorch clone.
+
+Every node also carries an *op name* and a tuple of static parameters while
+the tape compiler's tracing sink is active (``_TRACE_SINK``; see
+:mod:`repro.autodiff.compile`): one traced evaluation is enough to lower the
+recorded graph into straight-line NumPy code, because this module is the
+single place result tensors are constructed.
 """
 
 from __future__ import annotations
@@ -18,16 +24,27 @@ from scipy import special as sps
 
 from repro.autodiff.tensor import ArrayLike, Tensor, as_tensor, is_grad_enabled
 
+#: when not ``None``, a list collecting every tensor built by :func:`_make`
+#: (the tape compiler's recording hook — set via ``ops._TRACE_SINK = [...]``).
+_TRACE_SINK: Optional[list] = None
+
 
 def _make(
     data: np.ndarray,
     parents: Sequence[Tensor],
     backward_fns: Sequence,
+    op: Optional[str] = None,
+    ctx: Tuple = (),
 ) -> Tensor:
     """Create a result tensor, recording the graph only when enabled."""
     if not is_grad_enabled():
         return Tensor(data)
-    return Tensor(data, parents=parents, backward_fns=backward_fns)
+    out = Tensor(data, parents=parents, backward_fns=backward_fns)
+    if _TRACE_SINK is not None:
+        out.op = op
+        out.op_ctx = ctx
+        _TRACE_SINK.append(out)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -35,12 +52,12 @@ def _make(
 # ----------------------------------------------------------------------
 def add(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    return _make(a.data + b.data, (a, b), (lambda g: g, lambda g: g))
+    return _make(a.data + b.data, (a, b), (lambda g: g, lambda g: g), "add")
 
 
 def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    return _make(a.data - b.data, (a, b), (lambda g: g, lambda g: -g))
+    return _make(a.data - b.data, (a, b), (lambda g: g, lambda g: -g), "sub")
 
 
 def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -49,6 +66,7 @@ def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
         a.data * b.data,
         (a, b),
         (lambda g: g * b.data, lambda g: g * a.data),
+        "mul",
     )
 
 
@@ -61,12 +79,13 @@ def div(a: ArrayLike, b: ArrayLike) -> Tensor:
             lambda g: g / b.data,
             lambda g: -g * a.data / (b.data * b.data),
         ),
+        "div",
     )
 
 
 def neg(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
-    return _make(-a.data, (a,), (lambda g: -g,))
+    return _make(-a.data, (a,), (lambda g: -g,), "neg")
 
 
 def pow_(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -81,17 +100,17 @@ def pow_(a: ArrayLike, b: ArrayLike) -> Tensor:
             loga = np.where(a.data > 0, np.log(np.where(a.data > 0, a.data, 1.0)), 0.0)
         return g * out * loga
 
-    return _make(out, (a, b), (grad_a, grad_b))
+    return _make(out, (a, b), (grad_a, grad_b), "pow")
 
 
 def square(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
-    return _make(a.data * a.data, (a,), (lambda g: 2.0 * g * a.data,))
+    return _make(a.data * a.data, (a,), (lambda g: 2.0 * g * a.data,), "square")
 
 
 def abs_(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
-    return _make(np.abs(a.data), (a,), (lambda g: g * np.sign(a.data),))
+    return _make(np.abs(a.data), (a,), (lambda g: g * np.sign(a.data),), "abs")
 
 
 # ----------------------------------------------------------------------
@@ -100,92 +119,92 @@ def abs_(a: ArrayLike) -> Tensor:
 def exp(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = np.exp(a.data)
-    return _make(out, (a,), (lambda g: g * out,))
+    return _make(out, (a,), (lambda g: g * out,), "exp")
 
 
 def expm1(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = np.expm1(a.data)
-    return _make(out, (a,), (lambda g: g * np.exp(a.data),))
+    return _make(out, (a,), (lambda g: g * np.exp(a.data),), "expm1")
 
 
 def log(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     with np.errstate(divide="ignore", invalid="ignore"):
         out = np.log(a.data)
-    return _make(out, (a,), (lambda g: g / a.data,))
+    return _make(out, (a,), (lambda g: g / a.data,), "log")
 
 
 def log1p(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = np.log1p(a.data)
-    return _make(out, (a,), (lambda g: g / (1.0 + a.data),))
+    return _make(out, (a,), (lambda g: g / (1.0 + a.data),), "log1p")
 
 
 def sqrt(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = np.sqrt(a.data)
-    return _make(out, (a,), (lambda g: g * 0.5 / out,))
+    return _make(out, (a,), (lambda g: g * 0.5 / out,), "sqrt")
 
 
 def sin(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
-    return _make(np.sin(a.data), (a,), (lambda g: g * np.cos(a.data),))
+    return _make(np.sin(a.data), (a,), (lambda g: g * np.cos(a.data),), "sin")
 
 
 def cos(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
-    return _make(np.cos(a.data), (a,), (lambda g: -g * np.sin(a.data),))
+    return _make(np.cos(a.data), (a,), (lambda g: -g * np.sin(a.data),), "cos")
 
 
 def tanh(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = np.tanh(a.data)
-    return _make(out, (a,), (lambda g: g * (1.0 - out * out),))
+    return _make(out, (a,), (lambda g: g * (1.0 - out * out),), "tanh")
 
 
 def sigmoid(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = sps.expit(a.data)
-    return _make(out, (a,), (lambda g: g * out * (1.0 - out),))
+    return _make(out, (a,), (lambda g: g * out * (1.0 - out),), "sigmoid")
 
 
 def softplus(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = np.logaddexp(0.0, a.data)
-    return _make(out, (a,), (lambda g: g * sps.expit(a.data),))
+    return _make(out, (a,), (lambda g: g * sps.expit(a.data),), "softplus")
 
 
 def relu(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     mask = a.data > 0
-    return _make(np.where(mask, a.data, 0.0), (a,), (lambda g: g * mask,))
+    return _make(np.where(mask, a.data, 0.0), (a,), (lambda g: g * mask,), "relu")
 
 
 def lgamma(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = sps.gammaln(a.data)
-    return _make(out, (a,), (lambda g: g * sps.digamma(a.data),))
+    return _make(out, (a,), (lambda g: g * sps.digamma(a.data),), "lgamma")
 
 
 def digamma(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = sps.digamma(a.data)
-    return _make(out, (a,), (lambda g: g * sps.polygamma(1, a.data),))
+    return _make(out, (a,), (lambda g: g * sps.polygamma(1, a.data),), "digamma")
 
 
 def erf(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = sps.erf(a.data)
     coef = 2.0 / np.sqrt(np.pi)
-    return _make(out, (a,), (lambda g: g * coef * np.exp(-a.data * a.data),))
+    return _make(out, (a,), (lambda g: g * coef * np.exp(-a.data * a.data),), "erf")
 
 
 def erfc(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
     out = sps.erfc(a.data)
     coef = 2.0 / np.sqrt(np.pi)
-    return _make(out, (a,), (lambda g: -g * coef * np.exp(-a.data * a.data),))
+    return _make(out, (a,), (lambda g: -g * coef * np.exp(-a.data * a.data),), "erfc")
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +217,7 @@ def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
         np.minimum(a.data, b.data),
         (a, b),
         (lambda g: g * mask, lambda g: g * (~mask)),
+        "minimum",
     )
 
 
@@ -208,13 +228,14 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
         np.maximum(a.data, b.data),
         (a, b),
         (lambda g: g * mask, lambda g: g * (~mask)),
+        "maximum",
     )
 
 
 def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
     a = as_tensor(a)
     mask = (a.data >= lo) & (a.data <= hi)
-    return _make(np.clip(a.data, lo, hi), (a,), (lambda g: g * mask,))
+    return _make(np.clip(a.data, lo, hi), (a,), (lambda g: g * mask,), "clip", (lo, hi))
 
 
 def where(cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -225,6 +246,8 @@ def where(cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
         np.where(cond_arr, a.data, b.data),
         (a, b),
         (lambda g: g * cond_arr, lambda g: g * (~cond_arr)),
+        "where",
+        (cond_arr,),
     )
 
 
@@ -243,7 +266,7 @@ def sum_(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
             g = np.expand_dims(g, axis)
         return np.broadcast_to(g, a.data.shape).copy()
 
-    return _make(out, (a,), (backward,))
+    return _make(out, (a,), (backward,), "sum", (axis, keepdims))
 
 
 def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
@@ -264,7 +287,7 @@ def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
             g = np.expand_dims(g, axis)
         return np.broadcast_to(g, a.data.shape).copy()
 
-    return _make(out, (a,), (backward,))
+    return _make(out, (a,), (backward,), "mean", (axis, keepdims, count))
 
 
 def logsumexp(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
@@ -279,7 +302,7 @@ def logsumexp(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
             lse = np.expand_dims(lse, axis)
         return g * np.exp(a.data - lse)
 
-    return _make(np.asarray(out), (a,), (backward,))
+    return _make(np.asarray(out), (a,), (backward,), "logsumexp", (axis, keepdims))
 
 
 def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
@@ -293,7 +316,7 @@ def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
         dot = (g * out).sum(axis=axis, keepdims=True)
         return out * (g - dot)
 
-    return _make(out, (a,), (backward,))
+    return _make(out, (a,), (backward,), "softmax", (axis,))
 
 
 def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
@@ -307,7 +330,7 @@ def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
         g = np.asarray(g, dtype=float)
         return g - soft * g.sum(axis=axis, keepdims=True)
 
-    return _make(out, (a,), (backward,))
+    return _make(out, (a,), (backward,), "log_softmax", (axis,))
 
 
 def cumsum(a: ArrayLike, axis: int = -1) -> Tensor:
@@ -318,7 +341,7 @@ def cumsum(a: ArrayLike, axis: int = -1) -> Tensor:
         g = np.asarray(g, dtype=float)
         return np.flip(np.cumsum(np.flip(g, axis=axis), axis=axis), axis=axis)
 
-    return _make(out, (a,), (backward,))
+    return _make(out, (a,), (backward,), "cumsum", (axis,))
 
 
 # ----------------------------------------------------------------------
@@ -348,14 +371,14 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
             return np.swapaxes(a.data, -1, -2) @ g
         return np.swapaxes(a.data, -1, -2) @ g
 
-    return _make(out, (a, b), (grad_a, grad_b))
+    return _make(out, (a, b), (grad_a, grad_b), "matmul")
 
 
 def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Inner product of two vectors."""
     a, b = as_tensor(a), as_tensor(b)
     out = np.dot(a.data, b.data)
-    return _make(out, (a, b), (lambda g: g * b.data, lambda g: g * a.data))
+    return _make(out, (a, b), (lambda g: g * b.data, lambda g: g * a.data), "dot")
 
 
 def outer(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -365,6 +388,7 @@ def outer(a: ArrayLike, b: ArrayLike) -> Tensor:
         out,
         (a, b),
         (lambda g: g @ b.data, lambda g: a.data @ g),
+        "outer",
     )
 
 
@@ -379,7 +403,7 @@ def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
         inverse = np.argsort(axes)
         return np.transpose(g, inverse)
 
-    return _make(out, (a,), (backward,))
+    return _make(out, (a,), (backward,), "transpose", (axes,))
 
 
 # ----------------------------------------------------------------------
@@ -388,7 +412,8 @@ def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
 def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     a = as_tensor(a)
     out = a.data.reshape(shape)
-    return _make(out, (a,), (lambda g: np.asarray(g).reshape(a.data.shape),))
+    return _make(out, (a,), (lambda g: np.asarray(g).reshape(a.data.shape),),
+                 "reshape", (shape,))
 
 
 def concatenate(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
@@ -408,7 +433,8 @@ def concatenate(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
 
         return backward
 
-    return _make(out, tensors, [make_backward(i) for i in range(len(tensors))])
+    return _make(out, tensors, [make_backward(i) for i in range(len(tensors))],
+                 "concatenate", (axis, tuple(int(o) for o in offsets)))
 
 
 def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
@@ -422,7 +448,8 @@ def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
 
         return backward
 
-    return _make(out, tensors, [make_backward(i) for i in range(len(tensors))])
+    return _make(out, tensors, [make_backward(i) for i in range(len(tensors))],
+                 "stack", (axis,))
 
 
 def getitem(a: ArrayLike, idx) -> Tensor:
@@ -440,7 +467,7 @@ def getitem(a: ArrayLike, idx) -> Tensor:
         np.add.at(full, raw_idx, g)
         return full
 
-    return _make(out, (a,), (backward,))
+    return _make(out, (a,), (backward,), "getitem", (raw_idx,))
 
 
 def index_update(a: ArrayLike, idx, value: ArrayLike) -> Tensor:
@@ -468,4 +495,4 @@ def index_update(a: ArrayLike, idx, value: ArrayLike) -> Tensor:
         g = np.asarray(g, dtype=float)
         return g[raw_idx]
 
-    return _make(out, (a, value), (grad_a, grad_value))
+    return _make(out, (a, value), (grad_a, grad_value), "index_update", (raw_idx,))

@@ -87,8 +87,11 @@ class Tensor:
     # engine's dependency-analysis substitution; see repro.enum.factorize):
     # the runtime's ``_index`` helper returns the per-element leaf so the
     # autodiff graph records *which element* each log-prob term touched.
+    # ``op``/``op_ctx`` are set only while the tape compiler's tracing sink is
+    # active (see repro.autodiff.compile): the op name and its static
+    # parameters, enough to re-emit the node as a line of generated code.
     __slots__ = ("data", "requires_grad", "grad", "parents", "backward_fns", "name",
-                 "is_batched", "enum_elements")
+                 "is_batched", "enum_elements", "op", "op_ctx")
 
     __array_priority__ = 100.0  # make np_scalar * Tensor dispatch to Tensor
 
@@ -165,7 +168,20 @@ class Tensor:
     # autodiff
     # ------------------------------------------------------------------
     def _requires_graph(self) -> bool:
-        return self.requires_grad or any(p._requires_graph() for p in self.parents)
+        # Iterative DAG walk with a visited set: graphs with heavy sharing
+        # (e.g. an HMM forward recurrence) have exponentially many *paths*,
+        # so the naive recursive any() is intractable on them.
+        seen = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node.requires_grad:
+                return True
+            stack.extend(node.parents)
+        return False
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Run reverse-mode accumulation from this tensor.

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
+from repro.autodiff import compile as tape_compile
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, as_tensor
 from repro.core import stanlib
@@ -40,6 +41,7 @@ __all__ = [
     "_zeros",
     "_irange",
     "_truthy",
+    "_cmp",
     "_int",
     "_mul",
     "_div",
@@ -101,13 +103,32 @@ def _call(name: str, *args):
     batch = current_batch_size()
     if batch is not None and any(
             isinstance(a, Tensor) and getattr(a, "is_batched", False) for a in args):
-        if name in ("sum", "mean") and len(args) == 1:
+        if name in ("sum", "mean", "log_sum_exp") and len(args) == 1:
             x = as_tensor(args[0])
-            reduce = ops.sum_ if name == "sum" else ops.mean
-            out = reduce(x, axis=tuple(range(1, x.data.ndim)), keepdims=False)
+            reduce = {"sum": ops.sum_, "mean": ops.mean,
+                      "log_sum_exp": ops.logsumexp}[name]
+            out = reduce(x, axis=tuple(range(1, x.data.ndim)))
             out = ops.reshape(out, (batch, 1))
             out.is_batched = True
             return out
+        lpdf_base = next((name[:-len(s)] for s in ("_lpdf", "_lpmf", "_log")
+                          if name.endswith(s)), None)
+        if args and lpdf_base in stanlib.KNOWN_DISTRIBUTIONS:
+            # Stan's scalar ``*_lpdf`` semantics sum the log density over
+            # every vectorized element — which would mix the chain axis into
+            # one scalar.  Recompute per chain: elementwise log_prob, reduced
+            # over the event axes only (per-chain scalars, e.g.
+            # ``normal_lpdf(y[t], mu[k], 0.5)`` in a forward recurrence,
+            # have no event axes and pass through unsummed).
+            lp = stanlib.make_distribution(lpdf_base, *args[1:]).log_prob(
+                as_tensor(args[0]))
+            if (isinstance(lp, Tensor) and lp.data.ndim >= 1
+                    and lp.data.shape[0] == batch):
+                if lp.data.ndim > 1:
+                    lp = ops.sum_(lp, axis=tuple(range(1, lp.data.ndim)))
+                out = ops.reshape(lp, (batch, 1))
+                out.is_batched = True
+                return out
         result = stanlib.lookup_function(name)(*args)
         shape = np.shape(_to_value(result))
         if len(shape) == 0 or shape[0] != batch:
@@ -130,7 +151,37 @@ def _int(x) -> int:
     return int(np.asarray(x))
 
 
+_CMP_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def _cmp(op: str, a, b):
+    """Stan comparison operator over possibly-Tensor operands.
+
+    Comparisons escape the autodiff graph (their result feeds control flow
+    or boolean arithmetic, not the tape), so a comparison on a
+    graph-connected value during tape tracing marks the trace as dynamically
+    branching — a compiled program would freeze its outcome.
+    """
+    if tape_compile.TRACING:
+        for operand in (a, b):
+            if isinstance(operand, Tensor) and operand._requires_graph():
+                tape_compile.note_dynamic_branch()
+                break
+    return _CMP_OPS[op](_to_value(a), _to_value(b))
+
+
 def _truthy(x) -> bool:
+    if tape_compile.TRACING and isinstance(x, Tensor) and x._requires_graph():
+        # The tape compiler is tracing: a branch on an input-derived value
+        # cannot be frozen into a compiled program.
+        tape_compile.note_dynamic_branch()
     value = _to_value(x)
     arr = np.asarray(value)
     if arr.size == 1:
@@ -245,6 +296,46 @@ def _index(base, *indices):
 def _index_update(base, indices: Tuple, value):
     """Functional one-based indexed update (returns a new container)."""
     norm = tuple(_normalize_index(i) for i in indices)
+    batch = current_batch_size()
+    base_batched = isinstance(base, Tensor) and getattr(base, "is_batched", False)
+    value_batched = batch is not None and isinstance(value, Tensor) and (
+        getattr(value, "is_batched", False)
+        # Derived tensors don't inherit ``is_batched`` from the substituted
+        # leaves, but under a batched evaluation every graph-connected tensor
+        # descends from batched latents, so a leading axis of length ``batch``
+        # is the chain axis.
+        or (value.data.ndim >= 1 and value.data.shape[0] == batch
+            and value._requires_graph())
+    )
+    if batch is not None and (base_batched or value_batched):
+        # Vectorized multi-chain evaluation: the indices address event axes,
+        # so the write must go to ``[:, norm]`` with the leading chain axis
+        # untouched.  An unbatched base (e.g. a ``_zeros`` local) is first
+        # lifted onto the chain axis so every chain gets its own copy.
+        base_t = as_tensor(base)
+        if not base_batched:
+            lifted = (batch,) + base_t.data.shape
+            if base_t._requires_graph():
+                base_t = ops.mul(
+                    ops.reshape(base_t, (1,) + base_t.data.shape),
+                    np.ones((batch,) + (1,) * base_t.data.ndim),
+                )
+            else:
+                base_t = as_tensor(np.broadcast_to(base_t.data, lifted).copy())
+        idx = (slice(None),) + norm
+        value_t = as_tensor(value)
+        cell_shape = np.broadcast_to(False, base_t.data.shape)[idx].shape
+        if (
+            value_batched
+            and value_t.data.shape == (batch, 1)
+            and cell_shape == (batch,)
+        ):
+            # A per-chain scalar ``(batch, 1)`` written into one scalar cell
+            # per chain (``(batch,)`` target): drop the trailing event axis.
+            value_t = ops.reshape(value_t, (batch,))
+        out = ops.index_update(base_t, idx, value_t)
+        out.is_batched = True
+        return out
     if len(norm) == 1:
         norm = norm[0]
     if isinstance(base, Tensor) or isinstance(value, Tensor):

@@ -123,7 +123,7 @@ def gen_expr(expr: ast.Expr, ctx: CodegenContext) -> str:
         if op == "%/%":
             return f"_idiv({left}, {right})"
         if op in ("<", "<=", ">", ">=", "==", "!="):
-            return f"(_to_value({left}) {op} _to_value({right}))"
+            return f"_cmp({op!r}, {left}, {right})"
         if op == "&&":
             return f"_and({left}, {right})"
         if op == "||":

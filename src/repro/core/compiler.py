@@ -36,6 +36,7 @@ from repro.core import analysis, codegen, mixed as mixed_mod, schemes
 from repro.core.codegen import sanitize
 from repro.core.schemes import CompileError
 from repro.deprecation import warn_once
+from repro.engine import EngineConfig
 from repro.frontend import ast
 from repro.frontend.parser import parse_program
 from repro.frontend.semantics import check_program
@@ -69,6 +70,10 @@ class CompiledModel:
     enumerate_mode: Optional[str] = None
     #: cap on the joint enumeration table (``None`` = engine default).
     max_enum_table_size: Optional[int] = None
+    #: the resolved evaluation-engine configuration (see :mod:`repro.engine`).
+    #: ``enumerate_mode`` / ``max_enum_table_size`` above are kept as
+    #: backwards-compatible mirrors of the corresponding config fields.
+    engine_config: Optional[EngineConfig] = None
 
     # ------------------------------------------------------------------
     # structural accessors
@@ -132,17 +137,36 @@ class CompiledModel:
         guide_fn = self.namespace["guide"]
         return lambda: guide_fn(**inputs)
 
-    def potential(self, data: Optional[Dict[str, Any]] = None, rng_seed: int = 0) -> Potential:
+    def resolved_engine(self, engine: Union[None, str, EngineConfig] = None) -> EngineConfig:
+        """The model's :class:`EngineConfig`, optionally overridden.
+
+        ``engine`` may be ``None`` (use the config recorded at compile time),
+        an engine name (override just the ``engine`` field), or a full
+        :class:`EngineConfig` (replace the config wholesale).
+        """
+        base = self.engine_config
+        if base is None:
+            base = EngineConfig.coerce(None, enumerate=self.enumerate_mode,
+                                       max_enum_table_size=self.max_enum_table_size)
+        if engine is None:
+            return base
+        if isinstance(engine, str):
+            return base.replace(engine=engine)
+        return EngineConfig.coerce(engine)
+
+    def potential(self, data: Optional[Dict[str, Any]] = None, rng_seed: int = 0,
+                  engine: Union[None, str, EngineConfig] = None) -> Potential:
         """Potential-energy object over the model's latent parameters.
 
         With ``enumerate="parallel"`` the potential is the **exact marginal**
         over the model's discrete latent sites (see :mod:`repro.enum`), so
         gradient-based inference runs unchanged on the continuous remainder.
+        ``engine`` overrides the evaluation engine recorded at compile time
+        (an engine name or a full :class:`~repro.engine.EngineConfig`).
         """
         return Potential(self.model_callable(data), rng_seed=rng_seed,
                          fast=(self.backend == "numpyro"),
-                         enumerate=self.enumerate_mode,
-                         max_table_size=self.max_enum_table_size)
+                         engine=self.resolved_engine(engine))
 
     def log_joint(self, data: Dict[str, Any], params: Dict[str, Any]) -> float:
         """Log joint density of ``params`` and ``data`` under the compiled model.
@@ -273,7 +297,7 @@ class ConditionedModel:
     def __init__(self, compiled: CompiledModel, data: Optional[Dict[str, Any]] = None):
         self.compiled = compiled
         self.data: Dict[str, Any] = dict(data or {})
-        self._potentials: Dict[int, Potential] = {}
+        self._potentials: Dict[Any, Potential] = {}
         self._model_callable: Optional[Callable[[], Dict[str, Any]]] = None
 
     def __repr__(self) -> str:
@@ -283,27 +307,48 @@ class ConditionedModel:
     # ------------------------------------------------------------------
     # cached derived objects
     # ------------------------------------------------------------------
-    def potential(self, seed: int = 0) -> Potential:
-        """The model's :class:`Potential` over ``data`` (cached per seed)."""
-        if seed not in self._potentials:
-            self._potentials[seed] = self.compiled.potential(self.data, rng_seed=seed)
-        return self._potentials[seed]
+    def potential(self, seed: int = 0,
+                  engine: Union[None, str, EngineConfig] = None) -> Potential:
+        """The model's :class:`Potential` over ``data`` (cached per seed/engine)."""
+        config = self.compiled.resolved_engine(engine)
+        key = (seed, config)
+        if key not in self._potentials:
+            self._potentials[key] = self.compiled.potential(
+                self.data, rng_seed=seed, engine=config)
+        return self._potentials[key]
 
     def model_callable(self) -> Callable[[], Dict[str, Any]]:
         if self._model_callable is None:
             self._model_callable = self.compiled.model_callable(self.data)
         return self._model_callable
 
-    def _metadata(self, method: str, seed: int) -> Dict[str, Any]:
+    def _metadata(self, method: str, seed: int,
+                  config: Optional[EngineConfig] = None) -> Dict[str, Any]:
+        config = config if config is not None else self.compiled.resolved_engine()
         meta = {
             "method": method,
             "scheme": self.compiled.scheme,
             "backend": self.compiled.backend,
             "seed": seed,
+            "engine": config.engine,
+            "engine_config": config.to_metadata(),
         }
-        if self.compiled.enumerate_mode is not None:
-            meta["enumerate"] = self.compiled.enumerate_mode
+        if config.enumerate is not None:
+            meta["enumerate"] = config.enumerate
         return meta
+
+    @staticmethod
+    def _stamp_eval_counters(result, potential: Potential,
+                             before: Dict[str, float]) -> None:
+        """Record the fit's share of the potential's evaluation counters.
+
+        The counters accumulate across the potential's lifetime (it is cached
+        per seed/engine), so the per-fit figure is the delta over the run.
+        """
+        counters = {key: potential.eval_counters[key] - before.get(key, 0)
+                    for key in potential.eval_counters}
+        counters["tape_seconds"] = round(float(counters["tape_seconds"]), 6)
+        result.metadata["eval_counters"] = counters
 
     # ------------------------------------------------------------------
     # fitting
@@ -350,8 +395,9 @@ class ConditionedModel:
 
     def _make_kernel(self, method: str, seed: int, max_tree_depth: int = 10,
                      target_accept: float = 0.8, step_size: float = 0.1,
-                     num_steps: int = 10):
-        potential = self.potential(seed)
+                     num_steps: int = 10,
+                     engine: Union[None, str, EngineConfig] = None):
+        potential = self.potential(seed, engine=engine)
         if method == "nuts":
             return NUTS(potential, step_size=step_size,
                         max_tree_depth=max_tree_depth,
@@ -363,26 +409,36 @@ class ConditionedModel:
                   num_chains: int = 1, thinning: int = 1, seed: int = 0,
                   max_tree_depth: int = 10, target_accept: float = 0.8,
                   step_size: float = 0.1, num_steps: int = 10,
-                  chain_method: str = "sequential",
+                  chain_method: Optional[str] = None,
+                  engine: Union[None, str, EngineConfig] = None,
                   init_params: Optional[np.ndarray] = None,
                   checkpoint_every: Optional[int] = None,
                   checkpoint_path: Optional[str] = None,
                   checkpoint_keep: bool = False) -> MCMC:
+        config = self.compiled.resolved_engine(engine)
+        if chain_method is None:
+            chain_method = config.chain_method
         kernel = self._make_kernel(method, seed, max_tree_depth=max_tree_depth,
                                    target_accept=target_accept,
-                                   step_size=step_size, num_steps=num_steps)
+                                   step_size=step_size, num_steps=num_steps,
+                                   engine=config)
         mcmc = MCMC(kernel, num_warmup=num_warmup, num_samples=num_samples,
                     num_chains=num_chains, thinning=thinning, seed=seed,
                     chain_method=chain_method)
-        mcmc.metadata.update(self._metadata(method, seed))
-        return mcmc.run(init_params=init_params, checkpoint_every=checkpoint_every,
-                        checkpoint_path=checkpoint_path,
-                        checkpoint_keep=checkpoint_keep)
+        mcmc.metadata.update(self._metadata(method, seed, config))
+        potential = self.potential(seed, engine=config)
+        before = dict(potential.eval_counters)
+        result = mcmc.run(init_params=init_params, checkpoint_every=checkpoint_every,
+                          checkpoint_path=checkpoint_path,
+                          checkpoint_keep=checkpoint_keep)
+        self._stamp_eval_counters(mcmc, potential, before)
+        return result
 
     def _fit_vi(self, guide: Any = "auto_normal", num_steps: int = 1000,
                 learning_rate: Optional[float] = None,
                 num_particles: Optional[int] = None, seed: int = 0,
                 guide_kwargs: Optional[Dict[str, Any]] = None,
+                engine: Union[None, str, EngineConfig] = None,
                 checkpoint_every: Optional[int] = None,
                 checkpoint_path: Optional[str] = None,
                 checkpoint_keep: bool = False):
@@ -429,18 +485,23 @@ class ConditionedModel:
             from repro.ppl import primitives
 
             primitives.clear_param_store()
-            engine = ExplicitVI(self.model_callable(), guide_fn,
+            driver = ExplicitVI(self.model_callable(), guide_fn,
                                 latent_names=self.compiled.parameter_names,
                                 learning_rate=learning_rate,
                                 num_particles=num_particles, seed=seed)
-            engine.metadata.update(self._metadata("vi", seed))
-            return engine.run(num_steps)
-        engine = VI(self.potential(seed), guide=guide, learning_rate=learning_rate,
+            driver.metadata.update(self._metadata("vi", seed))
+            return driver.run(num_steps)
+        config = self.compiled.resolved_engine(engine)
+        potential = self.potential(seed, engine=config)
+        driver = VI(potential, guide=guide, learning_rate=learning_rate,
                     num_particles=num_particles, seed=seed, **guide_kwargs)
-        engine.metadata.update(self._metadata("vi", seed))
-        return engine.run(num_steps, checkpoint_every=checkpoint_every,
-                          checkpoint_path=checkpoint_path,
-                          checkpoint_keep=checkpoint_keep)
+        driver.metadata.update(self._metadata("vi", seed, config))
+        before = dict(potential.eval_counters)
+        result = driver.run(num_steps, checkpoint_every=checkpoint_every,
+                            checkpoint_path=checkpoint_path,
+                            checkpoint_keep=checkpoint_keep)
+        self._stamp_eval_counters(driver, potential, before)
+        return result
 
     def _fit_importance(self, num_samples: int = 1000, seed: int = 0) -> ImportanceSampling:
         sampler = ImportanceSampling(self.model_callable(), num_samples=num_samples,
@@ -678,12 +739,20 @@ def clear_compile_cache() -> None:
 
 def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "comprehensive",
                   name: str = "model", enumerate: Optional[str] = None,
-                  max_enum_table_size: Optional[int] = None) -> CompiledModel:
+                  max_enum_table_size: Optional[int] = None,
+                  engine: Union[None, str, EngineConfig] = None) -> CompiledModel:
     """Compile Stan source (or a parsed program) to a :class:`CompiledModel`.
 
     String sources are memoised: the parse/check/codegen products are cached
     on ``(source, scheme, backend, name, enumerate)`` (LRU, 128 entries), so
     repeated service-style calls only pay a fresh module execution.
+
+    ``engine`` configures evaluation wholesale — pass an engine name
+    (``"compiled"``/``"interpreted"``) or a full
+    :class:`~repro.engine.EngineConfig` carrying the enumeration mode, chain
+    method, table cap and validation tolerances.  The legacy ``enumerate=`` /
+    ``max_enum_table_size=`` keywords keep working as once-warned shims
+    mapped onto the config.
 
     ``enumerate="factorized"`` (recommended) enables the discrete-latent
     enumeration engine: bounded ``int`` parameters (and other finite-support
@@ -708,7 +777,21 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
         raise ValueError(
             f'unknown enumerate mode {enumerate!r}; expected None, "parallel" '
             'or "factorized"')
-    allow_enum = enumerate is not None
+    if enumerate is not None:
+        warn_once(
+            "compile_model-enumerate-kwarg",
+            "compile_model(enumerate=...) is deprecated; pass "
+            "engine=EngineConfig(enumerate=...) — the kwarg is mapped onto "
+            "the engine config")
+    if max_enum_table_size is not None:
+        warn_once(
+            "compile_model-max-enum-table-size-kwarg",
+            "compile_model(max_enum_table_size=...) is deprecated; pass "
+            "engine=EngineConfig(max_enum_table_size=...) — the kwarg is "
+            "mapped onto the engine config")
+    config = EngineConfig.coerce(engine, enumerate=enumerate,
+                                 max_enum_table_size=max_enum_table_size)
+    allow_enum = config.enumerate is not None
     start = time.perf_counter()
     if isinstance(source_or_program, ast.Program):
         program = source_or_program
@@ -722,8 +805,9 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
     elapsed = time.perf_counter() - start
     return CompiledModel(program=program, scheme=scheme, backend=backend, source=source,
                          namespace=namespace, model_ir=model_ir, guide_ir=guide_ir,
-                         compile_time_seconds=elapsed, enumerate_mode=enumerate,
-                         max_enum_table_size=max_enum_table_size)
+                         compile_time_seconds=elapsed, enumerate_mode=config.enumerate,
+                         max_enum_table_size=config.max_enum_table_size,
+                         engine_config=config)
 
 
 def compile_file(path: str, **kwargs) -> CompiledModel:

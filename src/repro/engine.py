@@ -1,0 +1,129 @@
+"""The unified engine configuration: one object for every evaluation knob.
+
+:class:`EngineConfig` replaces the sprawl of positional keyword arguments
+that accumulated on :func:`repro.compile_model` /
+:class:`repro.infer.Potential` (``enumerate=``, ``max_enum_table_size=``,
+``chain_method=``, ...) with a single declarative value:
+
+>>> from repro import EngineConfig, compile_model
+>>> cfg = EngineConfig(engine="compiled", enumerate="factorized")
+>>> compiled = compile_model(source, engine=cfg)
+
+``engine`` selects how the log-density tape is evaluated:
+
+* ``"compiled"`` (default) — the recorded op graph is lowered once into a
+  fused straight-line NumPy program (:mod:`repro.autodiff.compile`);
+  validated bitwise against the interpreted tape on first call and demoted
+  automatically when a model cannot be compiled (value-dependent control
+  flow) or fails validation.
+* ``"interpreted"`` — every evaluation replays the Python-object tape op by
+  op (the pre-compilation behaviour; also the oracle the compiled engine is
+  validated against).
+
+The config is immutable and hashable so it can participate in cache keys;
+``to_metadata()`` renders the resolved config for ``Posterior.metadata`` and
+benchmark records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Union
+
+ENGINES = ("interpreted", "compiled")
+ENUMERATE_MODES = (None, "parallel", "factorized")
+CHAIN_METHODS = ("sequential", "vectorized")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Declarative configuration of the evaluation engine.
+
+    Parameters
+    ----------
+    engine:
+        ``"compiled"`` (fused tape programs, default) or ``"interpreted"``.
+    enumerate:
+        Discrete-latent marginalization: ``None`` (reject int parameters),
+        ``"parallel"`` (joint assignment table) or ``"factorized"``
+        (recommended; per-element / chain-structured elimination).
+    chain_method:
+        Default multi-chain execution for MCMC fits: ``"sequential"`` or
+        ``"vectorized"``.
+    max_enum_table_size:
+        Cap on the joint enumeration table (``None`` = engine default).
+    grad_rtol / grad_atol:
+        Gradient tolerance of the tiered validation contract: a fast path
+        whose values match bitwise but whose gradients only match within
+        these tolerances is demoted to ``value_fast`` (values from the fast
+        path, gradients from the oracle).
+    """
+
+    engine: str = "compiled"
+    enumerate: Optional[str] = None
+    chain_method: str = "sequential"
+    max_enum_table_size: Optional[int] = None
+    grad_rtol: float = 1e-9
+    grad_atol: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if self.enumerate not in ENUMERATE_MODES:
+            raise ValueError(
+                f'unknown enumerate mode {self.enumerate!r}; expected None, '
+                '"parallel" or "factorized"')
+        if self.chain_method not in CHAIN_METHODS:
+            raise ValueError(
+                f"unknown chain_method {self.chain_method!r}; expected one of "
+                f"{CHAIN_METHODS}")
+        if self.max_enum_table_size is not None and int(self.max_enum_table_size) < 1:
+            raise ValueError("max_enum_table_size must be a positive integer")
+        if not (self.grad_rtol >= 0.0 and self.grad_atol >= 0.0):
+            raise ValueError("validation tolerances must be non-negative")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def coerce(cls, value: Union[None, str, "EngineConfig"],
+               **overrides: Any) -> "EngineConfig":
+        """Normalise ``engine=`` arguments to a config.
+
+        Accepts ``None`` (defaults), an engine name string, or a full
+        :class:`EngineConfig`; ``overrides`` replace individual fields
+        (``None`` overrides are ignored so legacy-kwarg shims can pass
+        through unconditionally).
+        """
+        if value is None:
+            config = cls()
+        elif isinstance(value, str):
+            config = cls(engine=value)
+        elif isinstance(value, EngineConfig):
+            config = value
+        else:
+            raise TypeError(
+                f"engine must be an engine name or an EngineConfig, got "
+                f"{type(value).__name__}")
+        effective = {k: v for k, v in overrides.items() if v is not None}
+        if effective:
+            config = config.replace(**effective)
+        return config
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy of the config with ``changes`` applied (validated)."""
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        state.update(changes)
+        return EngineConfig(**state)
+
+    def to_metadata(self) -> Dict[str, Any]:
+        """The resolved config as a plain dict (metadata / JSON records)."""
+        return {
+            "engine": self.engine,
+            "enumerate": self.enumerate,
+            "chain_method": self.chain_method,
+            "max_enum_table_size": self.max_enum_table_size,
+            "grad_rtol": self.grad_rtol,
+            "grad_atol": self.grad_atol,
+        }

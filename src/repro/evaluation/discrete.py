@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core import compile_model
 from repro.corpus import models as corpus_models
+from repro.engine import EngineConfig
 from repro.infer import diagnostics
 from repro.posteriordb import Entry, datagen, get
 
@@ -47,6 +48,8 @@ class DiscreteComparison:
     marginal_runtime_seconds: float
     table_size: int
     enum_strategy: str
+    #: resolved evaluation engine of the enumerated run (fit metadata)
+    engine: str = "interpreted"
     summaries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: posterior-mean per-element marginals of each discrete site
     responsibilities: Dict[str, np.ndarray] = field(default_factory=dict)
@@ -87,9 +90,10 @@ def run_discrete_comparison(enum_entry: Entry, marginal_entry: Entry,
     warmup = max(int(config.num_warmup * scale), 10)
     samples = max(int(config.num_samples * scale), 10)
 
-    enum_compiled = compile_model(enum_entry.source, backend="numpyro",
-                                  scheme="comprehensive", name=enum_entry.name,
-                                  enumerate=enum_entry.enumerate)
+    enum_compiled = compile_model(
+        enum_entry.source, backend="numpyro", scheme="comprehensive",
+        name=enum_entry.name,
+        engine=EngineConfig(enumerate=enum_entry.enumerate))
     enum_model = enum_compiled.condition(enum_entry.data())
     start = time.perf_counter()
     enum_fit = enum_model.fit("nuts", num_warmup=warmup, num_samples=samples,
@@ -132,6 +136,7 @@ def run_discrete_comparison(enum_entry: Entry, marginal_entry: Entry,
         marginal_runtime_seconds=marginal_elapsed,
         table_size=potential.enum_plan.table_size,
         enum_strategy=potential.enum_strategy,
+        engine=enum_fit.metadata.get("engine", "interpreted"),
         summaries={
             "enumerated": enum_fit.posterior.summary(),
             "marginalized": marginal_fit.posterior.summary(),
@@ -184,6 +189,10 @@ class EnumScaling:
     sizes: Tuple[int, int]
     eval_seconds: Tuple[float, float]
     strategies: Tuple[str, str]
+    #: which evaluation engine the costs were measured under ("interpreted"
+    #: walks the autodiff graph per call; "compiled" runs the fused tape
+    #: program — see repro.autodiff.compile).
+    engine: str = "interpreted"
 
     @property
     def size_ratio(self) -> float:
@@ -195,7 +204,8 @@ class EnumScaling:
 
 
 def measure_enum_cost(model_name: str, data_for_size, sizes: Tuple[int, int],
-                      repeats: int = 3, seed: int = 0) -> EnumScaling:
+                      repeats: int = 3, seed: int = 0,
+                      engine: str = "interpreted") -> EnumScaling:
     """Per-evaluation ``potential_and_grad`` cost of a workload at two sizes.
 
     ``data_for_size(size)`` builds the dataset; ``seed`` seeds the potential
@@ -205,16 +215,21 @@ def measure_enum_cost(model_name: str, data_for_size, sizes: Tuple[int, int],
     to inspect the returned ``strategies``.  The first evaluation (strategy
     resolution + analysis) is excluded; the steady-state cost is the
     *minimum* over ``repeats`` timed evaluations, the usual robust-to-noise
-    choice for microbenchmarks.
+    choice for microbenchmarks.  ``engine`` selects the evaluation engine
+    ("interpreted" or "compiled"); under ``"compiled"`` the warm-up
+    evaluation also compiles and validates the tape, so the timed steady
+    state is the fused program.
     """
+    config = EngineConfig(engine=engine, enumerate="factorized")
     times: list = []
     strategies: list = []
     for size in sizes:
         compiled = compile_model(corpus_models.get(model_name),
-                                 enumerate="factorized", name=model_name)
+                                 engine=config, name=model_name)
         potential = compiled.condition(data_for_size(size)).potential(seed)
         z0 = potential.initial_unconstrained()
         potential.potential_and_grad(z0)          # resolve + validate
+        potential.potential_and_grad(z0)          # compile + validate tape
         if potential.enum_strategy != "factorized":
             raise RuntimeError(
                 f"{model_name} at size {size} resolved to "
@@ -229,24 +244,27 @@ def measure_enum_cost(model_name: str, data_for_size, sizes: Tuple[int, int],
         times.append(best)
         strategies.append(potential.enum_strategy)
     return EnumScaling(model_name=model_name, sizes=tuple(sizes),
-                       eval_seconds=tuple(times), strategies=tuple(strategies))
+                       eval_seconds=tuple(times), strategies=tuple(strategies),
+                       engine=engine)
 
 
-def enum_scaling_experiment(repeats: int = 3, seed: int = 0) -> Dict[str, EnumScaling]:
+def enum_scaling_experiment(repeats: int = 3, seed: int = 0,
+                            engine: str = "interpreted") -> Dict[str, EnumScaling]:
     """Measure the factorized engine's cost growth on both workload shapes.
 
     Mixture (independent elements) at N=250 vs N=500 and the 4-state HMM
     (chain elimination) at T=100 vs T=200 — every size far beyond what the
     joint table (``2^N`` / ``4^T`` rows) could represent.  ``seed`` seeds
-    both the synthetic datasets and the potentials.
+    both the synthetic datasets and the potentials; ``engine`` selects the
+    evaluation engine the costs are measured under.
     """
     return {
         "gauss_mix_enum": measure_enum_cost(
             "gauss_mix_enum",
             lambda n: datagen.gauss_mix_enum_data(seed=seed, n=n), (250, 500),
-            repeats=repeats, seed=seed),
+            repeats=repeats, seed=seed, engine=engine),
         "hmm_k_enum": measure_enum_cost(
             "hmm_k_enum",
             lambda t: datagen.hmm_k_data(seed=seed, t=t, k=4), (100, 200),
-            repeats=repeats, seed=seed),
+            repeats=repeats, seed=seed, engine=engine),
     }

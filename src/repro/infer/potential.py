@@ -74,15 +74,18 @@ validation contract defined below.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.autodiff import ops
+from repro.autodiff.compile import compile_tape
 from repro.autodiff.functional import value_and_grad
 from repro.autodiff.tensor import Tensor, as_tensor, no_grad
+from repro.engine import EngineConfig
 from repro.ppl import handlers
 from repro.ppl.distributions.base import param_value
 from repro.ppl.transforms import Transform, biject_to
@@ -154,10 +157,17 @@ class Potential:
     def __init__(self, model: Callable, model_args: Tuple = (), model_kwargs: Optional[Dict] = None,
                  observed: Optional[Dict[str, Any]] = None, rng_seed: int = 0,
                  fast: bool = False, enumerate: Optional[str] = None,
-                 max_table_size: Optional[int] = None):
+                 max_table_size: Optional[int] = None,
+                 engine: Union[None, str, "EngineConfig"] = None):
         if enumerate not in ENUMERATE_MODES:
             raise ValueError(
                 f"unknown enumerate mode {enumerate!r}; expected one of {ENUMERATE_MODES}")
+        #: the resolved evaluation-engine configuration.  ``engine`` accepts
+        #: an engine name or a full :class:`~repro.engine.EngineConfig`; the
+        #: legacy ``enumerate=`` / ``max_table_size=`` keywords override the
+        #: corresponding config fields when given.
+        self.engine_config = EngineConfig.coerce(
+            engine, enumerate=enumerate, max_enum_table_size=max_table_size)
         self.model = model
         self.model_args = tuple(model_args)
         self.model_kwargs = dict(model_kwargs or {})
@@ -166,8 +176,8 @@ class Potential:
         # ``fast=True`` evaluates the log joint through the NumPyro-style
         # direct-accumulation context instead of the effect-handler stack.
         self.fast = fast
-        self.enumerate = enumerate
-        self.max_table_size = max_table_size
+        self.enumerate = self.engine_config.enumerate
+        self.max_table_size = self.engine_config.max_enum_table_size
         #: joint assignment table over the discrete latent sites
         #: (``None`` unless enumeration is enabled and found any).
         self.enum_plan = None
@@ -192,6 +202,16 @@ class Potential:
         # against the sequential oracle, "loop" if the model does not batch.
         self._batched_mode: Dict[int, str] = {}
         self._constrain_batched_ok: Optional[bool] = None
+        # Compiled-tape states, keyed ("single",) / ("batched", C): each is
+        # {"tape": CompiledTape|None, "mode": None|"fast"|"value_fast"|"off"}
+        # relative to its interpreted oracle.  Cleared whenever the graph
+        # structure changes (enumeration-strategy demotion).
+        self._tapes: Dict[Tuple, Dict[str, Any]] = {}
+        #: cheap observability: evaluation counts and total wall-clock spent
+        #: inside the public density entry points (stamped into fit metadata).
+        self.eval_counters: Dict[str, float] = {
+            "grad_evals": 0, "value_evals": 0, "compiled_evals": 0,
+            "tape_seconds": 0.0}
 
     # ------------------------------------------------------------------
     # site discovery and packing
@@ -489,6 +509,8 @@ class Potential:
         self.factorization_note = note
         self.factorization = None
         self._marginal_mode = "joint"
+        # Any compiled program recorded the old (factorized) graph structure.
+        self._tapes.clear()
         self.enum_plan.ensure_table_capacity(note)
 
     def _resolve_factorization(self, constrained: "OrderedDict[str, Tensor]") -> None:
@@ -694,17 +716,180 @@ class Potential:
         """Potential energy (negative log joint) at ``z``."""
         z = np.asarray(z, dtype=float)
         self._ensure_enum_strategy(z)
-        return self._vg(z)[0]
+        self.eval_counters["value_evals"] += 1
+        start = time.perf_counter()
+        try:
+            if self.engine_config.engine == "compiled":
+                out = self._compiled_value(("single",), z)
+                if out is not None:
+                    return float(out)
+                return float(self._single_vg(z)[0])
+            return self._vg(z)[0]
+        finally:
+            self.eval_counters["tape_seconds"] += time.perf_counter() - start
 
     def potential_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
         """Potential energy and its gradient at ``z``."""
         z = np.asarray(z, dtype=float)
         self._ensure_enum_strategy(z)
-        return self._vg(z)
+        self.eval_counters["grad_evals"] += 1
+        start = time.perf_counter()
+        try:
+            return self._single_vg(z)
+        finally:
+            self.eval_counters["tape_seconds"] += time.perf_counter() - start
 
     def log_prob(self, z: np.ndarray) -> float:
         """Log joint density (the negation of the potential)."""
         return -self.potential(z)
+
+    # ------------------------------------------------------------------
+    # the compiled engine (fused tape programs; repro.autodiff.compile)
+    # ------------------------------------------------------------------
+    # Each graph the potential evaluates repeatedly — the single-row tape and
+    # the per-chain-count batched tapes (including the factorized C×B
+    # contraction, which is part of the batched graph) — can be lowered once
+    # into a fused straight-line NumPy program.  Acceptance follows the same
+    # tolerance-tiered contract as every other optimistic fast path, with the
+    # *interpreted* evaluation of the same graph as oracle:
+    #
+    # * values and gradients bitwise        -> "fast" (program serves both);
+    # * values bitwise, gradients within
+    #   (grad_rtol, grad_atol)              -> "value_fast" (program serves
+    #   value-only consumers; gradient consumers stay interpreted);
+    # * anything else, a compilation error
+    #   (e.g. value-dependent control flow,
+    #   which a frozen program cannot
+    #   replay), or an evaluation error     -> "off" (permanent demotion).
+    #
+    # A shape/dtype guard invalidates the program when the input signature
+    # changes; the retrace then revalidates from scratch, and a retrace that
+    # disagrees with its oracle demotes permanently.
+    def _single_vg(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Engine dispatch for one ``(dim,)`` evaluation."""
+        if self.engine_config.engine != "compiled":
+            return self._vg(z)
+        value, grad = self._compiled_vg(("single",), z,
+                                        self._neg_log_joint_tensor, self._vg)
+        return float(value), np.asarray(grad, dtype=float)
+
+    def _compiled_vg(self, key: Tuple, z: np.ndarray, fn: Callable,
+                     oracle: Callable):
+        """``(value, grad)`` for ``z`` through the compiled engine.
+
+        Serves from the validated fused program when the tier allows;
+        compiles + validates on first use (returning the oracle's result for
+        that call); falls back to ``oracle`` otherwise.  Exceptions from the
+        compiled program demote it; exceptions from the oracle propagate
+        (callers own that contract).
+        """
+        state = self._tapes.setdefault(key, {"tape": None, "mode": None})
+        tape = state["tape"]
+        if tape is not None and not tape.matches(z):
+            # Shape/dtype guard tripped: the program is invalid for this
+            # input.  Retrace and revalidate below (a retrace that disagrees
+            # demotes permanently).
+            state["tape"] = tape = None
+            state["mode"] = None
+        mode = state["mode"]
+        if mode == "fast":
+            try:
+                value, grad = tape.value_and_grad(z)
+                self.eval_counters["compiled_evals"] += 1
+                return value, grad
+            except Exception:  # noqa: BLE001
+                state["mode"] = "off"
+                return oracle(z)
+        if mode in ("off", "value_fast"):
+            return oracle(z)
+        # First use for this key/signature: compile and validate at the
+        # *canonical* probes (see :meth:`_canonical_probe`) so the tier — and
+        # the frozen control flow of the traced program — is a pure function
+        # of the potential, not of whichever trajectory point arrived first
+        # (a fresh run and a checkpoint-resumed run must classify alike).
+        cfg = self.engine_config
+        values_ok = grads_bitwise = grads_tol = True
+        try:
+            tape = compile_tape(fn, self._canonical_probe(z.shape))
+            for salt in range(self.VALIDATION_PROBES):
+                probe = self._canonical_probe(z.shape, salt)
+                value_p, grad_p = oracle(probe)
+                value_c, grad_c = tape.value_and_grad(probe)
+                values_ok &= np.array_equal(np.asarray(value_c),
+                                            np.asarray(value_p),
+                                            equal_nan=True)
+                grads_bitwise &= np.array_equal(grad_c, np.asarray(grad_p),
+                                                equal_nan=True)
+                grads_tol &= np.allclose(grad_c, np.asarray(grad_p),
+                                         rtol=cfg.grad_rtol,
+                                         atol=cfg.grad_atol, equal_nan=True)
+                if not values_ok:
+                    break
+        except Exception:  # noqa: BLE001
+            tape = None
+            values_ok = grads_bitwise = grads_tol = False
+        if values_ok and grads_bitwise:
+            state["tape"], state["mode"] = tape, "fast"
+        elif values_ok and grads_tol:
+            state["tape"], state["mode"] = tape, "value_fast"
+        else:
+            state["tape"], state["mode"] = None, "off"
+        return self._compiled_vg(key, z, fn, oracle)
+
+    #: validation points per tier decision: a fast path whose agreement with
+    #: its oracle is *coincidental* (last-ulp reduction-order drift that
+    #: happens to cancel at one point) must not validate into a bitwise tier
+    #: off a single lucky sample.
+    VALIDATION_PROBES = 3
+
+    def _canonical_probe(self, shape: Tuple[int, ...],
+                         salt: int = 0) -> np.ndarray:
+        """Deterministic generic point(s) for fast-path validation.
+
+        Fixed jitter around the prior-init point: generic enough that a
+        coincidental bitwise match is as unlikely as anywhere else on the
+        trajectory, and identical across runs of the same potential — the
+        validation verdict must not depend on evaluation history, or a
+        resumed run could land in a different tier than the run that wrote
+        the checkpoint and break the bitwise-resume contract.
+        """
+        rng = np.random.default_rng(1729 + salt)
+        base = self.initial_unconstrained()
+        if shape == base.shape:
+            return base + 0.1 * rng.standard_normal(shape)
+        if len(shape) == 2 and shape[1] == base.size:
+            return base[None, :] + 0.1 * rng.standard_normal(shape)
+        return 0.1 * rng.standard_normal(shape)  # unexpected layout
+
+    def _compiled_value(self, key: Tuple, z: np.ndarray):
+        """Value via the compiled forward program, or ``None`` to interpret.
+
+        ``value_fast`` programs qualify: their *values* validated bitwise
+        (only their gradients sit in the tolerance tier).  Never compiles —
+        validation needs gradients, so unvalidated keys return ``None`` and
+        the caller's gradient path compiles as a side effect.
+        """
+        state = self._tapes.get(key)
+        if (not state or state["tape"] is None
+                or state["mode"] not in ("fast", "value_fast")
+                or not state["tape"].matches(z)):
+            return None
+        try:
+            out = state["tape"].value(z)
+            self.eval_counters["compiled_evals"] += 1
+            return out
+        except Exception:  # noqa: BLE001
+            state["mode"] = "off"
+            return None
+
+    def engine_stats(self) -> Dict[str, Any]:
+        """Engine observability snapshot: resolved engine, tape tiers, counters."""
+        modes = {"-".join(str(part) for part in key): state["mode"]
+                 for key, state in self._tapes.items()}
+        stats: Dict[str, Any] = {"engine": self.engine_config.engine,
+                                 "tape_modes": modes}
+        stats.update(self.eval_counters)
+        return stats
 
     # ------------------------------------------------------------------
     # vectorized multi-chain fast path
@@ -829,7 +1014,7 @@ class Potential:
             raise RuntimeError(f"batched log joint has shape {total.data.shape}, expected ({c},)")
         return ops.neg(ops.add(total, log_det))
 
-    def _potential_and_grad_batched_fast(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def _batched_fast_interpreted(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         t = Tensor(z, requires_grad=True)
         with np.errstate(all="ignore"):
             out = self._neg_log_joint_tensor_batched(t)
@@ -837,11 +1022,26 @@ class Potential:
         grad = t.grad if t.grad is not None else np.zeros_like(z)
         return np.asarray(out.data, dtype=float), np.asarray(grad, dtype=float)
 
+    def _potential_and_grad_batched_fast(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """The batched tape, through the configured engine.
+
+        Under ``engine="compiled"`` the whole batched graph — including the
+        factorized C×B contraction when that strategy is active — is lowered
+        into one fused program per chain count, validated against the
+        interpreted batched tape under the tiered contract.
+        """
+        if self.engine_config.engine != "compiled":
+            return self._batched_fast_interpreted(z)
+        value, grad = self._compiled_vg(("batched", z.shape[0]), z,
+                                        self._neg_log_joint_tensor_batched,
+                                        self._batched_fast_interpreted)
+        return np.asarray(value, dtype=float), np.asarray(grad, dtype=float)
+
     def _potential_and_grad_batched_loop(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         values = np.empty(z.shape[0])
         grads = np.empty_like(z)
         for i in range(z.shape[0]):
-            values[i], grads[i] = self._vg(z[i])
+            values[i], grads[i] = self._single_vg(z[i])
         return values, grads
 
     def potential_and_grad_batched(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -863,6 +1063,15 @@ class Potential:
         c = z.shape[0]
         if c and z.shape[1]:
             self._ensure_enum_strategy(z[0])
+        self.eval_counters["grad_evals"] += c
+        start = time.perf_counter()
+        try:
+            return self._potential_and_grad_batched_impl(z, c)
+        finally:
+            self.eval_counters["tape_seconds"] += time.perf_counter() - start
+
+    def _potential_and_grad_batched_impl(self, z: np.ndarray, c: int
+                                         ) -> Tuple[np.ndarray, np.ndarray]:
         if c == 1:
             # A single row gains nothing from the batched tape (and vectorized
             # NUTS runs shrink to one straggler chain at the end of every run)
@@ -880,32 +1089,65 @@ class Potential:
                 return self._potential_and_grad_batched_loop(z)
         if mode in ("loop", "value_fast"):
             return self._potential_and_grad_batched_loop(z)
-        values, grads = self._potential_and_grad_batched_loop(z)
+        self._classify_batched(c, z.shape[1])
+        return self._potential_and_grad_batched_impl(z, c)
+
+    def _classify_batched(self, c: int, dim: int) -> None:
+        """Validate the vectorized evaluation for chain count ``c`` and set
+        its tier — at a *canonical* probe batch, not the caller's point.
+
+        The tier must be a pure function of the potential: a checkpointed
+        run classifies on its first warmup batch while a resumed run
+        classifies mid-trajectory, and a model whose vectorized gradients
+        agree with the row loop only *sometimes* (last-ulp reduction-order
+        drift) would land in different tiers and break the bitwise
+        resume contract.  The fixed probe from :meth:`_canonical_probe`
+        gives every run of the same potential the same answer.
+        """
+        values_ok = grads_bitwise = grads_tol = True
         try:
-            fast_values, fast_grads = self._potential_and_grad_batched_fast(z)
-            # Decision tier: *bitwise* value agreement with the sequential
-            # oracle, not just tolerance — sampler decisions (accept, slice,
-            # U-turn) threshold on these values, so a sub-tolerance
-            # discrepancy could flip a knife-edge decision and break the
-            # identical-draws contract between the chain methods.
-            values_ok = np.array_equal(fast_values, values, equal_nan=True)
-            grads_bitwise = np.array_equal(fast_grads, grads, equal_nan=True)
-            # Gradient tier: a tape that reorders floating point (gemm vs
-            # gemv, tiled reductions) may diverge in the last ulps; within
-            # the documented tolerance the tape stays usable for value-only
-            # consumers (potential_batched) while gradient consumers keep
-            # the loop — this recovers the multi-chain enumerated C×T tape.
-            grads_tol = np.allclose(fast_grads, grads, rtol=GRAD_VALIDATION_RTOL,
-                                    atol=GRAD_VALIDATION_ATOL, equal_nan=True)
+            for salt in range(self.VALIDATION_PROBES):
+                probe = self._canonical_probe((c, dim), salt)
+                values, grads = self._potential_and_grad_batched_loop(probe)
+                fast_values, fast_grads = \
+                    self._potential_and_grad_batched_fast(probe)
+                # Decision tier: *bitwise* value agreement with the
+                # sequential oracle, not just tolerance — sampler decisions
+                # (accept, slice, U-turn) threshold on these values, so a
+                # sub-tolerance discrepancy could flip a knife-edge decision
+                # and break the identical-draws contract between the chain
+                # methods.
+                values_ok &= np.array_equal(fast_values, values, equal_nan=True)
+                grads_bitwise &= np.array_equal(fast_grads, grads,
+                                                equal_nan=True)
+                # Gradient tier: a tape that reorders floating point (gemm
+                # vs gemv, tiled reductions) may diverge in the last ulps;
+                # within the documented tolerance the tape stays usable for
+                # value-only consumers (potential_batched) while gradient
+                # consumers keep the loop — this recovers the multi-chain
+                # enumerated C×T tape.
+                grads_tol &= np.allclose(fast_grads, grads,
+                                         rtol=GRAD_VALIDATION_RTOL,
+                                         atol=GRAD_VALIDATION_ATOL,
+                                         equal_nan=True)
+                if not values_ok:
+                    break
         except Exception:
             values_ok = grads_bitwise = grads_tol = False
-        if values_ok and grads_bitwise:
+        # Structural cap for enumerated potentials: the vectorized C×B
+        # contraction reduces over the assignment axis in a different
+        # floating-point order than the per-row contraction, so bitwise
+        # gradient agreement at the probes is coincidental, not structural —
+        # and serving coincidentally-matching gradients would let the chain
+        # methods diverge at the first unlucky trajectory point.  Plain
+        # models vectorize by pure broadcasting (identical per-row reduction
+        # order), where probe agreement is evidence of structure.
+        if values_ok and grads_bitwise and self.enum_plan is None:
             self._batched_mode[c] = "fast"
         elif values_ok and grads_tol:
             self._batched_mode[c] = "value_fast"
         else:
             self._batched_mode[c] = "loop"
-        return values, grads
 
     def potential_batched(self, z: np.ndarray) -> np.ndarray:
         """Batched potential *values* only, shape ``(C,)`` — no gradients.
@@ -924,10 +1166,22 @@ class Potential:
         mode = self._batched_mode.get(c)
         if mode is None:
             return self.potential_and_grad_batched(z)[0]
+        self.eval_counters["value_evals"] += c
+        start = time.perf_counter()
+        try:
+            return self._potential_batched_impl(z, c, mode)
+        finally:
+            self.eval_counters["tape_seconds"] += time.perf_counter() - start
+
+    def _potential_batched_impl(self, z: np.ndarray, c: int, mode: str) -> np.ndarray:
         if mode in ("fast", "value_fast"):
             # ``value_fast``: the tape's *values* validated bitwise against
             # the oracle (only its gradients sit in the tolerance tier), so
             # value-only consumers keep the batched evaluation.
+            if self.engine_config.engine == "compiled":
+                out = self._compiled_value(("batched", c), z)
+                if out is not None:
+                    return np.asarray(out, dtype=float)
             try:
                 with no_grad(), np.errstate(all="ignore"):
                     out = self._neg_log_joint_tensor_batched(as_tensor(z))
@@ -935,8 +1189,15 @@ class Potential:
             except Exception:
                 self._batched_mode[c] = "loop"
         with no_grad():
-            return np.array([float(self._neg_log_joint_tensor(as_tensor(z[i])).data)
+            return np.array([self._compiled_or_interpreted_value(z[i])
                              for i in range(c)])
+
+    def _compiled_or_interpreted_value(self, zi: np.ndarray) -> float:
+        if self.engine_config.engine == "compiled":
+            out = self._compiled_value(("single",), zi)
+            if out is not None:
+                return float(out)
+        return float(self._neg_log_joint_tensor(as_tensor(zi)).data)
 
     def constrained_dict_batched(self, z: np.ndarray) -> Dict[str, np.ndarray]:
         """Constrained NumPy values for a ``(C, dim)`` batch (no grad).
@@ -979,7 +1240,10 @@ class Potential:
 
 def make_potential(model: Callable, *model_args, observed: Optional[Dict[str, Any]] = None,
                    rng_seed: int = 0, fast: bool = False, enumerate: Optional[str] = None,
-                   max_table_size: Optional[int] = None, **model_kwargs) -> Potential:
+                   max_table_size: Optional[int] = None,
+                   engine: Union[None, str, EngineConfig] = None,
+                   **model_kwargs) -> Potential:
     """Convenience constructor used throughout the benchmarks and examples."""
     return Potential(model, model_args, model_kwargs, observed=observed, rng_seed=rng_seed,
-                     fast=fast, enumerate=enumerate, max_table_size=max_table_size)
+                     fast=fast, enumerate=enumerate, max_table_size=max_table_size,
+                     engine=engine)
