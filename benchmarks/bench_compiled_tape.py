@@ -72,7 +72,7 @@ def _measure(entry_name, data, repeats=7):
     z = potentials["compiled"].initial_unconstrained() + 1e-2
     vc, gc = potentials["compiled"].potential_and_grad(z)
     vi, gi = potentials["interpreted"].potential_and_grad(z)
-    stats = potentials["compiled"].engine_stats()
+    stats = potentials["compiled"].metrics_view()
     return {
         "interpreted_eval_seconds": seconds["interpreted"],
         "compiled_eval_seconds": seconds["compiled"],

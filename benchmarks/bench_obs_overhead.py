@@ -1,0 +1,133 @@
+"""Disabled-telemetry overhead gate (BENCH_obs_overhead.json).
+
+The telemetry subsystem (:mod:`repro.obs`) is threaded through every hot
+path — the potential's evaluation entry points, the vectorized-chains
+batching loop, the per-iteration sampler stream.  Its design contract is
+that the *disabled* state (the default) costs one attribute check and
+nothing else, so instrumenting the pipeline must not tax users who never
+turn it on.  This bench measures steady-state ``potential_and_grad`` cost
+on two corpus workloads three ways:
+
+* ``core`` — the engine-dispatch path (``_single_vg``) below the public
+  entry point: no counter updates, the pre-instrumentation floor;
+* ``disabled`` — the public entry point with telemetry off (the default
+  shipping configuration);
+* ``enabled`` — the public entry point with a live telemetry session
+  (spans + metrics on), for the record, not gated.
+
+The gate: ``disabled`` overhead over ``core`` stays <= ``OVERHEAD_PCT_MAX``
+percent.  The regression guard reads the recorded values back from the
+JSON.  ``REPRO_BENCH_ITERS`` (CI smoke) shrinks the datasets.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import record, record_json
+
+from repro.core import compile_model
+from repro.obs import ObsConfig
+from repro.posteriordb import datagen, get
+
+BENCH_ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "0"))
+FULL_RUN = BENCH_ITERS == 0
+
+#: maximum tolerated percentage slowdown of the default (telemetry-off)
+#: public entry point over the engine-dispatch floor.
+OVERHEAD_PCT_MAX = 2.0
+
+#: best-of-R timing over this many evaluation batches.
+REPEATS = 9 if FULL_RUN else 5
+BATCH = 200 if FULL_RUN else 50
+
+if FULL_RUN:
+    WORKLOADS = (
+        ("gauss_mix_marginal-synthetic_mixture_large", None, "N=500"),
+        ("hmm_k_marginal-synthetic_hmm4", None, "T=200,K=4"),
+    )
+else:
+    WORKLOADS = (
+        ("gauss_mix_marginal-synthetic_mixture_large",
+         datagen.gauss_mix_enum_large_data(seed=0, n=100), "N=100"),
+        ("hmm_k_marginal-synthetic_hmm4",
+         datagen.hmm_k_data(seed=0, t=50, k=4), "T=50,K=4"),
+    )
+
+
+def _best_batch_seconds(fn, z0, repeats=REPEATS, batch=BATCH):
+    """Best-of-``repeats`` wall clock for ``batch`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(batch):
+            fn(z0)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(entry_name, data):
+    entry = get(entry_name)
+    conditioned = compile_model(entry.source, name=entry.name).condition(
+        entry.data() if data is None else data)
+
+    # telemetry off: the default shipping path
+    pot = conditioned.potential(0, engine="compiled")
+    z0 = pot.initial_unconstrained()
+    pot.potential_and_grad(z0)  # resolve strategy
+    pot.potential_and_grad(z0)  # compile + validate the tape
+    core = _best_batch_seconds(lambda z: pot._single_vg(z), z0)
+    disabled = _best_batch_seconds(lambda z: pot.potential_and_grad(z), z0)
+
+    # telemetry on: same model, a live session (spans + metrics)
+    on = compile_model(entry.source, name=entry.name,
+                       obs=ObsConfig(enabled=True)).condition(
+        entry.data() if data is None else data)
+    pot_on = on.potential(0, engine="compiled")
+    pot_on.potential_and_grad(z0)
+    pot_on.potential_and_grad(z0)
+    enabled = _best_batch_seconds(lambda z: pot_on.potential_and_grad(z), z0)
+
+    # identical results, whatever the telemetry state
+    v_off, g_off = pot.potential_and_grad(z0 + 1e-3)
+    v_on, g_on = pot_on.potential_and_grad(z0 + 1e-3)
+    return {
+        "core_eval_seconds": core / BATCH,
+        "disabled_eval_seconds": disabled / BATCH,
+        "enabled_eval_seconds": enabled / BATCH,
+        "disabled_overhead_pct": 100.0 * (disabled - core) / core,
+        "enabled_overhead_pct": 100.0 * (enabled - core) / core,
+        "bitwise_with_telemetry": bool(
+            v_on == v_off and np.array_equal(g_on, g_off)),
+    }
+
+
+def test_disabled_telemetry_overhead(benchmark_guard=None):
+    """The gate: telemetry-off public entry points stay within
+    OVERHEAD_PCT_MAX percent of the engine-dispatch floor."""
+    workloads = {}
+    for name, data, size in WORKLOADS:
+        row = dict(_measure(name, data), size=size)
+        workloads[name] = row
+
+    lines = []
+    for name, row in workloads.items():
+        lines.append(
+            f"{name} ({row['size']}): core {1e6 * row['core_eval_seconds']:.1f}us"
+            f" | disabled +{row['disabled_overhead_pct']:.2f}%"
+            f" | enabled +{row['enabled_overhead_pct']:.2f}%"
+            f" | bitwise {row['bitwise_with_telemetry']}")
+    record("telemetry overhead (disabled-path gate)", lines)
+    record_json("BENCH_obs_overhead.json", {
+        "overhead_pct_max": OVERHEAD_PCT_MAX,
+        "batch": BATCH,
+        "repeats": REPEATS,
+        "workloads": workloads,
+    })
+
+    for name, row in workloads.items():
+        assert row["bitwise_with_telemetry"], \
+            f"{name}: telemetry perturbed an evaluation"
+        assert row["disabled_overhead_pct"] <= OVERHEAD_PCT_MAX, (
+            f"{name}: disabled-telemetry overhead "
+            f"{row['disabled_overhead_pct']:.2f}% exceeds {OVERHEAD_PCT_MAX}%")

@@ -20,7 +20,10 @@ loads whichever of the known artifacts exist in the directory and fails
   in a validated tier (``fast``/``value_fast``) and the compiled-over-
   interpreted gradient speedup stayed >= the recorded threshold;
 * ``BENCH_vectorized.json`` — the geometric-mean multi-chain speedup stayed
-  >= the recorded assertion threshold, when the file records one.
+  >= the recorded assertion threshold, when the file records one;
+* ``BENCH_obs_overhead.json`` — the default (telemetry-off) evaluation path
+  stayed within the recorded overhead cap of the engine-dispatch floor and
+  telemetry never perturbed an evaluation result.
 
 Usage::
 
@@ -96,6 +99,20 @@ def _check_compiled_tape(payload: dict, problems: List[str]) -> None:
                 f"the recorded threshold {threshold!r}")
 
 
+def _check_obs_overhead(payload: dict, problems: List[str]) -> None:
+    cap = payload.get("overhead_pct_max")
+    for name, row in payload.get("workloads", {}).items():
+        pct = row.get("disabled_overhead_pct")
+        if cap is None or pct is None or pct > cap:
+            problems.append(
+                f"BENCH_obs_overhead: {name} disabled_overhead_pct={pct!r} "
+                f"exceeds the recorded cap {cap!r}")
+        if not row.get("bitwise_with_telemetry", False):
+            problems.append(
+                f"BENCH_obs_overhead: {name} telemetry perturbed evaluation "
+                "results (bitwise_with_telemetry is false)")
+
+
 def _check_vectorized(payload: dict, problems: List[str]) -> None:
     speedup = payload.get("geometric_mean_speedup")
     threshold = payload.get("speedup_threshold")
@@ -111,6 +128,7 @@ CHECKS: Dict[str, Callable[[dict, List[str]], None]] = {
     "BENCH_enum_scaling_posteriors.json": _check_enum_posteriors,
     "BENCH_compiled_tape.json": _check_compiled_tape,
     "BENCH_vectorized.json": _check_vectorized,
+    "BENCH_obs_overhead.json": _check_obs_overhead,
 }
 
 

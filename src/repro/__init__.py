@@ -37,6 +37,7 @@ from repro.core import (
 from repro.engine import EngineConfig
 from repro.enum import EnumerationError, TableSizeError, infer_discrete
 from repro.infer.results import FitResult, Posterior
+from repro.obs import ObsConfig, Telemetry, TraceLog
 
 __version__ = "0.1.0"
 
@@ -49,6 +50,9 @@ __all__ = [
     "CompiledModel",
     "ConditionedModel",
     "EngineConfig",
+    "ObsConfig",
+    "Telemetry",
+    "TraceLog",
     "Posterior",
     "FitResult",
     "CompileError",

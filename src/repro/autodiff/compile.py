@@ -668,7 +668,8 @@ class _Lowering:
         raise TapeCompilationError(f"unsupported op {op!r}")
 
 
-def compile_tape(fn: Callable[[Tensor], Tensor], z0: np.ndarray) -> CompiledTape:
+def compile_tape(fn: Callable[[Tensor], Tensor], z0: np.ndarray,
+                 telemetry=None) -> CompiledTape:
     """Lower one traced evaluation of ``fn`` at ``z0`` to generated code.
 
     ``fn`` maps an input :class:`Tensor` to an output tensor whose reverse
@@ -676,9 +677,29 @@ def compile_tape(fn: Callable[[Tensor], Tensor], z0: np.ndarray) -> CompiledTape
     batch).  Returns a :class:`CompiledTape` whose ``value_and_grad`` /
     ``value`` replay the recorded computation with no per-op dispatch.
     Raises :class:`TapeCompilationError` for graphs that cannot be lowered.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, or ``None``) receives
+    ``tape.trace`` and ``tape.lower`` sub-spans with graph-size attributes.
     """
+    from repro.obs import as_telemetry
+
+    telemetry = as_telemetry(telemetry)
     z0 = np.asarray(z0, dtype=float)
-    out, root, recorded = trace(fn, z0)
+    with telemetry.span("tape.trace", input_shape=list(z0.shape)) as span:
+        out, root, recorded = trace(fn, z0)
+        span.set(recorded_nodes=len(recorded))
+    with telemetry.span("tape.lower") as span:
+        result = _lower_traced(out, root, recorded, z0)
+        span.set(dynamic_nodes=result.stats.dynamic,
+                 folded_nodes=result.stats.folded,
+                 fused=result.stats.fused,
+                 forward_lines=result.stats.forward_lines,
+                 backward_lines=result.stats.backward_lines)
+    return result
+
+
+def _lower_traced(out, root, recorded, z0: np.ndarray) -> CompiledTape:
+    """Lowering + codegen for an already-traced graph (see :func:`compile_tape`)."""
     low = _Lowering(out, root, recorded)
     dynamic_sched = [node for node in reversed(low.order)
                      if id(node) in low.dynamic and node is not root]

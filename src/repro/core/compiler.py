@@ -44,6 +44,7 @@ from repro.gprob import ir
 from repro.guides import AutoGuide
 from repro.infer import HMC, MCMC, NUTS, VI, ExplicitVI, ImportanceSampling, Potential
 from repro.infer.results import FitResult, Posterior
+from repro.obs import NULL_TELEMETRY, as_telemetry
 from repro.ppl import handlers
 
 SCHEMES = ("generative", "comprehensive", "mixed")
@@ -74,6 +75,10 @@ class CompiledModel:
     #: ``enumerate_mode`` / ``max_enum_table_size`` above are kept as
     #: backwards-compatible mirrors of the corresponding config fields.
     engine_config: Optional[EngineConfig] = None
+    #: the telemetry session (see :mod:`repro.obs`) threaded through every
+    #: derived potential and fit; the shared null sink unless the model was
+    #: compiled with ``obs=``.
+    telemetry: Any = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # structural accessors
@@ -166,7 +171,8 @@ class CompiledModel:
         """
         return Potential(self.model_callable(data), rng_seed=rng_seed,
                          fast=(self.backend == "numpyro"),
-                         engine=self.resolved_engine(engine))
+                         engine=self.resolved_engine(engine),
+                         obs=self.telemetry)
 
     def log_joint(self, data: Dict[str, Any], params: Dict[str, Any]) -> float:
         """Log joint density of ``params`` and ``data`` under the compiled model.
@@ -414,7 +420,9 @@ class ConditionedModel:
                   init_params: Optional[np.ndarray] = None,
                   checkpoint_every: Optional[int] = None,
                   checkpoint_path: Optional[str] = None,
-                  checkpoint_keep: bool = False) -> MCMC:
+                  checkpoint_keep: bool = False,
+                  progress: bool = False,
+                  on_iteration: Optional[Callable] = None) -> MCMC:
         config = self.compiled.resolved_engine(engine)
         if chain_method is None:
             chain_method = config.chain_method
@@ -424,7 +432,8 @@ class ConditionedModel:
                                    engine=config)
         mcmc = MCMC(kernel, num_warmup=num_warmup, num_samples=num_samples,
                     num_chains=num_chains, thinning=thinning, seed=seed,
-                    chain_method=chain_method)
+                    chain_method=chain_method, progress=progress,
+                    telemetry=self.compiled.telemetry, on_iteration=on_iteration)
         mcmc.metadata.update(self._metadata(method, seed, config))
         potential = self.potential(seed, engine=config)
         before = dict(potential.eval_counters)
@@ -497,10 +506,15 @@ class ConditionedModel:
                     num_particles=num_particles, seed=seed, **guide_kwargs)
         driver.metadata.update(self._metadata("vi", seed, config))
         before = dict(potential.eval_counters)
-        result = driver.run(num_steps, checkpoint_every=checkpoint_every,
-                            checkpoint_path=checkpoint_path,
-                            checkpoint_keep=checkpoint_keep)
+        telemetry = self.compiled.telemetry
+        with telemetry.span("vi.run", guide=str(guide), num_steps=num_steps,
+                            seed=seed):
+            result = driver.run(num_steps, checkpoint_every=checkpoint_every,
+                                checkpoint_path=checkpoint_path,
+                                checkpoint_keep=checkpoint_keep)
         self._stamp_eval_counters(driver, potential, before)
+        if telemetry.enabled:
+            driver.metadata["telemetry"] = telemetry.digest()
         return result
 
     def _fit_importance(self, num_samples: int = 1000, seed: int = 0) -> ImportanceSampling:
@@ -685,9 +699,19 @@ class ConditionedModel:
 # ----------------------------------------------------------------------
 # compilation entry points
 # ----------------------------------------------------------------------
+#: the telemetry session of the in-flight :func:`compile_model` call.  The
+#: compilation cache key must stay ``(source, scheme, backend, name, enum)``
+#: — a telemetry argument would defeat the memoisation — so the frontend
+#: spans reach :func:`_compile_cached` through this module global instead
+#: (set around the call, restored in a ``finally``).  Cache hits simply emit
+#: no frontend spans: no parse or codegen ran.
+_ACTIVE_TELEMETRY = NULL_TELEMETRY
+
+
 def _build_program(program: ast.Program, backend: str, scheme: str, name: str,
                    allow_enumeration: bool = False):
     """Check + scheme-compile + codegen; returns (model_ir, guide_ir, source, code)."""
+    telemetry = _ACTIVE_TELEMETRY
     check_program(program, allow_int_parameters=allow_enumeration)
     if scheme == "generative":
         model_ir = schemes.compile_generative(program)
@@ -698,9 +722,12 @@ def _build_program(program: ast.Program, backend: str, scheme: str, name: str,
     guide_ir = None
     if not program.guide.is_empty:
         guide_ir = schemes.compile_guide(program)
-    source = codegen.generate_module(program, model_ir, backend=backend,
-                                     guide_ir=guide_ir, scheme=scheme)
-    code = compile(source, filename=f"<{name}.{backend}.{scheme}>", mode="exec")
+    with telemetry.span("frontend.codegen", backend=backend, scheme=scheme) as span:
+        source = codegen.generate_module(program, model_ir, backend=backend,
+                                         guide_ir=guide_ir, scheme=scheme)
+        code = compile(source, filename=f"<{name}.{backend}.{scheme}>", mode="exec")
+        span.set(generated_lines=source.count("\n") + 1,
+                 has_guide=guide_ir is not None)
     return model_ir, guide_ir, source, code
 
 
@@ -721,7 +748,9 @@ def _compile_cached(source: str, backend: str, scheme: str, name: str,
     ``compile_model(source).condition(data).fit(...)`` calls skip the parser
     and code generator entirely.
     """
-    program = parse_program(source, name=name)
+    with _ACTIVE_TELEMETRY.span("frontend.parse", model=name) as span:
+        program = parse_program(source, name=name)
+        span.set(source_lines=source.count("\n") + 1)
     model_ir, guide_ir, gen_source, code = _build_program(
         program, backend, scheme, name, allow_enumeration=allow_enumeration)
     return program, model_ir, guide_ir, gen_source, code
@@ -740,12 +769,21 @@ def clear_compile_cache() -> None:
 def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "comprehensive",
                   name: str = "model", enumerate: Optional[str] = None,
                   max_enum_table_size: Optional[int] = None,
-                  engine: Union[None, str, EngineConfig] = None) -> CompiledModel:
+                  engine: Union[None, str, EngineConfig] = None,
+                  obs: Any = None) -> CompiledModel:
     """Compile Stan source (or a parsed program) to a :class:`CompiledModel`.
 
     String sources are memoised: the parse/check/codegen products are cached
     on ``(source, scheme, backend, name, enumerate)`` (LRU, 128 entries), so
     repeated service-style calls only pay a fresh module execution.
+
+    ``obs`` enables the telemetry subsystem (see :mod:`repro.obs`): pass
+    ``True``, an :class:`~repro.obs.ObsConfig`, or an existing
+    :class:`~repro.obs.Telemetry` session.  The session is threaded through
+    every derived potential and fit — compile-cache hits/misses, frontend
+    parse/codegen, tape compilation, enumeration analysis and the sampler
+    all record into the same trace — and is off (a shared null sink with
+    no recording and no overhead) by default.
 
     ``engine`` configures evaluation wholesale — pass an engine name
     (``"compiled"``/``"interpreted"``) or a full
@@ -791,23 +829,38 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
             "mapped onto the engine config")
     config = EngineConfig.coerce(engine, enumerate=enumerate,
                                  max_enum_table_size=max_enum_table_size)
+    telemetry = as_telemetry(obs)
     allow_enum = config.enumerate is not None
+    global _ACTIVE_TELEMETRY
     start = time.perf_counter()
-    if isinstance(source_or_program, ast.Program):
-        program = source_or_program
-        model_ir, guide_ir, source, code = _build_program(
-            program, backend, scheme, name, allow_enumeration=allow_enum)
-    else:
-        program, model_ir, guide_ir, source, code = _compile_cached(
-            str(source_or_program), backend, scheme, str(name), allow_enum)
-    namespace: Dict[str, Any] = {}
-    exec(code, namespace)  # noqa: S102 - executing our own generated code
+    with telemetry.span("compiler.compile", backend=backend, scheme=scheme,
+                        model=str(name)) as span:
+        prev, _ACTIVE_TELEMETRY = _ACTIVE_TELEMETRY, telemetry
+        try:
+            if isinstance(source_or_program, ast.Program):
+                program = source_or_program
+                model_ir, guide_ir, source, code = _build_program(
+                    program, backend, scheme, name, allow_enumeration=allow_enum)
+                span.set(cache="bypass")  # pre-parsed programs are not memoised
+            else:
+                hits_before = _compile_cached.cache_info().hits
+                program, model_ir, guide_ir, source, code = _compile_cached(
+                    str(source_or_program), backend, scheme, str(name), allow_enum)
+                outcome = ("hit" if _compile_cached.cache_info().hits > hits_before
+                           else "miss")
+                span.set(cache=outcome)
+                if telemetry.enabled:
+                    telemetry.event("compile.cache", outcome=outcome, name=str(name))
+        finally:
+            _ACTIVE_TELEMETRY = prev
+        namespace: Dict[str, Any] = {}
+        exec(code, namespace)  # noqa: S102 - executing our own generated code
     elapsed = time.perf_counter() - start
     return CompiledModel(program=program, scheme=scheme, backend=backend, source=source,
                          namespace=namespace, model_ir=model_ir, guide_ir=guide_ir,
                          compile_time_seconds=elapsed, enumerate_mode=config.enumerate,
                          max_enum_table_size=config.max_enum_table_size,
-                         engine_config=config)
+                         engine_config=config, telemetry=telemetry)
 
 
 def compile_file(path: str, **kwargs) -> CompiledModel:

@@ -497,7 +497,8 @@ def analyze_factorization(model: Callable, plan: EnumerationPlan,
                           observed: Optional[Dict[str, Any]] = None,
                           constrained: Optional[Mapping[str, Any]] = None,
                           rng_seed: int = 0,
-                          max_batch_rows: Optional[int] = None) -> FactorizationPlan:
+                          max_batch_rows: Optional[int] = None,
+                          telemetry=None) -> FactorizationPlan:
     """Partition a model's discrete elements into conditionally-independent blocks.
 
     Runs the model once with per-element leaf tensors substituted at every
@@ -505,7 +506,37 @@ def analyze_factorization(model: Callable, plan: EnumerationPlan,
     autodiff graph back to the leaves (see module docstring).  Raises
     :class:`FactorizationError` when the structure does not factorize —
     callers fall back to the joint assignment table.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, or ``None``) receives an
+    ``enum.analyze`` span recording the outcome: the number of chain blocks
+    and independent elements on success, or the classified failure (the span
+    carries ``error=FactorizationError``; the caller records the fallback
+    reason in its own ``enum.demote`` event).
     """
+    from repro.obs import as_telemetry
+
+    with as_telemetry(telemetry).span(
+            "enum.analyze", sites=len(plan.sites),
+            table_size=plan.table_size) as span:
+        result = _analyze_factorization_impl(
+            model, plan, model_args=model_args, model_kwargs=model_kwargs,
+            observed=observed, constrained=constrained, rng_seed=rng_seed,
+            max_batch_rows=max_batch_rows)
+        span.set(strategy="factorized",
+                 chain_blocks=len(result.chains),
+                 independent_sites=sum(
+                     1 for elems in result.independent.values() if elems))
+        return result
+
+
+def _analyze_factorization_impl(model: Callable, plan: EnumerationPlan,
+                                model_args: Tuple = (),
+                                model_kwargs: Optional[Dict] = None,
+                                observed: Optional[Dict[str, Any]] = None,
+                                constrained: Optional[Mapping[str, Any]] = None,
+                                rng_seed: int = 0,
+                                max_batch_rows: Optional[int] = None
+                                ) -> FactorizationPlan:
     from repro.ppl.primitives import FastLogDensityContext
 
     leaves: Dict[str, List[Tensor]] = {}

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.infer.checkpoint import restore_rng, rng_state
 from repro.infer.potential import Potential
+from repro.obs import as_telemetry
 
 
 @dataclass
@@ -258,6 +259,10 @@ class HMC:
         self._dual_avg = DualAveraging(target_accept=target_accept)
         self._welford = WelfordVariance(potential.dim)
         self.divergences = 0
+        # Set by the MCMC driver when the divergence flight recorder is on;
+        # transitions then attach a forensic "divergence_info" payload to
+        # their info dict.  Copies only — never the RNG or float path.
+        self.record_divergences = False
 
     # ------------------------------------------------------------------
     # numerics
@@ -361,13 +366,22 @@ class HMC:
             self.divergences += 1
         accepted = rng.uniform() < accept_prob and not divergent
         z_out = z_new if accepted else z
-        return z_out, {
+        info = {
             "accept_prob": accept_prob,
             "accepted": accepted,
+            "num_steps": self.num_steps,
             "divergent": divergent,
             "potential_energy": u_new if accepted else u0,
             "_next_eval": (u_new, grad) if accepted else (u0, grad0),
         }
+        if divergent and self.record_divergences:
+            info["divergence_info"] = {
+                "points": [(z_new.copy(), energy_change)],
+                "start": z.copy(),
+                "endpoints": (z.copy(), z_new.copy()),
+                "energy0": h0,
+            }
+        return z_out, info
 
     # ------------------------------------------------------------------
     # sampling protocol shared with NUTS
@@ -491,11 +505,12 @@ class VectorizedChains:
     full even when tree depths diverge across chains.
     """
 
-    def __init__(self, kernel: HMC, num_chains: int):
+    def __init__(self, kernel: HMC, num_chains: int, telemetry=None):
         self.kernel = kernel
         self.num_chains = int(num_chains)
         self.chains: List[_ChainState] = []
         self._on_result = None
+        self.telemetry = as_telemetry(telemetry)
 
     def run(self, positions: Optional[np.ndarray], rngs: Optional[List[np.random.Generator]],
             num_warmup: int, total_iters: int, on_result=None,
@@ -590,6 +605,11 @@ class VectorizedChains:
                     requesters.append(state)
             if not requesters:
                 break
+            if self.telemetry.enabled:
+                # Batched-eval utilization: how many of the chain slots asked
+                # for work this round (chains finishing a NUTS trajectory
+                # early stop requesting, draining the batch).
+                self.telemetry.record_batch(len(requests), self.num_chains)
             values, grads = kernel.potential.potential_and_grad_batched(np.stack(requests))
             for i, state in enumerate(requesters):
                 state.response = (values[i], grads[i])

@@ -33,6 +33,7 @@ picklable); ``resume`` takes the rebuilt kernel.
 
 from __future__ import annotations
 
+import sys
 import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional
@@ -58,6 +59,7 @@ from repro.infer.hmc import (
 )
 from repro.infer.potential import Potential
 from repro.infer.results import Posterior
+from repro.obs import as_telemetry
 
 CHAIN_METHODS = ("sequential", "vectorized")
 
@@ -72,7 +74,8 @@ class _ChainCollector:
     between them, and non-retained iterations cost no memory.
     """
 
-    STAT_KEYS = ("accept_prob", "step_size", "divergent")
+    STAT_KEYS = ("accept_prob", "step_size", "divergent", "tree_depth",
+                 "num_steps", "potential_energy")
 
     def __init__(self, num_warmup: int, thinning: int):
         self.num_warmup = num_warmup
@@ -84,9 +87,15 @@ class _ChainCollector:
         if iteration < self.num_warmup or (iteration - self.num_warmup) % self.thinning != 0:
             return
         self.draws.append(z.copy())
-        self.stats["accept_prob"].append(info.get("accept_prob", np.nan))
-        self.stats["step_size"].append(info.get("step_size", np.nan))
-        self.stats["divergent"].append(float(info.get("divergent", False)))
+        stats = self.stats
+        stats["accept_prob"].append(info.get("accept_prob", np.nan))
+        stats["step_size"].append(info.get("step_size", np.nan))
+        stats["divergent"].append(float(info.get("divergent", False)))
+        # Kernel-specific fields: NUTS reports tree_depth, HMC does not;
+        # NaN marks "not produced by this kernel".
+        stats["tree_depth"].append(float(info.get("tree_depth", np.nan)))
+        stats["num_steps"].append(float(info.get("num_steps", np.nan)))
+        stats["potential_energy"].append(float(info.get("potential_energy", np.nan)))
 
     def arrays(self):
         return np.array(self.draws), {k: np.array(v) for k, v in self.stats.items()}
@@ -98,7 +107,60 @@ class _ChainCollector:
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         self.draws = [np.array(d) for d in state["draws"]]
-        self.stats = {k: list(v) for k, v in state["stats"].items()}
+        stats = {k: list(v) for k, v in state["stats"].items()}
+        # Checkpoints written before a stat key existed lack its column;
+        # backfill with NaN so resumed runs keep a rectangular stats table.
+        for key in self.STAT_KEYS:
+            stats.setdefault(key, [float("nan")] * len(self.draws))
+        self.stats = stats
+
+
+class _ProgressMeter:
+    """Live progress line over the unified iteration stream.
+
+    Both chain methods feed :meth:`MCMC._emit`, which drives this meter —
+    there is a single progress code path.  The line shows completed
+    iterations, the running divergence count and the potential's current
+    evaluation tier; rendering is time-throttled and goes to ``stderr``,
+    so it never perturbs draws or stdout-consuming callers.
+    """
+
+    def __init__(self, total_iters: int, num_chains: int,
+                 stream=None, min_interval: float = 0.1):
+        self.total = int(total_iters) * int(num_chains)
+        self.num_chains = int(num_chains)
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self.done = 0
+        self.divergences = 0
+        self.potential: Optional[Potential] = None
+        self._last_render = 0.0
+        self._rendered = False
+
+    def update(self, chain: int, iteration: int, info: dict) -> None:
+        self.done += 1
+        if info.get("divergent"):
+            self.divergences += 1
+        now = time.monotonic()
+        if self.done < self.total and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        tier = ""
+        if self.potential is not None:
+            eval_tier = getattr(self.potential, "eval_tier", None)
+            if eval_tier is not None:
+                tier = f" | tier {eval_tier(self.num_chains)}"
+        self.stream.write(
+            f"\r[mcmc] {self.done}/{self.total} iterations "
+            f"({self.num_chains} chain{'s' if self.num_chains != 1 else ''})"
+            f" | divergences {self.divergences}{tier}")
+        self.stream.flush()
+        self._rendered = True
+
+    def close(self) -> None:
+        if self._rendered:
+            self.stream.write("\n")
+            self.stream.flush()
 
 
 class _Checkpointer:
@@ -158,7 +220,8 @@ class MCMC:
 
     def __init__(self, kernel, num_warmup: int = 500, num_samples: int = 500,
                  num_chains: int = 1, thinning: int = 1, seed: int = 0,
-                 progress: bool = False, chain_method: str = "sequential"):
+                 progress: bool = False, chain_method: str = "sequential",
+                 telemetry=None, on_iteration: Optional[Callable] = None):
         self._kernel_factory = kernel if callable(kernel) and not isinstance(kernel, HMC) else None
         self._kernel_instance = kernel if isinstance(kernel, HMC) else None
         self.num_warmup = int(num_warmup)
@@ -167,6 +230,14 @@ class MCMC:
         self.thinning = max(int(thinning), 1)
         self.seed = seed
         self.progress = progress
+        #: telemetry session (or the null sink); accepts anything
+        #: :func:`repro.obs.as_telemetry` does — a Telemetry, ObsConfig,
+        #: bool or dict.
+        self.telemetry = as_telemetry(telemetry)
+        #: optional user sink ``on_iteration(chain, iteration, z, info)``
+        #: called for every transition of every chain (warmup included),
+        #: under both chain methods.
+        self.on_iteration = on_iteration
         if chain_method not in CHAIN_METHODS:
             raise ValueError(
                 f"unknown chain_method {chain_method!r}; expected one of {CHAIN_METHODS}")
@@ -182,6 +253,7 @@ class MCMC:
         self._kernel_config: Optional[Dict[str, Any]] = None
         self._posterior_cache: Optional[Posterior] = None
         self.last_checkpoint_path: Optional[str] = None
+        self._progress: Optional[_ProgressMeter] = None
 
     def _get_kernel(self) -> HMC:
         if self._kernel_instance is not None:
@@ -286,10 +358,24 @@ class MCMC:
                                  if resume else 0)
         rngs = self._chain_rngs()
         resume_chains = resume["chains"] if resume else None
-        if self.chain_method == "vectorized" and self.num_chains > 1:
-            self._run_vectorized(rngs, init_params, resume_chains, ckpt)
-        else:
-            self._run_sequential(rngs, init_params, resume_chains, ckpt)
+        total_iters = self.num_warmup + self.num_samples * self.thinning
+        self._progress = _ProgressMeter(total_iters, self.num_chains) \
+            if self.progress else None
+        with self.telemetry.span(
+                "sampler.run", chain_method=self.chain_method,
+                num_chains=self.num_chains, num_warmup=self.num_warmup,
+                num_samples=self.num_samples, thinning=self.thinning,
+                seed=self.seed, resumed=resume is not None) as span:
+            try:
+                if self.chain_method == "vectorized" and self.num_chains > 1:
+                    self._run_vectorized(rngs, init_params, resume_chains, ckpt)
+                else:
+                    self._run_sequential(rngs, init_params, resume_chains, ckpt)
+            finally:
+                if self._progress is not None:
+                    self._progress.close()
+                    self._progress = None
+            span.set(method=self._kernel_name or "mcmc")
         if ckpt is not None and ckpt.writer.last_path is not None:
             self.last_checkpoint_path = ckpt.writer.last_path
         self.runtime_seconds = base_runtime + (time.perf_counter() - start)
@@ -297,6 +383,28 @@ class MCMC:
 
     def _new_collector(self) -> "_ChainCollector":
         return _ChainCollector(self.num_warmup, self.thinning)
+
+    def _emit(self, collector: "_ChainCollector", chain: int, iteration: int,
+              z: np.ndarray, info: dict) -> None:
+        """The single per-transition sink shared by both chain methods.
+
+        Routes each completed transition to the draw collector, the
+        telemetry iteration stream, the divergence flight recorder, the
+        progress meter and the user ``on_iteration`` hook.  Read-only with
+        respect to the sampler: nothing here touches RNGs or positions.
+        """
+        divergence_info = info.pop("divergence_info", None)
+        collector.add(iteration, z, info)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            warmup = iteration < self.num_warmup
+            telemetry.record_iteration(chain, iteration, warmup, info)
+            if divergence_info is not None:
+                telemetry.record_divergence(chain, iteration, warmup, divergence_info)
+        if self._progress is not None:
+            self._progress.update(chain, iteration, info)
+        if self.on_iteration is not None:
+            self.on_iteration(chain, iteration, z, info)
 
     def _store_chain(self, potential: Potential, collector: "_ChainCollector") -> None:
         draws, stats = collector.arrays()
@@ -320,6 +428,9 @@ class MCMC:
                 # checkpoints record the *configured* options.
                 self._kernel_config = kernel_config(kernel)
             potential = kernel.potential
+            kernel.record_divergences = self.telemetry.wants_divergences
+            if self._progress is not None:
+                self._progress.potential = potential
             collector = self._new_collector()
             collectors.append(collector)
             if snap is not None and snap["status"] == "done":
@@ -340,7 +451,7 @@ class MCMC:
                 start_iter = 0
             for i in range(start_iter, total_iters):
                 z, info = kernel.sample(z, rng)
-                collector.add(i, z, info)
+                self._emit(collector, chain, i, z, info)
                 if ckpt is not None and (i + 1) % ckpt.every == 0 and (i + 1) < total_iters:
                     ckpt.write(self._sequential_payload(collectors, chain, z, rng, kernel))
             self._store_chain(potential, collector)
@@ -375,6 +486,9 @@ class MCMC:
         self._kernel_name = type(kernel).__name__.lower()
         self._kernel_config = kernel_config(kernel)
         potential = kernel.potential
+        kernel.record_divergences = self.telemetry.wants_divergences
+        if self._progress is not None:
+            self._progress.potential = potential
         total_iters = self.num_warmup + self.num_samples * self.thinning
         collectors = [self._new_collector() for _ in range(self.num_chains)]
         positions = None
@@ -390,7 +504,8 @@ class MCMC:
                 self._initial_position(potential, rngs[c], init_params)
                 for c in range(self.num_chains)
             ])
-        driver = VectorizedChains(kernel, self.num_chains)
+        driver = VectorizedChains(kernel, self.num_chains,
+                                  telemetry=self.telemetry)
         on_barrier = None
         if ckpt is not None:
             def on_barrier(chains, iteration):
@@ -402,7 +517,8 @@ class MCMC:
                     for state in chains
                 ])
         driver.run(positions, rngs, self.num_warmup, total_iters,
-                   on_result=lambda chain, i, z, info: collectors[chain].add(i, z, info),
+                   on_result=lambda chain, i, z, info:
+                   self._emit(collectors[chain], chain, i, z, info),
                    barrier_every=ckpt.every if ckpt is not None else None,
                    on_barrier=on_barrier, resume_states=resume_states)
         for collector in collectors:
@@ -449,6 +565,14 @@ class MCMC:
                 "chain_method": self.chain_method,
                 "runtime_seconds": self.runtime_seconds,
             }
+            if self._kernel_config:
+                # Draw-determining kernel options (max_tree_depth feeds the
+                # max-tree-depth-hit diagnostic downstream).
+                metadata["kernel"] = dict(self._kernel_config)
+            if self.telemetry.enabled:
+                metadata["telemetry"] = self.telemetry.digest()
+                if self.telemetry.wants_divergences:
+                    metadata["divergence_records"] = self.telemetry.flight.to_jsonable()
             metadata.update(self.metadata)
             self._posterior_cache = Posterior(draws, stats=stats,
                                               unconstrained=unconstrained,

@@ -84,7 +84,7 @@ class NUTS(HMC):
         )
 
     def _tree_gen(self, z, r, grad, log_slice, direction, depth, h0, rng,
-                  step_size, inv_mass):
+                  step_size, inv_mass, div_log=None):
         """Recursive doubling as a generator; yields evaluation points."""
         if depth == 0:
             step = direction * step_size
@@ -105,6 +105,8 @@ class NUTS(HMC):
                 accept = math.exp(h0 - h_new)
             if diverging:
                 self.divergences += 1
+                if div_log is not None:
+                    div_log.append((z_new.copy(), h_new - h0))
             return _TreeState(
                 z_minus=z_new, r_minus=r_new, grad_minus=grad_new,
                 z_plus=z_new, r_plus=r_new, grad_plus=grad_new,
@@ -115,19 +117,20 @@ class NUTS(HMC):
             )
         # Recursively build left and right subtrees.
         first = yield from self._tree_gen(z, r, grad, log_slice, direction,
-                                          depth - 1, h0, rng, step_size, inv_mass)
+                                          depth - 1, h0, rng, step_size, inv_mass,
+                                          div_log)
         if not first.keep_going:
             return first
         if direction == 1:
             second = yield from self._tree_gen(first.z_plus, first.r_plus, first.grad_plus,
                                                log_slice, direction, depth - 1, h0, rng,
-                                               step_size, inv_mass)
+                                               step_size, inv_mass, div_log)
             z_minus, r_minus, grad_minus = first.z_minus, first.r_minus, first.grad_minus
             z_plus, r_plus, grad_plus = second.z_plus, second.r_plus, second.grad_plus
         else:
             second = yield from self._tree_gen(first.z_minus, first.r_minus, first.grad_minus,
                                                log_slice, direction, depth - 1, h0, rng,
-                                               step_size, inv_mass)
+                                               step_size, inv_mass, div_log)
             z_minus, r_minus, grad_minus = second.z_minus, second.r_minus, second.grad_minus
             z_plus, r_plus, grad_plus = first.z_plus, first.r_plus, first.grad_plus
         total_valid = first.n_valid + second.n_valid
@@ -178,15 +181,21 @@ class NUTS(HMC):
         n_divergent = 0
         depth = 0
         keep_going = True
+        # Forensic capture of divergent leaves (positions + energy changes)
+        # for the flight recorder; local to this transition so interleaved
+        # vectorized chains sharing the kernel cannot mix records.
+        div_log = [] if self.record_divergences else None
         while keep_going and depth < self.max_tree_depth:
             direction = 1 if rng.uniform() < 0.5 else -1
             if direction == 1:
                 tree = yield from self._tree_gen(z_plus, r_plus, grad_plus, log_slice,
-                                                 1, depth, h0, rng, step_size, inv_mass)
+                                                 1, depth, h0, rng, step_size, inv_mass,
+                                                 div_log)
                 z_plus, r_plus, grad_plus = tree.z_plus, tree.r_plus, tree.grad_plus
             else:
                 tree = yield from self._tree_gen(z_minus, r_minus, grad_minus, log_slice,
-                                                 -1, depth, h0, rng, step_size, inv_mass)
+                                                 -1, depth, h0, rng, step_size, inv_mass,
+                                                 div_log)
                 z_minus, r_minus, grad_minus = tree.z_minus, tree.r_minus, tree.grad_minus
             if tree.keep_going and tree.n_valid > 0:
                 if rng.uniform() < tree.n_valid / max(n_valid, 1):
@@ -202,11 +211,21 @@ class NUTS(HMC):
             depth += 1
 
         accept_prob = sum_accept / max(n_states, 1)
-        return z_proposal, {
+        info = {
             "accept_prob": accept_prob,
             "accepted": not np.allclose(z_proposal, z),
             "tree_depth": depth,
+            "num_steps": n_states,
             "divergent": n_divergent > 0,
             "potential_energy": u_proposal,
             "_next_eval": (u_proposal, grad_proposal),
         }
+        if div_log:
+            info["divergence_info"] = {
+                "points": div_log,
+                "start": z.copy(),
+                "endpoints": (z_minus.copy(), z_plus.copy()),
+                "energy0": h0,
+                "tree_depth": depth,
+            }
+        return z_proposal, info

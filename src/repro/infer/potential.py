@@ -85,7 +85,9 @@ from repro.autodiff import ops
 from repro.autodiff.compile import compile_tape
 from repro.autodiff.functional import value_and_grad
 from repro.autodiff.tensor import Tensor, as_tensor, no_grad
+from repro.deprecation import warn_once
 from repro.engine import EngineConfig
+from repro.obs import MetricsRegistry, as_telemetry
 from repro.ppl import handlers
 from repro.ppl.distributions.base import param_value
 from repro.ppl.transforms import Transform, biject_to
@@ -158,7 +160,8 @@ class Potential:
                  observed: Optional[Dict[str, Any]] = None, rng_seed: int = 0,
                  fast: bool = False, enumerate: Optional[str] = None,
                  max_table_size: Optional[int] = None,
-                 engine: Union[None, str, "EngineConfig"] = None):
+                 engine: Union[None, str, "EngineConfig"] = None,
+                 obs: Any = None):
         if enumerate not in ENUMERATE_MODES:
             raise ValueError(
                 f"unknown enumerate mode {enumerate!r}; expected one of {ENUMERATE_MODES}")
@@ -194,9 +197,17 @@ class Potential:
         #: why the factorized strategy does / does not apply (human-readable;
         #: threaded into TableSizeError so the failure is actionable).
         self.factorization_note: Optional[str] = None
+        #: telemetry session (the shared null sink unless ``obs=`` was
+        #: given) and the unified engine metrics registry — the successor
+        #: of the ad-hoc ``eval_counters`` dict.
+        self.telemetry = as_telemetry(obs)
+        self.metrics = self.telemetry.attach_registry("potential", MetricsRegistry())
         self.sites: "OrderedDict[str, SiteInfo]" = OrderedDict()
         self._initial_values: Dict[str, np.ndarray] = {}
-        self._discover_sites()
+        with self.telemetry.span("potential.discover") as span:
+            self._discover_sites()
+            span.set(sites=len(self.sites),
+                     enumerated=self.enum_plan is not None)
         self._vg = value_and_grad(self._neg_log_joint_tensor)
         # Batched-evaluation mode per chain count: "fast" once validated
         # against the sequential oracle, "loop" if the model does not batch.
@@ -207,11 +218,6 @@ class Potential:
         # relative to its interpreted oracle.  Cleared whenever the graph
         # structure changes (enumeration-strategy demotion).
         self._tapes: Dict[Tuple, Dict[str, Any]] = {}
-        #: cheap observability: evaluation counts and total wall-clock spent
-        #: inside the public density entry points (stamped into fit metadata).
-        self.eval_counters: Dict[str, float] = {
-            "grad_evals": 0, "value_evals": 0, "compiled_evals": 0,
-            "tape_seconds": 0.0}
 
     # ------------------------------------------------------------------
     # site discovery and packing
@@ -511,6 +517,10 @@ class Potential:
         self._marginal_mode = "joint"
         # Any compiled program recorded the old (factorized) graph structure.
         self._tapes.clear()
+        # Record the demotion before the capacity check below, which may
+        # raise TableSizeError when the joint table does not fit either.
+        self.telemetry.event("enum.demote", reason=str(reason))
+        self.metrics.set_info("enum.strategy", "joint")
         self.enum_plan.ensure_table_capacity(note)
 
     def _resolve_factorization(self, constrained: "OrderedDict[str, Tensor]") -> None:
@@ -552,12 +562,14 @@ class Potential:
             self.factorization = analyze_factorization(
                 self.model, self.enum_plan, model_args=self.model_args,
                 model_kwargs=self.model_kwargs, observed=self.observed,
-                constrained=dict(constrained), rng_seed=self.rng_seed)
+                constrained=dict(constrained), rng_seed=self.rng_seed,
+                telemetry=self.telemetry)
         except FactorizationError as exc:
             self._demote_factorized(exc)
             return
         self._marginal_mode = "factorized"
         self.factorization_note = self.factorization.describe()
+        self.metrics.set_info("enum.strategy", "factorized")
 
     def _enum_marginal(self, constrained: "OrderedDict[str, Tensor]") -> Tensor:
         """Marginal log joint over the discrete latents (scalar tensor)."""
@@ -716,7 +728,7 @@ class Potential:
         """Potential energy (negative log joint) at ``z``."""
         z = np.asarray(z, dtype=float)
         self._ensure_enum_strategy(z)
-        self.eval_counters["value_evals"] += 1
+        self.metrics.inc("value_evals")
         start = time.perf_counter()
         try:
             if self.engine_config.engine == "compiled":
@@ -726,18 +738,18 @@ class Potential:
                 return float(self._single_vg(z)[0])
             return self._vg(z)[0]
         finally:
-            self.eval_counters["tape_seconds"] += time.perf_counter() - start
+            self.metrics.inc("tape_seconds", time.perf_counter() - start)
 
     def potential_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
         """Potential energy and its gradient at ``z``."""
         z = np.asarray(z, dtype=float)
         self._ensure_enum_strategy(z)
-        self.eval_counters["grad_evals"] += 1
+        self.metrics.inc("grad_evals")
         start = time.perf_counter()
         try:
             return self._single_vg(z)
         finally:
-            self.eval_counters["tape_seconds"] += time.perf_counter() - start
+            self.metrics.inc("tape_seconds", time.perf_counter() - start)
 
     def log_prob(self, z: np.ndarray) -> float:
         """Log joint density (the negation of the potential)."""
@@ -795,10 +807,10 @@ class Potential:
         if mode == "fast":
             try:
                 value, grad = tape.value_and_grad(z)
-                self.eval_counters["compiled_evals"] += 1
+                self.metrics.inc("compiled_evals")
                 return value, grad
-            except Exception:  # noqa: BLE001
-                state["mode"] = "off"
+            except Exception as exc:  # noqa: BLE001
+                self._demote_tape(key, state, reason=exc)
                 return oracle(z)
         if mode in ("off", "value_fast"):
             return oracle(z)
@@ -809,32 +821,55 @@ class Potential:
         # (a fresh run and a checkpoint-resumed run must classify alike).
         cfg = self.engine_config
         values_ok = grads_bitwise = grads_tol = True
-        try:
-            tape = compile_tape(fn, self._canonical_probe(z.shape))
-            for salt in range(self.VALIDATION_PROBES):
-                probe = self._canonical_probe(z.shape, salt)
-                value_p, grad_p = oracle(probe)
-                value_c, grad_c = tape.value_and_grad(probe)
-                values_ok &= np.array_equal(np.asarray(value_c),
-                                            np.asarray(value_p),
-                                            equal_nan=True)
-                grads_bitwise &= np.array_equal(grad_c, np.asarray(grad_p),
+        compile_error: Optional[str] = None
+        with self.telemetry.span("tape.compile", key=self._tape_label(key)) as span:
+            try:
+                tape = compile_tape(fn, self._canonical_probe(z.shape),
+                                    telemetry=self.telemetry)
+                for salt in range(self.VALIDATION_PROBES):
+                    probe = self._canonical_probe(z.shape, salt)
+                    value_p, grad_p = oracle(probe)
+                    value_c, grad_c = tape.value_and_grad(probe)
+                    values_ok &= np.array_equal(np.asarray(value_c),
+                                                np.asarray(value_p),
                                                 equal_nan=True)
-                grads_tol &= np.allclose(grad_c, np.asarray(grad_p),
-                                         rtol=cfg.grad_rtol,
-                                         atol=cfg.grad_atol, equal_nan=True)
-                if not values_ok:
-                    break
-        except Exception:  # noqa: BLE001
-            tape = None
-            values_ok = grads_bitwise = grads_tol = False
-        if values_ok and grads_bitwise:
-            state["tape"], state["mode"] = tape, "fast"
-        elif values_ok and grads_tol:
-            state["tape"], state["mode"] = tape, "value_fast"
-        else:
-            state["tape"], state["mode"] = None, "off"
+                    grads_bitwise &= np.array_equal(grad_c, np.asarray(grad_p),
+                                                    equal_nan=True)
+                    grads_tol &= np.allclose(grad_c, np.asarray(grad_p),
+                                             rtol=cfg.grad_rtol,
+                                             atol=cfg.grad_atol, equal_nan=True)
+                    if not values_ok:
+                        break
+            except Exception as exc:  # noqa: BLE001
+                tape = None
+                values_ok = grads_bitwise = grads_tol = False
+                compile_error = f"{type(exc).__name__}: {exc}"
+            if values_ok and grads_bitwise:
+                state["tape"], state["mode"] = tape, "fast"
+            elif values_ok and grads_tol:
+                state["tape"], state["mode"] = tape, "value_fast"
+            else:
+                state["tape"], state["mode"] = None, "off"
+            span.set(tier=state["mode"], values_bitwise=bool(values_ok),
+                     grads_bitwise=bool(grads_bitwise),
+                     grads_within_tolerance=bool(grads_tol))
+            if compile_error is not None:
+                span.set(compile_error=compile_error)
+        self.metrics.set_info(f"tape.{self._tape_label(key)}", state["mode"])
         return self._compiled_vg(key, z, fn, oracle)
+
+    @staticmethod
+    def _tape_label(key: Tuple) -> str:
+        """Human-readable label for a tape key, e.g. ``batched-4``."""
+        return "-".join(str(part) for part in key)
+
+    def _demote_tape(self, key: Tuple, state: Dict[str, Any], reason) -> None:
+        """Permanently turn a validated program off after a runtime failure."""
+        state["mode"] = "off"
+        label = self._tape_label(key)
+        self.metrics.set_info(f"tape.{label}", "off")
+        self.telemetry.event("tape.demote", key=label,
+                             reason=f"{type(reason).__name__}: {reason}")
 
     #: validation points per tier decision: a fast path whose agreement with
     #: its oracle is *coincidental* (last-ulp reduction-order drift that
@@ -876,20 +911,67 @@ class Potential:
             return None
         try:
             out = state["tape"].value(z)
-            self.eval_counters["compiled_evals"] += 1
+            self.metrics.inc("compiled_evals")
             return out
-        except Exception:  # noqa: BLE001
-            state["mode"] = "off"
+        except Exception as exc:  # noqa: BLE001
+            self._demote_tape(key, state, reason=exc)
             return None
 
-    def engine_stats(self) -> Dict[str, Any]:
-        """Engine observability snapshot: resolved engine, tape tiers, counters."""
-        modes = {"-".join(str(part) for part in key): state["mode"]
+    @property
+    def eval_counters(self) -> Dict[str, float]:
+        """Evaluation counts + wall-clock, as the historical dict view.
+
+        Backed by the unified :attr:`metrics` registry; kept as a read-only
+        property so fit-metadata stamping (``metadata["eval_counters"]``)
+        and existing callers see the same shape as the old mutable dict.
+        """
+        counters = self.metrics.counters()
+        return {"grad_evals": int(counters.get("grad_evals", 0)),
+                "value_evals": int(counters.get("value_evals", 0)),
+                "compiled_evals": int(counters.get("compiled_evals", 0)),
+                "tape_seconds": float(counters.get("tape_seconds", 0.0))}
+
+    def metrics_view(self) -> Dict[str, Any]:
+        """Engine observability snapshot: resolved engine, tape tiers, counters.
+
+        The supported successor of :meth:`engine_stats` — same dict shape,
+        sourced from the unified metrics registry.
+        """
+        modes = {self._tape_label(key): state["mode"]
                  for key, state in self._tapes.items()}
         stats: Dict[str, Any] = {"engine": self.engine_config.engine,
                                  "tape_modes": modes}
         stats.update(self.eval_counters)
         return stats
+
+    def engine_stats(self) -> Dict[str, Any]:
+        """Deprecated alias of :meth:`metrics_view` (warns once per process)."""
+        warn_once(
+            "potential-engine-stats",
+            "Potential.engine_stats() is deprecated; use "
+            "Potential.metrics_view() (or the obs telemetry metrics "
+            "registry) instead.")
+        return self.metrics_view()
+
+    def eval_tier(self, num_chains: Optional[int] = None) -> str:
+        """One-line evaluation-tier summary, e.g. ``compiled:fast vec:fast``.
+
+        Reports the engine plus the single-evaluation tape tier, the batched
+        tier for ``num_chains`` (when classified), and the enumeration
+        strategy for enumerated potentials.  Consumed by the live progress
+        meter and the telemetry report.
+        """
+        parts = [self.engine_config.engine]
+        single = self._tapes.get(("single",))
+        if single is not None and single["mode"] is not None:
+            parts[0] = f"{self.engine_config.engine}:{single['mode']}"
+        if num_chains is not None:
+            batched = self._batched_mode.get(num_chains)
+            if batched is not None:
+                parts.append(f"vec:{batched}")
+        if self.enum_plan is not None:
+            parts.append(f"enum:{self.enum_strategy}")
+        return " ".join(parts)
 
     # ------------------------------------------------------------------
     # vectorized multi-chain fast path
@@ -1063,12 +1145,12 @@ class Potential:
         c = z.shape[0]
         if c and z.shape[1]:
             self._ensure_enum_strategy(z[0])
-        self.eval_counters["grad_evals"] += c
+        self.metrics.inc("grad_evals", c)
         start = time.perf_counter()
         try:
             return self._potential_and_grad_batched_impl(z, c)
         finally:
-            self.eval_counters["tape_seconds"] += time.perf_counter() - start
+            self.metrics.inc("tape_seconds", time.perf_counter() - start)
 
     def _potential_and_grad_batched_impl(self, z: np.ndarray, c: int
                                          ) -> Tuple[np.ndarray, np.ndarray]:
@@ -1081,11 +1163,11 @@ class Potential:
         if mode == "fast":
             try:
                 return self._potential_and_grad_batched_fast(z)
-            except Exception:
+            except Exception as exc:
                 # A state-dependent branch may only trigger away from the
                 # validation point (e.g. a latent crossing a control-flow
                 # boundary); demote this batch size to the row loop for good.
-                self._batched_mode[c] = "loop"
+                self._demote_batched(c, reason=exc)
                 return self._potential_and_grad_batched_loop(z)
         if mode in ("loop", "value_fast"):
             return self._potential_and_grad_batched_loop(z)
@@ -1104,6 +1186,14 @@ class Potential:
         resume contract.  The fixed probe from :meth:`_canonical_probe`
         gives every run of the same potential the same answer.
         """
+        span = self.telemetry.span("batched.validate", num_chains=c, dim=dim)
+        span.__enter__()
+        try:
+            self._classify_batched_inner(c, dim, span)
+        finally:
+            span.__exit__(None, None, None)
+
+    def _classify_batched_inner(self, c: int, dim: int, span) -> None:
         values_ok = grads_bitwise = grads_tol = True
         try:
             for salt in range(self.VALIDATION_PROBES):
@@ -1148,6 +1238,17 @@ class Potential:
             self._batched_mode[c] = "value_fast"
         else:
             self._batched_mode[c] = "loop"
+        span.set(tier=self._batched_mode[c], values_bitwise=bool(values_ok),
+                 grads_bitwise=bool(grads_bitwise),
+                 grads_within_tolerance=bool(grads_tol))
+        self.metrics.set_info(f"batched.{c}", self._batched_mode[c])
+
+    def _demote_batched(self, c: int, reason) -> None:
+        """Permanently demote chain count ``c`` to the row loop at runtime."""
+        self._batched_mode[c] = "loop"
+        self.metrics.set_info(f"batched.{c}", "loop")
+        self.telemetry.event("batched.demote", num_chains=c,
+                             reason=f"{type(reason).__name__}: {reason}")
 
     def potential_batched(self, z: np.ndarray) -> np.ndarray:
         """Batched potential *values* only, shape ``(C,)`` — no gradients.
@@ -1166,12 +1267,12 @@ class Potential:
         mode = self._batched_mode.get(c)
         if mode is None:
             return self.potential_and_grad_batched(z)[0]
-        self.eval_counters["value_evals"] += c
+        self.metrics.inc("value_evals", c)
         start = time.perf_counter()
         try:
             return self._potential_batched_impl(z, c, mode)
         finally:
-            self.eval_counters["tape_seconds"] += time.perf_counter() - start
+            self.metrics.inc("tape_seconds", time.perf_counter() - start)
 
     def _potential_batched_impl(self, z: np.ndarray, c: int, mode: str) -> np.ndarray:
         if mode in ("fast", "value_fast"):
@@ -1186,8 +1287,8 @@ class Potential:
                 with no_grad(), np.errstate(all="ignore"):
                     out = self._neg_log_joint_tensor_batched(as_tensor(z))
                 return np.asarray(out.data, dtype=float)
-            except Exception:
-                self._batched_mode[c] = "loop"
+            except Exception as exc:
+                self._demote_batched(c, reason=exc)
         with no_grad():
             return np.array([self._compiled_or_interpreted_value(z[i])
                              for i in range(c)])
@@ -1242,8 +1343,9 @@ def make_potential(model: Callable, *model_args, observed: Optional[Dict[str, An
                    rng_seed: int = 0, fast: bool = False, enumerate: Optional[str] = None,
                    max_table_size: Optional[int] = None,
                    engine: Union[None, str, EngineConfig] = None,
+                   obs: Any = None,
                    **model_kwargs) -> Potential:
     """Convenience constructor used throughout the benchmarks and examples."""
     return Potential(model, model_args, model_kwargs, observed=observed, rng_seed=rng_seed,
                      fast=fast, enumerate=enumerate, max_table_size=max_table_size,
-                     engine=engine)
+                     engine=engine, obs=obs)

@@ -225,8 +225,58 @@ class Posterior:
             "summary": self.summary(),
         }
         if "divergent" in self.stats:
-            out["divergences"] = int(np.sum(self.stats["divergent"]))
+            out["divergences"] = int(np.nansum(self.stats["divergent"]))
+        if "tree_depth" in self.stats:
+            # Fraction of retained transitions that saturated the NUTS
+            # doubling budget — a high value means trajectories were cut
+            # short and max_tree_depth should probably be raised.
+            max_depth = (self.metadata.get("kernel") or {}).get("max_tree_depth")
+            depths = np.asarray(self.stats["tree_depth"], dtype=float)
+            valid = np.isfinite(depths)
+            if max_depth and valid.any():
+                out["max_tree_depth_hit_fraction"] = float(
+                    np.mean(depths[valid] >= int(max_depth)))
         return out
+
+    def divergence_report(self) -> Dict[str, Any]:
+        """Post-hoc forensics on divergent transitions.
+
+        Always reports the retained-draw divergence counts (from the
+        ``"divergent"`` stat).  When the fit ran with the telemetry flight
+        recorder on (``obs=ObsConfig(enabled=True)``), also returns the
+        captured records — unconstrained position and energy change of
+        each divergent leapfrog leaf, transition start, and trajectory
+        endpoints — plus the mean/std of the divergent positions, which
+        locates where in the unconstrained space the sampler breaks
+        (e.g. the neck of a funnel).
+        """
+        report: Dict[str, Any] = {}
+        if "divergent" in self.stats:
+            divergent = np.asarray(self.stats["divergent"], dtype=float)
+            report["retained_divergences"] = int(np.nansum(divergent))
+            report["per_chain"] = [int(np.nansum(chain)) for chain in divergent]
+        recorder = self.metadata.get("divergence_records")
+        if recorder:
+            report["total"] = int(recorder.get("total", 0))
+            report["recorded"] = int(recorder.get("recorded", 0))
+            report["max_records"] = int(recorder.get("max_records", 0))
+            records = [dict(record) for record in recorder.get("records", [])]
+            report["records"] = records
+            positions = [
+                point["position"]
+                for record in records
+                for point in record.get("divergent_points", [])
+            ]
+            if positions:
+                stacked = np.asarray(positions, dtype=float)
+                report["position_mean"] = stacked.mean(axis=0).tolist()
+                report["position_std"] = stacked.std(axis=0).tolist()
+        else:
+            report["records"] = []
+            report["note"] = (
+                "no flight-recorder data: fit with obs=ObsConfig(enabled=True) "
+                "to capture divergent transitions")
+        return report
 
     # ------------------------------------------------------------------
     # serialization

@@ -1,0 +1,84 @@
+"""Divergence flight recorder: forensic captures of divergent transitions.
+
+When a leapfrog step diverges, the sampler normally records a single
+boolean and throws everything else away.  With the flight recorder on,
+each divergent transition also captures:
+
+* every divergent leaf's **unconstrained position** and **energy change**
+  relative to the transition's initial energy,
+* the transition's **start position** and **trajectory endpoints**
+  (for NUTS, the left/right frontier of the doubling tree),
+* chain index, iteration, and whether it happened during warmup.
+
+Records are plain JSON-able dicts surfaced through
+``posterior.divergence_report()`` — e.g. to locate the neck of a funnel
+geometry from where the divergences cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class FlightRecorder:
+    """Capped list of per-divergence forensic records.
+
+    Divergences beyond ``max_records`` still increment :attr:`total`
+    (the count is exact); only the stored detail is capped.
+    """
+
+    def __init__(self, max_records: int = 64) -> None:
+        self.max_records = int(max_records)
+        self.records: List[Dict[str, Any]] = []
+        self.total = 0
+
+    def record(
+        self,
+        *,
+        chain: int,
+        iteration: int,
+        warmup: bool,
+        payload: Dict[str, Any],
+    ) -> None:
+        """Store one divergent transition.
+
+        ``payload`` is the ``"divergence_info"`` dict built by the
+        kernels: ``points`` (list of ``(position, energy_change)``
+        leaves), ``start``, ``endpoints``, ``energy0`` and optionally
+        ``tree_depth``.
+        """
+        self.total += 1
+        if len(self.records) >= self.max_records:
+            return
+        record: Dict[str, Any] = {
+            "chain": int(chain),
+            "iteration": int(iteration),
+            "warmup": bool(warmup),
+            "energy0": float(payload["energy0"]),
+            "divergent_points": [
+                {
+                    "position": [float(v) for v in position],
+                    "energy_change": float(energy_change),
+                }
+                for position, energy_change in payload.get("points", ())
+            ],
+            "start": [float(v) for v in payload["start"]],
+            "endpoints": [[float(v) for v in end] for end in payload["endpoints"]],
+        }
+        if "tree_depth" in payload:
+            record["tree_depth"] = int(payload["tree_depth"])
+        self.records.append(record)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "recorded": len(self.records),
+            "max_records": self.max_records,
+            "records": [dict(record) for record in self.records],
+        }
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"FlightRecorder({len(self.records)} recorded of {self.total} divergences)"

@@ -1,0 +1,321 @@
+"""The live telemetry session tying spans, metrics, streams and the
+flight recorder together.
+
+One :class:`Telemetry` object is created per ``compile_model(..., obs=...)``
+call (or explicitly) and threaded — like ``EngineConfig`` — through the
+compiled model, the potential, and the MCMC driver, so a single
+:class:`~repro.obs.trace.TraceLog` collects spans from every layer of
+the pipeline: frontend parse/codegen, the compile cache, tape
+compilation, enumeration analysis, and the sampler.
+
+When telemetry is off (the default), every hook resolves to
+:data:`NULL_TELEMETRY`, whose methods are no-ops — the instrumented hot
+paths pay one attribute check (``telemetry.enabled``) and nothing else.
+Nothing in this module touches an RNG or a float on the sampling path;
+instrumented runs produce bitwise-identical draws.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, TraceLog, _plain
+
+
+class Telemetry:
+    """One observability session: a trace log, a metrics registry, the
+    per-iteration sampler stream, and the divergence flight recorder."""
+
+    enabled = True
+
+    #: info-dict keys copied into each ``"iteration"`` stream record.
+    ITERATION_FIELDS = (
+        "accept_prob",
+        "step_size",
+        "divergent",
+        "tree_depth",
+        "num_steps",
+        "potential_energy",
+    )
+
+    def __init__(self, config: Union[None, bool, Dict[str, Any], ObsConfig] = None) -> None:
+        resolved = ObsConfig.coerce(True if config is None else config)
+        self.config = resolved.replace(enabled=True)
+        self.log = TraceLog()
+        self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(self.config.max_divergence_records)
+        self._span_stack: List[int] = []
+        self._ids = 0
+        self._t0 = time.perf_counter()
+        self._stream_count = 0
+        self._stream_dropped = 0
+        self._registries: List[Tuple[str, MetricsRegistry]] = [("obs", self.metrics)]
+
+    # -- spans and events ----------------------------------------------
+    def _next_id(self) -> int:
+        self._ids += 1
+        return self._ids
+
+    def span(self, name: str, /, **attrs: Any) -> Union[Span, NullSpan]:
+        """Open a timed region: ``with telemetry.span("tape.compile"): ...``."""
+        if not self.config.spans:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, /, **attrs: Any) -> None:
+        """Record a point-in-time annotation under the current span."""
+        if not self.config.spans:
+            return
+        record: Dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "id": self._next_id(),
+            "parent": self._span_stack[-1] if self._span_stack else None,
+            "t": round(time.perf_counter() - self._t0, 6),
+        }
+        if attrs:
+            record["attrs"] = _plain(attrs)
+        self.log.append(record)
+
+    # -- metrics -------------------------------------------------------
+    def attach_registry(self, label: str, registry: MetricsRegistry) -> MetricsRegistry:
+        """Include a component-owned registry (e.g. a Potential's) in this
+        session's digest and report.  Labels are uniquified."""
+        taken = {name for name, _ in self._registries}
+        unique = label
+        suffix = 2
+        while unique in taken:
+            unique = f"{label}#{suffix}"
+            suffix += 1
+        self._registries.append((unique, registry))
+        return registry
+
+    def record_batch(self, requests: int, capacity: int) -> None:
+        """Count one vectorized-chains evaluation round: ``requests``
+        chains asked for an evaluation out of ``capacity`` slots."""
+        metrics = self.metrics
+        metrics.inc("vectorized.rounds")
+        metrics.inc("vectorized.requests", requests)
+        metrics.inc("vectorized.slots", capacity)
+
+    # -- sampler stream ------------------------------------------------
+    def record_iteration(self, chain: int, iteration: int, warmup: bool, info: Dict[str, Any]) -> None:
+        if not self.config.sampler_stream:
+            return
+        if self._stream_count >= self.config.max_stream_records:
+            self._stream_dropped += 1
+            return
+        self._stream_count += 1
+        record: Dict[str, Any] = {
+            "type": "iteration",
+            "chain": int(chain),
+            "iteration": int(iteration),
+            "warmup": bool(warmup),
+        }
+        for key in self.ITERATION_FIELDS:
+            value = info.get(key)
+            if value is not None:
+                record[key] = bool(value) if key == "divergent" else float(value)
+        self.log.append(record)
+
+    # -- flight recorder -----------------------------------------------
+    @property
+    def wants_divergences(self) -> bool:
+        return self.config.flight_recorder
+
+    def record_divergence(self, chain: int, iteration: int, warmup: bool, payload: Dict[str, Any]) -> None:
+        if not self.config.flight_recorder:
+            return
+        self.flight.record(chain=chain, iteration=iteration, warmup=warmup, payload=payload)
+        marker: Dict[str, Any] = {
+            "type": "divergence",
+            "chain": int(chain),
+            "iteration": int(iteration),
+            "warmup": bool(warmup),
+        }
+        points = payload.get("points")
+        if points:
+            marker["energy_change"] = float(points[0][1])
+        self.log.append(marker)
+
+    # -- summaries -----------------------------------------------------
+    def merged_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """All attached registries flattened under ``label.name`` keys."""
+        counters: Dict[str, Any] = {}
+        info: Dict[str, Any] = {}
+        for label, registry in self._registries:
+            snapshot = registry.snapshot()
+            for name, value in snapshot["counters"].items():
+                counters[f"{label}.{name}"] = value
+            for name, value in snapshot["info"].items():
+                info[f"{label}.{name}"] = value
+        return {"counters": counters, "info": info}
+
+    def digest(self) -> Dict[str, Any]:
+        """Compact JSON-able summary stamped into fit/posterior metadata
+        and BENCH JSONs."""
+        span_counts: Dict[str, int] = {}
+        for record in self.log.spans():
+            span_counts[record["name"]] = span_counts.get(record["name"], 0) + 1
+        return {
+            "enabled": True,
+            "config": self.config.to_metadata(),
+            "spans": span_counts,
+            "events": len(self.log.events()),
+            "stream_records": self._stream_count,
+            "stream_dropped": self._stream_dropped,
+            "divergences": {
+                "total": self.flight.total,
+                "recorded": len(self.flight.records),
+            },
+            "metrics": self.merged_metrics(),
+        }
+
+    def report(self) -> str:
+        return report(self)
+
+    def save(self, path) -> str:
+        """Persist the trace log as JSONL (see :meth:`TraceLog.save`)."""
+        return self.log.save(path)
+
+    def __repr__(self) -> str:
+        return f"Telemetry({self.log!r})"
+
+
+class NullTelemetry:
+    """Disabled telemetry: every hook is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    wants_divergences = False
+    config = ObsConfig()
+    log = TraceLog()
+    flight = FlightRecorder(0)
+
+    def span(self, name: str, /, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, /, **attrs: Any) -> None:
+        return None
+
+    def attach_registry(self, label: str, registry: MetricsRegistry) -> MetricsRegistry:
+        return registry
+
+    def record_batch(self, requests: int, capacity: int) -> None:
+        return None
+
+    def record_iteration(self, chain: int, iteration: int, warmup: bool, info: Dict[str, Any]) -> None:
+        return None
+
+    def record_divergence(self, chain: int, iteration: int, warmup: bool, payload: Dict[str, Any]) -> None:
+        return None
+
+    def digest(self) -> Dict[str, Any]:
+        return {"enabled": False}
+
+    def report(self) -> str:
+        return "telemetry disabled (enable with obs=True or ObsConfig(enabled=True))"
+
+    def __repr__(self) -> str:
+        return "NullTelemetry()"
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def as_telemetry(obs: Any = None) -> Union[Telemetry, NullTelemetry]:
+    """Coerce the ``obs=`` argument accepted across the API.
+
+    ``None``/``False``/disabled configs resolve to the shared
+    :data:`NULL_TELEMETRY`; an existing session passes through (so one
+    trace log can span compile + fit); anything else becomes a fresh
+    :class:`Telemetry` via :meth:`ObsConfig.coerce`.
+    """
+    if obs is None:
+        return NULL_TELEMETRY
+    if isinstance(obs, (Telemetry, NullTelemetry)):
+        return obs
+    config = ObsConfig.coerce(obs)
+    if not config.enabled:
+        return NULL_TELEMETRY
+    return Telemetry(config)
+
+
+def report(source: Union[Telemetry, NullTelemetry, TraceLog]) -> str:
+    """Render a human summary table of a telemetry session or trace log."""
+    if isinstance(source, NullTelemetry):
+        return source.report()
+    if isinstance(source, Telemetry):
+        log = source.log
+        metrics = source.merged_metrics()
+        flight: Optional[FlightRecorder] = source.flight
+        dropped = source._stream_dropped
+    elif isinstance(source, TraceLog):
+        log = source
+        metrics = None
+        flight = None
+        dropped = 0
+    else:
+        raise TypeError(f"cannot report on {type(source).__name__}")
+
+    lines: List[str] = ["telemetry report", "=" * 64]
+
+    spans = log.spans()
+    if spans:
+        totals: Dict[str, List[float]] = {}
+        order: List[str] = []
+        for record in spans:
+            if record["name"] not in totals:
+                totals[record["name"]] = []
+                order.append(record["name"])
+            totals[record["name"]].append(record.get("duration_seconds", 0.0))
+        lines.append("spans:")
+        lines.append(f"  {'name':<28} {'count':>6} {'total_s':>10} {'avg_ms':>10}")
+        for name in order:
+            durations = totals[name]
+            total = sum(durations)
+            avg_ms = 1e3 * total / len(durations)
+            lines.append(f"  {name:<28} {len(durations):>6} {total:>10.4f} {avg_ms:>10.3f}")
+    else:
+        lines.append("spans: none recorded")
+
+    iterations = log.iterations()
+    if iterations or dropped:
+        chains = {record["chain"] for record in iterations}
+        divergent = sum(1 for record in iterations if record.get("divergent"))
+        note = f" (+{dropped} dropped past cap)" if dropped else ""
+        lines.append(
+            f"sampler stream: {len(iterations)} iteration records over "
+            f"{len(chains)} chain(s), {divergent} divergent{note}"
+        )
+
+    if flight is not None and flight.total:
+        lines.append(f"flight recorder: {len(flight.records)} of {flight.total} divergences captured")
+        for record in flight.records[:5]:
+            point = record["divergent_points"][0] if record["divergent_points"] else None
+            delta = f", dE={point['energy_change']:.1f}" if point else ""
+            phase = "warmup" if record["warmup"] else "sampling"
+            lines.append(
+                f"  chain {record['chain']} iter {record['iteration']} ({phase}{delta})"
+            )
+        if len(flight.records) > 5:
+            lines.append(f"  ... {len(flight.records) - 5} more")
+
+    if metrics is not None and (metrics["counters"] or metrics["info"]):
+        lines.append("metrics:")
+        for name, value in sorted(metrics["counters"].items()):
+            shown = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else value
+            lines.append(f"  {name:<40} {shown}")
+        for name, value in sorted(metrics["info"].items()):
+            lines.append(f"  {name:<40} {value}")
+        requests = metrics["counters"].get("obs.vectorized.requests")
+        slots = metrics["counters"].get("obs.vectorized.slots")
+        if requests and slots:
+            lines.append(f"  {'obs.vectorized.utilization':<40} {requests / slots:.3f}")
+
+    return "\n".join(lines)

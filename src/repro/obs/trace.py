@@ -1,0 +1,192 @@
+"""Structured trace records: nested timing spans serialized as JSONL.
+
+A :class:`TraceLog` is an append-only in-memory list of plain-dict
+records with a ``"type"`` discriminator:
+
+* ``"span"`` — a named, timed region with ``id``/``parent`` nesting
+  (span records are appended when the region *exits*, so children
+  precede their parents in file order; :meth:`TraceLog.span_tree`
+  reconstructs the hierarchy from the ids)
+* ``"event"`` — a point-in-time annotation (cache hit, tier demotion)
+* ``"iteration"`` — one sampler transition for one chain
+* ``"divergence"`` — a marker for each flight-recorder capture
+
+``save``/``load`` round-trip the log as JSON Lines — one record per
+line — so traces ship as CI artifacts and open with standard tooling
+(``jq``, ``pandas.read_json(lines=True)``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _plain(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert attribute values to JSON-native types eagerly, so a saved
+    and reloaded log compares equal to the in-memory one."""
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, _SCALARS):
+            out[key] = value
+        elif hasattr(value, "item") and getattr(value, "ndim", 1) == 0:
+            out[key] = value.item()
+        elif hasattr(value, "tolist"):
+            out[key] = value.tolist()
+        elif isinstance(value, (list, tuple)):
+            out[key] = [v if isinstance(v, _SCALARS) else str(v) for v in value]
+        else:
+            out[key] = str(value)
+    return out
+
+
+class Span:
+    """Context manager timing a named region of work.
+
+    Created via ``telemetry.span(name, **attrs)``; use :meth:`set` inside
+    the block to attach outcome attributes (cache hit, tier chosen,
+    demotion reason) discovered while the span is open.
+    """
+
+    __slots__ = ("_telemetry", "name", "attrs", "id", "parent", "_start")
+
+    def __init__(self, telemetry: Any, name: str, attrs: Dict[str, Any]) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self.id: Optional[int] = None
+        self.parent: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        telemetry = self._telemetry
+        self.id = telemetry._next_id()
+        stack = telemetry._span_stack
+        self.parent = stack[-1] if stack else None
+        stack.append(self.id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        telemetry = self._telemetry
+        stack = telemetry._span_stack
+        if stack and stack[-1] == self.id:
+            stack.pop()
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "id": self.id,
+            "parent": self.parent,
+            "t": round(self._start - telemetry._t0, 6),
+            "duration_seconds": round(elapsed, 6),
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = _plain(self.attrs)
+        telemetry.log.append(record)
+        return False
+
+
+class NullSpan:
+    """The do-nothing span handed out when telemetry (or spans) is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class TraceLog:
+    """Append-only record log with JSONL persistence."""
+
+    def __init__(self, records: Optional[Iterable[Dict[str, Any]]] = None) -> None:
+        self.records: List[Dict[str, Any]] = list(records) if records is not None else []
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def of_type(self, kind: str) -> List[Dict[str, Any]]:
+        return [record for record in self.records if record.get("type") == kind]
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return self.of_type("span")
+
+    def events(self) -> List[Dict[str, Any]]:
+        return self.of_type("event")
+
+    def iterations(self) -> List[Dict[str, Any]]:
+        return self.of_type("iteration")
+
+    def divergences(self) -> List[Dict[str, Any]]:
+        return self.of_type("divergence")
+
+    def span_names(self) -> List[str]:
+        """Distinct span names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self.spans():
+            seen.setdefault(record["name"], None)
+        return list(seen)
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """Root spans with a ``"children"`` list attached to each node."""
+        nodes = {record["id"]: dict(record, children=[]) for record in self.spans()}
+        roots: List[Dict[str, Any]] = []
+        for node in nodes.values():
+            parent = nodes.get(node.get("parent"))
+            (parent["children"] if parent is not None else roots).append(node)
+        return roots
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: os.PathLike) -> str:
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record, default=_json_default) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "TraceLog":
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            return cls(json.loads(line) for line in handle if line.strip())
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceLog({len(self.records)} records: {len(self.spans())} spans, "
+            f"{len(self.iterations())} iterations, {len(self.divergences())} divergences)"
+        )
+
+
+def _json_default(value: Any) -> Any:
+    if hasattr(value, "item") and getattr(value, "ndim", 1) == 0:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

@@ -121,7 +121,7 @@ def test_engine_threads_to_potential_and_stats():
     z = compiled.initial_unconstrained()
     compiled.potential_and_grad(z)
     compiled.potential_and_grad(z)
-    stats = compiled.engine_stats()
+    stats = compiled.metrics_view()
     assert stats["engine"] == "compiled"
     assert stats["tape_modes"].get("single") in ("fast", "value_fast", "off")
     assert stats["grad_evals"] == 2

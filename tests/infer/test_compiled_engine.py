@@ -47,12 +47,12 @@ def test_compiled_engine_matches_interpreted_across_corpus(name):
         z = z0 + dz
         v_i, g_i = pot_i.potential_and_grad(z)
         v_c, g_c = pot_c.potential_and_grad(z)
-        mode = pot_c.engine_stats()["tape_modes"].get("single")
+        mode = pot_c.metrics_view()["tape_modes"].get("single")
         assert v_c == v_i, (name, step, mode)
         np.testing.assert_array_equal(g_c, g_i, err_msg=f"{name} step {step} "
                                                         f"mode {mode}")
         assert pot_c.potential(z) == pot_i.potential(z), (name, step, mode)
-    assert pot_c.engine_stats()["grad_evals"] == 4
+    assert pot_c.metrics_view()["grad_evals"] == 4
 
 
 @pytest.mark.parametrize("name", [
@@ -152,7 +152,7 @@ def test_dynamic_control_flow_model_demotes_and_stays_correct():
         v_i, g_i = pot_i.potential_and_grad(z)
         assert v_c == v_i
         np.testing.assert_array_equal(g_c, g_i)
-    assert pot_c.engine_stats()["tape_modes"]["single"] == "off"
+    assert pot_c.metrics_view()["tape_modes"]["single"] == "off"
 
 
 DATA = np.random.default_rng(0).normal(1.5, 1.0, size=20)

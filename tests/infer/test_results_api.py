@@ -76,7 +76,8 @@ def test_posterior_shapes_and_accessors():
     assert post.sites == ["mu"]
     assert post.draws["mu"].shape == (2, 30)
     assert post.unconstrained.shape == (2, 30, 1)
-    assert set(post.stats) == {"accept_prob", "step_size", "divergent"}
+    assert set(post.stats) == {"accept_prob", "step_size", "divergent",
+                           "tree_depth", "num_steps", "potential_energy"}
     grouped = post.get_samples(group_by_chain=True)
     flat = post.get_samples()
     np.testing.assert_array_equal(flat["mu"], grouped["mu"].reshape(-1))

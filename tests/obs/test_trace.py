@@ -1,0 +1,170 @@
+"""The telemetry substrate: spans, trace log persistence, config, metrics."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    ObsConfig,
+    Telemetry,
+    TraceLog,
+    as_telemetry,
+    report,
+)
+
+
+# ----------------------------------------------------------------------
+# ObsConfig coercion (mirrors the EngineConfig contract)
+# ----------------------------------------------------------------------
+def test_obs_config_coercion():
+    assert ObsConfig.coerce(None).enabled is False
+    assert ObsConfig.coerce(True).enabled is True
+    assert ObsConfig.coerce(False).enabled is False
+    cfg = ObsConfig.coerce({"enabled": True, "max_divergence_records": 7})
+    assert cfg.enabled and cfg.max_divergence_records == 7
+    # overrides with value None are ignored, like EngineConfig.coerce
+    same = ObsConfig.coerce(cfg, max_divergence_records=None)
+    assert same.max_divergence_records == 7
+    assert ObsConfig.coerce(cfg, sampler_stream=False).sampler_stream is False
+
+
+def test_obs_config_validates():
+    with pytest.raises(ValueError):
+        ObsConfig(max_divergence_records=-1)
+
+
+def test_as_telemetry_resolution():
+    assert as_telemetry(None) is NULL_TELEMETRY
+    assert as_telemetry(False) is NULL_TELEMETRY
+    assert as_telemetry(ObsConfig()) is NULL_TELEMETRY  # disabled config
+    tel = as_telemetry(True)
+    assert tel.enabled and isinstance(tel, Telemetry)
+    # existing sessions pass through so one log spans compile + fit
+    assert as_telemetry(tel) is tel
+    assert as_telemetry(NULL_TELEMETRY) is NULL_TELEMETRY
+
+
+# ----------------------------------------------------------------------
+# span nesting
+# ----------------------------------------------------------------------
+def test_span_nesting_ids_and_tree():
+    tel = Telemetry()
+    with tel.span("outer", layer="compiler"):
+        with tel.span("inner.a"):
+            pass
+        with tel.span("inner.b") as span:
+            span.set(outcome="ok")
+        tel.event("marker", detail=3)
+
+    spans = tel.log.spans()
+    # children are appended before their parent (records written at exit)
+    assert [s["name"] for s in spans] == ["inner.a", "inner.b", "outer"]
+    outer = spans[-1]
+    assert outer["parent"] is None
+    assert all(s["parent"] == outer["id"] for s in spans[:2])
+    assert spans[1]["attrs"] == {"outcome": "ok"}
+    (event,) = tel.log.events()
+    assert event["parent"] == outer["id"]
+
+    (root,) = tel.log.span_tree()
+    assert root["name"] == "outer"
+    assert sorted(child["name"] for child in root["children"]) == ["inner.a", "inner.b"]
+
+
+def test_span_records_error_and_unwinds_stack():
+    tel = Telemetry()
+    with pytest.raises(RuntimeError):
+        with tel.span("will.fail"):
+            raise RuntimeError("boom")
+    (span,) = tel.log.spans()
+    assert span["error"] == "RuntimeError"
+    # the stack unwound: a new span is a root again
+    with tel.span("after"):
+        pass
+    assert tel.log.spans()[-1]["parent"] is None
+
+
+def test_spans_disabled_by_config():
+    tel = Telemetry(ObsConfig(enabled=True, spans=False))
+    with tel.span("ignored"):
+        tel.event("also.ignored")
+    assert len(tel.log) == 0
+
+
+# ----------------------------------------------------------------------
+# JSONL round trip
+# ----------------------------------------------------------------------
+def test_trace_log_jsonl_round_trip(tmp_path):
+    tel = Telemetry()
+    with tel.span("outer", model="m"):
+        with tel.span("inner"):
+            pass
+        tel.event("cache", outcome="miss")
+    tel.record_iteration(0, 3, False, {"accept_prob": 0.9, "divergent": False,
+                                       "tree_depth": 4})
+    path = tmp_path / "trace.jsonl"
+    tel.save(path)
+
+    # one JSON object per line, standard-tooling friendly
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == len(tel.log)
+    for line in lines:
+        json.loads(line)
+
+    loaded = TraceLog.load(path)
+    assert loaded.records == tel.log.records
+    assert loaded.span_names() == tel.log.span_names()
+    # a loaded log still renders as a report
+    assert "spans:" in report(loaded)
+
+
+def test_stream_record_cap_counts_drops():
+    tel = Telemetry(ObsConfig(enabled=True, max_stream_records=2))
+    for i in range(5):
+        tel.record_iteration(0, i, True, {"accept_prob": 0.5})
+    assert len(tel.log.iterations()) == 2
+    assert tel.digest()["stream_dropped"] == 3
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+def test_metrics_registry_counters_and_info():
+    reg = MetricsRegistry()
+    reg.inc("evals")
+    reg.inc("evals", 4)
+    reg.inc("seconds", 0.25)
+    reg.set_info("tier", "fast")
+    assert reg.value("evals") == 5
+    assert reg.value("seconds") == 0.25
+    assert reg.info("tier") == "fast"
+    snap = reg.snapshot()
+    assert snap["counters"]["evals"] == 5
+    assert snap["info"]["tier"] == "fast"
+    reg.clear()
+    assert len(reg) == 0
+
+
+def test_attach_registry_uniquifies_labels_and_merges():
+    tel = Telemetry()
+    a = tel.attach_registry("potential", MetricsRegistry())
+    b = tel.attach_registry("potential", MetricsRegistry())
+    a.inc("grad_evals", 2)
+    b.inc("grad_evals", 7)
+    merged = tel.merged_metrics()["counters"]
+    assert merged["potential.grad_evals"] == 2
+    assert merged["potential#2.grad_evals"] == 7
+
+
+def test_null_telemetry_is_inert():
+    tel = NULL_TELEMETRY
+    with tel.span("anything") as span:
+        span.set(x=1)
+    tel.event("nothing")
+    tel.record_iteration(0, 0, True, {})
+    tel.record_divergence(0, 0, True, {})
+    tel.record_batch(3, 4)
+    assert tel.digest() == {"enabled": False}
+    assert len(tel.log) == 0
