@@ -23,7 +23,11 @@ loads whichever of the known artifacts exist in the directory and fails
   >= the recorded assertion threshold, when the file records one;
 * ``BENCH_obs_overhead.json`` — the default (telemetry-off) evaluation path
   stayed within the recorded overhead cap of the engine-dispatch floor and
-  telemetry never perturbed an evaluation result.
+  telemetry never perturbed an evaluation result;
+* ``BENCH_serving.json`` — batched serving throughput stayed >= the recorded
+  multiple of sequential, the micro-batcher used strictly fewer batched
+  evaluations than requests, every response carried a k-hat, and served
+  draws stayed bitwise-identical to the direct guide evaluation.
 
 Usage::
 
@@ -113,6 +117,27 @@ def _check_obs_overhead(payload: dict, problems: List[str]) -> None:
                 "results (bitwise_with_telemetry is false)")
 
 
+def _check_serving(payload: dict, problems: List[str]) -> None:
+    speedup = payload.get("speedup")
+    threshold = payload.get("speedup_min")
+    if speedup is None or threshold is None or speedup < threshold:
+        problems.append(
+            f"BENCH_serving: speedup={speedup!r} fell below the recorded "
+            f"threshold {threshold!r}")
+    evals = payload.get("batch_evals")
+    concurrency = payload.get("concurrency")
+    if evals is None or concurrency is None or evals >= concurrency:
+        problems.append(
+            f"BENCH_serving: batch_evals={evals!r} for "
+            f"concurrency={concurrency!r} (micro-batcher did not coalesce)")
+    if not payload.get("khat_all_present", False):
+        problems.append("BENCH_serving: a response shipped without a k-hat")
+    if not payload.get("bitwise_with_query_direct", False):
+        problems.append(
+            "BENCH_serving: served draws diverged from the direct guide "
+            "evaluation (bitwise_with_query_direct is false)")
+
+
 def _check_vectorized(payload: dict, problems: List[str]) -> None:
     speedup = payload.get("geometric_mean_speedup")
     threshold = payload.get("speedup_threshold")
@@ -129,6 +154,7 @@ CHECKS: Dict[str, Callable[[dict, List[str]], None]] = {
     "BENCH_compiled_tape.json": _check_compiled_tape,
     "BENCH_vectorized.json": _check_vectorized,
     "BENCH_obs_overhead.json": _check_obs_overhead,
+    "BENCH_serving.json": _check_serving,
 }
 
 

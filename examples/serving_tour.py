@@ -1,0 +1,163 @@
+"""Serving tour: one amortized fit answering a burst of concurrent queries.
+
+Run with ``python examples/serving_tour.py [output_dir]``.  Set
+``REPRO_BENCH_ITERS`` to shrink the iteration counts (CI smoke runs use
+20).  When an output directory is given, the trained-guide artifact and
+the telemetry trace (``trace.jsonl``) are saved there.
+
+The tour walks the full serving lifecycle:
+
+1. train an :class:`repro.AmortizedModel` **once** on reference data;
+2. serve 64 concurrent ``data -> Posterior`` queries through the
+   micro-batched :class:`repro.PosteriorServer` — coalescing means far
+   fewer batched evaluations than requests;
+3. watch the trust gate: every response carries a per-query PSIS k-hat,
+   and one deliberately off-manifold query (data far outside the training
+   regime) is gated to the NUTS fallback and comes back *trusted*;
+4. persist the guide artifact and reload it, the fresh-process story.
+"""
+
+import os
+import sys
+import warnings
+
+import numpy as np
+
+from repro import AmortizedModel, PosteriorServer, ServerConfig
+from repro.obs import ObsConfig, Telemetry
+from repro.serve import make_request
+
+ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "0"))
+
+EIGHT_SCHOOLS = """
+data {
+  int<lower=0> J;
+  real y[J];
+  real<lower=0> sigma[J];
+}
+parameters {
+  real mu;
+  real<lower=0> tau;
+  real theta_tilde[J];
+}
+model {
+  mu ~ normal(0, 5);
+  tau ~ cauchy(0, 5);
+  theta_tilde ~ normal(0, 1);
+  for (j in 1:J)
+    y[j] ~ normal(mu + tau * theta_tilde[j], sigma[j]);
+}
+"""
+
+DATA = {
+    "J": 8,
+    "y": [28.0, 8.0, -3.0, 7.0, -1.0, 1.0, 18.0, 12.0],
+    "sigma": [15.0, 10.0, 16.0, 11.0, 9.0, 11.0, 10.0, 18.0],
+}
+
+CONCURRENCY = 64
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else None
+    train_steps = (ITERS * 10) if ITERS else 800
+    refit_iters = ITERS * 5 if ITERS else 300
+
+    # --- 1. one fit ---------------------------------------------------
+    # The guide's k-hat draw count is kept small for the tour, below the
+    # PSIS floor of 500 — khat_min_draws=None turns the hard error into a
+    # once-per-process warning (the trade the serving layer documents).
+    telemetry = Telemetry(ObsConfig(enabled=True))
+    model = AmortizedModel(EIGHT_SCHOOLS, name="eight_schools", hidden=(16,),
+                           obs=telemetry)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        model.train(DATA, num_steps=train_steps, seed=0, khat_draws=256,
+                    khat_min_draws=None)
+    print(f"trained once: {train_steps} VI steps, final ELBO "
+          f"{model.training['elbo_final']:.1f}, reference k-hat "
+          f"{model.training['khat']:.2f}")
+
+    # --- 2. many queries ----------------------------------------------
+    # 63 in-regime queries (small shifts of the reference data) plus one
+    # deliberately off-manifold query: observations shifted by +150 are far
+    # outside anything the guide saw, so its k-hat blows past the 0.7
+    # threshold and the trust gate routes it to the NUTS fallback.
+    # ``fallback="wait"`` blocks that one request on the refit; the rest
+    # ship the amortized posterior immediately.
+    requests = [
+        make_request({**DATA, "y": [v + 0.25 * i for v in DATA["y"]]},
+                     seed=i, num_draws=40, fallback="none",
+                     request_id=f"q{i}")
+        for i in range(CONCURRENCY - 1)
+    ]
+    off_manifold = make_request({**DATA, "y": [v + 150.0 for v in DATA["y"]]},
+                                seed=999, num_draws=40, fallback="wait",
+                                request_id="off-manifold")
+    requests.append(off_manifold)
+
+    config = ServerConfig(max_batch_size=16, max_wait_ms=5.0,
+                          khat_draws=256, khat_min_draws=None,
+                          refit_num_warmup=refit_iters,
+                          refit_num_samples=refit_iters)
+    with PosteriorServer(model, config, obs=telemetry) as server:
+        responses = server.serve_many(requests, timeout=600.0)
+
+        assert all(r["status"] == "ok" for r in responses)
+        n_requests = server.metrics.value("serve.requests")
+        n_evals = server.metrics.value("serve.batch_evals")
+        assert n_evals < n_requests, "micro-batcher did not coalesce"
+        khats = np.asarray([r["khat"] for r in responses])
+        trusted = sum(r["trusted"] for r in responses)
+        print(f"\nserved {n_requests} concurrent queries with {n_evals} "
+              "batched evaluations "
+              f"(largest batch {server.metrics.info('serve.largest_batch')}, "
+              f"mode {responses[0]['metadata']['batch_mode']})")
+        print(f"k-hat on every response: min {khats.min():.2f}, "
+              f"median {np.median(khats):.2f}, max {khats.max():.2f} "
+              f"-> {trusted}/{len(responses)} trusted")
+
+        # --- 3. the trust gate at work --------------------------------
+        gated = responses[-1]
+        assert gated["request_id"] == "off-manifold"
+        assert gated["khat"] >= config.khat_threshold, \
+            "the off-manifold query should have been gated"
+        assert gated["source"] == "nuts" and gated["trusted"], \
+            "fallback='wait' should return the trusted NUTS posterior"
+        mu = np.asarray(gated["draws"]["mu"])
+        print(f"\noff-manifold query: k-hat {gated['khat']:.2f} -> "
+              f"{gated['fallback']} fallback -> source={gated['source']} "
+              f"(trusted={gated['trusted']})")
+        print(f"  refit posterior mu: {mu.mean():.1f} +- {mu.std():.1f} "
+              f"({gated['metadata']['refit_status']}, "
+              f"{server.metrics.value('serve.refits_done')} refit(s) done)")
+
+        # A served response is bitwise-identical to querying the guide
+        # directly — instrumentation and batching never change a draw.
+        direct = model.query_direct(data=requests[0]["data"], num_draws=40,
+                                    seed=0)
+        served = {site: np.asarray(v)
+                  for site, v in responses[0]["draws"].items()}
+        assert all(np.array_equal(served[s], direct["draws"][s])
+                   for s in direct["draws"])
+        print("\nbitwise check: served draws == query_direct draws")
+
+    # --- 4. the artifact ----------------------------------------------
+    if out_dir:
+        path = model.save(os.path.join(out_dir, "amortized_guide"))
+        reloaded = AmortizedModel.load(path)
+        again = reloaded.query_direct(data=DATA, num_draws=8, seed=1)
+        reference = model.query_direct(data=DATA, num_draws=8, seed=1)
+        assert all(np.array_equal(again["draws"][s], reference["draws"][s])
+                   for s in reference["draws"])
+        print(f"\nsaved guide artifact to {path} (reload verified bitwise)")
+        trace = telemetry.save(os.path.join(out_dir, "trace.jsonl"))
+        spans = telemetry.digest()["spans"]
+        print(f"saved {sum(spans.values())} telemetry spans to {trace} "
+              f"({spans.get('serve.request', 0)} serve.request, "
+              f"{spans.get('serve.batch', 0)} serve.batch, "
+              f"{spans.get('serve.fallback', 0)} serve.fallback)")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,10 @@ Top-level API:
   neural networks (section 5).
 * :mod:`repro.posteriordb` / :mod:`repro.corpus` — the bundled model/data
   registries standing in for PosteriorDB and ``example-models``.
+* :mod:`repro.serve` — the amortized posterior serving layer: train an
+  :class:`repro.AmortizedModel` once, then answer concurrent ``data ->
+  Posterior`` queries through the micro-batched, k-hat-trust-gated
+  :class:`repro.PosteriorServer`.
 """
 
 from repro.core import (
@@ -38,6 +42,7 @@ from repro.engine import EngineConfig
 from repro.enum import EnumerationError, TableSizeError, infer_discrete
 from repro.infer.results import FitResult, Posterior
 from repro.obs import ObsConfig, Telemetry, TraceLog
+from repro.serve import AmortizedModel, PosteriorServer, ServerConfig
 
 __version__ = "0.1.0"
 
@@ -61,5 +66,8 @@ __all__ = [
     "EnumerationError",
     "TableSizeError",
     "infer_discrete",
+    "AmortizedModel",
+    "PosteriorServer",
+    "ServerConfig",
     "__version__",
 ]

@@ -26,6 +26,7 @@ Three compilation schemes are exposed (``generative``, ``comprehensive``,
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -707,6 +708,17 @@ class ConditionedModel:
 #: no frontend spans: no parse or codegen ran.
 _ACTIVE_TELEMETRY = NULL_TELEMETRY
 
+#: Serialises the frontend (parse/check/codegen) section of
+#: :func:`compile_model`.  The ``lru_cache`` dict itself is protected by the
+#: GIL, but the telemetry hand-off around it is not: the module-global
+#: ``_ACTIVE_TELEMETRY`` swap plus the hits-before/hits-after cache-outcome
+#: read are a multi-step critical section, and two threads compiling the
+#: same *new* source would otherwise both miss and parse twice (or worse,
+#: attribute each other's frontend spans).  Serving-layer registries compile
+#: from worker threads, so the section takes this lock; cache *hits* still
+#: resolve in microseconds, the lock only ever holds one cold parse.
+_COMPILE_LOCK = threading.RLock()
+
 
 def _build_program(program: ast.Program, backend: str, scheme: str, name: str,
                    allow_enumeration: bool = False):
@@ -835,24 +847,25 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
     start = time.perf_counter()
     with telemetry.span("compiler.compile", backend=backend, scheme=scheme,
                         model=str(name)) as span:
-        prev, _ACTIVE_TELEMETRY = _ACTIVE_TELEMETRY, telemetry
-        try:
-            if isinstance(source_or_program, ast.Program):
-                program = source_or_program
-                model_ir, guide_ir, source, code = _build_program(
-                    program, backend, scheme, name, allow_enumeration=allow_enum)
-                span.set(cache="bypass")  # pre-parsed programs are not memoised
-            else:
-                hits_before = _compile_cached.cache_info().hits
-                program, model_ir, guide_ir, source, code = _compile_cached(
-                    str(source_or_program), backend, scheme, str(name), allow_enum)
-                outcome = ("hit" if _compile_cached.cache_info().hits > hits_before
-                           else "miss")
-                span.set(cache=outcome)
-                if telemetry.enabled:
-                    telemetry.event("compile.cache", outcome=outcome, name=str(name))
-        finally:
-            _ACTIVE_TELEMETRY = prev
+        with _COMPILE_LOCK:
+            prev, _ACTIVE_TELEMETRY = _ACTIVE_TELEMETRY, telemetry
+            try:
+                if isinstance(source_or_program, ast.Program):
+                    program = source_or_program
+                    model_ir, guide_ir, source, code = _build_program(
+                        program, backend, scheme, name, allow_enumeration=allow_enum)
+                    span.set(cache="bypass")  # pre-parsed programs are not memoised
+                else:
+                    hits_before = _compile_cached.cache_info().hits
+                    program, model_ir, guide_ir, source, code = _compile_cached(
+                        str(source_or_program), backend, scheme, str(name), allow_enum)
+                    outcome = ("hit" if _compile_cached.cache_info().hits > hits_before
+                               else "miss")
+                    span.set(cache=outcome)
+                    if telemetry.enabled:
+                        telemetry.event("compile.cache", outcome=outcome, name=str(name))
+            finally:
+                _ACTIVE_TELEMETRY = prev
         namespace: Dict[str, Any] = {}
         exec(code, namespace)  # noqa: S102 - executing our own generated code
     elapsed = time.perf_counter() - start

@@ -112,6 +112,43 @@ class AutoNeural(AutoGuide):
             loc, scale = self._forward()
         return np.asarray(loc.data, dtype=float), np.asarray(scale.data, dtype=float)
 
+    # ------------------------------------------------------------------
+    # the amortized serving surface
+    # ------------------------------------------------------------------
+    @classmethod
+    def features_for(cls, potential) -> np.ndarray:
+        """The ``(1, F)`` feature row this guide would condition on.
+
+        The serving layer (:mod:`repro.serve`) computes features per query
+        and stacks them into one batch, so the feature recipe is public API:
+        it must match what :meth:`setup`/re-binding feed the network.
+        """
+        return cls._features(potential)
+
+    def batched_moments(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Guide moments for a ``(B, F)`` stack of feature rows (no grad).
+
+        One MLP forward over the whole stack — the serving micro-batcher's
+        fused path.  Row ``i`` of the returned ``(B, dim)`` ``loc``/``scale``
+        uses exactly the arithmetic of :meth:`_forward` on row ``i`` alone
+        (same ops, same softplus shift); whether the stacked matmul is
+        *bitwise* identical to the single-row one is validated by the caller
+        (:class:`repro.serve.batcher.MicroBatcher`), not assumed here.
+        """
+        self._require_setup()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self._x.shape[1]:
+            raise ValueError(
+                f"expected feature rows of width {self._x.shape[1]}, "
+                f"got {x.shape[1]}")
+        with no_grad():
+            out = self.net(as_tensor(x))        # (B, 2*dim)
+            loc = ops.getitem(out, (slice(None), slice(0, self.dim)))
+            raw = ops.getitem(out, (slice(None), slice(self.dim, 2 * self.dim)))
+            scale = self._softplus(ops.sub(raw, 1.0))
+        return (np.asarray(loc.data, dtype=float),
+                np.asarray(scale.data, dtype=float))
+
     def sample_unconstrained(self, rng, num_samples: int) -> np.ndarray:
         self._require_setup()
         loc, scale = self._moments()

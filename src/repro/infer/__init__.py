@@ -40,6 +40,7 @@ from repro.infer.vi import VI, ExplicitVI, PSISResult
 from repro.infer.advi import ADVI
 from repro.infer.svi import SVI, TraceELBO
 from repro.infer.importance import (
+    PSIS_MIN_DRAWS,
     ImportanceSampling,
     fit_generalized_pareto,
     importance_ess,
@@ -66,6 +67,7 @@ __all__ = [
     "SVI",
     "TraceELBO",
     "ImportanceSampling",
+    "PSIS_MIN_DRAWS",
     "fit_generalized_pareto",
     "importance_ess",
     "pareto_smoothed_log_weights",

@@ -33,6 +33,40 @@ from repro.ppl import handlers
 # Pareto-smoothed importance sampling (Vehtari, Simpson, Gelman, Yao,
 # Gabry 2015; fit following Zhang & Stephens 2009)
 # ----------------------------------------------------------------------
+#: Draw count below which the k-hat estimate is statistically unstable
+#: (Vehtari et al. recommend tail fits on the order of ``3*sqrt(S)`` points;
+#: below ~500 draws the tail holds < 70 points and the shape posterior is
+#: too wide to trust a 0.7 threshold decision).
+PSIS_MIN_DRAWS = 500
+
+
+def _check_psis_draws(n: int, min_draws: Optional[int], caller: str) -> None:
+    """Enforce the documented PSIS draw-count minimum.
+
+    With ``min_draws=None`` (the default) a count below ``PSIS_MIN_DRAWS``
+    emits a once-per-process warning — existing small-sample callers keep
+    working but are told the k-hat is noisy.  An *explicit* ``min_draws``
+    turns the check into a hard ``ValueError``, which is what the serving
+    trust gate uses: a routing decision must not be made on an unstable
+    estimate.
+    """
+    if min_draws is not None:
+        if min_draws < 1:
+            raise ValueError(f"min_draws must be >= 1, got {min_draws}")
+        if n < min_draws:
+            raise ValueError(
+                f"{caller}: {n} draws is below the requested minimum of "
+                f"{min_draws}; the k-hat estimate would be unstable "
+                f"(documented floor: {PSIS_MIN_DRAWS})")
+    elif n < PSIS_MIN_DRAWS:
+        from repro.deprecation import warn_once
+
+        warn_once(
+            f"psis-min-draws:{caller}",
+            f"{caller}: k-hat estimated from only {n} draws; estimates below "
+            f"{PSIS_MIN_DRAWS} draws are unstable — pass min_draws to enforce "
+            "a floor, or increase the sample count",
+            category=UserWarning)
 def fit_generalized_pareto(exceedances: np.ndarray) -> Tuple[float, float]:
     """Fit a generalised Pareto distribution to positive exceedances.
 
@@ -75,7 +109,9 @@ def _gpd_quantile(p: np.ndarray, k: float, sigma: float) -> np.ndarray:
 
 
 def pareto_smoothed_log_weights(log_weights: np.ndarray,
-                                normalize: bool = True) -> Tuple[np.ndarray, float]:
+                                normalize: bool = True,
+                                min_draws: Optional[int] = None,
+                                ) -> Tuple[np.ndarray, float]:
     """Pareto-smooth a vector of log importance weights.
 
     The ``M = min(S/5, 3*sqrt(S))`` largest weights are replaced by the
@@ -84,11 +120,16 @@ def pareto_smoothed_log_weights(log_weights: np.ndarray,
     Returns ``(smoothed_log_weights, k_hat)``; with ``normalize=True`` the
     smoothed weights are log-normalised to sum to one.  ``k_hat`` above 0.7
     flags an unreliable proposal (Vehtari et al. 2015).
+
+    The k-hat estimate needs :data:`PSIS_MIN_DRAWS` (500) draws to be
+    stable; fewer warns once per process.  Passing ``min_draws`` makes the
+    floor a hard ``ValueError`` instead.
     """
     lw = np.asarray(log_weights, dtype=float).copy()
     if lw.ndim != 1:
         raise ValueError(f"expected a 1-D vector of log weights, got shape {lw.shape}")
     n = len(lw)
+    _check_psis_draws(n, min_draws, "pareto_smoothed_log_weights")
     khat = math.inf
     if n > 1:
         lw = lw - lw.max()
@@ -114,9 +155,14 @@ def pareto_smoothed_log_weights(log_weights: np.ndarray,
     return lw, float(khat)
 
 
-def psis_khat(log_weights: np.ndarray) -> float:
-    """The Pareto shape diagnostic of a log-weight vector (see above)."""
-    return pareto_smoothed_log_weights(log_weights, normalize=False)[1]
+def psis_khat(log_weights: np.ndarray, min_draws: Optional[int] = None) -> float:
+    """The Pareto shape diagnostic of a log-weight vector (see above).
+
+    ``min_draws`` raises ``ValueError`` below the given draw count; the
+    default warns once below :data:`PSIS_MIN_DRAWS`.
+    """
+    return pareto_smoothed_log_weights(
+        log_weights, normalize=False, min_draws=min_draws)[1]
 
 
 def importance_ess(log_weights: np.ndarray) -> float:

@@ -74,6 +74,7 @@ validation contract defined below.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -218,6 +219,13 @@ class Potential:
         # relative to its interpreted oracle.  Cleared whenever the graph
         # structure changes (enumeration-strategy demotion).
         self._tapes: Dict[Tuple, Dict[str, Any]] = {}
+        # Guards every first-call validate-and-cache decision (batched tier,
+        # tape tier, enum strategy, observed-sites probe, constrain check).
+        # Each is a multi-step read-validate-write; two threads arriving at
+        # an unvalidated potential would otherwise double-validate or
+        # interleave a demotion with a promotion.  Reentrant because the
+        # validations call back into evaluation paths that re-check state.
+        self._validation_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # site discovery and packing
@@ -302,16 +310,20 @@ class Potential:
         values.
         """
         if self._observed_sites is None:
-            probe_trace = self._run_traced(rng_seed=self.rng_seed + 1)
-            self._observed_sites = OrderedDict()
-            for name, value in self._observed_raw.items():
-                probe = probe_trace.get(name)
-                if probe is None:
-                    continue
-                probe_value = np.asarray(param_value(probe["value"]), dtype=float)
-                if value.shape == probe_value.shape and \
-                        np.array_equal(value, probe_value, equal_nan=True):
-                    self._observed_sites[name] = value
+            with self._validation_lock:
+                if self._observed_sites is not None:
+                    return self._observed_sites
+                probe_trace = self._run_traced(rng_seed=self.rng_seed + 1)
+                sites: "OrderedDict[str, np.ndarray]" = OrderedDict()
+                for name, value in self._observed_raw.items():
+                    probe = probe_trace.get(name)
+                    if probe is None:
+                        continue
+                    probe_value = np.asarray(param_value(probe["value"]), dtype=float)
+                    if value.shape == probe_value.shape and \
+                            np.array_equal(value, probe_value, equal_nan=True):
+                        sites[name] = value
+                self._observed_sites = sites
         return self._observed_sites
 
     def observed_vector(self) -> np.ndarray:
@@ -601,6 +613,12 @@ class Potential:
         """
         if self.enum_plan is None or self._marginal_mode is not None:
             return
+        with self._validation_lock:
+            if self._marginal_mode is not None:
+                return
+            self._ensure_enum_strategy_locked(z)
+
+    def _ensure_enum_strategy_locked(self, z: np.ndarray) -> None:
         z = np.asarray(z, dtype=float).reshape(-1)
         with np.errstate(all="ignore"):
             constrained, _ = self.constrain(as_tensor(z))
@@ -819,6 +837,14 @@ class Potential:
         # the frozen control flow of the traced program — is a pure function
         # of the potential, not of whichever trajectory point arrived first
         # (a fresh run and a checkpoint-resumed run must classify alike).
+        with self._validation_lock:
+            if state["mode"] is not None:
+                # Another thread finished validating while we waited.
+                return self._compiled_vg(key, z, fn, oracle)
+            return self._compile_and_validate_tape(key, state, z, fn, oracle)
+
+    def _compile_and_validate_tape(self, key: Tuple, state: Dict[str, Any],
+                                   z: np.ndarray, fn: Callable, oracle: Callable):
         cfg = self.engine_config
         values_ok = grads_bitwise = grads_tol = True
         compile_error: Optional[str] = None
@@ -1171,7 +1197,9 @@ class Potential:
                 return self._potential_and_grad_batched_loop(z)
         if mode in ("loop", "value_fast"):
             return self._potential_and_grad_batched_loop(z)
-        self._classify_batched(c, z.shape[1])
+        with self._validation_lock:
+            if self._batched_mode.get(c) is None:
+                self._classify_batched(c, z.shape[1])
         return self._potential_and_grad_batched_impl(z, c)
 
     def _classify_batched(self, c: int, dim: int) -> None:
@@ -1321,16 +1349,19 @@ class Potential:
                     arr = np.asarray(value.data)
                     out[name] = arr.reshape((z.shape[0],) + info.constrained_shape)
                 if self._constrain_batched_ok is None:
-                    rows = [self.constrained_dict(z[i]) for i in range(z.shape[0])]
-                    self._constrain_batched_ok = all(
-                        np.allclose(out[name][i], rows[i][name],
-                                    rtol=1e-8, atol=1e-10, equal_nan=True)
-                        for i in range(z.shape[0]) for name in rows[i]
-                    )
-                    if not self._constrain_batched_ok:
-                        # The oracle rows were just computed — reuse them.
-                        return {name: np.array([row[name] for row in rows])
-                                for name in self.sites}
+                    with self._validation_lock:
+                        if self._constrain_batched_ok is None:
+                            rows = [self.constrained_dict(z[i])
+                                    for i in range(z.shape[0])]
+                            self._constrain_batched_ok = all(
+                                np.allclose(out[name][i], rows[i][name],
+                                            rtol=1e-8, atol=1e-10, equal_nan=True)
+                                for i in range(z.shape[0]) for name in rows[i]
+                            )
+                            if not self._constrain_batched_ok:
+                                # The oracle rows were just computed — reuse them.
+                                return {name: np.array([row[name] for row in rows])
+                                        for name in self.sites}
                 if self._constrain_batched_ok:
                     return out
             except Exception:

@@ -369,14 +369,17 @@ class VI:
     # guide-quality diagnostics
     # ------------------------------------------------------------------
     def psis_diagnostic(self, num_samples: int = 1000,
-                        seed: Optional[int] = None) -> PSISResult:
+                        seed: Optional[int] = None,
+                        min_draws: Optional[int] = None) -> PSISResult:
         """PSIS of guide draws reweighted against the model joint.
 
         Importance ratios ``log p(z, x) - log q(z)`` are computed over
         unconstrained space (both densities include the same Jacobian terms,
         so the ratio is parameterisation independent).  Uses a dedicated RNG
         derived from the engine seed so the diagnostic never perturbs the
-        training / posterior-draw stream.
+        training / posterior-draw stream.  ``min_draws`` makes the documented
+        500-draw k-hat stability floor a hard error (see
+        :func:`repro.infer.importance.pareto_smoothed_log_weights`).
         """
         if not self.guide.has_density:
             raise RuntimeError(
@@ -387,7 +390,7 @@ class VI:
         neg_logp = self.potential.potential_batched(z)
         log_q = self.guide.log_density(z)
         log_weights = (-neg_logp) - log_q
-        slw, khat = pareto_smoothed_log_weights(log_weights)
+        slw, khat = pareto_smoothed_log_weights(log_weights, min_draws=min_draws)
         return PSISResult(khat=khat, ess=importance_ess(slw),
                           log_weights=slw, num_samples=num_samples)
 
@@ -574,7 +577,8 @@ class ExplicitVI:
 
     # ------------------------------------------------------------------
     def psis_diagnostic(self, num_samples: int = 500,
-                        seed: Optional[int] = None) -> PSISResult:
+                        seed: Optional[int] = None,
+                        min_draws: Optional[int] = None) -> PSISResult:
         """PSIS k-hat of the explicit guide against the model joint."""
         self._restore_params()
         rng = np.random.default_rng(self.seed + 1 if seed is None else seed)
@@ -583,7 +587,7 @@ class ExplicitVI:
             latents, log_q = self._trace_guide(rng)
             log_p, _ = handlers.log_density(self.model, substituted=latents)
             log_weights[i] = float(log_p.data) - log_q
-        slw, khat = pareto_smoothed_log_weights(log_weights)
+        slw, khat = pareto_smoothed_log_weights(log_weights, min_draws=min_draws)
         return PSISResult(khat=khat, ess=importance_ess(slw),
                           log_weights=slw, num_samples=num_samples)
 

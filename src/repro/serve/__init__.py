@@ -1,0 +1,76 @@
+"""The amortized posterior serving layer: one fit, millions of queries.
+
+The DeepStan extension makes amortized inference *expressible* (neural
+guides conditioned on data); this subsystem makes it *operable*.  An
+:class:`AmortizedModel` trains one :class:`~repro.guides.neural.AutoNeural`
+guide on reference data (``train``), persists it as a schema-versioned
+artifact (``save``/``load``), and then answers per-request
+``data -> Posterior`` queries with a single MLP forward.  The
+:class:`PosteriorServer` puts that behind a request loop:
+
+* an asyncio **micro-batcher** (:class:`MicroBatcher`) coalesces concurrent
+  requests onto one stacked guide evaluation — N queries, one forward;
+* a **trust gate** stamps every response with a per-query PSIS k-hat and
+  degrades gracefully above the threshold: the guide posterior ships
+  flagged ``trusted=False`` while a checkpointed NUTS refit runs on a
+  bounded background pool (:class:`RefitPool`) with retry, backoff,
+  timeout, and explicit load shedding;
+* a **registry + per-dataset cache** (:class:`ModelRegistry`) keyed by
+  content digest, so equal data shares one potential, one k-hat, one refit;
+* full telemetry: ``serve.request`` / ``serve.batch`` / ``serve.fallback``
+  spans, latency and queue-depth counters in the metrics registry, and the
+  telemetry digest in every response's metadata.
+
+The request/response schema is plain dicts (:mod:`repro.serve.schema`), so
+the layer is transport-agnostic; :mod:`repro.serve.http` is the optional
+stdlib HTTP front.
+"""
+
+from repro.serve.amortized import EVAL_LOCK, AmortizedModel, NotTrainedError
+from repro.serve.artifacts import (
+    AMORTIZED_FORMAT,
+    AMORTIZED_SCHEMA_VERSION,
+    load_amortized,
+    save_amortized,
+)
+from repro.serve.batcher import MicroBatcher
+from repro.serve.http import start_http
+from repro.serve.registry import CacheEntry, ModelRegistry
+from repro.serve.schema import (
+    DEFAULT_NUM_DRAWS,
+    FALLBACK_MODES,
+    SERVE_SCHEMA_VERSION,
+    RequestError,
+    ServeError,
+    data_digest,
+    make_request,
+    normalize_request,
+)
+from repro.serve.server import PosteriorServer, ServerConfig
+from repro.serve.workers import RefitPool, RefitTimeout
+
+__all__ = [
+    "AmortizedModel",
+    "NotTrainedError",
+    "EVAL_LOCK",
+    "AMORTIZED_FORMAT",
+    "AMORTIZED_SCHEMA_VERSION",
+    "save_amortized",
+    "load_amortized",
+    "MicroBatcher",
+    "ModelRegistry",
+    "CacheEntry",
+    "RefitPool",
+    "RefitTimeout",
+    "PosteriorServer",
+    "ServerConfig",
+    "start_http",
+    "SERVE_SCHEMA_VERSION",
+    "DEFAULT_NUM_DRAWS",
+    "FALLBACK_MODES",
+    "ServeError",
+    "RequestError",
+    "data_digest",
+    "make_request",
+    "normalize_request",
+]

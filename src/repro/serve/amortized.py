@@ -1,0 +1,309 @@
+"""Train-once, query-many amortized posterior models.
+
+"Inference Compilation and Universal Probabilistic Programming" (Le et al.,
+2016) amortizes posterior inference in a neural network trained against the
+generative model; :class:`AmortizedModel` is that idea as a product surface
+over the pieces the pipeline already ships.  :meth:`train` fits one
+:class:`~repro.guides.neural.AutoNeural` guide on reference data through the
+standard VI engine; afterwards every ``data -> Posterior`` query costs a
+feature computation and a single MLP forward (:meth:`query_direct`), and the
+micro-batcher of :mod:`repro.serve.batcher` coalesces many such queries onto
+one stacked forward.
+
+Two standing assumptions of the amortized contract, both enforced:
+
+* queries must carry data of the same shape as the reference data — the
+  feature vector is the network input, so a width mismatch raises (the same
+  rule :class:`AutoNeural` applies on re-binding);
+* the constraining transforms must not depend on the observed data (the
+  usual case: supports declared in the ``parameters`` block), because the
+  fused serving path constrains query draws through the *reference*
+  potential's transforms.  Data-dependent supports surface as a bad
+  per-query k-hat and route to the NUTS fallback instead of silently
+  corrupting draws.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.guides.neural import AutoNeural
+from repro.infer.importance import PSIS_MIN_DRAWS, psis_khat
+from repro.serve.schema import ServeError, canonical_data
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+#: Serialises every model *evaluation* the serving layer performs from
+#: worker threads — per-query potential construction (a traced model run),
+#: k-hat scoring (``potential_batched`` walks the model graph) and NUTS
+#: refits.  The PPL effect-handler stacks are module-level globals
+#: (:mod:`repro.ppl.primitives`), so interleaving two traced runs from two
+#: threads would cross their handler frames.  The guide MLP forward and the
+#: constraining transforms never enter handler-based evaluation and run
+#: lock-free — the serving hot path does not contend with a background
+#: refit.
+EVAL_LOCK = threading.RLock()
+
+
+class NotTrainedError(ServeError):
+    """The amortized guide has not been trained (or loaded) yet."""
+
+
+class AmortizedModel:
+    """One compiled model + one trained amortized guide, ready to serve.
+
+    Parameters mirror :func:`repro.core.compiler.compile_model` (``source``,
+    ``name``, ``scheme``, ``backend``, ``engine``, ``obs``) plus the
+    :class:`~repro.guides.neural.AutoNeural` construction arguments
+    (``hidden``, ``activation``, ``init_seed``) — everything needed to
+    rebuild the guide bit-for-bit from a saved artifact in a fresh process.
+    """
+
+    def __init__(self, source: str, *, name: str = "model",
+                 scheme: str = "comprehensive", backend: str = "numpyro",
+                 engine: Optional[str] = None, hidden=(32,),
+                 activation: str = "tanh", init_seed: int = 0,
+                 obs: Any = None):
+        from repro.core.compiler import compile_model
+
+        self.source = str(source)
+        self.name = str(name)
+        self.scheme = scheme
+        self.backend = backend
+        self.engine = engine
+        self.hidden = tuple(int(h) for h in hidden)
+        self.activation = activation
+        self.init_seed = int(init_seed)
+        with EVAL_LOCK:
+            self._compiled = compile_model(self.source, name=self.name,
+                                           scheme=scheme, backend=backend,
+                                           engine=engine, obs=obs)
+        self.telemetry = self._compiled.telemetry
+        self.guide: Optional[AutoNeural] = None
+        self.reference_data: Optional[Dict[str, Any]] = None
+        self.reference_potential = None
+        #: training facts (steps, seed, final ELBO, reference k-hat);
+        #: persisted in the artifact sidecar.
+        self.training: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def trained(self) -> bool:
+        return self.guide is not None
+
+    def _require_trained(self) -> None:
+        if not self.trained:
+            raise NotTrainedError(
+                f"AmortizedModel {self.name!r} has no trained guide — call "
+                "train(reference_data, ...) or load(...) first")
+
+    @property
+    def dim(self) -> int:
+        self._require_trained()
+        return self.reference_potential.dim
+
+    # ------------------------------------------------------------------
+    # the one fit
+    # ------------------------------------------------------------------
+    def train(self, data: Dict[str, Any], *, num_steps: int = 1500,
+              seed: int = 0, learning_rate: Optional[float] = None,
+              num_particles: Optional[int] = None, khat_draws: int = 1024,
+              khat_min_draws: Optional[int] = PSIS_MIN_DRAWS,
+              checkpoint_every: Optional[int] = None,
+              checkpoint_path: Optional[str] = None) -> "AmortizedModel":
+        """Fit the amortized guide once, on reference data.
+
+        Runs the standard VI engine (``fit("vi", guide=AutoNeural(...))``),
+        then scores the fitted guide with a PSIS k-hat on ``khat_draws``
+        reference draws so the training record states how well the guide
+        covers the posterior it was trained against.  Checkpointing
+        parameters pass straight through to the VI engine.
+        """
+        guide = AutoNeural(hidden=self.hidden, activation=self.activation,
+                           init_seed=self.init_seed)
+        with EVAL_LOCK:
+            conditioned = self._compiled.condition(canonical_data(data))
+            vi = conditioned.fit("vi", guide=guide, num_steps=num_steps,
+                                 seed=seed, learning_rate=learning_rate,
+                                 num_particles=num_particles,
+                                 checkpoint_every=checkpoint_every,
+                                 checkpoint_path=checkpoint_path)
+            psis = vi.psis_diagnostic(num_samples=khat_draws,
+                                      min_draws=khat_min_draws)
+        self.guide = vi.guide
+        self.reference_potential = vi.potential
+        self.reference_data = canonical_data(data)
+        self.training = {
+            "num_steps": int(num_steps),
+            "seed": int(seed),
+            "elbo_final": (float(np.mean(vi.elbo_history[-10:]))
+                           if vi.elbo_history else None),
+            "khat": float(psis.khat),
+            "khat_draws": int(khat_draws),
+        }
+        return self
+
+    def bind_trained(self, reference_data: Dict[str, Any],
+                     state: Dict[str, np.ndarray],
+                     training: Optional[Dict[str, Any]] = None) -> "AmortizedModel":
+        """Attach trained guide weights without re-running VI (artifact load).
+
+        Rebuilds the guide against the reference potential (so feature
+        widths and latent dims are re-derived from the model, not trusted
+        from the artifact) and then overwrites the freshly initialised
+        network with ``state``.
+        """
+        guide = AutoNeural(hidden=self.hidden, activation=self.activation,
+                           init_seed=self.init_seed)
+        with EVAL_LOCK:
+            conditioned = self._compiled.condition(canonical_data(reference_data))
+            potential = conditioned.potential(0)
+            guide.setup(potential)
+        guide.net.load_state_dict(state)
+        self.guide = guide
+        self.reference_potential = potential
+        self.reference_data = canonical_data(reference_data)
+        self.training = dict(training or {})
+        return self
+
+    # ------------------------------------------------------------------
+    # per-query pieces (the registry caches these per data digest)
+    # ------------------------------------------------------------------
+    def potential_for(self, data: Dict[str, Any]):
+        """A fresh :class:`~repro.infer.Potential` over query data."""
+        with EVAL_LOCK:
+            return self._compiled.condition(canonical_data(data)).potential(0)
+
+    def features_for(self, potential) -> np.ndarray:
+        """The guide's ``(1, F)`` feature row for a query potential.
+
+        Width mismatches (query data shaped unlike the reference data)
+        raise :class:`ServeError` — the amortized guide cannot answer them.
+        """
+        self._require_trained()
+        with EVAL_LOCK:
+            x = AutoNeural.features_for(potential)
+        expected = self.guide._x.shape[1]
+        if x.shape[1] != expected:
+            raise ServeError(
+                f"query data yields {x.shape[1]} observed features but the "
+                f"guide was trained on {expected} — amortized serving "
+                "requires same-shaped data")
+        return x
+
+    def moments_for(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Guide ``(loc, scale)`` for a ``(B, F)`` feature stack (no grad)."""
+        self._require_trained()
+        return self.guide.batched_moments(features)
+
+    @staticmethod
+    def draws_from_moments(loc: np.ndarray, scale: np.ndarray,
+                           num_draws: int, seed: int) -> np.ndarray:
+        """Unconstrained guide draws for one query's ``(dim,)`` moments.
+
+        The RNG is seeded per request, so a draw never depends on which
+        batch the request was coalesced into.
+        """
+        rng = np.random.default_rng(int(seed))
+        eps = rng.standard_normal((int(num_draws), loc.shape[-1]))
+        return loc + scale * eps
+
+    def constrain(self, z: np.ndarray) -> Dict[str, np.ndarray]:
+        """Map ``(N, dim)`` unconstrained draws to constrained site values."""
+        self._require_trained()
+        return self.reference_potential.constrained_dict_batched(z)
+
+    def khat_for(self, potential, features: np.ndarray, *,
+                 num_draws: int = 512, seed: int = 0,
+                 min_draws: Optional[int] = PSIS_MIN_DRAWS) -> float:
+        """Per-query PSIS k-hat of the guide against the query joint.
+
+        Importance ratios ``log p_query(z) - log q(z | features)`` over
+        ``num_draws`` fresh guide draws; this is the trust-gate score every
+        response carries.  Deterministic for a fixed ``seed`` (the server
+        derives it from the data digest), so one dataset has one k-hat.
+        """
+        self._require_trained()
+        loc, scale = self.moments_for(np.atleast_2d(features))
+        loc, scale = loc[0], scale[0]
+        rng = np.random.default_rng(int(seed))
+        z = loc + scale * rng.standard_normal((int(num_draws), loc.shape[-1]))
+        with EVAL_LOCK:
+            neg_logp = potential.potential_batched(z)
+        resid = (z - loc) / scale
+        log_q = (-0.5 * np.sum(resid * resid, axis=-1)
+                 - float(np.sum(np.log(scale)))
+                 - 0.5 * loc.shape[-1] * _LOG_2PI)
+        return float(psis_khat((-neg_logp) - log_q, min_draws=min_draws))
+
+    # ------------------------------------------------------------------
+    # the unbatched reference path
+    # ------------------------------------------------------------------
+    def query_direct(self, data: Optional[Dict[str, Any]] = None, *,
+                     features: Optional[np.ndarray] = None,
+                     num_draws: int = 64, seed: int = 0) -> Dict[str, Any]:
+        """Answer one query without the server: the bitwise reference.
+
+        This is exactly the per-request arithmetic of the micro-batcher's
+        fused path restricted to a batch of one — the serving acceptance
+        contract is that instrumented server responses match this output
+        bit for bit.  Returns ``{"draws", "loc", "scale"}`` with numpy
+        arrays (draws in constrained space).
+        """
+        self._require_trained()
+        if features is None:
+            if data is None:
+                raise ValueError("query_direct needs data= or features=")
+            features = self.features_for(self.potential_for(data))
+        loc, scale = self.moments_for(np.atleast_2d(features))
+        loc, scale = loc[0], scale[0]
+        z = self.draws_from_moments(loc, scale, num_draws, seed)
+        draws = self.constrain(z)
+        return {"draws": draws, "loc": loc, "scale": scale}
+
+    # ------------------------------------------------------------------
+    # the trusted fallback
+    # ------------------------------------------------------------------
+    def refit(self, data: Dict[str, Any], *, num_warmup: int = 300,
+              num_samples: int = 300, num_chains: int = 1, seed: int = 0,
+              checkpoint_every: Optional[int] = None,
+              checkpoint_path: Optional[str] = None):
+        """A real (checkpointed) NUTS fit on query data — the trust fallback.
+
+        Returns the :class:`~repro.infer.results.Posterior`.  Runs under
+        :data:`EVAL_LOCK` on a background worker
+        (:class:`repro.serve.workers.RefitPool`); checkpointing means a
+        killed worker resumes instead of restarting.
+        """
+        with EVAL_LOCK:
+            fit = self._compiled.condition(canonical_data(data)).fit(
+                "nuts", num_warmup=num_warmup, num_samples=num_samples,
+                num_chains=num_chains, seed=seed,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path)
+        return fit.posterior
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Persist the trained guide (see :mod:`repro.serve.artifacts`)."""
+        from repro.serve.artifacts import save_amortized
+
+        return save_amortized(self, path)
+
+    @classmethod
+    def load(cls, path: str, *, obs: Any = None) -> "AmortizedModel":
+        """Rebuild a trained model from a saved artifact (fresh process OK)."""
+        from repro.serve.artifacts import load_amortized
+
+        return load_amortized(path, obs=obs)
+
+    def __repr__(self) -> str:
+        state = "trained" if self.trained else "untrained"
+        return (f"AmortizedModel(name={self.name!r}, {state}, "
+                f"hidden={self.hidden}, scheme={self.scheme!r})")

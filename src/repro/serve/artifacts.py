@@ -1,0 +1,118 @@
+"""Schema-versioned save/load of trained amortized guides.
+
+Mirrors the :meth:`repro.infer.results.Posterior.save` idiom: the array
+payload (the guide network's weights) goes to ``<path>.npz`` uncompressed —
+the round trip is exact to the bit — and a ``<path>.json`` sidecar carries
+the format tag, schema version, the *full recipe* for rebuilding the guide
+(model source, compile options, guide construction arguments, reference
+data) and the training record.  ``load`` recompiles the model and re-derives
+the guide architecture from it, then overwrites the weights, so a corrupt or
+mismatched artifact fails loudly instead of serving garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.serve.amortized import AmortizedModel, NotTrainedError
+from repro.serve.schema import ServeError
+
+AMORTIZED_FORMAT = "repro-amortized-guide"
+AMORTIZED_SCHEMA_VERSION = 1
+
+
+def _paths(path: str) -> tuple:
+    for suffix in (".npz", ".json"):
+        if path.endswith(suffix):
+            path = path[:-len(suffix)]
+            break
+    return path + ".npz", path + ".json"
+
+
+def save_amortized(model: AmortizedModel, path: str) -> str:
+    """Write ``<path>.npz`` (weights) + ``<path>.json`` (recipe); returns the
+    ``.npz`` path."""
+    if not model.trained:
+        raise NotTrainedError("cannot save an untrained AmortizedModel")
+    npz_path, json_path = _paths(path)
+    directory = os.path.dirname(os.path.abspath(npz_path))
+    os.makedirs(directory, exist_ok=True)
+    state = model.guide.net.state_dict()
+    arrays = {f"net/{name}": np.asarray(value, dtype=float)
+              for name, value in state.items()}
+    np.savez(npz_path, **arrays)
+    sidecar = {
+        "format": AMORTIZED_FORMAT,
+        "schema_version": AMORTIZED_SCHEMA_VERSION,
+        "model": {
+            "source": model.source,
+            "name": model.name,
+            "scheme": model.scheme,
+            "backend": model.backend,
+            "engine": model.engine,
+        },
+        "guide": {
+            "hidden": list(model.hidden),
+            "activation": model.activation,
+            "init_seed": model.init_seed,
+        },
+        "dim": int(model.dim),
+        "feature_dim": int(model.guide._x.shape[1]),
+        "net_keys": sorted(state),
+        "reference_data": model.reference_data,
+        "training": model.training,
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(sidecar, handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+    return npz_path
+
+
+def load_amortized(path: str, *, obs: Any = None) -> AmortizedModel:
+    """Rebuild a trained :class:`AmortizedModel` from a saved artifact.
+
+    Accepts the ``.npz`` path, the ``.json`` sidecar path, or the common
+    basename.  Recompiles the recorded source, re-derives the guide from
+    the reference data, and checks that the artifact's latent/feature
+    dimensions still match what the model yields — a drifted model source
+    or reference dataset raises instead of loading weights that no longer
+    fit.
+    """
+    npz_path, json_path = _paths(path)
+    with open(json_path, "r", encoding="utf-8") as handle:
+        sidecar = json.load(handle)
+    if sidecar.get("format") != AMORTIZED_FORMAT:
+        raise ServeError(f"{json_path} is not a saved amortized guide "
+                         f"(format={sidecar.get('format')!r})")
+    version = sidecar.get("schema_version")
+    if version != AMORTIZED_SCHEMA_VERSION:
+        raise ServeError(
+            f"amortized-guide schema version {version} is not supported "
+            f"(expected {AMORTIZED_SCHEMA_VERSION})")
+    spec = sidecar["model"]
+    guide_spec = sidecar["guide"]
+    model = AmortizedModel(spec["source"], name=spec["name"],
+                           scheme=spec["scheme"], backend=spec["backend"],
+                           engine=spec.get("engine"),
+                           hidden=tuple(guide_spec["hidden"]),
+                           activation=guide_spec["activation"],
+                           init_seed=int(guide_spec["init_seed"]), obs=obs)
+    with np.load(npz_path) as payload:
+        state: Dict[str, np.ndarray] = {
+            name: np.array(payload[f"net/{name}"])
+            for name in sidecar["net_keys"]}
+    model.bind_trained(sidecar["reference_data"], state,
+                       training=sidecar.get("training"))
+    if int(model.dim) != int(sidecar["dim"]):
+        raise ServeError(
+            f"artifact records dim={sidecar['dim']} but the recompiled model "
+            f"yields dim={model.dim} — source and artifact have diverged")
+    if int(model.guide._x.shape[1]) != int(sidecar["feature_dim"]):
+        raise ServeError(
+            f"artifact records feature_dim={sidecar['feature_dim']} but the "
+            f"reference data yields {model.guide._x.shape[1]}")
+    return model

@@ -1,0 +1,114 @@
+"""The asyncio micro-batcher: coalesce concurrent queries into one forward.
+
+Requests arriving within a window (``max_wait_ms``) or up to a cap
+(``max_batch_size``) are collected and handed to one ``evaluate(items)``
+call on an executor thread — the serving analogue of riding the batched
+chain axis: N queries cost one stacked guide forward instead of N.  The
+batcher is policy-free: it neither inspects items nor orders results beyond
+position, so the server owns the evaluation semantics (fused-versus-rows
+validation included) and the batcher owns only the coalescing.
+
+Failure semantics: if ``evaluate`` raises, every waiter in that batch gets
+the exception (a batch is one evaluation; there is no partial success), and
+the batcher stays usable for the next batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import NULL_TELEMETRY
+
+
+class MicroBatcher:
+    """Coalesce awaited ``submit`` calls into batched ``evaluate`` calls.
+
+    Parameters
+    ----------
+    evaluate:
+        ``items -> results`` (same length, same order), called on an
+        executor thread — it may block.
+    max_batch_size:
+        Flush immediately once this many requests are pending.
+    max_wait_ms:
+        Flush this long after the first pending request otherwise.  The
+        window only ever delays the *first* request of a batch; a full
+        batch never waits.
+    """
+
+    def __init__(self, evaluate: Callable[[List[Any]], Sequence[Any]], *,
+                 max_batch_size: int = 16, max_wait_ms: float = 2.0,
+                 telemetry=NULL_TELEMETRY, metrics=None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self._evaluate = evaluate
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.telemetry = telemetry
+        self.metrics = metrics
+        self._pending: List[Tuple[Any, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._largest_batch = 0
+
+    # ------------------------------------------------------------------
+    async def submit(self, item: Any) -> Any:
+        """Queue one item and await its result from the coalesced batch."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if len(self._pending) >= self.max_batch_size:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_wait_s, self._flush)
+        return await future
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Seal the pending batch and start its evaluation (loop thread)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        asyncio.ensure_future(self._run(batch))
+
+    async def _run(self, batch: List[Tuple[Any, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        items = [item for item, _ in batch]
+        size = len(items)
+        self._largest_batch = max(self._largest_batch, size)
+        with self.telemetry.span("serve.batch", size=size):
+            try:
+                results = await loop.run_in_executor(
+                    None, self._evaluate, items)
+            except Exception as exc:  # noqa: BLE001 - forwarded to waiters
+                if self.metrics is not None:
+                    self.metrics.inc("serve.batch_errors")
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+        if self.metrics is not None:
+            self.metrics.inc("serve.batches")
+            self.metrics.inc("serve.batched_requests", size)
+            self.metrics.set_info("serve.largest_batch", self._largest_batch)
+        if len(results) != size:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(RuntimeError(
+                        f"evaluate returned {len(results)} results for "
+                        f"{size} items"))
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    # ------------------------------------------------------------------
+    @property
+    def largest_batch(self) -> int:
+        """The largest batch coalesced so far (observability helper)."""
+        return self._largest_batch

@@ -1,0 +1,92 @@
+"""A thin stdlib HTTP front over :class:`~repro.serve.server.PosteriorServer`.
+
+The serving layer is transport-agnostic (plain-dict requests and
+responses); this module is the optional wire adapter: ``POST /v1/query``
+with a JSON request body returns the JSON response dict, ``GET /v1/health``
+reports the registered models and the live metrics counters.  Built on
+``http.server.ThreadingHTTPServer`` — no dependencies, good enough for the
+example and for single-host deployments; anything heavier should mount
+:meth:`PosteriorServer.query` behind its own transport.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from repro.serve.server import PosteriorServer
+
+#: Request body cap — a posterior query carries a data dict, not a payload.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def make_handler(server: PosteriorServer):
+    """The request-handler class bound to one :class:`PosteriorServer`."""
+
+    class ServingHTTPHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        #: quiet by default: serving telemetry lives in the metrics
+        #: registry and trace log, not on stderr.
+        verbose = False
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            if self.verbose:
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, default=float).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+            if self.path != "/v1/health":
+                self._reply(404, {"status": "error",
+                                  "error": f"unknown path {self.path!r}"})
+                return
+            self._reply(200, {
+                "status": "ok",
+                "models": server.registry.model_names(),
+                "metrics": server.metrics.snapshot(),
+            })
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+            if self.path != "/v1/query":
+                self._reply(404, {"status": "error",
+                                  "error": f"unknown path {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if not 0 < length <= MAX_BODY_BYTES:
+                self._reply(413 if length else 400,
+                            {"status": "error",
+                             "error": f"body length {length} out of range"})
+                return
+            try:
+                request = json.loads(self.rfile.read(length))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                self._reply(400, {"status": "error",
+                                  "error": f"invalid JSON body: {exc}"})
+                return
+            response = server.query(request)
+            self._reply(200 if response.get("status") == "ok" else 400,
+                        response)
+
+    return ServingHTTPHandler
+
+
+def start_http(server: PosteriorServer, host: str = "127.0.0.1",
+               port: int = 0) -> Tuple[ThreadingHTTPServer, threading.Thread]:
+    """Serve ``server`` over HTTP on a daemon thread; returns (httpd, thread).
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``httpd.server_address``.  Shut down with ``httpd.shutdown()``.
+    """
+    httpd = ThreadingHTTPServer((host, port), make_handler(server))
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True,
+                              name="repro-serve-http")
+    thread.start()
+    return httpd, thread

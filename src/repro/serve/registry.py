@@ -1,0 +1,136 @@
+"""Model registry and the per-dataset serving cache.
+
+The registry owns two maps behind one lock: ``name -> AmortizedModel`` (what
+the server can serve) and ``(name, data digest) -> CacheEntry`` (everything
+expensive that one dataset's queries share).  A cache entry is built once
+per distinct dataset — the per-query potential (a traced model run), the
+guide feature row, and later the k-hat score and any NUTS refit result —
+and every subsequent request for equal data reuses it.  Keyed like the
+compile cache: content identity (the canonical JSON digest of the data),
+not object identity, with LRU eviction at ``max_entries``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.amortized import AmortizedModel
+from repro.serve.schema import ServeError, data_digest
+
+
+class CacheEntry:
+    """Per-(model, dataset) serving state.
+
+    ``khat`` and the refit fields start unset and are filled in by the
+    server's trust gate under ``entry.lock``; ``refit_event`` lets
+    ``fallback="wait"`` requests block on a background refit without
+    polling.
+    """
+
+    __slots__ = ("model", "digest", "data", "potential", "features", "khat",
+                 "refit_status", "refit_posterior", "refit_error",
+                 "refit_event", "lock")
+
+    def __init__(self, model: AmortizedModel, digest: str,
+                 data: Dict[str, Any], potential, features: np.ndarray):
+        self.model = model
+        self.digest = digest
+        self.data = data
+        self.potential = potential
+        self.features = features
+        self.khat: Optional[float] = None
+        #: "none" -> "queued" -> "running" -> "done" | "failed"
+        self.refit_status = "none"
+        self.refit_posterior = None
+        self.refit_error: Optional[str] = None
+        self.refit_event = threading.Event()
+        self.lock = threading.RLock()
+
+    def __repr__(self) -> str:
+        khat = "?" if self.khat is None else f"{self.khat:.3f}"
+        return (f"CacheEntry(model={self.model.name!r}, "
+                f"digest={self.digest[:12]}, khat={khat}, "
+                f"refit={self.refit_status})")
+
+
+class ModelRegistry:
+    """Thread-safe ``name -> model`` registry plus the per-dataset cache."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._models: Dict[str, AmortizedModel] = {}
+        self._cache: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def register(self, model: AmortizedModel,
+                 name: Optional[str] = None) -> AmortizedModel:
+        """Register a trained model under ``name`` (default: its own name)."""
+        key = str(name if name is not None else model.name)
+        with self._lock:
+            self._models[key] = model
+        return model
+
+    def get(self, name: str) -> AmortizedModel:
+        with self._lock:
+            model = self._models.get(str(name))
+        if model is None:
+            raise ServeError(
+                f"no model registered under {name!r} "
+                f"(registered: {self.model_names()})")
+        return model
+
+    def model_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def default_model_name(self) -> Optional[str]:
+        """The sole registered name, if exactly one model is registered."""
+        with self._lock:
+            names = list(self._models)
+        return names[0] if len(names) == 1 else None
+
+    # ------------------------------------------------------------------
+    def entry_for(self, name: str, data: Dict[str, Any]) -> CacheEntry:
+        """The cache entry for ``(model, data)``, building it on first use.
+
+        Building runs a traced model evaluation (under the serving
+        evaluation lock, inside :meth:`AmortizedModel.potential_for`), so
+        this is called from executor threads, never the event loop.
+        """
+        model = self.get(name)
+        digest = data_digest(data)
+        key = (str(name), digest)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                return entry
+            # Build while holding the registry lock: a cold dataset is built
+            # exactly once even under a thundering herd of equal requests.
+            potential = model.potential_for(data)
+            features = model.features_for(potential)
+            entry = CacheEntry(model, digest, dict(data), potential, features)
+            self._cache[key] = entry
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+            return entry
+
+    def cached_entries(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"ModelRegistry({len(self._models)} model(s), "
+                    f"{len(self._cache)}/{self.max_entries} cached dataset(s))")

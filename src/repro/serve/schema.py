@@ -1,0 +1,173 @@
+"""Plain-dict request/response schema of the serving layer.
+
+The serving layer is transport-agnostic: a request is a plain JSON-able
+dict, a response is a plain JSON-able dict, and every front end (the
+in-process :meth:`~repro.serve.server.PosteriorServer.query`, the asyncio
+:meth:`~repro.serve.server.PosteriorServer.handle`, the stdlib HTTP
+handler of :mod:`repro.serve.http`) moves the same payloads.  This module
+owns the request normalisation, the canonical data digest that keys the
+per-dataset cache, and the response assembly, so the three fronts cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+#: Version stamp carried by every response (and the guide artifacts of
+#: :mod:`repro.serve.artifacts` carry their own).
+SERVE_SCHEMA_VERSION = 1
+
+#: What a request may ask the trust gate to do when k-hat exceeds the
+#: threshold: ``"none"`` (just flag the response untrusted), ``"enqueue"``
+#: (flag it *and* queue a background NUTS refit for future requests) or
+#: ``"wait"`` (block on the refit and return the trusted posterior).
+FALLBACK_MODES = ("none", "enqueue", "wait")
+
+DEFAULT_NUM_DRAWS = 64
+MAX_NUM_DRAWS = 8192
+
+
+class ServeError(Exception):
+    """Base class of serving-layer failures."""
+
+
+class RequestError(ServeError):
+    """A request dict failed validation."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce numpy payloads to plain JSON-able Python."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(val) for val in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    return value
+
+
+def canonical_data(data: Dict[str, Any]) -> Dict[str, Any]:
+    """A JSON-able copy of a data dict with deterministic key order."""
+    if not isinstance(data, dict):
+        raise RequestError(f"request data must be a dict, got {type(data).__name__}")
+    return {key: _jsonable(data[key]) for key in sorted(data, key=str)}
+
+
+def data_digest(data: Dict[str, Any]) -> str:
+    """Content digest of a data dict — the per-dataset cache key.
+
+    Keyed like the compile cache keys source text: the canonical JSON
+    rendering *is* the identity, so two requests carrying equal data (lists
+    or arrays, any key order) share one cache entry, one k-hat, and one
+    refit.
+    """
+    payload = json.dumps(canonical_data(data), sort_keys=True,
+                         separators=(",", ":"), allow_nan=True)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def derived_seed(digest: str, salt: int = 0) -> int:
+    """A deterministic RNG seed derived from a data digest.
+
+    Requests that do not pin a seed still must draw reproducibly — and
+    independently of which batch they were coalesced into — so the default
+    seed is a pure function of the data.
+    """
+    return (int(digest[:12], 16) ^ salt) % (2 ** 31)
+
+
+def make_request(data: Dict[str, Any], *, model: Optional[str] = None,
+                 num_draws: Optional[int] = None, seed: Optional[int] = None,
+                 fallback: str = "enqueue",
+                 request_id: Optional[str] = None) -> Dict[str, Any]:
+    """Convenience constructor of a well-formed request dict."""
+    request: Dict[str, Any] = {"data": data, "fallback": fallback}
+    if model is not None:
+        request["model"] = model
+    if num_draws is not None:
+        request["num_draws"] = num_draws
+    if seed is not None:
+        request["seed"] = seed
+    if request_id is not None:
+        request["request_id"] = request_id
+    return request
+
+
+def normalize_request(request: Dict[str, Any], *,
+                      default_model: Optional[str] = None,
+                      default_num_draws: int = DEFAULT_NUM_DRAWS) -> Dict[str, Any]:
+    """Validate a request dict and return its normalised copy.
+
+    Raises :class:`RequestError` with a message naming the offending field;
+    the server turns that into a ``status="error"`` response rather than a
+    500.
+    """
+    if not isinstance(request, dict):
+        raise RequestError(f"request must be a dict, got {type(request).__name__}")
+    unknown = set(request) - {"data", "model", "num_draws", "seed", "fallback",
+                              "request_id"}
+    if unknown:
+        raise RequestError(f"unknown request fields: {sorted(unknown)}")
+    if "data" not in request:
+        raise RequestError("request is missing the 'data' field")
+    data = canonical_data(request["data"])
+    model = request.get("model", default_model)
+    if model is None:
+        raise RequestError("request names no 'model' and the server has no default")
+    num_draws = request.get("num_draws", default_num_draws)
+    if not isinstance(num_draws, int) or isinstance(num_draws, bool) \
+            or not 1 <= num_draws <= MAX_NUM_DRAWS:
+        raise RequestError(
+            f"num_draws must be an int in [1, {MAX_NUM_DRAWS}], got {num_draws!r}")
+    seed = request.get("seed")
+    if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+        raise RequestError(f"seed must be an int or None, got {seed!r}")
+    fallback = request.get("fallback", "enqueue")
+    if fallback not in FALLBACK_MODES:
+        raise RequestError(
+            f"fallback must be one of {FALLBACK_MODES}, got {fallback!r}")
+    return {
+        "data": data,
+        "model": str(model),
+        "num_draws": num_draws,
+        "seed": seed,
+        "fallback": fallback,
+        "request_id": request.get("request_id"),
+    }
+
+
+def make_response(*, request_id: Optional[str], model: str, status: str,
+                  source: Optional[str] = None, trusted: Optional[bool] = None,
+                  khat: Optional[float] = None, fallback: Optional[str] = None,
+                  draws: Optional[Dict[str, Any]] = None,
+                  moments: Optional[Dict[str, Any]] = None,
+                  error: Optional[str] = None,
+                  metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble a response dict (one shape for every transport)."""
+    response: Dict[str, Any] = {
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "request_id": request_id,
+        "model": model,
+        "status": status,
+    }
+    if error is not None:
+        response["error"] = error
+    if status == "ok":
+        response.update({
+            "source": source,
+            "trusted": bool(trusted),
+            "khat": None if khat is None else float(khat),
+            "fallback": fallback,
+            "draws": _jsonable(draws or {}),
+        })
+        if moments is not None:
+            response["moments"] = _jsonable(moments)
+    response["metadata"] = _jsonable(metadata or {})
+    return response

@@ -1,0 +1,409 @@
+"""The posterior server: registry + micro-batcher + trust gate + fallback.
+
+One :class:`PosteriorServer` serves ``data -> Posterior`` queries for the
+trained :class:`~repro.serve.amortized.AmortizedModel`\\ s in its registry.
+A request flows: normalise -> per-dataset cache entry (potential +
+features, built once per distinct dataset) -> micro-batched guide forward
+(N coalesced requests, one stacked MLP evaluation) -> trust gate (per-query
+PSIS k-hat; above the threshold the response is flagged ``trusted=False``
+and a checkpointed NUTS refit is queued, awaited, or skipped per the
+request's ``fallback`` mode) -> response dict stamped with k-hat, latency
+and the telemetry digest.
+
+Bitwise contract: an instrumented server response carries exactly the draws
+of :meth:`AmortizedModel.query_direct` for the same data and seed.  The
+fused stacked forward is *validated* against the per-row path on the first
+multi-request batch (the repo's optimistic validate-and-demote idiom) and
+permanently demoted to per-row evaluation inside the batch if any array
+differs by one bit — coalescing still amortizes the request loop either
+way, and the recorded mode is visible as the ``serve.batch_mode.<model>``
+metrics label.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.infer.importance import PSIS_MIN_DRAWS
+from repro.obs import MetricsRegistry, as_telemetry
+from repro.serve.amortized import AmortizedModel
+from repro.serve.batcher import MicroBatcher
+from repro.serve.registry import CacheEntry, ModelRegistry
+from repro.serve.schema import (
+    DEFAULT_NUM_DRAWS,
+    RequestError,
+    derived_seed,
+    make_response,
+    normalize_request,
+)
+from repro.serve.workers import RefitPool
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every serving knob in one place (latency, trust, fallback, cache)."""
+
+    #: micro-batcher: flush at this many pending requests ...
+    max_batch_size: int = 16
+    #: ... or this many milliseconds after the first pending one.
+    max_wait_ms: float = 2.0
+    #: trust gate: k-hat at or above this flags the guide posterior.
+    khat_threshold: float = 0.7
+    #: guide draws behind each per-query k-hat estimate.
+    khat_draws: int = 512
+    #: hard floor forwarded to PSIS (None disables the hard error).
+    khat_min_draws: Optional[int] = PSIS_MIN_DRAWS
+    #: draws per response when the request does not say.
+    default_num_draws: int = DEFAULT_NUM_DRAWS
+    #: refit pool bounds and behaviour.
+    refit_workers: int = 2
+    refit_queue: int = 8
+    refit_retries: int = 2
+    refit_timeout_s: Optional[float] = None
+    refit_backoff_s: float = 0.25
+    #: the NUTS fallback fit itself.
+    refit_num_warmup: int = 300
+    refit_num_samples: int = 300
+    refit_seed: int = 0
+    refit_checkpoint_every: Optional[int] = None
+    refit_checkpoint_dir: Optional[str] = None
+    #: how long a ``fallback="wait"`` request blocks on the refit (seconds).
+    wait_timeout_s: float = 600.0
+    #: per-dataset cache entries kept (LRU).
+    cache_entries: int = 256
+
+
+@dataclass
+class _QueryItem:
+    """What one request contributes to a coalesced batch."""
+
+    entry: CacheEntry
+    num_draws: int
+    seed: int
+    result: Optional[Dict[str, Any]] = field(default=None)
+
+
+class PosteriorServer:
+    """Serve amortized posteriors: one fit, millions of queries.
+
+    Construct with a trained :class:`AmortizedModel` (registered under its
+    own name) or a pre-populated :class:`ModelRegistry`.  ``query`` /
+    ``serve_many`` are the synchronous entry points (they drive a dedicated
+    event-loop thread, so concurrent ``serve_many`` requests genuinely
+    coalesce); ``handle`` is the native coroutine for async callers; the
+    HTTP front of :mod:`repro.serve.http` is a thin shim over ``query``.
+    """
+
+    def __init__(self, model_or_registry, config: Optional[ServerConfig] = None,
+                 *, obs: Any = None):
+        self.config = config or ServerConfig()
+        if isinstance(model_or_registry, ModelRegistry):
+            self.registry = model_or_registry
+        elif isinstance(model_or_registry, AmortizedModel):
+            self.registry = ModelRegistry(max_entries=self.config.cache_entries)
+            self.registry.register(model_or_registry)
+        else:
+            raise TypeError(
+                "PosteriorServer expects an AmortizedModel or a "
+                f"ModelRegistry, got {type(model_or_registry).__name__}")
+        self.telemetry = as_telemetry(obs)
+        self.metrics = self.telemetry.attach_registry("serve", MetricsRegistry())
+        self._batcher = MicroBatcher(self._evaluate_batch,
+                                     max_batch_size=self.config.max_batch_size,
+                                     max_wait_ms=self.config.max_wait_ms,
+                                     telemetry=self.telemetry,
+                                     metrics=self.metrics)
+        self._pool = RefitPool(self._refit_entry,
+                               max_workers=self.config.refit_workers,
+                               max_queue=self.config.refit_queue,
+                               max_retries=self.config.refit_retries,
+                               timeout_s=self.config.refit_timeout_s,
+                               backoff_s=self.config.refit_backoff_s,
+                               telemetry=self.telemetry, metrics=self.metrics)
+        #: fused-vs-rows verdict per model name ("fused" | "rows"), decided
+        #: on the first multi-request batch.
+        self._batch_mode: Dict[str, str] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._loop_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # the async request path
+    # ------------------------------------------------------------------
+    async def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one request dict (see :mod:`repro.serve.schema`)."""
+        start = time.perf_counter()
+        self.metrics.inc("serve.requests")
+        raw = request if isinstance(request, dict) else {}
+        try:
+            req = normalize_request(
+                request, default_model=self.registry.default_model_name(),
+                default_num_draws=self.config.default_num_draws)
+        except RequestError as exc:
+            self.metrics.inc("serve.request_errors")
+            return make_response(request_id=raw.get("request_id"),
+                                 model=str(raw.get("model", "?")),
+                                 status="error", error=str(exc))
+        with self.telemetry.span("serve.request", model=req["model"]):
+            try:
+                response = await self._handle_normalized(req)
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                self.metrics.inc("serve.errors")
+                response = make_response(request_id=req["request_id"],
+                                         model=req["model"], status="error",
+                                         error=f"{type(exc).__name__}: {exc}")
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics.inc("serve.responses")
+        self.metrics.inc("serve.latency_ms_sum", latency_ms)
+        response.setdefault("metadata", {})["latency_ms"] = round(latency_ms, 3)
+        return response
+
+    async def _handle_normalized(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        entry: CacheEntry = await loop.run_in_executor(
+            None, self.registry.entry_for, req["model"], req["data"])
+        seed = req["seed"]
+        if seed is None:
+            seed = derived_seed(entry.digest)
+        item = _QueryItem(entry=entry, num_draws=req["num_draws"],
+                          seed=int(seed))
+        result = await self._batcher.submit(item)
+        khat = await loop.run_in_executor(None, self._ensure_khat, entry)
+        trusted = bool(np.isfinite(khat) and khat < self.config.khat_threshold)
+        source, fallback = "guide", "none"
+        draws: Dict[str, Any] = result["draws"]
+        moments: Optional[Dict[str, Any]] = {"loc": result["loc"],
+                                             "scale": result["scale"]}
+        if not trusted:
+            self.metrics.inc("serve.gated")
+            source, fallback, draws, moments = await self._apply_fallback(
+                loop, req, entry, draws, moments)
+            trusted = source == "nuts"
+        metadata = {
+            "data_digest": entry.digest,
+            "num_draws": req["num_draws"],
+            "seed": int(seed),
+            "batch_size": result["batch_size"],
+            "batch_mode": self._batch_mode.get(req["model"]),
+            "refit_status": entry.refit_status,
+        }
+        if self.telemetry.enabled:
+            metadata["telemetry"] = self.telemetry.digest()
+        return make_response(request_id=req["request_id"], model=req["model"],
+                             status="ok", source=source, trusted=trusted,
+                             khat=khat, fallback=fallback, draws=draws,
+                             moments=moments, metadata=metadata)
+
+    async def _apply_fallback(self, loop, req: Dict[str, Any],
+                              entry: CacheEntry, draws, moments):
+        """Trust-gate routing for an untrusted guide response."""
+        mode = req["fallback"]
+        if entry.refit_status == "done":
+            return ("nuts", "refit",
+                    self._refit_draws(entry, req["num_draws"]), None)
+        if mode == "none":
+            return "guide", "none", draws, moments
+        accepted = self._pool.submit(entry)
+        if not accepted:
+            return "guide", "shed", draws, moments
+        if mode == "enqueue":
+            return "guide", "pending", draws, moments
+        # fallback == "wait": block (off the loop) until the refit lands.
+        finished = await loop.run_in_executor(
+            None, entry.refit_event.wait, self.config.wait_timeout_s)
+        if finished and entry.refit_status == "done":
+            return ("nuts", "refit",
+                    self._refit_draws(entry, req["num_draws"]), None)
+        return "guide", "failed" if finished else "pending", draws, moments
+
+    # ------------------------------------------------------------------
+    # batched evaluation (executor thread)
+    # ------------------------------------------------------------------
+    def _evaluate_batch(self, items: List[_QueryItem]) -> List[Dict[str, Any]]:
+        """One coalesced evaluation; the only place draws are computed.
+
+        Groups items by model (a batch may interleave models), runs the
+        stacked fused path per group, and validates the first multi-item
+        group bitwise against the per-row reference before trusting it.
+        """
+        self.metrics.inc("serve.batch_evals")
+        results: List[Optional[Dict[str, Any]]] = [None] * len(items)
+        groups: Dict[str, List[int]] = {}
+        for index, item in enumerate(items):
+            groups.setdefault(item.entry.model.name, []).append(index)
+        for name, indices in groups.items():
+            group = [items[i] for i in indices]
+            mode = self._batch_mode.get(name)
+            if len(group) == 1 or mode == "rows":
+                outs = [self._evaluate_single(item) for item in group]
+            else:
+                outs = self._evaluate_fused(group)
+                if mode is None:
+                    reference = [self._evaluate_single(item) for item in group]
+                    if self._bitwise_equal(outs, reference):
+                        self._batch_mode[name] = "fused"
+                    else:
+                        self._batch_mode[name] = "rows"
+                        outs = reference
+                    self.metrics.set_info(f"serve.batch_mode.{name}",
+                                          self._batch_mode[name])
+                    self.telemetry.event("serve.batch_validate", model=name,
+                                         mode=self._batch_mode[name])
+            for item_index, out in zip(indices, outs):
+                out["batch_size"] = len(items)
+                results[item_index] = out
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _evaluate_single(item: _QueryItem) -> Dict[str, Any]:
+        """The per-row reference path — exactly ``query_direct``'s math."""
+        model = item.entry.model
+        return model.query_direct(features=item.entry.features,
+                                  num_draws=item.num_draws, seed=item.seed)
+
+    def _evaluate_fused(self, group: List[_QueryItem]) -> List[Dict[str, Any]]:
+        """One stacked guide forward + one stacked constrain for a group."""
+        model = group[0].entry.model
+        stacked = np.vstack([item.entry.features for item in group])
+        loc, scale = model.moments_for(stacked)          # (B, dim) each
+        z_rows = [model.draws_from_moments(loc[i], scale[i],
+                                           item.num_draws, item.seed)
+                  for i, item in enumerate(group)]
+        z_all = np.vstack(z_rows)                        # (sum draws, dim)
+        constrained = model.constrain(z_all)
+        outs: List[Dict[str, Any]] = []
+        offset = 0
+        for i, item in enumerate(group):
+            stop = offset + item.num_draws
+            outs.append({
+                "draws": {site: value[offset:stop]
+                          for site, value in constrained.items()},
+                "loc": loc[i],
+                "scale": scale[i],
+            })
+            offset = stop
+        return outs
+
+    @staticmethod
+    def _bitwise_equal(outs: Sequence[Dict[str, Any]],
+                       reference: Sequence[Dict[str, Any]]) -> bool:
+        for out, ref in zip(outs, reference):
+            for key in ("loc", "scale"):
+                if not np.array_equal(out[key], ref[key], equal_nan=True):
+                    return False
+            if set(out["draws"]) != set(ref["draws"]):
+                return False
+            for site, value in out["draws"].items():
+                if not np.array_equal(value, ref["draws"][site],
+                                      equal_nan=True):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # trust gate pieces (executor thread)
+    # ------------------------------------------------------------------
+    def _ensure_khat(self, entry: CacheEntry) -> float:
+        """The entry's k-hat, computed once per dataset (cached)."""
+        with entry.lock:
+            if entry.khat is None:
+                khat = entry.model.khat_for(
+                    entry.potential, entry.features,
+                    num_draws=self.config.khat_draws,
+                    seed=derived_seed(entry.digest, salt=0x6B686174),
+                    min_draws=self.config.khat_min_draws)
+                entry.khat = khat
+                self.metrics.inc("serve.khat_scored")
+                self.metrics.inc("serve.khat_sum", khat)
+                self.metrics.set_info("serve.last_khat", f"{khat:.4f}")
+            return entry.khat
+
+    def _refit_entry(self, entry: CacheEntry):
+        """The pool's job body: a checkpointed NUTS refit of one dataset."""
+        cfg = self.config
+        checkpoint_path = None
+        if cfg.refit_checkpoint_dir is not None:
+            import os
+
+            checkpoint_path = os.path.join(
+                cfg.refit_checkpoint_dir,
+                f"refit-{entry.model.name}-{entry.digest[:12]}.ckpt")
+        return entry.model.refit(
+            entry.data, num_warmup=cfg.refit_num_warmup,
+            num_samples=cfg.refit_num_samples, seed=cfg.refit_seed,
+            checkpoint_every=cfg.refit_checkpoint_every,
+            checkpoint_path=checkpoint_path)
+
+    @staticmethod
+    def _refit_draws(entry: CacheEntry, num_draws: int) -> Dict[str, np.ndarray]:
+        """The last ``num_draws`` NUTS draws, chains flattened."""
+        posterior = entry.refit_posterior
+        out: Dict[str, np.ndarray] = {}
+        for site, value in posterior.draws.items():
+            flat = np.reshape(value, (-1,) + value.shape[2:])
+            out[site] = flat[-num_draws:]
+        return out
+
+    # ------------------------------------------------------------------
+    # the synchronous front (dedicated loop thread)
+    # ------------------------------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._loop_lock:
+            if self._closed:
+                raise RuntimeError("PosteriorServer is closed")
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(target=loop.run_forever,
+                                          daemon=True,
+                                          name="repro-serve-loop")
+                thread.start()
+                self._loop, self._loop_thread = loop, thread
+            return self._loop
+
+    def submit(self, request: Dict[str, Any]):
+        """Submit one request; returns a ``concurrent.futures.Future``."""
+        loop = self._ensure_loop()
+        return asyncio.run_coroutine_threadsafe(self.handle(request), loop)
+
+    def query(self, request: Dict[str, Any],
+              timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Answer one request synchronously."""
+        return self.submit(request).result(timeout)
+
+    def serve_many(self, requests: Sequence[Dict[str, Any]],
+                   timeout: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Answer many requests concurrently (they coalesce in the batcher)."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout) for future in futures]
+
+    def close(self) -> None:
+        """Stop the loop thread and the refit pool."""
+        with self._loop_lock:
+            if self._closed:
+                return
+            self._closed = True
+            loop, thread = self._loop, self._loop_thread
+            self._loop = self._loop_thread = None
+        self._pool.close(wait=False)
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=5.0)
+            loop.close()
+
+    def __enter__(self) -> "PosteriorServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"PosteriorServer(models={self.registry.model_names()}, "
+                f"max_batch={self.config.max_batch_size}, "
+                f"khat_threshold={self.config.khat_threshold})")

@@ -1,0 +1,192 @@
+"""The bounded background refit pool behind the trust gate.
+
+When a query's k-hat says the amortized guide does not cover its posterior,
+the server enqueues a real NUTS refit here.  The pool is deliberately
+bounded in both dimensions: ``max_workers`` threads drain a queue whose
+depth is capped at ``max_queue`` — a burst of off-manifold queries past the
+cap is *shed* (``submit`` returns ``False`` and the response says so)
+instead of growing an unbounded backlog behind a blocked server.  Each job
+gets ``max_retries`` retries with exponential backoff and a per-attempt
+timeout; a timed-out attempt's thread is abandoned (daemonised — Python
+cannot cancel it) and the job retries or fails explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import queue
+from typing import Callable, Optional
+
+from repro.obs import NULL_TELEMETRY
+from repro.serve.registry import CacheEntry
+from repro.serve.schema import ServeError
+
+
+class RefitTimeout(ServeError):
+    """One refit attempt exceeded the pool's per-attempt timeout."""
+
+
+def _call_with_timeout(fn: Callable, entry: CacheEntry,
+                       timeout_s: Optional[float]):
+    """Run ``fn(entry)`` with a wall-clock bound.
+
+    ``None`` means unbounded (call inline).  Otherwise the call runs on a
+    one-shot daemon thread and is abandoned on timeout — the documented
+    limitation of thread-based timeouts; the refit work itself is
+    checkpointed, so an abandoned attempt's progress is not lost to the
+    retry.
+    """
+    if timeout_s is None:
+        return fn(entry)
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["value"] = fn(entry)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True,
+                              name="repro-serve-refit-attempt")
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise RefitTimeout(f"refit attempt exceeded {timeout_s:.1f}s")
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class RefitPool:
+    """Bounded worker pool running ``refit(entry)`` jobs with retry/backoff."""
+
+    def __init__(self, refit: Callable[[CacheEntry], object], *,
+                 max_workers: int = 2, max_queue: int = 8,
+                 max_retries: int = 2, timeout_s: Optional[float] = None,
+                 backoff_s: float = 0.25, telemetry=NULL_TELEMETRY,
+                 metrics=None):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._refit = refit
+        self.max_workers = int(max_workers)
+        self.max_queue = int(max_queue)
+        self.max_retries = int(max_retries)
+        self.timeout_s = timeout_s
+        self.backoff_s = float(backoff_s)
+        self.telemetry = telemetry
+        self.metrics = metrics
+        self._queue: "queue.Queue[Optional[CacheEntry]]" = queue.Queue()
+        self._depth = 0
+        self._lock = threading.Lock()
+        self._threads: list = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._threads:
+            return
+        for index in range(self.max_workers):
+            thread = threading.Thread(target=self._worker, daemon=True,
+                                      name=f"repro-serve-refit-{index}")
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, entry: CacheEntry) -> bool:
+        """Enqueue a refit; ``False`` means the queue is full (load shed).
+
+        Idempotent per entry: an entry already queued, running or finished
+        is not re-enqueued (and counts as accepted).
+        """
+        with entry.lock:
+            if entry.refit_status in ("queued", "running", "done"):
+                return True
+            with self._lock:
+                if self._closed:
+                    return False
+                if self._depth >= self.max_queue:
+                    if self.metrics is not None:
+                        self.metrics.inc("serve.refits_shed")
+                    self.telemetry.event("serve.shed", digest=entry.digest[:12],
+                                         depth=self._depth)
+                    return False
+                self._depth += 1
+                depth = self._depth
+            entry.refit_status = "queued"
+            entry.refit_error = None
+            entry.refit_event.clear()
+        if self.metrics is not None:
+            self.metrics.inc("serve.refits_queued")
+            self.metrics.set_info("serve.refit_queue_depth", depth)
+        self._ensure_workers()
+        self._queue.put(entry)
+        return True
+
+    @property
+    def depth(self) -> int:
+        """Jobs queued or running right now."""
+        with self._lock:
+            return self._depth
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry is None:
+                return
+            try:
+                self._process(entry)
+            finally:
+                with self._lock:
+                    self._depth -= 1
+                    depth = self._depth
+                if self.metrics is not None:
+                    self.metrics.set_info("serve.refit_queue_depth", depth)
+                entry.refit_event.set()
+
+    def _process(self, entry: CacheEntry) -> None:
+        with entry.lock:
+            entry.refit_status = "running"
+        with self.telemetry.span("serve.fallback", digest=entry.digest[:12],
+                                 model=entry.model.name) as span:
+            for attempt in range(self.max_retries + 1):
+                try:
+                    posterior = _call_with_timeout(self._refit, entry,
+                                                   self.timeout_s)
+                except Exception as exc:  # noqa: BLE001 - retried/recorded
+                    if self.metrics is not None:
+                        self.metrics.inc("serve.refit_attempt_errors")
+                    if attempt >= self.max_retries:
+                        with entry.lock:
+                            entry.refit_status = "failed"
+                            entry.refit_error = f"{type(exc).__name__}: {exc}"
+                        if self.metrics is not None:
+                            self.metrics.inc("serve.refits_failed")
+                        span.set(outcome="failed", attempts=attempt + 1)
+                        return
+                    if self.metrics is not None:
+                        self.metrics.inc("serve.refit_retries")
+                    time.sleep(self.backoff_s * (2 ** attempt))
+                    continue
+                with entry.lock:
+                    entry.refit_posterior = posterior
+                    entry.refit_status = "done"
+                if self.metrics is not None:
+                    self.metrics.inc("serve.refits_done")
+                span.set(outcome="done", attempts=attempt + 1)
+                return
+
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs and shut the workers down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
