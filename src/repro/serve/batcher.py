@@ -11,6 +11,14 @@ validation included) and the batcher owns only the coalescing.
 Failure semantics: if ``evaluate`` raises, every waiter in that batch gets
 the exception (a batch is one evaluation; there is no partial success), and
 the batcher stays usable for the next batch.
+
+Threading contract: the batcher is single-loop.  ``_pending``/``_timer``
+are mutated without locks and the futures it completes are asyncio futures
+(not thread-safe), so every ``submit`` must run on one owning event loop —
+the loop of the first ``submit`` binds the batcher, and submitting from any
+other loop raises.  :class:`~repro.serve.server.PosteriorServer` upholds
+this by bridging every caller (sync front *and* async ``handle``) onto its
+dedicated loop thread.
 """
 
 from __future__ import annotations
@@ -51,12 +59,27 @@ class MicroBatcher:
         self.metrics = metrics
         self._pending: List[Tuple[Any, asyncio.Future]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._largest_batch = 0
 
     # ------------------------------------------------------------------
     async def submit(self, item: Any) -> Any:
-        """Queue one item and await its result from the coalesced batch."""
+        """Queue one item and await its result from the coalesced batch.
+
+        Must run on the batcher's owning loop (bound by the first submit);
+        a foreign loop raises ``RuntimeError`` instead of racing the
+        pending batch and completing futures cross-thread.
+        """
         loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif loop is not self._loop:
+            raise RuntimeError(
+                "MicroBatcher is bound to the event loop of its first "
+                "submit; submitting from a second loop would race the "
+                "pending batch. Route requests through one loop "
+                "(PosteriorServer.handle bridges foreign loops onto the "
+                "server loop).")
         future: asyncio.Future = loop.create_future()
         self._pending.append((item, future))
         if len(self._pending) >= self.max_batch_size:

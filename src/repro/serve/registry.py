@@ -25,19 +25,27 @@ from repro.serve.schema import ServeError, data_digest
 class CacheEntry:
     """Per-(model, dataset) serving state.
 
+    ``registry_name`` is the name requests route by — distinct from
+    ``model.name``, which is the model's own attribute and may collide
+    across separately registered models; the server groups batched
+    evaluations by the registry identity, never by ``model.name``.
+
     ``khat`` and the refit fields start unset and are filled in by the
     server's trust gate under ``entry.lock``; ``refit_event`` lets
     ``fallback="wait"`` requests block on a background refit without
     polling.
     """
 
-    __slots__ = ("model", "digest", "data", "potential", "features", "khat",
-                 "refit_status", "refit_posterior", "refit_error",
-                 "refit_event", "lock")
+    __slots__ = ("model", "registry_name", "digest", "data", "potential",
+                 "features", "khat", "refit_status", "refit_posterior",
+                 "refit_error", "refit_event", "lock")
 
     def __init__(self, model: AmortizedModel, digest: str,
-                 data: Dict[str, Any], potential, features: np.ndarray):
+                 data: Dict[str, Any], potential, features: np.ndarray,
+                 registry_name: Optional[str] = None):
         self.model = model
+        self.registry_name = str(registry_name if registry_name is not None
+                                 else model.name)
         self.digest = digest
         self.data = data
         self.potential = potential
@@ -57,6 +65,23 @@ class CacheEntry:
                 f"refit={self.refit_status})")
 
 
+class _PendingBuild:
+    """A build-in-progress placeholder for one cold cache key.
+
+    The builder thread fills ``entry`` or ``error`` and sets ``event``;
+    concurrent requests for the same key wait on the event instead of
+    duplicating the build — and crucially wait *off* the registry lock, so
+    cache hits for other datasets never queue behind a cold build.
+    """
+
+    __slots__ = ("event", "entry", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.entry: Optional[CacheEntry] = None
+        self.error: Optional[BaseException] = None
+
+
 class ModelRegistry:
     """Thread-safe ``name -> model`` registry plus the per-dataset cache."""
 
@@ -66,6 +91,7 @@ class ModelRegistry:
         self.max_entries = int(max_entries)
         self._models: Dict[str, AmortizedModel] = {}
         self._cache: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self._building: Dict[tuple, _PendingBuild] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -103,6 +129,14 @@ class ModelRegistry:
         Building runs a traced model evaluation (under the serving
         evaluation lock, inside :meth:`AmortizedModel.potential_for`), so
         this is called from executor threads, never the event loop.
+
+        The registry lock is held only for map reads and inserts — the
+        build itself runs off-lock behind a per-key :class:`_PendingBuild`
+        placeholder.  ``potential_for`` can block on :data:`EVAL_LOCK` for
+        the length of a background NUTS refit, and holding the registry
+        lock across that would stall every request, cache hits included.
+        A thundering herd of equal cold requests still builds once: the
+        herd waits on the placeholder, not on a duplicate build.
         """
         model = self.get(name)
         digest = data_digest(data)
@@ -112,15 +146,37 @@ class ModelRegistry:
             if entry is not None:
                 self._cache.move_to_end(key)
                 return entry
-            # Build while holding the registry lock: a cold dataset is built
-            # exactly once even under a thundering herd of equal requests.
+            pending = self._building.get(key)
+            if pending is None:
+                pending = _PendingBuild()
+                self._building[key] = pending
+                builder = True
+            else:
+                builder = False
+        if not builder:
+            pending.event.wait()
+            if pending.error is not None:
+                raise pending.error
+            assert pending.entry is not None
+            return pending.entry
+        try:
             potential = model.potential_for(data)
             features = model.features_for(potential)
-            entry = CacheEntry(model, digest, dict(data), potential, features)
-            self._cache[key] = entry
-            while len(self._cache) > self.max_entries:
-                self._cache.popitem(last=False)
+            entry = CacheEntry(model, digest, dict(data), potential, features,
+                               registry_name=str(name))
+            with self._lock:
+                self._cache[key] = entry
+                while len(self._cache) > self.max_entries:
+                    self._cache.popitem(last=False)
+            pending.entry = entry
             return entry
+        except BaseException as exc:
+            pending.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
+            pending.event.set()
 
     def cached_entries(self) -> int:
         with self._lock:

@@ -38,6 +38,7 @@ from repro.serve.registry import CacheEntry, ModelRegistry
 from repro.serve.schema import (
     DEFAULT_NUM_DRAWS,
     RequestError,
+    ServeError,
     derived_seed,
     make_response,
     normalize_request,
@@ -96,8 +97,10 @@ class PosteriorServer:
     own name) or a pre-populated :class:`ModelRegistry`.  ``query`` /
     ``serve_many`` are the synchronous entry points (they drive a dedicated
     event-loop thread, so concurrent ``serve_many`` requests genuinely
-    coalesce); ``handle`` is the native coroutine for async callers; the
-    HTTP front of :mod:`repro.serve.http` is a thin shim over ``query``.
+    coalesce); ``handle`` is the coroutine for async callers — it bridges
+    onto the same dedicated loop, so the micro-batcher only ever runs on
+    one loop and async and sync callers coalesce together; the HTTP front
+    of :mod:`repro.serve.http` is a thin shim over ``query``.
     """
 
     def __init__(self, model_or_registry, config: Optional[ServerConfig] = None,
@@ -126,9 +129,12 @@ class PosteriorServer:
                                timeout_s=self.config.refit_timeout_s,
                                backoff_s=self.config.refit_backoff_s,
                                telemetry=self.telemetry, metrics=self.metrics)
-        #: fused-vs-rows verdict per model name ("fused" | "rows"), decided
-        #: on the first multi-request batch.
-        self._batch_mode: Dict[str, str] = {}
+        #: fused-vs-rows verdict per served model ("fused" | "rows"),
+        #: decided on the first multi-request batch.  Keyed by
+        #: ``(registry name, id(model))`` — NOT by ``model.name``, which
+        #: distinct registered models may share — so a validation verdict
+        #: can never be applied to a different model object.
+        self._batch_mode: Dict[tuple, str] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._loop_thread: Optional[threading.Thread] = None
         self._loop_lock = threading.Lock()
@@ -138,7 +144,23 @@ class PosteriorServer:
     # the async request path
     # ------------------------------------------------------------------
     async def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Answer one request dict (see :mod:`repro.serve.schema`)."""
+        """Answer one request dict (see :mod:`repro.serve.schema`).
+
+        Every request — this coroutine included — executes on the server's
+        dedicated loop thread, so the micro-batcher's pending state is only
+        ever touched from one loop and async callers coalesce with the
+        synchronous front.  Awaiting ``handle`` from a foreign loop bridges
+        the call onto the server loop and awaits the cross-thread result.
+        """
+        loop = self._ensure_loop()
+        if asyncio.get_running_loop() is loop:
+            return await self._handle_on_loop(request)
+        future = asyncio.run_coroutine_threadsafe(
+            self._handle_on_loop(request), loop)
+        return await asyncio.wrap_future(future)
+
+    async def _handle_on_loop(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The request body proper; runs on the dedicated server loop."""
         start = time.perf_counter()
         self.metrics.inc("serve.requests")
         raw = request if isinstance(request, dict) else {}
@@ -186,12 +208,18 @@ class PosteriorServer:
             source, fallback, draws, moments = await self._apply_fallback(
                 loop, req, entry, draws, moments)
             trusted = source == "nuts"
+        # Report the draw count actually shipped: a refit posterior may hold
+        # fewer draws than the request asked for (see _refit_draws).
+        num_draws = req["num_draws"]
+        if draws:
+            num_draws = int(np.asarray(next(iter(draws.values()))).shape[0])
         metadata = {
             "data_digest": entry.digest,
-            "num_draws": req["num_draws"],
+            "num_draws": num_draws,
+            "num_draws_requested": req["num_draws"],
             "seed": int(seed),
             "batch_size": result["batch_size"],
-            "batch_mode": self._batch_mode.get(req["model"]),
+            "batch_mode": self._batch_mode.get(self._mode_key(entry)),
             "refit_status": entry.refit_status,
         }
         if self.telemetry.enabled:
@@ -226,21 +254,34 @@ class PosteriorServer:
     # ------------------------------------------------------------------
     # batched evaluation (executor thread)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _mode_key(entry: CacheEntry) -> tuple:
+        """The grouping/validation identity of one entry's model.
+
+        The registry name is what requests route by, and ``id(model)``
+        pins the exact object (an entry holds a strong reference, so the
+        id is stable for its lifetime) — two models that happen to share a
+        ``.name``, or a re-registration under an old name, can never share
+        a fused group or a validation verdict.
+        """
+        return (entry.registry_name, id(entry.model))
+
     def _evaluate_batch(self, items: List[_QueryItem]) -> List[Dict[str, Any]]:
         """One coalesced evaluation; the only place draws are computed.
 
-        Groups items by model (a batch may interleave models), runs the
-        stacked fused path per group, and validates the first multi-item
-        group bitwise against the per-row reference before trusting it.
+        Groups items by served model identity (a batch may interleave
+        models), runs the stacked fused path per group, and validates the
+        first multi-item group bitwise against the per-row reference before
+        trusting it.
         """
         self.metrics.inc("serve.batch_evals")
         results: List[Optional[Dict[str, Any]]] = [None] * len(items)
-        groups: Dict[str, List[int]] = {}
+        groups: Dict[tuple, List[int]] = {}
         for index, item in enumerate(items):
-            groups.setdefault(item.entry.model.name, []).append(index)
-        for name, indices in groups.items():
+            groups.setdefault(self._mode_key(item.entry), []).append(index)
+        for key, indices in groups.items():
             group = [items[i] for i in indices]
-            mode = self._batch_mode.get(name)
+            mode = self._batch_mode.get(key)
             if len(group) == 1 or mode == "rows":
                 outs = [self._evaluate_single(item) for item in group]
             else:
@@ -248,14 +289,16 @@ class PosteriorServer:
                 if mode is None:
                     reference = [self._evaluate_single(item) for item in group]
                     if self._bitwise_equal(outs, reference):
-                        self._batch_mode[name] = "fused"
+                        self._batch_mode[key] = "fused"
                     else:
-                        self._batch_mode[name] = "rows"
+                        self._batch_mode[key] = "rows"
                         outs = reference
-                    self.metrics.set_info(f"serve.batch_mode.{name}",
-                                          self._batch_mode[name])
-                    self.telemetry.event("serve.batch_validate", model=name,
-                                         mode=self._batch_mode[name])
+                    registry_name = group[0].entry.registry_name
+                    self.metrics.set_info(f"serve.batch_mode.{registry_name}",
+                                          self._batch_mode[key])
+                    self.telemetry.event("serve.batch_validate",
+                                         model=registry_name,
+                                         mode=self._batch_mode[key])
             for item_index, out in zip(indices, outs):
                 out["batch_size"] = len(items)
                 results[item_index] = out
@@ -271,6 +314,10 @@ class PosteriorServer:
     def _evaluate_fused(self, group: List[_QueryItem]) -> List[Dict[str, Any]]:
         """One stacked guide forward + one stacked constrain for a group."""
         model = group[0].entry.model
+        if any(item.entry.model is not model for item in group[1:]):
+            raise ServeError(
+                "fused batch group mixes distinct model objects — grouping "
+                "by model identity is broken (this is a server bug)")
         stacked = np.vstack([item.entry.features for item in group])
         loc, scale = model.moments_for(stacked)          # (B, dim) each
         z_rows = [model.draws_from_moments(loc[i], scale[i],
@@ -333,7 +380,7 @@ class PosteriorServer:
 
             checkpoint_path = os.path.join(
                 cfg.refit_checkpoint_dir,
-                f"refit-{entry.model.name}-{entry.digest[:12]}.ckpt")
+                f"refit-{entry.registry_name}-{entry.digest[:12]}.ckpt")
         return entry.model.refit(
             entry.data, num_warmup=cfg.refit_num_warmup,
             num_samples=cfg.refit_num_samples, seed=cfg.refit_seed,
@@ -342,12 +389,18 @@ class PosteriorServer:
 
     @staticmethod
     def _refit_draws(entry: CacheEntry, num_draws: int) -> Dict[str, np.ndarray]:
-        """The last ``num_draws`` NUTS draws, chains flattened."""
+        """The last ``num_draws`` NUTS draws, chains flattened.
+
+        Clamped to what the refit actually produced: a request may ask for
+        more draws (up to ``MAX_NUM_DRAWS``) than the refit's
+        ``chains * samples``.  The response's ``metadata["num_draws"]``
+        reports the shipped count; ``num_draws_requested`` keeps the ask.
+        """
         posterior = entry.refit_posterior
         out: Dict[str, np.ndarray] = {}
         for site, value in posterior.draws.items():
             flat = np.reshape(value, (-1,) + value.shape[2:])
-            out[site] = flat[-num_draws:]
+            out[site] = flat[-min(num_draws, flat.shape[0]):]
         return out
 
     # ------------------------------------------------------------------

@@ -6,9 +6,14 @@ bounded in both dimensions: ``max_workers`` threads drain a queue whose
 depth is capped at ``max_queue`` — a burst of off-manifold queries past the
 cap is *shed* (``submit`` returns ``False`` and the response says so)
 instead of growing an unbounded backlog behind a blocked server.  Each job
-gets ``max_retries`` retries with exponential backoff and a per-attempt
-timeout; a timed-out attempt's thread is abandoned (daemonised — Python
-cannot cancel it) and the job retries or fails explicitly.
+gets ``max_retries`` retries with exponential backoff for *failing*
+attempts.  A *timed-out* attempt is different: its thread is abandoned
+(daemonised — Python cannot cancel it) but keeps running the fit under
+:data:`~repro.serve.amortized.EVAL_LOCK`, so retrying would immediately
+block behind it and stack a duplicate fit; a timeout therefore fails the
+job outright.  If the abandoned thread does finish later, its posterior is
+landed on the entry after the fact (and the checkpointed fit means a
+future resubmission resumes rather than restarts).
 """
 
 from __future__ import annotations
@@ -33,9 +38,10 @@ def _call_with_timeout(fn: Callable, entry: CacheEntry,
 
     ``None`` means unbounded (call inline).  Otherwise the call runs on a
     one-shot daemon thread and is abandoned on timeout — the documented
-    limitation of thread-based timeouts; the refit work itself is
-    checkpointed, so an abandoned attempt's progress is not lost to the
-    retry.
+    limitation of thread-based timeouts.  An abandoned attempt that
+    eventually finishes *late-lands* its posterior on the entry (unless a
+    result already arrived), so the work is not thrown away; the
+    checkpointed fit covers the crash/kill case.
     """
     if timeout_s is None:
         return fn(entry)
@@ -43,15 +49,25 @@ def _call_with_timeout(fn: Callable, entry: CacheEntry,
 
     def target() -> None:
         try:
-            box["value"] = fn(entry)
+            value = fn(entry)
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             box["error"] = exc
+            return
+        box["value"] = value
+        if box.get("abandoned") and entry is not None:
+            with entry.lock:
+                if entry.refit_status != "done":
+                    entry.refit_posterior = value
+                    entry.refit_status = "done"
+                    entry.refit_error = None
+            entry.refit_event.set()
 
     thread = threading.Thread(target=target, daemon=True,
                               name="repro-serve-refit-attempt")
     thread.start()
     thread.join(timeout_s)
     if thread.is_alive():
+        box["abandoned"] = True
         raise RefitTimeout(f"refit attempt exceeded {timeout_s:.1f}s")
     if "error" in box:
         raise box["error"]
@@ -155,6 +171,22 @@ class RefitPool:
                 try:
                     posterior = _call_with_timeout(self._refit, entry,
                                                    self.timeout_s)
+                except RefitTimeout as exc:
+                    # The abandoned attempt's thread is still running the
+                    # fit under EVAL_LOCK: a retry would block behind it and
+                    # queue a duplicate fit, so the timeout bounds nothing.
+                    # Fail the job outright; the attempt late-lands its
+                    # posterior if it ever finishes, and the checkpoint lets
+                    # a future resubmission resume.
+                    with entry.lock:
+                        if entry.refit_status != "done":
+                            entry.refit_status = "failed"
+                            entry.refit_error = f"{type(exc).__name__}: {exc}"
+                    if self.metrics is not None:
+                        self.metrics.inc("serve.refit_attempt_errors")
+                        self.metrics.inc("serve.refits_failed")
+                    span.set(outcome="timeout", attempts=attempt + 1)
+                    return
                 except Exception as exc:  # noqa: BLE001 - retried/recorded
                     if self.metrics is not None:
                         self.metrics.inc("serve.refit_attempt_errors")

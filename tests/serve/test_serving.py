@@ -7,6 +7,7 @@ the bitwise contract against ``query_direct``, and the guide-artifact
 save -> load -> serve round trip in a fresh process.
 """
 
+import asyncio
 import json
 import subprocess
 import sys
@@ -23,6 +24,7 @@ import pytest
 from repro.obs import MetricsRegistry
 from repro.serve import (
     AmortizedModel,
+    MicroBatcher,
     ModelRegistry,
     PosteriorServer,
     RefitPool,
@@ -214,6 +216,20 @@ class TestTrustGate:
         assert again["source"] == "nuts"
         assert server.metrics.value("serve.refits_queued") == 1
 
+    def test_refit_draw_count_is_clamped_and_reported(self, make_server):
+        # The refit holds chains * samples = 50 draws; asking for more must
+        # report the shipped count, not the requested one.
+        server = make_server(khat_threshold=-1.0)
+        response = server.query(
+            make_request(DATA, seed=5, num_draws=200, fallback="wait"),
+            timeout=300.0)
+        assert response["status"] == "ok"
+        assert response["source"] == "nuts"
+        shipped = np.asarray(response["draws"]["mu"]).shape[0]
+        assert shipped == 50
+        assert response["metadata"]["num_draws"] == 50
+        assert response["metadata"]["num_draws_requested"] == 200
+
     def test_none_fallback_ships_untrusted_guide_posterior(self, make_server):
         server = make_server(khat_threshold=-1.0)
         response = server.query(
@@ -296,6 +312,43 @@ class TestRefitPool:
             assert "RefitTimeout" in entry.refit_error
             assert metrics.value("serve.refits_failed") == 1
         finally:
+            pool.close(wait=False)
+
+    def test_timeout_fails_without_retry_and_late_lands(self):
+        """A timed-out attempt must not stack duplicate fits behind the
+        abandoned (still running) attempt — it fails the job in one attempt;
+        if the abandoned thread eventually finishes, its posterior lands."""
+        metrics = MetricsRegistry()
+        release = threading.Event()
+        calls = []
+
+        def slow(entry):
+            calls.append(1)
+            release.wait(timeout=30.0)
+            return "late-posterior"
+
+        pool = RefitPool(slow, max_workers=1, max_retries=3,
+                         timeout_s=0.05, backoff_s=0.01, metrics=metrics)
+        try:
+            entry = _fake_entry("late")
+            assert pool.submit(entry) is True
+            assert entry.refit_event.wait(timeout=30.0)
+            assert entry.refit_status == "failed"
+            assert "RefitTimeout" in entry.refit_error
+            assert len(calls) == 1  # no retry queued behind the abandoned fit
+            assert metrics.value("serve.refit_retries") == 0
+            assert metrics.value("serve.refits_failed") == 1
+            # The abandoned attempt finishes: its result lands after the fact.
+            release.set()
+            deadline = time.perf_counter() + 10.0
+            while (entry.refit_status != "done"
+                   and time.perf_counter() < deadline):
+                time.sleep(0.01)
+            assert entry.refit_status == "done"
+            assert entry.refit_posterior == "late-posterior"
+            assert entry.refit_error is None
+        finally:
+            release.set()
             pool.close(wait=False)
 
     def test_full_queue_sheds_load(self):
@@ -467,3 +520,170 @@ class TestHTTP:
         finally:
             httpd.shutdown()
             httpd.server_close()
+
+
+# ----------------------------------------------------------------------
+# review regressions: batch identity, lock-free cold builds, loop binding
+# ----------------------------------------------------------------------
+class _StubServeModel:
+    """A minimal stand-in implementing the batch-evaluation surface.
+
+    Every answer is filled with ``tag`` so a response provably came from
+    the model that produced it.  ``name`` is deliberately shared across
+    instances: grouping by ``model.name`` instead of registered identity
+    would coalesce distinct models into one fused group.
+    """
+
+    def __init__(self, tag):
+        self.name = "model"  # shared on purpose
+        self.tag = float(tag)
+
+    def query_direct(self, data=None, *, features=None, num_draws=1, seed=0):
+        return {"draws": {"x": np.full((num_draws,), self.tag)},
+                "loc": np.full(1, self.tag), "scale": np.ones(1)}
+
+    def moments_for(self, stacked):
+        batch = stacked.shape[0]
+        return np.full((batch, 1), self.tag), np.ones((batch, 1))
+
+    def draws_from_moments(self, loc, scale, num_draws, seed):
+        return np.zeros((int(num_draws), 1))
+
+    def constrain(self, z):
+        return {"x": np.full((z.shape[0],), self.tag)}
+
+
+class TestBatchModelIdentity:
+    def test_mixed_batch_groups_by_registered_identity(self):
+        from repro.serve.server import _QueryItem
+
+        registry = ModelRegistry()
+        model_a, model_b = _StubServeModel(1.0), _StubServeModel(2.0)
+        registry.register(model_a, name="a")
+        registry.register(model_b, name="b")
+        server = PosteriorServer(registry)
+        try:
+            entry_a = CacheEntry(model_a, digest="a" * 40, data={},
+                                 potential=None, features=np.zeros((1, 1)),
+                                 registry_name="a")
+            entry_b = CacheEntry(model_b, digest="b" * 40, data={},
+                                 potential=None, features=np.zeros((1, 1)),
+                                 registry_name="b")
+            # Earlier single-model traffic validated model A's fused path —
+            # the state that previously suppressed validation for a mixed
+            # batch keyed by the shared model.name.
+            server._batch_mode[server._mode_key(entry_a)] = "fused"
+            items = [_QueryItem(entry=entry_a, num_draws=4, seed=0),
+                     _QueryItem(entry=entry_b, num_draws=4, seed=0),
+                     _QueryItem(entry=entry_a, num_draws=4, seed=1)]
+            results = server._evaluate_batch(items)
+            for item, result in zip(items, results):
+                expected = item.entry.model.tag
+                assert np.all(np.asarray(result["draws"]["x"]) == expected), (
+                    "query answered by a different model than it was "
+                    "routed to")
+            # The two registered identities never share a batch-mode key.
+            assert (server._mode_key(entry_a) != server._mode_key(entry_b))
+        finally:
+            server.close()
+
+
+class _BuildProbeModel:
+    """Registry stub whose entry build can block or count invocations."""
+
+    def __init__(self, name, gate=None, calls=None, delay=0.0):
+        self.name = name
+        self.gate = gate
+        self.calls = calls
+        self.delay = delay
+        self.started = threading.Event()
+
+    def potential_for(self, data):
+        if self.calls is not None:
+            self.calls.append(threading.get_ident())
+        self.started.set()
+        if self.delay:
+            time.sleep(self.delay)
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30.0)
+        return None
+
+    def features_for(self, potential):
+        return np.zeros((1, 1))
+
+
+class TestRegistryLocking:
+    def test_cold_build_does_not_block_other_requests(self):
+        release = threading.Event()
+        slow = _BuildProbeModel("slow", gate=release)
+        fast = _BuildProbeModel("fast")
+        registry = ModelRegistry()
+        registry.register(slow)
+        registry.register(fast)
+        warm = registry.entry_for("fast", {"x": 1})
+        worker = threading.Thread(
+            target=registry.entry_for, args=("slow", {"x": 2}), daemon=True)
+        worker.start()
+        assert slow.started.wait(timeout=10.0)
+        try:
+            # While the slow build holds EVAL_LOCK-equivalent work, cache
+            # hits and other cold builds must complete immediately.
+            deadline = time.perf_counter() + 5.0
+            assert registry.entry_for("fast", {"x": 1}) is warm
+            fresh = registry.entry_for("fast", {"x": 3})
+            assert fresh is not warm
+            assert time.perf_counter() < deadline, (
+                "requests stalled behind an in-flight cold build")
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+        assert registry.cached_entries() == 3
+
+    def test_thundering_herd_builds_once(self):
+        calls = []
+        model = _BuildProbeModel("herd", calls=calls, delay=0.05)
+        registry = ModelRegistry()
+        registry.register(model)
+        entries = [None] * 6
+        barrier = threading.Barrier(len(entries))
+
+        def hit(i):
+            barrier.wait(timeout=10.0)
+            entries[i] = registry.entry_for("herd", {"x": 9})
+
+        threads = [threading.Thread(target=hit, args=(i,))
+                   for i in range(len(entries))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(calls) == 1, "equal cold requests duplicated the build"
+        assert all(entry is entries[0] for entry in entries)
+
+
+class TestLoopBinding:
+    def test_batcher_rejects_submit_from_second_loop(self):
+        batcher = MicroBatcher(lambda items: [0] * len(items), max_wait_ms=1.0)
+        assert asyncio.run(batcher.submit("first")) == 0
+        with pytest.raises(RuntimeError, match="bound to the event loop"):
+            asyncio.run(batcher.submit("second"))
+
+    def test_handle_bridges_foreign_loop_onto_server_loop(self, make_server,
+                                                          trained):
+        server = make_server()
+
+        async def drive():
+            requests = [make_request(DATA, seed=i, num_draws=4,
+                                     fallback="none") for i in range(4)]
+            return await asyncio.gather(
+                *[server.handle(request) for request in requests])
+
+        responses = asyncio.run(drive())
+        assert all(r["status"] == "ok" for r in responses)
+        direct = trained.query_direct(data=DATA, num_draws=4, seed=0)
+        assert np.array_equal(np.asarray(responses[0]["draws"]["mu"]),
+                              direct["draws"]["mu"])
+        # The sync front shares the same loop afterwards without racing.
+        follow_up = server.query(make_request(DATA, seed=9, num_draws=4,
+                                              fallback="none"), timeout=120.0)
+        assert follow_up["status"] == "ok"
