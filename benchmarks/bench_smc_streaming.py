@@ -1,0 +1,98 @@
+"""Streaming SMC vs full-refit NUTS (BENCH_smc.json).
+
+The streaming engine's economic claim: once a posterior is fitted, each
+``extend(new_data)`` assimilation costs a handful of tempering rungs —
+far less than refitting NUTS from scratch on the grown dataset — while
+agreeing with the refit within Monte Carlo error.
+
+Each workload from :mod:`repro.evaluation.streaming` runs both ways:
+
+* **streaming** — ``fit("smc")`` on the first chunk, one ``extend()`` per
+  arriving chunk;
+* **refit twin** — a fresh NUTS fit on the final cumulative dataset,
+  started from a deterministic basin-correct point (favouring the
+  *baseline* with a good start is conservative for the streaming claim).
+
+The gate (also enforced by ``check_bench_regressions.py``): the final
+assimilation beats the refit wall-clock (``speedup >= SPEEDUP_MIN``) and
+the two posteriors agree within ``MCSE_SIGMAS_THRESHOLD`` combined Monte
+Carlo standard errors — the same honest two-finite-runs metric the
+discrete-inference benchmarks gate on.  ``REPRO_BENCH_ITERS`` (CI smoke)
+shrinks chunk sizes, particle counts, and the refit run; the agreement
+and speedup gates hold in both cuts.
+"""
+
+import os
+
+from conftest import record, record_json
+
+from repro.evaluation.streaming import (
+    run_streaming_comparison,
+    streaming_hmm,
+    streaming_regression,
+)
+
+BENCH_ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "0"))
+FULL_RUN = BENCH_ITERS == 0
+
+#: agreement bar, in combined Monte Carlo standard errors.
+MCSE_SIGMAS_THRESHOLD = 4.0
+#: the final assimilation must beat the full refit wall-clock outright.
+SPEEDUP_MIN = 1.0
+
+if FULL_RUN:
+    CASES = [
+        (streaming_regression(), dict(num_particles=192)),
+        (streaming_hmm(), dict(num_particles=96)),
+    ]
+    REFIT = dict(refit_warmup=300, refit_samples=300)
+else:
+    CASES = [
+        (streaming_regression(sizes=(24, 36, 48)), dict(num_particles=64)),
+        (streaming_hmm(sizes=(16, 24)), dict(num_particles=48)),
+    ]
+    REFIT = dict(refit_warmup=120, refit_samples=120)
+
+
+def test_streaming_smc_beats_refit():
+    workloads = {}
+    lines = []
+    for workload, kwargs in CASES:
+        cmp = run_streaming_comparison(
+            workload, sigmas_threshold=MCSE_SIGMAS_THRESHOLD,
+            **kwargs, **REFIT)
+        workloads[workload.name] = {
+            "sizes": list(cmp.sizes),
+            "num_particles": kwargs["num_particles"],
+            "init_seconds": cmp.init_seconds,
+            "extend_seconds": list(cmp.extend_seconds),
+            "last_extend_seconds": (cmp.extend_seconds[-1]
+                                    if cmp.extend_seconds
+                                    else cmp.init_seconds),
+            "refit_seconds": cmp.refit_seconds,
+            "speedup": cmp.speedup,
+            "speedup_min": SPEEDUP_MIN,
+            "max_mcse_sigmas": cmp.max_mcse_sigmas,
+            "agreement_passed": cmp.agreement_passed,
+            "tempering_steps": cmp.tempering_steps,
+            "normalized_ess": cmp.normalized_ess,
+        }
+        lines.append(
+            f"{workload.name}: sizes={list(cmp.sizes)} "
+            f"extend={[round(s, 2) for s in cmp.extend_seconds]}s "
+            f"refit={cmp.refit_seconds:.2f}s speedup={cmp.speedup:.1f}x "
+            f"sigmas={cmp.max_mcse_sigmas:.2f} "
+            f"ness={cmp.normalized_ess:.2f}")
+
+    record("Streaming SMC vs full NUTS refit", lines)
+    record_json("BENCH_smc.json", {
+        "full_run": FULL_RUN,
+        "mcse_sigmas_threshold": MCSE_SIGMAS_THRESHOLD,
+        "workloads": workloads,
+    })
+
+    for name, row in workloads.items():
+        assert row["agreement_passed"], \
+            f"{name}: disagrees with refit ({row['max_mcse_sigmas']:.2f} sigmas)"
+        assert row["speedup"] >= SPEEDUP_MIN, \
+            f"{name}: extend() lost to the refit ({row['speedup']:.2f}x)"

@@ -27,7 +27,11 @@ loads whichever of the known artifacts exist in the directory and fails
 * ``BENCH_serving.json`` — batched serving throughput stayed >= the recorded
   multiple of sequential, the micro-batcher used strictly fewer batched
   evaluations than requests, every response carried a k-hat, and served
-  draws stayed bitwise-identical to the direct guide evaluation.
+  draws stayed bitwise-identical to the direct guide evaluation;
+* ``BENCH_smc.json`` — every streaming workload's final ``extend()`` still
+  beat the full NUTS refit wall-clock (``speedup >= speedup_min``) and the
+  streaming posterior agreed with the refit twin within
+  ``max_mcse_sigmas`` < 4.
 
 Usage::
 
@@ -138,6 +142,24 @@ def _check_serving(payload: dict, problems: List[str]) -> None:
             "evaluation (bitwise_with_query_direct is false)")
 
 
+def _check_smc(payload: dict, problems: List[str]) -> None:
+    threshold = payload.get("mcse_sigmas_threshold", MCSE_SIGMAS_THRESHOLD)
+    for name, row in payload.get("workloads", {}).items():
+        sigmas = row.get("max_mcse_sigmas")
+        if sigmas is None or sigmas >= threshold:
+            problems.append(
+                f"BENCH_smc: {name} max_mcse_sigmas={sigmas!r} "
+                f"(threshold < {threshold})")
+        if not row.get("agreement_passed", False):
+            problems.append(f"BENCH_smc: {name} agreement_passed is false")
+        speedup = row.get("speedup")
+        speedup_min = row.get("speedup_min")
+        if speedup is None or speedup_min is None or speedup < speedup_min:
+            problems.append(
+                f"BENCH_smc: {name} speedup={speedup!r} — extend() no longer "
+                f"beats the full refit (threshold >= {speedup_min!r})")
+
+
 def _check_vectorized(payload: dict, problems: List[str]) -> None:
     speedup = payload.get("geometric_mean_speedup")
     threshold = payload.get("speedup_threshold")
@@ -155,6 +177,7 @@ CHECKS: Dict[str, Callable[[dict, List[str]], None]] = {
     "BENCH_vectorized.json": _check_vectorized,
     "BENCH_obs_overhead.json": _check_obs_overhead,
     "BENCH_serving.json": _check_serving,
+    "BENCH_smc.json": _check_smc,
 }
 
 

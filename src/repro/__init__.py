@@ -7,7 +7,7 @@ Top-level API:
   DeepStan) source with one of the three compilation schemes (``generative``,
   ``comprehensive``, ``mixed``) targeting the ``pyro`` or ``numpyro`` runtime;
   string sources are memoised on ``(source, scheme, backend)``.
-* ``compiled.condition(data).fit("nuts" | "hmc" | "vi" | "svi" | "importance")``
+* ``compiled.condition(data).fit("nuts" | "hmc" | "vi" | "svi" | "importance" | "smc")``
   — the posterior-first pipeline; every fit satisfies
   :class:`repro.FitResult` and produces a :class:`repro.Posterior`
   (``save``/``load``, ``stack``/``concat``, cached ``summary``).  MCMC and
@@ -43,6 +43,7 @@ from repro.enum import EnumerationError, TableSizeError, infer_discrete
 from repro.infer.results import FitResult, Posterior
 from repro.obs import ObsConfig, Telemetry, TraceLog
 from repro.serve import AmortizedModel, PosteriorServer, ServerConfig
+from repro.smc import ParticleEnsemble, StreamingFit
 
 __version__ = "0.1.0"
 
@@ -69,5 +70,7 @@ __all__ = [
     "AmortizedModel",
     "PosteriorServer",
     "ServerConfig",
+    "ParticleEnsemble",
+    "StreamingFit",
     "__version__",
 ]

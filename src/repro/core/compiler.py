@@ -52,7 +52,7 @@ SCHEMES = ("generative", "comprehensive", "mixed")
 BACKENDS = ("pyro", "numpyro")
 
 #: inference methods accepted by :meth:`ConditionedModel.fit`.
-FIT_METHODS = ("nuts", "hmc", "vi", "svi", "advi", "importance")
+FIT_METHODS = ("nuts", "hmc", "vi", "svi", "advi", "importance", "smc")
 
 
 @dataclass
@@ -398,6 +398,8 @@ class ConditionedModel:
             return self._fit_vi(**kwargs)
         if key == "importance":
             return self._fit_importance(**kwargs)
+        if key == "smc":
+            return self._fit_smc(**kwargs)
         raise ValueError(f"unknown fit method {method!r}; expected one of {FIT_METHODS}")
 
     def _make_kernel(self, method: str, seed: int, max_tree_depth: int = 10,
@@ -524,6 +526,14 @@ class ConditionedModel:
         sampler.metadata.update(self._metadata("importance", seed))
         return sampler.run()
 
+    def _fit_smc(self, **kwargs):
+        """Streaming SMC: temper from a prior/guide-seeded reference to the
+        posterior; the returned :class:`~repro.smc.StreamingFit` then absorbs
+        new observations via ``extend(new_data)`` without refitting."""
+        from repro.smc import StreamingFit
+
+        return StreamingFit(self, **kwargs).run()
+
     # ------------------------------------------------------------------
     # resuming checkpointed fits
     # ------------------------------------------------------------------
@@ -576,6 +586,12 @@ class ConditionedModel:
                                        **kwargs)
             engine.metadata.update(self._metadata("vi", engine.seed))
             return engine
+        from repro.smc import SMC_CHECKPOINT_FORMAT, StreamingFit
+        if kind == SMC_CHECKPOINT_FORMAT:
+            self._resume_seed(kwargs, payload["config"]["seed"])
+            return StreamingFit.resume_payload(
+                payload, self, default_path=base_checkpoint_path(path),
+                **kwargs)
         raise ValueError(f"{path} is not a recognised checkpoint (format={kind!r})")
 
     @staticmethod

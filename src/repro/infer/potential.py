@@ -1278,6 +1278,27 @@ class Potential:
         self.telemetry.event("batched.demote", num_chains=c,
                              reason=f"{type(reason).__name__}: {reason}")
 
+    def share_batched_classification(self, store: Dict[int, str]) -> None:
+        """Adopt ``store`` as this potential's batched-tier table.
+
+        The fast/loop classification is *structural*: it depends on how the
+        model's graph vectorizes over the chain axis, not on the observed
+        values — so potentials over same-shaped data for the same model can
+        share one table instead of each paying the full
+        ``VALIDATION_PROBES``-probe row-loop comparison on first batched
+        use (the serving layer's cold-dataset k-hat tax).  Tiers this
+        potential already established are merged in without overwriting the
+        store's; afterwards classification results (including runtime
+        demotions, which are conservative) are written straight into the
+        shared dict, visible to every sharer.  The runtime demote-on-error
+        guard still protects each potential individually if the structural
+        assumption is ever wrong for a particular dataset.
+        """
+        with self._validation_lock:
+            for count, mode in self._batched_mode.items():
+                store.setdefault(count, mode)
+            self._batched_mode = store
+
     def potential_batched(self, z: np.ndarray) -> np.ndarray:
         """Batched potential *values* only, shape ``(C,)`` — no gradients.
 

@@ -172,13 +172,30 @@ class Posterior:
             name: np.concatenate([p.draws[name] for p in posteriors], axis=axis)
             for name in head.draws
         }
-        stat_keys = set(head.stats)
-        for other in posteriors[1:]:
-            stat_keys &= set(other.stats)
-        stats = {
-            key: np.concatenate([p.stats[key] for p in posteriors], axis=axis)
-            for key in head.stats if key in stat_keys
-        }
+        # Sampler-stats keys are *unioned*: streaming engines legitimately
+        # emit per-step posteriors with differing stats (e.g. an SMC step
+        # whose ladder needed no rejuvenation has no accept_prob), so a
+        # part missing a key contributes NaN fill of that part's own
+        # (chains, draws) block instead of silently dropping the stat.
+        stat_keys: List[str] = []
+        for posterior in posteriors:
+            for key in posterior.stats:
+                if key not in stat_keys:
+                    stat_keys.append(key)
+        stats = {}
+        for key in stat_keys:
+            template = next(p.stats[key] for p in posteriors if key in p.stats)
+            parts = []
+            for posterior in posteriors:
+                value = posterior.stats.get(key)
+                if value is None:
+                    shape = ((posterior._chains, posterior._num_draws)
+                             + template.shape[2:])
+                    value = np.full(shape, np.nan, dtype=template.dtype
+                                    if np.issubdtype(template.dtype, np.floating)
+                                    else float)
+                parts.append(value)
+            stats[key] = np.concatenate(parts, axis=axis)
         if all(p.unconstrained is not None for p in posteriors):
             unconstrained = np.concatenate(
                 [p.unconstrained for p in posteriors], axis=axis)

@@ -178,9 +178,14 @@ class Telemetry:
     def report(self) -> str:
         return report(self)
 
-    def save(self, path) -> str:
-        """Persist the trace log as JSONL (see :meth:`TraceLog.save`)."""
-        return self.log.save(path)
+    def save(self, path, append: bool = False) -> str:
+        """Persist the trace log as JSONL (see :meth:`TraceLog.save`).
+
+        ``append=True`` flushes only the records added since the last save
+        — the incremental mode long-lived streaming fits use at checkpoint
+        time.
+        """
+        return self.log.save(path, append=append)
 
     def __repr__(self) -> str:
         return f"Telemetry({self.log!r})"

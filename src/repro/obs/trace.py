@@ -120,6 +120,9 @@ class TraceLog:
 
     def __init__(self, records: Optional[Iterable[Dict[str, Any]]] = None) -> None:
         self.records: List[Dict[str, Any]] = list(records) if records is not None else []
+        # Number of records already flushed to disk by this instance —
+        # the incremental-save cursor for ``save(path, append=True)``.
+        self._flushed = 0
 
     def append(self, record: Dict[str, Any]) -> None:
         self.records.append(record)
@@ -162,14 +165,26 @@ class TraceLog:
         return roots
 
     # -- persistence ---------------------------------------------------
-    def save(self, path: os.PathLike) -> str:
+    def save(self, path: os.PathLike, append: bool = False) -> str:
+        """Write the log as JSONL; ``append=True`` flushes incrementally.
+
+        In append mode only the records added since this instance's last
+        ``save`` are written (tracked by an instance-local cursor), so a
+        long-lived streaming fit can flush its spans at every checkpoint
+        without rewriting the whole file.  The first append-mode save of a
+        fresh instance writes everything; a full (``append=False``) save
+        rewrites the file and resets the cursor, so mixing modes never
+        duplicates records.
+        """
         path = os.fspath(path)
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            for record in self.records:
+        pending = self.records[self._flushed:] if append else self.records
+        with open(path, "a" if append else "w", encoding="utf-8") as handle:
+            for record in pending:
                 handle.write(json.dumps(record, default=_json_default) + "\n")
+        self._flushed = len(self.records)
         return path
 
     @classmethod

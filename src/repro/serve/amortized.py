@@ -89,6 +89,12 @@ class AmortizedModel:
         #: training facts (steps, seed, final ELBO, reference k-hat);
         #: persisted in the artifact sidecar.
         self.training: Dict[str, Any] = {}
+        #: shared batched-evaluation tier table: the fast/loop classification
+        #: is structural per model (the serving feature-width contract pins
+        #: the data shape), so every per-dataset potential adopts this one
+        #: store instead of re-running the probe validation — cold datasets
+        #: skip the per-dataset classification before their first k-hat.
+        self.batched_tiers: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -136,6 +142,10 @@ class AmortizedModel:
                                       min_draws=khat_min_draws)
         self.guide = vi.guide
         self.reference_potential = vi.potential
+        # The training k-hat already classified the reference potential's
+        # batched tiers; seed the shared store so query potentials inherit
+        # the classification instead of re-validating per dataset.
+        vi.potential.share_batched_classification(self.batched_tiers)
         self.reference_data = canonical_data(data)
         self.training = {
             "num_steps": int(num_steps),
@@ -166,6 +176,7 @@ class AmortizedModel:
         guide.net.load_state_dict(state)
         self.guide = guide
         self.reference_potential = potential
+        potential.share_batched_classification(self.batched_tiers)
         self.reference_data = canonical_data(reference_data)
         self.training = dict(training or {})
         return self
@@ -174,9 +185,18 @@ class AmortizedModel:
     # per-query pieces (the registry caches these per data digest)
     # ------------------------------------------------------------------
     def potential_for(self, data: Dict[str, Any]):
-        """A fresh :class:`~repro.infer.Potential` over query data."""
+        """A fresh :class:`~repro.infer.Potential` over query data.
+
+        The fresh potential adopts the model-wide batched-tier store, so a
+        cold dataset's first batched evaluation (the per-query k-hat's 512
+        density rows) reuses the classification instead of paying the
+        probe-validation row loop.
+        """
         with EVAL_LOCK:
-            return self._compiled.condition(canonical_data(data)).potential(0)
+            potential = self._compiled.condition(
+                canonical_data(data)).potential(0)
+        potential.share_batched_classification(self.batched_tiers)
+        return potential
 
     def features_for(self, potential) -> np.ndarray:
         """The guide's ``(1, F)`` feature row for a query potential.

@@ -161,6 +161,11 @@ class ModelRegistry:
             return pending.entry
         try:
             potential = model.potential_for(data)
+            # Batched k-hat fast path: ``potential_for`` hands every cache
+            # entry's potential the model-wide shared tier table, so only
+            # the *first* entry per model (usually the training reference)
+            # pays the batched-mode probe classification — cold datasets go
+            # straight to the validated tier for their first k-hat.
             features = model.features_for(potential)
             entry = CacheEntry(model, digest, dict(data), potential, features,
                                registry_name=str(name))

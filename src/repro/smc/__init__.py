@@ -1,0 +1,39 @@
+"""Streaming Sequential Monte Carlo engine.
+
+Particle ensembles on the batched ``(C, dim)`` chain axis, data-tempered
+updates to absorb new observations without refitting, and resample-move
+rejuvenation via the existing generator-protocol HMC/NUTS kernels.  Entry
+point: ``compile_model(...).condition(data).fit("smc")`` returns a
+:class:`StreamingFit`; ``fit.extend(new_data)`` assimilates a grown
+dataset and emits a fresh :class:`~repro.infer.Posterior`.
+"""
+
+from .ensemble import ParticleEnsemble
+from .fit import SMC_CHECKPOINT_FORMAT, SMCUpdate, StreamingFit
+from .resample import (
+    RESAMPLERS,
+    ess,
+    get_resampler,
+    multinomial_resample,
+    normalized_weights,
+    stratified_resample,
+    systematic_resample,
+)
+from .tempering import GaussianReference, TemperedPotential, next_beta
+
+__all__ = [
+    "ParticleEnsemble",
+    "SMC_CHECKPOINT_FORMAT",
+    "SMCUpdate",
+    "StreamingFit",
+    "RESAMPLERS",
+    "ess",
+    "get_resampler",
+    "multinomial_resample",
+    "normalized_weights",
+    "stratified_resample",
+    "systematic_resample",
+    "GaussianReference",
+    "TemperedPotential",
+    "next_beta",
+]

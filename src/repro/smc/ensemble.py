@@ -1,0 +1,151 @@
+"""Particle ensemble state for the SMC engine.
+
+A :class:`ParticleEnsemble` is the full mutable state of an SMC run:
+particle positions on the unconstrained scale (``(n, dim)`` — the same
+batched chain axis ``potential_and_grad_batched`` vectorizes over),
+unnormalized log-weights, and the RNG streams.  Randomness is split the
+same way the MCMC driver splits chains: one root ``SeedSequence(seed)``
+spawns ``n + 1`` independent child streams — one per particle *slot* plus
+a dedicated resampling stream — so particle ``i``'s stream depends only on
+``(seed, i)`` and is independent of every ensemble operation.
+
+Streams are bound to slot *indices*, not particle identities: resampling
+permutes positions but never copies generators.  Copying them would hand
+duplicated particles bitwise-identical randomness, making their subsequent
+rejuvenation moves identical and silently collapsing ensemble diversity.
+
+``snapshot()`` captures everything — positions, log-weights, and the exact
+bit-state of every generator — and ``from_snapshot`` restores it, which is
+what makes SMC checkpoints kill/resume *bitwise* (same contract as the
+PR-3 MCMC checkpoints).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.infer.checkpoint import restore_rng, rng_state
+
+from .resample import Resampler, ess, normalized_weights
+
+
+class ParticleEnsemble:
+    """Positions, log-weights, and RNG streams of one SMC particle system."""
+
+    def __init__(self, positions: np.ndarray, log_weights: np.ndarray,
+                 rngs: List[np.random.Generator],
+                 resample_rng: np.random.Generator):
+        positions = np.asarray(positions, dtype=float)
+        log_weights = np.asarray(log_weights, dtype=float)
+        if positions.ndim != 2:
+            raise ValueError("positions must have shape (num_particles, dim)")
+        if log_weights.shape != (positions.shape[0],):
+            raise ValueError("log_weights must have shape (num_particles,)")
+        if len(rngs) != positions.shape[0]:
+            raise ValueError("need exactly one RNG stream per particle slot")
+        self.positions = positions
+        self.log_weights = log_weights
+        self.rngs = list(rngs)
+        self.resample_rng = resample_rng
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def allocate(cls, num_particles: int, dim: int,
+                 seed: int) -> "ParticleEnsemble":
+        """Uniform-weight ensemble at the origin with spawned RNG streams."""
+        num_particles = int(num_particles)
+        if num_particles < 2:
+            raise ValueError("an ensemble needs at least 2 particles")
+        streams = np.random.SeedSequence(seed).spawn(num_particles + 1)
+        rngs = [np.random.default_rng(s) for s in streams[:num_particles]]
+        resample_rng = np.random.default_rng(streams[num_particles])
+        return cls(positions=np.zeros((num_particles, int(dim))),
+                   log_weights=np.zeros(num_particles),
+                   rngs=rngs, resample_rng=resample_rng)
+
+    # ------------------------------------------------------------------
+    # weight bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def num_particles(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.positions.shape[1]
+
+    def weights(self) -> np.ndarray:
+        """Self-normalized weights."""
+        return normalized_weights(self.log_weights)
+
+    def ess(self) -> float:
+        """Effective sample size of the current weights (1 .. n)."""
+        return ess(self.log_weights)
+
+    def normalized_ess(self) -> float:
+        """ESS as a fraction of the particle count (1/n .. 1)."""
+        return self.ess() / self.num_particles
+
+    def weighted_mean(self) -> np.ndarray:
+        return np.sum(self.weights()[:, None] * self.positions, axis=0)
+
+    def weighted_variance(self, floor: float = 1e-6) -> np.ndarray:
+        """Per-dimension weighted ensemble variance (floored).
+
+        The rejuvenation kernels use this as their inverse mass matrix —
+        the ensemble's own spread *is* the scale estimate warmup adaptation
+        would otherwise have to learn.
+        """
+        mean = self.weighted_mean()
+        centered = self.positions - mean
+        var = np.sum(self.weights()[:, None] * centered ** 2, axis=0)
+        return np.maximum(var, floor)
+
+    # ------------------------------------------------------------------
+    # resampling
+    # ------------------------------------------------------------------
+    def resample(self, resampler: Resampler) -> np.ndarray:
+        """Replace the ensemble by ``n`` ancestors drawn by ``resampler``.
+
+        Positions are gathered by ancestor index, weights reset to uniform;
+        RNG streams stay bound to their slots (see module docstring).
+        Returns the ancestor index array.
+        """
+        indices = resampler(self.weights(), self.num_particles,
+                            self.resample_rng)
+        self.positions = self.positions[indices].copy()
+        self.log_weights = np.zeros(self.num_particles)
+        return indices
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything needed to restore this ensemble bitwise."""
+        return {
+            "positions": self.positions.copy(),
+            "log_weights": self.log_weights.copy(),
+            "rng_states": [rng_state(rng) for rng in self.rngs],
+            "resample_rng_state": rng_state(self.resample_rng),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Any]) -> "ParticleEnsemble":
+        rngs = [restore_rng(state) for state in snapshot["rng_states"]]
+        return cls(positions=np.array(snapshot["positions"], dtype=float),
+                   log_weights=np.array(snapshot["log_weights"], dtype=float),
+                   rngs=rngs,
+                   resample_rng=restore_rng(snapshot["resample_rng_state"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ParticleEnsemble(n={self.num_particles}, dim={self.dim}, "
+                f"ess={self.ess():.1f})")
+
+
+def checkpoint_rngs(rngs: List[np.random.Generator]) -> List[Optional[dict]]:
+    """Bit-states for a list of generators (checkpoint helper)."""
+    return [rng_state(rng) for rng in rngs]

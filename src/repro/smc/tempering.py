@@ -1,0 +1,201 @@
+"""Tempered bridges between potentials and the adaptive ladder.
+
+Data tempering moves a particle ensemble from an easy distribution
+``pi_0 \\propto exp(-U_0)`` to the target ``pi_1 \\propto exp(-U_1)``
+through the geometric bridge
+
+    ``U_beta(z) = (1 - beta) * U_0(z) + beta * U_1(z)``,   beta: 0 -> 1.
+
+Stepping ``beta -> beta'`` reweights each particle by
+
+    ``delta_logw = (beta' - beta) * (U_0(z) - U_1(z))``
+
+(the ratio ``pi_beta' / pi_beta`` up to a constant), so one value-only
+batched evaluation of each endpoint prices the whole ensemble.
+
+:class:`TemperedPotential` exposes the bridge behind the same evaluation
+surface the HMC/NUTS kernels consume (``dim``, ``potential_and_grad``,
+``potential_and_grad_batched``), combining the endpoints with identical
+elementwise arithmetic in the scalar and batched paths — since each
+endpoint's batched evaluation is already bitwise-equal to its sequential
+oracle (or demoted to the row loop), the bridge inherits the
+sequential/vectorized bitwise contract for free.
+
+:class:`GaussianReference` is the analytic ``U_0`` used to *initialize* a
+streaming fit: a diagonal Gaussian with closed-form density and gradient.
+The ensemble is sampled directly from it, so the ``beta = 0`` weights are
+exactly uniform and the tempering ladder itself performs the importance
+correction from the (prior- or guide-seeded) proposal to the posterior.
+
+:func:`next_beta` picks the ladder rungs adaptively: bisection on the
+candidate ESS chooses the largest ``beta'`` that keeps the reweighted ESS
+at the target fraction — pure deterministic arithmetic on the ensemble
+state, so the ladder checkpoints/resumes bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .resample import ess
+
+
+class GaussianReference:
+    """Diagonal-Gaussian reference potential ``U(z) = -log N(z; loc, scale)``."""
+
+    def __init__(self, loc: np.ndarray, scale: np.ndarray):
+        self.loc = np.asarray(loc, dtype=float).reshape(-1)
+        self.scale = np.asarray(scale, dtype=float).reshape(-1)
+        if self.loc.shape != self.scale.shape:
+            raise ValueError("loc and scale must have the same shape")
+        if not np.all(self.scale > 0):
+            raise ValueError("scale must be strictly positive")
+        self.dim = self.loc.size
+        self._log_norm = float(0.5 * self.dim * np.log(2.0 * np.pi)
+                               + np.sum(np.log(self.scale)))
+
+    @classmethod
+    def from_draws(cls, draws: np.ndarray, inflation: float = 1.5,
+                   scale_floor: float = 1e-2) -> "GaussianReference":
+        """Moment-match a reference to ``(S, dim)`` unconstrained draws.
+
+        ``inflation`` widens the matched scale so the reference over-covers
+        the proposal (a too-narrow ``U_0`` starves the bridge of tail mass);
+        ``scale_floor`` guards degenerate dimensions (e.g. a delta-like
+        guide) against zero scale.
+        """
+        draws = np.asarray(draws, dtype=float)
+        if draws.ndim != 2 or draws.shape[0] < 2:
+            raise ValueError("need at least 2 draws of shape (S, dim)")
+        loc = np.mean(draws, axis=0)
+        scale = np.maximum(np.std(draws, axis=0) * float(inflation),
+                           scale_floor)
+        return cls(loc, scale)
+
+    @classmethod
+    def from_moments(cls, loc: np.ndarray, scale: np.ndarray,
+                     inflation: float = 1.5,
+                     scale_floor: float = 1e-2) -> "GaussianReference":
+        scale = np.maximum(np.asarray(scale, dtype=float) * float(inflation),
+                           scale_floor)
+        return cls(loc, scale)
+
+    # ------------------------------------------------------------------
+    # evaluation (same surface as Potential, diagonal-Gaussian closed form)
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.loc + self.scale * rng.standard_normal((int(n), self.dim))
+
+    def _batched(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        resid = (z - self.loc) / self.scale
+        values = 0.5 * np.sum(resid * resid, axis=-1) + self._log_norm
+        grads = resid / self.scale
+        return values, grads
+
+    def potential_and_grad_batched(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        z = np.asarray(z, dtype=float)
+        return self._batched(z)
+
+    def potential_batched(self, z: np.ndarray) -> np.ndarray:
+        return self._batched(np.asarray(z, dtype=float))[0]
+
+    def potential_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        # Route through the batched arithmetic so scalar and batched
+        # evaluations are bitwise-identical by construction.
+        values, grads = self._batched(np.asarray(z, dtype=float)[None, :])
+        return float(values[0]), grads[0]
+
+    def snapshot(self) -> dict:
+        return {"loc": self.loc.copy(), "scale": self.scale.copy()}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "GaussianReference":
+        return cls(snapshot["loc"], snapshot["scale"])
+
+
+class TemperedPotential:
+    """The geometric bridge ``(1 - beta) * U_base + beta * U_target``.
+
+    Quacks like a :class:`~repro.infer.potential.Potential` for everything
+    the HMC/NUTS kernels touch.  ``beta`` is a plain mutable attribute so
+    one bridge object serves the whole ladder.  At the endpoints only the
+    live term is evaluated — rejuvenation at ``beta = 1`` prices exactly
+    one potential, not two.
+    """
+
+    def __init__(self, base, target, beta: float = 0.0):
+        if base.dim != target.dim:
+            raise ValueError(
+                f"bridge endpoints disagree on dimension: base.dim="
+                f"{base.dim}, target.dim={target.dim}")
+        self.base = base
+        self.target = target
+        self.beta = float(beta)
+        self.dim = target.dim
+
+    def potential_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        beta = self.beta
+        if beta == 0.0:
+            return self.base.potential_and_grad(z)
+        if beta == 1.0:
+            return self.target.potential_and_grad(z)
+        u0, g0 = self.base.potential_and_grad(z)
+        u1, g1 = self.target.potential_and_grad(z)
+        return (1.0 - beta) * u0 + beta * u1, (1.0 - beta) * g0 + beta * g1
+
+    def potential_and_grad_batched(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        beta = self.beta
+        if beta == 0.0:
+            return self.base.potential_and_grad_batched(z)
+        if beta == 1.0:
+            return self.target.potential_and_grad_batched(z)
+        u0, g0 = self.base.potential_and_grad_batched(z)
+        u1, g1 = self.target.potential_and_grad_batched(z)
+        return (1.0 - beta) * u0 + beta * u1, (1.0 - beta) * g0 + beta * g1
+
+    def potential_batched(self, z: np.ndarray) -> np.ndarray:
+        beta = self.beta
+        if beta == 0.0:
+            return self.base.potential_batched(z)
+        if beta == 1.0:
+            return self.target.potential_batched(z)
+        u0 = self.base.potential_batched(z)
+        u1 = self.target.potential_batched(z)
+        return (1.0 - beta) * u0 + beta * u1
+
+
+def next_beta(log_weights: np.ndarray, delta: np.ndarray, beta: float,
+              target_ess: float, min_step: float = 1e-4,
+              iters: int = 60) -> float:
+    """Largest ``beta' in (beta, 1]`` keeping the reweighted ESS at target.
+
+    ``delta = U_0(z) - U_1(z)`` per particle; the candidate log-weights at
+    ``beta'`` are ``log_weights + (beta' - beta) * delta``.  ESS is
+    monotone non-increasing in ``beta'`` for the geometric bridge, so
+    bisection finds the crossing; if even the full jump to 1 keeps ESS at
+    or above target, the ladder finishes in one step.  ``min_step``
+    guarantees forward progress when the ensemble is so mismatched that
+    any step drops below target.  Pure arithmetic — no randomness — so the
+    adaptive ladder is checkpoint-stable.
+    """
+    log_weights = np.asarray(log_weights, dtype=float)
+    delta = np.asarray(delta, dtype=float)
+    beta = float(beta)
+    if not 0.0 <= beta < 1.0:
+        raise ValueError(f"beta must be in [0, 1), got {beta}")
+
+    def ess_at(candidate: float) -> float:
+        return ess(log_weights + (candidate - beta) * delta)
+
+    if ess_at(1.0) >= target_ess:
+        return 1.0
+    lo, hi = beta, 1.0
+    for _ in range(int(iters)):
+        mid = 0.5 * (lo + hi)
+        if ess_at(mid) >= target_ess:
+            lo = mid
+        else:
+            hi = mid
+    return min(1.0, max(lo, beta + float(min_step)))

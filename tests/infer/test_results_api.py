@@ -403,3 +403,31 @@ def test_get_extra_fields_shapes():
     assert isinstance(legacy, list) and len(legacy) == 2
     np.testing.assert_array_equal(legacy[0]["accept_prob"], grouped["accept_prob"][0])
     deprecation.reset_warnings()
+
+
+def test_concat_unions_disjoint_sampler_stats():
+    """Streaming engines emit posteriors with differing stats keys; concat
+    unions them, NaN-filling the stretches a key is absent from."""
+    rng = np.random.default_rng(0)
+    draws_a = {"mu": rng.normal(size=(1, 5))}
+    draws_b = {"mu": rng.normal(size=(1, 7))}
+    a = Posterior(draws=draws_a,
+                  stats={"log_weight": np.zeros((1, 5)),
+                         "accept_prob": np.full((1, 5), 0.9)})
+    b = Posterior(draws=draws_b,
+                  stats={"log_weight": np.ones((1, 7))})
+    catted = Posterior.concat([a, b])
+    assert set(catted.stats) == {"log_weight", "accept_prob"}
+    assert catted.stats["log_weight"].shape == (1, 12)
+    np.testing.assert_array_equal(catted.stats["log_weight"][:, :5],
+                                  np.zeros((1, 5)))
+    np.testing.assert_array_equal(catted.stats["accept_prob"][:, :5],
+                                  np.full((1, 5), 0.9))
+    assert np.all(np.isnan(catted.stats["accept_prob"][:, 5:]))
+
+    # order-independent: a key present only in the *later* posterior is
+    # NaN-filled over the earlier stretch
+    flipped = Posterior.concat([b, a])
+    assert np.all(np.isnan(flipped.stats["accept_prob"][:, :7]))
+    np.testing.assert_array_equal(flipped.stats["accept_prob"][:, 7:],
+                                  np.full((1, 5), 0.9))

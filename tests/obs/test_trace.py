@@ -168,3 +168,37 @@ def test_null_telemetry_is_inert():
     tel.record_batch(3, 4)
     assert tel.digest() == {"enabled": False}
     assert len(tel.log) == 0
+
+
+def test_trace_log_incremental_append_flush(tmp_path):
+    """save(append=True) flushes only records added since the last save."""
+    tel = Telemetry()
+    with tel.span("first"):
+        pass
+    path = tmp_path / "trace.jsonl"
+    tel.save(path, append=True)
+    first_flush = path.read_text()
+    assert len(first_flush.strip().splitlines()) == len(tel.log)
+
+    tel.event("second", n=1)
+    with tel.span("third"):
+        pass
+    tel.save(path, append=True)
+
+    lines = path.read_text().strip().splitlines()
+    # every record exactly once: no rewrite of the already-flushed prefix
+    assert len(lines) == len(tel.log)
+    assert path.read_text().startswith(first_flush)
+    assert TraceLog.load(path).records == tel.log.records
+
+    # appending with nothing new is a no-op
+    before = path.read_text()
+    tel.save(path, append=True)
+    assert path.read_text() == before
+
+    # a full (non-append) save rewrites from scratch and resets the cursor
+    tel.save(path)
+    assert TraceLog.load(path).records == tel.log.records
+    tel.event("fourth")
+    tel.save(path, append=True)
+    assert TraceLog.load(path).records == tel.log.records

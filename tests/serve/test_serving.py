@@ -687,3 +687,42 @@ class TestLoopBinding:
         follow_up = server.query(make_request(DATA, seed=9, num_draws=4,
                                               fallback="none"), timeout=120.0)
         assert follow_up["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# shared batched-tier classification (the batched k-hat fast path)
+# ----------------------------------------------------------------------
+def test_cold_datasets_share_batched_classification(trained, monkeypatch):
+    """Every per-dataset potential adopts the model-wide tier table, so the
+    probe classification runs once per model, not once per cache entry."""
+    from repro.infer import potential as potential_mod
+
+    pot_a = trained.potential_for(perturbed(1))
+    pot_b = trained.potential_for(perturbed(2))
+    # all potentials share the *same* tier table object
+    assert pot_a._batched_mode is trained.batched_tiers
+    assert pot_b._batched_mode is trained.batched_tiers
+
+    z = np.zeros((4, pot_a.dim))
+    pot_a.potential_and_grad_batched(z)
+    assert 4 in trained.batched_tiers  # first batched use classified c=4
+
+    # the second dataset's potential must go straight to the shared tier —
+    # re-classification would mean the fast path isn't shared at all
+    calls = []
+    original = potential_mod.Potential._classify_batched
+
+    def counting(self, c, dim):
+        calls.append(c)
+        return original(self, c, dim)
+
+    monkeypatch.setattr(potential_mod.Potential, "_classify_batched",
+                        counting)
+    values, grads = pot_b.potential_and_grad_batched(z)
+    assert calls == []
+    assert values.shape == (4,) and grads.shape == z.shape
+
+    # an unseen chain count still classifies (and publishes to the store)
+    pot_b.potential_and_grad_batched(np.zeros((3, pot_b.dim)))
+    assert calls == [3]
+    assert 3 in trained.batched_tiers

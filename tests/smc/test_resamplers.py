@@ -1,0 +1,201 @@
+"""Resampler statistics and the particle-ensemble container."""
+
+import numpy as np
+import pytest
+
+from repro.smc import (
+    ParticleEnsemble,
+    RESAMPLERS,
+    ess,
+    get_resampler,
+    multinomial_resample,
+    normalized_weights,
+    stratified_resample,
+    systematic_resample,
+)
+
+
+# ----------------------------------------------------------------------
+# weight / ESS arithmetic
+# ----------------------------------------------------------------------
+def test_normalized_weights_sum_to_one():
+    lw = np.array([-3.0, 0.5, 2.0, -10.0])
+    w = normalized_weights(lw)
+    assert np.all(w >= 0.0)
+    assert np.isclose(w.sum(), 1.0)
+    # invariant under a constant shift of the log-weights
+    assert np.allclose(normalized_weights(lw + 123.4), w)
+
+
+def test_ess_matches_hand_computation():
+    lw = np.array([0.0, -1.0, -2.0, 0.5, 0.25])
+    w = np.exp(lw)
+    by_hand = w.sum() ** 2 / (w ** 2).sum()
+    assert np.isclose(ess(lw), by_hand, rtol=1e-12)
+
+
+def test_ess_limits():
+    # uniform weights: ESS = n; one dominant weight: ESS -> 1
+    assert np.isclose(ess(np.zeros(64)), 64.0)
+    concentrated = np.full(64, -1e3)
+    concentrated[7] = 0.0
+    assert np.isclose(ess(concentrated), 1.0)
+
+
+def test_ess_is_shift_invariant_and_overflow_safe():
+    lw = np.array([0.1, -0.7, 0.3, 1.1])
+    assert np.isclose(ess(lw), ess(lw + 1e4), rtol=1e-9)
+    assert np.isfinite(ess(lw - 1e4))
+
+
+# ----------------------------------------------------------------------
+# resampling schemes
+# ----------------------------------------------------------------------
+def test_registry_and_unknown_scheme():
+    assert set(RESAMPLERS) == {"systematic", "stratified", "multinomial"}
+    for name in RESAMPLERS:
+        assert get_resampler(name) is RESAMPLERS[name]
+    with pytest.raises(ValueError, match="unknown resampler"):
+        get_resampler("bogus")
+
+
+@pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+def test_resampler_returns_valid_indices(scheme):
+    rng = np.random.default_rng(3)
+    w = normalized_weights(rng.normal(size=33))
+    idx = RESAMPLERS[scheme](w, 33, rng)
+    assert idx.shape == (33,)
+    assert idx.dtype.kind == "i"
+    assert idx.min() >= 0 and idx.max() < 33
+
+
+@pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+def test_resampler_statistically_unbiased(scheme):
+    """E[count_i] = n * w_i: the defining property of a valid scheme.
+
+    Averaged over many independent resampling passes, the empirical
+    selection frequency of each particle must converge to its normalized
+    weight — checked against a 5-standard-error band from the multinomial
+    worst case (systematic and stratified have strictly smaller variance,
+    so the band is conservative for them).
+    """
+    n = 40
+    rng = np.random.default_rng(11)
+    lw = rng.normal(scale=1.5, size=n)
+    w = normalized_weights(lw)
+    trials = 600
+    counts = np.zeros(n)
+    for seed in range(trials):
+        idx = RESAMPLERS[scheme](w, n, np.random.default_rng(seed))
+        counts += np.bincount(idx, minlength=n)
+    freq = counts / (trials * n)
+    stderr = np.sqrt(w * (1.0 - w) / (trials * n))
+    assert np.all(np.abs(freq - w) <= 5.0 * stderr + 1e-12)
+
+
+@pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+def test_resampler_preserves_weighted_mean(scheme):
+    """The resampled ensemble's plain mean estimates the weighted mean."""
+    n = 64
+    rng = np.random.default_rng(5)
+    positions = rng.normal(size=(n, 2))
+    lw = rng.normal(size=n)
+    w = normalized_weights(lw)
+    target = w @ positions
+    means = []
+    for seed in range(400):
+        idx = RESAMPLERS[scheme](w, n, np.random.default_rng(1000 + seed))
+        means.append(positions[idx].mean(axis=0))
+    err = np.abs(np.mean(means, axis=0) - target)
+    spread = np.std(means, axis=0) / np.sqrt(len(means))
+    assert np.all(err <= 5.0 * spread + 1e-9)
+
+
+def test_systematic_uses_single_variate():
+    """Systematic resampling consumes exactly one uniform variate."""
+    w = np.full(8, 1 / 8)
+    a = np.random.default_rng(9)
+    b = np.random.default_rng(9)
+    systematic_resample(w, 8, a)
+    b.random()
+    # both generators must now be in the same state
+    assert a.bit_generator.state == b.bit_generator.state
+
+
+def test_stratified_and_multinomial_use_n_variates():
+    w = np.full(8, 1 / 8)
+    for fn in (stratified_resample, multinomial_resample):
+        a = np.random.default_rng(9)
+        b = np.random.default_rng(9)
+        fn(w, 8, a)
+        b.random(8)
+        assert a.bit_generator.state == b.bit_generator.state
+
+
+def test_degenerate_weights_rejected():
+    with pytest.raises(ValueError):
+        systematic_resample(np.full(4, np.nan), 4, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        systematic_resample(np.zeros(4), 4, np.random.default_rng(0))
+
+
+# ----------------------------------------------------------------------
+# ParticleEnsemble
+# ----------------------------------------------------------------------
+def test_ensemble_allocate_is_deterministic():
+    a = ParticleEnsemble.allocate(8, 3, seed=42)
+    b = ParticleEnsemble.allocate(8, 3, seed=42)
+    assert np.array_equal(a.positions, b.positions)
+    assert all(x.bit_generator.state == y.bit_generator.state
+               for x, y in zip(a.rngs, b.rngs))
+
+
+def test_ensemble_requires_two_particles():
+    with pytest.raises(ValueError):
+        ParticleEnsemble.allocate(1, 3, seed=0)
+
+
+def test_ensemble_weighted_moments():
+    ens = ParticleEnsemble.allocate(6, 2, seed=0)
+    ens.positions = np.arange(12, dtype=float).reshape(6, 2)
+    ens.log_weights = np.log(np.array([1, 2, 3, 1, 2, 3], dtype=float))
+    w = normalized_weights(ens.log_weights)
+    assert np.allclose(ens.weighted_mean(), w @ ens.positions)
+    centered = ens.positions - w @ ens.positions
+    assert np.allclose(ens.weighted_variance(),
+                       np.maximum(w @ centered ** 2, 1e-6))
+
+
+def test_ensemble_resample_rebinds_positions_not_streams():
+    ens = ParticleEnsemble.allocate(8, 2, seed=7)
+    ens.positions = np.arange(16, dtype=float).reshape(8, 2)
+    ens.log_weights = np.array([0.0, -50, -50, -50, -50, -50, -50, -50])
+    states_before = [r.bit_generator.state for r in ens.rngs]
+    ens.resample(systematic_resample)
+    # dominant particle copied everywhere, weights reset to uniform
+    assert np.all(ens.positions == ens.positions[0])
+    assert np.allclose(ens.log_weights, ens.log_weights[0])
+    assert np.isclose(ens.normalized_ess(), 1.0)
+    # per-slot RNG streams stay bound to the slot, never follow the copy
+    assert [r.bit_generator.state for r in ens.rngs] == states_before
+    # resampled rows are genuine copies — mutating one leaves the rest
+    ens.positions[0, 0] = -1.0
+    assert ens.positions[1, 0] != -1.0
+
+
+def test_ensemble_snapshot_roundtrip_bitwise():
+    ens = ParticleEnsemble.allocate(5, 3, seed=13)
+    ens.positions = np.random.default_rng(1).normal(size=(5, 3))
+    ens.log_weights = np.random.default_rng(2).normal(size=5)
+    # advance some streams so the snapshot captures mid-stream state
+    ens.rngs[2].random(7)
+    ens.resample_rng.random(3)
+    clone = ParticleEnsemble.from_snapshot(ens.snapshot())
+    assert np.array_equal(clone.positions, ens.positions)
+    assert np.array_equal(clone.log_weights, ens.log_weights)
+    assert all(x.bit_generator.state == y.bit_generator.state
+               for x, y in zip(clone.rngs, ens.rngs))
+    assert (clone.resample_rng.bit_generator.state
+            == ens.resample_rng.bit_generator.state)
+    # the clone's streams advance identically to the original's
+    assert np.array_equal(clone.rngs[2].random(4), ens.rngs[2].random(4))

@@ -1,0 +1,184 @@
+"""StreamingFit contracts: chain-method equivalence, extend(), kill/resume."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro import compile_model
+from repro.smc import SMC_CHECKPOINT_FORMAT, StreamingFit
+from repro.infer.checkpoint import read_checkpoint
+
+MODEL = """
+data {
+  int N;
+  real y[N];
+}
+parameters {
+  real mu;
+  real<lower=0> sigma;
+}
+model {
+  mu ~ normal(0, 5);
+  sigma ~ normal(0, 2);
+  for (n in 1:N)
+    y[n] ~ normal(mu, sigma);
+}
+"""
+
+GROWING_DIM_MODEL = """
+data {
+  int N;
+  real y[N];
+}
+parameters {
+  real theta[N];
+}
+model {
+  for (n in 1:N) {
+    theta[n] ~ normal(0, 1);
+    y[n] ~ normal(theta[n], 1);
+  }
+}
+"""
+
+FAST = dict(num_particles=16, num_moves=1, move_num_steps=3, init_draws=32)
+
+
+def _data(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {"N": n, "y": 1.5 + 0.5 * rng.standard_normal(n)}
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_model(MODEL, name="smc_stream_test")
+
+
+# ----------------------------------------------------------------------
+# fit + extend basics
+# ----------------------------------------------------------------------
+def test_fit_smc_emits_posterior_per_assimilation(compiled):
+    fit = compiled.condition(_data(12)).fit("smc", seed=3, **FAST)
+    assert isinstance(fit, StreamingFit)
+    assert len(fit.posteriors) == 1
+    post = fit.posterior
+    assert set(post.draws) == {"mu", "sigma"}
+    assert post.draws["mu"].shape == (1, FAST["num_particles"])
+    assert np.all(post.draws["sigma"] > 0)
+    # the adaptive ladder must end at beta = 1
+    assert fit.ladders[0][-1]["beta"] == 1.0
+    assert post.metadata["beta_ladder"][-1] == 1.0
+    assert "log_weight" in post.stats
+
+    assert post.metadata["assimilation"] == 1
+
+    second = fit.extend(_data(20))
+    assert len(fit.posteriors) == 2
+    assert second is fit.posteriors[-1]
+    assert second.metadata["assimilation"] == 2
+    # posterior mean tracks the data mean as evidence accumulates
+    assert abs(second.draws["mu"].mean() - 1.5) < 0.6
+
+
+def test_extend_rejects_dimension_change():
+    compiled = compile_model(GROWING_DIM_MODEL, name="smc_dim_change")
+    fit = compiled.condition(
+        {"N": 3, "y": [0.1, -0.2, 0.3]}).fit("smc", seed=0, **FAST)
+    with pytest.raises(ValueError, match="unconstrained dimension"):
+        fit.extend({"N": 4, "y": [0.1, -0.2, 0.3, 0.5]})
+
+
+def test_constructor_validation(compiled):
+    conditioned = compiled.condition(_data(8))
+    with pytest.raises(ValueError, match="ess_threshold"):
+        StreamingFit(conditioned, ess_threshold=0.0)
+    with pytest.raises(ValueError, match="move_kernel"):
+        StreamingFit(conditioned, move_kernel="rw")
+    with pytest.raises(ValueError, match="chain_method"):
+        StreamingFit(conditioned, chain_method="parallel")
+    with pytest.raises(ValueError, match="unknown resampler"):
+        StreamingFit(conditioned, resampler="bogus")
+
+
+def test_guide_seeded_init(compiled):
+    """init="guide" warm-starts from an autoguide's moments."""
+    fit = compiled.condition(_data(16)).fit(
+        "smc", seed=1, init="guide", guide="auto_normal", **FAST)
+    assert fit.posterior.metadata["init"] == "guide"
+    assert fit.ladders[0][-1]["beta"] == 1.0
+    # a guide-seeded reference should start closer to the posterior than
+    # the prior does, so the ladder should not be longer than prior-init's
+    prior_fit = compiled.condition(_data(16)).fit(
+        "smc", seed=1, init="prior", **FAST)
+    assert len(fit.ladders[0]) <= len(prior_fit.ladders[0]) + 1
+
+
+# ----------------------------------------------------------------------
+# bitwise contracts
+# ----------------------------------------------------------------------
+def test_sequential_vectorized_bitwise_identical(compiled):
+    """The two chain methods must produce identical ensembles and draws."""
+    fits = {}
+    for method in ("sequential", "vectorized"):
+        fit = compiled.condition(_data(14)).fit(
+            "smc", seed=7, chain_method=method, **FAST)
+        fit.extend(_data(22))
+        fits[method] = fit
+    seq, vec = fits["sequential"], fits["vectorized"]
+    assert np.array_equal(seq.ensemble.positions, vec.ensemble.positions)
+    assert np.array_equal(seq.ensemble.log_weights, vec.ensemble.log_weights)
+    for a, b in zip(seq.posteriors, vec.posteriors):
+        assert a.equals(b)
+
+
+@pytest.mark.parametrize("chain_method", ["sequential", "vectorized"])
+def test_kill_resume_bitwise(compiled, tmp_path, chain_method):
+    """Killing mid-run and resuming replays to the identical end state."""
+    path = str(tmp_path / "smc.ckpt")
+    kwargs = dict(seed=5, chain_method=chain_method,
+                  checkpoint_every=2, checkpoint_path=path,
+                  checkpoint_keep=True, **FAST)
+
+    reference = compiled.condition(_data(10)).fit("smc", **kwargs)
+    reference.extend(_data(18))
+
+    # every retained snapshot is a valid kill point; resume from the
+    # earliest (deepest replay) and check the end state is bitwise equal
+    snaps = sorted(glob.glob(path + ".snap*"))
+    assert snaps, "checkpoint_keep should retain snapshots"
+    payload = read_checkpoint(snaps[0])
+    assert payload["format"] == SMC_CHECKPOINT_FORMAT
+
+    resumed = compiled.condition(_data(10)).resume(snaps[0])
+    # replay the remaining stream
+    if resumed.assimilations < 2:
+        resumed.extend(_data(18))
+
+    assert resumed.assimilations == reference.assimilations
+    assert resumed.steps_total == reference.steps_total
+    assert np.array_equal(resumed.ensemble.positions,
+                          reference.ensemble.positions)
+    assert np.array_equal(resumed.ensemble.log_weights,
+                          reference.ensemble.log_weights)
+    ref_snap = reference.ensemble.snapshot()
+    res_snap = resumed.ensemble.snapshot()
+    assert res_snap["rng_states"] == ref_snap["rng_states"]
+    assert res_snap["resample_rng_state"] == ref_snap["resample_rng_state"]
+    for a, b in zip(resumed.posteriors, reference.posteriors):
+        assert a.equals(b)
+
+
+def test_resume_rejects_seed_mismatch(compiled, tmp_path):
+    path = str(tmp_path / "smc.ckpt")
+    compiled.condition(_data(10)).fit(
+        "smc", seed=5, checkpoint_every=2, checkpoint_path=path, **FAST)
+    with pytest.raises(ValueError, match="seed"):
+        compiled.condition(_data(10)).resume(path, seed=99)
+
+
+def test_resampler_choice_recorded_and_used(compiled):
+    for scheme in ("multinomial", "stratified"):
+        fit = compiled.condition(_data(10)).fit(
+            "smc", seed=2, resampler=scheme, **FAST)
+        assert fit.posterior.metadata["resampler"] == scheme
