@@ -217,3 +217,113 @@ def test_unrepresentable_table_workloads_match_hand_marginalization(benchmark):
                  "hand-marginalized twins within Monte Carlo error]")
     record("BENCH_enum_scaling — unrepresentable-table workloads", lines)
     record_json("BENCH_enum_scaling_posteriors.json", payload)
+
+
+def test_contract_enumeration_scales_linearly(benchmark):
+    """The asymptotic gate for the contraction engine (BENCH_enum_contract.json).
+
+    Measures steady-state ``potential_and_grad`` cost of the factorial HMM
+    (ladder factor graph, treewidth 3) at T=50 vs T=100 and the tree-coupled
+    mixture at N=100 vs N=200 — sizes whose joint tables (``4^T`` / ``2^N``)
+    are unrepresentable, reachable only through greedy tensor variable
+    elimination.  Asserts that both sizes resolve to the ``contract``
+    strategy and that cost stays linear in the element count at fixed
+    treewidth, on two independent axes: the measured wall-clock (x2 slack
+    for timer noise) and the *deterministic* planner cost (total
+    contraction-table entries, x1.1 slack for the constant term).
+    """
+    from repro.evaluation.discrete import contract_scaling_experiment
+
+    results = benchmark.pedantic(
+        lambda: contract_scaling_experiment(repeats=3, seed=0,
+                                            engine="interpreted"),
+        rounds=1, iterations=1)
+    lines = [f"{'workload':<24} {'sizes':>12} {'eval[s]':>20} "
+             f"{'cost ratio':>10} {'plan ratio':>10} {'bound':>6}"]
+    payload = {"workloads": {}}
+    for name, scaling in results.items():
+        bound = 2.0 * scaling.size_ratio
+        lines.append(
+            f"{name:<24} {str(scaling.sizes):>12} "
+            f"{scaling.eval_seconds[0]:>9.4f} {scaling.eval_seconds[1]:>9.4f} "
+            f"{scaling.cost_ratio:>10.2f} {scaling.planner_cost_ratio:>10.2f} "
+            f"{bound:>6.1f}")
+        payload["workloads"][name] = {
+            "sizes": list(scaling.sizes),
+            "eval_seconds": list(scaling.eval_seconds),
+            "cost_ratio": scaling.cost_ratio,
+            "cost_ratio_bound": bound,
+            "planner_costs": list(scaling.planner_costs),
+            "planner_cost_ratio": scaling.planner_cost_ratio,
+            "strategies": list(scaling.strategies),
+            "engine": scaling.engine,
+        }
+        assert scaling.strategies == ("contract", "contract"), scaling
+        # Exact, timer-free asymptotic: total clique entries grow linearly
+        # in T / N at fixed treewidth (doubling the size at most ~doubles
+        # the planner cost; 1.1x covers the constant endpoint cliques).
+        assert scaling.planner_cost_ratio <= 1.1 * scaling.size_ratio, scaling
+        assert scaling.cost_ratio <= bound, scaling
+    lines.append("[greedy elimination keeps cost linear in T/N at fixed "
+                 "treewidth: ladder and tree coupling never build the "
+                 "4^T / 2^N joint table]")
+    record("BENCH_enum_contract — contraction asymptotics", lines)
+    record_json("BENCH_enum_contract.json", payload)
+
+
+@pytest.mark.skipif(
+    not FULL_RUN and not os.environ.get("REPRO_ENUM_SCALING"),
+    reason="NUTS on the factorial HMM / tree workloads is the enum-scaling "
+           "job's budget, not the smoke cut's (set REPRO_ENUM_SCALING=1 to "
+           "force)")
+def test_contract_workloads_match_hand_marginalization(benchmark):
+    """The contract-strategy gate: factorial HMM at T=100, tree mix at N=200.
+
+    The joint assignment tables would hold 4^100 and 2^200 entries — beyond
+    both the joint engine and the strict factorized engine (cross-site /
+    cross-element coupling) — and the posteriors recovered through greedy
+    tensor variable elimination must agree with the hand-marginalized twins
+    (product-chain forward algorithm / upward belief propagation) within
+    Monte Carlo error.  Runs in the dedicated ``enum-scaling`` CI job.
+    """
+    from repro.evaluation.discrete import CONTRACT_PAIRS, run_discrete_comparison
+
+    scale = 1.0 if FULL_RUN else max(BENCH_ITERS / 40.0, 0.25)
+
+    def run_pairs():
+        return {
+            enum_name: run_discrete_comparison(get(enum_name), get(marginal_name),
+                                               scale=scale, seed=0)
+            for enum_name, marginal_name in CONTRACT_PAIRS
+        }
+
+    results = benchmark.pedantic(run_pairs, rounds=1, iterations=1)
+    lines = [f"{'workload':<40} {'mcse-z':>7} {'enum[s]':>8} {'manual[s]':>10} "
+             f"{'log10(table)':>13} {'strategy':>11}"]
+    payload = {"scale": scale, "workloads": {}}
+    for name, comp in results.items():
+        digits = len(str(comp.table_size)) - 1
+        lines.append(
+            f"{name:<40} {comp.max_mcse_sigmas:>7.2f} "
+            f"{comp.enum_runtime_seconds:>8.1f} "
+            f"{comp.marginal_runtime_seconds:>10.1f} {digits:>13} "
+            f"{comp.enum_strategy:>11}")
+        payload["workloads"][name] = {
+            "marginal_entry": comp.marginal_entry,
+            "max_mcse_sigmas": comp.max_mcse_sigmas,
+            "enum_runtime_seconds": comp.enum_runtime_seconds,
+            "marginal_runtime_seconds": comp.marginal_runtime_seconds,
+            "table_size_digits": digits,
+            "enum_strategy": comp.enum_strategy,
+            "engine": comp.engine,
+        }
+        assert comp.enum_strategy == "contract", (name, comp.enum_strategy)
+        # the whole point: the joint table is unrepresentable at these sizes
+        assert comp.table_size > 10 ** 50, (name, comp.table_size)
+        assert comp.max_mcse_sigmas < 4.0, (name, comp.max_mcse_sigmas)
+    lines.append("[cross-site-coupled posteriors at joint-table-"
+                 "unrepresentable sizes match the hand-marginalized twins "
+                 "within Monte Carlo error]")
+    record("BENCH_enum_contract — coupled workloads vs hand-marginalization",
+           lines)
+    record_json("BENCH_enum_contract_posteriors.json", payload)

@@ -16,6 +16,12 @@ loads whichever of the known artifacts exist in the directory and fails
   ``cost_ratio`` <= its recorded bound);
 * ``BENCH_enum_scaling_posteriors.json`` — the unrepresentable-table
   workloads stayed factorized and within ``max_mcse_sigmas`` < 4;
+* ``BENCH_enum_contract.json`` — the cross-site-coupled workloads
+  (factorial HMM, tree-coupled mixture) resolved the ``contract`` strategy
+  and both the wall-clock cost ratio and the deterministic planner cost
+  ratio stayed linear in the element count at fixed treewidth;
+* ``BENCH_enum_contract_posteriors.json`` — the coupled workloads stayed on
+  the contraction path and within ``max_mcse_sigmas`` < 4;
 * ``BENCH_compiled_tape.json`` — every workload's compiled program stayed
   in a validated tier (``fast``/``value_fast``) and the compiled-over-
   interpreted gradient speedup stayed >= the recorded threshold;
@@ -89,6 +95,43 @@ def _check_enum_posteriors(payload: dict, problems: List[str]) -> None:
         if sigmas is None or sigmas >= MCSE_SIGMAS_THRESHOLD:
             problems.append(
                 f"BENCH_enum_scaling_posteriors: {name} "
+                f"max_mcse_sigmas={sigmas!r} (threshold < {MCSE_SIGMAS_THRESHOLD})")
+
+
+def _check_enum_contract(payload: dict, problems: List[str]) -> None:
+    for name, row in payload.get("workloads", {}).items():
+        strategies = row.get("strategies", [])
+        if any(s != "contract" for s in strategies):
+            problems.append(
+                f"BENCH_enum_contract: {name} strategies={strategies!r} "
+                "(regressed off the contraction path)")
+        ratio = row.get("cost_ratio")
+        bound = row.get("cost_ratio_bound")
+        if ratio is None or bound is None or ratio > bound:
+            problems.append(
+                f"BENCH_enum_contract: {name} cost_ratio={ratio!r} exceeds "
+                f"bound {bound!r} (super-linear growth)")
+        plan_ratio = row.get("planner_cost_ratio")
+        sizes = row.get("sizes") or []
+        size_ratio = sizes[1] / sizes[0] if len(sizes) == 2 and sizes[0] else None
+        if plan_ratio is None or size_ratio is None or \
+                plan_ratio > 1.1 * size_ratio:
+            problems.append(
+                f"BENCH_enum_contract: {name} planner_cost_ratio="
+                f"{plan_ratio!r} exceeds 1.1x the size ratio {size_ratio!r} "
+                "(elimination cost no longer linear at fixed treewidth)")
+
+
+def _check_contract_posteriors(payload: dict, problems: List[str]) -> None:
+    for name, row in payload.get("workloads", {}).items():
+        if row.get("enum_strategy") != "contract":
+            problems.append(
+                f"BENCH_enum_contract_posteriors: {name} "
+                f"strategy={row.get('enum_strategy')!r} (expected contract)")
+        sigmas = row.get("max_mcse_sigmas")
+        if sigmas is None or sigmas >= MCSE_SIGMAS_THRESHOLD:
+            problems.append(
+                f"BENCH_enum_contract_posteriors: {name} "
                 f"max_mcse_sigmas={sigmas!r} (threshold < {MCSE_SIGMAS_THRESHOLD})")
 
 
@@ -173,6 +216,8 @@ CHECKS: Dict[str, Callable[[dict, List[str]], None]] = {
     "BENCH_discrete.json": _check_discrete,
     "BENCH_enum_scaling.json": _check_enum_scaling,
     "BENCH_enum_scaling_posteriors.json": _check_enum_posteriors,
+    "BENCH_enum_contract.json": _check_enum_contract,
+    "BENCH_enum_contract_posteriors.json": _check_contract_posteriors,
     "BENCH_compiled_tape.json": _check_compiled_tape,
     "BENCH_vectorized.json": _check_vectorized,
     "BENCH_obs_overhead.json": _check_obs_overhead,

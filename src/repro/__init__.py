@@ -38,7 +38,7 @@ from repro.core import (
     compile_file,
     compile_model,
 )
-from repro.engine import EngineConfig
+from repro.engine import EngineConfig, EnumConfig
 from repro.enum import EnumerationError, TableSizeError, infer_discrete
 from repro.infer.results import FitResult, Posterior
 from repro.obs import ObsConfig, Telemetry, TraceLog
@@ -56,6 +56,7 @@ __all__ = [
     "CompiledModel",
     "ConditionedModel",
     "EngineConfig",
+    "EnumConfig",
     "ObsConfig",
     "Telemetry",
     "TraceLog",

@@ -375,6 +375,22 @@ def _is_chain_scalar(x, batch) -> bool:
     )
 
 
+def _is_row_scalar(x, batch) -> bool:
+    """A per-row scalar of the enumeration tape: a batched ``(rows,)`` tensor.
+
+    Enumerated array elements (``z[i]``) are Stan scalars, but the
+    factorized/contract engines evaluate them as one column per enumeration
+    row — products of two such columns are per-row scalar products, never a
+    dot product.
+    """
+    return (
+        isinstance(x, Tensor)
+        and getattr(x, "is_batched", False)
+        and x.data.ndim == 1
+        and x.data.shape == (batch,)
+    )
+
+
 def _mul(a, b):
     """Stan ``*``: matrix/vector multiplication when both sides are containers,
     otherwise scalar scaling.
@@ -392,6 +408,23 @@ def _mul(a, b):
             out = ops.mul(as_tensor(a), as_tensor(b))
             if out.data.ndim >= 1 and out.data.shape[0] == batch:
                 out.is_batched = True
+            return out
+        a_row = _is_row_scalar(a, batch)
+        b_row = _is_row_scalar(b, batch)
+        if (a_row and (b_row or np.ndim(_to_value(b)) == 0)) or \
+                (b_row and np.ndim(_to_value(a)) == 0):
+            out = ops.mul(as_tensor(a), as_tensor(b))
+            out.is_batched = True
+            return out
+        if (isinstance(a, Tensor) and isinstance(b, Tensor)
+                and a.data.shape == (batch, 1) and b.data.shape == (batch, 1)):
+            # Derived per-row scalars that lost their is_batched mark through
+            # plain arithmetic (e.g. ``(2 * z[i] - 3) * (2 * z[j] - 3)`` on
+            # the enumeration tape): a ``(batch, 1) @ (batch, 1)`` matmul is
+            # never well-formed, so the only consistent reading is the
+            # per-row scalar product.
+            out = ops.mul(a, b)
+            out.is_batched = True
             return out
         a_batched = isinstance(a, Tensor) and getattr(a, "is_batched", False)
         b_batched = isinstance(b, Tensor) and getattr(b, "is_batched", False)

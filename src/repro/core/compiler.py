@@ -37,7 +37,7 @@ from repro.core import analysis, codegen, mixed as mixed_mod, schemes
 from repro.core.codegen import sanitize
 from repro.core.schemes import CompileError
 from repro.deprecation import warn_once
-from repro.engine import EngineConfig
+from repro.engine import EngineConfig, EnumConfig
 from repro.frontend import ast
 from repro.frontend.parser import parse_program
 from repro.frontend.semantics import check_program
@@ -356,6 +356,9 @@ class ConditionedModel:
                     for key in potential.eval_counters}
         counters["tape_seconds"] = round(float(counters["tape_seconds"]), 6)
         result.metadata["eval_counters"] = counters
+        enum_meta = potential.enum_metadata()
+        if enum_meta is not None:
+            result.metadata["enum"] = enum_meta
 
     # ------------------------------------------------------------------
     # fitting
@@ -798,7 +801,8 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
                   name: str = "model", enumerate: Optional[str] = None,
                   max_enum_table_size: Optional[int] = None,
                   engine: Union[None, str, EngineConfig] = None,
-                  obs: Any = None) -> CompiledModel:
+                  obs: Any = None,
+                  enum: Union[None, str, EnumConfig] = None) -> CompiledModel:
     """Compile Stan source (or a parsed program) to a :class:`CompiledModel`.
 
     String sources are memoised: the parse/check/codegen products are cached
@@ -816,24 +820,30 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
     ``engine`` configures evaluation wholesale — pass an engine name
     (``"compiled"``/``"interpreted"``) or a full
     :class:`~repro.engine.EngineConfig` carrying the enumeration mode, chain
-    method, table cap and validation tolerances.  The legacy ``enumerate=`` /
-    ``max_enum_table_size=`` keywords keep working as once-warned shims
-    mapped onto the config.
+    method, table cap and validation tolerances.
 
-    ``enumerate="factorized"`` (recommended) enables the discrete-latent
-    enumeration engine: bounded ``int`` parameters (and other finite-support
-    discrete latents) are accepted and **marginalized exactly** — NUTS/HMC/VI
-    then run on the marginal density over the continuous parameters, and
-    :meth:`ConditionedModel.infer_discrete` recovers the discrete posteriors
-    afterwards.  The factorized engine partitions discrete elements into
-    conditionally-independent blocks (per-element enumeration, ``O(N*K)``)
-    and chain-structured blocks eliminated by the forward algorithm
-    (``O(T*K^2)``), falling back to the joint assignment table when the
-    structure does not factorize; ``enumerate="parallel"`` forces the
-    joint-table engine (exponential in array-site length, bitwise-stable
-    draws).  ``max_enum_table_size`` caps the joint table (default
-    :data:`repro.enum.DEFAULT_MAX_TABLE_SIZE`); the factorized strategy is
-    exempt until it actually falls back.
+    ``enum`` configures discrete-latent enumeration — pass a strategy name
+    (``"auto"``/``"contract"``/``"factorized"``/``"parallel"``/``"off"``) or
+    a full :class:`~repro.engine.EnumConfig` carrying the strategy, the
+    table cap, and the cross-validation knobs.  ``enum="auto"`` (the
+    recommended spelling) resolves in a documented order: general tensor
+    variable elimination over the model's discrete factor graph (greedy
+    contraction ordering; handles chains, trees, grids and multi-site
+    coupling such as factorial HMMs), which itself degenerates to the
+    independent-block/chain factorized engine when the structure is that
+    simple, then the joint assignment table, then a
+    :class:`~repro.enum.TableSizeError` naming the cap knob.  The resolved
+    strategy and the planner's cost estimate are stamped into every fit's
+    ``metadata["enum"]``.
+
+    The legacy ``enumerate=`` / ``max_enum_table_size=`` keywords keep
+    working as once-warned shims mapped onto the config:
+    ``enumerate="factorized"`` maps to the independent-block/chain engine
+    (``O(N*K)`` / forward-algorithm ``O(T*K^2)``), ``enumerate="parallel"``
+    forces the joint-table engine (exponential in array-site length,
+    bitwise-stable draws), and ``max_enum_table_size`` caps the joint table
+    (default :data:`repro.enum.DEFAULT_MAX_TABLE_SIZE`); the structured
+    strategies are exempt from the cap until they actually fall back.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -847,18 +857,21 @@ def compile_model(source_or_program, backend: str = "numpyro", scheme: str = "co
         warn_once(
             "compile_model-enumerate-kwarg",
             "compile_model(enumerate=...) is deprecated; pass "
-            "engine=EngineConfig(enumerate=...) — the kwarg is mapped onto "
-            "the engine config")
+            "enum=EnumConfig(strategy=...) — \"factorized\" and \"parallel\" "
+            "map onto the corresponding strategies, and enum=\"auto\" "
+            "additionally enables general tensor variable elimination")
     if max_enum_table_size is not None:
         warn_once(
             "compile_model-max-enum-table-size-kwarg",
             "compile_model(max_enum_table_size=...) is deprecated; pass "
-            "engine=EngineConfig(max_enum_table_size=...) — the kwarg is "
-            "mapped onto the engine config")
+            "enum=EnumConfig(max_table_size=...) — the kwarg is mapped onto "
+            "the enumeration config")
     config = EngineConfig.coerce(engine, enumerate=enumerate,
                                  max_enum_table_size=max_enum_table_size)
+    if enum is not None:
+        config = config.replace(enum=EnumConfig.coerce(enum))
     telemetry = as_telemetry(obs)
-    allow_enum = config.enumerate is not None
+    allow_enum = config.resolved_enum().strategy != "off"
     global _ACTIVE_TELEMETRY
     start = time.perf_counter()
     with telemetry.span("compiler.compile", backend=backend, scheme=scheme,

@@ -1212,6 +1212,152 @@ model {
 }
 """)
 
+# Multi-site coupled workloads for the general contraction engine
+# (enum="auto"/"contract"): discrete structure no chain or independent-block
+# special case covers.  The factorial HMM couples TWO latent chains through a
+# joint emission — its factor graph is a ladder (treewidth 2), eliminated by
+# the greedy contraction order in O(T * K^3)-ish message sizes while the
+# joint table would hold (K*K)^T entries.  The marginal twin is the forward
+# algorithm on the K^2-state product chain (the algebra Stan forces).  Note
+# the enumerated formulation's density differs from the twin's by the
+# constant the bounded-int declarations contribute (uniform support priors),
+# so comparisons are posterior-level (or gradient-level), like the HMM pair.
+register("factorial_hmm_enum", """
+data {
+  int T;
+  real y[T];
+  matrix[2, 2] G1;
+  matrix[2, 2] G2;
+  vector[2] rho1;
+  vector[2] rho2;
+}
+parameters {
+  real mu1[2];
+  real mu2[2];
+  int<lower=1, upper=2> z1[T];
+  int<lower=1, upper=2> z2[T];
+}
+model {
+  mu1[1] ~ normal(-1, 1);
+  mu1[2] ~ normal(1, 1);
+  mu2[1] ~ normal(-0.5, 1);
+  mu2[2] ~ normal(0.5, 1);
+  z1[1] ~ categorical(rho1);
+  z2[1] ~ categorical(rho2);
+  for (t in 2:T) {
+    z1[t] ~ categorical(G1[z1[t - 1]]);
+    z2[t] ~ categorical(G2[z2[t - 1]]);
+  }
+  for (t in 1:T)
+    y[t] ~ normal(mu1[z1[t]] + mu2[z2[t]], 0.5);
+}
+""")
+
+register("factorial_hmm_marginal", """
+data {
+  int T;
+  real y[T];
+  matrix[2, 2] G1;
+  matrix[2, 2] G2;
+  vector[2] rho1;
+  vector[2] rho2;
+}
+parameters {
+  real mu1[2];
+  real mu2[2];
+}
+model {
+  vector[4] alpha;
+  vector[4] alpha_new;
+  vector[4] acc;
+  mu1[1] ~ normal(-1, 1);
+  mu1[2] ~ normal(1, 1);
+  mu2[1] ~ normal(-0.5, 1);
+  mu2[2] ~ normal(0.5, 1);
+  for (i in 1:2)
+    for (j in 1:2)
+      alpha[2 * (i - 1) + j] = log(rho1[i]) + log(rho2[j])
+                               + normal_lpdf(y[1], mu1[i] + mu2[j], 0.5);
+  for (t in 2:T) {
+    for (i in 1:2) {
+      for (j in 1:2) {
+        for (a in 1:2)
+          for (b in 1:2)
+            acc[2 * (a - 1) + b] = alpha[2 * (a - 1) + b]
+                                   + log(G1[a, i]) + log(G2[b, j]);
+        alpha_new[2 * (i - 1) + j] = log_sum_exp(acc)
+                                     + normal_lpdf(y[t], mu1[i] + mu2[j], 0.5);
+      }
+    }
+    alpha = alpha_new;
+  }
+  target += log_sum_exp(alpha);
+}
+""")
+
+# Tree-coupled mixture: component labels interact along a data-supplied tree
+# (parent[i] < i, parent[1] unused) through an Ising-style coupling term.
+# The factor graph is the tree itself — the greedy order eliminates leaves
+# upward in O(N * K^2) — while chains/independent blocks cannot represent it
+# and the joint table would hold K^N rows.  The marginal twin is upward
+# belief propagation written as log_sum_exp algebra over two per-state
+# message vectors.
+register("tree_mix_enum", """
+data {
+  int N;
+  real y[N];
+  int parent[N];
+  real coupling;
+  vector[2] rho;
+}
+parameters {
+  real mu[2];
+  int<lower=1, upper=2> z[N];
+}
+model {
+  mu[1] ~ normal(-2, 1);
+  mu[2] ~ normal(2, 1);
+  for (i in 1:N) {
+    z[i] ~ categorical(rho);
+    y[i] ~ normal(mu[z[i]], 0.8);
+  }
+  for (i in 2:N)
+    target += coupling * (2 * z[i] - 3) * (2 * z[parent[i]] - 3);
+}
+""")
+
+register("tree_mix_marginal", """
+data {
+  int N;
+  real y[N];
+  int parent[N];
+  real coupling;
+  vector[2] rho;
+}
+parameters {
+  real mu[2];
+}
+model {
+  vector[N] lam1;
+  vector[N] lam2;
+  real m1;
+  real m2;
+  mu[1] ~ normal(-2, 1);
+  mu[2] ~ normal(2, 1);
+  for (i in 1:N) {
+    lam1[i] = log(rho[1]) + normal_lpdf(y[i], mu[1], 0.8);
+    lam2[i] = log(rho[2]) + normal_lpdf(y[i], mu[2], 0.8);
+  }
+  for (r in 1:(N - 1)) {
+    m1 = log_sum_exp(lam1[N + 1 - r] + coupling, lam2[N + 1 - r] - coupling);
+    m2 = log_sum_exp(lam1[N + 1 - r] - coupling, lam2[N + 1 - r] + coupling);
+    lam1[parent[N + 1 - r]] += m1;
+    lam2[parent[N + 1 - r]] += m2;
+  }
+  target += log_sum_exp(lam1[1], lam2[1]);
+}
+""")
+
 register("transformed_data_example", """
 data {
   int<lower=0> N;

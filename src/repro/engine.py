@@ -33,6 +33,108 @@ from typing import Any, Dict, Optional, Union
 ENGINES = ("interpreted", "compiled")
 ENUMERATE_MODES = (None, "parallel", "factorized")
 CHAIN_METHODS = ("sequential", "vectorized")
+#: accepted :class:`EnumConfig` strategies.  ``"auto"`` resolves, in order:
+#: general tensor-contraction elimination -> the strict factorized engine ->
+#: the joint assignment table -> error (TableSizeError when nothing fits).
+ENUM_STRATEGIES = ("auto", "contract", "factorized", "parallel", "off")
+
+
+@dataclass(frozen=True)
+class EnumConfig:
+    """Declarative configuration of discrete-latent marginalization.
+
+    One object replaces the ``enumerate=`` / ``max_enum_table_size=`` kwarg
+    sprawl.  Thread it through :func:`repro.compile_model` as
+    ``compile_model(source, enum=EnumConfig(...))`` (or just
+    ``enum="contract"``); the old spellings keep working as warn-once
+    deprecated shims mapped onto this config.
+
+    Parameters
+    ----------
+    strategy:
+        ``"auto"`` (default; resolution order contract -> factorized ->
+        joint table -> error), ``"contract"`` (general tensor variable
+        elimination with a greedy contraction order — trees, grids,
+        factorial HMMs), ``"factorized"`` (the strict independent/chain
+        engine), ``"parallel"`` (the joint assignment table) or ``"off"``
+        (reject discrete parameters).
+    max_table_size:
+        Cap on the joint enumeration table *and* on any single intermediate
+        the contraction planner may materialize (``None`` = engine default,
+        :data:`repro.enum.DEFAULT_MAX_TABLE_SIZE`).
+    validate:
+        Cross-validate the resolved strategy against the joint-table oracle
+        at small sizes (one-way demotion on mismatch).  ``False`` trusts the
+        graph-walk analysis outright.
+    validation_table_cap:
+        Largest joint table the oracle cross-validation is attempted at;
+        beyond it the oracle itself is intractable.
+    value_rtol / value_atol:
+        Marginal-value agreement tolerances of the cross-strategy validation
+        (different strategies sum identical terms in different orders, so
+        bitwise agreement is structurally impossible).
+    """
+
+    strategy: str = "auto"
+    max_table_size: Optional[int] = None
+    validate: bool = True
+    validation_table_cap: int = 4096
+    value_rtol: float = 1e-10
+    value_atol: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ENUM_STRATEGIES:
+            raise ValueError(
+                f"unknown enum strategy {self.strategy!r}; expected one of "
+                f"{ENUM_STRATEGIES}")
+        if self.max_table_size is not None and int(self.max_table_size) < 1:
+            raise ValueError("max_table_size must be a positive integer")
+        if int(self.validation_table_cap) < 1:
+            raise ValueError("validation_table_cap must be a positive integer")
+        if not (self.value_rtol >= 0.0 and self.value_atol >= 0.0):
+            raise ValueError("validation tolerances must be non-negative")
+
+    @classmethod
+    def coerce(cls, value: Union[None, str, "EnumConfig"],
+               **overrides: Any) -> "EnumConfig":
+        """Normalise ``enum=`` arguments to a config.
+
+        Accepts ``None`` (defaults), a strategy name string, or a full
+        :class:`EnumConfig`; ``overrides`` replace individual fields
+        (``None`` overrides are ignored, mirroring
+        :meth:`EngineConfig.coerce`).
+        """
+        if value is None:
+            config = cls()
+        elif isinstance(value, str):
+            config = cls(strategy=value)
+        elif isinstance(value, EnumConfig):
+            config = value
+        else:
+            raise TypeError(
+                f"enum must be a strategy name or an EnumConfig, got "
+                f"{type(value).__name__}")
+        effective = {k: v for k, v in overrides.items() if v is not None}
+        if effective:
+            config = config.replace(**effective)
+        return config
+
+    def replace(self, **changes: Any) -> "EnumConfig":
+        """A copy of the config with ``changes`` applied (validated)."""
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        state.update(changes)
+        return EnumConfig(**state)
+
+    def to_metadata(self) -> Dict[str, Any]:
+        """The resolved config as a plain dict (metadata / JSON records)."""
+        return {
+            "strategy": self.strategy,
+            "max_table_size": self.max_table_size,
+            "validate": self.validate,
+            "validation_table_cap": self.validation_table_cap,
+            "value_rtol": self.value_rtol,
+            "value_atol": self.value_atol,
+        }
 
 
 @dataclass(frozen=True)
@@ -57,6 +159,11 @@ class EngineConfig:
         whose values match bitwise but whose gradients only match within
         these tolerances is demoted to ``value_fast`` (values from the fast
         path, gradients from the oracle).
+    enum:
+        The unified discrete-latent marginalization config
+        (:class:`EnumConfig`); when set it takes precedence over the legacy
+        ``enumerate`` / ``max_enum_table_size`` fields, which survive as
+        deprecated spellings mapped onto it by :meth:`resolved_enum`.
     """
 
     engine: str = "compiled"
@@ -65,6 +172,7 @@ class EngineConfig:
     max_enum_table_size: Optional[int] = None
     grad_rtol: float = 1e-9
     grad_atol: float = 1e-12
+    enum: Optional[EnumConfig] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -74,6 +182,10 @@ class EngineConfig:
             raise ValueError(
                 f'unknown enumerate mode {self.enumerate!r}; expected None, '
                 '"parallel" or "factorized"')
+        if self.enum is not None and not isinstance(self.enum, EnumConfig):
+            raise TypeError(
+                f"enum must be an EnumConfig or None, got "
+                f"{type(self.enum).__name__}")
         if self.chain_method not in CHAIN_METHODS:
             raise ValueError(
                 f"unknown chain_method {self.chain_method!r}; expected one of "
@@ -117,6 +229,23 @@ class EngineConfig:
         state.update(changes)
         return EngineConfig(**state)
 
+    def resolved_enum(self) -> EnumConfig:
+        """The effective :class:`EnumConfig` of this engine configuration.
+
+        An explicit ``enum`` config wins (inheriting ``max_enum_table_size``
+        when it does not set its own cap); otherwise the legacy
+        ``enumerate`` spelling maps onto the matching strategy (``None`` ->
+        ``"off"``), preserving the historical semantics exactly.
+        """
+        if self.enum is not None:
+            if self.enum.max_table_size is None and \
+                    self.max_enum_table_size is not None:
+                return self.enum.replace(max_table_size=self.max_enum_table_size)
+            return self.enum
+        legacy = "off" if self.enumerate is None else self.enumerate
+        return EnumConfig(strategy=legacy,
+                          max_table_size=self.max_enum_table_size)
+
     def to_metadata(self) -> Dict[str, Any]:
         """The resolved config as a plain dict (metadata / JSON records)."""
         return {
@@ -126,4 +255,5 @@ class EngineConfig:
             "max_enum_table_size": self.max_enum_table_size,
             "grad_rtol": self.grad_rtol,
             "grad_atol": self.grad_atol,
+            "enum": self.enum.to_metadata() if self.enum is not None else None,
         }

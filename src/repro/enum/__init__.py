@@ -25,17 +25,27 @@ Pieces
   enumeration, O(N*K)) and chain-structured blocks eliminated by a
   logsumexp-matmul recursion (the forward algorithm, O(T*K^2)), replacing
   the exponential joint table wherever the structure allows.
+* :func:`~repro.enum.contract.analyze_contraction` /
+  :class:`~repro.enum.contract.ContractionPlan` — general tensor variable
+  elimination: the per-element log factors form a factor graph (unary +
+  n-ary, cross-site allowed); a greedy min-fill elimination order executes
+  as batched logsumexp contractions on the autodiff tape, handling trees,
+  bounded-treewidth grids and factorial-HMM multi-site coupling, and
+  delegating to :class:`FactorizationPlan` (bitwise-identical) when the
+  structure is an independent block or a chain.
 * :func:`~repro.enum.discrete.infer_discrete` — the post-pass recovering
   per-draw discrete posteriors (marginal responsibilities / joint MAP /
   exact samples) from the continuous draws of a marginalized fit; on
-  factorized potentials it runs forward-backward / Viterbi / backward
-  sampling on the per-component factors instead of materializing the table.
+  structured potentials it runs forward-backward / Viterbi / backward
+  sampling on the per-component factors — generalized to a calibrated
+  elimination tree under the contract strategy — instead of materializing
+  the table.
 
-The compile-side entry point is ``compile_model(source,
-enumerate="factorized")`` (``"parallel"`` keeps the joint-table engine);
-the density-side integration lives in :class:`repro.infer.Potential`, whose
-marginalized evaluation contracts (or ``logsumexp``-es) the enumeration
-structure so NUTS/HMC/VI run unchanged.
+The compile-side entry point is ``compile_model(source, enum="auto")`` (an
+:class:`repro.engine.EnumConfig` strategy; the legacy ``enumerate=`` kwarg
+keeps working as a deprecated shim); the density-side integration lives in
+:class:`repro.infer.Potential`, whose marginalized evaluation contracts (or
+``logsumexp``-es) the enumeration structure so NUTS/HMC/VI run unchanged.
 """
 
 from repro.enum.plan import (
@@ -53,12 +63,22 @@ from repro.enum.factorize import (
     FactorizationPlan,
     analyze_factorization,
 )
+from repro.enum.contract import (
+    ContractFactors,
+    ContractionError,
+    ContractionPlan,
+    analyze_contraction,
+    plan_elimination,
+)
 from repro.enum.handler import enum_log_density, enum_sites, enum_trace_log_density
 from repro.enum.discrete import DiscretePosterior, discrete_rng, infer_discrete
 
 __all__ = [
     "DEFAULT_MAX_TABLE_SIZE",
     "DEFAULT_MAX_BATCH_ROWS",
+    "ContractFactors",
+    "ContractionError",
+    "ContractionPlan",
     "DiscreteSiteInfo",
     "EnumerationError",
     "EnumerationPlan",
@@ -66,7 +86,9 @@ __all__ = [
     "FactorizationError",
     "FactorizationPlan",
     "TableSizeError",
+    "analyze_contraction",
     "analyze_factorization",
+    "plan_elimination",
     "site_support",
     "enum_sites",
     "enum_log_density",

@@ -1,0 +1,618 @@
+"""General tensor variable elimination with a greedy contraction order.
+
+:mod:`repro.enum.factorize` proves two shapes — independent elements and
+2-colored path chains — and falls back to the exponential joint table for
+everything else.  This module removes the shape zoo: the per-element
+log-factors collected by :func:`repro.enum.factorize.collect_term_structure`
+are treated as a *general factor graph* (unary plus n-ary factors over
+enumerated elements, ``n >= 2`` and cross-site allowed), an elimination
+order is chosen with an opt_einsum-style greedy heuristic (score = size of
+the intermediate produced by eliminating a variable, deterministic
+tie-break by site/element order), and the order executes as a sequence of
+broadcast-``add`` / ``logsumexp`` contractions on the autodiff tape, so
+NUTS/VI gradients flow through unchanged.  Trees eliminate leaf-first in
+``O(N * K^2)``, factorial HMMs (two coupled chains) in ``O(T * K^3)``
+cliques, bounded-treewidth grids in ``O(N * K^(w+1))`` — sizes whose joint
+table is astronomically unrepresentable.
+
+Layout: every enumerated element is a *variable* ``(site, elem)``.  A
+greedy proper coloring of the co-occurrence graph assigns each variable a
+mixed-radix *digit* of the batch row index (co-occurring variables always
+get distinct digits), so one gridded model execution with
+``batch_rows = prod(radix)`` rows enumerates every joint assignment any
+single factor needs; factor tables are then gathered straight out of the
+collected row vectors with stride arithmetic (``ops.getitem`` keeps the
+gather differentiable).
+
+The strict engine's shapes are *degenerate orders* of this one:
+:func:`analyze_contraction` first offers the collected terms to the strict
+classifier and only plans a general contraction when that refuses — so
+chain/independent models keep executing the proven code path bitwise while
+everything else graduates from the joint table to the planner.
+
+:class:`ContractFactors` re-exposes the same factor tables as NumPy arrays
+with the elimination order attached; :func:`repro.enum.discrete.infer_discrete`
+runs calibration over the elimination tree (a backward pass) for exact
+marginals, max-product MAP, and joint posterior sampling — the
+forward-backward/Viterbi/FFBS of the chain engine, generalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import logsumexp as _np_logsumexp
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.enum.factorize import (
+    DEFAULT_MAX_BATCH_ROWS,
+    CollectedTerm,
+    FactorizationError,
+    FactorizationPlan,
+    classify_factorization,
+    collect_term_structure,
+)
+from repro.enum.plan import DEFAULT_MAX_TABLE_SIZE, EnumerationPlan
+
+#: a variable of the factor graph: ``(site_name, element_index)``.
+Var = Tuple[str, int]
+
+
+class ContractionError(FactorizationError):
+    """The factor graph cannot be contracted within the configured caps."""
+
+
+@dataclass(frozen=True)
+class EliminationStep:
+    """One greedy elimination: combine every live factor touching ``var``.
+
+    ``clique`` is the sorted scope of the combined table ``Phi_var``
+    (``var`` plus its live neighbours at elimination time, fill-in edges
+    included); ``message`` is ``clique`` minus ``var`` — the scope of the
+    ``logsumexp`` result handed back to the factor pool (empty for the last
+    variable of a connected component, whose message is a scalar added to
+    the marginal total).
+    """
+
+    var: Var
+    clique: Tuple[Var, ...]
+    message: Tuple[Var, ...]
+    table_size: int
+
+    def axis(self) -> int:
+        return self.clique.index(self.var)
+
+
+@dataclass(frozen=True)
+class EliminationOrder:
+    """A complete greedy elimination order with its cost accounting."""
+
+    steps: Tuple[EliminationStep, ...]
+    #: total entries across all materialized cliques (the planner cost
+    #: estimate stamped into fit metadata and ``BENCH_*.json``).
+    cost: int
+    #: largest single clique table (the treewidth-governed bottleneck).
+    max_intermediate: int
+
+
+def plan_elimination(variables: Sequence[Var], cards: Mapping[Var, int],
+                     scopes: Sequence[Tuple[Var, ...]],
+                     max_table_size: Optional[int] = None) -> EliminationOrder:
+    """Greedy elimination order over the co-occurrence graph.
+
+    opt_einsum-style greedy path: at each step eliminate the variable whose
+    combined clique's *message* (the produced intermediate, size = product
+    of the live neighbours' cardinalities) is smallest, breaking ties by the
+    deterministic ``variables`` order — on a path this reproduces the
+    endpoint-first left-to-right order of the chain engine.  Fill-in edges
+    are tracked so later scores see earlier messages.  Raises
+    :class:`ContractionError` as soon as any clique table would exceed
+    ``max_table_size``, reporting the greedy path cost accumulated so far.
+    """
+    cap = DEFAULT_MAX_TABLE_SIZE if max_table_size is None else int(max_table_size)
+    order_index = {v: i for i, v in enumerate(variables)}
+    adj: Dict[Var, set] = {v: set() for v in variables}
+    for scope in scopes:
+        for u in scope:
+            for w in scope:
+                if u != w:
+                    adj[u].add(w)
+
+    remaining = set(variables)
+    steps: List[EliminationStep] = []
+    cost = 0
+    max_intermediate = 0
+    while remaining:
+        best_key = None
+        best_var = None
+        for v in variables:
+            if v not in remaining:
+                continue
+            size = 1
+            for u in adj[v]:
+                size *= cards[u]
+            key = (size, order_index[v])
+            if best_key is None or key < best_key:
+                best_key, best_var = key, v
+        v = best_var
+        nbrs = set(adj[v])
+        clique = tuple(sorted([v, *nbrs], key=order_index.__getitem__))
+        table = 1
+        for u in clique:
+            table *= cards[u]
+        if table > cap:
+            raise ContractionError(
+                f"greedy elimination of variable {v} materializes a "
+                f"{table}-entry clique over {len(clique)} variables, "
+                f"exceeding the table cap of {cap} (greedy path cost before "
+                f"this step: {cost} entries); the coupling treewidth is too "
+                "high — reduce the discrete state space or raise the cap "
+                "via EnumConfig(max_table_size=...)")
+        message = tuple(u for u in clique if u != v)
+        steps.append(EliminationStep(v, clique, message, int(table)))
+        cost += table
+        max_intermediate = max(max_intermediate, table)
+        for u in nbrs:
+            adj[u].discard(v)
+            adj[u].update(nbrs - {u})
+        del adj[v]
+        remaining.discard(v)
+    return EliminationOrder(tuple(steps), int(cost), int(max_intermediate))
+
+
+class ContractionPlan:
+    """The general tensor-variable-elimination layout for one model.
+
+    Built by :func:`analyze_contraction` when the strict classifier refuses
+    the structure.  Mirrors :class:`~repro.enum.factorize.FactorizationPlan`'s
+    execution interface — ``batch_rows`` / :meth:`grids` /
+    :meth:`check_terms` / :meth:`contract` / :meth:`posterior_factors` — so
+    :class:`repro.infer.Potential` drives both through the same code path.
+    """
+
+    #: resolved-strategy tag read by the potential / metadata stamping.
+    strategy = "contract"
+
+    def __init__(self, plan: EnumerationPlan, terms: Sequence[CollectedTerm],
+                 max_batch_rows: Optional[int] = None,
+                 max_table_size: Optional[int] = None):
+        self.plan = plan
+        self.terms = list(terms)
+        order_index: Dict[Var, int] = {}
+        variables: List[Var] = []
+        cards: Dict[Var, int] = {}
+        for site in plan.sites:
+            for n in range(max(site.numel, 1)):
+                v = (site.name, n)
+                order_index[v] = len(variables)
+                variables.append(v)
+                cards[v] = site.cardinality
+        self.variables: Tuple[Var, ...] = tuple(variables)
+        self.cards = cards
+
+        scopes = [ct.scope for ct in self.terms
+                  if ct.kind == "factor" and len(ct.scope) >= 2]
+        self.order = plan_elimination(self.variables, cards, scopes,
+                                      max_table_size=max_table_size)
+
+        # Mixed-radix digit assignment: greedy proper coloring of the
+        # co-occurrence graph in deterministic variable order, so every
+        # factor's scope variables ride distinct digits of the batch row.
+        cooc: Dict[Var, set] = {v: set() for v in variables}
+        for scope in scopes:
+            for u in scope:
+                for w in scope:
+                    if u != w:
+                        cooc[u].add(w)
+        colors: Dict[Var, int] = {}
+        for v in self.variables:
+            used = {colors[u] for u in cooc[v] if u in colors}
+            c = 0
+            while c in used:
+                c += 1
+            colors[v] = c
+        ndigits = (max(colors.values()) + 1) if colors else 1
+        radix = [1] * ndigits
+        for v, c in colors.items():
+            radix[c] = max(radix[c], cards[v])
+        strides = [1] * ndigits
+        for d in range(1, ndigits):
+            strides[d] = strides[d - 1] * radix[d - 1]
+        rows = strides[-1] * radix[-1]
+        cap = DEFAULT_MAX_BATCH_ROWS if max_batch_rows is None else int(max_batch_rows)
+        if rows > cap:
+            raise ContractionError(
+                f"contraction batch needs {rows} rows ({ndigits} digits of "
+                f"radix {tuple(radix)}), exceeding the cap of {cap}")
+        self._colors = colors
+        self._radix = tuple(radix)
+        self._strides = tuple(strides)
+        self.batch_rows = int(rows)
+        self._grid_cache: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # description / bookkeeping
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        n_nary = sum(1 for ct in self.terms
+                     if ct.kind == "factor" and len(ct.scope) >= 2)
+        return (f"general contraction: {len(self.variables)} variables over "
+                f"{len(self.plan.sites)} site(s), {n_nary} coupling "
+                f"factor(s); greedy elimination cost {self.order.cost} "
+                f"entries, max intermediate {self.order.max_intermediate}")
+
+    def __repr__(self) -> str:
+        return f"ContractionPlan({self.describe()}; batch_rows={self.batch_rows})"
+
+    def cost_estimate(self) -> int:
+        """Total contraction table cost (entries summed over eliminations)."""
+        return int(self.order.cost)
+
+    # ------------------------------------------------------------------
+    # the substitution grids
+    # ------------------------------------------------------------------
+    def grids(self) -> Dict[str, np.ndarray]:
+        """``{site: (batch_rows, numel)}`` mixed-radix substitution values.
+
+        Element ``n`` of a site rides digit ``d = color(site, n)``:
+        its column is ``support[((r // stride_d) % radix_d) % K]``, so the
+        rows whose *other* digits are zero enumerate exactly the joint
+        assignments each factor's scope needs.
+        """
+        if self._grid_cache is None:
+            out: Dict[str, np.ndarray] = {}
+            r = np.arange(self.batch_rows)
+            for site in self.plan.sites:
+                k = site.cardinality
+                cols = np.empty((self.batch_rows, max(site.numel, 1)))
+                for n in range(max(site.numel, 1)):
+                    d = self._colors[(site.name, n)]
+                    digit = (r // self._strides[d]) % self._radix[d]
+                    cols[:, n] = site.support[digit % k]
+                out[site.name] = cols
+            self._grid_cache = out
+        return self._grid_cache
+
+    # ------------------------------------------------------------------
+    # term extraction
+    # ------------------------------------------------------------------
+    def check_terms(self, names: Sequence[Optional[str]]) -> None:
+        """Verify a collected-term sequence matches the analysed structure."""
+        if len(names) != len(self.terms):
+            raise FactorizationError(
+                f"model produced {len(names)} log-prob terms, the contraction "
+                f"analysis saw {len(self.terms)} — assignment-dependent "
+                "control flow cannot be contracted")
+        for role, name in zip(self.terms, names):
+            if role.name != name:
+                raise FactorizationError(
+                    f"term {role.position} is {name!r}, analysis saw {role.name!r}")
+
+    def _extract(self, terms: Sequence[Tensor], total_rows: int,
+                 offset: int) -> Tuple[Optional[Tensor], Dict[Var, Tensor],
+                                       List[Tuple[Tuple[Var, ...], Tensor]]]:
+        """Constant total, per-variable unary factors, and n-ary factor tables.
+
+        ``offset = c * batch_rows`` addresses one chain's rows inside a
+        multi-chain ``C * batch_rows`` tape, exactly like the factorized
+        engine's extraction.  A factor over scope ``(v_1, ..., v_m)`` is
+        gathered at rows ``offset + sum_i a_i * stride(digit(v_i))`` — the
+        proper coloring guarantees the scope's digits are distinct, so the
+        gather enumerates the full ``(K_1, ..., K_m)`` table.
+        """
+        const_total: Optional[Tensor] = None
+        prior_blocks: Dict[str, Tensor] = {}
+        unary_vecs: Dict[Var, List[Tensor]] = {}
+        nary_groups: Dict[Tuple[Var, ...], List[Tensor]] = {}
+        for ct, raw in zip(self.terms, terms):
+            term = as_tensor(raw)
+            if ct.kind == "const":
+                if term.data.ndim >= 1 and term.data.shape[0] == total_rows \
+                        and total_rows > self.batch_rows:
+                    reduced = FactorizationPlan._reduce_rows(term, total_rows)
+                    reduced = ops.getitem(reduced, offset)
+                else:
+                    reduced = term.sum() if term.data.ndim > 0 else term
+                const_total = reduced if const_total is None \
+                    else ops.add(const_total, reduced)
+            elif ct.kind == "site_prior":
+                site = self.plan.site(ct.site)
+                numel = max(site.numel, 1)
+                if term.data.ndim == 1:
+                    term = ops.reshape(term, (term.data.shape[0], 1))
+                elif term.data.ndim > 2:
+                    term = ops.sum_(term, axis=tuple(range(2, term.data.ndim)))
+                if term.data.shape != (total_rows, numel):
+                    raise FactorizationError(
+                        f"site prior {ct.site!r} has shape {term.data.shape}, "
+                        f"expected ({total_rows}, {numel})")
+                prior_blocks[ct.site] = term
+            else:
+                reduced = FactorizationPlan._reduce_rows(term, total_rows)
+                if len(ct.scope) == 1:
+                    unary_vecs.setdefault(ct.scope[0], []).append(reduced)
+                else:
+                    nary_groups.setdefault(ct.scope, []).append(reduced)
+
+        unary: Dict[Var, Tensor] = {}
+        for site in self.plan.sites:
+            prior = prior_blocks.get(site.name)
+            if prior is None:
+                raise FactorizationError(
+                    f"site {site.name!r} produced no declaration-prior term")
+            k = site.cardinality
+            for n in range(max(site.numel, 1)):
+                v = (site.name, n)
+                stride = self._strides[self._colors[v]]
+                row_idx = offset + np.arange(k) * stride
+                col = ops.getitem(prior, (row_idx, np.full(k, n, dtype=int)))
+                for extra in unary_vecs.get(v, ()):
+                    col = ops.add(col, ops.getitem(extra, row_idx))
+                unary[v] = col
+
+        nary: List[Tuple[Tuple[Var, ...], Tensor]] = []
+        for scope, parts in nary_groups.items():
+            total = parts[0]
+            for extra in parts[1:]:
+                total = ops.add(total, extra)
+            m = len(scope)
+            idx: Any = offset
+            for i, v in enumerate(scope):
+                axes = (1,) * i + (-1,) + (1,) * (m - 1 - i)
+                a = np.arange(self.cards[v]).reshape(axes)
+                idx = idx + a * self._strides[self._colors[v]]
+            nary.append((scope, ops.getitem(total, idx)))
+        return const_total, unary, nary
+
+    # ------------------------------------------------------------------
+    # the contraction (exact marginal log joint)
+    # ------------------------------------------------------------------
+    def contract(self, terms: Sequence[Tensor], offset: int = 0,
+                 total_rows: Optional[int] = None) -> Tensor:
+        """Exact marginal log joint (a scalar tensor) from collected terms.
+
+        Executes the planned elimination order: each step pulls every live
+        factor touching the step variable, aligns them onto the clique scope
+        (sorted scopes make alignment a pure reshape-with-singleton-axes —
+        no transposes), sums by broadcast, and ``logsumexp``-reduces the
+        variable's axis.  The resulting message re-enters the factor pool;
+        an empty-scope message closes a connected component and adds to the
+        running total.  Every op is differentiable, so the tape carries
+        exact gradients of the marginal.
+        """
+        const_total, unary, nary = self._extract(
+            terms, total_rows or self.batch_rows, offset)
+        total = const_total if const_total is not None else as_tensor(0.0)
+        pool: List[Tuple[Tuple[Var, ...], Tensor]] = \
+            [((v,), unary[v]) for v in self.variables]
+        pool.extend(nary)
+        for step in self.order.steps:
+            group = [f for f in pool if step.var in f[0]]
+            pool = [f for f in pool if step.var not in f[0]]
+            shape_full = tuple(self.cards[u] for u in step.clique)
+            phi: Optional[Tensor] = None
+            for scope, t in group:
+                scope_set = set(scope)
+                shape = tuple(self.cards[u] if u in scope_set else 1
+                              for u in step.clique)
+                aligned = t if t.data.shape == shape else ops.reshape(t, shape)
+                phi = aligned if phi is None else ops.add(phi, aligned)
+            if phi.data.shape != shape_full:
+                phi = ops.add(phi, as_tensor(np.zeros(shape_full)))
+            msg = ops.logsumexp(phi, axis=step.axis())
+            if step.message:
+                pool.append((step.message, msg))
+            else:
+                total = ops.add(total, msg)
+        return total
+
+    # ------------------------------------------------------------------
+    # posterior factors (the infer_discrete backward pass)
+    # ------------------------------------------------------------------
+    def posterior_factors(self, terms: Sequence[Tensor],
+                          offset: int = 0) -> "ContractFactors":
+        """NumPy factor tables of one gridded execution, order attached.
+
+        The discrete posterior conditional on the continuous draw is the
+        normalized factor graph itself; :class:`ContractFactors` runs
+        calibration over the elimination tree for exact marginals, MAP, and
+        joint sampling.
+        """
+        _, unary, nary = self._extract(terms, self.batch_rows, offset)
+        factors: List[Tuple[Tuple[Var, ...], np.ndarray]] = []
+        for v in self.variables:
+            factors.append(((v,), np.array(unary[v].data, dtype=float)))
+        for scope, t in nary:
+            factors.append((scope, np.array(t.data, dtype=float)))
+        return ContractFactors(steps=self.order.steps, cards=dict(self.cards),
+                               factors=factors)
+
+
+@dataclass
+class ContractFactors:
+    """One draw's discrete-posterior factor graph plus its elimination order.
+
+    The generalization of the chain engine's
+    :class:`~repro.enum.factorize.FactorBundle`: calibration over the
+    elimination tree (one forward sweep in step order, one backward sweep in
+    reverse) yields exact per-variable marginals; a max-product forward
+    sweep with reverse-order backtracking yields the joint MAP; reverse-order
+    conditional sampling from the sum-product cliques yields exact joint
+    posterior draws (FFBS on a chain is the special case).
+    """
+
+    steps: Tuple[EliminationStep, ...]
+    cards: Dict[Var, int]
+    factors: List[Tuple[Tuple[Var, ...], np.ndarray]]
+
+    def _forward(self, use_max: bool = False
+                 ) -> Tuple[List[np.ndarray], List[np.ndarray], List[Optional[int]]]:
+        """Replay the elimination, keeping every clique table.
+
+        Returns per-step clique tables ``Phi``, messages, and each step's
+        *parent* — the later step that consumed its message (``None`` for
+        component roots).  The parent pointers are the elimination tree the
+        backward pass walks.
+        """
+        pool: List[Tuple[Tuple[Var, ...], np.ndarray, Optional[int]]] = \
+            [(scope, arr, None) for scope, arr in self.factors]
+        cliques: List[np.ndarray] = []
+        messages: List[np.ndarray] = []
+        parents: List[Optional[int]] = []
+        with np.errstate(all="ignore"):
+            for si, step in enumerate(self.steps):
+                group = [f for f in pool if step.var in f[0]]
+                pool = [f for f in pool if step.var not in f[0]]
+                shape_full = tuple(self.cards[u] for u in step.clique)
+                phi = np.zeros(shape_full)
+                for scope, arr, origin in group:
+                    scope_set = set(scope)
+                    shape = tuple(self.cards[u] if u in scope_set else 1
+                                  for u in step.clique)
+                    phi = phi + np.asarray(arr, dtype=float).reshape(shape)
+                    if origin is not None:
+                        parents[origin] = si
+                axis = step.axis()
+                if use_max:
+                    msg = phi.max(axis=axis)
+                else:
+                    msg = _np_logsumexp(phi, axis=axis)
+                cliques.append(phi)
+                messages.append(msg)
+                parents.append(None)
+                if step.message:
+                    pool.append((step.message, msg, si))
+        return cliques, messages, parents
+
+    def _beliefs(self) -> List[np.ndarray]:
+        """Calibrated clique beliefs: ``Phi_v`` plus the backward message.
+
+        ``beta_v = Phi_v + extend(reduce(beta_parent) - m_v)``: the parent's
+        belief marginalized down to the message scope, with the forward
+        message divided back out so no evidence is double-counted.
+        """
+        cliques, messages, parents = self._forward()
+        n = len(self.steps)
+        beliefs: List[Optional[np.ndarray]] = [None] * n
+        with np.errstate(all="ignore"):
+            for si in range(n - 1, -1, -1):
+                step = self.steps[si]
+                phi = cliques[si]
+                p = parents[si]
+                if p is None:
+                    beliefs[si] = phi
+                    continue
+                pstep = self.steps[p]
+                keep = {pstep.clique.index(u) for u in step.message}
+                drop = tuple(ax for ax in range(len(pstep.clique))
+                             if ax not in keep)
+                back = _np_logsumexp(beliefs[p], axis=drop) if drop else beliefs[p]
+                msg = messages[si]
+                dead = np.isneginf(msg)
+                back = np.where(dead, -np.inf,
+                                back - np.where(dead, 0.0, msg))
+                beliefs[si] = phi + np.expand_dims(back, step.axis())
+        return beliefs
+
+    def marginals(self) -> Dict[Var, np.ndarray]:
+        """Exact ``{variable: (K,) posterior probabilities}``."""
+        beliefs = self._beliefs()
+        out: Dict[Var, np.ndarray] = {}
+        with np.errstate(all="ignore"):
+            for si, step in enumerate(self.steps):
+                b = beliefs[si]
+                axis = step.axis()
+                drop = tuple(ax for ax in range(b.ndim) if ax != axis)
+                lm = _np_logsumexp(b, axis=drop) if drop else b
+                lm = lm - _np_logsumexp(lm)
+                out[step.var] = np.exp(lm)
+        return out
+
+    def _backtrack(self, cliques: List[np.ndarray],
+                   pick: Callable[[np.ndarray], int]) -> Dict[Var, int]:
+        """Reverse-elimination-order assignment: every non-step variable of a
+        clique lives in the message scope, hence was eliminated later and is
+        already assigned when the sweep reaches the clique."""
+        assign: Dict[Var, int] = {}
+        for si in range(len(self.steps) - 1, -1, -1):
+            step = self.steps[si]
+            idx = tuple(slice(None) if u == step.var else assign[u]
+                        for u in step.clique)
+            vec = np.asarray(cliques[si][idx], dtype=float).reshape(-1)
+            assign[step.var] = pick(vec)
+        return assign
+
+    def map_assignment(self) -> Dict[Var, int]:
+        """The joint posterior mode via max-product + backtracking."""
+        cliques, _, _ = self._forward(use_max=True)
+        return self._backtrack(cliques, lambda vec: int(np.argmax(vec)))
+
+    def sample(self, rng: np.random.Generator) -> Dict[Var, int]:
+        """One exact joint posterior draw via conditional sampling."""
+        cliques, _, _ = self._forward()
+
+        def pick(vec: np.ndarray) -> int:
+            with np.errstate(all="ignore"):
+                probs = np.exp(vec - _np_logsumexp(vec))
+            probs = probs / probs.sum()
+            return int(rng.choice(probs.size, p=probs))
+
+        return self._backtrack(cliques, pick)
+
+
+def analyze_contraction(model: Callable, plan: EnumerationPlan,
+                        model_args: Tuple = (),
+                        model_kwargs: Optional[Dict] = None,
+                        observed: Optional[Dict[str, Any]] = None,
+                        constrained: Optional[Mapping[str, Any]] = None,
+                        rng_seed: int = 0,
+                        max_batch_rows: Optional[int] = None,
+                        max_table_size: Optional[int] = None,
+                        telemetry=None):
+    """Plan elimination for a model's discrete factor graph.
+
+    Collects the per-element log-factor structure once
+    (:func:`~repro.enum.factorize.collect_term_structure`) and first offers
+    it to the strict chain/independent classifier: shapes the proven
+    factorized engine handles come back as a
+    :class:`~repro.enum.factorize.FactorizationPlan` and execute bitwise
+    identically to ``enumerate="factorized"`` — the special cases are
+    degenerate elimination orders, so there is nothing to re-derive.  Only
+    structure the strict classifier refuses (trees, 3-way terms, cross-site
+    coupling, factorial HMMs) is planned as a general
+    :class:`ContractionPlan`.  Raises :class:`FactorizationError` (or its
+    subclass :class:`ContractionError` with the greedy cost report) when no
+    elimination strategy fits; callers fall back to the joint table.
+
+    ``telemetry`` receives the same ``enum.analyze`` span as
+    :func:`~repro.enum.factorize.analyze_factorization`, with the resolved
+    strategy and — for general contractions — the planner cost estimate.
+    """
+    from repro.obs import as_telemetry
+
+    with as_telemetry(telemetry).span(
+            "enum.analyze", sites=len(plan.sites),
+            table_size=plan.table_size) as span:
+        collected = collect_term_structure(
+            model, plan, model_args=model_args, model_kwargs=model_kwargs,
+            observed=observed, constrained=constrained, rng_seed=rng_seed)
+        try:
+            result = classify_factorization(collected, plan,
+                                            max_batch_rows=max_batch_rows)
+            span.set(strategy="factorized",
+                     chain_blocks=len(result.chains),
+                     independent_sites=sum(
+                         1 for elems in result.independent.values() if elems))
+            return result
+        except FactorizationError:
+            pass
+        result = ContractionPlan(plan, collected,
+                                 max_batch_rows=max_batch_rows,
+                                 max_table_size=max_table_size)
+        span.set(strategy="contract",
+                 elimination_cost=result.order.cost,
+                 max_intermediate=result.order.max_intermediate)
+        return result

@@ -16,8 +16,14 @@ a joint table: independent elements are exact categoricals in their ``(K,)``
 log factors, and chain-structured sites run the classic trio on their unary/
 pairwise potentials — forward-**backward** for marginals, max-product with
 backtracking (Viterbi) for MAP, forward-filter backward-sampling for exact
-samples — all ``O(T * K^2)`` per draw.  Joint-table potentials keep the
-original path (one vectorized table execution per draw, softmax over rows).
+samples — all ``O(T * K^2)`` per draw.  On a **contract** potential (general
+tensor variable elimination) the same trio generalizes to the elimination
+tree: a backward pass over the recorded elimination steps calibrates every
+clique (marginals), max-product with reverse-order backtracking gives the
+joint MAP, and reverse-order conditional sampling from the sum-product
+cliques gives exact joint samples — cost bounded by the greedy contraction
+cost, never the joint table.  Joint-table potentials keep the original path
+(one vectorized table execution per draw, softmax over rows).
 
 The RNG for ``"sample"`` is derived from ``[seed, 0x454E554D]`` ("ENUM"), so
 recovering discrete sites never perturbs any engine's draw streams and is
@@ -172,6 +178,42 @@ def _fill_factorized_draw(bundle, plan: EnumerationPlan, mode: str,
             site.event_shape + (site.cardinality,))
 
 
+def _fill_contract_draw(bundle, plan: EnumerationPlan, mode: str,
+                        rng: np.random.Generator,
+                        values: Dict[str, np.ndarray],
+                        marginals: Dict[str, np.ndarray],
+                        c: int, d: int) -> None:
+    """One draw's discrete posterior from a calibrated elimination tree.
+
+    ``bundle`` is a :class:`~repro.enum.contract.ContractFactors`; its
+    backward pass over the elimination steps yields exact per-variable
+    marginals, the joint MAP, and exact joint samples without ever forming
+    the assignment table.  The ``"sample"`` RNG stream is reproducible: the
+    bundle samples variables in reverse elimination order, and draws are
+    processed in ``(chain, draw)`` order.
+    """
+    marg = bundle.marginals()
+    if mode == "max":
+        assign = bundle.map_assignment()
+    elif mode == "sample":
+        assign = bundle.sample(rng)
+    else:
+        assign = None
+    for site in plan.sites:
+        name = site.name
+        numel = max(site.numel, 1)
+        flat_vals = np.empty(numel)
+        flat_marg = np.empty((numel, site.cardinality))
+        for n in range(numel):
+            probs = marg[(name, n)]
+            flat_marg[n] = probs
+            pick = assign[(name, n)] if assign is not None else int(np.argmax(probs))
+            flat_vals[n] = site.support[pick]
+        values[name][c, d] = flat_vals.reshape(site.event_shape)
+        marginals[name][c, d] = flat_marg.reshape(
+            site.event_shape + (site.cardinality,))
+
+
 def infer_discrete(potential, unconstrained: np.ndarray, mode: str = "marginal",
                    seed: int = 0) -> DiscretePosterior:
     """Discrete posteriors for a batch of unconstrained continuous draws.
@@ -210,20 +252,28 @@ def infer_discrete(potential, unconstrained: np.ndarray, mode: str = "marginal",
         site.name: np.empty((chains, draws) + site.event_shape + (site.cardinality,))
         for site in plan.sites
     }
-    # Factorized potentials never materialize the joint table: the backward
-    # pass runs per component on the draw's log factors instead.
-    factorized = getattr(potential, "enum_strategy", None) == "factorized" \
-        and hasattr(potential, "factorized_factors")
+    # Structured (factorized/contract) potentials never materialize the
+    # joint table: the backward pass runs per component — or over the
+    # elimination tree — on the draw's log factors instead.  The strategy
+    # resolves lazily, so gate on the capability and let the first
+    # factorized_factors call decide (it returns None for joint-table
+    # potentials, including never-evaluated ones that resolve right here).
+    structured = hasattr(potential, "factorized_factors") \
+        and getattr(potential, "enum_plan", None) is not None
     for c in range(chains):
         for d in range(draws):
-            if factorized:
+            if structured:
                 bundle = potential.factorized_factors(z[c, d])
                 if bundle is not None:
-                    _fill_factorized_draw(bundle, plan, mode, rng, values,
-                                          marginals, c, d)
+                    if hasattr(bundle, "steps"):
+                        _fill_contract_draw(bundle, plan, mode, rng, values,
+                                            marginals, c, d)
+                    else:
+                        _fill_factorized_draw(bundle, plan, mode, rng, values,
+                                              marginals, c, d)
                     continue
                 # the potential demoted itself mid-pass; use the table
-                factorized = False
+                structured = False
             log_joints = potential.assignment_log_joints(z[c, d])
             weights = np.exp(log_joints - sps.logsumexp(log_joints))
             weights /= weights.sum()

@@ -73,6 +73,26 @@ class TermRole:
 
 
 @dataclass(frozen=True)
+class CollectedTerm:
+    """Strategy-neutral classification of one collected log-prob term.
+
+    The shared first stage of both analyzers (the strict factorized engine
+    and the general contraction planner of :mod:`repro.enum.contract`):
+    ``kind`` is ``"const"`` (touches no enumerated element),
+    ``"site_prior"`` (a site's own declaration prior, elementwise by
+    construction) or ``"factor"`` (touches the enumerated elements in
+    ``scope``, sorted by site plan-order then element index — any arity,
+    cross-site allowed).
+    """
+
+    position: int
+    name: Optional[str]
+    kind: str                      # "const" | "site_prior" | "factor"
+    site: Optional[str] = None
+    scope: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
 class ChainBlock:
     """One path component of a site's element-interaction graph."""
 
@@ -206,6 +226,24 @@ class FactorizationPlan:
 
     def __repr__(self) -> str:
         return f"FactorizationPlan({self.describe()}; batch_rows={self.batch_rows})"
+
+    #: resolved-strategy tag read by the potential / metadata stamping.
+    strategy = "factorized"
+
+    def cost_estimate(self) -> int:
+        """Total contraction table cost (entries summed over eliminations).
+
+        Comparable with :meth:`repro.enum.contract.ContractionPlan.cost_estimate`:
+        each independent element contributes its ``K``-entry table, each chain
+        the ``K^2`` tables of its ``T - 1`` eliminations plus the final ``K``.
+        """
+        total = 0
+        for site in self.plan.sites:
+            total += len(self.independent.get(site.name, ())) * site.cardinality
+        for chain in self.chains:
+            k = self.plan.site(chain.site).cardinality
+            total += k + max(len(chain.order) - 1, 0) * k * k
+        return int(total)
 
     def _color(self, site: str, elem: int) -> int:
         # independent elements share the color-1 (``r % K``) layout
@@ -529,14 +567,22 @@ def analyze_factorization(model: Callable, plan: EnumerationPlan,
         return result
 
 
-def _analyze_factorization_impl(model: Callable, plan: EnumerationPlan,
-                                model_args: Tuple = (),
-                                model_kwargs: Optional[Dict] = None,
-                                observed: Optional[Dict[str, Any]] = None,
-                                constrained: Optional[Mapping[str, Any]] = None,
-                                rng_seed: int = 0,
-                                max_batch_rows: Optional[int] = None
-                                ) -> FactorizationPlan:
+def collect_term_structure(model: Callable, plan: EnumerationPlan,
+                           model_args: Tuple = (),
+                           model_kwargs: Optional[Dict] = None,
+                           observed: Optional[Dict[str, Any]] = None,
+                           constrained: Optional[Mapping[str, Any]] = None,
+                           rng_seed: int = 0) -> List[CollectedTerm]:
+    """Run the model once with per-element leaves and classify every term.
+
+    The strategy-neutral first stage shared by :func:`analyze_factorization`
+    and :func:`repro.enum.contract.analyze_contraction`: each collected
+    log-prob term is walked back through the autodiff graph to the enumerated
+    leaves it touches and recorded as a :class:`CollectedTerm`.  Raises
+    :class:`FactorizationError` for structure *no* elimination strategy can
+    handle: multi-dimensional sites, terms using a whole enumerated array
+    (``sum(z)``), and declaration priors that depend on other sites.
+    """
     from repro.ppl.primitives import FastLogDensityContext
 
     leaves: Dict[str, List[Tensor]] = {}
@@ -573,8 +619,8 @@ def _analyze_factorization_impl(model: Callable, plan: EnumerationPlan,
             array_ids[id(assembled)] = site.name
 
     site_names = set(plan.site_names)
-    terms: List[TermRole] = []
-    edges: Dict[str, set] = {name: set() for name in site_names}
+    site_order = {name: i for i, name in enumerate(plan.site_names)}
+    collected: List[CollectedTerm] = []
     for pos, (raw, name) in enumerate(zip(ctx.log_prob_terms, ctx.term_names)):
         term = as_tensor(raw)
         elems, whole = _walk_elements(term, leaf_ids, array_ids)
@@ -587,7 +633,7 @@ def _analyze_factorization_impl(model: Callable, plan: EnumerationPlan,
                 raise FactorizationError(
                     f"declaration prior of site {name!r} also depends on "
                     f"site(s) {sorted(others)}")
-            terms.append(TermRole(pos, name, "site_prior", site=name))
+            collected.append(CollectedTerm(pos, name, "site_prior", site=name))
             continue
         if whole:
             raise FactorizationError(
@@ -595,22 +641,48 @@ def _analyze_factorization_impl(model: Callable, plan: EnumerationPlan,
                 "(e.g. sum(z) or a vectorized statement over the full site), "
                 "which does not factorize element-wise")
         if not elems:
-            terms.append(TermRole(pos, name, "const"))
+            collected.append(CollectedTerm(pos, name, "const"))
             continue
-        sites_hit = {s for s, _ in elems}
+        scope = tuple(sorted(elems, key=lambda ref: (site_order[ref[0]], ref[1])))
+        collected.append(CollectedTerm(pos, name, "factor", scope=scope))
+    return collected
+
+
+def classify_factorization(collected: Sequence[CollectedTerm],
+                           plan: EnumerationPlan,
+                           max_batch_rows: Optional[int] = None
+                           ) -> FactorizationPlan:
+    """The strict classifier: collected terms -> independent/chain plan.
+
+    Accepts only the shapes the proven sum-product engine handles — unary
+    factors plus single-site pairwise coupling whose interaction graph is a
+    disjoint union of simple paths.  Anything else (cross-site terms, 3-way
+    coupling, branching, cycles) raises :class:`FactorizationError`; the
+    general contraction planner picks those up when the strategy allows.
+    """
+    terms: List[TermRole] = []
+    edges: Dict[str, set] = {name: set() for name in plan.site_names}
+    for ct in collected:
+        if ct.kind == "site_prior":
+            terms.append(TermRole(ct.position, ct.name, "site_prior", site=ct.site))
+            continue
+        if ct.kind == "const":
+            terms.append(TermRole(ct.position, ct.name, "const"))
+            continue
+        sites_hit = {s for s, _ in ct.scope}
         if len(sites_hit) > 1:
             raise FactorizationError(
-                f"term {name!r} couples elements across sites {sorted(sites_hit)}")
+                f"term {ct.name!r} couples elements across sites {sorted(sites_hit)}")
         site = sites_hit.pop()
-        idx = tuple(sorted(j for _, j in elems))
+        idx = tuple(sorted(j for _, j in ct.scope))
         if len(idx) == 1:
-            terms.append(TermRole(pos, name, "unary", site=site, elems=idx))
+            terms.append(TermRole(ct.position, ct.name, "unary", site=site, elems=idx))
         elif len(idx) == 2:
-            terms.append(TermRole(pos, name, "pair", site=site, elems=idx))
+            terms.append(TermRole(ct.position, ct.name, "pair", site=site, elems=idx))
             edges[site].add(idx)
         else:
             raise FactorizationError(
-                f"term {name!r} couples {len(idx)} elements {idx} of site "
+                f"term {ct.name!r} couples {len(idx)} elements {idx} of site "
                 f"{site!r}; only unary and pairwise (chain) coupling is "
                 "eliminable")
 
@@ -625,3 +697,18 @@ def _analyze_factorization_impl(model: Callable, plan: EnumerationPlan,
             chains.append(ChainBlock(site=site.name, order=path, colors=colors))
     return FactorizationPlan(plan, terms, chains, independent,
                              max_batch_rows=max_batch_rows)
+
+
+def _analyze_factorization_impl(model: Callable, plan: EnumerationPlan,
+                                model_args: Tuple = (),
+                                model_kwargs: Optional[Dict] = None,
+                                observed: Optional[Dict[str, Any]] = None,
+                                constrained: Optional[Mapping[str, Any]] = None,
+                                rng_seed: int = 0,
+                                max_batch_rows: Optional[int] = None
+                                ) -> FactorizationPlan:
+    collected = collect_term_structure(
+        model, plan, model_args=model_args, model_kwargs=model_kwargs,
+        observed=observed, constrained=constrained, rng_seed=rng_seed)
+    return classify_factorization(collected, plan,
+                                  max_batch_rows=max_batch_rows)

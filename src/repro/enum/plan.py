@@ -141,14 +141,18 @@ class EnumerationPlan:
         self._rows_cache: Dict[str, np.ndarray] = {}
         self._digits_cache: Dict[str, np.ndarray] = {}
 
-    def ensure_table_capacity(self, factorization_note: Optional[str] = None) -> None:
+    def ensure_table_capacity(self, factorization_note: Optional[str] = None,
+                              strategy: Optional[str] = None) -> None:
         """Raise :class:`TableSizeError` if the joint table exceeds the cap.
 
         Called at construction for joint-table plans and *lazily* — only when
-        a joint evaluation is actually needed — for factorized plans, whose
-        table may be astronomically large without ever being built.
-        ``factorization_note`` reports whether the factorized strategy was
-        attempted and why it did not apply, so the error is actionable.
+        a joint evaluation is actually needed — for factorized/contract
+        plans, whose table may be astronomically large without ever being
+        built.  ``factorization_note`` reports whether a structured strategy
+        was attempted and why it did not apply; ``strategy`` names the
+        strategy that was actually attempted (``"contract"``,
+        ``"factorized"``, ...) so the fallback diagnostic does not mislead
+        now that several structured strategies exist.
         """
         if self.table_size <= self.max_table_size:
             return
@@ -156,18 +160,24 @@ class EnumerationPlan:
             f"{s.name}: {s.cardinality}^{s.numel} = {s.num_assignments}"
             for s in self.sites)
         if factorization_note is None:
+            attempted = (f"the {strategy} strategy was not attempted"
+                         if strategy else
+                         "no structured strategy (contract/factorized) was attempted")
             factorization_note = (
-                'factorization was not attempted on this path — recompile with '
-                'enumerate="factorized" so conditionally-independent elements '
-                "enumerate in O(N*K) and chain-structured sites in O(T*K^2) "
-                "without a joint table")
+                f"{attempted} on this path — "
+                'recompile with enum="auto" (or the legacy '
+                'enumerate="factorized" spelling) so the contraction planner '
+                "eliminates conditionally-independent elements in O(N*K), "
+                "chains in O(T*K^2) and bounded-treewidth coupling in "
+                "O(N*K^w) without a joint table")
         raise TableSizeError(
             f"joint enumeration table has {self.table_size} entries "
             f"({detail}), exceeding the cap of {self.max_table_size}. "
             f"{factorization_note}. Otherwise reduce the discrete state space "
             "(fewer elements / tighter bounds) or raise the cap "
-            "(compile_model(..., max_enum_table_size=...) / "
-            "Potential(max_table_size=...)).")
+            "(compile_model(..., enum=EnumConfig(max_table_size=...)) / "
+            "Potential(enum=EnumConfig(max_table_size=...)) — the legacy "
+            "max_enum_table_size= / max_table_size= spellings still work).")
 
     # ------------------------------------------------------------------
     # construction

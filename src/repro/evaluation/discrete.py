@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core import compile_model
 from repro.corpus import models as corpus_models
-from repro.engine import EngineConfig
+from repro.engine import EngineConfig, EnumConfig
 from repro.infer import diagnostics
 from repro.posteriordb import Entry, datagen, get
 
@@ -90,10 +90,15 @@ def run_discrete_comparison(enum_entry: Entry, marginal_entry: Entry,
     warmup = max(int(config.num_warmup * scale), 10)
     samples = max(int(config.num_samples * scale), 10)
 
-    enum_compiled = compile_model(
-        enum_entry.source, backend="numpyro", scheme="comprehensive",
-        name=enum_entry.name,
-        engine=EngineConfig(enumerate=enum_entry.enumerate))
+    if enum_entry.enum is not None:
+        enum_compiled = compile_model(
+            enum_entry.source, backend="numpyro", scheme="comprehensive",
+            name=enum_entry.name, enum=enum_entry.enum)
+    else:
+        enum_compiled = compile_model(
+            enum_entry.source, backend="numpyro", scheme="comprehensive",
+            name=enum_entry.name,
+            engine=EngineConfig(enumerate=enum_entry.enumerate))
     enum_model = enum_compiled.condition(enum_entry.data())
     start = time.perf_counter()
     enum_fit = enum_model.fit("nuts", num_warmup=warmup, num_samples=samples,
@@ -160,6 +165,17 @@ SCALING_PAIRS = (
     ("hmm_k_enum-synthetic_hmm4", "hmm_k_marginal-synthetic_hmm4"),
 )
 
+#: pairs whose discrete structure needs the general contraction engine
+#: (``enum="auto"`` resolves to ``"contract"``): a factorial HMM (two
+#: coupled chains, joint table 4^100) and a tree-coupled mixture (2^200).
+#: The CI ``enum-scaling`` job asserts posterior agreement with the
+#: hand-marginalized twins.
+CONTRACT_PAIRS = (
+    ("factorial_hmm_enum-synthetic_factorial",
+     "factorial_hmm_marginal-synthetic_factorial"),
+    ("tree_mix_enum-synthetic_tree", "tree_mix_marginal-synthetic_tree"),
+)
+
 
 def discrete_enumeration_experiment(scale: float = 1.0, seed: int = 0,
                                     pairs=WORKLOAD_PAIRS) -> Dict[str, DiscreteComparison]:
@@ -193,6 +209,10 @@ class EnumScaling:
     #: walks the autodiff graph per call; "compiled" runs the fused tape
     #: program — see repro.autodiff.compile).
     engine: str = "interpreted"
+    #: deterministic planner cost (total contraction-table entries, from
+    #: ``Potential.enum_metadata()``) at each size — exact, timer-free
+    #: evidence of the asymptotic, alongside the measured wall-clock.
+    planner_costs: Tuple[int, int] = (0, 0)
 
     @property
     def size_ratio(self) -> float:
@@ -202,27 +222,40 @@ class EnumScaling:
     def cost_ratio(self) -> float:
         return self.eval_seconds[1] / self.eval_seconds[0]
 
+    @property
+    def planner_cost_ratio(self) -> float:
+        if not self.planner_costs[0]:
+            return float("nan")
+        return self.planner_costs[1] / self.planner_costs[0]
+
 
 def measure_enum_cost(model_name: str, data_for_size, sizes: Tuple[int, int],
                       repeats: int = 3, seed: int = 0,
-                      engine: str = "interpreted") -> EnumScaling:
+                      engine: str = "interpreted",
+                      strategy: str = "factorized") -> EnumScaling:
     """Per-evaluation ``potential_and_grad`` cost of a workload at two sizes.
 
     ``data_for_size(size)`` builds the dataset; ``seed`` seeds the potential
     (dataset seeding is the caller's closure).  Both sizes must resolve to
-    the **factorized** strategy — a silent demotion mid-measurement would
-    time the wrong engine, so it raises here rather than relying on callers
-    to inspect the returned ``strategies``.  The first evaluation (strategy
-    resolution + analysis) is excluded; the steady-state cost is the
-    *minimum* over ``repeats`` timed evaluations, the usual robust-to-noise
-    choice for microbenchmarks.  ``engine`` selects the evaluation engine
+    the requested structured ``strategy`` (``"factorized"`` or
+    ``"contract"``) — a silent demotion mid-measurement would time the wrong
+    engine, so it raises here rather than relying on callers to inspect the
+    returned ``strategies``.  The first evaluation (strategy resolution +
+    analysis) is excluded; the steady-state cost is the *minimum* over
+    ``repeats`` timed evaluations, the usual robust-to-noise choice for
+    microbenchmarks.  ``engine`` selects the evaluation engine
     ("interpreted" or "compiled"); under ``"compiled"`` the warm-up
     evaluation also compiles and validates the tape, so the timed steady
     state is the fused program.
     """
-    config = EngineConfig(engine=engine, enumerate="factorized")
+    if strategy == "factorized":
+        config = EngineConfig(engine=engine, enumerate="factorized")
+    else:
+        config = EngineConfig(engine=engine,
+                              enum=EnumConfig(strategy=strategy))
     times: list = []
     strategies: list = []
+    planner_costs: list = []
     for size in sizes:
         compiled = compile_model(corpus_models.get(model_name),
                                  engine=config, name=model_name)
@@ -230,10 +263,10 @@ def measure_enum_cost(model_name: str, data_for_size, sizes: Tuple[int, int],
         z0 = potential.initial_unconstrained()
         potential.potential_and_grad(z0)          # resolve + validate
         potential.potential_and_grad(z0)          # compile + validate tape
-        if potential.enum_strategy != "factorized":
+        if potential.enum_strategy != strategy:
             raise RuntimeError(
                 f"{model_name} at size {size} resolved to "
-                f"{potential.enum_strategy!r}, not the factorized strategy "
+                f"{potential.enum_strategy!r}, not the {strategy} strategy "
                 f"({potential.factorization_note}) — the cost measurement "
                 "would time the wrong engine")
         best = float("inf")
@@ -243,9 +276,10 @@ def measure_enum_cost(model_name: str, data_for_size, sizes: Tuple[int, int],
             best = min(best, time.perf_counter() - start)
         times.append(best)
         strategies.append(potential.enum_strategy)
+        planner_costs.append(int(potential.enum_metadata()["cost_estimate"]))
     return EnumScaling(model_name=model_name, sizes=tuple(sizes),
                        eval_seconds=tuple(times), strategies=tuple(strategies),
-                       engine=engine)
+                       engine=engine, planner_costs=tuple(planner_costs))
 
 
 def enum_scaling_experiment(repeats: int = 3, seed: int = 0,
@@ -267,4 +301,27 @@ def enum_scaling_experiment(repeats: int = 3, seed: int = 0,
             "hmm_k_enum",
             lambda t: datagen.hmm_k_data(seed=seed, t=t, k=4), (100, 200),
             repeats=repeats, seed=seed, engine=engine),
+    }
+
+
+def contract_scaling_experiment(repeats: int = 3, seed: int = 0,
+                                engine: str = "interpreted") -> Dict[str, EnumScaling]:
+    """Cost growth of the general contraction engine at fixed treewidth.
+
+    The factorial HMM (ladder factor graph) at T=50 vs T=100 and the
+    tree-coupled mixture at N=100 vs N=200 — both at sizes whose joint
+    table (``4^T`` / ``2^N``) is unrepresentable.  Greedy elimination keeps
+    the per-evaluation cost linear in the element count at fixed treewidth,
+    so ``cost_ratio`` should track ``size_ratio`` exactly as in the
+    factorized special cases.
+    """
+    return {
+        "factorial_hmm_enum": measure_enum_cost(
+            "factorial_hmm_enum",
+            lambda t: datagen.factorial_hmm_data(seed=seed, t=t), (50, 100),
+            repeats=repeats, seed=seed, engine=engine, strategy="contract"),
+        "tree_mix_enum": measure_enum_cost(
+            "tree_mix_enum",
+            lambda n: datagen.tree_mix_data(seed=seed, n=n), (100, 200),
+            repeats=repeats, seed=seed, engine=engine, strategy="contract"),
     }

@@ -87,7 +87,7 @@ from repro.autodiff.compile import compile_tape
 from repro.autodiff.functional import value_and_grad
 from repro.autodiff.tensor import Tensor, as_tensor, no_grad
 from repro.deprecation import warn_once
-from repro.engine import EngineConfig
+from repro.engine import EngineConfig, EnumConfig
 from repro.obs import MetricsRegistry, as_telemetry
 from repro.ppl import handlers
 from repro.ppl.distributions.base import param_value
@@ -162,16 +162,34 @@ class Potential:
                  fast: bool = False, enumerate: Optional[str] = None,
                  max_table_size: Optional[int] = None,
                  engine: Union[None, str, "EngineConfig"] = None,
-                 obs: Any = None):
+                 obs: Any = None,
+                 enum: Union[None, str, "EnumConfig"] = None):
         if enumerate not in ENUMERATE_MODES:
             raise ValueError(
                 f"unknown enumerate mode {enumerate!r}; expected one of {ENUMERATE_MODES}")
+        if enumerate is not None:
+            warn_once(
+                "potential-enumerate-kwarg",
+                'Potential(enumerate=...) is deprecated; pass enum="auto" / '
+                "enum=EnumConfig(...) (or an EngineConfig with enum=) instead.")
+        if max_table_size is not None:
+            warn_once(
+                "potential-max-table-size-kwarg",
+                "Potential(max_table_size=...) is deprecated; pass "
+                "enum=EnumConfig(max_table_size=...) instead.")
         #: the resolved evaluation-engine configuration.  ``engine`` accepts
         #: an engine name or a full :class:`~repro.engine.EngineConfig`; the
         #: legacy ``enumerate=`` / ``max_table_size=`` keywords override the
-        #: corresponding config fields when given.
+        #: corresponding config fields when given, and ``enum=`` (a strategy
+        #: name or :class:`~repro.engine.EnumConfig`) overrides everything.
         self.engine_config = EngineConfig.coerce(
             engine, enumerate=enumerate, max_enum_table_size=max_table_size)
+        if enum is not None:
+            self.engine_config = self.engine_config.replace(
+                enum=EnumConfig.coerce(enum))
+        #: the resolved discrete-marginalization configuration (the legacy
+        #: ``enumerate`` spellings map onto it; see EngineConfig.resolved_enum).
+        self.enum_config = self.engine_config.resolved_enum()
         self.model = model
         self.model_args = tuple(model_args)
         self.model_kwargs = dict(model_kwargs or {})
@@ -180,8 +198,12 @@ class Potential:
         # ``fast=True`` evaluates the log joint through the NumPyro-style
         # direct-accumulation context instead of the effect-handler stack.
         self.fast = fast
-        self.enumerate = self.engine_config.enumerate
-        self.max_table_size = self.engine_config.max_enum_table_size
+        # Legacy mirrors (external readers): ``enumerate`` reports the
+        # resolved strategy name (``None`` for "off"), ``max_table_size``
+        # the resolved cap.
+        self.enumerate = (None if self.enum_config.strategy == "off"
+                          else self.enum_config.strategy)
+        self.max_table_size = self.enum_config.max_table_size
         #: joint assignment table over the discrete latent sites
         #: (``None`` unless enumeration is enabled and found any).
         self.enum_plan = None
@@ -255,11 +277,14 @@ class Potential:
         for name, site in handlers.latent_sites(model_trace).items():
             fn = site["fn"]
             if getattr(fn, "is_discrete", False):
-                if self.enumerate is None:
+                if self.enum_config.strategy == "off":
                     raise DiscreteLatentError(
                         f"latent site {name!r} is discrete; NUTS/HMC requires "
                         "continuous parameters. Bounded discrete latents can be "
                         "marginalized exactly instead — recompile with "
+                        'enum="auto" (compile_model(source, enum="auto"); '
+                        "greedy-contraction / sum-product marginalization with "
+                        "joint-table fallback), or the legacy spellings "
                         'enumerate="factorized" (compile_model(source, '
                         'enumerate="factorized"); O(N*K)/O(T*K^2) sum-product '
                         'marginalization with joint-table fallback) or '
@@ -285,11 +310,13 @@ class Potential:
         if discrete:
             from repro.enum import EnumerationPlan
 
-            # The factorized strategy may never materialize the joint table,
-            # so its size cap is checked lazily (only on joint fallback).
+            # The structured strategies (factorized / contract / auto) may
+            # never materialize the joint table, so their size cap is checked
+            # lazily (only on joint fallback).
             self.enum_plan = EnumerationPlan.from_trace_sites(
                 discrete, max_table_size=self.max_table_size,
-                defer_size_check=(self.enumerate == "factorized"))
+                defer_size_check=(self.enum_config.strategy
+                                  in ("factorized", "contract", "auto")))
         self.dim = offset
         if self.dim == 0:
             if self.enum_plan is not None:
@@ -515,39 +542,61 @@ class Potential:
         """Exact marginal log joint via the sum-product contraction."""
         return self.factorization.contract(self._run_factorized(constrained))
 
+    def _attempted_strategy(self) -> Optional[str]:
+        """The structured strategy this potential attempted (or would attempt).
+
+        ``None`` when no structured elimination applies (``"parallel"`` /
+        ``"off"``); used to thread an honest strategy name into
+        :meth:`~repro.enum.EnumerationPlan.ensure_table_capacity` fallback
+        diagnostics.
+        """
+        if self._marginal_mode in ("factorized", "contract"):
+            return self._marginal_mode
+        strategy = self.enum_config.strategy
+        return strategy if strategy in ("factorized", "contract", "auto") else None
+
     def _demote_factorized(self, reason: str) -> None:
-        """Permanently fall back from the factorized strategy to the joint table.
+        """Permanently fall back from a structured strategy to the joint table.
 
         Mirrors the established optimistic-validation pattern: a structure
         violation may only trigger away from the analysis point, so demotion
         is one-way.  Raises :class:`~repro.enum.TableSizeError` (with the
-        factorization context) if the joint table does not fit the cap.
+        elimination context) if the joint table does not fit the cap.
         """
-        note = f"factorization was attempted and bailed: {reason}"
+        attempted = self._attempted_strategy() or "factorized"
+        label = ("factorization" if attempted == "factorized"
+                 else f"elimination planning (strategy {attempted!r})")
+        note = f"{label} was attempted and bailed: {reason}"
         self.factorization_note = note
         self.factorization = None
         self._marginal_mode = "joint"
-        # Any compiled program recorded the old (factorized) graph structure.
+        # Any compiled program recorded the old (structured) graph structure.
         self._tapes.clear()
         # Record the demotion before the capacity check below, which may
         # raise TableSizeError when the joint table does not fit either.
         self.telemetry.event("enum.demote", reason=str(reason))
         self.metrics.set_info("enum.strategy", "joint")
-        self.enum_plan.ensure_table_capacity(note)
+        self.enum_plan.ensure_table_capacity(note, strategy=attempted)
 
     def _resolve_factorization(self, constrained: "OrderedDict[str, Tensor]") -> None:
-        """Pick the marginalization strategy (factorized vs joint) once.
+        """Pick the marginalization strategy once.
 
-        Value-tier validation against the joint oracle happens here when the
-        table is small enough; the gradient tier is added by
+        Resolution order of ``strategy="auto"``: general contraction (which
+        itself delegates degenerate shapes to the strict factorized engine
+        for bitwise identity) -> factorized -> joint table -> error
+        (TableSizeError when nothing fits).  ``"factorized"`` runs only the
+        strict analyzer; ``"parallel"`` goes straight to the joint table.
+        Value-tier validation against the joint oracle happens in
         :meth:`_ensure_enum_strategy` (which has the unconstrained vector and
         can compare full gradients).
         """
         from repro.enum import FactorizationError, analyze_factorization
+        from repro.enum.contract import analyze_contraction
 
         if self._marginal_mode is not None:
             return
-        if self.enumerate != "factorized":
+        strategy = self.enum_config.strategy
+        if strategy not in ("factorized", "contract", "auto"):
             self._marginal_mode = "joint"
             return
         if not self.fast:
@@ -571,17 +620,28 @@ class Potential:
             self._marginal_mode = "joint"
             return
         try:
-            self.factorization = analyze_factorization(
-                self.model, self.enum_plan, model_args=self.model_args,
-                model_kwargs=self.model_kwargs, observed=self.observed,
-                constrained=dict(constrained), rng_seed=self.rng_seed,
-                telemetry=self.telemetry)
+            if strategy == "factorized":
+                self.factorization = analyze_factorization(
+                    self.model, self.enum_plan, model_args=self.model_args,
+                    model_kwargs=self.model_kwargs, observed=self.observed,
+                    constrained=dict(constrained), rng_seed=self.rng_seed,
+                    telemetry=self.telemetry)
+            else:
+                self.factorization = analyze_contraction(
+                    self.model, self.enum_plan, model_args=self.model_args,
+                    model_kwargs=self.model_kwargs, observed=self.observed,
+                    constrained=dict(constrained), rng_seed=self.rng_seed,
+                    max_table_size=self.enum_plan.max_table_size,
+                    telemetry=self.telemetry)
         except FactorizationError as exc:
             self._demote_factorized(exc)
             return
-        self._marginal_mode = "factorized"
+        # The plan reports which engine executes it: degenerate shapes come
+        # back as a FactorizationPlan (bitwise-identical to the strict
+        # engine), general structure as a ContractionPlan.
+        self._marginal_mode = self.factorization.strategy
         self.factorization_note = self.factorization.describe()
-        self.metrics.set_info("enum.strategy", "factorized")
+        self.metrics.set_info("enum.strategy", self._marginal_mode)
 
     def _enum_marginal(self, constrained: "OrderedDict[str, Tensor]") -> Tensor:
         """Marginal log joint over the discrete latents (scalar tensor)."""
@@ -593,7 +653,7 @@ class Potential:
             # proceed; the oracle cross-validation lives in one place only
             # (_ensure_enum_strategy), not here.
             self._resolve_factorization(constrained)
-        if self._marginal_mode == "factorized":
+        if self._marginal_mode in ("factorized", "contract"):
             try:
                 return self._enum_factorized_marginal(constrained)
             except Exception as exc:  # noqa: BLE001
@@ -623,9 +683,16 @@ class Potential:
         with np.errstate(all="ignore"):
             constrained, _ = self.constrain(as_tensor(z))
             self._resolve_factorization(constrained)
-            if self._marginal_mode != "factorized":
+            trial = self._marginal_mode
+            if trial not in ("factorized", "contract"):
                 return
-            cap = min(self.enum_plan.max_table_size, ENUM_VALIDATION_TABLE_CAP)
+            if not self.enum_config.validate:
+                self.factorization_note += (
+                    "; oracle cross-validation disabled by "
+                    "EnumConfig(validate=False)")
+                return
+            cap = min(self.enum_plan.max_table_size,
+                      self.enum_config.validation_table_cap)
             if self.enum_plan.table_size > cap:
                 self.factorization_note += (
                     "; joint table too large for oracle cross-validation — "
@@ -636,8 +703,8 @@ class Potential:
             except Exception as exc:  # noqa: BLE001
                 self._demote_factorized(exc)
                 return
-            if self._marginal_mode != "factorized":
-                # the factorized trial demoted itself (structure violation
+            if self._marginal_mode != trial:
+                # the structured trial demoted itself (structure violation
                 # surfaced during evaluation); the note already explains why
                 return
             self._marginal_mode = "joint"
@@ -646,14 +713,17 @@ class Potential:
             except Exception as exc:  # noqa: BLE001
                 self._demote_factorized(exc)
                 return
-            value_ok = bool(np.isclose(value_f, value_j, rtol=ENUM_VALUE_RTOL,
-                                       atol=ENUM_VALUE_ATOL, equal_nan=True))
+            value_ok = bool(np.isclose(value_f, value_j,
+                                       rtol=self.enum_config.value_rtol,
+                                       atol=self.enum_config.value_atol,
+                                       equal_nan=True))
             grad_ok = bool(np.allclose(grad_f, grad_j,
                                        rtol=GRAD_VALIDATION_RTOL,
                                        atol=GRAD_VALIDATION_ATOL, equal_nan=True))
             if value_ok and grad_ok and self.factorization is not None:
-                self._marginal_mode = "factorized"
+                self._marginal_mode = trial
             else:
+                self._marginal_mode = trial  # demote from the trial's context
                 self._demote_factorized(
                     "validation against the joint oracle failed "
                     f"(values within tolerance: {value_ok}, gradients within "
@@ -663,17 +733,20 @@ class Potential:
     def enum_strategy(self) -> Optional[str]:
         """The validated enumerated-evaluation strategy.
 
-        ``"factorized"`` (sum-product contraction over the factorization
-        plan), ``"parallel"`` (one table-vectorized execution) or ``"rows"``
-        (the per-assignment oracle loop); ``None`` for non-enumerated
-        potentials.  Before the first evaluation this reports the strategy
-        pending validation.
+        ``"contract"`` (general tensor variable elimination),
+        ``"factorized"`` (the strict sum-product engine), ``"parallel"``
+        (one table-vectorized execution) or ``"rows"`` (the per-assignment
+        oracle loop); ``None`` for non-enumerated potentials.  Before the
+        first evaluation this reports the strategy pending validation
+        (``"auto"`` until the planner resolves it).
         """
         if self.enum_plan is None:
             return None
-        if self._marginal_mode == "factorized" or (
-                self._marginal_mode is None and self.enumerate == "factorized"):
-            return "factorized"
+        if self._marginal_mode in ("factorized", "contract"):
+            return self._marginal_mode
+        if self._marginal_mode is None and \
+                self.enum_config.strategy in ("factorized", "contract", "auto"):
+            return self.enum_config.strategy
         return self._enum_mode or "parallel"
 
     def assignment_log_joints(self, z: np.ndarray) -> np.ndarray:
@@ -693,7 +766,8 @@ class Potential:
         """
         if self.enum_plan is None:
             raise RuntimeError("assignment_log_joints requires an enumerated potential")
-        self.enum_plan.ensure_table_capacity(self.factorization_note)
+        self.enum_plan.ensure_table_capacity(self.factorization_note,
+                                             strategy=self._attempted_strategy())
         with np.errstate(all="ignore"):
             constrained, _ = self.constrain(as_tensor(np.asarray(z, dtype=float)))
             return np.asarray(self._enum_log_joint(constrained).data, dtype=float)
@@ -702,19 +776,42 @@ class Potential:
         """Per-component discrete posterior log factors at unconstrained ``z``.
 
         Returns a :class:`~repro.enum.FactorBundle` (independent-element
-        factors and chain unary/pairwise potentials) for the ``infer_discrete``
-        backward pass, or ``None`` when the potential did not resolve to the
-        factorized strategy (callers then use :meth:`assignment_log_joints`).
+        factors and chain unary/pairwise potentials) under the factorized
+        strategy, a :class:`~repro.enum.contract.ContractFactors` (general
+        factor graph plus its elimination order) under the contract strategy,
+        or ``None`` when the potential resolved to the joint table (callers
+        then use :meth:`assignment_log_joints`).
         """
         if self.enum_plan is None:
             raise RuntimeError("factorized_factors requires an enumerated potential")
         self._ensure_enum_strategy(np.asarray(z, dtype=float))
-        if self._marginal_mode != "factorized":
+        if self._marginal_mode not in ("factorized", "contract"):
             return None
         with np.errstate(all="ignore"), no_grad():
             constrained, _ = self.constrain(as_tensor(np.asarray(z, dtype=float)))
             terms = self._run_factorized(constrained)
             return self.factorization.posterior_factors(terms)
+
+    def enum_metadata(self) -> Optional[Dict[str, Any]]:
+        """Resolved-enumeration record for fit metadata and BENCH_*.json.
+
+        ``None`` for non-enumerated potentials; otherwise the requested and
+        *resolved* strategy, the planner cost estimate (total contraction
+        table entries for structured strategies, the joint table size for the
+        joint fallback), and the human-readable resolution note.
+        """
+        if self.enum_plan is None:
+            return None
+        meta: Dict[str, Any] = {
+            "requested": self.enum_config.strategy,
+            "strategy": self.enum_strategy,
+            "note": self.factorization_note,
+        }
+        if self.factorization is not None:
+            meta["cost_estimate"] = int(self.factorization.cost_estimate())
+        else:
+            meta["cost_estimate"] = int(self.enum_plan.table_size)
+        return meta
 
     # ------------------------------------------------------------------
     # density evaluation
@@ -1052,9 +1149,10 @@ class Potential:
 
         c = z.data.shape[0]
         constrained, log_det = self.constrain_batched(z)
-        if self.enum_plan is not None and self._marginal_mode == "factorized":
-            # Factorized multi-chain tape: the batch is C * B rows
-            # (chain-major, B = the factorized batch), one model execution,
+        if self.enum_plan is not None and \
+                self._marginal_mode in ("factorized", "contract"):
+            # Structured multi-chain tape: the batch is C * B rows
+            # (chain-major, B = the gridded batch), one model execution,
             # then each chain's rows are contracted separately — the same
             # per-chain arithmetic as the single-chain contraction, so the
             # per-chain subgraphs stay disjoint until the shared leaves.
@@ -1396,8 +1494,9 @@ def make_potential(model: Callable, *model_args, observed: Optional[Dict[str, An
                    max_table_size: Optional[int] = None,
                    engine: Union[None, str, EngineConfig] = None,
                    obs: Any = None,
+                   enum: Union[None, str, EnumConfig] = None,
                    **model_kwargs) -> Potential:
     """Convenience constructor used throughout the benchmarks and examples."""
     return Potential(model, model_args, model_kwargs, observed=observed, rng_seed=rng_seed,
                      fast=fast, enumerate=enumerate, max_table_size=max_table_size,
-                     engine=engine, obs=obs)
+                     engine=engine, obs=obs, enum=enum)

@@ -234,6 +234,57 @@ def hmm_k_data(seed: int = 0, t: int = 200, k: int = 4) -> Dict[str, Any]:
             "rho": initial, "mu0": mu0}
 
 
+def factorial_hmm_data(seed: int = 0, t: int = 100) -> Dict[str, Any]:
+    """Two coupled binary chains observed only through their summed emission.
+
+    The joint assignment table would hold ``4 ** t`` entries (``4 ** 100``
+    at the default — far beyond 10^50); the general contraction engine
+    eliminates the ladder factor graph in cost linear in ``t``.
+    """
+    rng = np.random.default_rng(seed)
+    g1 = np.array([[0.9, 0.1], [0.2, 0.8]])
+    g2 = np.array([[0.7, 0.3], [0.4, 0.6]])
+    rho1 = np.array([0.6, 0.4])
+    rho2 = np.array([0.5, 0.5])
+    mu1 = np.array([-1.0, 1.0])
+    mu2 = np.array([-0.5, 0.5])
+    s1 = rng.choice(2, p=rho1)
+    s2 = rng.choice(2, p=rho2)
+    y = []
+    for _ in range(t):
+        y.append(rng.normal(mu1[s1] + mu2[s2], 0.5))
+        s1 = rng.choice(2, p=g1[s1])
+        s2 = rng.choice(2, p=g2[s2])
+    return {"T": t, "y": np.array(y), "G1": g1, "G2": g2,
+            "rho1": rho1, "rho2": rho2}
+
+
+def tree_mix_data(seed: int = 0, n: int = 200, coupling: float = 0.6) -> Dict[str, Any]:
+    """A random tree of binary component labels with Ising-style coupling.
+
+    ``parent[i] < i`` (1-based; ``parent[1]`` is unused), so the upward
+    belief-propagation twin can sweep nodes in reverse index order.  The
+    joint table would hold ``2 ** n`` rows (``2 ** 200`` at the default);
+    tree elimination is linear in ``n``.
+    """
+    rng = np.random.default_rng(seed)
+    parent = np.ones(n, dtype=int)
+    for i in range(1, n):
+        parent[i] = rng.integers(1, i + 1)       # uniform among earlier nodes
+    # Sample labels down the tree with the flip probability implied by the
+    # coupling potential, then emit around well-separated means.
+    stay = np.exp(coupling) / (np.exp(coupling) + np.exp(-coupling))
+    z = np.zeros(n, dtype=int)
+    z[0] = rng.integers(0, 2)
+    for i in range(1, n):
+        same = rng.random() < stay
+        z[i] = z[parent[i] - 1] if same else 1 - z[parent[i] - 1]
+    mu = np.array([-2.0, 2.0])
+    y = rng.normal(mu[z], 0.8)
+    return {"N": n, "y": y, "parent": parent, "coupling": coupling,
+            "rho": np.array([0.5, 0.5])}
+
+
 def gauss_mix_enum_large_data(seed: int = 0, n: int = 500) -> Dict[str, Any]:
     """The mixture workload at a length whose joint table (``2 ** n``) is
     unrepresentable — only per-element (factorized) enumeration can run it."""

@@ -58,6 +58,12 @@ class Entry:
     #: sum-product engine: O(N*K) for independent elements, O(T*K^2) for
     #: chains, joint-table fallback otherwise.
     enumerate: Optional[str] = None
+    #: new-API enumeration strategy (``compile_model(..., enum=entry.enum)``)
+    #: for workloads needing the general contraction engine — multi-site or
+    #: tree coupling that the legacy ``enumerate=`` spellings cannot
+    #: eliminate.  Entries with either ``enum`` or ``enumerate`` set are
+    #: excluded from the plain-path tables.
+    enum: Optional[str] = None
 
     @property
     def source(self) -> str:
@@ -83,7 +89,8 @@ def names(include_unsupported: bool = True) -> List[str]:
     return sorted(
         name for name, entry in _REGISTRY.items()
         if include_unsupported
-        or not (entry.expect_unsupported or entry.enumerate is not None)
+        or not (entry.expect_unsupported or entry.enumerate is not None
+                or entry.enum is not None)
     )
 
 
@@ -234,3 +241,31 @@ register(Entry("hmm_marginal-synthetic_hmm", "hmm_marginal", "synthetic_hmm",
                datagen.hmm_enum_data,
                config=InferenceConfig(num_warmup=200, num_samples=200, max_tree_depth=7),
                description="hand-written forward algorithm twin of hmm_enum"))
+# General-contraction workloads (enum="auto" resolves to the "contract"
+# strategy): discrete structure outside every special case — two coupled
+# chains sharing an emission (a ladder factor graph) and a tree of coupled
+# component labels.  Sizes put the joint table beyond 10^50 entries
+# (4^100, 2^200); greedy tensor variable elimination runs them in cost
+# linear in the element count at fixed treewidth.  Each has a
+# hand-marginalized twin (product-chain forward algorithm / upward belief
+# propagation) defining the same continuous posterior.
+register(Entry("factorial_hmm_enum-synthetic_factorial", "factorial_hmm_enum",
+               "synthetic_factorial", datagen.factorial_hmm_data, enum="auto",
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="two coupled binary chains with a joint emission at "
+                           "T=100: joint table would be 4^100; the contract "
+                           "strategy eliminates the ladder in O(T) messages"))
+register(Entry("factorial_hmm_marginal-synthetic_factorial", "factorial_hmm_marginal",
+               "synthetic_factorial", datagen.factorial_hmm_data,
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="hand-written forward algorithm on the 4-state "
+                           "product chain, twin of factorial_hmm_enum"))
+register(Entry("tree_mix_enum-synthetic_tree", "tree_mix_enum", "synthetic_tree",
+               datagen.tree_mix_data, enum="auto",
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="tree-coupled binary mixture at N=200: joint table "
+                           "would be 2^200; tree elimination is linear in N"))
+register(Entry("tree_mix_marginal-synthetic_tree", "tree_mix_marginal",
+               "synthetic_tree", datagen.tree_mix_data,
+               config=InferenceConfig(num_warmup=40, num_samples=40, max_tree_depth=6),
+               description="upward belief-propagation twin of tree_mix_enum"))

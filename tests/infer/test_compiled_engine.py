@@ -35,7 +35,8 @@ def test_compiled_engine_matches_interpreted_across_corpus(name):
     entry = registry.get(name)
     model = compile_model(
         entry.source, name=entry.name,
-        engine=EngineConfig(enumerate=entry.enumerate)).condition(entry.data())
+        engine=EngineConfig(enumerate=entry.enumerate),
+        enum=entry.enum).condition(entry.data())
     pot_i = model.potential(0, engine="interpreted")
     pot_c = model.potential(0, engine="compiled")
     assert pot_c is not pot_i

@@ -37,12 +37,14 @@ def test_all_corpus_models_compile_comprehensively_or_report_known_failure():
         if not ok:
             failures.append((name, error))
     # Only the truncation exemplar, constrained-matrix models and the
-    # discrete-latent exemplars (which need enumerate="parallel") may fail.
+    # discrete-latent exemplars (which need an enum= strategy) may fail —
+    # gauss_mix / zip / hmm / hmm_k / factorial_hmm / tree_mix plus
+    # truncation.
     assert all(
         "truncat" in error.lower() or "Unsupported" in error or "enumerate" in error
         for _, error in failures
     ), failures
-    assert len(failures) <= 5
+    assert len(failures) <= 7
 
 
 def test_corpus_generative_scheme_compiles_fewer_models():
